@@ -1,0 +1,427 @@
+//! Models of Android's implicit control flow.
+//!
+//! "Network programming in Android often involves using thread libraries
+//! such as AsyncTask, which introduce implicit call flows. However,
+//! existing static taint analysis tools often do not cover them." (§3.4).
+//! The paper adds support for the implicit callbacks of the thread and
+//! HTTP libraries it models: `AsyncTask`, Volley, retrofit, `FutureTask`,
+//! rx.android, BeeFramework, and the common UI/location listeners.
+//!
+//! A [`CallbackRegistry`] holds declarative rules: *when a call to
+//! `trigger_class.trigger_method` is seen, the runtime will eventually
+//! invoke `target_method` on one of the call's operands, passing it data
+//! derived from other operands*. The call-graph builder materializes these
+//! into [`ImplicitEdge`]s with concrete [`MethodId`] targets, and the taint
+//! engine propagates facts across them exactly like explicit calls.
+
+use extractocol_ir::{Call, MethodId, ProgramIndex, Type};
+
+/// Which operand of the triggering call an implicit binding refers to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OperandSource {
+    /// The receiver of the triggering call.
+    Receiver,
+    /// The i-th argument of the triggering call.
+    Arg(usize),
+}
+
+/// A materialized implicit call edge at a specific call site.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ImplicitEdge {
+    /// The concrete callback method that will run.
+    pub target: MethodId,
+    /// What the callback's `this` is bound to.
+    pub recv_from: Option<OperandSource>,
+    /// For each callback parameter: the triggering-call operand whose value
+    /// flows into it, if any (parameters fed by the framework — e.g. a
+    /// network response — have `None` and are seeded by demarcation-point
+    /// handling instead).
+    pub param_from: Vec<Option<OperandSource>>,
+    /// When set, the callback's return value flows into parameter `.1` of
+    /// the named follow-up callback on the same receiver (e.g.
+    /// `AsyncTask.doInBackground`'s result becomes `onPostExecute`'s
+    /// argument).
+    pub chains_to: Option<(MethodId, u32)>,
+}
+
+/// A declarative callback rule.
+#[derive(Clone, Debug)]
+pub struct CallbackRule {
+    /// The class (or supertype) whose method triggers the callback.
+    pub trigger_class: String,
+    /// The triggering method name.
+    pub trigger_method: String,
+    /// The operand carrying the callback object.
+    pub target_on: OperandSource,
+    /// The callback method name looked up on the callback object's type
+    /// cone.
+    pub target_method: String,
+    /// Expected callback arity (`None` = any).
+    pub target_arity: Option<usize>,
+    /// Data flow into callback parameters, by parameter index.
+    pub param_from: Vec<Option<OperandSource>>,
+    /// Follow-up callback on the same object receiving the return value:
+    /// `(method name, parameter index)`.
+    pub chain: Option<(String, u32)>,
+}
+
+/// The registry of callback rules in effect for an analysis run.
+#[derive(Clone, Debug, Default)]
+pub struct CallbackRegistry {
+    rules: Vec<CallbackRule>,
+}
+
+impl CallbackRegistry {
+    /// An empty registry (no implicit flow modelling) — the configuration
+    /// FlowDroid-without-EDGEMINER effectively has, used by ablations.
+    pub fn empty() -> CallbackRegistry {
+        CallbackRegistry::default()
+    }
+
+    /// The default registry: the implicit callbacks "commonly observed in
+    /// network operation and HTTP libraries" that the paper supports
+    /// (§3.4, §4): `AsyncTask`, Volley, retrofit, `Thread`/`Runnable`,
+    /// `Handler`, `Timer`, `FutureTask`, rx.android, BeeFramework, and the
+    /// click/location listeners its case studies rely on.
+    pub fn android_defaults() -> CallbackRegistry {
+        let mut r = CallbackRegistry::default();
+        // AsyncTask.execute(params) → doInBackground(params) → onPostExecute(result)
+        r.add(CallbackRule {
+            trigger_class: "android.os.AsyncTask".into(),
+            trigger_method: "execute".into(),
+            target_on: OperandSource::Receiver,
+            target_method: "doInBackground".into(),
+            target_arity: None,
+            param_from: vec![Some(OperandSource::Arg(0))],
+            chain: Some(("onPostExecute".into(), 0)),
+        });
+        // Thread constructed over a Runnable: new Thread(r) … start() → r.run()
+        r.add(CallbackRule {
+            trigger_class: "java.lang.Thread".into(),
+            trigger_method: "<init>".into(),
+            target_on: OperandSource::Arg(0),
+            target_method: "run".into(),
+            target_arity: Some(0),
+            param_from: vec![],
+            chain: None,
+        });
+        // Subclassed Thread: t.start() → t.run()
+        r.add(CallbackRule {
+            trigger_class: "java.lang.Thread".into(),
+            trigger_method: "start".into(),
+            target_on: OperandSource::Receiver,
+            target_method: "run".into(),
+            target_arity: Some(0),
+            param_from: vec![],
+            chain: None,
+        });
+        // Handler.post/postDelayed(r) → r.run()
+        for m in ["post", "postDelayed"] {
+            r.add(CallbackRule {
+                trigger_class: "android.os.Handler".into(),
+                trigger_method: m.into(),
+                target_on: OperandSource::Arg(0),
+                target_method: "run".into(),
+                target_arity: Some(0),
+                param_from: vec![],
+                chain: None,
+            });
+        }
+        // Timer.schedule(task, …) → task.run() — the APK-update-by-timer
+        // pattern UI fuzzing cannot trigger (§5.1).
+        r.add(CallbackRule {
+            trigger_class: "java.util.Timer".into(),
+            trigger_method: "schedule".into(),
+            target_on: OperandSource::Arg(0),
+            target_method: "run".into(),
+            target_arity: Some(0),
+            param_from: vec![],
+            chain: None,
+        });
+        // FutureTask.<init>(Callable) → call()
+        r.add(CallbackRule {
+            trigger_class: "java.util.concurrent.FutureTask".into(),
+            trigger_method: "<init>".into(),
+            target_on: OperandSource::Arg(0),
+            target_method: "call".into(),
+            target_arity: Some(0),
+            param_from: vec![],
+            chain: None,
+        });
+        // ExecutorService.submit/execute(r) → r.run()
+        for m in ["submit", "execute"] {
+            r.add(CallbackRule {
+                trigger_class: "java.util.concurrent.ExecutorService".into(),
+                trigger_method: m.into(),
+                target_on: OperandSource::Arg(0),
+                target_method: "run".into(),
+                target_arity: Some(0),
+                param_from: vec![],
+                chain: None,
+            });
+        }
+        // Volley: RequestQueue.add(request) → request.parseNetworkResponse
+        // and request.deliverResponse (framework feeds the parameters).
+        for (m, arity) in [("parseNetworkResponse", 1), ("deliverResponse", 1)] {
+            r.add(CallbackRule {
+                trigger_class: "com.android.volley.RequestQueue".into(),
+                trigger_method: "add".into(),
+                target_on: OperandSource::Arg(0),
+                target_method: m.into(),
+                target_arity: Some(arity),
+                param_from: vec![None],
+                chain: None,
+            });
+        }
+        // Volley listener interface: Response.Listener.onResponse is
+        // reached from deliverResponse in app code; nothing implicit needed
+        // beyond the above when apps subclass Request.
+        // retrofit2 / okhttp3: Call.enqueue(cb) → cb.onResponse(call, resp)
+        for cls in ["retrofit2.Call", "okhttp3.Call"] {
+            r.add(CallbackRule {
+                trigger_class: cls.into(),
+                trigger_method: "enqueue".into(),
+                target_on: OperandSource::Arg(0),
+                target_method: "onResponse".into(),
+                target_arity: None,
+                param_from: vec![Some(OperandSource::Receiver), None],
+                chain: None,
+            });
+        }
+        // loopj android-async-http: client.get/post(url, …, handler)
+        //   → handler.onSuccess(body)
+        for (m, handler_arg) in [("get", 1), ("post", 2), ("get", 2), ("post", 3)] {
+            r.add(CallbackRule {
+                trigger_class: "com.loopj.android.http.AsyncHttpClient".into(),
+                trigger_method: m.into(),
+                target_on: OperandSource::Arg(handler_arg),
+                target_method: "onSuccess".into(),
+                target_arity: Some(1),
+                param_from: vec![None],
+                chain: None,
+            });
+        }
+        // rx.android: Observable.subscribe(observer) → observer.onNext(item)
+        r.add(CallbackRule {
+            trigger_class: "rx.Observable".into(),
+            trigger_method: "subscribe".into(),
+            target_on: OperandSource::Arg(0),
+            target_method: "onNext".into(),
+            target_arity: Some(1),
+            param_from: vec![None],
+            chain: None,
+        });
+        // BeeFramework model: Bee.get(url, cb) / Bee.post(url, body, cb)
+        //   → cb.onReceive(data)
+        for (m, cb_arg) in [("get", 1), ("post", 2)] {
+            r.add(CallbackRule {
+                trigger_class: "com.beeframework.Bee".into(),
+                trigger_method: m.into(),
+                target_on: OperandSource::Arg(cb_arg),
+                target_method: "onReceive".into(),
+                target_arity: Some(1),
+                param_from: vec![None],
+                chain: None,
+            });
+        }
+        // UI: View.setOnClickListener(l) → l.onClick(view)
+        r.add(CallbackRule {
+            trigger_class: "android.view.View".into(),
+            trigger_method: "setOnClickListener".into(),
+            target_on: OperandSource::Arg(0),
+            target_method: "onClick".into(),
+            target_arity: Some(1),
+            param_from: vec![Some(OperandSource::Receiver)],
+            chain: None,
+        });
+        // Location: requestLocationUpdates(provider, t, d, listener)
+        //   → listener.onLocationChanged(location) — the weather-app
+        // asynchronous-event example of §3.4.
+        r.add(CallbackRule {
+            trigger_class: "android.location.LocationManager".into(),
+            trigger_method: "requestLocationUpdates".into(),
+            target_on: OperandSource::Arg(3),
+            target_method: "onLocationChanged".into(),
+            target_arity: Some(1),
+            param_from: vec![None],
+            chain: None,
+        });
+        r
+    }
+
+    /// Adds a rule; the "easy plugin for adding new API semantics" the
+    /// paper mentions extends both this and the semantic model.
+    pub fn add(&mut self, rule: CallbackRule) -> &mut Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Number of registered rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when no rules are registered.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Materializes the implicit edges for a call site.
+    pub fn implicit_edges(&self, prog: &ProgramIndex<'_>, call: &Call) -> Vec<ImplicitEdge> {
+        let mut out = Vec::new();
+        for rule in &self.rules {
+            if call.callee.name != rule.trigger_method {
+                continue;
+            }
+            if !prog.is_subtype(&call.callee.class, &rule.trigger_class)
+                && call.callee.class != rule.trigger_class
+            {
+                continue;
+            }
+            // Determine the static type of the callback-carrying operand.
+            let carrier_ty: Option<&Type> = match rule.target_on {
+                OperandSource::Receiver => None, // use callee.class below
+                OperandSource::Arg(i) => call.callee.params.get(i),
+            };
+            let carrier_class: Option<String> = match (rule.target_on, carrier_ty) {
+                (OperandSource::Receiver, _) => Some(call.callee.class.clone()),
+                (OperandSource::Arg(_), Some(Type::Object(n))) => Some(n.clone()),
+                _ => None,
+            };
+            let Some(carrier_class) = carrier_class else { continue };
+            // Concrete targets: the carrier class and every subtype that
+            // declares the callback with a body.
+            let mut candidates: Vec<MethodId> = Vec::new();
+            let mut classes: Vec<String> = vec![carrier_class.clone()];
+            classes.extend(
+                prog.all_subtypes(&carrier_class)
+                    .into_iter()
+                    .map(|id| prog.class(id).name.clone()),
+            );
+            for cn in classes {
+                if let Some(cid) = prog.class_id(&cn) {
+                    for (mi, m) in prog.class(cid).methods.iter().enumerate() {
+                        if m.name == rule.target_method
+                            && m.has_body
+                            && rule.target_arity.map(|a| a == m.params.len()).unwrap_or(true)
+                        {
+                            candidates.push(MethodId { class: cid, method: mi as u32 });
+                        }
+                    }
+                }
+            }
+            for target in candidates {
+                let arity = prog.method(target).params.len();
+                let mut param_from = rule.param_from.clone();
+                param_from.resize(arity, None);
+                // Resolve the chain target on the same class cone.
+                let chains_to = rule.chain.as_ref().and_then(|(name, pidx)| {
+                    let cls = &prog.class(target.class).name;
+                    prog.resolve_method(cls, name, (*pidx as usize) + 1)
+                        .filter(|mid| prog.method(*mid).has_body)
+                        .map(|mid| (mid, *pidx))
+                });
+                out.push(ImplicitEdge {
+                    target,
+                    recv_from: Some(rule.target_on),
+                    param_from,
+                    chains_to,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extractocol_ir::{ApkBuilder, Type, Value};
+
+    fn asynctask_app() -> extractocol_ir::Apk {
+        let mut b = ApkBuilder::new("t", "t");
+        b.class("android.os.AsyncTask", |c| {
+            c.stub_method("execute", vec![Type::obj_root()], Type::Void);
+            c.stub_method("doInBackground", vec![Type::obj_root()], Type::obj_root());
+            c.stub_method("onPostExecute", vec![Type::obj_root()], Type::Void);
+        });
+        b.class("t.Task", |c| {
+            c.extends("android.os.AsyncTask");
+            c.method("doInBackground", vec![Type::obj_root()], Type::obj_root(), |m| {
+                m.recv("t.Task");
+                let p = m.arg(0, "p");
+                m.ret(p);
+            });
+            c.method("onPostExecute", vec![Type::obj_root()], Type::Void, |m| {
+                m.recv("t.Task");
+                m.arg(0, "r");
+                m.ret_void();
+            });
+        });
+        b.class("t.Main", |c| {
+            c.method("go", vec![], Type::Void, |m| {
+                m.recv("t.Main");
+                let task = m.new_obj("t.Task", vec![]);
+                m.vcall_void(task, "t.Task", "execute", vec![Value::str("u")]);
+                m.ret_void();
+            });
+        });
+        b.build()
+    }
+
+    #[test]
+    fn asynctask_execute_resolves_and_chains() {
+        let apk = asynctask_app();
+        let prog = ProgramIndex::new(&apk);
+        let reg = CallbackRegistry::android_defaults();
+        // find the execute call
+        let main = prog.resolve_method("t.Main", "go", 0).unwrap();
+        let call = prog
+            .method(main)
+            .body
+            .iter()
+            .find_map(|s| s.call().filter(|c| c.callee.name == "execute"))
+            .unwrap();
+        let edges = reg.implicit_edges(&prog, call);
+        assert_eq!(edges.len(), 1);
+        let e = &edges[0];
+        assert_eq!(prog.method(e.target).name, "doInBackground");
+        assert_eq!(e.recv_from, Some(OperandSource::Receiver));
+        assert_eq!(e.param_from, vec![Some(OperandSource::Arg(0))]);
+        let (chain, pidx) = e.chains_to.expect("chains to onPostExecute");
+        assert_eq!(prog.method(chain).name, "onPostExecute");
+        assert_eq!(pidx, 0);
+    }
+
+    #[test]
+    fn unrelated_calls_get_no_edges() {
+        let apk = asynctask_app();
+        let prog = ProgramIndex::new(&apk);
+        let reg = CallbackRegistry::android_defaults();
+        let main = prog.resolve_method("t.Main", "go", 0).unwrap();
+        // the <init> of t.Task is not a trigger
+        let init = prog
+            .method(main)
+            .body
+            .iter()
+            .find_map(|s| s.call().filter(|c| c.callee.name == "<init>"))
+            .unwrap();
+        assert!(reg.implicit_edges(&prog, init).is_empty());
+    }
+
+    #[test]
+    fn empty_registry_is_inert() {
+        let apk = asynctask_app();
+        let prog = ProgramIndex::new(&apk);
+        let reg = CallbackRegistry::empty();
+        assert!(reg.is_empty());
+        let main = prog.resolve_method("t.Main", "go", 0).unwrap();
+        let call = prog
+            .method(main)
+            .body
+            .iter()
+            .find_map(|s| s.call().filter(|c| c.callee.name == "execute"))
+            .unwrap();
+        assert!(reg.implicit_edges(&prog, call).is_empty());
+    }
+}

@@ -1,0 +1,219 @@
+//! Class-hierarchy-analysis (CHA) call graph over explicit call sites,
+//! plus the implicit edges materialized from the [`CallbackRegistry`].
+//!
+//! Soot's SPARK/CHA layer plays this role in the original system \[60\]. The
+//! call graph serves two consumers: the taint engine (to step into callees
+//! and back) and the slicer (to bound the code reachable from demarcation
+//! points).
+
+use crate::callbacks::{CallbackRegistry, ImplicitEdge};
+use extractocol_ir::{CallKind, MethodId, ProgramIndex};
+use std::collections::{HashMap, HashSet};
+
+/// A call site: `(containing method, statement index)`.
+pub type CallSite = (MethodId, usize);
+
+/// The whole-program call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Explicit targets (concrete methods only) per call site.
+    pub targets: HashMap<CallSite, Vec<MethodId>>,
+    /// Implicit callback edges per call site.
+    pub implicit: HashMap<CallSite, Vec<ImplicitEdge>>,
+    /// Reverse edges: callee → explicit call sites invoking it.
+    pub callers: HashMap<MethodId, Vec<CallSite>>,
+}
+
+impl CallGraph {
+    /// Builds the call graph for the whole program.
+    ///
+    /// Virtual/interface sites resolve to the statically-typed receiver
+    /// class's implementation (if concrete) plus every overriding subtype
+    /// implementation — plain CHA. Static/special sites resolve directly.
+    /// Bodyless targets (platform/library stubs) are *not* edges; they are
+    /// handled by the taint engine's API model.
+    pub fn build(prog: &ProgramIndex<'_>, registry: &CallbackRegistry) -> CallGraph {
+        let mut g = CallGraph::default();
+        for mid in prog.concrete_methods() {
+            let body = &prog.method(mid).body;
+            for (si, stmt) in body.iter().enumerate() {
+                let Some(call) = stmt.call() else { continue };
+                let site: CallSite = (mid, si);
+                let mut targets: Vec<MethodId> = Vec::new();
+                match call.kind {
+                    CallKind::Static | CallKind::Special => {
+                        if let Some(t) = prog.resolve_method(
+                            &call.callee.class,
+                            &call.callee.name,
+                            call.callee.params.len(),
+                        ) {
+                            if prog.method(t).has_body {
+                                targets.push(t);
+                            }
+                        }
+                    }
+                    CallKind::Virtual | CallKind::Interface => {
+                        let mut seen = HashSet::new();
+                        if let Some(t) = prog.resolve_method(
+                            &call.callee.class,
+                            &call.callee.name,
+                            call.callee.params.len(),
+                        ) {
+                            if prog.method(t).has_body && seen.insert(t) {
+                                targets.push(t);
+                            }
+                        }
+                        for sub in prog.all_subtypes(&call.callee.class) {
+                            if let Some(t) = prog.declared_method(
+                                sub,
+                                &call.callee.name,
+                                call.callee.params.len(),
+                            ) {
+                                if prog.method(t).has_body && seen.insert(t) {
+                                    targets.push(t);
+                                }
+                            }
+                        }
+                    }
+                }
+                let implicit = registry.implicit_edges(prog, call);
+                for t in &targets {
+                    g.callers.entry(*t).or_default().push(site);
+                }
+                for e in &implicit {
+                    g.callers.entry(e.target).or_default().push(site);
+                }
+                if !targets.is_empty() {
+                    g.targets.insert(site, targets);
+                }
+                if !implicit.is_empty() {
+                    g.implicit.insert(site, implicit);
+                }
+            }
+        }
+        g
+    }
+
+    /// Explicit targets of a call site (empty slice when unresolved or
+    /// library-modelled).
+    pub fn targets_of(&self, site: CallSite) -> &[MethodId] {
+        self.targets.get(&site).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Implicit callback edges of a call site.
+    pub fn implicit_of(&self, site: CallSite) -> &[ImplicitEdge] {
+        self.implicit.get(&site).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All methods transitively reachable from the given roots through
+    /// explicit and implicit edges (including the roots).
+    pub fn reachable(&self, prog: &ProgramIndex<'_>, roots: &[MethodId]) -> HashSet<MethodId> {
+        let mut seen: HashSet<MethodId> = HashSet::new();
+        let mut stack: Vec<MethodId> = roots.to_vec();
+        while let Some(m) = stack.pop() {
+            if !seen.insert(m) {
+                continue;
+            }
+            let body = &prog.method(m).body;
+            for si in 0..body.len() {
+                for &t in self.targets_of((m, si)) {
+                    stack.push(t);
+                }
+                for e in self.implicit_of((m, si)) {
+                    stack.push(e.target);
+                    if let Some((c, _)) = e.chains_to {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extractocol_ir::{ApkBuilder, Type};
+
+    fn diamond_apk() -> extractocol_ir::Apk {
+        let mut b = ApkBuilder::new("t", "t");
+        b.iface("t.I", |c| {
+            c.stub_method("work", vec![], Type::Void);
+        });
+        b.class("t.A", |c| {
+            c.implements("t.I");
+            c.method("work", vec![], Type::Void, |m| {
+                m.recv("t.A");
+                m.ret_void();
+            });
+        });
+        b.class("t.B", |c| {
+            c.implements("t.I");
+            c.method("work", vec![], Type::Void, |m| {
+                m.recv("t.B");
+                m.ret_void();
+            });
+        });
+        b.class("t.Main", |c| {
+            c.method("go", vec![], Type::Void, |m| {
+                m.recv("t.Main");
+                let a = m.new_obj("t.A", vec![]);
+                // Interface-typed call: CHA sees both implementations.
+                let i = m.temp(Type::object("t.I"));
+                m.copy(i, a);
+                m.icall(i, "t.I", "work", vec![], Type::Void);
+                m.ret_void();
+            });
+            c.static_method("util", vec![], Type::Void, |m| {
+                m.scall_void("t.Main", "util2", vec![]);
+                m.ret_void();
+            });
+            c.static_method("util2", vec![], Type::Void, |m| {
+                m.ret_void();
+            });
+        });
+        b.build()
+    }
+
+    #[test]
+    fn cha_resolves_interface_calls_to_all_impls() {
+        let apk = diamond_apk();
+        let prog = ProgramIndex::new(&apk);
+        let g = CallGraph::build(&prog, &CallbackRegistry::empty());
+        let main = prog.resolve_method("t.Main", "go", 0).unwrap();
+        // find the interface call site
+        let site = prog
+            .method(main)
+            .body
+            .iter()
+            .enumerate()
+            .find_map(|(i, s)| {
+                s.call()
+                    .filter(|c| c.callee.name == "work")
+                    .map(|_| (main, i))
+            })
+            .unwrap();
+        let mut names: Vec<String> = g
+            .targets_of(site)
+            .iter()
+            .map(|t| prog.class(t.class).name.clone())
+            .collect();
+        names.sort();
+        assert_eq!(names, vec!["t.A", "t.B"]);
+    }
+
+    #[test]
+    fn static_calls_resolve_directly_and_reachability_works() {
+        let apk = diamond_apk();
+        let prog = ProgramIndex::new(&apk);
+        let g = CallGraph::build(&prog, &CallbackRegistry::empty());
+        let util = prog.resolve_method("t.Main", "util", 0).unwrap();
+        let util2 = prog.resolve_method("t.Main", "util2", 0).unwrap();
+        let reach = g.reachable(&prog, &[util]);
+        assert!(reach.contains(&util2));
+        assert!(!reach.contains(&prog.resolve_method("t.A", "work", 0).unwrap()));
+        // callers recorded
+        assert_eq!(g.callers[&util2].len(), 1);
+    }
+}

@@ -1,0 +1,358 @@
+//! Intra-procedural control-flow graphs: basic blocks, reverse post-order,
+//! natural loops, and dominators.
+//!
+//! Signature building (paper §3.2) "processes the statements in basic
+//! blocks in topological order of the intra-procedural control flow graph"
+//! and treats confluence points differently depending on whether they are
+//! "a loop header or latch" — this module computes exactly those
+//! ingredients.
+
+use extractocol_ir::{Method, Stmt};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A basic block: a maximal straight-line statement range.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Block {
+    /// Statement index range `[start, end)` into the method body.
+    pub start: usize,
+    pub end: usize,
+    /// Successor block ids.
+    pub succs: Vec<usize>,
+    /// Predecessor block ids.
+    pub preds: Vec<usize>,
+}
+
+impl Block {
+    /// Statement indices of this block.
+    pub fn stmts(&self) -> std::ops::Range<usize> {
+        self.start..self.end
+    }
+}
+
+/// The control-flow graph of one method.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// Blocks in order of starting statement.
+    pub blocks: Vec<Block>,
+    /// Map statement index → owning block.
+    pub block_of_stmt: Vec<usize>,
+    /// Blocks in reverse post-order (a topological order when back edges
+    /// are ignored).
+    pub rpo: Vec<usize>,
+    /// Back edges `(from, to)` discovered by DFS: `to` is a loop header.
+    pub back_edges: Vec<(usize, usize)>,
+    /// Immediate dominator per block (`idom[entry] == entry`);
+    /// unreachable blocks map to `usize::MAX`.
+    pub idom: Vec<usize>,
+}
+
+impl Cfg {
+    /// Builds the CFG for a method body. Bodyless methods get an empty CFG.
+    pub fn build(method: &Method) -> Cfg {
+        let body = &method.body;
+        if body.is_empty() {
+            return Cfg {
+                blocks: Vec::new(),
+                block_of_stmt: Vec::new(),
+                rpo: Vec::new(),
+                back_edges: Vec::new(),
+                idom: Vec::new(),
+            };
+        }
+        // Leaders: entry, branch targets, and statements following a
+        // branch/terminator.
+        let mut leaders = BTreeSet::new();
+        leaders.insert(0usize);
+        for (i, s) in body.iter().enumerate() {
+            for t in s.branch_targets() {
+                leaders.insert(t);
+            }
+            let falls_next = matches!(s, Stmt::If { .. }) || s.is_terminator();
+            if falls_next && i + 1 < body.len() {
+                leaders.insert(i + 1);
+            }
+        }
+        let leader_list: Vec<usize> = leaders.iter().copied().collect();
+        let mut blocks: Vec<Block> = Vec::with_capacity(leader_list.len());
+        let mut block_of_stmt = vec![0usize; body.len()];
+        let mut start_to_block: BTreeMap<usize, usize> = BTreeMap::new();
+        for (bi, &start) in leader_list.iter().enumerate() {
+            let end = leader_list.get(bi + 1).copied().unwrap_or(body.len());
+            for slot in block_of_stmt.iter_mut().take(end).skip(start) {
+                *slot = bi;
+            }
+            start_to_block.insert(start, bi);
+            blocks.push(Block { start, end, succs: Vec::new(), preds: Vec::new() });
+        }
+        // Edges.
+        for bi in 0..blocks.len() {
+            let last = blocks[bi].end - 1;
+            let stmt = &body[last];
+            let mut succs = Vec::new();
+            match stmt {
+                Stmt::Goto { target } => succs.push(start_to_block[target]),
+                Stmt::If { target, .. } => {
+                    if blocks[bi].end < body.len() {
+                        succs.push(block_of_stmt[blocks[bi].end]);
+                    }
+                    succs.push(start_to_block[target]);
+                }
+                Stmt::Switch { arms, default, .. } => {
+                    for (_, t) in arms {
+                        succs.push(start_to_block[t]);
+                    }
+                    succs.push(start_to_block[default]);
+                }
+                Stmt::Return(_) | Stmt::Throw(_) => {}
+                _ => {
+                    if blocks[bi].end < body.len() {
+                        succs.push(block_of_stmt[blocks[bi].end]);
+                    }
+                }
+            }
+            succs.dedup();
+            blocks[bi].succs = succs;
+        }
+        for bi in 0..blocks.len() {
+            let succs = blocks[bi].succs.clone();
+            for s in succs {
+                blocks[s].preds.push(bi);
+            }
+        }
+        // DFS for RPO and back edges.
+        let n = blocks.len();
+        let mut state = vec![0u8; n]; // 0 unvisited, 1 on stack, 2 done
+        let mut post = Vec::with_capacity(n);
+        let mut back_edges = Vec::new();
+        // Iterative DFS with explicit stack.
+        let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+        state[0] = 1;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            if *next < blocks[b].succs.len() {
+                let s = blocks[b].succs[*next];
+                *next += 1;
+                match state[s] {
+                    0 => {
+                        state[s] = 1;
+                        stack.push((s, 0));
+                    }
+                    1 => back_edges.push((b, s)),
+                    _ => {}
+                }
+            } else {
+                state[b] = 2;
+                post.push(b);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<usize> = post.iter().rev().copied().collect();
+        let idom = dominators(&blocks, &rpo);
+        Cfg { blocks, block_of_stmt, rpo, back_edges, idom }
+    }
+
+    /// Loop headers: targets of back edges.
+    pub fn loop_headers(&self) -> BTreeSet<usize> {
+        self.back_edges.iter().map(|&(_, h)| h).collect()
+    }
+
+    /// Loop latches: sources of back edges.
+    pub fn loop_latches(&self) -> BTreeSet<usize> {
+        self.back_edges.iter().map(|&(l, _)| l).collect()
+    }
+
+    /// The natural loop body of the back edge `(latch, header)`: all blocks
+    /// that can reach the latch without passing through the header,
+    /// plus the header.
+    pub fn natural_loop(&self, latch: usize, header: usize) -> BTreeSet<usize> {
+        let mut body = BTreeSet::new();
+        body.insert(header);
+        let mut stack = vec![latch];
+        while let Some(b) = stack.pop() {
+            if body.insert(b) {
+                for &p in &self.blocks[b].preds {
+                    stack.push(p);
+                }
+            }
+        }
+        body
+    }
+
+    /// True when block `a` dominates block `b`.
+    pub fn dominates(&self, a: usize, b: usize) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur == 0 || self.idom[cur] == usize::MAX {
+                return a == 0 && cur == 0;
+            }
+            let next = self.idom[cur];
+            if next == cur {
+                return false;
+            }
+            cur = next;
+        }
+    }
+}
+
+/// Cooper–Harvey–Kennedy iterative dominator computation over RPO.
+fn dominators(blocks: &[Block], rpo: &[usize]) -> Vec<usize> {
+    let n = blocks.len();
+    let mut idom = vec![usize::MAX; n];
+    if n == 0 {
+        return idom;
+    }
+    let mut rpo_index = vec![usize::MAX; n];
+    for (i, &b) in rpo.iter().enumerate() {
+        rpo_index[b] = i;
+    }
+    idom[0] = 0;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in rpo.iter().skip(1) {
+            let mut new_idom = usize::MAX;
+            for &p in &blocks[b].preds {
+                if idom[p] == usize::MAX {
+                    continue;
+                }
+                new_idom = if new_idom == usize::MAX {
+                    p
+                } else {
+                    intersect(&idom, &rpo_index, p, new_idom)
+                };
+            }
+            if new_idom != usize::MAX && idom[b] != new_idom {
+                idom[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    idom
+}
+
+fn intersect(idom: &[usize], rpo_index: &[usize], mut a: usize, mut b: usize) -> usize {
+    while a != b {
+        while rpo_index[a] > rpo_index[b] {
+            a = idom[a];
+        }
+        while rpo_index[b] > rpo_index[a] {
+            b = idom[b];
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extractocol_ir::{ApkBuilder, CondOp, Type, Value};
+
+    fn method_cfg(f: impl FnOnce(&mut extractocol_ir::MethodBuilder)) -> Cfg {
+        let mut b = ApkBuilder::new("t", "t");
+        b.class("t.C", |c| {
+            c.method("m", vec![Type::Int], Type::Void, f);
+        });
+        let apk = b.build();
+        let m = apk.class("t.C").unwrap().method("m", 1).unwrap();
+        Cfg::build(m)
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let cfg = method_cfg(|m| {
+            let x = m.local("x", Type::Int);
+            m.cint(x, 1);
+            m.cint(x, 2);
+            m.ret_void();
+        });
+        assert_eq!(cfg.blocks.len(), 1);
+        assert!(cfg.back_edges.is_empty());
+        assert_eq!(cfg.rpo, vec![0]);
+    }
+
+    #[test]
+    fn diamond_has_four_blocks_and_dominators() {
+        let cfg = method_cfg(|m| {
+            let p = m.arg(0, "p");
+            m.iff(CondOp::Eq, p, Value::int(0), "else"); // b0
+            m.cint(p, 1); // b1 (then)
+            m.goto("join");
+            m.label("else");
+            m.cint(p, 2); // b2
+            m.label("join");
+            m.ret_void(); // b3
+        });
+        assert_eq!(cfg.blocks.len(), 4);
+        assert!(cfg.back_edges.is_empty());
+        // Entry dominates everything; neither branch dominates the join.
+        assert!(cfg.dominates(0, 3));
+        assert!(!cfg.dominates(1, 3));
+        assert!(!cfg.dominates(2, 3));
+        assert_eq!(cfg.idom[3], 0);
+        // RPO is a topological order: join comes after both branches.
+        let pos = |b: usize| cfg.rpo.iter().position(|&x| x == b).unwrap();
+        assert!(pos(0) < pos(1));
+        assert!(pos(0) < pos(2));
+        assert!(pos(1) < pos(3));
+        assert!(pos(2) < pos(3));
+    }
+
+    #[test]
+    fn loop_detection() {
+        let cfg = method_cfg(|m| {
+            let i = m.local("i", Type::Int);
+            m.cint(i, 0); // b0
+            m.label("head");
+            m.iff(CondOp::Ge, i, Value::int(10), "done"); // b1: header
+            m.assign(
+                i,
+                extractocol_ir::Expr::Bin(extractocol_ir::BinOp::Add, Value::Local(i), Value::int(1)),
+            ); // b2: body+latch
+            m.goto("head");
+            m.label("done");
+            m.ret_void(); // b3
+        });
+        assert_eq!(cfg.back_edges.len(), 1);
+        let (latch, header) = cfg.back_edges[0];
+        assert!(cfg.loop_headers().contains(&header));
+        assert!(cfg.loop_latches().contains(&latch));
+        let body = cfg.natural_loop(latch, header);
+        assert!(body.contains(&header));
+        assert!(body.contains(&latch));
+        assert!(!body.contains(&0));
+        // Header dominates the latch.
+        assert!(cfg.dominates(header, latch));
+    }
+
+    #[test]
+    fn switch_fans_out() {
+        let cfg = method_cfg(|m| {
+            let p = m.arg(0, "p");
+            m.switch(p, vec![(1, "a"), (2, "b")], "c");
+            m.label("a");
+            m.ret_void();
+            m.label("b");
+            m.ret_void();
+            m.label("c");
+            m.ret_void();
+        });
+        // entry + 3 arms
+        assert_eq!(cfg.blocks.len(), 4);
+        assert_eq!(cfg.blocks[0].succs.len(), 3);
+    }
+
+    #[test]
+    fn unreachable_code_is_tolerated() {
+        let cfg = method_cfg(|m| {
+            let d = m.local("d", Type::Int);
+            m.ret_void();
+            m.cint(d, 1); // dead
+        });
+        assert_eq!(cfg.blocks.len(), 2);
+        // Dead block is not in RPO.
+        assert_eq!(cfg.rpo, vec![0]);
+        assert_eq!(cfg.idom[1], usize::MAX);
+    }
+}

@@ -1,0 +1,69 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! access-path depth in the taint engine, object-aware augmentation, the
+//! asynchronous-event heuristic, and library de-obfuscation cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use extractocol_core::slicing::SliceOptions;
+use extractocol_core::{Extractocol, Options};
+
+fn with_slice(slice: SliceOptions) -> Extractocol {
+    Extractocol::with_options(Options { slice, ..Options::default() })
+}
+
+fn taint_depth(c: &mut Criterion) {
+    let app = extractocol_corpus::app("radio reddit").unwrap();
+    let mut group = c.benchmark_group("ablation_taint_depth");
+    for depth in [1usize, 2, 3, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
+            let analyzer = with_slice(SliceOptions { max_field_depth: d, ..Default::default() });
+            b.iter(|| analyzer.analyze(&app.apk));
+        });
+    }
+    group.finish();
+}
+
+fn augmentation(c: &mut Criterion) {
+    let app = extractocol_corpus::app("TED").unwrap();
+    let mut group = c.benchmark_group("ablation_augment");
+    for on in [true, false] {
+        group.bench_with_input(BenchmarkId::from_parameter(on), &on, |b, &on| {
+            let analyzer = with_slice(SliceOptions { augmentation: on, ..Default::default() });
+            b.iter(|| analyzer.analyze(&app.apk));
+        });
+    }
+    group.finish();
+}
+
+fn async_heuristic(c: &mut Criterion) {
+    let app = extractocol_corpus::app("Weather Notification").unwrap();
+    let mut group = c.benchmark_group("ablation_async");
+    for on in [true, false] {
+        group.bench_with_input(BenchmarkId::from_parameter(on), &on, |b, &on| {
+            let analyzer = with_slice(SliceOptions { async_heuristic: on, ..Default::default() });
+            b.iter(|| analyzer.analyze(&app.apk));
+        });
+    }
+    group.finish();
+}
+
+fn deobfuscation(c: &mut Criterion) {
+    use extractocol_ir::obfuscate::{obfuscate, ObfuscationOptions};
+    let app = extractocol_corpus::app("blippex").unwrap();
+    let (obf, _) = obfuscate(
+        &app.apk,
+        &ObfuscationOptions { obfuscate_libraries: true, extra_keep_prefixes: vec![] },
+    );
+    let mut group = c.benchmark_group("ablation_deobf");
+    group.bench_function("plain", |b| {
+        let analyzer = Extractocol::new();
+        b.iter(|| analyzer.analyze(&app.apk));
+    });
+    group.bench_function("obfuscated_libraries", |b| {
+        let analyzer = Extractocol::new();
+        b.iter(|| analyzer.analyze(&obf));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, taint_depth, augmentation, async_heuristic, deobfuscation);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Analysis wall-clock time (§5.1): "Extractocol takes 4 minutes to
+//! analyze an open source app on average. For closed-source apps, the time
+//! varies widely from 11 minutes (for a small app) up to 3 hours (for a
+//! large app)."
+//!
+//! Our corpus models are far smaller than real APKs, so absolute times
+//! differ by construction; the *shape* that must hold is
+//! small-open ≪ large-closed, scaling with app size and DP count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use extractocol_core::Extractocol;
+
+fn analysis_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis_time");
+    group.sample_size(10);
+    for name in [
+        "Weather Notification", // tiny open-source
+        "radio reddit",         // small open-source
+        "Diode",                // mid open-source (the Fig. 3 app)
+        "TED",                  // mid closed-source
+        "KAYAK",                // larger closed-source
+        "Pinterest",            // largest closed-source (148 transactions)
+    ] {
+        let app = extractocol_corpus::app(name).expect("corpus app");
+        let stmts = app.apk.total_statements();
+        group.bench_with_input(
+            BenchmarkId::new("analyze", format!("{name} ({stmts} stmts)")),
+            &app,
+            |b, app| {
+                let analyzer = Extractocol::new();
+                b.iter(|| analyzer.analyze(&app.apk));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, analysis_time);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! # extractocol-bench
+//!
+//! The benchmark harness: one report binary per table/figure of the
+//! paper's evaluation (run with `cargo run -p extractocol-bench --bin
+//! <id> --release`) plus criterion timing/ablation benches (`cargo
+//! bench`). EXPERIMENTS.md records the paper-vs-measured comparison each
+//! binary prints.
+
+use extractocol_corpus::{AppSpec, RowCounts};
+use extractocol_dynamic::eval::AppEval;
+use std::fmt::Write as _;
+
+/// Formats a Table 1 cell triple.
+pub fn cell(e: usize, m: usize, t: usize) -> String {
+    format!("{e} / {m} / {t}")
+}
+
+/// Renders a `RowCounts` as the 8 Table 1 columns.
+pub fn row_cells(c: &RowCounts) -> [usize; 8] {
+    [c.get, c.post, c.put, c.delete, c.query, c.json, c.xml, c.pairs]
+}
+
+/// A simple fixed-width table printer.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(headers: &[&str]) -> Table {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(line, "{:<width$}  ", c, width = widths.get(i).copied().unwrap_or(0));
+            }
+            line.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for r in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(r, &widths));
+        }
+        out
+    }
+}
+
+/// Evaluates one app and returns the eval plus measured counts.
+pub fn eval_app(app: &AppSpec) -> AppEval {
+    AppEval::run(app)
+}
+
+/// Checks how closely the measured Extractocol counts track the corpus
+/// ground truth; returns per-field absolute deviations.
+pub fn deviation(measured: &RowCounts, truth: &RowCounts) -> usize {
+    measured.get.abs_diff(truth.get)
+        + measured.post.abs_diff(truth.post)
+        + measured.put.abs_diff(truth.put)
+        + measured.delete.abs_diff(truth.delete)
+        + measured.pairs.abs_diff(truth.pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_app(app: &extractocol_corpus::AppSpec) {
+        let eval = eval_app(app);
+        let measured = eval.extractocol_counts();
+        // The paper's configuration disables the async heuristic for
+        // open-source apps (§5.1), losing async-gated request bodies.
+        let truth = app.truth.static_counts_with(!app.truth.open_source);
+        assert_eq!(
+            (measured.get, measured.post, measured.put, measured.delete),
+            (truth.get, truth.post, truth.put, truth.delete),
+            "{}: methods\n{}",
+            app.truth.name,
+            eval.report.to_table()
+        );
+        assert_eq!(measured.pairs, truth.pairs, "{}: pairs", app.truth.name);
+        assert_eq!(measured.json, truth.json, "{}: json", app.truth.name);
+        assert_eq!(measured.xml, truth.xml, "{}: xml", app.truth.name);
+        assert!(
+            eval.validity.orphan_lines.is_empty(),
+            "{}: unexplained trace lines {:?}",
+            app.truth.name,
+            eval.validity.orphan_lines
+        );
+    }
+
+    /// The core calibration check: on every corpus app, the measured
+    /// method counts equal the ground truth (what a perfect analysis of
+    /// the model yields). This is the internal consistency behind every
+    /// table.
+    #[test]
+    fn analysis_tracks_ground_truth_on_open_source_corpus() {
+        for app in extractocol_corpus::open_source_apps() {
+            check_app(&app);
+        }
+    }
+
+    #[test]
+    fn analysis_tracks_ground_truth_on_closed_source_corpus() {
+        for app in extractocol_corpus::closed_source_apps() {
+            check_app(&app);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! The `extractocol` command-line tool: analyze an app serialized in the
+//! Jimple-flavoured text format (see `extractocol-ir::parser`) and print
+//! its reconstructed protocol behavior.
+//!
+//! ```bash
+//! extractocol app.jimple                 # full report
+//! extractocol app.jimple --json         # machine-readable export
+//! extractocol app.jimple --regex        # one compiled regex per line
+//! extractocol app.jimple --scope com.x  # restrict DPs to a package (§5.3)
+//! extractocol app.jimple --no-async     # disable the §3.4 heuristic
+//! extractocol app.jimple --hops 3       # multi-hop async chains (§4)
+//! ```
+
+use extractocol_core::slicing::SliceOptions;
+use extractocol_core::{Extractocol, Options};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: extractocol <app.jimple> [--regex] [--scope <prefix>] \
+         [--json] [--no-async] [--no-augment] [--hops <n>] [--depth <n>]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<String> = None;
+    let mut regex_only = false;
+    let mut json_out = false;
+    let mut opts = Options::default();
+    let mut slice = SliceOptions::default();
+
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--regex" => regex_only = true,
+            "--json" => json_out = true,
+            "--no-async" => slice.async_heuristic = false,
+            "--no-augment" => slice.augmentation = false,
+            "--scope" => match it.next() {
+                Some(p) => opts.scope_prefix = Some(p),
+                None => return usage(),
+            },
+            "--hops" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => slice.async_hops = n,
+                None => return usage(),
+            },
+            "--depth" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => slice.max_field_depth = n,
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other if path.is_none() && !other.starts_with('-') => {
+                path = Some(other.to_string())
+            }
+            _ => return usage(),
+        }
+    }
+    let Some(path) = path else { return usage() };
+    opts.slice = slice;
+
+    let src = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("extractocol: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let apk = match extractocol_ir::parser::parse_apk(&src) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("extractocol: {path}: parse error at {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let errs = extractocol_ir::validate::validate_apk(&apk);
+    if !errs.is_empty() {
+        for e in errs.iter().take(5) {
+            eprintln!("extractocol: {path}: invalid IR: {e}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    let report = Extractocol::with_options(opts).analyze(&apk);
+    if json_out {
+        println!("{}", report.to_json().to_json());
+    } else if regex_only {
+        for t in &report.transactions {
+            println!("{} {}", t.method, t.uri_regex);
+        }
+    } else {
+        print!("{}", report.to_table());
+        println!(
+            "\n{} demarcation sites; slices cover {:.1}% of {} statements; {:?}",
+            report.stats.dp_sites,
+            100.0 * report.stats.slice_fraction(),
+            report.stats.total_stmts,
+            report.stats.duration
+        );
+    }
+    ExitCode::SUCCESS
+}

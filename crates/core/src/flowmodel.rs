@@ -1,0 +1,177 @@
+//! Taint-transfer model over the API semantic model.
+//!
+//! The taint engine cannot step into platform/library methods (they are
+//! stubs); instead it asks this model which call slots taint which. Precise
+//! per-op flows keep slices tight — e.g. `StringBuilder.append` taints the
+//! receiver and returns it, `JSONObject.getString` taints only its result —
+//! while unmodelled calls fall back to the conservative any-input→output
+//! rule.
+
+use crate::semantics::{ApiOp, SemanticModel};
+use extractocol_analysis::{ApiFlowModel, ConservativeModel, Slot};
+use extractocol_ir::{MethodRef, ProgramIndex};
+
+/// Adapter implementing the engine's [`ApiFlowModel`] over a
+/// [`SemanticModel`].
+pub struct SemanticFlowModel<'a> {
+    model: &'a SemanticModel,
+    prog: &'a ProgramIndex<'a>,
+}
+
+impl<'a> SemanticFlowModel<'a> {
+    /// Wraps the semantic model for a program.
+    pub fn new(model: &'a SemanticModel, prog: &'a ProgramIndex<'a>) -> Self {
+        SemanticFlowModel { model, prog }
+    }
+}
+
+fn args_to(n: usize, to: Slot) -> Vec<(Slot, Slot)> {
+    (0..n).map(|i| (Slot::Arg(i), to)).collect()
+}
+
+impl ApiFlowModel for SemanticFlowModel<'_> {
+    fn flows(&self, callee: &MethodRef) -> Vec<(Slot, Slot)> {
+        let n = callee.params.len();
+        match self.model.op_for(self.prog, callee) {
+            // Constructors: arguments flow into the object being built.
+            ApiOp::SbNew
+            | ApiOp::ApacheRequestNew(_)
+            | ApiOp::UrlNew
+            | ApiOp::FormEntityNew
+            | ApiOp::NameValuePairNew
+            | ApiOp::StringEntityNew
+            | ApiOp::VolleyRequestNew
+            | ApiOp::GoogleUrlNew
+            | ApiOp::JsonNewObj
+            | ApiOp::JsonNewArr
+            | ApiOp::ListNew
+            | ApiOp::MapNew
+            | ApiOp::ContentValuesNew => args_to(n, Slot::Receiver),
+
+            // Mutators: arguments into receiver.
+            ApiOp::SbAppend => {
+                let mut f = args_to(n, Slot::Receiver);
+                // append returns `this` for chaining
+                f.push((Slot::Receiver, Slot::Return));
+                f.extend(args_to(n, Slot::Return));
+                f
+            }
+            ApiOp::SetHeader
+            | ApiOp::SetBody
+            | ApiOp::SetRequestMethod
+            | ApiOp::JsonPut
+            | ApiOp::JsonArrayPut
+            | ApiOp::ListAdd
+            | ApiOp::MapPut
+            | ApiOp::ContentValuesPut
+            | ApiOp::CellPut(_) => args_to(n, Slot::Receiver),
+
+            // Builder steps: arg into receiver, receiver returned.
+            ApiOp::OkUrl | ApiOp::OkHeader | ApiOp::OkMethodBody(_) => {
+                let mut f = args_to(n, Slot::Receiver);
+                f.push((Slot::Receiver, Slot::Return));
+                f.extend(args_to(n, Slot::Return));
+                f
+            }
+            ApiOp::OkGet | ApiOp::OkBuild | ApiOp::OkBuilderNew => {
+                vec![(Slot::Receiver, Slot::Return)]
+            }
+
+            // Converters: inputs to return value.
+            ApiOp::SbToString
+            | ApiOp::StrIdentity
+            | ApiOp::JsonToString
+            | ApiOp::RespEntity
+            | ApiOp::RespToString
+            | ApiOp::JsonGet(_)
+            | ApiOp::JsonArrayGet
+            | ApiOp::MapGet
+            | ApiOp::ListGet
+            | ApiOp::CursorGet
+            | ApiOp::XmlGetElements
+            | ApiOp::XmlGetAttr
+            | ApiOp::XmlGetText
+            | ApiOp::DbQuery => {
+                let mut f = vec![(Slot::Receiver, Slot::Return)];
+                f.extend(args_to(n, Slot::Return));
+                f
+            }
+            ApiOp::StrConcat | ApiOp::Stringify | ApiOp::StrFormat | ApiOp::UrlEncode
+            | ApiOp::JsonParse | ApiOp::XmlParse | ApiOp::ReflectToJson
+            | ApiOp::ReflectFromJson | ApiOp::OkBodyCreate | ApiOp::RetrofitCreate
+            | ApiOp::GoogleBuildRequest(_) | ApiOp::OkNewCall => {
+                let mut f = args_to(n, Slot::Return);
+                f.push((Slot::Receiver, Slot::Return));
+                // JSONObject.<init>(String) parse form mutates receiver too.
+                f.extend(args_to(n, Slot::Receiver));
+                f
+            }
+
+            // Demarcation points: request data flows through to the
+            // response object — this is exactly the flow the pairing
+            // analysis traces from URI slices to response slices (§3.3).
+            ApiOp::Demarcation(_) => {
+                let mut f = args_to(n, Slot::Return);
+                f.push((Slot::Receiver, Slot::Return));
+                f
+            }
+
+            // Reads of independent state, constants, counters.
+            ApiOp::ResGetString | ApiOp::CellGet(_) | ApiOp::RespStatus | ApiOp::JsonArrayLen => {
+                Vec::new()
+            }
+
+            // Origins produce fresh data (seeded explicitly); sinks consume.
+            ApiOp::Origin(_) | ApiOp::Sink(_) => Vec::new(),
+
+            ApiOp::Unknown => ConservativeModel.flows(callee),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extractocol_ir::{ApkBuilder, Type};
+
+    #[test]
+    fn precise_flows_for_modelled_apis() {
+        let apk = ApkBuilder::new("t", "t").build();
+        let prog = ProgramIndex::new(&apk);
+        let model = SemanticModel::standard();
+        let fm = SemanticFlowModel::new(&model, &prog);
+
+        let append = MethodRef::new(
+            "java.lang.StringBuilder",
+            "append",
+            vec![Type::string()],
+            Type::object("java.lang.StringBuilder"),
+        );
+        let flows = fm.flows(&append);
+        assert!(flows.contains(&(Slot::Arg(0), Slot::Receiver)));
+        assert!(flows.contains(&(Slot::Receiver, Slot::Return)));
+
+        // getString: only receiver→return, arg (the key) too, but crucially
+        // no receiver mutation.
+        let get = MethodRef::new("org.json.JSONObject", "getString", vec![Type::string()], Type::string());
+        let flows = fm.flows(&get);
+        assert!(flows.contains(&(Slot::Receiver, Slot::Return)));
+        assert!(!flows.iter().any(|(_, to)| *to == Slot::Receiver));
+
+        // Resources.getString carries no taint (constant-valued).
+        let res = MethodRef::new("android.content.res.Resources", "getString", vec![Type::Int], Type::string());
+        assert!(fm.flows(&res).is_empty());
+    }
+
+    #[test]
+    fn unknown_falls_back_to_conservative() {
+        let apk = ApkBuilder::new("t", "t").build();
+        let prog = ProgramIndex::new(&apk);
+        let model = SemanticModel::standard();
+        let fm = SemanticFlowModel::new(&model, &prog);
+        let mystery = MethodRef::new("x.Y", "z", vec![Type::string()], Type::string());
+        let flows = fm.flows(&mystery);
+        assert!(flows.contains(&(Slot::Arg(0), Slot::Return)));
+        assert!(flows.contains(&(Slot::Receiver, Slot::Return)));
+    }
+}

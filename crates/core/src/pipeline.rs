@@ -1,0 +1,321 @@
+//! The end-to-end Extractocol pipeline (paper Fig. 2): demarcation-point
+//! identification → bidirectional slicing (with augmentation and the
+//! async heuristic) → signature building → HTTP-transaction
+//! reconstruction → inter-transaction dependency analysis.
+
+use crate::demarcation;
+use crate::deobf;
+use crate::interdep;
+use crate::pairing::{self, Pairing};
+use crate::report::{AnalysisReport, Stats, TxnReport};
+use crate::sigbuild::SignatureBuilder;
+use crate::semantics::SemanticModel;
+use crate::slicing::{self, SliceOptions};
+use crate::stubs;
+use extractocol_analysis::{CallbackRegistry, CallGraph};
+use extractocol_ir::{Apk, MethodId, ProgramIndex};
+use std::time::Instant;
+
+/// Analysis configuration.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Slicing options (async heuristic / augmentation / field depth).
+    pub slice: SliceOptions,
+    /// Attempt §3.4 library de-obfuscation before analysis.
+    pub deobfuscate_libraries: bool,
+    /// Restrict demarcation points to classes with this prefix — the
+    /// "we only scope the analysis to com.kayak classes" mode of §5.3.
+    pub scope_prefix: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            slice: SliceOptions::default(),
+            deobfuscate_libraries: true,
+            scope_prefix: None,
+        }
+    }
+}
+
+/// The analyzer. Holds the semantic model (extensible via
+/// [`Extractocol::model_mut`] — the paper's plugin hook) and options.
+pub struct Extractocol {
+    model: SemanticModel,
+    registry: CallbackRegistry,
+    options: Options,
+}
+
+impl Default for Extractocol {
+    fn default() -> Self {
+        Extractocol::new()
+    }
+}
+
+impl Extractocol {
+    /// An analyzer with the standard model and default options.
+    pub fn new() -> Extractocol {
+        Extractocol::with_options(Options::default())
+    }
+
+    /// An analyzer with custom options.
+    pub fn with_options(options: Options) -> Extractocol {
+        Extractocol {
+            model: SemanticModel::standard(),
+            registry: CallbackRegistry::android_defaults(),
+            options,
+        }
+    }
+
+    /// Mutable access to the semantic model for API plugins.
+    pub fn model_mut(&mut self) -> &mut SemanticModel {
+        &mut self.model
+    }
+
+    /// Mutable access to the callback registry.
+    pub fn registry_mut(&mut self) -> &mut CallbackRegistry {
+        &mut self.registry
+    }
+
+    /// The current options.
+    pub fn options(&self) -> &Options {
+        &self.options
+    }
+
+    /// Analyzes one APK and reconstructs its protocol behavior.
+    pub fn analyze(&self, apk: &Apk) -> AnalysisReport {
+        let started = Instant::now();
+
+        // §3.4: map obfuscated bundled libraries back to canonical names.
+        let (apk, deobfuscated_classes) = if self.options.deobfuscate_libraries {
+            let map = deobf::infer_library_map(apk, &stubs::library_reference());
+            let n = map.classes.len();
+            (deobf::deobfuscate(apk, &map), n)
+        } else {
+            (apk.clone(), 0)
+        };
+
+        let prog = ProgramIndex::new(&apk);
+        let graph = CallGraph::build(&prog, &self.registry);
+
+        // Phase 1: demarcation points + bidirectional slicing.
+        let mut sites = demarcation::scan(&prog, &self.model);
+        if let Some(prefix) = &self.options.scope_prefix {
+            sites.retain(|s| prog.class(s.method.class).name.starts_with(prefix.as_str()));
+            for (i, s) in sites.iter_mut().enumerate() {
+                s.id = i;
+            }
+        }
+        let slices = slicing::slice_all(&prog, &graph, &self.model, &sites, &self.options.slice);
+
+        // Phase 3a: request/response pairing via disjoint sub-slices.
+        let txns = pairing::pair(&prog, &graph, &slices);
+
+        // Phase 2: per-transaction signature extraction.
+        let mut reports: Vec<TxnReport> = Vec::with_capacity(txns.len());
+        for t in &txns {
+            let siblings: Vec<MethodId> = txns
+                .iter()
+                .filter(|o| o.dp_index == t.dp_index && o.id != t.id)
+                .map(|o| o.root)
+                .collect();
+            let slice = &slices[t.dp_index];
+            let sigs = SignatureBuilder::extract_scoped(
+                &prog,
+                &self.model,
+                &graph,
+                slice,
+                &siblings,
+                !t.response_stmts.is_empty(),
+            );
+            let method = sigs.request.effective_method(slice.dp.implied_method());
+            let response = if t.pairing == Pairing::Unpaired {
+                None
+            } else {
+                match sigs.response {
+                    // A body that only streams into a device sink (media
+                    // player, image view) is consumed, not processed — the
+                    // paper's pair count covers only "responses that have
+                    // bodies processed by the apps" (§5.1).
+                    Some(crate::sigbuild::ResponseSig::Raw) if !sigs.consumptions.is_empty() => {
+                        None
+                    }
+                    r => r,
+                }
+            };
+            reports.push(TxnReport {
+                id: t.id,
+                dp_class: slice.dp.spec.class.clone(),
+                root: format!(
+                    "{}.{}",
+                    prog.class(t.root.class).name,
+                    prog.method(t.root).name
+                ),
+                method,
+                uri_regex: sigs.request.uri.to_regex(),
+                uri: sigs.request.uri.clone(),
+                headers: sigs
+                    .request
+                    .headers
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.to_regex()))
+                    .collect(),
+                request_body: sigs.request.body.clone(),
+                response,
+                pairing: t.pairing,
+                origins: sigs.origins.clone(),
+                consumptions: sigs.consumptions.clone(),
+            });
+        }
+
+        // Phase 3b: inter-transaction dependencies.
+        let dependencies = interdep::dependencies(&prog, &self.model, &slices, &txns);
+
+        let slice_stats = slicing::stats(&prog, &slices);
+        AnalysisReport {
+            app: apk.name.clone(),
+            transactions: reports,
+            dependencies,
+            stats: Stats {
+                total_stmts: slice_stats.total_stmts,
+                sliced_stmts: slice_stats.sliced_stmts,
+                dp_sites: sites.len(),
+                deobfuscated_classes,
+                duration: started.elapsed(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sigbuild::BodySig;
+    use extractocol_http::HttpMethod;
+    use extractocol_ir::{ApkBuilder, Type, Value};
+
+    /// End-to-end: a two-transaction app with a token dependency.
+    fn sample_app() -> Apk {
+        let mut b = ApkBuilder::new("sample", "com.sample");
+        stubs::install(&mut b);
+        b.activity("com.sample.Main");
+        b.class("com.sample.Main", |c| {
+            c.extends("android.app.Activity");
+            let token = c.field("mToken", Type::string());
+            c.method("login", vec![Type::string()], Type::Void, |m| {
+                let this = m.recv("com.sample.Main");
+                let user = m.arg(0, "user");
+                let sb = m.new_obj(
+                    "java.lang.StringBuilder",
+                    vec![Value::str("https://api.sample.com/login?u=")],
+                );
+                m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(user)]);
+                let url = m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
+                let req = m.new_obj("org.apache.http.client.methods.HttpPost", vec![Value::Local(url)]);
+                let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
+                let resp = m.vcall(
+                    client,
+                    "org.apache.http.client.HttpClient",
+                    "execute",
+                    vec![Value::Local(req)],
+                    Type::object("org.apache.http.HttpResponse"),
+                );
+                let ent = m.vcall(resp, "org.apache.http.HttpResponse", "getEntity", vec![], Type::object("org.apache.http.HttpEntity"));
+                let body = m.scall("org.apache.http.util.EntityUtils", "toString", vec![Value::Local(ent)], Type::string());
+                let j = m.new_obj("org.json.JSONObject", vec![Value::Local(body)]);
+                let tok = m.vcall(j, "org.json.JSONObject", "getString", vec![Value::str("token")], Type::string());
+                m.put_field(this, &token, tok);
+                m.ret_void();
+            });
+            c.method("fetch", vec![], Type::Void, |m| {
+                let this = m.recv("com.sample.Main");
+                let tok = m.temp(Type::string());
+                m.get_field(tok, this, &token);
+                let sb = m.new_obj(
+                    "java.lang.StringBuilder",
+                    vec![Value::str("https://api.sample.com/items?auth=")],
+                );
+                m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(tok)]);
+                let url = m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
+                let req = m.new_obj("org.apache.http.client.methods.HttpGet", vec![Value::Local(url)]);
+                let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
+                let resp = m.vcall(
+                    client,
+                    "org.apache.http.client.HttpClient",
+                    "execute",
+                    vec![Value::Local(req)],
+                    Type::object("org.apache.http.HttpResponse"),
+                );
+                let ent = m.vcall(resp, "org.apache.http.HttpResponse", "getEntity", vec![], Type::object("org.apache.http.HttpEntity"));
+                let body = m.scall("org.apache.http.util.EntityUtils", "toString", vec![Value::Local(ent)], Type::string());
+                let j = m.new_obj("org.json.JSONObject", vec![Value::Local(body)]);
+                let items = m.vcall(j, "org.json.JSONObject", "getJSONArray", vec![Value::str("items")], Type::object("org.json.JSONArray"));
+                let _ = items;
+                m.ret_void();
+            });
+        });
+        b.build()
+    }
+
+    #[test]
+    fn analyzes_end_to_end() {
+        let apk = sample_app();
+        let report = Extractocol::new().analyze(&apk);
+        assert_eq!(report.transactions.len(), 2);
+        assert_eq!(report.method_count(HttpMethod::Post), 1);
+        assert_eq!(report.method_count(HttpMethod::Get), 1);
+        assert_eq!(report.pair_count(), 2);
+        // Dependency login → fetch through mToken.
+        assert!(
+            !report.dependencies.is_empty(),
+            "token dependency expected: {}",
+            report.to_table()
+        );
+        let d = &report.dependencies[0];
+        assert_eq!(d.resp_field.as_deref(), Some("token"));
+        // Stats populated.
+        assert!(report.stats.slice_fraction() > 0.0);
+        assert!(report.stats.dp_sites == 2);
+        // No request body on the GET.
+        let get = report.by_method(HttpMethod::Get).next().unwrap();
+        assert!(matches!(get.request_body, None | Some(BodySig::Text(_))));
+        assert!(get.has_query_string());
+    }
+
+    #[test]
+    fn scope_prefix_filters_dps() {
+        let apk = sample_app();
+        let opts = Options { scope_prefix: Some("com.other".into()), ..Options::default() };
+        let report = Extractocol::with_options(opts).analyze(&apk);
+        assert!(report.transactions.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod robustness_tests {
+    use super::*;
+
+    /// Degenerate inputs must not panic: empty APKs, apps with no network
+    /// code, and apps whose only method is bodyless.
+    #[test]
+    fn degenerate_apps_analyze_cleanly() {
+        let analyzer = Extractocol::new();
+
+        let empty = extractocol_ir::ApkBuilder::new("empty", "e").build();
+        let r = analyzer.analyze(&empty);
+        assert!(r.transactions.is_empty());
+        assert_eq!(r.stats.dp_sites, 0);
+
+        let mut b = extractocol_ir::ApkBuilder::new("nonet", "n");
+        b.class("n.C", |c| {
+            c.method("pure", vec![extractocol_ir::Type::Int], extractocol_ir::Type::Int, |m| {
+                let p = m.arg(0, "p");
+                m.ret(p);
+            });
+            c.stub_method("abstract_m", vec![], extractocol_ir::Type::Void);
+        });
+        let r = analyzer.analyze(&b.build());
+        assert!(r.transactions.is_empty());
+        assert!(r.dependencies.is_empty());
+    }
+}

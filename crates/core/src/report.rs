@@ -1,0 +1,532 @@
+//! The analysis output model: reconstructed transactions, dependency
+//! edges, statistics, and the table-style renderings used in the paper's
+//! case studies (Tables 3–6).
+
+use crate::interdep::DependencyEdge;
+use crate::pairing::Pairing;
+use crate::sigbuild::{BodySig, ResponseSig};
+use crate::siglang::SigPat;
+use extractocol_http::HttpMethod;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// One reconstructed HTTP transaction.
+#[derive(Clone, Debug)]
+pub struct TxnReport {
+    /// Transaction id, referenced by dependency edges.
+    pub id: usize,
+    /// The demarcation-point class (e.g. `org.apache.http.client.HttpClient`).
+    pub dp_class: String,
+    /// `class.method` anchoring the transaction.
+    pub root: String,
+    /// The request method.
+    pub method: HttpMethod,
+    /// URI signature (intermediate language).
+    pub uri: SigPat,
+    /// URI signature compiled to a regex.
+    pub uri_regex: String,
+    /// Headers the app sets (name, value regex).
+    pub headers: Vec<(String, String)>,
+    /// Request body signature, if any.
+    pub request_body: Option<BodySig>,
+    /// Response body signature, if the app processes one.
+    pub response: Option<ResponseSig>,
+    /// Pairing resolution.
+    pub pairing: Pairing,
+    /// Device/user data origins feeding the request.
+    pub origins: Vec<String>,
+    /// Consumption sinks of the response.
+    pub consumptions: Vec<String>,
+}
+
+impl TxnReport {
+    /// True when the URI is entirely unknown — a *dynamically-derived* URI
+    /// obtained from a prior response (the `GET (.*)` rows of Tables 3–4).
+    pub fn is_dynamic_uri(&self) -> bool {
+        matches!(self.uri, SigPat::Unknown(_))
+    }
+
+    /// The number of distinct URI patterns this transaction's signature
+    /// covers when fully expanded (disjunctive normal form) — Fig. 3's
+    /// "nine request URI patterns" combined into one Diode regex.
+    pub fn uri_pattern_count(&self) -> usize {
+        fn dnf(p: &SigPat) -> usize {
+            match p {
+                SigPat::Or(items) => items.iter().map(dnf).sum(),
+                SigPat::Concat(items) => items.iter().map(dnf).product(),
+                _ => 1,
+            }
+        }
+        dnf(&self.uri).clamp(1, 4096)
+    }
+
+    /// Renders the URI as template strings with `\u{0}` placeholders for
+    /// wildcard parts (used for query-string decomposition). Disjunctions
+    /// expand — capped — so every branch's constant keys are visible.
+    fn uri_template(&self) -> Vec<String> {
+        let mut out = expand_templates(&self.uri, 64);
+        out.dedup();
+        out
+    }
+
+    /// Constant query-string keys in the URI (`…?key=…&key2=…`).
+    pub fn query_keys(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for t in self.uri_template() {
+            let Some(q) = t.split_once('?').map(|(_, q)| q) else { continue };
+            for kv in q.split('&') {
+                let key = kv.split('=').next().unwrap_or("");
+                if !key.is_empty() && !key.contains('\u{0}') && !out.contains(&key.to_string()) {
+                    out.push(key.to_string());
+                }
+            }
+        }
+        out
+    }
+
+    /// True when the request carries a query string (in the URI or as a
+    /// form body) — Table 1's "Query string" column.
+    pub fn has_query_string(&self) -> bool {
+        !self.query_keys().is_empty()
+            || self
+                .uri_template()
+                .iter()
+                .any(|t| t.split_once('?').map(|(_, q)| q.contains('=')).unwrap_or(false))
+            || matches!(self.request_body, Some(BodySig::Form(_)))
+    }
+
+    /// Constant keywords of the request (query keys + form keys + JSON
+    /// body keys) — the request half of the Fig. 7 metric.
+    pub fn request_keywords(&self) -> Vec<String> {
+        let mut out = self.query_keys();
+        if let Some(b) = &self.request_body {
+            for k in b.keywords() {
+                if !out.contains(&k) {
+                    out.push(k);
+                }
+            }
+        }
+        out
+    }
+
+    /// Constant keywords of the response body — the response half of the
+    /// Fig. 7 metric.
+    pub fn response_keywords(&self) -> Vec<String> {
+        match &self.response {
+            Some(ResponseSig::Json(j)) => {
+                j.keys().into_iter().map(str::to_string).collect()
+            }
+            Some(ResponseSig::Xml(x)) => {
+                x.keywords().into_iter().filter(|k| !k.is_empty()).map(str::to_string).collect()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Whether the transaction involves JSON (request body or response).
+    pub fn uses_json(&self) -> bool {
+        matches!(self.request_body, Some(BodySig::Json(_)))
+            || matches!(self.response, Some(ResponseSig::Json(_)))
+    }
+
+    /// Whether the transaction's response is XML.
+    pub fn uses_xml(&self) -> bool {
+        matches!(self.response, Some(ResponseSig::Xml(_)))
+    }
+}
+
+/// Expands a signature into concrete template strings (wildcards become
+/// NUL placeholders), up to `cap` branches.
+fn expand_templates(p: &SigPat, cap: usize) -> Vec<String> {
+    match p {
+        SigPat::Const(s) => vec![s.clone()],
+        SigPat::Unknown(_) | SigPat::Json(_) | SigPat::Xml(_) => vec!["\u{0}".to_string()],
+        SigPat::Rep(inner) => {
+            // One unrolling exposes the loop body's constant keys.
+            let mut out = vec![String::new()];
+            out.extend(expand_templates(inner, cap.saturating_sub(1)));
+            out.truncate(cap.max(1));
+            out
+        }
+        SigPat::Or(items) => {
+            let mut out = Vec::new();
+            for item in items {
+                out.extend(expand_templates(item, cap));
+                if out.len() >= cap {
+                    out.truncate(cap);
+                    break;
+                }
+            }
+            out
+        }
+        SigPat::Concat(items) => {
+            let mut out = vec![String::new()];
+            for item in items {
+                let parts = expand_templates(item, cap);
+                let mut next = Vec::with_capacity(out.len() * parts.len());
+                'outer: for prefix in &out {
+                    for part in &parts {
+                        next.push(format!("{prefix}{part}"));
+                        if next.len() >= cap {
+                            break 'outer;
+                        }
+                    }
+                }
+                out = next;
+            }
+            out
+        }
+    }
+}
+
+/// Aggregate statistics of one analysis run.
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    /// Total statements in the app (concrete methods).
+    pub total_stmts: usize,
+    /// Statements in any slice (Fig. 3: Diode 6.3%).
+    pub sliced_stmts: usize,
+    /// Demarcation-point sites found.
+    pub dp_sites: usize,
+    /// Obfuscated library classes recovered by the §3.4 mapper.
+    pub deobfuscated_classes: usize,
+    /// Wall-clock analysis time.
+    pub duration: Duration,
+}
+
+impl Stats {
+    /// Slice fraction of the program.
+    pub fn slice_fraction(&self) -> f64 {
+        if self.total_stmts == 0 {
+            0.0
+        } else {
+            self.sliced_stmts as f64 / self.total_stmts as f64
+        }
+    }
+}
+
+/// The full result of analyzing one APK.
+#[derive(Clone, Debug)]
+pub struct AnalysisReport {
+    /// App display name.
+    pub app: String,
+    /// Reconstructed transactions.
+    pub transactions: Vec<TxnReport>,
+    /// Inter-transaction dependency edges.
+    pub dependencies: Vec<DependencyEdge>,
+    /// Run statistics.
+    pub stats: Stats,
+}
+
+impl AnalysisReport {
+    /// Transactions using a given method.
+    pub fn by_method(&self, m: HttpMethod) -> impl Iterator<Item = &TxnReport> {
+        self.transactions.iter().filter(move |t| t.method == m)
+    }
+
+    /// Count of request URI patterns per method (Table 1's method columns
+    /// count unique request signatures).
+    pub fn method_count(&self, m: HttpMethod) -> usize {
+        self.by_method(m).count()
+    }
+
+    /// Number of reconstructed request/response pairs (Table 1 "#Pair").
+    pub fn pair_count(&self) -> usize {
+        self.transactions
+            .iter()
+            .filter(|t| t.pairing != Pairing::Unpaired && t.response.is_some())
+            .count()
+    }
+
+    /// Paper-style table rendering (the shape of Tables 3–4).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} transactions ==", self.app, self.transactions.len());
+        for t in &self.transactions {
+            let dyn_tag = if t.is_dynamic_uri() { " (D)" } else { " (S)" };
+            let _ = writeln!(out, "#{} {} {}{}", t.id + 1, t.method, t.uri.display(), dyn_tag);
+            for (k, v) in &t.headers {
+                let _ = writeln!(out, "      header {k}: {v}");
+            }
+            match &t.request_body {
+                Some(BodySig::Form(pairs)) => {
+                    let kv: Vec<String> = pairs
+                        .iter()
+                        .map(|(k, v)| format!("{}={}", k.display(), v.display()))
+                        .collect();
+                    let _ = writeln!(out, "      body (form): {}", kv.join("&"));
+                }
+                Some(BodySig::Json(j)) => {
+                    let _ = writeln!(out, "      body (json): {}", j.display());
+                }
+                Some(BodySig::Xml(x)) => {
+                    let _ = writeln!(out, "      body (xml): {}", x.to_regex());
+                }
+                Some(BodySig::Text(p)) => {
+                    let _ = writeln!(out, "      body (text): {}", p.display());
+                }
+                None => {}
+            }
+            match &t.response {
+                Some(ResponseSig::Json(j)) => {
+                    let _ = writeln!(out, "   -> JSON response: {}", j.display());
+                }
+                Some(ResponseSig::Xml(x)) => {
+                    let _ = writeln!(out, "   -> XML response: {}", x.to_dtd().replace('\n', " "));
+                }
+                Some(ResponseSig::Raw) => {
+                    let _ = writeln!(out, "   -> response consumed unparsed");
+                }
+                None => {}
+            }
+            for c in &t.consumptions {
+                let _ = writeln!(out, "   -> consumed by: {c}");
+            }
+            for o in &t.origins {
+                let _ = writeln!(out, "   <- originates from: {o}");
+            }
+        }
+        if !self.dependencies.is_empty() {
+            let _ = writeln!(out, "-- dependency graph --");
+            for d in &self.dependencies {
+                let detail = match (&d.resp_field, &d.req_field) {
+                    (Some(rf), Some(qf)) => format!(" ({rf} -> {qf})"),
+                    (Some(rf), None) => format!(" ({rf})"),
+                    (None, Some(qf)) => format!(" (-> {qf})"),
+                    (None, None) => String::new(),
+                };
+                let _ = writeln!(out, "#{} -> #{} via {}{}", d.from + 1, d.to + 1, d.via, detail);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::siglang::{JsonSig, TypeHint};
+
+    fn txn(uri: SigPat) -> TxnReport {
+        TxnReport {
+            id: 0,
+            dp_class: "org.apache.http.client.HttpClient".into(),
+            root: "t.C.go".into(),
+            method: HttpMethod::Get,
+            uri_regex: uri.to_regex(),
+            uri,
+            headers: Vec::new(),
+            request_body: None,
+            response: None,
+            pairing: Pairing::Unique,
+            origins: Vec::new(),
+            consumptions: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn query_keys_from_uri_signature() {
+        let uri = SigPat::Concat(vec![
+            SigPat::lit("https://h/api/login?user="),
+            SigPat::any_str(),
+            SigPat::lit("&passwd="),
+            SigPat::any_str(),
+            SigPat::lit("&api_type=json"),
+        ]);
+        let t = txn(uri);
+        assert_eq!(t.query_keys(), vec!["user", "passwd", "api_type"]);
+        assert!(t.has_query_string());
+        assert!(!t.is_dynamic_uri());
+    }
+
+    #[test]
+    fn dynamic_uri_detection() {
+        let t = txn(SigPat::Unknown(TypeHint::Str));
+        assert!(t.is_dynamic_uri());
+        assert!(!t.has_query_string());
+        assert_eq!(t.uri_pattern_count(), 1);
+    }
+
+    #[test]
+    fn keywords_combine_query_and_body() {
+        let mut t = txn(SigPat::Concat(vec![
+            SigPat::lit("https://h/x?id="),
+            SigPat::any_str(),
+        ]));
+        let mut j = JsonSig::object();
+        j.put("uh", JsonSig::Unknown);
+        t.request_body = Some(BodySig::Json(j.clone()));
+        t.response = Some(ResponseSig::Json(j));
+        assert_eq!(t.request_keywords(), vec!["id", "uh"]);
+        assert_eq!(t.response_keywords(), vec!["uh"]);
+        assert!(t.uses_json());
+        assert!(!t.uses_xml());
+    }
+
+    #[test]
+    fn table_rendering_mentions_everything() {
+        let mut t = txn(SigPat::lit("https://h/a"));
+        t.consumptions.push("media-player".into());
+        t.origins.push("gps".into());
+        let r = AnalysisReport {
+            app: "demo".into(),
+            transactions: vec![t],
+            dependencies: vec![],
+            stats: Stats::default(),
+        };
+        let s = r.to_table();
+        assert!(s.contains("#1 GET (https://h/a) (S)"));
+        assert!(s.contains("consumed by: media-player"));
+        assert!(s.contains("originates from: gps"));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable export
+// ---------------------------------------------------------------------------
+
+use extractocol_http::JsonValue;
+
+impl TxnReport {
+    /// JSON form of one transaction (for proxy generators and other
+    /// downstream consumers — the paper's acceleration use case, §2).
+    pub fn to_json(&self) -> JsonValue {
+        let mut o = JsonValue::object();
+        o.insert("id", JsonValue::num(self.id as f64));
+        o.insert("method", JsonValue::str(self.method.as_str()));
+        o.insert("uri_regex", JsonValue::str(&self.uri_regex));
+        o.insert("uri_display", JsonValue::str(&self.uri.display()));
+        o.insert("dynamic_uri", JsonValue::Bool(self.is_dynamic_uri()));
+        o.insert("dp_class", JsonValue::str(&self.dp_class));
+        o.insert("root", JsonValue::str(&self.root));
+        let mut headers = JsonValue::object();
+        for (k, v) in &self.headers {
+            headers.insert(k, JsonValue::str(v));
+        }
+        o.insert("headers", headers);
+        match &self.request_body {
+            Some(BodySig::Form(pairs)) => {
+                let mut form = JsonValue::object();
+                for (k, v) in pairs {
+                    form.insert(&k.to_regex(), JsonValue::str(&v.to_regex()));
+                }
+                o.insert("request_body_form", form);
+            }
+            Some(BodySig::Json(j)) => {
+                o.insert("request_body_schema", j.to_json_schema());
+            }
+            Some(BodySig::Xml(x)) => {
+                o.insert("request_body_dtd", JsonValue::str(&x.to_dtd()));
+            }
+            Some(BodySig::Text(p)) => {
+                o.insert("request_body_regex", JsonValue::str(&p.to_regex()));
+            }
+            None => {}
+        }
+        match &self.response {
+            Some(ResponseSig::Json(j)) => {
+                o.insert("response_schema", j.to_json_schema());
+            }
+            Some(ResponseSig::Xml(x)) => {
+                o.insert("response_dtd", JsonValue::str(&x.to_dtd()));
+            }
+            Some(ResponseSig::Raw) => {
+                o.insert("response_raw", JsonValue::Bool(true));
+            }
+            None => {}
+        }
+        if !self.origins.is_empty() {
+            o.insert(
+                "origins",
+                JsonValue::Array(self.origins.iter().map(|s| JsonValue::str(s)).collect()),
+            );
+        }
+        if !self.consumptions.is_empty() {
+            o.insert(
+                "consumptions",
+                JsonValue::Array(self.consumptions.iter().map(|s| JsonValue::str(s)).collect()),
+            );
+        }
+        o
+    }
+}
+
+impl AnalysisReport {
+    /// The whole report as JSON: transactions plus dependency edges.
+    pub fn to_json(&self) -> JsonValue {
+        let mut o = JsonValue::object();
+        o.insert("app", JsonValue::str(&self.app));
+        o.insert(
+            "transactions",
+            JsonValue::Array(self.transactions.iter().map(TxnReport::to_json).collect()),
+        );
+        let deps: Vec<JsonValue> = self
+            .dependencies
+            .iter()
+            .map(|d| {
+                let mut e = JsonValue::object();
+                e.insert("from", JsonValue::num(d.from as f64));
+                e.insert("to", JsonValue::num(d.to as f64));
+                e.insert("via", JsonValue::str(&d.via.to_string()));
+                if let Some(rf) = &d.resp_field {
+                    e.insert("response_field", JsonValue::str(rf));
+                }
+                if let Some(qf) = &d.req_field {
+                    e.insert("request_field", JsonValue::str(qf));
+                }
+                e
+            })
+            .collect();
+        o.insert("dependencies", JsonValue::Array(deps));
+        let mut stats = JsonValue::object();
+        stats.insert("total_statements", JsonValue::num(self.stats.total_stmts as f64));
+        stats.insert("sliced_statements", JsonValue::num(self.stats.sliced_stmts as f64));
+        stats.insert("demarcation_sites", JsonValue::num(self.stats.dp_sites as f64));
+        o.insert("stats", stats);
+        o
+    }
+}
+
+#[cfg(test)]
+mod json_export_tests {
+    use super::*;
+    use crate::siglang::JsonSig;
+
+    #[test]
+    fn report_exports_valid_json() {
+        let mut j = JsonSig::object();
+        j.put("token", JsonSig::Unknown);
+        let txn = TxnReport {
+            id: 0,
+            dp_class: "org.apache.http.client.HttpClient".into(),
+            root: "a.B.login".into(),
+            method: HttpMethod::Post,
+            uri: SigPat::lit("https://h/login"),
+            uri_regex: "https://h/login".into(),
+            headers: vec![("Cookie".into(), ".*".into())],
+            request_body: Some(BodySig::Form(vec![(SigPat::lit("user"), SigPat::any_str())])),
+            response: Some(ResponseSig::Json(j)),
+            pairing: Pairing::Unique,
+            origins: vec!["user-input".into()],
+            consumptions: vec![],
+        };
+        let report = AnalysisReport {
+            app: "demo".into(),
+            transactions: vec![txn],
+            dependencies: vec![],
+            stats: Stats::default(),
+        };
+        let exported = report.to_json();
+        // Round-trips through the JSON parser (well-formed).
+        let text = exported.to_json();
+        let reparsed = JsonValue::parse(&text).expect("valid JSON");
+        assert_eq!(
+            reparsed.get("app").unwrap().as_str(),
+            Some("demo")
+        );
+        let t0 = reparsed.get("transactions").unwrap().at(0).unwrap();
+        assert_eq!(t0.get("method").unwrap().as_str(), Some("POST"));
+        assert!(t0.get("request_body_form").is_some());
+        assert!(t0.get("response_schema").is_some());
+    }
+}

@@ -1,0 +1,794 @@
+//! The intermediate signature language (paper Fig. 4).
+//!
+//! ```text
+//! sig_pat    ::= term | concat(term, term) | rep{term} | term ∨ term
+//! term       ::= constant | struct_str | unknown
+//! struct_str ::= json(obj) | xml(obj)
+//! ```
+//!
+//! Signatures are built by the flow-sensitive interpreter in
+//! [`crate::sigbuild`] and finally compiled to regular expressions:
+//! "The regex format of a variable object is derived from its type (e.g.,
+//! `[0-9]+` for integer variables and `.*` for string variables).
+//! Repetitions (`rep`) and disjunctions (`∨`) are respectively converted
+//! into the Kleene star and `|`" (§3.2). JSON/XML signatures stay trees
+//! ("whose leaves are string literals or numbers") and can additionally be
+//! rendered as JSON-Schema or DTD (§1).
+
+use extractocol_http::regexlite::escape_literal;
+use extractocol_http::{JsonValue, XmlElement, XmlNode};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Type-derived wildcard hints for `unknown` terms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TypeHint {
+    /// Numeric unknown → `[0-9]+`.
+    Num,
+    /// Boolean unknown → `(true|false)`.
+    Bool,
+    /// String/any unknown → `.*`.
+    Str,
+}
+
+/// A string signature pattern.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SigPat {
+    /// A string literal known exactly.
+    Const(String),
+    /// An unknown part with a type-derived wildcard.
+    Unknown(TypeHint),
+    /// Concatenation of parts.
+    Concat(Vec<SigPat>),
+    /// A part that may repeat zero or more times (loop-variant content).
+    Rep(Box<SigPat>),
+    /// Disjunction of alternatives (control-flow confluence).
+    Or(Vec<SigPat>),
+    /// A structured JSON body embedded in a string position.
+    Json(JsonSig),
+    /// A structured XML body embedded in a string position.
+    Xml(Box<XmlSig>),
+}
+
+impl SigPat {
+    /// The empty constant.
+    pub fn empty() -> SigPat {
+        SigPat::Const(String::new())
+    }
+
+    /// A constant from a string slice.
+    pub fn lit(s: &str) -> SigPat {
+        SigPat::Const(s.to_string())
+    }
+
+    /// An unknown string part.
+    pub fn any_str() -> SigPat {
+        SigPat::Unknown(TypeHint::Str)
+    }
+
+    /// Concatenates two patterns and normalizes.
+    pub fn concat(self, other: SigPat) -> SigPat {
+        SigPat::Concat(vec![self, other]).normalize()
+    }
+
+    /// Merges with another pattern under disjunction and normalizes.
+    pub fn or(self, other: SigPat) -> SigPat {
+        SigPat::Or(vec![self, other]).normalize()
+    }
+
+    /// Structural normalization: flattens nested concats/ors, merges
+    /// adjacent constants, drops empty constants inside concats, and
+    /// deduplicates disjunction arms. Idempotent (property-tested).
+    pub fn normalize(self) -> SigPat {
+        match self {
+            SigPat::Concat(items) => {
+                let mut flat: Vec<SigPat> = Vec::new();
+                for it in items {
+                    match it.normalize() {
+                        SigPat::Concat(sub) => flat.extend(sub),
+                        SigPat::Const(s) if s.is_empty() => {}
+                        other => flat.push(other),
+                    }
+                }
+                // merge adjacent constants
+                let mut merged: Vec<SigPat> = Vec::new();
+                for it in flat {
+                    match (merged.last_mut(), it) {
+                        (Some(SigPat::Const(a)), SigPat::Const(b)) => a.push_str(&b),
+                        (_, it) => merged.push(it),
+                    }
+                }
+                match merged.len() {
+                    0 => SigPat::empty(),
+                    1 => merged.pop().unwrap(),
+                    _ => SigPat::Concat(merged),
+                }
+            }
+            SigPat::Or(items) => {
+                let mut flat: Vec<SigPat> = Vec::new();
+                for it in items {
+                    match it.normalize() {
+                        SigPat::Or(sub) => flat.extend(sub),
+                        other => flat.push(other),
+                    }
+                }
+                let mut dedup: Vec<SigPat> = Vec::new();
+                for it in flat {
+                    if !dedup.contains(&it) {
+                        dedup.push(it);
+                    }
+                }
+                match dedup.len() {
+                    0 => SigPat::empty(),
+                    1 => dedup.pop().unwrap(),
+                    _ => SigPat::Or(dedup),
+                }
+            }
+            SigPat::Rep(inner) => SigPat::Rep(Box::new(inner.normalize())),
+            other => other,
+        }
+    }
+
+    /// Top-level disjunction arms (after normalization): the distinct
+    /// message patterns a signature covers. Table 1 counts these.
+    pub fn disjuncts(&self) -> Vec<SigPat> {
+        match self.clone().normalize() {
+            SigPat::Or(items) => items,
+            other => vec![other],
+        }
+    }
+
+    /// Detects the loop-variant part between the signature of a value
+    /// before a loop iteration and after it: if `after` extends `before`
+    /// (structural prefix), the delta becomes `before · rep{delta}`
+    /// (§3.2: "identifies the loop variant part of string objects and …
+    /// marks the part can be repeated").
+    pub fn widen_loop(before: &SigPat, after: &SigPat) -> SigPat {
+        let b = before.clone().normalize();
+        let a = after.clone().normalize();
+        if a == b {
+            return b;
+        }
+        let bv = match &b {
+            SigPat::Concat(v) => v.clone(),
+            other => vec![other.clone()],
+        };
+        let av = match &a {
+            SigPat::Concat(v) => v.clone(),
+            other => vec![other.clone()],
+        };
+        if let Some(delta) = strip_prefix_parts(&bv, &av) {
+            if delta.is_empty() {
+                return b;
+            }
+            let delta = SigPat::Concat(delta).normalize();
+            return SigPat::Concat(vec![b, SigPat::Rep(Box::new(delta))]).normalize();
+        }
+        // No structural prefix: fall back to disjunction, which stays
+        // sound.
+        b.or(a)
+    }
+
+    /// All constant keywords (string literals) appearing in the signature —
+    /// the Fig. 7 metric for request bodies/query strings counts keys in
+    /// key-value pairs; here we expose every literal and let callers parse
+    /// keys out.
+    pub fn constants(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_constants(&mut out);
+        out
+    }
+
+    fn collect_constants<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            SigPat::Const(s) => {
+                if !s.is_empty() {
+                    out.push(s);
+                }
+            }
+            SigPat::Concat(v) | SigPat::Or(v) => {
+                for p in v {
+                    p.collect_constants(out);
+                }
+            }
+            SigPat::Rep(p) => p.collect_constants(out),
+            SigPat::Json(j) => j.collect_constants(out),
+            SigPat::Xml(x) => x.collect_constants(out),
+            SigPat::Unknown(_) => {}
+        }
+    }
+
+    /// Compiles to the regex dialect of `extractocol-http::regexlite`.
+    pub fn to_regex(&self) -> String {
+        match self {
+            SigPat::Const(s) => escape_literal(s),
+            SigPat::Unknown(TypeHint::Num) => "[0-9]+".to_string(),
+            SigPat::Unknown(TypeHint::Bool) => "(true|false)".to_string(),
+            SigPat::Unknown(TypeHint::Str) => ".*".to_string(),
+            SigPat::Concat(items) => items.iter().map(SigPat::to_regex).collect(),
+            SigPat::Rep(inner) => format!("({})*", inner.to_regex()),
+            SigPat::Or(items) => {
+                let arms: Vec<String> = items.iter().map(SigPat::to_regex).collect();
+                format!("({})", arms.join("|"))
+            }
+            SigPat::Json(j) => j.to_regex(),
+            SigPat::Xml(x) => x.to_regex(),
+        }
+    }
+
+    /// A human-readable rendering close to the paper's notation, e.g.
+    /// `(http://host/)(.*)(&sort=)(.*)`.
+    pub fn display(&self) -> String {
+        match self {
+            SigPat::Const(s) => format!("({s})"),
+            SigPat::Unknown(TypeHint::Num) => "([0-9]+)".to_string(),
+            SigPat::Unknown(TypeHint::Bool) => "(true|false)".to_string(),
+            SigPat::Unknown(TypeHint::Str) => "(.*)".to_string(),
+            SigPat::Concat(items) => items.iter().map(SigPat::display).collect(),
+            SigPat::Rep(inner) => format!("rep{{{}}}", inner.display()),
+            SigPat::Or(items) => {
+                let arms: Vec<String> = items.iter().map(SigPat::display).collect();
+                arms.join(" | ")
+            }
+            SigPat::Json(j) => j.display(),
+            SigPat::Xml(x) => format!("xml({})", x.to_regex()),
+        }
+    }
+}
+
+impl fmt::Display for SigPat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.display())
+    }
+}
+
+/// Removes `prefix` from the front of `full`, returning the remainder —
+/// element-wise, with string-prefix splitting when normalization merged a
+/// loop's delta into the trailing constant (`"base?"` vs `"base?id=0&"`).
+fn strip_prefix_parts(prefix: &[SigPat], full: &[SigPat]) -> Option<Vec<SigPat>> {
+    let mut rest = full.to_vec();
+    for (i, p) in prefix.iter().enumerate() {
+        let head = rest.first().cloned()?;
+        if head == *p {
+            rest.remove(0);
+            continue;
+        }
+        match (p, &head) {
+            (SigPat::Const(pb), SigPat::Const(fa)) if fa.starts_with(pb.as_str()) => {
+                // Split the constant: the remainder starts the delta — but
+                // only valid when this is the last prefix element.
+                if i + 1 != prefix.len() {
+                    return None;
+                }
+                rest[0] = SigPat::Const(fa[pb.len()..].to_string());
+                if matches!(&rest[0], SigPat::Const(s) if s.is_empty()) {
+                    rest.remove(0);
+                }
+                return Some(rest);
+            }
+            _ => return None,
+        }
+    }
+    Some(rest)
+}
+
+// ---------------------------------------------------------------------------
+// JSON tree signatures
+// ---------------------------------------------------------------------------
+
+/// A JSON signature tree: "For JSON and XML objects, Extractocol maintains
+/// a tree data structure" (§3.2). Built from `put` operations (requests)
+/// or `get` operations (responses — the keys the app actually reads).
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonSig {
+    /// An object with known keys. Keys absent from the map are
+    /// unconstrained (responses routinely carry more keys than an app
+    /// reads, §5.1 "some apps do not inspect all keywords").
+    Object(BTreeMap<String, JsonSig>),
+    /// An array whose elements match the given signature.
+    Array(Box<JsonSig>),
+    /// A leaf whose string form matches the pattern.
+    Value(Box<SigPat>),
+    /// Completely unconstrained.
+    Unknown,
+}
+
+impl JsonSig {
+    /// An empty object signature.
+    pub fn object() -> JsonSig {
+        JsonSig::Object(BTreeMap::new())
+    }
+
+    /// Inserts a key (builder style), merging on collision.
+    pub fn put(&mut self, key: &str, v: JsonSig) {
+        if let JsonSig::Unknown = self {
+            *self = JsonSig::object();
+        }
+        if let JsonSig::Object(m) = self {
+            match m.remove(key) {
+                Some(old) => {
+                    m.insert(key.to_string(), JsonSig::merge(old, v));
+                }
+                None => {
+                    m.insert(key.to_string(), v);
+                }
+            }
+        }
+    }
+
+    /// Navigates/creates the child under `key`, for response-reader
+    /// refinement.
+    pub fn child_mut(&mut self, key: &str) -> &mut JsonSig {
+        if !matches!(self, JsonSig::Object(_)) {
+            *self = JsonSig::object();
+        }
+        match self {
+            JsonSig::Object(m) => m.entry(key.to_string()).or_insert(JsonSig::Unknown),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Coerces this node to an array and returns the element signature.
+    pub fn element_mut(&mut self) -> &mut JsonSig {
+        if !matches!(self, JsonSig::Array(_)) {
+            *self = JsonSig::Array(Box::new(JsonSig::Unknown));
+        }
+        match self {
+            JsonSig::Array(e) => e,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Merges two signatures (union of constraints at matching positions).
+    pub fn merge(a: JsonSig, b: JsonSig) -> JsonSig {
+        match (a, b) {
+            (JsonSig::Unknown, x) | (x, JsonSig::Unknown) => x,
+            (JsonSig::Object(mut ma), JsonSig::Object(mb)) => {
+                for (k, v) in mb {
+                    match ma.remove(&k) {
+                        Some(old) => {
+                            ma.insert(k, JsonSig::merge(old, v));
+                        }
+                        None => {
+                            ma.insert(k, v);
+                        }
+                    }
+                }
+                JsonSig::Object(ma)
+            }
+            (JsonSig::Array(ea), JsonSig::Array(eb)) => {
+                JsonSig::Array(Box::new(JsonSig::merge(*ea, *eb)))
+            }
+            (JsonSig::Value(pa), JsonSig::Value(pb)) => {
+                if pa == pb {
+                    JsonSig::Value(pa)
+                } else {
+                    JsonSig::Value(Box::new(pa.or(*pb)))
+                }
+            }
+            // Mixed shapes: give up the structure, keep validity.
+            (_, _) => JsonSig::Unknown,
+        }
+    }
+
+    /// Structural match against a concrete JSON value. Extra keys in the
+    /// value are allowed; missing constrained keys are not.
+    pub fn matches(&self, v: &JsonValue) -> bool {
+        match (self, v) {
+            (JsonSig::Unknown, _) => true,
+            (JsonSig::Object(m), JsonValue::Object(vm)) => m.iter().all(|(k, s)| {
+                vm.get(k).map(|vv| s.matches(vv)).unwrap_or(false)
+            }),
+            (JsonSig::Array(e), JsonValue::Array(va)) => va.iter().all(|vv| e.matches(vv)),
+            // A JSON body whose top level is an array of one station etc.
+            (JsonSig::Object(_), JsonValue::Array(va)) => {
+                // Tolerate the common wrap-in-array idiom: match any element.
+                va.iter().any(|vv| self.matches(vv))
+            }
+            (JsonSig::Value(p), vv) => {
+                let text = match vv {
+                    JsonValue::String(s) => s.clone(),
+                    other => other.to_json(),
+                };
+                extractocol_http::Regex::new(&p.to_regex())
+                    .map(|r| r.is_match(&text))
+                    .unwrap_or(false)
+            }
+            _ => false,
+        }
+    }
+
+    /// All constant keys in the tree, recursively (Fig. 7 metric for
+    /// JSON bodies).
+    pub fn keys(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        fn walk<'a>(s: &'a JsonSig, out: &mut Vec<&'a str>) {
+            match s {
+                JsonSig::Object(m) => {
+                    for (k, v) in m {
+                        out.push(k.as_str());
+                        walk(v, out);
+                    }
+                }
+                JsonSig::Array(e) => walk(e, out),
+                _ => {}
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    fn collect_constants<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            JsonSig::Object(m) => {
+                for (k, v) in m {
+                    out.push(k.as_str());
+                    v.collect_constants(out);
+                }
+            }
+            JsonSig::Array(e) => e.collect_constants(out),
+            JsonSig::Value(p) => p.collect_constants(out),
+            JsonSig::Unknown => {}
+        }
+    }
+
+    /// Regex over the serialized JSON (used when a JSON body is embedded in
+    /// a string signature). Key order matches our serializer (sorted).
+    pub fn to_regex(&self) -> String {
+        match self {
+            JsonSig::Unknown => ".*".to_string(),
+            JsonSig::Value(p) => p.to_regex(),
+            JsonSig::Array(e) => format!("\\[({},?)*\\]", e.to_regex()),
+            JsonSig::Object(m) => {
+                let mut parts = vec!["\\{.*".to_string()];
+                for (k, v) in m {
+                    parts.push(format!("\"{}\":.*{}.*", escape_literal(k), inner_regex(v)));
+                }
+                parts.push("\\}".to_string());
+                parts.join("")
+            }
+        }
+    }
+
+    /// Paper-style display: `{ "key": <sig>, … }`.
+    pub fn display(&self) -> String {
+        match self {
+            JsonSig::Unknown => "*".to_string(),
+            JsonSig::Value(p) => p.display(),
+            JsonSig::Array(e) => format!("[{}]", e.display()),
+            JsonSig::Object(m) => {
+                let fields: Vec<String> = m
+                    .iter()
+                    .map(|(k, v)| format!("\"{}\": {}", k, v.display()))
+                    .collect();
+                format!("{{ {} }}", fields.join(", "))
+            }
+        }
+    }
+
+    /// JSON-Schema rendering (paper §1: "JSON schema for JSON bodies").
+    pub fn to_json_schema(&self) -> JsonValue {
+        match self {
+            JsonSig::Unknown => {
+                let mut o = JsonValue::object();
+                o.insert("type", JsonValue::str("any"));
+                o
+            }
+            JsonSig::Value(p) => {
+                let mut o = JsonValue::object();
+                o.insert("type", JsonValue::str("string"));
+                o.insert("pattern", JsonValue::str(&p.to_regex()));
+                o
+            }
+            JsonSig::Array(e) => {
+                let mut o = JsonValue::object();
+                o.insert("type", JsonValue::str("array"));
+                o.insert("items", e.to_json_schema());
+                o
+            }
+            JsonSig::Object(m) => {
+                let mut props = JsonValue::object();
+                let mut required = Vec::new();
+                for (k, v) in m {
+                    props.insert(k, v.to_json_schema());
+                    required.push(JsonValue::str(k));
+                }
+                let mut o = JsonValue::object();
+                o.insert("type", JsonValue::str("object"));
+                o.insert("properties", props);
+                o.insert("required", JsonValue::Array(required));
+                o
+            }
+        }
+    }
+}
+
+fn inner_regex(v: &JsonSig) -> String {
+    match v {
+        JsonSig::Value(p) => p.to_regex(),
+        other => other.to_regex(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// XML tree signatures
+// ---------------------------------------------------------------------------
+
+/// An XML signature tree: tag name, constrained attributes, child element
+/// signatures, optional text pattern.
+#[derive(Clone, Debug, PartialEq)]
+pub struct XmlSig {
+    pub name: String,
+    pub attrs: Vec<(String, SigPat)>,
+    pub children: Vec<XmlSig>,
+    pub text: Option<SigPat>,
+}
+
+impl XmlSig {
+    /// A tag with no constraints.
+    pub fn tag(name: &str) -> XmlSig {
+        XmlSig { name: name.to_string(), attrs: Vec::new(), children: Vec::new(), text: None }
+    }
+
+    /// Adds a child (builder style).
+    pub fn child(mut self, c: XmlSig) -> XmlSig {
+        self.children.push(c);
+        self
+    }
+
+    /// Constrains an attribute (builder style).
+    pub fn attr(mut self, k: &str, v: SigPat) -> XmlSig {
+        self.attrs.push((k.to_string(), v));
+        self
+    }
+
+    /// Finds or creates the child tag, for response-reader refinement.
+    pub fn child_mut(&mut self, name: &str) -> &mut XmlSig {
+        if let Some(i) = self.children.iter().position(|c| c.name == name) {
+            &mut self.children[i]
+        } else {
+            self.children.push(XmlSig::tag(name));
+            self.children.last_mut().unwrap()
+        }
+    }
+
+    /// Structural match against a concrete element: tag equal (an empty
+    /// signature name is a wildcard — response readers that jump straight
+    /// to `getElementsByTagName` never learn the document root's tag),
+    /// every constrained attribute present and matching, every child
+    /// signature matched by some descendant element, text pattern (if
+    /// any) matching.
+    pub fn matches(&self, e: &XmlElement) -> bool {
+        if !self.name.is_empty() && e.name != self.name {
+            return false;
+        }
+        for (k, p) in &self.attrs {
+            let Some(v) = e.attr_value(k) else { return false };
+            let Ok(r) = extractocol_http::Regex::new(&p.to_regex()) else { return false };
+            if !r.is_match(v) {
+                return false;
+            }
+        }
+        for cs in &self.children {
+            fn any_descendant(e: &XmlElement, cs: &XmlSig) -> bool {
+                e.children.iter().any(|n| match n {
+                    XmlNode::Element(ce) => cs.matches(ce) || any_descendant(ce, cs),
+                    _ => false,
+                })
+            }
+            if !any_descendant(e, cs) {
+                return false;
+            }
+        }
+        if let Some(tp) = &self.text {
+            let Ok(r) = extractocol_http::Regex::new(&tp.to_regex()) else { return false };
+            if !r.is_match(&e.text_content()) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Tag/attribute names, recursively (Fig. 7 metric for XML bodies).
+    pub fn keywords(&self) -> Vec<&str> {
+        let mut out = vec![self.name.as_str()];
+        for (k, _) in &self.attrs {
+            out.push(k.as_str());
+        }
+        for c in &self.children {
+            out.extend(c.keywords());
+        }
+        out
+    }
+
+    fn collect_constants<'a>(&'a self, out: &mut Vec<&'a str>) {
+        out.push(self.name.as_str());
+        for (k, p) in &self.attrs {
+            out.push(k.as_str());
+            p.collect_constants(out);
+        }
+        if let Some(t) = &self.text {
+            t.collect_constants(out);
+        }
+        for c in &self.children {
+            c.collect_constants(out);
+        }
+    }
+
+    /// Loose regex over serialized XML.
+    pub fn to_regex(&self) -> String {
+        let name = escape_literal(&self.name);
+        format!("<{name}.*</{name}>|<{name}[^>]*/>")
+    }
+
+    /// DTD rendering (paper §1: "Document Type Definition (DTD) for XML").
+    pub fn to_dtd(&self) -> String {
+        let mut out = String::new();
+        self.dtd_into(&mut out);
+        out
+    }
+
+    fn dtd_into(&self, out: &mut String) {
+        let content = if self.children.is_empty() {
+            "(#PCDATA)".to_string()
+        } else {
+            let names: Vec<&str> = self.children.iter().map(|c| c.name.as_str()).collect();
+            format!("({})", names.join(", "))
+        };
+        out.push_str(&format!("<!ELEMENT {} {}>\n", self.name, content));
+        for (k, _) in &self.attrs {
+            out.push_str(&format!("<!ATTLIST {} {} CDATA #REQUIRED>\n", self.name, k));
+        }
+        for c in &self.children {
+            c.dtd_into(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extractocol_http::Regex;
+
+    #[test]
+    fn normalization_flattens_and_merges() {
+        let p = SigPat::Concat(vec![
+            SigPat::lit("http://"),
+            SigPat::Concat(vec![SigPat::lit("host"), SigPat::lit("/api")]),
+            SigPat::empty(),
+            SigPat::any_str(),
+        ])
+        .normalize();
+        assert_eq!(
+            p,
+            SigPat::Concat(vec![SigPat::lit("http://host/api"), SigPat::any_str()])
+        );
+        // idempotent
+        assert_eq!(p.clone().normalize(), p);
+    }
+
+    #[test]
+    fn or_dedups_and_counts_disjuncts() {
+        let p = SigPat::Or(vec![
+            SigPat::lit("a"),
+            SigPat::Or(vec![SigPat::lit("b"), SigPat::lit("a")]),
+        ])
+        .normalize();
+        assert_eq!(p.disjuncts().len(), 2);
+        let single = SigPat::lit("only");
+        assert_eq!(single.disjuncts().len(), 1);
+    }
+
+    #[test]
+    fn regex_compilation_matches_paper_forms() {
+        let sig = SigPat::Concat(vec![
+            SigPat::lit("http://www.reddit.com/search/.json?q="),
+            SigPat::any_str(),
+            SigPat::lit("&sort="),
+            SigPat::any_str(),
+        ]);
+        let re = Regex::new(&sig.to_regex()).unwrap();
+        assert!(re.is_match("http://www.reddit.com/search/.json?q=cats&sort=top"));
+        assert!(!re.is_match("http://www.reddit.com/r/all"));
+
+        let num = SigPat::Concat(vec![
+            SigPat::lit("https://h/talks/"),
+            SigPat::Unknown(TypeHint::Num),
+            SigPat::lit("/ad.json"),
+        ]);
+        let re = Regex::new(&num.to_regex()).unwrap();
+        assert!(re.is_match("https://h/talks/2406/ad.json"));
+        assert!(!re.is_match("https://h/talks/late/ad.json"));
+    }
+
+    #[test]
+    fn widen_loop_introduces_rep() {
+        // before: "base?", after: "base?" + "count=" + .* + "&"
+        let before = SigPat::lit("base?");
+        let after = SigPat::Concat(vec![
+            SigPat::lit("base?"),
+            SigPat::lit("count="),
+            SigPat::any_str(),
+            SigPat::lit("&"),
+        ]);
+        let w = SigPat::widen_loop(&before, &after);
+        let re = Regex::new(&w.to_regex()).unwrap();
+        assert!(re.is_match("base?"));
+        assert!(re.is_match("base?count=1&"));
+        assert!(re.is_match("base?count=1&count=2&"));
+        assert!(!re.is_match("base?count=1"));
+        // unchanged signature stays put
+        assert_eq!(SigPat::widen_loop(&before, &before), before);
+    }
+
+    #[test]
+    fn json_sig_builds_merges_and_matches() {
+        let mut sig = JsonSig::object();
+        sig.put("relay", JsonSig::Value(Box::new(SigPat::any_str())));
+        sig.put("listeners", JsonSig::Value(Box::new(SigPat::any_str())));
+        let v = JsonValue::parse(
+            r#"{"relay":"http://cdn/x","listeners":"13586","extra":"ignored"}"#,
+        )
+        .unwrap();
+        assert!(sig.matches(&v));
+        let missing = JsonValue::parse(r#"{"listeners":"1"}"#).unwrap();
+        assert!(!sig.matches(&missing));
+        // wrapped-in-array tolerance (radio reddit status.json shape)
+        let arr = JsonValue::parse(r#"[{"relay":"r","listeners":"2"}]"#).unwrap();
+        assert!(sig.matches(&arr));
+        // keys metric
+        let mut keys = sig.keys();
+        keys.sort();
+        assert_eq!(keys, vec!["listeners", "relay"]);
+    }
+
+    #[test]
+    fn json_sig_merge_unions_keys() {
+        let mut a = JsonSig::object();
+        a.put("x", JsonSig::Value(Box::new(SigPat::lit("1"))));
+        let mut b = JsonSig::object();
+        b.put("y", JsonSig::Unknown);
+        let m = JsonSig::merge(a, b);
+        let mut keys = m.keys();
+        keys.sort();
+        assert_eq!(keys, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn json_schema_rendering() {
+        let mut sig = JsonSig::object();
+        sig.put("id", JsonSig::Value(Box::new(SigPat::Unknown(TypeHint::Num))));
+        let schema = sig.to_json_schema();
+        assert_eq!(schema.get("type").unwrap().as_str(), Some("object"));
+        let props = schema.get("properties").unwrap();
+        assert!(props.get("id").is_some());
+    }
+
+    #[test]
+    fn xml_sig_matches_and_dtd() {
+        let sig = XmlSig::tag("vast")
+            .attr("version", SigPat::any_str())
+            .child(XmlSig::tag("Ad").child(XmlSig::tag("MediaFile")));
+        let e = XmlElement::parse(
+            "<vast version=\"2.0\"><Ad id=\"1\"><MediaFile>url</MediaFile></Ad></vast>",
+        )
+        .unwrap();
+        assert!(sig.matches(&e));
+        let wrong = XmlElement::parse("<vast version=\"2.0\"><NoAd/></vast>").unwrap();
+        assert!(!sig.matches(&wrong));
+        let dtd = sig.to_dtd();
+        assert!(dtd.contains("<!ELEMENT vast (Ad)>"));
+        assert!(dtd.contains("<!ATTLIST vast version CDATA #REQUIRED>"));
+        assert_eq!(sig.keywords(), vec!["vast", "version", "Ad", "MediaFile"]);
+    }
+
+    #[test]
+    fn constants_extraction() {
+        let sig = SigPat::Concat(vec![
+            SigPat::lit("user="),
+            SigPat::any_str(),
+            SigPat::lit("&passwd="),
+        ]);
+        assert_eq!(sig.constants(), vec!["user=", "&passwd="]);
+    }
+}

@@ -1,0 +1,438 @@
+//! Diode — "a popular open-source browser for Reddit" and the paper's
+//! running slicing example (Fig. 3).
+//!
+//! The centerpiece is a faithful port of Fig. 3's
+//! `doInBackground`: an `AsyncTask` that assembles the request URI through
+//! nested branches — frontpage vs. search vs. subreddit, then the
+//! `count/after/before` pagination suffixes — yielding **nine URI
+//! patterns** that Extractocol combines into one regex, one of which is
+//! `http://www.reddit.com/search/.json?q=(.*)&sort=(.*)`. Table 1 row:
+//! 24 GET / 0 POST, 2 JSON responses, 5 pairs.
+
+use crate::gen::{AppGen, RespKind, Stack, TxnSpec};
+use crate::ground_truth::{
+    AppSpec, ConcreteArg, PaperRow, RespTruth, RowCounts, Trigger, TriggerKind, TxnTruth,
+};
+use crate::server::Route;
+use extractocol_http::HttpMethod;
+use extractocol_ir::{CondOp, Type, Value};
+
+const PKG: &str = "com.andrewshu.android.reddit";
+const BASE: &str = "http://www.reddit.com";
+
+fn row(get: usize, post: usize, query: usize, json: usize, xml: usize, pairs: usize) -> RowCounts {
+    RowCounts { get, post, put: 0, delete: 0, query, json, xml, pairs }
+}
+
+/// Builds the Diode corpus app.
+pub fn build() -> AppSpec {
+    let mut g = AppGen::new("Diode", PKG, BASE);
+    let mut g = {
+        g = g.open_source().protocol("HTTP(S)");
+        g.paper_row(PaperRow {
+            extractocol: row(24, 0, 0, 2, 0, 5),
+            manual: row(24, 0, 0, 2, 0, 5),
+            third: row(24, 0, 0, 2, 0, 5),
+        })
+    };
+
+    build_fig3_task(&mut g);
+
+    // Comments listing: JSON response (the second JSON signature).
+    g.txn(
+        TxnSpec::get(Stack::Apache, "/comments")
+            .variants(&[
+                "/confidence.json",
+                "/top.json",
+                "/new.json",
+                "/controversial.json",
+                "/old.json",
+                "/qa.json",
+            ])
+            .resp(RespKind::Json(vec![
+                "kind".into(),
+                "data".into(),
+                "body".into(),
+                "author".into(),
+                "ups".into(),
+            ])),
+    );
+    // Subreddit directory browsing: raw HTML-ish payloads.
+    g.txn(
+        TxnSpec::get(Stack::Apache, "/subreddits")
+            .variants(&[
+                "/mine.json",
+                "/popular.json",
+                "/new.json",
+                "/gold.json",
+                "/employee.json",
+                "/default.json",
+                "/featured.json",
+            ])
+            .resp(RespKind::Raw),
+    );
+    // Thumbnail fetch: dynamically-derived URI from the listing response.
+    g.txn(
+        TxnSpec::get(Stack::UrlConn, "/thumbs/t3_xyz.png").resp(RespKind::Raw),
+    );
+    // CAPTCHA image fetch.
+    g.txn(TxnSpec::get(Stack::UrlConn, "/captcha/abc123.png").resp(RespKind::Raw));
+
+    // The remaining reddit API surface Diode touches without processing
+    // response bodies (status-only endpoints) — Table 1 counts 24 GET
+    // request signatures but only 5 request/response pairs.
+    for path in [
+        "/api/info.json",
+        "/api/me.json",
+        "/message/inbox/.json",
+        "/message/unread/.json",
+        "/message/sent/.json",
+        "/user/self/about.json",
+        "/user/self/liked.json",
+        "/user/self/disliked.json",
+        "/user/self/saved.json",
+        "/user/self/comments.json",
+        "/user/self/submitted.json",
+        "/r/pics/about.json",
+        "/r/pics/wiki/index.json",
+        "/prefs/friends.json",
+        "/api/v1/me/karma.json",
+        "/api/trending_subreddits.json",
+        "/live/updates.json",
+        "/api/saved_categories.json",
+        "/api/multi/mine.json",
+    ] {
+        g.txn(TxnSpec::get(Stack::Apache, path));
+    }
+
+    // The bulk of a real reddit client is UI/business logic the slices
+    // leave behind (Fig. 3: slices are 6.3% of all code).
+    g.ballast(220);
+
+    g.finish()
+}
+
+/// The Fig. 3 `doInBackground`: nine URI patterns from nested branches.
+fn build_fig3_task(g: &mut AppGen) {
+    let task = format!("{PKG}.DownloadThreadsTask");
+    let b = g.apk_builder();
+    b.class(&task, |c| {
+        c.extends("android.os.AsyncTask");
+        let f_subreddit = c.field("mSubreddit", Type::string());
+        let f_sort = c.field("mSortByUrl", Type::string());
+        let f_sort_extra = c.field("mSortByUrlExtra", Type::string());
+        let f_query = c.field("mSearchQuery", Type::string());
+        let f_after = c.field("mAfter", Type::string());
+        let f_before = c.field("mBefore", Type::string());
+        let f_count = c.field("mCount", Type::string());
+        c.method(
+            "<init>",
+            vec![
+                Type::string(),
+                Type::string(),
+                Type::string(),
+                Type::string(),
+                Type::string(),
+            ],
+            Type::Void,
+            |m| {
+                let this = m.recv(&task);
+                let sub = m.arg(0, "subreddit");
+                let q = m.arg(1, "query");
+                let after = m.arg(2, "after");
+                let before = m.arg(3, "before");
+                let count = m.arg(4, "count");
+                m.put_field(this, &f_subreddit, sub);
+                m.put_field(this, &f_query, q);
+                m.put_field(this, &f_after, after);
+                m.put_field(this, &f_before, before);
+                m.put_field(this, &f_count, count);
+                let sort = m.temp(Type::string());
+                m.cstr(sort, "hot");
+                m.put_field(this, &f_sort, sort);
+                let extra = m.temp(Type::string());
+                m.cstr(extra, "limit=25");
+                m.put_field(this, &f_sort_extra, extra);
+                m.ret_void();
+            },
+        );
+        c.method("doInBackground", vec![Type::obj_root()], Type::obj_root(), |m| {
+            let this = m.recv(&task);
+            m.arg(0, "zzz");
+            let subreddit = m.temp(Type::string());
+            m.get_field(subreddit, this, &f_subreddit);
+            let sb = m.temp(Type::object("java.lang.StringBuilder"));
+
+            // if (FRONTPAGE.equals(mSubreddit)) { base "/" + sort + ".json?" + extra + "&" }
+            let is_front = m.scall(
+                "java.lang.String",
+                "equals",
+                vec![Value::str("__frontpage__"), Value::Local(subreddit)],
+                Type::Bool,
+            );
+            m.iff(CondOp::Eq, is_front, Value::int(0), "not_front");
+            m.new_obj_into(sb, "java.lang.StringBuilder", vec![Value::str("http://www.reddit.com/")]);
+            let sort1 = m.temp(Type::string());
+            m.get_field(sort1, this, &f_sort);
+            m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(sort1)]);
+            m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::str(".json?")]);
+            let extra1 = m.temp(Type::string());
+            m.get_field(extra1, this, &f_sort_extra);
+            m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(extra1)]);
+            m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::str("&")]);
+            m.goto("pagination");
+
+            // else if (SEARCH.equals(mSubreddit)) { "/search/.json?q=" + enc(query) + "&sort=" + s }
+            m.label("not_front");
+            let is_search = m.scall(
+                "java.lang.String",
+                "equals",
+                vec![Value::str("__search__"), Value::Local(subreddit)],
+                Type::Bool,
+            );
+            m.iff(CondOp::Eq, is_search, Value::int(0), "plain_subreddit");
+            m.new_obj_into(
+                sb,
+                "java.lang.StringBuilder",
+                vec![Value::str("http://www.reddit.com/search/.json?q=")],
+            );
+            let q = m.temp(Type::string());
+            m.get_field(q, this, &f_query);
+            let enc = m.scall(
+                "java.net.URLEncoder",
+                "encode",
+                vec![Value::Local(q), Value::str("UTF-8")],
+                Type::string(),
+            );
+            m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(enc)]);
+            m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::str("&sort=")]);
+            let sort2 = m.temp(Type::string());
+            m.get_field(sort2, this, &f_sort);
+            m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(sort2)]);
+            m.goto("pagination");
+
+            // else { "/r/" + subreddit.trim() + "/" + sort + ".json?" + "&" }
+            m.label("plain_subreddit");
+            m.new_obj_into(sb, "java.lang.StringBuilder", vec![Value::str("http://www.reddit.com/r/")]);
+            let trimmed = m.vcall(subreddit, "java.lang.String", "trim", vec![], Type::string());
+            m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(trimmed)]);
+            m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::str("/")]);
+            let sort3 = m.temp(Type::string());
+            m.get_field(sort3, this, &f_sort);
+            m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(sort3)]);
+            m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::str(".json?&")]);
+
+            // pagination: if (mAfter != null) "count=" + c + "&after=" + a + "&"
+            //             else if (mBefore != null) "count=" + c + "&before=" + b + "&"
+            m.label("pagination");
+            let after = m.temp(Type::string());
+            m.get_field(after, this, &f_after);
+            m.iff(CondOp::Eq, after, Value::null(), "try_before");
+            m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::str("count=")]);
+            let cnt1 = m.temp(Type::string());
+            m.get_field(cnt1, this, &f_count);
+            m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(cnt1)]);
+            m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::str("&after=")]);
+            m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(after)]);
+            m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::str("&")]);
+            m.goto("send");
+            m.label("try_before");
+            let before = m.temp(Type::string());
+            m.get_field(before, this, &f_before);
+            m.iff(CondOp::Eq, before, Value::null(), "send");
+            m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::str("count=")]);
+            let cnt2 = m.temp(Type::string());
+            m.get_field(cnt2, this, &f_count);
+            m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(cnt2)]);
+            m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::str("&before=")]);
+            m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(before)]);
+            m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::str("&")]);
+
+            // url = sb.toString(); request = new HttpGet(url);
+            // response = mClient.execute(request); parseSubredditJSON(in);
+            m.label("send");
+            let url = m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
+            let req = m.new_obj("org.apache.http.client.methods.HttpGet", vec![Value::Local(url)]);
+            let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
+            let resp = m.vcall(
+                client,
+                "org.apache.http.client.HttpClient",
+                "execute",
+                vec![Value::Local(req)],
+                Type::object("org.apache.http.HttpResponse"),
+            );
+            let ent = m.vcall(
+                resp,
+                "org.apache.http.HttpResponse",
+                "getEntity",
+                vec![],
+                Type::object("org.apache.http.HttpEntity"),
+            );
+            let body = m.scall(
+                "org.apache.http.util.EntityUtils",
+                "toString",
+                vec![Value::Local(ent)],
+                Type::string(),
+            );
+            m.vcall_void(this, &task, "parseSubredditJSON", vec![Value::Local(body)]);
+            let r = m.temp(Type::obj_root());
+            m.assign(r, extractocol_ir::Expr::Use(Value::null()));
+            m.ret(r);
+        });
+        c.method("parseSubredditJSON", vec![Type::string()], Type::Void, |m| {
+            m.recv(&task);
+            let body = m.arg(0, "body");
+            let j = m.new_obj("org.json.JSONObject", vec![Value::Local(body)]);
+            let data = m.vcall(
+                j,
+                "org.json.JSONObject",
+                "getJSONObject",
+                vec![Value::str("data")],
+                Type::object("org.json.JSONObject"),
+            );
+            let children = m.vcall(
+                data,
+                "org.json.JSONObject",
+                "getJSONArray",
+                vec![Value::str("children")],
+                Type::object("org.json.JSONArray"),
+            );
+            let first = m.vcall(
+                children,
+                "org.json.JSONArray",
+                "getJSONObject",
+                vec![Value::int(0)],
+                Type::object("org.json.JSONObject"),
+            );
+            for key in ["title", "author", "url", "thumbnail", "permalink"] {
+                let v = m.vcall(
+                    first,
+                    "org.json.JSONObject",
+                    "getString",
+                    vec![Value::str(key)],
+                    Type::string(),
+                );
+                let _ = v;
+            }
+            m.ret_void();
+        });
+    });
+    // The UI entry: builds the task from user input and executes it.
+    let main = format!("{PKG}.Main");
+    b.class(&main, |c| {
+        c.extends("android.app.Activity");
+        c.method("refresh", vec![Type::string(), Type::string(), Type::string()], Type::Void, |m| {
+            m.recv(&main);
+            let sub = m.arg(0, "subreddit");
+            let after = m.arg(1, "after");
+            let before = m.arg(2, "before");
+            let et = m.temp(Type::object("android.widget.EditText"));
+            m.assign(et, extractocol_ir::Expr::New("android.widget.EditText".into()));
+            let query = m.vcall(et, "android.widget.EditText", "getText", vec![], Type::string());
+            let count = m.temp(Type::string());
+            m.cstr(count, "25");
+            let t = m.new_obj(
+                &format!("{PKG}.DownloadThreadsTask"),
+                vec![
+                    Value::Local(sub),
+                    Value::Local(query),
+                    Value::Local(after),
+                    Value::Local(before),
+                    Value::Local(count),
+                ],
+            );
+            m.vcall_void(t, &format!("{PKG}.DownloadThreadsTask"), "execute", vec![Value::null()]);
+            m.ret_void();
+        });
+    });
+
+    // Ground truth: 9 concrete example URIs (3 base forms × 3 pagination
+    // forms), triggered through Main.refresh.
+    let listing_json = r#"{
+        "kind": "Listing",
+        "data": { "children": [ { "title": "t", "author": "a",
+            "url": "http://i.redd.it/x.png",
+            "thumbnail": "http://www.reddit.com/thumbs/t3_xyz.png",
+            "permalink": "/r/pics/1", "score": 42, "num_comments": 7 } ],
+            "after": "t3_next", "before": null, "modhash": "unused" }
+    }"#;
+    g.record(
+        TxnTruth {
+            method: HttpMethod::Get,
+            variants: 9,
+            uri_examples: vec![
+                // frontpage × {after, before, plain}
+                "http://www.reddit.com/hot.json?limit=25&count=25&after=t3_a&".into(),
+                "http://www.reddit.com/hot.json?limit=25&count=25&before=t3_b&".into(),
+                "http://www.reddit.com/hot.json?limit=25&".into(),
+                // search × {after, before, plain}
+                "http://www.reddit.com/search/.json?q=user-input&sort=hot&count=25&after=t3_a&".into(),
+                "http://www.reddit.com/search/.json?q=user-input&sort=hot&count=25&before=t3_b&".into(),
+                "http://www.reddit.com/search/.json?q=user-input&sort=hot".into(),
+                // subreddit × {after, before, plain}
+                "http://www.reddit.com/r/pics/hot.json?&count=25&after=t3_a&".into(),
+                "http://www.reddit.com/r/pics/hot.json?&count=25&before=t3_b&".into(),
+                "http://www.reddit.com/r/pics/hot.json?&".into(),
+            ],
+            query_keys: vec![
+                "limit".into(),
+                "q".into(),
+                "sort".into(),
+                "count".into(),
+                "after".into(),
+                "before".into(),
+            ],
+            body_json_keys: vec![],
+            form_keys: vec![],
+            resp: RespTruth::Json(vec![
+                "data".into(),
+                "children".into(),
+                "title".into(),
+                "author".into(),
+                "url".into(),
+                "thumbnail".into(),
+                "permalink".into(),
+            ]),
+            trigger: Trigger::new(TriggerKind::StandardUi, &main, "refresh", vec![]),
+            variant_args: vec![
+                vec![ConcreteArg::s("__frontpage__"), ConcreteArg::s("t3_a"), ConcreteArg::Null],
+                vec![ConcreteArg::s("__frontpage__"), ConcreteArg::Null, ConcreteArg::s("t3_b")],
+                vec![ConcreteArg::s("__frontpage__"), ConcreteArg::Null, ConcreteArg::Null],
+                vec![ConcreteArg::s("__search__"), ConcreteArg::s("t3_a"), ConcreteArg::Null],
+                vec![ConcreteArg::s("__search__"), ConcreteArg::Null, ConcreteArg::s("t3_b")],
+                vec![ConcreteArg::s("__search__"), ConcreteArg::Null, ConcreteArg::Null],
+                vec![ConcreteArg::s("pics"), ConcreteArg::s("t3_a"), ConcreteArg::Null],
+                vec![ConcreteArg::s("pics"), ConcreteArg::Null, ConcreteArg::s("t3_b")],
+                vec![ConcreteArg::s("pics"), ConcreteArg::Null, ConcreteArg::Null],
+            ],
+            setup: None,
+            visible_manual: true,
+            visible_auto: true,
+            static_visible: true,
+            body_requires_async: false,
+        },
+        vec![
+            Route::json(HttpMethod::Get, "http://www\\.reddit\\.com/(hot|search/|r/).*", listing_json),
+        ],
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extractocol_ir::validate::validate_apk;
+
+    #[test]
+    fn diode_builds_and_matches_table1() {
+        let app = build();
+        assert!(validate_apk(&app.apk).is_empty());
+        let c = app.truth.static_counts();
+        assert_eq!(c.get, 24, "24 GET transactions (Table 1)");
+        assert_eq!(c.post, 0);
+        assert_eq!(c.json, 2, "listing + comments JSON responses");
+        assert_eq!(c.pairs, 5);
+        // Fig. 3: the listing transaction covers 9 URI examples.
+        assert_eq!(app.truth.txns[0].variants, 9);
+        assert_eq!(app.truth.txns[0].uri_examples.len(), 9);
+    }
+}

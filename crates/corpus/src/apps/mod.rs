@@ -1,0 +1,10 @@
+//! The 34 corpus apps: handcrafted case-study models plus generated
+//! Table 1 rows.
+
+pub mod closed_source;
+pub mod diode;
+pub mod kayak;
+pub mod open_source;
+pub mod radio_reddit;
+pub mod ted;
+pub mod weather;

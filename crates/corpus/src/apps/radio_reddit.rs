@@ -1,0 +1,407 @@
+//! radio reddit — the Table 3 case study.
+//!
+//! Six transactions with the published dependency graph:
+//!
+//! 1. `GET http://www.reddit.com/api/info.json?…` — thing metadata; the
+//!    response carries the *fullname* ids used by save/vote (`id` field).
+//! 2. `GET http://www.radioreddit.com/<station>/status.json` — the Fig. 8
+//!    trace: the app reads 16 of the 18 JSON keys (not `album`/`score`)
+//!    and passes the station's `relay` URI to Android's `MediaPlayer`,
+//!    which generates transaction 6.
+//! 3. `POST https://ssl.reddit.com/api/login` with
+//!    `user=…&passwd=…&api_type=json`; the JSON response's `modhash` and
+//!    `cookie` feed transactions 4 and 5 (`uh` field + `Cookie` header).
+//! 4. `POST http://www.reddit.com/api/(unsave|save)` — form `id`, `uh`.
+//! 5. `POST http://www.reddit.com/api/vote` — form `id`, `dir`, `uh`.
+//! 6. `GET (.*)` — the relay stream, response to the media player.
+
+use crate::gen::AppGen;
+use crate::ground_truth::{
+    AppSpec, ConcreteArg, PaperRow, RespTruth, RowCounts, Trigger, TriggerKind, TxnTruth,
+};
+use crate::server::Route;
+use extractocol_http::{Body, HttpMethod};
+use extractocol_ir::{CondOp, Type, Value};
+
+const PKG: &str = "com.radioreddit.android";
+
+fn row(get: usize, post: usize, query: usize, json: usize, xml: usize, pairs: usize) -> RowCounts {
+    RowCounts { get, post, put: 0, delete: 0, query, json, xml, pairs }
+}
+
+/// The 16 status.json keys the app reads (Fig. 8 highlights; `album` and
+/// `score` are served but never parsed).
+pub const STATUS_KEYS_READ: [&str; 16] = [
+    "all_listeners",
+    "listeners",
+    "online",
+    "playlist",
+    "relay",
+    "songs",
+    "song",
+    "artist",
+    "download_url",
+    "genre",
+    "id",
+    "preview_url",
+    "reddit_title",
+    "reddit_url",
+    "redditor",
+    "title",
+];
+
+/// Builds the radio reddit corpus app.
+pub fn build() -> AppSpec {
+    let mut g = AppGen::new("radio reddit", PKG, "http://www.radioreddit.com")
+        .open_source()
+        .protocol("HTTP(S)")
+        .paper_row(PaperRow {
+            extractocol: row(3, 3, 3, 4, 0, 4),
+            manual: row(3, 3, 3, 4, 0, 4),
+            third: row(3, 3, 3, 4, 0, 4),
+        });
+
+    let api = format!("{PKG}.Api");
+    {
+        let b = g.apk_builder();
+        b.class(&api, |c| {
+            c.extends("java.lang.Object");
+            let f_modhash = c.field("mModhash", Type::string());
+            let f_cookie = c.field("mCookie", Type::string());
+            let f_fullname = c.field("mFullname", Type::string());
+            let f_relay = c.field("mRelay", Type::string());
+
+            // #1: thing info — the response's fullname feeds save/vote ids.
+            c.method("fetchInfo", vec![], Type::Void, |m| {
+                let this = m.recv(&api);
+                let req = m.new_obj(
+                    "org.apache.http.client.methods.HttpGet",
+                    vec![Value::str("http://www.reddit.com/api/info.json?")],
+                );
+                let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
+                let resp = m.vcall(client, "org.apache.http.client.HttpClient", "execute",
+                    vec![Value::Local(req)], Type::object("org.apache.http.HttpResponse"));
+                let ent = m.vcall(resp, "org.apache.http.HttpResponse", "getEntity", vec![], Type::object("org.apache.http.HttpEntity"));
+                let body = m.scall("org.apache.http.util.EntityUtils", "toString", vec![Value::Local(ent)], Type::string());
+                let j = m.new_obj("org.json.JSONObject", vec![Value::Local(body)]);
+                let name = m.vcall(j, "org.json.JSONObject", "getString", vec![Value::str("name")], Type::string());
+                m.put_field(this, &f_fullname, name);
+                m.ret_void();
+            });
+
+            // #2: station status (Fig. 8) — relay URI goes to MediaPlayer.
+            c.method("fetchStatus", vec![Type::string()], Type::Void, |m| {
+                let this = m.recv(&api);
+                let station = m.arg(0, "station");
+                let sb = m.new_obj(
+                    "java.lang.StringBuilder",
+                    vec![Value::str("http://www.radioreddit.com/")],
+                );
+                m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(station)]);
+                m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::str("/status.json")]);
+                let url = m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
+                let req = m.new_obj("org.apache.http.client.methods.HttpGet", vec![Value::Local(url)]);
+                let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
+                let resp = m.vcall(client, "org.apache.http.client.HttpClient", "execute",
+                    vec![Value::Local(req)], Type::object("org.apache.http.HttpResponse"));
+                let ent = m.vcall(resp, "org.apache.http.HttpResponse", "getEntity", vec![], Type::object("org.apache.http.HttpEntity"));
+                let body = m.scall("org.apache.http.util.EntityUtils", "toString", vec![Value::Local(ent)], Type::string());
+                let j = m.new_obj("org.json.JSONObject", vec![Value::Local(body)]);
+                for k in ["all_listeners", "listeners", "online", "playlist"] {
+                    let v = m.vcall(j, "org.json.JSONObject", "getString", vec![Value::str(k)], Type::string());
+                    let _ = v;
+                }
+                let relay = m.vcall(j, "org.json.JSONObject", "getString", vec![Value::str("relay")], Type::string());
+                m.put_field(this, &f_relay, relay);
+                let songs = m.vcall(j, "org.json.JSONObject", "getJSONObject", vec![Value::str("songs")], Type::object("org.json.JSONObject"));
+                let arr = m.vcall(songs, "org.json.JSONObject", "getJSONArray", vec![Value::str("song")], Type::object("org.json.JSONArray"));
+                let song = m.vcall(arr, "org.json.JSONArray", "getJSONObject", vec![Value::int(0)], Type::object("org.json.JSONObject"));
+                for k in [
+                    "artist",
+                    "download_url",
+                    "genre",
+                    "id",
+                    "preview_url",
+                    "reddit_title",
+                    "reddit_url",
+                    "redditor",
+                    "title",
+                ] {
+                    let v = m.vcall(song, "org.json.JSONObject", "getString", vec![Value::str(k)], Type::string());
+                    let _ = v;
+                }
+                m.ret_void();
+            });
+
+            // #3: login — modhash/cookie stored for later requests.
+            c.method("login", vec![Type::string(), Type::string()], Type::Void, |m| {
+                let this = m.recv(&api);
+                let user = m.arg(0, "user");
+                let passwd = m.arg(1, "passwd");
+                let list = m.new_obj("java.util.ArrayList", vec![]);
+                let p1 = m.new_obj("org.apache.http.message.BasicNameValuePair", vec![Value::str("user"), Value::Local(user)]);
+                m.vcall_void(list, "java.util.ArrayList", "add", vec![Value::Local(p1)]);
+                let p2 = m.new_obj("org.apache.http.message.BasicNameValuePair", vec![Value::str("passwd"), Value::Local(passwd)]);
+                m.vcall_void(list, "java.util.ArrayList", "add", vec![Value::Local(p2)]);
+                let p3 = m.new_obj("org.apache.http.message.BasicNameValuePair", vec![Value::str("api_type"), Value::str("json")]);
+                m.vcall_void(list, "java.util.ArrayList", "add", vec![Value::Local(p3)]);
+                let ent = m.new_obj("org.apache.http.client.entity.UrlEncodedFormEntity", vec![Value::Local(list)]);
+                let req = m.new_obj("org.apache.http.client.methods.HttpPost", vec![Value::str("https://ssl.reddit.com/api/login")]);
+                m.vcall_void(req, "org.apache.http.client.methods.HttpPost", "setEntity", vec![Value::Local(ent)]);
+                let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
+                let resp = m.vcall(client, "org.apache.http.client.HttpClient", "execute",
+                    vec![Value::Local(req)], Type::object("org.apache.http.HttpResponse"));
+                let rent = m.vcall(resp, "org.apache.http.HttpResponse", "getEntity", vec![], Type::object("org.apache.http.HttpEntity"));
+                let body = m.scall("org.apache.http.util.EntityUtils", "toString", vec![Value::Local(rent)], Type::string());
+                let j = m.new_obj("org.json.JSONObject", vec![Value::Local(body)]);
+                let modhash = m.vcall(j, "org.json.JSONObject", "getString", vec![Value::str("modhash")], Type::string());
+                m.put_field(this, &f_modhash, modhash);
+                let cookie = m.vcall(j, "org.json.JSONObject", "getString", vec![Value::str("cookie")], Type::string());
+                m.put_field(this, &f_cookie, cookie);
+                let https = m.vcall(j, "org.json.JSONObject", "getString", vec![Value::str("need_https")], Type::string());
+                let _ = https;
+                m.ret_void();
+            });
+
+            // #4: save/unsave — disjunctive URI, form id/uh, Cookie header.
+            c.method("save", vec![Type::Bool], Type::Void, |m| {
+                let this = m.recv(&api);
+                let unsave = m.arg(0, "unsave");
+                let sb = m.new_obj(
+                    "java.lang.StringBuilder",
+                    vec![Value::str("http://www.reddit.com/api/")],
+                );
+                m.iff(CondOp::Eq, unsave, Value::int(0), "do_save");
+                m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::str("unsave")]);
+                m.goto("built");
+                m.label("do_save");
+                m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::str("save")]);
+                m.label("built");
+                let url = m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
+                let id = m.temp(Type::string());
+                m.get_field(id, this, &f_fullname);
+                let uh = m.temp(Type::string());
+                m.get_field(uh, this, &f_modhash);
+                let ck = m.temp(Type::string());
+                m.get_field(ck, this, &f_cookie);
+                let list = m.new_obj("java.util.ArrayList", vec![]);
+                let p1 = m.new_obj("org.apache.http.message.BasicNameValuePair", vec![Value::str("id"), Value::Local(id)]);
+                m.vcall_void(list, "java.util.ArrayList", "add", vec![Value::Local(p1)]);
+                let p2 = m.new_obj("org.apache.http.message.BasicNameValuePair", vec![Value::str("uh"), Value::Local(uh)]);
+                m.vcall_void(list, "java.util.ArrayList", "add", vec![Value::Local(p2)]);
+                let ent = m.new_obj("org.apache.http.client.entity.UrlEncodedFormEntity", vec![Value::Local(list)]);
+                let req = m.new_obj("org.apache.http.client.methods.HttpPost", vec![Value::Local(url)]);
+                m.vcall_void(req, "org.apache.http.client.methods.HttpPost", "setEntity", vec![Value::Local(ent)]);
+                m.vcall_void(req, "org.apache.http.client.methods.HttpPost", "setHeader", vec![Value::str("Cookie"), Value::Local(ck)]);
+                let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
+                let resp = m.vcall(client, "org.apache.http.client.HttpClient", "execute",
+                    vec![Value::Local(req)], Type::object("org.apache.http.HttpResponse"));
+                let rent = m.vcall(resp, "org.apache.http.HttpResponse", "getEntity", vec![], Type::object("org.apache.http.HttpEntity"));
+                let body = m.scall("org.apache.http.util.EntityUtils", "toString", vec![Value::Local(rent)], Type::string());
+                let j = m.new_obj("org.json.JSONObject", vec![Value::Local(body)]);
+                let err = m.vcall(j, "org.json.JSONObject", "getString", vec![Value::str("errors")], Type::string());
+                let _ = err;
+                m.ret_void();
+            });
+
+            // #5: vote — form id/dir/uh, Cookie header.
+            c.method("vote", vec![Type::string()], Type::Void, |m| {
+                let this = m.recv(&api);
+                let dir = m.arg(0, "dir");
+                let id = m.temp(Type::string());
+                m.get_field(id, this, &f_fullname);
+                let uh = m.temp(Type::string());
+                m.get_field(uh, this, &f_modhash);
+                let ck = m.temp(Type::string());
+                m.get_field(ck, this, &f_cookie);
+                let list = m.new_obj("java.util.ArrayList", vec![]);
+                let p1 = m.new_obj("org.apache.http.message.BasicNameValuePair", vec![Value::str("id"), Value::Local(id)]);
+                m.vcall_void(list, "java.util.ArrayList", "add", vec![Value::Local(p1)]);
+                let p2 = m.new_obj("org.apache.http.message.BasicNameValuePair", vec![Value::str("dir"), Value::Local(dir)]);
+                m.vcall_void(list, "java.util.ArrayList", "add", vec![Value::Local(p2)]);
+                let p3 = m.new_obj("org.apache.http.message.BasicNameValuePair", vec![Value::str("uh"), Value::Local(uh)]);
+                m.vcall_void(list, "java.util.ArrayList", "add", vec![Value::Local(p3)]);
+                let ent = m.new_obj("org.apache.http.client.entity.UrlEncodedFormEntity", vec![Value::Local(list)]);
+                let req = m.new_obj("org.apache.http.client.methods.HttpPost", vec![Value::str("http://www.reddit.com/api/vote")]);
+                m.vcall_void(req, "org.apache.http.client.methods.HttpPost", "setEntity", vec![Value::Local(ent)]);
+                m.vcall_void(req, "org.apache.http.client.methods.HttpPost", "setHeader", vec![Value::str("Cookie"), Value::Local(ck)]);
+                let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
+                m.vcall_void(client, "org.apache.http.client.HttpClient", "execute", vec![Value::Local(req)]);
+                m.ret_void();
+            });
+
+            // #6: the relay stream — "the app then passes the station's
+            // relay URI to Android's MediaPlayer" (Fig. 8).
+            c.method("play", vec![], Type::Void, |m| {
+                let this = m.recv(&api);
+                let relay = m.temp(Type::string());
+                m.get_field(relay, this, &f_relay);
+                let mp = m.new_obj("android.media.MediaPlayer", vec![]);
+                m.vcall_void(mp, "android.media.MediaPlayer", "setDataSource", vec![Value::Local(relay)]);
+                m.vcall_void(mp, "android.media.MediaPlayer", "prepare", vec![]);
+                m.vcall_void(mp, "android.media.MediaPlayer", "start", vec![]);
+                m.ret_void();
+            });
+        });
+    }
+
+    // ---- ground truth and routes ----
+    let t = |method,
+             uri: &str,
+             query: Vec<&str>,
+             form: Vec<&str>,
+             resp: RespTruth,
+             trig_method: &str,
+             args: Vec<ConcreteArg>,
+             kind: TriggerKind| TxnTruth {
+        method,
+        variants: 1,
+        uri_examples: vec![uri.to_string()],
+        query_keys: query.into_iter().map(str::to_string).collect(),
+        body_json_keys: vec![],
+        form_keys: form.into_iter().map(str::to_string).collect(),
+        resp,
+        variant_args: vec![],
+        setup: None,
+        trigger: Trigger::new(kind, &api, trig_method, args),
+        visible_manual: true,
+        visible_auto: true,
+        static_visible: true,
+        body_requires_async: false,
+    };
+
+    // Fig. 8's exact status.json payload shape (18 keys, 2 unread).
+    let status_json = r#"[{ "all_listeners":"99999", "listeners":"13586", "online":"TRUE",
+        "playlist":"hiphop",
+        "relay":"http://cdn.audiopump.co/radioreddit/hiphop_mp3_128k",
+        "songs":{ "song":[{ "album": "", "artist": "stirus",
+            "download_url": "http://www.radioreddit.com/dl/837",
+            "genre": "Hip-Hop", "id": "837",
+            "preview_url": "http://www.radioreddit.com/pv/837",
+            "reddit_title": "stirus - Surviving Minds",
+            "reddit_url": "http://redd.it/x1", "redditor": "sonus",
+            "score": "6", "title": "Surviving Minds" }]} }]"#;
+
+    g.record(
+        t(
+            HttpMethod::Get,
+            "http://www.reddit.com/api/info.json?",
+            vec![],
+            vec![],
+            RespTruth::Json(vec!["name".into()]),
+            "fetchInfo",
+            vec![],
+            TriggerKind::StandardUi,
+        ),
+        vec![Route::json(
+            HttpMethod::Get,
+            "http://www\\.reddit\\.com/api/info\\.json.*",
+            r#"{"name":"t3_song837","kind":"t3","extra":"unused"}"#,
+        )],
+    );
+    g.record(
+        t(
+            HttpMethod::Get,
+            "http://www.radioreddit.com/api/hiphop/status.json",
+            vec![],
+            vec![],
+            RespTruth::Json(STATUS_KEYS_READ.iter().map(|s| s.to_string()).collect()),
+            "fetchStatus",
+            vec![ConcreteArg::s("api/hiphop")],
+            TriggerKind::StandardUi,
+        ),
+        vec![Route::json(
+            HttpMethod::Get,
+            "http://www\\.radioreddit\\.com/.*status\\.json",
+            status_json,
+        )],
+    );
+    g.record(
+        t(
+            HttpMethod::Post,
+            "https://ssl.reddit.com/api/login",
+            vec![],
+            vec!["user", "passwd", "api_type"],
+            RespTruth::Json(vec!["modhash".into(), "cookie".into(), "need_https".into()]),
+            "login",
+            vec![ConcreteArg::s("alice"), ConcreteArg::s("hunter2")],
+            TriggerKind::LoginFlow,
+        ),
+        vec![Route::json(
+            HttpMethod::Post,
+            "https://ssl\\.reddit\\.com/api/login",
+            r#"{"modhash":"mh-4242","cookie":"ck-9999","need_https":"true"}"#,
+        )],
+    );
+    g.record(
+        t(
+            HttpMethod::Post,
+            "http://www.reddit.com/api/save",
+            vec![],
+            vec!["id", "uh"],
+            RespTruth::Json(vec!["errors".into()]),
+            "save",
+            vec![ConcreteArg::Int(0)],
+            TriggerKind::LoginFlow,
+        ),
+        vec![Route::json(
+            HttpMethod::Post,
+            "http://www\\.reddit\\.com/api/(save|unsave)",
+            r#"{"errors":""}"#,
+        )],
+    );
+    g.record(
+        t(
+            HttpMethod::Post,
+            "http://www.reddit.com/api/vote",
+            vec![],
+            vec!["id", "dir", "uh"],
+            RespTruth::None,
+            "vote",
+            vec![ConcreteArg::s("1")],
+            TriggerKind::LoginFlow,
+        ),
+        vec![Route::json(
+            HttpMethod::Post,
+            "http://www\\.reddit\\.com/api/vote",
+            r#"{"errors":""}"#,
+        )],
+    );
+    g.record(
+        t(
+            HttpMethod::Get,
+            "http://cdn.audiopump.co/radioreddit/hiphop_mp3_128k",
+            vec![],
+            vec![],
+            RespTruth::None,
+            "play",
+            vec![],
+            TriggerKind::StandardUi,
+        ),
+        vec![Route::ok(HttpMethod::Get, "http://cdn\\.audiopump\\.co/.*", Body::Binary(2048))],
+    );
+
+    g.ballast(70);
+    g.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extractocol_ir::validate::validate_apk;
+
+    #[test]
+    fn radio_reddit_matches_table3_shape() {
+        let app = build();
+        assert!(validate_apk(&app.apk).is_empty());
+        assert_eq!(app.truth.txns.len(), 6, "six transactions (Table 3)");
+        let c = app.truth.static_counts();
+        assert_eq!(c.get, 3);
+        assert_eq!(c.post, 3);
+        assert_eq!(c.query, 3, "login/save/vote form bodies");
+        assert_eq!(c.json, 4, "info, status, login, save JSON responses");
+        assert_eq!(c.pairs, 4);
+        // Fig. 8: 16 of 18 keys read.
+        assert_eq!(STATUS_KEYS_READ.len(), 16);
+    }
+}

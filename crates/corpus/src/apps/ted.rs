@@ -1,0 +1,479 @@
+//! TED — the Table 4 / Fig. 1 case study ("Best Apps of 2014").
+//!
+//! Eight notable transactions and their dependency graph:
+//!
+//! 1. Speaker info (S) — JSON; name/description inserted into the SQLite
+//!    DB (`android.database.sqlite.SQLiteDatabase`), api-key from
+//!    `android.content.res.Resources`.
+//! 2. Facebook sharing (S) — `GET https://graph.facebook.com/me/photos`.
+//! 3. Advertisement query (S) — JSON carrying the ad query URI (Fig. 1's
+//!    `android_ad.json` response with `companions`/`url`).
+//! 4. `GET (.*)` ad query URI from #3 (D) — XML (VAST) with ad resource
+//!    URIs.
+//! 5. `GET (.*)` ad video URI from #4 (D) — binary, to the media player
+//!    ("response goes to media player", Fig. 1 — the prefetch chain).
+//! 6. Talk info (S) — JSON; thumbnail/video URIs inserted into the DB.
+//! 7. `GET (.*)` thumbnail URI from the DB (D) — binary (image view).
+//! 8. `GET (.*)` audio/video URI from the DB (D) — binary (media player).
+//!
+//! Plus the rest of the app's API surface to match its Table 1 row
+//! (16 GET / 2 POST, q=2, json=10, 10 pairs; automatic fuzzing reaches
+//! only 10 GET / 1 POST — server-triggered updates defeat it, §5.2).
+
+use crate::gen::{AppGen, BodyKind, RespKind, Stack, TxnSpec};
+use crate::ground_truth::{
+    AppSpec, ConcreteArg, PaperRow, RespTruth, RowCounts, Trigger, TriggerKind, TxnTruth,
+};
+use crate::server::Route;
+use extractocol_http::{Body, HttpMethod};
+use extractocol_ir::{Type, Value};
+
+const PKG: &str = "com.ted.android";
+const API: &str = "https://app-api.ted.com";
+
+fn row(get: usize, post: usize, query: usize, json: usize, xml: usize, pairs: usize) -> RowCounts {
+    RowCounts { get, post, put: 0, delete: 0, query, json, xml, pairs }
+}
+
+/// Builds the TED corpus app.
+pub fn build() -> AppSpec {
+    let mut g = AppGen::new("TED", PKG, API).protocol("HTTP(S)").paper_row(PaperRow {
+        extractocol: row(16, 2, 2, 10, 0, 10),
+        manual: row(16, 2, 2, 10, 0, 10),
+        third: row(10, 1, 2, 10, 0, 10),
+    });
+    g.apk_builder().resource("ted_api_key", "k9a7f3e2");
+
+    build_handcrafted(&mut g);
+
+    // Filler API surface: 8 more GETs (5 JSON-paired, 2 of those with
+    // query strings) and 2 POSTs with JSON bodies.
+    for (i, (path, json_resp, query, auto)) in [
+        ("/v1/talks.json", true, true, true),
+        ("/v1/playlists.json", true, true, true),
+        ("/v1/languages.json", true, false, true),
+        ("/v1/themes.json", true, false, true),
+        ("/v1/events.json", true, false, false),
+        ("/v1/surprise_me.json", false, false, false),
+        ("/v1/configuration.json", false, false, false),
+        ("/v1/translations/check.json", false, false, false),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut t = TxnSpec::get(Stack::Apache, path);
+        if json_resp {
+            t = t.resp(RespKind::Json(vec![
+                format!("field_a{i}"),
+                format!("field_b{i}"),
+                "updated_at".to_string(),
+            ]));
+        }
+        if query {
+            t = t.q_const("api-key", "k9a7f3e2").q_dyn("page");
+        }
+        let kind = if auto { TriggerKind::StandardUi } else { TriggerKind::ServerPush };
+        g.txn(t.trigger(kind, true, auto));
+    }
+    g.txn(
+        TxnSpec::get(Stack::Apache, "/v1/history")
+            .method(HttpMethod::Post)
+            .body(BodyKind::Json(vec!["talk_id".into(), "progress".into()]))
+            .trigger(TriggerKind::StandardUi, true, true),
+    );
+    g.txn(
+        TxnSpec::get(Stack::Apache, "/v1/favorites")
+            .method(HttpMethod::Post)
+            .body(BodyKind::Json(vec!["talk_id".into()]))
+            .trigger(TriggerKind::LoginFlow, true, false),
+    );
+
+    g.ballast(420);
+    g.finish()
+}
+
+fn build_handcrafted(g: &mut AppGen) {
+    let api = format!("{PKG}.TedApi");
+    let b = g.apk_builder();
+    b.class(&api, |c| {
+        c.extends("java.lang.Object");
+        let f_ad_query = c.field("mAdQueryUri", Type::string());
+        let f_ad_video = c.field("mAdVideoUri", Type::string());
+
+        // Helper: run a GET and return the body string.
+        c.method("doGet", vec![Type::string()], Type::string(), |m| {
+            m.recv(&api);
+            let url = m.arg(0, "url");
+            let req = m.new_obj("org.apache.http.client.methods.HttpGet", vec![Value::Local(url)]);
+            let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
+            let resp = m.vcall(client, "org.apache.http.client.HttpClient", "execute",
+                vec![Value::Local(req)], Type::object("org.apache.http.HttpResponse"));
+            let ent = m.vcall(resp, "org.apache.http.HttpResponse", "getEntity", vec![], Type::object("org.apache.http.HttpEntity"));
+            let body = m.scall("org.apache.http.util.EntityUtils", "toString", vec![Value::Local(ent)], Type::string());
+            m.ret(body);
+        });
+
+        // #1: speakers — api-key from resources, response rows into the DB.
+        c.method("fetchSpeakers", vec![Type::string()], Type::Void, |m| {
+            let this = m.recv(&api);
+            let since = m.arg(0, "since");
+            let res = m.new_obj("android.content.res.Resources", vec![]);
+            let key = m.vcall(
+                res,
+                "android.content.res.Resources",
+                "getString",
+                vec![Value::Resource("ted_api_key".into())],
+                Type::string(),
+            );
+            let sb = m.new_obj(
+                "java.lang.StringBuilder",
+                vec![Value::str("https://app-api.ted.com/v1/speakers.json?limit=2000&api-key=")],
+            );
+            m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(key)]);
+            m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::str("&filter=updated_at:%3E")]);
+            m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(since)]);
+            let url = m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
+            let body = m.vcall(this, &api, "doGet", vec![Value::Local(url)], Type::string());
+            let j = m.new_obj("org.json.JSONObject", vec![Value::Local(body)]);
+            let speakers = m.vcall(j, "org.json.JSONObject", "getJSONArray", vec![Value::str("speakers")], Type::object("org.json.JSONArray"));
+            let first = m.vcall(speakers, "org.json.JSONArray", "getJSONObject", vec![Value::int(0)], Type::object("org.json.JSONObject"));
+            let name = m.vcall(first, "org.json.JSONObject", "getString", vec![Value::str("name")], Type::string());
+            let desc = m.vcall(first, "org.json.JSONObject", "getString", vec![Value::str("description")], Type::string());
+            let cv = m.new_obj("android.content.ContentValues", vec![]);
+            m.vcall_void(cv, "android.content.ContentValues", "put", vec![Value::str("name"), Value::Local(name)]);
+            m.vcall_void(cv, "android.content.ContentValues", "put", vec![Value::str("description"), Value::Local(desc)]);
+            let db = m.temp(Type::object("android.database.sqlite.SQLiteDatabase"));
+            m.assign(db, extractocol_ir::Expr::New("android.database.sqlite.SQLiteDatabase".into()));
+            m.vcall_void(db, "android.database.sqlite.SQLiteDatabase", "insert",
+                vec![Value::str("speakers"), Value::null(), Value::Local(cv)]);
+            m.ret_void();
+        });
+
+        // #2: Facebook sharing.
+        c.method("shareFacebook", vec![], Type::Void, |m| {
+            let this = m.recv(&api);
+            let body = m.vcall(
+                this,
+                &api,
+                "doGet",
+                vec![Value::str("https://graph.facebook.com/me/photos")],
+                Type::string(),
+            );
+            let _ = body;
+            m.ret_void();
+        });
+
+        // #3: ad query (Fig. 1) — the response's url feeds #4.
+        c.method("fetchAd", vec![Type::string()], Type::Void, |m| {
+            let this = m.recv(&api);
+            let talk_id = m.arg(0, "talkId");
+            let res = m.new_obj("android.content.res.Resources", vec![]);
+            let key = m.vcall(
+                res,
+                "android.content.res.Resources",
+                "getString",
+                vec![Value::Resource("ted_api_key".into())],
+                Type::string(),
+            );
+            let sb = m.new_obj(
+                "java.lang.StringBuilder",
+                vec![Value::str("https://app-api.ted.com/v1/talks/")],
+            );
+            m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(talk_id)]);
+            m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::str("/android_ad.json?api-key=")]);
+            m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(key)]);
+            let url = m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
+            let body = m.vcall(this, &api, "doGet", vec![Value::Local(url)], Type::string());
+            let j = m.new_obj("org.json.JSONObject", vec![Value::Local(body)]);
+            let comps = m.vcall(j, "org.json.JSONObject", "getJSONObject", vec![Value::str("companions")], Type::object("org.json.JSONObject"));
+            let on_page = m.vcall(comps, "org.json.JSONObject", "getJSONObject", vec![Value::str("on_page")], Type::object("org.json.JSONObject"));
+            let h = m.vcall(on_page, "org.json.JSONObject", "getString", vec![Value::str("height")], Type::string());
+            let w = m.vcall(on_page, "org.json.JSONObject", "getString", vec![Value::str("width")], Type::string());
+            let _ = (h, w);
+            let ad_url = m.vcall(j, "org.json.JSONObject", "getString", vec![Value::str("url")], Type::string());
+            m.put_field(this, &f_ad_query, ad_url);
+            m.ret_void();
+        });
+
+        // #4: ad query URI from #3 (D) — XML response with resource URIs.
+        c.method("fetchAdResources", vec![], Type::Void, |m| {
+            let this = m.recv(&api);
+            let url = m.temp(Type::string());
+            m.get_field(url, this, &f_ad_query);
+            let body = m.vcall(this, &api, "doGet", vec![Value::Local(url)], Type::string());
+            let db = m.new_obj("javax.xml.parsers.DocumentBuilder", vec![]);
+            let doc = m.vcall(db, "javax.xml.parsers.DocumentBuilder", "parse",
+                vec![Value::Local(body)], Type::object("org.w3c.dom.Document"));
+            let nl = m.vcall(doc, "org.w3c.dom.Document", "getElementsByTagName",
+                vec![Value::str("MediaFile")], Type::object("org.w3c.dom.NodeList"));
+            let el = m.vcall(nl, "org.w3c.dom.NodeList", "item", vec![Value::int(0)], Type::object("org.w3c.dom.Element"));
+            let video = m.vcall(el, "org.w3c.dom.Element", "getTextContent", vec![], Type::string());
+            m.put_field(this, &f_ad_video, video);
+            m.ret_void();
+        });
+
+        // #5: ad video URI from #4 (D) — the prefetchable media stream.
+        c.method("playAd", vec![], Type::Void, |m| {
+            let this = m.recv(&api);
+            let url = m.temp(Type::string());
+            m.get_field(url, this, &f_ad_video);
+            let mp = m.new_obj("android.media.MediaPlayer", vec![]);
+            m.vcall_void(mp, "android.media.MediaPlayer", "setDataSource", vec![Value::Local(url)]);
+            m.vcall_void(mp, "android.media.MediaPlayer", "start", vec![]);
+            m.ret_void();
+        });
+
+        // #6: talk catalog — thumbnail/video URIs into the DB.
+        c.method("fetchTalks", vec![Type::string()], Type::Void, |m| {
+            let this = m.recv(&api);
+            let ids = m.arg(0, "ids");
+            let res = m.new_obj("android.content.res.Resources", vec![]);
+            let key = m.vcall(
+                res,
+                "android.content.res.Resources",
+                "getString",
+                vec![Value::Resource("ted_api_key".into())],
+                Type::string(),
+            );
+            let sb = m.new_obj(
+                "java.lang.StringBuilder",
+                vec![Value::str("https://app-api.ted.com/v1/talk_catalogs/android_v1.json?api-key=")],
+            );
+            m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(key)]);
+            m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::str("&fields=duration_in_seconds&filter=id:")]);
+            m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(ids)]);
+            let url = m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
+            let body = m.vcall(this, &api, "doGet", vec![Value::Local(url)], Type::string());
+            let j = m.new_obj("org.json.JSONObject", vec![Value::Local(body)]);
+            let talks = m.vcall(j, "org.json.JSONObject", "getJSONArray", vec![Value::str("talks")], Type::object("org.json.JSONArray"));
+            let first = m.vcall(talks, "org.json.JSONArray", "getJSONObject", vec![Value::int(0)], Type::object("org.json.JSONObject"));
+            let thumb = m.vcall(first, "org.json.JSONObject", "getString", vec![Value::str("thumbnail_url")], Type::string());
+            let video = m.vcall(first, "org.json.JSONObject", "getString", vec![Value::str("video_url")], Type::string());
+            let cv = m.new_obj("android.content.ContentValues", vec![]);
+            m.vcall_void(cv, "android.content.ContentValues", "put", vec![Value::str("thumbnail_url"), Value::Local(thumb)]);
+            m.vcall_void(cv, "android.content.ContentValues", "put", vec![Value::str("video_url"), Value::Local(video)]);
+            let db = m.temp(Type::object("android.database.sqlite.SQLiteDatabase"));
+            m.assign(db, extractocol_ir::Expr::New("android.database.sqlite.SQLiteDatabase".into()));
+            m.vcall_void(db, "android.database.sqlite.SQLiteDatabase", "update",
+                vec![Value::str("talks"), Value::Local(cv), Value::str("id=?"), Value::null()]);
+            m.ret_void();
+        });
+
+        // #7: thumbnail URI from the DB (D) — image view.
+        c.method("loadThumbnail", vec![], Type::Void, |m| {
+            m.recv(&api);
+            let db = m.temp(Type::object("android.database.sqlite.SQLiteDatabase"));
+            m.assign(db, extractocol_ir::Expr::New("android.database.sqlite.SQLiteDatabase".into()));
+            let cur = m.vcall(db, "android.database.sqlite.SQLiteDatabase", "query",
+                vec![Value::str("talks"), Value::null(), Value::str("thumbnail_url")],
+                Type::object("android.database.Cursor"));
+            let url = m.vcall(cur, "android.database.Cursor", "getString", vec![Value::int(0)], Type::string());
+            let u = m.new_obj("java.net.URL", vec![Value::Local(url)]);
+            let conn = m.vcall(u, "java.net.URL", "openConnection", vec![], Type::object("java.net.HttpURLConnection"));
+            let input = m.vcall(conn, "java.net.HttpURLConnection", "getInputStream", vec![], Type::object("java.io.InputStream"));
+            let iv = m.new_obj("android.widget.ImageView", vec![]);
+            m.vcall_void(iv, "android.widget.ImageView", "setImageBitmap", vec![Value::Local(input)]);
+            m.ret_void();
+        });
+
+        // #8: audio/video URI from the DB (D) — media player.
+        c.method("playTalk", vec![], Type::Void, |m| {
+            m.recv(&api);
+            let db = m.temp(Type::object("android.database.sqlite.SQLiteDatabase"));
+            m.assign(db, extractocol_ir::Expr::New("android.database.sqlite.SQLiteDatabase".into()));
+            let cur = m.vcall(db, "android.database.sqlite.SQLiteDatabase", "query",
+                vec![Value::str("talks"), Value::null(), Value::str("video_url")],
+                Type::object("android.database.Cursor"));
+            let url = m.vcall(cur, "android.database.Cursor", "getString", vec![Value::int(0)], Type::string());
+            let mp = m.new_obj("android.media.MediaPlayer", vec![]);
+            m.vcall_void(mp, "android.media.MediaPlayer", "setDataSource", vec![Value::Local(url)]);
+            m.vcall_void(mp, "android.media.MediaPlayer", "prepare", vec![]);
+            m.ret_void();
+        });
+    });
+
+    // ---- ground truth and routes for the eight notable transactions ----
+    let mk = |method,
+              uri: &str,
+              query: Vec<&str>,
+              resp: RespTruth,
+              trig: &str,
+              args: Vec<ConcreteArg>,
+              kind: TriggerKind,
+              auto: bool| TxnTruth {
+        method,
+        variants: 1,
+        uri_examples: vec![uri.to_string()],
+        query_keys: query.into_iter().map(str::to_string).collect(),
+        body_json_keys: vec![],
+        form_keys: vec![],
+        resp,
+        variant_args: vec![],
+        setup: None,
+        trigger: Trigger::new(kind, &api, trig, args),
+        visible_manual: true,
+        visible_auto: auto,
+        static_visible: true,
+        body_requires_async: false,
+    };
+
+    // Fig. 1's android_ad.json response.
+    let ad_json = r#"{ "companions": { "on_page": { "height": "250", "width": "300" },
+        "preroll": { "height": "360", "width": "640" } },
+        "url": "https://ads.ted.example.com/vast?talk=2406" }"#;
+    let vast_xml = "<VAST version=\"2.0\"><Ad><MediaFile>https://cdn.ted.example.com/ad2406.mp4</MediaFile></Ad></VAST>";
+
+    g.record(
+        mk(
+            HttpMethod::Get,
+            "https://app-api.ted.com/v1/speakers.json?limit=2000&api-key=k9a7f3e2&filter=updated_at:%3E2016-01-01",
+            vec!["limit", "api-key", "filter"],
+            RespTruth::Json(vec!["speakers".into(), "name".into(), "description".into()]),
+            "fetchSpeakers",
+            vec![ConcreteArg::s("2016-01-01")],
+            TriggerKind::ServerPush,
+            false,
+        ),
+        vec![Route::json(
+            HttpMethod::Get,
+            "https://app-api\\.ted\\.com/v1/speakers\\.json.*",
+            r#"{"speakers":[{"name":"Speaker A","description":"desc","unused_slug":"a"}],"count":1}"#,
+        )],
+    );
+    g.record(
+        mk(
+            HttpMethod::Get,
+            "https://graph.facebook.com/me/photos",
+            vec![],
+            RespTruth::Raw,
+            "shareFacebook",
+            vec![],
+            TriggerKind::LoginFlow,
+            false,
+        ),
+        vec![Route::ok(
+            HttpMethod::Get,
+            "https://graph\\.facebook\\.com/me/photos",
+            Body::Text("{\"photos\":[]}".into()),
+        )],
+    );
+    g.record(
+        mk(
+            HttpMethod::Get,
+            "https://app-api.ted.com/v1/talks/2406/android_ad.json?api-key=k9a7f3e2",
+            vec!["api-key"],
+            RespTruth::Json(vec![
+                "companions".into(),
+                "on_page".into(),
+                "height".into(),
+                "width".into(),
+                "url".into(),
+            ]),
+            "fetchAd",
+            vec![ConcreteArg::s("2406")],
+            TriggerKind::StandardUi,
+            true,
+        ),
+        vec![Route::json(
+            HttpMethod::Get,
+            "https://app-api\\.ted\\.com/v1/talks/.*/android_ad\\.json.*",
+            ad_json,
+        )],
+    );
+    g.record(
+        mk(
+            HttpMethod::Get,
+            "https://ads.ted.example.com/vast?talk=2406",
+            vec![],
+            RespTruth::Xml(vec!["VAST".into(), "Ad".into(), "MediaFile".into()]),
+            "fetchAdResources",
+            vec![],
+            TriggerKind::StandardUi,
+            true,
+        ),
+        vec![Route::xml(HttpMethod::Get, "https://ads\\.ted\\.example\\.com/.*", vast_xml)],
+    );
+    g.record(
+        mk(
+            HttpMethod::Get,
+            "https://cdn.ted.example.com/ad2406.mp4",
+            vec![],
+            RespTruth::None,
+            "playAd",
+            vec![],
+            TriggerKind::StandardUi,
+            true,
+        ),
+        vec![Route::ok(HttpMethod::Get, "https://cdn\\.ted\\.example\\.com/.*", Body::Binary(4096))],
+    );
+    g.record(
+        mk(
+            HttpMethod::Get,
+            "https://app-api.ted.com/v1/talk_catalogs/android_v1.json?api-key=k9a7f3e2&fields=duration_in_seconds&filter=id:2406",
+            vec!["api-key", "fields", "filter"],
+            RespTruth::Json(vec![
+                "talks".into(),
+                "thumbnail_url".into(),
+                "video_url".into(),
+            ]),
+            "fetchTalks",
+            vec![ConcreteArg::s("2406")],
+            TriggerKind::StandardUi,
+            true,
+        ),
+        vec![Route::json(
+            HttpMethod::Get,
+            "https://app-api\\.ted\\.com/v1/talk_catalogs/.*",
+            r#"{"talks":[{"thumbnail_url":"https://img.ted.example.com/t2406.jpg",
+                 "video_url":"https://media.ted.example.com/t2406.mp4",
+                 "duration_in_seconds":780}]}"#,
+        )],
+    );
+    g.record(
+        mk(
+            HttpMethod::Get,
+            "https://img.ted.example.com/t2406.jpg",
+            vec![],
+            RespTruth::None,
+            "loadThumbnail",
+            vec![],
+            TriggerKind::StandardUi,
+            true,
+        ),
+        vec![Route::ok(HttpMethod::Get, "https://img\\.ted\\.example\\.com/.*", Body::Binary(1024))],
+    );
+    g.record(
+        mk(
+            HttpMethod::Get,
+            "https://media.ted.example.com/t2406.mp4",
+            vec![],
+            RespTruth::None,
+            "playTalk",
+            vec![],
+            TriggerKind::StandardUi,
+            true,
+        ),
+        vec![Route::ok(HttpMethod::Get, "https://media\\.ted\\.example\\.com/.*", Body::Binary(65536))],
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extractocol_ir::validate::validate_apk;
+
+    #[test]
+    fn ted_matches_table1_row() {
+        let app = build();
+        assert!(validate_apk(&app.apk).is_empty());
+        let c = app.truth.static_counts();
+        assert_eq!(c.get, 16);
+        assert_eq!(c.post, 2);
+        assert_eq!(c.json, 10, "json bodies + json responses");
+        assert_eq!(c.pairs, 10);
+        // Auto fuzzing reaches fewer transactions.
+        let auto = app.truth.counts_where(|t| t.visible_auto);
+        assert_eq!(auto.get, 10);
+        assert_eq!(auto.post, 1);
+    }
+}

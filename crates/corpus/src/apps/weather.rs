@@ -1,0 +1,211 @@
+//! Weather Notification — open-source app and the §3.4 asynchronous-event
+//! example: "a weather notification app sets its location inside a
+//! callback invoked by a location service. It constructs a part of query
+//! string that contains city names and GPS locations into a heap object.
+//! Later, another event, such as a user click, actually reads the object
+//! to generate an HTTP request."
+//!
+//! Table 1 row: 2 GET, 2 XML responses, 2 pairs.
+
+use crate::gen::AppGen;
+use crate::ground_truth::{
+    AppSpec, PaperRow, RespTruth, RowCounts, Trigger, TriggerKind, TxnTruth,
+};
+use crate::server::Route;
+use extractocol_http::HttpMethod;
+use extractocol_ir::{Type, Value};
+
+const PKG: &str = "ru.gelin.android.weather.notification";
+
+fn row(get: usize, xml: usize, pairs: usize) -> RowCounts {
+    RowCounts { get, post: 0, put: 0, delete: 0, query: 0, json: 0, xml, pairs }
+}
+
+/// Builds the Weather Notification corpus app.
+pub fn build() -> AppSpec {
+    let mut g = AppGen::new("Weather Notification", PKG, "http://weather.example.org")
+        .open_source()
+        .protocol("HTTP")
+        .paper_row(PaperRow {
+            extractocol: row(2, 2, 2),
+            manual: row(2, 2, 2),
+            third: row(2, 2, 2),
+        });
+
+    let svc = format!("{PKG}.WeatherService");
+    {
+        let b = g.apk_builder();
+        b.class(&svc, |c| {
+            c.extends("java.lang.Object");
+            c.implements("android.location.LocationListener");
+            let f_city = c.field("mCityQuery", Type::string());
+
+            // Event 1: the location callback builds part of the query
+            // string into a heap object.
+            c.method("onLocationChanged", vec![Type::object("android.location.Location")], Type::Void, |m| {
+                let this = m.recv(&svc);
+                let loc = m.arg(0, "location");
+                let city = m.vcall(loc, "android.location.Location", "getCity", vec![], Type::string());
+                let sb = m.new_obj("java.lang.StringBuilder", vec![Value::str("q=")]);
+                m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(city)]);
+                m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::str("&units=metric")]);
+                let q = m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
+                m.put_field(this, &f_city, q);
+                m.ret_void();
+            });
+
+            // Registration wiring (gives the location callback a caller).
+            c.method("start", vec![], Type::Void, |m| {
+                let this = m.recv(&svc);
+                let lm = m.temp(Type::object("android.location.LocationManager"));
+                m.assign(lm, extractocol_ir::Expr::New("android.location.LocationManager".into()));
+                m.vcall_void(
+                    lm,
+                    "android.location.LocationManager",
+                    "requestLocationUpdates",
+                    vec![Value::str("gps"), Value::int(60000), Value::int(100), Value::Local(this)],
+                );
+                m.ret_void();
+            });
+
+            // Event 2: a user click reads the heap object and fires the
+            // request.
+            c.method("onClick", vec![], Type::Void, |m| {
+                let this = m.recv(&svc);
+                let q = m.temp(Type::string());
+                m.get_field(q, this, &f_city);
+                let sb = m.new_obj(
+                    "java.lang.StringBuilder",
+                    vec![Value::str("http://weather.example.org/data/current.xml?")],
+                );
+                m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(q)]);
+                let url = m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
+                let req = m.new_obj("org.apache.http.client.methods.HttpGet", vec![Value::Local(url)]);
+                let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
+                let resp = m.vcall(client, "org.apache.http.client.HttpClient", "execute",
+                    vec![Value::Local(req)], Type::object("org.apache.http.HttpResponse"));
+                let ent = m.vcall(resp, "org.apache.http.HttpResponse", "getEntity", vec![], Type::object("org.apache.http.HttpEntity"));
+                let body = m.scall("org.apache.http.util.EntityUtils", "toString", vec![Value::Local(ent)], Type::string());
+                let db = m.new_obj("javax.xml.parsers.DocumentBuilder", vec![]);
+                let doc = m.vcall(db, "javax.xml.parsers.DocumentBuilder", "parse",
+                    vec![Value::Local(body)], Type::object("org.w3c.dom.Document"));
+                for tag in ["temperature", "humidity", "wind"] {
+                    let nl = m.vcall(doc, "org.w3c.dom.Document", "getElementsByTagName",
+                        vec![Value::str(tag)], Type::object("org.w3c.dom.NodeList"));
+                    let el = m.vcall(nl, "org.w3c.dom.NodeList", "item", vec![Value::int(0)], Type::object("org.w3c.dom.Element"));
+                    let v = m.vcall(el, "org.w3c.dom.Element", "getTextContent", vec![], Type::string());
+                    let _ = v;
+                }
+                m.ret_void();
+            });
+
+            // The forecast request (timer-refreshed).
+            c.method("fetchForecast", vec![Type::string()], Type::Void, |m| {
+                m.recv(&svc);
+                let city = m.arg(0, "city");
+                let sb = m.new_obj(
+                    "java.lang.StringBuilder",
+                    vec![Value::str("http://weather.example.org/data/forecast.xml?q=")],
+                );
+                m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(city)]);
+                let url = m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
+                let req = m.new_obj("org.apache.http.client.methods.HttpGet", vec![Value::Local(url)]);
+                let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
+                let resp = m.vcall(client, "org.apache.http.client.HttpClient", "execute",
+                    vec![Value::Local(req)], Type::object("org.apache.http.HttpResponse"));
+                let ent = m.vcall(resp, "org.apache.http.HttpResponse", "getEntity", vec![], Type::object("org.apache.http.HttpEntity"));
+                let body = m.scall("org.apache.http.util.EntityUtils", "toString", vec![Value::Local(ent)], Type::string());
+                let db = m.new_obj("javax.xml.parsers.DocumentBuilder", vec![]);
+                let doc = m.vcall(db, "javax.xml.parsers.DocumentBuilder", "parse",
+                    vec![Value::Local(body)], Type::object("org.w3c.dom.Document"));
+                let nl = m.vcall(doc, "org.w3c.dom.Document", "getElementsByTagName",
+                    vec![Value::str("day")], Type::object("org.w3c.dom.NodeList"));
+                let _ = nl;
+                m.ret_void();
+            });
+        });
+    }
+
+    let current_xml = "<weather><temperature>21</temperature><humidity>40</humidity><wind>3</wind><pressure>1013</pressure></weather>";
+    let forecast_xml = "<forecast><day>mon</day><day>tue</day></forecast>";
+
+    g.record(
+        TxnTruth {
+            method: HttpMethod::Get,
+            variants: 1,
+            uri_examples: vec![
+                "http://weather.example.org/data/current.xml?q=Irvine&units=metric".into(),
+            ],
+            query_keys: vec!["q".into(), "units".into()],
+            body_json_keys: vec![],
+            form_keys: vec![],
+            resp: RespTruth::Xml(vec![
+                "weather".into(),
+                "temperature".into(),
+                "humidity".into(),
+                "wind".into(),
+            ]),
+            trigger: Trigger::new(TriggerKind::StandardUi, &svc, "onClick", vec![]),
+            variant_args: vec![],
+            setup: None,
+            visible_manual: true,
+            visible_auto: true,
+            static_visible: true,
+            body_requires_async: false,
+        },
+        vec![Route::xml(
+            HttpMethod::Get,
+            "http://weather\\.example\\.org/data/current\\.xml.*",
+            current_xml,
+        )],
+    );
+    g.record(
+        TxnTruth {
+            method: HttpMethod::Get,
+            variants: 1,
+            uri_examples: vec![
+                "http://weather.example.org/data/forecast.xml?q=Irvine".into(),
+            ],
+            query_keys: vec!["q".into()],
+            body_json_keys: vec![],
+            form_keys: vec![],
+            resp: RespTruth::Xml(vec!["forecast".into(), "day".into()]),
+            trigger: Trigger::new(
+                TriggerKind::Timer,
+                &svc,
+                "fetchForecast",
+                vec![crate::ground_truth::ConcreteArg::s("Irvine")],
+            ),
+            variant_args: vec![],
+            setup: None,
+            visible_manual: true,
+            visible_auto: false,
+            static_visible: true,
+            body_requires_async: false,
+        },
+        vec![Route::xml(
+            HttpMethod::Get,
+            "http://weather\\.example\\.org/data/forecast\\.xml.*",
+            forecast_xml,
+        )],
+    );
+
+    g.ballast(40);
+    g.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extractocol_ir::validate::validate_apk;
+
+    #[test]
+    fn weather_matches_row() {
+        let app = build();
+        assert!(validate_apk(&app.apk).is_empty());
+        let c = app.truth.static_counts();
+        assert_eq!(c.get, 2);
+        assert_eq!(c.xml, 2);
+        assert_eq!(c.pairs, 2);
+    }
+}

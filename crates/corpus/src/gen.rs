@@ -1,0 +1,1072 @@
+//! Parameterized app generation.
+//!
+//! Each corpus app is a set of *transaction templates* instantiated over
+//! the HTTP stacks the paper models (§4). The generator emits, per
+//! transaction: one trigger method of IR that builds the request through
+//! the chosen library, fires it, and parses the response; the matching
+//! ground-truth entry; and the mock-server route the dynamic harness
+//! serves it with.
+
+use crate::ground_truth::{
+    AppSpec, ConcreteArg, GroundTruth, PaperRow, RespTruth, Trigger, TriggerKind, TxnTruth,
+};
+use crate::server::{Route, ServerSpec};
+use extractocol_core::stubs;
+use extractocol_http::regexlite::escape_literal;
+use extractocol_http::{HttpMethod, JsonValue};
+use extractocol_ir::{ApkBuilder, Local, MethodBuilder, Type, Value};
+
+/// The HTTP stack a transaction uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stack {
+    /// org.apache.http (`DefaultHttpClient.execute`).
+    Apache,
+    /// `java.net.URL` / `HttpURLConnection`.
+    UrlConn,
+    /// Volley with a `Request` subclass.
+    Volley,
+    /// okhttp3 builder + `newCall`.
+    OkHttp,
+    /// retrofit2 via the static `CallFactory` stand-in.
+    Retrofit,
+    /// loopj android-async-http with a success handler.
+    Loopj,
+    /// BeeFramework callback style.
+    Bee,
+    /// kevinsawicki http-request fluent style.
+    KSawicki,
+    /// Unmodeled raw-socket ad/analytics library — invisible to static
+    /// analysis (the §5.1 missed-message source).
+    Socket,
+}
+
+/// Request body kind. `Some(value)` entries are constants; `None` entries
+/// are dynamic (the method takes them as parameters).
+#[derive(Clone, Debug)]
+pub enum BodyKind {
+    None,
+    /// URL-encoded form pairs.
+    Form(Vec<(String, Option<String>)>),
+    /// JSON object with these keys (values dynamic).
+    Json(Vec<String>),
+}
+
+/// Response kind served and parsed.
+#[derive(Clone, Debug)]
+pub enum RespKind {
+    /// No response body processed.
+    None,
+    /// JSON with these keys read by the app (the server adds unread keys).
+    Json(Vec<String>),
+    /// XML with these tags read by the app.
+    Xml(Vec<String>),
+    /// Body consumed unparsed.
+    Raw,
+}
+
+/// One transaction template.
+#[derive(Clone, Debug)]
+pub struct TxnSpec {
+    pub method: HttpMethod,
+    pub stack: Stack,
+    /// URI path (starts with `/`).
+    pub path: String,
+    /// Extra path-variant suffixes; ≥2 entries make the URI branchy
+    /// (Diode-style) and each counts as a distinct signature.
+    pub variants: Vec<String>,
+    /// Query keys; `Some(v)` constant, `None` dynamic.
+    pub query: Vec<(String, Option<String>)>,
+    pub body: BodyKind,
+    pub resp: RespKind,
+    pub trigger_kind: TriggerKind,
+    pub visible_manual: bool,
+    pub visible_auto: bool,
+}
+
+impl TxnSpec {
+    /// A plain GET template.
+    pub fn get(stack: Stack, path: &str) -> TxnSpec {
+        TxnSpec {
+            method: HttpMethod::Get,
+            stack,
+            path: path.to_string(),
+            variants: Vec::new(),
+            query: Vec::new(),
+            body: BodyKind::None,
+            resp: RespKind::None,
+            trigger_kind: TriggerKind::StandardUi,
+            visible_manual: true,
+            visible_auto: true,
+        }
+    }
+
+    /// Sets the method (builder style).
+    pub fn method(mut self, m: HttpMethod) -> TxnSpec {
+        self.method = m;
+        self
+    }
+
+    /// Adds a dynamic query key.
+    pub fn q_dyn(mut self, k: &str) -> TxnSpec {
+        self.query.push((k.to_string(), None));
+        self
+    }
+
+    /// Adds a constant query pair.
+    pub fn q_const(mut self, k: &str, v: &str) -> TxnSpec {
+        self.query.push((k.to_string(), Some(v.to_string())));
+        self
+    }
+
+    /// Sets path variants.
+    pub fn variants(mut self, v: &[&str]) -> TxnSpec {
+        self.variants = v.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Sets the body.
+    pub fn body(mut self, b: BodyKind) -> TxnSpec {
+        self.body = b;
+        self
+    }
+
+    /// Sets the response kind.
+    pub fn resp(mut self, r: RespKind) -> TxnSpec {
+        self.resp = r;
+        self
+    }
+
+    /// Sets trigger/visibility.
+    pub fn trigger(mut self, k: TriggerKind, manual: bool, auto: bool) -> TxnSpec {
+        self.trigger_kind = k;
+        self.visible_manual = manual;
+        self.visible_auto = auto;
+        self
+    }
+}
+
+/// Incrementally builds one corpus app.
+pub struct AppGen {
+    builder: ApkBuilder,
+    name: String,
+    package: String,
+    base: String,
+    open_source: bool,
+    protocol: &'static str,
+    paper_row: PaperRow,
+    txns: Vec<TxnTruth>,
+    routes: Vec<Route>,
+    counter: usize,
+}
+
+impl AppGen {
+    /// Starts an app. `base` is the scheme+host, e.g. `https://api.x.com`.
+    pub fn new(name: &str, package: &str, base: &str) -> AppGen {
+        let mut builder = ApkBuilder::new(name, package);
+        stubs::install(&mut builder);
+        builder.activity(&format!("{package}.Main"));
+        builder.permission("android.permission.INTERNET");
+        AppGen {
+            builder,
+            name: name.to_string(),
+            package: package.to_string(),
+            base: base.to_string(),
+            open_source: false,
+            protocol: "HTTP(S)",
+            paper_row: PaperRow::default(),
+            txns: Vec::new(),
+            routes: Vec::new(),
+            counter: 0,
+        }
+    }
+
+    /// Marks the app open-source.
+    pub fn open_source(mut self) -> AppGen {
+        self.open_source = true;
+        self
+    }
+
+    /// Sets the Table 1 protocol column.
+    pub fn protocol(mut self, p: &'static str) -> AppGen {
+        self.protocol = p;
+        self
+    }
+
+    /// Records the published Table 1 row.
+    pub fn paper_row(mut self, row: PaperRow) -> AppGen {
+        self.paper_row = row;
+        self
+    }
+
+    /// Direct access to the APK builder (for handcrafted additions).
+    pub fn apk_builder(&mut self) -> &mut ApkBuilder {
+        &mut self.builder
+    }
+
+    /// Registers a handcrafted transaction's ground truth and route.
+    pub fn record(&mut self, truth: TxnTruth, routes: Vec<Route>) {
+        self.txns.push(truth);
+        self.routes.extend(routes);
+    }
+
+    /// Adds a generated transaction from a template.
+    pub fn txn(&mut self, spec: TxnSpec) {
+        let id = self.counter;
+        self.counter += 1;
+        let class = format!("{}.Api{}", self.package, id / 8);
+        let method_name = format!("tx{id}");
+        let variant_count = spec.variants.len().max(1);
+
+        // ---- parameters & example args ----
+        // Param 0 is the variant selector when branchy; then one String per
+        // dynamic query/form value.
+        let mut params: Vec<Type> = Vec::new();
+        if variant_count > 1 {
+            params.push(Type::Int);
+        }
+        let dyn_query: Vec<&str> = spec
+            .query
+            .iter()
+            .filter(|(_, v)| v.is_none())
+            .map(|(k, _)| k.as_str())
+            .collect();
+        let dyn_form: Vec<&str> = match &spec.body {
+            BodyKind::Form(pairs) => pairs
+                .iter()
+                .filter(|(_, v)| v.is_none())
+                .map(|(k, _)| k.as_str())
+                .collect(),
+            _ => Vec::new(),
+        };
+        let dyn_json: Vec<&str> = match &spec.body {
+            BodyKind::Json(keys) => keys.iter().map(String::as_str).collect(),
+            _ => Vec::new(),
+        };
+        for _ in dyn_query.iter().chain(&dyn_form).chain(&dyn_json) {
+            params.push(Type::string());
+        }
+        let mut example_args: Vec<ConcreteArg> = Vec::new();
+        if variant_count > 1 {
+            example_args.push(ConcreteArg::Int(0));
+        }
+        for (i, k) in dyn_query.iter().chain(&dyn_form).chain(&dyn_json).enumerate() {
+            example_args.push(ConcreteArg::s(&format!("{k}-val{i}")));
+        }
+
+        // ---- emit the method ----
+        let mut spec = spec;
+        // Form bodies need the apache UrlEncodedFormEntity path; other
+        // stacks in this corpus carry JSON or empty bodies.
+        if matches!(spec.body, BodyKind::Form(_)) && spec.stack != Stack::Socket {
+            spec.stack = Stack::Apache;
+        }
+        // PUT/DELETE need a stack whose API can express them.
+        if matches!(spec.method, HttpMethod::Put | HttpMethod::Delete)
+            && matches!(spec.stack, Stack::Loopj | Stack::Bee | Stack::KSawicki)
+        {
+            spec.stack = Stack::Apache;
+        }
+        // JSON bodies need an entity-carrying API (URL connections, the
+        // fluent kevinsawicki wrapper, and our Volley subclass carry none).
+        if matches!(spec.body, BodyKind::Json(_))
+            && matches!(spec.stack, Stack::UrlConn | Stack::KSawicki | Stack::Volley)
+        {
+            spec.stack = Stack::Apache;
+        }
+        let spec2 = spec.clone();
+        let base = self.base.clone();
+        let needs_volley_class = matches!(spec.stack, Stack::Volley);
+        let volley_class = format!("{}.VolleyReq{id}", self.package);
+        let needs_handler_class =
+            matches!(spec.stack, Stack::Loopj | Stack::Bee);
+        let handler_class = format!("{}.Handler{id}", self.package);
+
+        self.builder.class(&class, |c| {
+            c.method(&method_name, params.clone(), Type::Void, |m| {
+                emit_txn(m, &spec2, &base, variant_count, &volley_class, &handler_class);
+            });
+        });
+        if needs_volley_class {
+            emit_volley_subclass(&mut self.builder, &volley_class, &spec.resp);
+        }
+        if needs_handler_class {
+            emit_callback_class(&mut self.builder, &handler_class, &spec);
+        }
+
+        // ---- ground truth ----
+        let qs_example: String = {
+            let mut parts: Vec<String> = Vec::new();
+            let mut di = 0;
+            for (k, v) in &spec.query {
+                match v {
+                    Some(c) => parts.push(format!("{k}={c}")),
+                    None => {
+                        parts.push(format!("{k}={k}-val{di}"));
+                        di += 1;
+                    }
+                }
+            }
+            if parts.is_empty() {
+                String::new()
+            } else {
+                format!("?{}", parts.join("&"))
+            }
+        };
+        let uri_examples: Vec<String> = if variant_count > 1 {
+            spec.variants
+                .iter()
+                .map(|v| format!("{}{}{}{}", self.base, spec.path, v, qs_example))
+                .collect()
+        } else {
+            vec![format!("{}{}{}", self.base, spec.path, qs_example)]
+        };
+        let resp_truth = match &spec.resp {
+            RespKind::None => RespTruth::None,
+            RespKind::Json(keys) => RespTruth::Json(keys.clone()),
+            RespKind::Xml(tags) => RespTruth::Xml(tags.clone()),
+            RespKind::Raw => RespTruth::Raw,
+        };
+        self.txns.push(TxnTruth {
+            method: spec.method,
+            variants: variant_count,
+            uri_examples,
+            query_keys: spec.query.iter().map(|(k, _)| k.clone()).collect(),
+            body_json_keys: match &spec.body {
+                BodyKind::Json(keys) => keys.clone(),
+                _ => Vec::new(),
+            },
+            form_keys: match &spec.body {
+                BodyKind::Form(pairs) => pairs.iter().map(|(k, _)| k.clone()).collect(),
+                _ => Vec::new(),
+            },
+            resp: resp_truth,
+            variant_args: if variant_count > 1 {
+                (0..variant_count as i64)
+                    .map(|v| {
+                        let mut a = vec![ConcreteArg::Int(v)];
+                        a.extend(example_args.iter().skip(1).cloned());
+                        a
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            },
+            setup: None,
+            trigger: Trigger::new(spec.trigger_kind, &class, &method_name, example_args.clone()),
+            visible_manual: spec.visible_manual,
+            visible_auto: spec.visible_auto,
+            static_visible: spec.stack != Stack::Socket,
+            body_requires_async: false,
+        });
+
+        // ---- server route ----
+        // Anchored on the path; variants and query strings may follow.
+        let pattern = format!(
+            "{}{}(/.*|\\?.*)?",
+            escape_literal(&self.base),
+            escape_literal(&spec.path)
+        );
+        let route = match &spec.resp {
+            RespKind::None => Route::empty(spec.method, &pattern),
+            RespKind::Json(keys) => {
+                let mut o = JsonValue::object();
+                for (i, k) in keys.iter().enumerate() {
+                    o.insert(k, JsonValue::str(&format!("{k}-resp{i}")));
+                }
+                // Unread keys the server sends anyway (the §5.1 signature
+                // vs. traffic keyword gap on responses).
+                o.insert("server_ts", JsonValue::num(1_480_000_000.0 + id as f64));
+                o.insert("trace_id", JsonValue::str(&format!("t-{id}")));
+                Route::ok(spec.method, &pattern, extractocol_http::Body::Json(o))
+            }
+            RespKind::Xml(tags) => {
+                let inner: String = tags
+                    .iter()
+                    .skip(1)
+                    .map(|t| format!("<{t}>{t}-val</{t}>"))
+                    .collect();
+                let root = tags.first().map(String::as_str).unwrap_or("root");
+                Route::xml(
+                    spec.method,
+                    &pattern,
+                    &format!("<{root} generated=\"yes\">{inner}</{root}>"),
+                )
+            }
+            RespKind::Raw => Route::ok(
+                spec.method,
+                &pattern,
+                extractocol_http::Body::Text(format!("raw-payload-{id}")),
+            ),
+        };
+        self.routes.push(route);
+    }
+
+    /// Adds non-network "ballast" code: UI/business logic that real apps
+    /// are mostly made of. Slicing must leave it behind — the paper
+    /// reports Diode's slices cover only 6.3% of all code (Fig. 3) — and
+    /// it gives the closed-source apps their larger analysis times
+    /// (§5.1: minutes for small apps, hours for large ones).
+    pub fn ballast(&mut self, units: usize) {
+        let per_class = 12usize;
+        let mut u = 0usize;
+        let mut chunk = 0usize;
+        while u < units {
+            let class = format!("{}.ui.Screen{}", self.package, chunk);
+            let n = per_class.min(units - u);
+            self.builder.class(&class, |c| {
+                for k in 0..n {
+                    let cls = class.clone();
+                    c.method(&format!("render{k}"), vec![Type::Int], Type::string(), move |m| {
+                        m.recv(&cls);
+                        let count = m.arg(0, "count");
+                        let i = m.local("i", Type::Int);
+                        let acc = m.local("acc", Type::Int);
+                        m.cint(i, 0);
+                        m.cint(acc, 0);
+                        m.label("head");
+                        m.iff(extractocol_ir::CondOp::Ge, i, count, "done");
+                        m.assign(
+                            acc,
+                            extractocol_ir::Expr::Bin(
+                                extractocol_ir::BinOp::Add,
+                                Value::Local(acc),
+                                Value::Local(i),
+                            ),
+                        );
+                        m.assign(
+                            i,
+                            extractocol_ir::Expr::Bin(
+                                extractocol_ir::BinOp::Add,
+                                Value::Local(i),
+                                Value::int(1),
+                            ),
+                        );
+                        m.goto("head");
+                        m.label("done");
+                        let sb = m.new_obj(
+                            "java.lang.StringBuilder",
+                            vec![Value::str("items rendered: ")],
+                        );
+                        m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(acc)]);
+                        let label = m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
+                        let list = m.new_obj("java.util.ArrayList", vec![]);
+                        m.vcall_void(list, "java.util.ArrayList", "add", vec![Value::Local(label)]);
+                        m.ret(label);
+                    });
+                }
+            });
+            u += n;
+            chunk += 1;
+        }
+    }
+
+    /// Finalizes the app.
+    pub fn finish(self) -> AppSpec {
+        AppSpec {
+            apk: self.builder.build(),
+            truth: GroundTruth {
+                name: self.name,
+                open_source: self.open_source,
+                protocol: self.protocol,
+                paper_row: self.paper_row,
+                txns: self.txns,
+            },
+            server: ServerSpec { routes: self.routes },
+        }
+    }
+}
+
+/// Emits the body of one transaction method.
+fn emit_txn(
+    m: &mut MethodBuilder,
+    spec: &TxnSpec,
+    base: &str,
+    variant_count: usize,
+    volley_class: &str,
+    handler_class: &str,
+) {
+    m.recv("corpus.App");
+    // Bind every parameter identity up front (Jimple requires identities
+    // before any other statement).
+    let mut param_idx: u32 = 0;
+    let variant_param = if variant_count > 1 {
+        let p = m.arg(param_idx, "variant");
+        param_idx += 1;
+        Some(p)
+    } else {
+        None
+    };
+    let mut dyn_locals: Vec<Local> = Vec::new();
+    {
+        let n_dyn = spec.query.iter().filter(|(_, v)| v.is_none()).count()
+            + match &spec.body {
+                BodyKind::Form(pairs) => pairs.iter().filter(|(_, v)| v.is_none()).count(),
+                BodyKind::Json(keys) => keys.len(),
+                BodyKind::None => 0,
+            };
+        for _ in 0..n_dyn {
+            dyn_locals.push(m.arg(param_idx, &format!("p{param_idx}")));
+            param_idx += 1;
+        }
+    }
+    let mut next_dyn = dyn_locals.into_iter();
+
+    // ---- build the URL string ----
+    let sb = m.new_obj(
+        "java.lang.StringBuilder",
+        vec![Value::str(&format!("{base}{}", spec.path))],
+    );
+    if let Some(vp) = variant_param {
+        // Branchy URI (Diode-style): one append per variant.
+        let labels: Vec<String> = (0..spec.variants.len()).map(|i| format!("v{i}")).collect();
+        let arms: Vec<(i64, &str)> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (i as i64, l.as_str()))
+            .collect();
+        m.switch(vp, arms, &labels[0]);
+        for (i, suffix) in spec.variants.iter().enumerate() {
+            m.label(&labels[i]);
+            m.vcall_void(
+                sb,
+                "java.lang.StringBuilder",
+                "append",
+                vec![Value::str(suffix)],
+            );
+            if i + 1 < spec.variants.len() {
+                m.goto("after_variants");
+            }
+        }
+        m.label("after_variants");
+    }
+    let mut first_q = true;
+    for (k, v) in &spec.query {
+        let sep = if first_q { "?" } else { "&" };
+        first_q = false;
+        m.vcall_void(
+            sb,
+            "java.lang.StringBuilder",
+            "append",
+            vec![Value::str(&format!("{sep}{k}="))],
+        );
+        match v {
+            Some(c) => {
+                m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::str(c)]);
+            }
+            None => {
+                let p = next_dyn.next().expect("dynamic query param");
+                m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(p)]);
+            }
+        }
+    }
+    let url = m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
+
+    // ---- request body value ----
+    enum BuiltBody {
+        None,
+        FormList(Local),
+        JsonText(Local),
+    }
+    let body = match &spec.body {
+        BodyKind::None => BuiltBody::None,
+        BodyKind::Form(pairs) => {
+            let list = m.new_obj("java.util.ArrayList", vec![]);
+            for (k, v) in pairs {
+                let value: Value = match v {
+                    Some(c) => Value::str(c),
+                    None => Value::Local(next_dyn.next().expect("dynamic form param")),
+                };
+                let pair = m.new_obj(
+                    "org.apache.http.message.BasicNameValuePair",
+                    vec![Value::str(k), value],
+                );
+                m.vcall_void(list, "java.util.ArrayList", "add", vec![Value::Local(pair)]);
+            }
+            BuiltBody::FormList(list)
+        }
+        BodyKind::Json(keys) => {
+            let j = m.new_obj("org.json.JSONObject", vec![]);
+            for k in keys {
+                let p = next_dyn.next().expect("dynamic json param");
+                m.vcall_void(
+                    j,
+                    "org.json.JSONObject",
+                    "put",
+                    vec![Value::str(k), Value::Local(p)],
+                );
+            }
+            let text = m.vcall(j, "org.json.JSONObject", "toString", vec![], Type::string());
+            BuiltBody::JsonText(text)
+        }
+    };
+
+    // ---- fire through the chosen stack and parse the response ----
+    match spec.stack {
+        Stack::Apache => {
+            let req_class = match spec.method {
+                HttpMethod::Get => "org.apache.http.client.methods.HttpGet",
+                HttpMethod::Post => "org.apache.http.client.methods.HttpPost",
+                HttpMethod::Put => "org.apache.http.client.methods.HttpPut",
+                HttpMethod::Delete => "org.apache.http.client.methods.HttpDelete",
+            };
+            let req = m.new_obj(req_class, vec![Value::Local(url)]);
+            match body {
+                BuiltBody::FormList(list) => {
+                    let ent = m.new_obj(
+                        "org.apache.http.client.entity.UrlEncodedFormEntity",
+                        vec![Value::Local(list)],
+                    );
+                    m.vcall_void(req, req_class, "setEntity", vec![Value::Local(ent)]);
+                }
+                BuiltBody::JsonText(text) => {
+                    let ent = m.new_obj(
+                        "org.apache.http.entity.StringEntity",
+                        vec![Value::Local(text)],
+                    );
+                    m.vcall_void(req, req_class, "setEntity", vec![Value::Local(ent)]);
+                }
+                BuiltBody::None => {}
+            }
+            let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
+            let resp = m.vcall(
+                client,
+                "org.apache.http.client.HttpClient",
+                "execute",
+                vec![Value::Local(req)],
+                Type::object("org.apache.http.HttpResponse"),
+            );
+            parse_apache_response(m, resp, &spec.resp);
+        }
+        Stack::UrlConn => {
+            let u = m.new_obj("java.net.URL", vec![Value::Local(url)]);
+            let conn = m.vcall(
+                u,
+                "java.net.URL",
+                "openConnection",
+                vec![],
+                Type::object("java.net.HttpURLConnection"),
+            );
+            if spec.method != HttpMethod::Get {
+                m.vcall_void(
+                    conn,
+                    "java.net.HttpURLConnection",
+                    "setRequestMethod",
+                    vec![Value::str(spec.method.as_str())],
+                );
+            }
+            match &spec.resp {
+                RespKind::None => {
+                    // Fire the request without touching the body.
+                    m.vcall_void(conn, "java.net.HttpURLConnection", "connect", vec![]);
+                }
+                RespKind::Raw => {
+                    let input = m.vcall(
+                        conn,
+                        "java.net.HttpURLConnection",
+                        "getInputStream",
+                        vec![],
+                        Type::object("java.io.InputStream"),
+                    );
+                    let _ = input;
+                }
+                _ => {
+                    let input = m.vcall(
+                        conn,
+                        "java.net.HttpURLConnection",
+                        "getInputStream",
+                        vec![],
+                        Type::object("java.io.InputStream"),
+                    );
+                    let text = m.scall(
+                        "org.apache.commons.io.IOUtils",
+                        "toString",
+                        vec![Value::Local(input)],
+                        Type::string(),
+                    );
+                    parse_text_response(m, text, &spec.resp);
+                }
+            }
+        }
+        Stack::Volley => {
+            let method_code: i64 = match spec.method {
+                HttpMethod::Get => 0,
+                HttpMethod::Post => 1,
+                HttpMethod::Put => 2,
+                HttpMethod::Delete => 3,
+            };
+            let queue = m.scall(
+                "com.android.volley.toolbox.Volley",
+                "newRequestQueue",
+                vec![Value::null()],
+                Type::object("com.android.volley.RequestQueue"),
+            );
+            let req = m.new_obj(volley_class, vec![Value::int(method_code), Value::Local(url)]);
+            m.vcall_void(
+                queue,
+                "com.android.volley.RequestQueue",
+                "add",
+                vec![Value::Local(req)],
+            );
+        }
+        Stack::OkHttp => {
+            let builder = m.new_obj("okhttp3.Request$Builder", vec![]);
+            m.vcall_void(builder, "okhttp3.Request$Builder", "url", vec![Value::Local(url)]);
+            if spec.method == HttpMethod::Get {
+                m.vcall_void(builder, "okhttp3.Request$Builder", "get", vec![]);
+            } else {
+                let content: Value = match &body {
+                    BuiltBody::JsonText(text) => Value::Local(*text),
+                    _ => Value::str(""),
+                };
+                let mt = m.scall(
+                    "okhttp3.MediaType",
+                    "parse",
+                    vec![Value::str("application/json")],
+                    Type::object("okhttp3.MediaType"),
+                );
+                let rb = m.scall(
+                    "okhttp3.RequestBody",
+                    "create",
+                    vec![Value::Local(mt), content],
+                    Type::object("okhttp3.RequestBody"),
+                );
+                let verb = match spec.method {
+                    HttpMethod::Post => "post",
+                    HttpMethod::Put => "put",
+                    _ => "delete",
+                };
+                m.vcall_void(builder, "okhttp3.Request$Builder", verb, vec![Value::Local(rb)]);
+            }
+            let req = m.vcall(
+                builder,
+                "okhttp3.Request$Builder",
+                "build",
+                vec![],
+                Type::object("okhttp3.Request"),
+            );
+            let client = m.new_obj("okhttp3.OkHttpClient", vec![]);
+            let call = m.vcall(
+                client,
+                "okhttp3.OkHttpClient",
+                "newCall",
+                vec![Value::Local(req)],
+                Type::object("okhttp3.Call"),
+            );
+            let resp = m.vcall(call, "okhttp3.Call", "execute", vec![], Type::object("okhttp3.Response"));
+            if !matches!(spec.resp, RespKind::None) {
+                let rb = m.vcall(resp, "okhttp3.Response", "body", vec![], Type::object("okhttp3.ResponseBody"));
+                let text = m.vcall(rb, "okhttp3.ResponseBody", "string", vec![], Type::string());
+                parse_text_response(m, text, &spec.resp);
+            }
+        }
+        Stack::Retrofit => {
+            let body_value = match &body {
+                BuiltBody::JsonText(t) => Value::Local(*t),
+                _ => Value::null(),
+            };
+            let call = m.scall(
+                "retrofit2.CallFactory",
+                "create",
+                vec![Value::str(spec.method.as_str()), Value::Local(url), body_value],
+                Type::object("retrofit2.Call"),
+            );
+            let resp = m.vcall(call, "retrofit2.Call", "execute", vec![], Type::object("retrofit2.Response"));
+            if !matches!(spec.resp, RespKind::None) {
+                let obj = m.vcall(resp, "retrofit2.Response", "body", vec![], Type::obj_root());
+                let text = m.temp(Type::string());
+                m.assign(text, extractocol_ir::Expr::Cast(Type::string(), Value::Local(obj)));
+                parse_text_response(m, text, &spec.resp);
+            }
+        }
+        Stack::Loopj => {
+            let client = m.new_obj("com.loopj.android.http.AsyncHttpClient", vec![]);
+            let handler = m.new_obj(handler_class, vec![]);
+            if spec.method == HttpMethod::Get {
+                m.vcall_void(
+                    client,
+                    "com.loopj.android.http.AsyncHttpClient",
+                    "get",
+                    vec![Value::Local(url), Value::Local(handler)],
+                );
+            } else {
+                let content: Value = match &body {
+                    BuiltBody::JsonText(text) => Value::Local(*text),
+                    _ => Value::str(""),
+                };
+                m.vcall_void(
+                    client,
+                    "com.loopj.android.http.AsyncHttpClient",
+                    "post",
+                    vec![Value::Local(url), content, Value::Local(handler)],
+                );
+            }
+        }
+        Stack::Bee => {
+            let bee = m.new_obj("com.beeframework.Bee", vec![]);
+            let cb = m.new_obj(handler_class, vec![]);
+            if spec.method == HttpMethod::Get {
+                m.vcall_void(
+                    bee,
+                    "com.beeframework.Bee",
+                    "get",
+                    vec![Value::Local(url), Value::Local(cb)],
+                );
+            } else {
+                let content: Value = match &body {
+                    BuiltBody::JsonText(text) => Value::Local(*text),
+                    _ => Value::str(""),
+                };
+                m.vcall_void(
+                    bee,
+                    "com.beeframework.Bee",
+                    "post",
+                    vec![Value::Local(url), content, Value::Local(cb)],
+                );
+            }
+        }
+        Stack::KSawicki => {
+            let verb = match spec.method {
+                HttpMethod::Get => "get",
+                HttpMethod::Post => "post",
+                _ => "put",
+            };
+            let req = m.scall(
+                "com.github.kevinsawicki.http.HttpRequest",
+                verb,
+                vec![Value::Local(url)],
+                Type::object("com.github.kevinsawicki.http.HttpRequest"),
+            );
+            if !matches!(spec.resp, RespKind::None) {
+                let text = m.vcall(
+                    req,
+                    "com.github.kevinsawicki.http.HttpRequest",
+                    "body",
+                    vec![],
+                    Type::string(),
+                );
+                parse_text_response(m, text, &spec.resp);
+            }
+        }
+        Stack::Socket => {
+            // Unmodeled library: static analysis sees an unknown call.
+            if spec.method == HttpMethod::Get {
+                m.scall_void("com.adlib.Tracker", "send", vec![Value::Local(url)]);
+            } else {
+                let content: Value = match &body {
+                    BuiltBody::JsonText(text) => Value::Local(*text),
+                    _ => Value::str(""),
+                };
+                m.scall_void(
+                    "com.adlib.Tracker",
+                    "sendPost",
+                    vec![Value::Local(url), content],
+                );
+            }
+        }
+    }
+    m.ret_void();
+}
+
+/// Parses an apache `HttpResponse` per the response kind.
+fn parse_apache_response(m: &mut MethodBuilder, resp: Local, kind: &RespKind) {
+    match kind {
+        RespKind::None => {}
+        RespKind::Raw => {
+            let ent = m.vcall(
+                resp,
+                "org.apache.http.HttpResponse",
+                "getEntity",
+                vec![],
+                Type::object("org.apache.http.HttpEntity"),
+            );
+            let _content = m.vcall(
+                ent,
+                "org.apache.http.HttpEntity",
+                "getContent",
+                vec![],
+                Type::object("java.io.InputStream"),
+            );
+        }
+        _ => {
+            let ent = m.vcall(
+                resp,
+                "org.apache.http.HttpResponse",
+                "getEntity",
+                vec![],
+                Type::object("org.apache.http.HttpEntity"),
+            );
+            let text = m.scall(
+                "org.apache.http.util.EntityUtils",
+                "toString",
+                vec![Value::Local(ent)],
+                Type::string(),
+            );
+            parse_text_response(m, text, kind);
+        }
+    }
+}
+
+/// Parses a textual body per the response kind (shared by all stacks).
+fn parse_text_response(m: &mut MethodBuilder, text: Local, kind: &RespKind) {
+    match kind {
+        RespKind::None | RespKind::Raw => {}
+        RespKind::Json(keys) => {
+            let j = m.new_obj("org.json.JSONObject", vec![Value::Local(text)]);
+            for k in keys {
+                let v = m.vcall(
+                    j,
+                    "org.json.JSONObject",
+                    "getString",
+                    vec![Value::str(k)],
+                    Type::string(),
+                );
+                let _ = v;
+            }
+        }
+        RespKind::Xml(tags) => {
+            let db = m.new_obj("javax.xml.parsers.DocumentBuilder", vec![]);
+            let doc = m.vcall(
+                db,
+                "javax.xml.parsers.DocumentBuilder",
+                "parse",
+                vec![Value::Local(text)],
+                Type::object("org.w3c.dom.Document"),
+            );
+            // Read each tag below the root.
+            for t in tags.iter().skip(1) {
+                let nl = m.vcall(
+                    doc,
+                    "org.w3c.dom.Document",
+                    "getElementsByTagName",
+                    vec![Value::str(t)],
+                    Type::object("org.w3c.dom.NodeList"),
+                );
+                let el = m.vcall(
+                    nl,
+                    "org.w3c.dom.NodeList",
+                    "item",
+                    vec![Value::int(0)],
+                    Type::object("org.w3c.dom.Element"),
+                );
+                let txt = m.vcall(
+                    el,
+                    "org.w3c.dom.Element",
+                    "getTextContent",
+                    vec![],
+                    Type::string(),
+                );
+                let _ = txt;
+            }
+        }
+    }
+}
+
+/// Emits a Volley `Request` subclass parsing the response in
+/// `deliverResponse` (the callback the registry wires to `RequestQueue.add`).
+fn emit_volley_subclass(b: &mut ApkBuilder, class: &str, resp: &RespKind) {
+    let resp = resp.clone();
+    let class_owned = class.to_string();
+    b.class(class, move |c| {
+        c.extends("com.android.volley.Request");
+        c.method("<init>", vec![Type::Int, Type::string()], Type::Void, |m| {
+            let this = m.recv(&class_owned);
+            let code = m.arg(0, "method");
+            let url = m.arg(1, "url");
+            m.special_void(
+                this,
+                "com.android.volley.Request",
+                "<init>",
+                vec![Value::Local(code), Value::Local(url)],
+            );
+            m.ret_void();
+        });
+        // Transactions that never process the body ship no response
+        // callback (fire-and-forget Volley requests).
+        if !matches!(resp, RespKind::None) {
+            c.method("deliverResponse", vec![Type::obj_root()], Type::Void, |m| {
+                m.recv(&class_owned);
+                let payload = m.arg(0, "payload");
+                let text = m.temp(Type::string());
+                m.assign(text, extractocol_ir::Expr::Cast(Type::string(), Value::Local(payload)));
+                parse_text_response(m, text, &resp);
+                m.ret_void();
+            });
+        }
+    });
+}
+
+/// Emits a loopj/Bee callback class parsing the response in its success
+/// method.
+fn emit_callback_class(b: &mut ApkBuilder, class: &str, spec: &TxnSpec) {
+    let resp = spec.resp.clone();
+    let (iface, cb_name) = match spec.stack {
+        Stack::Loopj => ("com.loopj.android.http.ResponseHandler", "onSuccess"),
+        _ => ("com.beeframework.Callback", "onReceive"),
+    };
+    let class_owned = class.to_string();
+    b.class(class, move |c| {
+        c.implements(iface);
+        c.method("<init>", vec![], Type::Void, |m| {
+            m.recv(&class_owned);
+            m.ret_void();
+        });
+        if !matches!(resp, RespKind::None) {
+            c.method(cb_name, vec![Type::string()], Type::Void, |m| {
+                m.recv(&class_owned);
+                let text = m.arg(0, "body");
+                parse_text_response(m, text, &resp);
+                m.ret_void();
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extractocol_ir::validate::validate_apk;
+
+    #[test]
+    fn generated_app_validates_and_counts_match() {
+        let mut g = AppGen::new("demo", "com.demo", "https://api.demo.com");
+        g.txn(
+            TxnSpec::get(Stack::Apache, "/items")
+                .q_dyn("page")
+                .resp(RespKind::Json(vec!["items".into(), "next".into()])),
+        );
+        g.txn(
+            TxnSpec::get(Stack::OkHttp, "/search")
+                .method(HttpMethod::Post)
+                .body(BodyKind::Json(vec!["q".into()]))
+                .resp(RespKind::Json(vec!["hits".into()])),
+        );
+        g.txn(TxnSpec::get(Stack::Socket, "/beacon").trigger(TriggerKind::Timer, true, false));
+        let app = g.finish();
+        assert!(validate_apk(&app.apk).is_empty(), "{:?}", validate_apk(&app.apk));
+        let c = app.truth.static_counts();
+        assert_eq!(c.get, 1, "socket txn is static-invisible");
+        assert_eq!(c.post, 1);
+        assert_eq!(c.json, 3); // 1 resp + (1 body + 1 resp)
+        assert_eq!(c.pairs, 2);
+        assert_eq!(app.server.routes.len(), 3);
+        // Server responds to the example URI.
+        let req = extractocol_http::Request::get(&app.truth.txns[0].uri_examples[0]);
+        assert_eq!(app.server.serve(&req).status, 200);
+    }
+
+    #[test]
+    fn variants_generate_branchy_uris() {
+        let mut g = AppGen::new("v", "com.v", "http://v.com");
+        g.txn(
+            TxnSpec::get(Stack::Apache, "/r")
+                .variants(&["/hot.json", "/new.json", "/top.json"])
+                .resp(RespKind::Raw),
+        );
+        let app = g.finish();
+        let t = &app.truth.txns[0];
+        assert_eq!(t.variants, 3);
+        assert_eq!(t.uri_examples.len(), 3);
+        assert_eq!(app.truth.static_counts().get, 1, "one txn regardless of variants");
+        assert!(validate_apk(&app.apk).is_empty());
+    }
+}

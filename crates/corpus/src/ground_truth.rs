@@ -1,0 +1,280 @@
+//! Per-app ground truth: what the app really does on the network, how each
+//! transaction is triggered at runtime, and the paper's published Table 1
+//! row for comparison.
+
+use crate::server::ServerSpec;
+use extractocol_http::HttpMethod;
+use extractocol_ir::Apk;
+
+/// A concrete argument used when a fuzzer invokes a trigger method.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConcreteArg {
+    Str(String),
+    Int(i64),
+    /// A null reference argument.
+    Null,
+}
+
+impl ConcreteArg {
+    /// Shorthand for a string argument.
+    pub fn s(v: &str) -> ConcreteArg {
+        ConcreteArg::Str(v.to_string())
+    }
+}
+
+/// How a transaction gets triggered at runtime (drives the UI-fuzzing
+/// simulators; §5.1 explains why each class defeats some fuzzer).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TriggerKind {
+    /// Plain clickable UI: both manual and automatic fuzzing reach it.
+    StandardUi,
+    /// Custom-drawn UI PUMA cannot recognize ("PUMA fails to recognize
+    /// custom UI for a number of apps and stops to explore further").
+    CustomUi,
+    /// Requires signing up / logging in — manual-only.
+    LoginFlow,
+    /// Fired by a timer ("some apps trigger APK update requests using
+    /// timers") — invisible to both fuzzers.
+    Timer,
+    /// Triggered by a server push / content update (TED case study).
+    ServerPush,
+    /// An "action with side-effects, such as purchasing products" —
+    /// neither fuzzer dares.
+    SideEffect,
+}
+
+/// A runnable trigger: the method a fuzzer invokes to fire a transaction.
+#[derive(Clone, Debug)]
+pub struct Trigger {
+    pub kind: TriggerKind,
+    /// Class declaring the trigger method.
+    pub class: String,
+    /// Method name.
+    pub method: String,
+    /// Concrete arguments for the invocation.
+    pub args: Vec<ConcreteArg>,
+}
+
+impl Trigger {
+    /// Convenience constructor.
+    pub fn new(kind: TriggerKind, class: &str, method: &str, args: Vec<ConcreteArg>) -> Trigger {
+        Trigger { kind, class: class.to_string(), method: method.to_string(), args }
+    }
+}
+
+/// Response ground truth for one transaction.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RespTruth {
+    /// No body processed by the app.
+    None,
+    /// JSON body; the keys the app reads.
+    Json(Vec<String>),
+    /// XML body; the tags the app reads.
+    Xml(Vec<String>),
+    /// Body consumed without structured parsing (media, images, text).
+    Raw,
+}
+
+/// Ground truth for one transaction the app can perform.
+#[derive(Clone, Debug)]
+pub struct TxnTruth {
+    pub method: HttpMethod,
+    /// Distinct URI patterns this logical transaction covers (Diode-style
+    /// branchy URI construction; Table 1's method columns count each).
+    pub variants: usize,
+    /// One concrete example URI per variant (what a run produces).
+    pub uri_examples: Vec<String>,
+    /// Constant query keys (in URI or form body).
+    pub query_keys: Vec<String>,
+    /// JSON request-body keys, if the request carries JSON.
+    pub body_json_keys: Vec<String>,
+    /// Form body keys, if the request is form-encoded.
+    pub form_keys: Vec<String>,
+    /// Response ground truth.
+    pub resp: RespTruth,
+    /// How a run triggers it.
+    pub trigger: Trigger,
+    /// Argument sets for multi-variant transactions: the fuzzer invokes
+    /// the trigger once per entry (empty → a single invocation with
+    /// `trigger.args`).
+    pub variant_args: Vec<Vec<ConcreteArg>>,
+    /// A method to invoke first (e.g. the event handler that populates a
+    /// heap object the transaction later reads — the §3.4 async pattern).
+    pub setup: Option<Trigger>,
+    /// Reached by manual UI fuzzing.
+    pub visible_manual: bool,
+    /// Reached by automatic UI fuzzing (PUMA).
+    pub visible_auto: bool,
+    /// Discoverable by static analysis (false for raw-socket ad/analytics
+    /// traffic and intent-mediated messages — §5.1's missed cases).
+    pub static_visible: bool,
+    /// The request body is only recoverable with the §3.4 asynchronous-
+    /// event heuristic enabled (the Reddinator RRD case of §5.1).
+    pub body_requires_async: bool,
+}
+
+impl TxnTruth {
+    /// Whether this transaction has a query string.
+    pub fn has_query(&self) -> bool {
+        !self.query_keys.is_empty() || !self.form_keys.is_empty()
+    }
+
+    /// Whether the transaction involves JSON (request or response).
+    pub fn json_signatures(&self) -> usize {
+        usize::from(!self.body_json_keys.is_empty())
+            + usize::from(matches!(self.resp, RespTruth::Json(_)))
+    }
+
+    /// Whether the response is XML.
+    pub fn is_xml(&self) -> bool {
+        matches!(self.resp, RespTruth::Xml(_))
+    }
+
+    /// Whether the transaction forms a request/response pair.
+    pub fn is_paired(&self) -> bool {
+        !matches!(self.resp, RespTruth::None)
+    }
+}
+
+/// One cell row of Table 1 (counts per category).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RowCounts {
+    pub get: usize,
+    pub post: usize,
+    pub put: usize,
+    pub delete: usize,
+    pub query: usize,
+    pub json: usize,
+    pub xml: usize,
+    pub pairs: usize,
+}
+
+impl RowCounts {
+    /// Total request signatures.
+    pub fn total(&self) -> usize {
+        self.get + self.post + self.put + self.delete
+    }
+}
+
+/// The published Table 1 row for an app: Extractocol / manual fuzzing /
+/// third method (source-code analysis for open-source apps, automatic
+/// fuzzing for closed-source ones).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PaperRow {
+    pub extractocol: RowCounts,
+    pub manual: RowCounts,
+    pub third: RowCounts,
+}
+
+/// Ground truth for a whole app.
+#[derive(Clone, Debug)]
+pub struct GroundTruth {
+    /// Display name (Table 1 first column).
+    pub name: String,
+    /// Open-source (F-Droid) vs closed-source (Google Play).
+    pub open_source: bool,
+    /// Table 1's protocol column.
+    pub protocol: &'static str,
+    /// The published numbers, for paper-vs-measured reporting.
+    pub paper_row: PaperRow,
+    /// Every transaction the app can perform.
+    pub txns: Vec<TxnTruth>,
+}
+
+impl GroundTruth {
+    /// The counts a perfect static analysis would produce on this corpus
+    /// model (what Table 1's Extractocol column is calibrated to).
+    pub fn static_counts(&self) -> RowCounts {
+        self.static_counts_with(true)
+    }
+
+    /// Like [`GroundTruth::static_counts`], but reflecting whether the
+    /// §3.4 asynchronous-event heuristic is enabled (the paper disables it
+    /// for open-source apps, which loses async-gated request bodies).
+    pub fn static_counts_with(&self, async_heuristic: bool) -> RowCounts {
+        let mut c = RowCounts::default();
+        for t in self.txns.iter().filter(|t| t.static_visible) {
+            match t.method {
+                HttpMethod::Get => c.get += 1,
+                HttpMethod::Post => c.post += 1,
+                HttpMethod::Put => c.put += 1,
+                HttpMethod::Delete => c.delete += 1,
+            }
+            let body_visible = async_heuristic || !t.body_requires_async;
+            if t.has_query() && (body_visible || !t.query_keys.is_empty()) {
+                c.query += 1;
+            }
+            c.json += usize::from(!t.body_json_keys.is_empty() && body_visible)
+                + usize::from(matches!(t.resp, RespTruth::Json(_)));
+            if t.is_xml() {
+                c.xml += 1;
+            }
+            if t.is_paired() {
+                c.pairs += 1;
+            }
+        }
+        c
+    }
+
+    /// Counts over the transactions a given visibility predicate selects
+    /// (used for expected-manual / expected-auto rows).
+    pub fn counts_where(&self, f: impl Fn(&TxnTruth) -> bool) -> RowCounts {
+        let mut c = RowCounts::default();
+        for t in self.txns.iter().filter(|t| f(t)) {
+            match t.method {
+                HttpMethod::Get => c.get += 1,
+                HttpMethod::Post => c.post += 1,
+                HttpMethod::Put => c.put += 1,
+                HttpMethod::Delete => c.delete += 1,
+            }
+            if t.has_query() {
+                c.query += 1;
+            }
+            c.json += t.json_signatures();
+            if t.is_xml() {
+                c.xml += 1;
+            }
+            if t.is_paired() {
+                c.pairs += 1;
+            }
+        }
+        c
+    }
+}
+
+/// A complete corpus entry.
+#[derive(Clone, Debug)]
+pub struct AppSpec {
+    pub apk: Apk,
+    pub truth: GroundTruth,
+    pub server: ServerSpec,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txn_classification() {
+        let t = TxnTruth {
+            method: HttpMethod::Post,
+            variants: 1,
+            uri_examples: vec!["https://x/api".into()],
+            query_keys: vec![],
+            body_json_keys: vec!["user".into()],
+            form_keys: vec![],
+            resp: RespTruth::Json(vec!["token".into()]),
+            variant_args: vec![],
+            setup: None,
+            trigger: Trigger::new(TriggerKind::LoginFlow, "a.B", "login", vec![]),
+            visible_manual: true,
+            visible_auto: false,
+            static_visible: true,
+            body_requires_async: false,
+        };
+        assert!(!t.has_query());
+        assert_eq!(t.json_signatures(), 2);
+        assert!(t.is_paired());
+        assert!(!t.is_xml());
+    }
+}

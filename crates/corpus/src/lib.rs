@@ -1,0 +1,62 @@
+//! # extractocol-corpus
+//!
+//! A synthetic Android application corpus standing in for the 34 real apps
+//! of the paper's evaluation (14 open-source from F-Droid, 20 closed-source
+//! top-chart apps — Table 1). Real APKs and their servers are unavailable
+//! (and unredistributable); per the reproduction's substitution rule, each
+//! app is modelled as an IR program that exercises the same analysis
+//! challenges:
+//!
+//! * the same HTTP stacks (apache http, `java.net`, Volley, okhttp,
+//!   retrofit, loopj, BeeFramework, gson/jackson/org.json, W3C DOM XML),
+//! * the same protocol mix per app (GET/POST/PUT/DELETE, query strings,
+//!   JSON/XML bodies, pair counts — calibrated to Table 1's Extractocol
+//!   column),
+//! * the same dynamic-analysis blind spots (timer- and server-triggered
+//!   requests, side-effectful commerce actions, custom UI that defeats
+//!   automatic fuzzing, login walls),
+//! * the same static-analysis blind spots (raw-socket ad/analytics
+//!   libraries, reproducing the rows where manual fuzzing beats
+//!   Extractocol),
+//! * and the case-study apps in faithful detail: Diode (Fig. 3),
+//!   radio reddit (Table 3, Fig. 8), TED (Table 4, Fig. 1), Kayak
+//!   (Tables 5–6), and the weather-notification async example (§3.4).
+//!
+//! Each app ships as an [`AppSpec`]: the APK, its [`GroundTruth`] (what a
+//! perfect analysis would find, plus per-transaction dynamic-visibility
+//! flags), and a [`ServerSpec`] the mock server uses so the dynamic
+//! harness can actually execute the app and capture traffic.
+
+pub mod apps;
+pub mod gen;
+pub mod ground_truth;
+pub mod server;
+
+pub use gen::{BodyKind, RespKind, Stack, TxnSpec};
+pub use ground_truth::{
+    AppSpec, ConcreteArg, GroundTruth, PaperRow, RespTruth, RowCounts, Trigger, TriggerKind,
+    TxnTruth,
+};
+pub use server::{Route, ServerSpec};
+
+/// All 34 corpus apps, open-source first (Table 1 order).
+pub fn all_apps() -> Vec<AppSpec> {
+    let mut v = apps::open_source::all();
+    v.extend(apps::closed_source::all());
+    v
+}
+
+/// The 14 open-source apps.
+pub fn open_source_apps() -> Vec<AppSpec> {
+    apps::open_source::all()
+}
+
+/// The 20 closed-source apps.
+pub fn closed_source_apps() -> Vec<AppSpec> {
+    apps::closed_source::all()
+}
+
+/// Fetches one app by display name.
+pub fn app(name: &str) -> Option<AppSpec> {
+    all_apps().into_iter().find(|a| a.truth.name == name)
+}

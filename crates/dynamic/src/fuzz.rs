@@ -1,0 +1,97 @@
+//! UI-fuzzing simulators (§5.1).
+//!
+//! The paper compares Extractocol's coverage against **manual UI fuzzing**
+//! (a human driving the app, including signing up and logging in) and
+//! **automatic UI fuzzing** with PUMA \[54\] ("PUMA merely iterates through
+//! all clickable elements in the UI"). Both fall short of static analysis:
+//! timers, server-triggered updates, and side-effectful commerce actions
+//! stay untriggered; PUMA additionally "fails to recognize custom UI …
+//! and stops to explore further".
+//!
+//! Our simulators honor each transaction's ground-truth visibility flags,
+//! which the corpus derives from exactly those trigger classes.
+
+use crate::interp::{Interpreter, RtValue};
+use crate::trace::TrafficTrace;
+use extractocol_corpus::{AppSpec, ConcreteArg, Trigger, TxnTruth};
+
+fn rt_args(args: &[ConcreteArg]) -> Vec<RtValue> {
+    args.iter()
+        .map(|a| match a {
+            ConcreteArg::Str(s) => RtValue::Str(s.clone()),
+            ConcreteArg::Int(i) => RtValue::Int(*i),
+            ConcreteArg::Null => RtValue::Null,
+        })
+        .collect()
+}
+
+fn fire(interp: &mut Interpreter<'_>, trigger: &Trigger, args: &[ConcreteArg]) {
+    // A trigger that fails (unmodeled corner) simply produces no traffic,
+    // like a crashed activity under fuzzing.
+    let _ = interp.invoke(&trigger.class, &trigger.method, rt_args(args));
+}
+
+fn run_txn(interp: &mut Interpreter<'_>, t: &TxnTruth) {
+    if let Some(setup) = &t.setup {
+        fire(interp, setup, &setup.args);
+    }
+    if t.variant_args.is_empty() {
+        fire(interp, &t.trigger, &t.trigger.args);
+    } else {
+        for args in &t.variant_args {
+            fire(interp, &t.trigger, args);
+        }
+    }
+}
+
+fn run_where(app: &AppSpec, select: impl Fn(&TxnTruth) -> bool) -> TrafficTrace {
+    let mut interp = Interpreter::new(&app.apk, &app.server);
+    for t in app.truth.txns.iter().filter(|t| select(t)) {
+        run_txn(&mut interp, t);
+    }
+    TrafficTrace { app: app.truth.name.clone(), transactions: interp.trace }
+}
+
+/// Manual UI fuzzing: everything a patient human reaches — standard and
+/// custom UI, signup/login flows — but not timers, server pushes, or
+/// purchases.
+pub fn run_manual_fuzzer(app: &AppSpec) -> TrafficTrace {
+    run_where(app, |t| t.visible_manual)
+}
+
+/// Automatic UI fuzzing (PUMA): standard clickable UI only.
+pub fn run_auto_fuzzer(app: &AppSpec) -> TrafficTrace {
+    run_where(app, |t| t.visible_auto)
+}
+
+/// An oracle run triggering *every* transaction — used to validate that
+/// signatures match traffic for messages fuzzing can't reach (and for the
+/// source-code ground-truth column of open-source apps).
+pub fn run_perfect_fuzzer(app: &AppSpec) -> TrafficTrace {
+    run_where(app, |_| true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fuzzers_respect_visibility() {
+        let app = extractocol_corpus::app("TED").expect("TED in corpus");
+        let manual = run_manual_fuzzer(&app);
+        let auto = run_auto_fuzzer(&app);
+        let all = run_perfect_fuzzer(&app);
+        assert!(manual.transactions.len() >= auto.transactions.len());
+        assert!(all.transactions.len() >= manual.transactions.len());
+        assert!(!auto.transactions.is_empty());
+    }
+
+    #[test]
+    fn login_walled_app_defeats_puma() {
+        let app = extractocol_corpus::app("5miles").expect("5miles in corpus");
+        let auto = run_auto_fuzzer(&app);
+        assert!(auto.transactions.is_empty(), "PUMA sees nothing behind the login wall");
+        let manual = run_manual_fuzzer(&app);
+        assert!(!manual.transactions.is_empty());
+    }
+}

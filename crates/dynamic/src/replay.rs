@@ -1,0 +1,129 @@
+//! The §5.3 Kayak replay client.
+//!
+//! "We implement a simple Python script code (73 LOC) that generates HTTPS
+//! requests for flight fare comparison based on our signatures. It first
+//! sends a '/k/authajax' request to start a new session using the
+//! app-specific 'User-Agent' field. It then sends '/flight/start' and
+//! '/flight/poll' requests. We verify that it successfully retrieves
+//! flight fare information."
+//!
+//! This module is that script, built the same way: it consumes only the
+//! *static analysis report* (no app code), concretizes each signature's
+//! wildcards with sample values, and fires the sequence at the server.
+
+use crate::trace::TrafficTrace;
+use extractocol_core::report::AnalysisReport;
+use extractocol_core::siglang::{SigPat, TypeHint};
+use extractocol_corpus::ServerSpec;
+use extractocol_http::{Body, Headers, Request, Transaction, Uri};
+
+/// Concretizes a signature: constants stay, wildcards get sample values.
+pub fn concretize(sig: &SigPat, sample: &str) -> String {
+    match sig {
+        SigPat::Const(s) => s.clone(),
+        SigPat::Unknown(TypeHint::Num) => "42".to_string(),
+        SigPat::Unknown(TypeHint::Bool) => "true".to_string(),
+        SigPat::Unknown(TypeHint::Str) => sample.to_string(),
+        SigPat::Concat(items) => items.iter().map(|p| concretize(p, sample)).collect(),
+        SigPat::Rep(inner) => concretize(inner, sample),
+        SigPat::Or(items) => items
+            .first()
+            .map(|p| concretize(p, sample))
+            .unwrap_or_default(),
+        SigPat::Json(_) | SigPat::Xml(_) => sample.to_string(),
+    }
+}
+
+/// Builds a concrete request from a reconstructed transaction signature.
+pub fn request_from_signature(
+    txn: &extractocol_core::report::TxnReport,
+    sample: &str,
+) -> Request {
+    let uri = concretize(&txn.uri, sample);
+    let mut headers = Headers::new();
+    for (name, value_re) in &txn.headers {
+        // Header value signatures are regexes over constants for the
+        // headers the replay needs (User-Agent is a constant).
+        let value = value_re.replace("\\", "");
+        headers.add(name, &value);
+    }
+    Request {
+        method: txn.method,
+        uri: Uri::parse(&uri),
+        headers,
+        body: Body::Empty,
+    }
+}
+
+/// The outcome of the flight-fare replay.
+#[derive(Debug)]
+pub struct ReplayOutcome {
+    pub trace: TrafficTrace,
+    /// Did `/k/authajax` succeed (User-Agent accepted)?
+    pub auth_ok: bool,
+    /// Did `/flight/start` + `/flight/poll` return fare information?
+    pub fares_retrieved: bool,
+}
+
+/// Replays the Kayak flight-fare sequence from the analysis report alone.
+pub fn replay_kayak_flight_search(
+    report: &AnalysisReport,
+    server: &ServerSpec,
+) -> ReplayOutcome {
+    let mut trace = TrafficTrace { app: report.app.clone(), transactions: Vec::new() };
+    let mut send = |req: Request| -> (u16, String) {
+        let resp = server.serve(&req);
+        let body = resp.body.to_bytes_string();
+        trace.transactions.push(Transaction { request: req, response: resp.clone() });
+        (resp.status, body)
+    };
+
+    let find = |fragment: &str| {
+        report
+            .transactions
+            .iter()
+            .find(|t| t.uri_regex.contains(fragment))
+    };
+
+    // 1. authajax with the recovered User-Agent.
+    let auth_ok = match find("authajax") {
+        Some(t) => {
+            // Use the registration signature (the one with action=…).
+            let req = request_from_signature(t, "demo");
+            send(req).0 == 200
+        }
+        None => false,
+    };
+
+    // 2. flight/start then flight/poll.
+    let started = find("flight/start")
+        .map(|t| send(request_from_signature(t, "LAX")))
+        .map(|(status, body)| status == 200 && body.contains("searchid"))
+        .unwrap_or(false);
+    let fares = find("flight/poll")
+        .map(|t| send(request_from_signature(t, "LAX")))
+        .map(|(status, body)| status == 200 && body.contains("price"))
+        .unwrap_or(false);
+
+    ReplayOutcome { trace, auth_ok, fares_retrieved: auth_ok && started && fares }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extractocol_core::siglang::SigPat;
+
+    #[test]
+    fn concretize_fills_wildcards() {
+        let sig = SigPat::Concat(vec![
+            SigPat::lit("https://www.kayak.com/k/authajax?action=registerandroid&uuid="),
+            SigPat::any_str(),
+            SigPat::lit("&platform=android"),
+        ]);
+        let s = concretize(&sig, "u-1");
+        assert_eq!(
+            s,
+            "https://www.kayak.com/k/authajax?action=registerandroid&uuid=u-1&platform=android"
+        );
+    }
+}

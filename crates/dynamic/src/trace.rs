@@ -1,0 +1,362 @@
+//! Captured traffic and the paper's trace-level metrics.
+//!
+//! * **Signature validity** (§5.1): every static signature with a
+//!   corresponding trace must match it (URI regex + method + body
+//!   signature).
+//! * **Constant keywords** (Fig. 7): query keys, form keys, JSON keys, and
+//!   XML tags/attributes found in requests/responses.
+//! * **Byte attribution** (Table 2): what fraction of message bytes is
+//!   covered by constant keywords (Rk), by the values of identified
+//!   key/value pairs (Rv), and by fully-wildcard content (Rn).
+
+use extractocol_core::report::{AnalysisReport, TxnReport};
+use extractocol_core::sigbuild::{BodySig, ResponseSig};
+use extractocol_http::{Body, HttpMethod, Regex, Transaction};
+use std::collections::BTreeSet;
+
+/// A captured traffic trace for one app.
+#[derive(Clone, Debug)]
+pub struct TrafficTrace {
+    pub app: String,
+    pub transactions: Vec<Transaction>,
+}
+
+impl TrafficTrace {
+    /// Unique request URIs observed.
+    pub fn unique_uris(&self) -> BTreeSet<String> {
+        self.transactions
+            .iter()
+            .map(|t| t.request.uri.to_uri_string())
+            .collect()
+    }
+
+    /// Count of unique requests per method.
+    pub fn method_count(&self, m: HttpMethod) -> usize {
+        self.transactions
+            .iter()
+            .filter(|t| t.request.method == m)
+            .map(|t| t.request.uri.to_uri_string())
+            .collect::<BTreeSet<_>>()
+            .len()
+    }
+
+    /// Constant keywords in request query strings and bodies (Fig. 7,
+    /// left bars): query keys, form keys, JSON body keys.
+    pub fn request_keywords(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        for t in &self.transactions {
+            for (k, _) in &t.request.uri.query {
+                out.insert(k.clone());
+            }
+            match &t.request.body {
+                Body::Form(pairs) => {
+                    for (k, _) in pairs {
+                        out.insert(k.clone());
+                    }
+                }
+                Body::Json(j) => {
+                    for k in j.all_keys() {
+                        out.insert(k.to_string());
+                    }
+                }
+                Body::Xml(x) => {
+                    for k in x.all_keywords() {
+                        out.insert(k.to_string());
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Constant keywords in response bodies (Fig. 7, right bars).
+    pub fn response_keywords(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        for t in &self.transactions {
+            match &t.response.body {
+                Body::Json(j) => {
+                    for k in j.all_keys() {
+                        out.insert(k.to_string());
+                    }
+                }
+                Body::Xml(x) => {
+                    for k in x.all_keywords() {
+                        out.insert(k.to_string());
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+/// Which trace transactions a static transaction signature matches.
+pub fn matching_transactions<'t>(
+    txn: &TxnReport,
+    trace: &'t TrafficTrace,
+) -> Vec<&'t Transaction> {
+    let Ok(re) = Regex::new(&txn.uri_regex) else { return Vec::new() };
+    trace
+        .transactions
+        .iter()
+        .filter(|t| t.request.method == txn.method && re.is_match(&t.request.uri.to_uri_string()))
+        .collect()
+}
+
+/// Signature-validity result for one app (§5.1: "All such signatures
+/// generated a valid match with the actual traffic trace").
+#[derive(Debug, Default, Clone)]
+pub struct Validity {
+    /// Signatures with at least one matching trace transaction.
+    pub matched: usize,
+    /// Signatures with no corresponding traffic (untriggered messages —
+    /// the coverage advantage of static analysis).
+    pub no_traffic: usize,
+    /// Trace lines no signature matched. On a calibrated corpus these are
+    /// exactly the messages static analysis cannot see (raw-socket
+    /// ad/analytics traffic); anything else is a signature bug.
+    pub orphan_lines: Vec<(HttpMethod, String)>,
+}
+
+/// Validates every reconstructed transaction against a trace.
+pub fn validate(report: &AnalysisReport, trace: &TrafficTrace) -> Validity {
+    let mut v = Validity::default();
+    for txn in &report.transactions {
+        if matching_transactions(txn, trace).is_empty() {
+            v.no_traffic += 1;
+        } else {
+            v.matched += 1;
+        }
+    }
+    for t in &trace.transactions {
+        let uri = t.request.uri.to_uri_string();
+        let matched = report.transactions.iter().any(|txn| {
+            txn.method == t.request.method
+                && Regex::new(&txn.uri_regex)
+                    .map(|re| re.is_match(&uri))
+                    .unwrap_or(false)
+        });
+        if !matched {
+            v.orphan_lines.push((t.request.method, uri));
+        }
+    }
+    v
+}
+
+/// Byte-attribution fractions (Table 2): `Rk` = bytes matching constant
+/// keywords, `Rv` = bytes of values whose keys were identified, `Rn` =
+/// bytes covered only by wildcards.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ByteFractions {
+    pub keyword_bytes: usize,
+    pub value_bytes: usize,
+    pub wildcard_bytes: usize,
+}
+
+impl ByteFractions {
+    fn total(&self) -> usize {
+        self.keyword_bytes + self.value_bytes + self.wildcard_bytes
+    }
+
+    /// `(Rk, Rv, Rn)` percentages.
+    pub fn percentages(&self) -> (f64, f64, f64) {
+        let t = self.total();
+        if t == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (
+            100.0 * self.keyword_bytes as f64 / t as f64,
+            100.0 * self.value_bytes as f64 / t as f64,
+            100.0 * self.wildcard_bytes as f64 / t as f64,
+        )
+    }
+
+    fn add(&mut self, other: ByteFractions) {
+        self.keyword_bytes += other.keyword_bytes;
+        self.value_bytes += other.value_bytes;
+        self.wildcard_bytes += other.wildcard_bytes;
+    }
+}
+
+/// Attributes the bytes of key/value pairs against a set of known keys.
+fn attribute_pairs(
+    pairs: &[(String, String)],
+    known: &BTreeSet<String>,
+) -> ByteFractions {
+    let mut f = ByteFractions::default();
+    for (k, v) in pairs {
+        if known.contains(k) {
+            f.keyword_bytes += k.len();
+            f.value_bytes += v.len();
+        } else {
+            f.wildcard_bytes += k.len() + v.len();
+        }
+    }
+    f
+}
+
+fn attribute_json(j: &extractocol_http::JsonValue, known: &BTreeSet<String>) -> ByteFractions {
+    use extractocol_http::JsonValue as J;
+    let mut f = ByteFractions::default();
+    match j {
+        J::Object(m) => {
+            for (k, v) in m {
+                if known.contains(k) {
+                    f.keyword_bytes += k.len();
+                    match v {
+                        J::Object(_) | J::Array(_) => f.add(attribute_json(v, known)),
+                        leaf => f.value_bytes += leaf.to_json().len(),
+                    }
+                } else {
+                    f.wildcard_bytes += k.len() + v.to_json().len();
+                }
+            }
+        }
+        J::Array(items) => {
+            for it in items {
+                f.add(attribute_json(it, known));
+            }
+        }
+        leaf => f.wildcard_bytes += leaf.to_json().len(),
+    }
+    f
+}
+
+/// Table 2 byte attribution for request bodies/query strings: matches each
+/// trace transaction against its signature and classifies the bytes.
+pub fn request_byte_fractions(report: &AnalysisReport, trace: &TrafficTrace) -> ByteFractions {
+    let mut total = ByteFractions::default();
+    for txn in &report.transactions {
+        let known: BTreeSet<String> = txn.request_keywords().into_iter().collect();
+        for t in matching_transactions(txn, trace) {
+            total.add(attribute_pairs(
+                &t.request
+                    .uri
+                    .query
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect::<Vec<_>>(),
+                &known,
+            ));
+            match &t.request.body {
+                Body::Form(pairs) => total.add(attribute_pairs(pairs, &known)),
+                Body::Json(j) => total.add(attribute_json(j, &known)),
+                Body::Text(s) => total.wildcard_bytes += s.len(),
+                _ => {}
+            }
+        }
+    }
+    total
+}
+
+/// Table 2 byte attribution for response bodies.
+pub fn response_byte_fractions(report: &AnalysisReport, trace: &TrafficTrace) -> ByteFractions {
+    let mut total = ByteFractions::default();
+    for txn in &report.transactions {
+        let known: BTreeSet<String> = match &txn.response {
+            Some(ResponseSig::Json(j)) => j.keys().into_iter().map(str::to_string).collect(),
+            Some(ResponseSig::Xml(x)) => x.keywords().into_iter().map(str::to_string).collect(),
+            _ => BTreeSet::new(),
+        };
+        for t in matching_transactions(txn, trace) {
+            match &t.response.body {
+                Body::Json(j) => total.add(attribute_json(j, &known)),
+                Body::Xml(x) => {
+                    // Tags/attrs as keywords; text content as values.
+                    let mut stack = vec![x.clone()];
+                    while let Some(e) = stack.pop() {
+                        if known.contains(&e.name) {
+                            total.keyword_bytes += e.name.len();
+                            total.value_bytes += e.text_content().len();
+                        } else {
+                            total.wildcard_bytes += e.name.len() + e.text_content().len();
+                        }
+                        for (k, v) in &e.attrs {
+                            if known.contains(k) {
+                                total.keyword_bytes += k.len();
+                                total.value_bytes += v.len();
+                            } else {
+                                total.wildcard_bytes += k.len() + v.len();
+                            }
+                        }
+                        for c in &e.children {
+                            if let extractocol_http::XmlNode::Element(ce) = c {
+                                stack.push(ce.clone());
+                            }
+                        }
+                    }
+                }
+                Body::Text(s) => total.wildcard_bytes += s.len(),
+                _ => {}
+            }
+        }
+    }
+    total
+}
+
+/// Validates a request body against its static body signature (used by
+/// integration tests for the logical-equivalence check).
+pub fn body_matches(sig: &BodySig, body: &Body) -> bool {
+    match (sig, body) {
+        (BodySig::Form(pairs), Body::Form(concrete)) => pairs.iter().all(|(k, _)| {
+            let key_re = Regex::new(&k.to_regex());
+            key_re
+                .map(|re| concrete.iter().any(|(ck, _)| re.is_match(ck)))
+                .unwrap_or(false)
+        }),
+        (BodySig::Json(js), Body::Json(j)) => js.matches(j),
+        (BodySig::Xml(xs), Body::Xml(x)) => xs.matches(x),
+        (BodySig::Text(_), _) => true,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extractocol_http::{Request, Response};
+
+    fn trace_with(uri: &str, body: Body, resp_body: Body) -> TrafficTrace {
+        TrafficTrace {
+            app: "t".into(),
+            transactions: vec![Transaction {
+                request: Request {
+                    method: HttpMethod::Post,
+                    uri: extractocol_http::Uri::parse(uri),
+                    headers: Default::default(),
+                    body,
+                },
+                response: Response::ok(resp_body),
+            }],
+        }
+    }
+
+    #[test]
+    fn keywords_extracted_from_trace() {
+        let t = trace_with(
+            "https://h/api/login?user=bob&passwd=x",
+            Body::Form(vec![("api_type".into(), "json".into())]),
+            Body::Json(extractocol_http::JsonValue::parse(r#"{"modhash":"m","cookie":"c"}"#).unwrap()),
+        );
+        let req = t.request_keywords();
+        assert!(req.contains("user") && req.contains("passwd") && req.contains("api_type"));
+        let resp = t.response_keywords();
+        assert!(resp.contains("modhash") && resp.contains("cookie"));
+    }
+
+    #[test]
+    fn byte_attribution_splits_known_and_unknown() {
+        let known: BTreeSet<String> = ["user".to_string()].into_iter().collect();
+        let f = attribute_pairs(
+            &[("user".into(), "bob".into()), ("mystery".into(), "zz".into())],
+            &known,
+        );
+        assert_eq!(f.keyword_bytes, 4);
+        assert_eq!(f.value_bytes, 3);
+        assert_eq!(f.wildcard_bytes, 9);
+        let (rk, rv, rn) = f.percentages();
+        assert!((rk + rv + rn - 100.0).abs() < 1e-9);
+    }
+}

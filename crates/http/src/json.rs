@@ -1,0 +1,438 @@
+//! A self-contained JSON value model with parser and serializer.
+//!
+//! JSON is the dominant body representation in the paper's corpus
+//! (Table 1); signatures for JSON bodies are trees whose leaves are string
+//! literals or numbers (§3.2). The dynamic harness also needs to *produce*
+//! and *consume* concrete JSON when interpreting apps against the mock
+//! server, so both directions are implemented.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value. Objects preserve key order via `BTreeMap` (deterministic
+/// serialization matters for byte-level trace comparison).
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    /// All numbers are kept as f64, as in JavaScript.
+    Number(f64),
+    String(String),
+    Array(Vec<JsonValue>),
+    Object(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// Shorthand for a string value.
+    pub fn str(s: &str) -> JsonValue {
+        JsonValue::String(s.to_string())
+    }
+
+    /// Shorthand for a number value.
+    pub fn num(n: f64) -> JsonValue {
+        JsonValue::Number(n)
+    }
+
+    /// Creates an empty object.
+    pub fn object() -> JsonValue {
+        JsonValue::Object(BTreeMap::new())
+    }
+
+    /// Inserts into an object value; panics when self is not an object
+    /// (programming error in corpus/server specs).
+    pub fn insert(&mut self, key: &str, v: JsonValue) -> &mut Self {
+        match self {
+            JsonValue::Object(m) => {
+                m.insert(key.to_string(), v);
+            }
+            other => panic!("insert on non-object JSON value: {other:?}"),
+        }
+        self
+    }
+
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// Array element lookup.
+    pub fn at(&self, idx: usize) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Array(v) => v.get(idx),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// All object keys in this value, recursively — the "constant keywords"
+    /// counted in the paper's Fig. 7 signature-quality experiment.
+    pub fn all_keys(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        fn walk<'a>(v: &'a JsonValue, out: &mut Vec<&'a str>) {
+            match v {
+                JsonValue::Object(m) => {
+                    for (k, v) in m {
+                        out.push(k.as_str());
+                        walk(v, out);
+                    }
+                }
+                JsonValue::Array(a) => {
+                    for v in a {
+                        walk(v, out);
+                    }
+                }
+                _ => {}
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Serializes to compact JSON text.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s);
+        s
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Number(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+            JsonValue::String(s) => write_json_string(s, out),
+            JsonValue::Array(a) => {
+                out.push('[');
+                for (i, v) in a.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(m) => {
+                out.push('{');
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses JSON text.
+    pub fn parse(s: &str) -> Result<JsonValue, JsonError> {
+        let bytes: Vec<char> = s.chars().collect();
+        let mut p = JsonParser { s: &bytes, i: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.i != bytes.len() {
+            return Err(JsonError { at: p.i, message: "trailing garbage".into() });
+        }
+        Ok(v)
+    }
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_json())
+    }
+}
+
+/// A JSON parse error with character offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError {
+    pub at: usize,
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error at {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct JsonParser<'a> {
+    s: &'a [char],
+    i: usize,
+}
+
+impl JsonParser<'_> {
+    fn skip_ws(&mut self) {
+        while self.i < self.s.len() && self.s[self.i].is_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn err<T>(&self, m: impl Into<String>) -> Result<T, JsonError> {
+        Err(JsonError { at: self.i, message: m.into() })
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.s.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), JsonError> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected `{c}`"))
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: JsonValue) -> Result<JsonValue, JsonError> {
+        for c in word.chars() {
+            self.expect(c)?;
+        }
+        Ok(v)
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('n') => self.lit("null", JsonValue::Null),
+            Some('t') => self.lit("true", JsonValue::Bool(true)),
+            Some('f') => self.lit("false", JsonValue::Bool(false)),
+            Some('"') => Ok(JsonValue::String(self.string()?)),
+            Some('[') => {
+                self.i += 1;
+                let mut out = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(']') {
+                    self.i += 1;
+                    return Ok(JsonValue::Array(out));
+                }
+                loop {
+                    out.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(',') => {
+                            self.i += 1;
+                        }
+                        Some(']') => {
+                            self.i += 1;
+                            break;
+                        }
+                        _ => return self.err("expected `,` or `]`"),
+                    }
+                }
+                Ok(JsonValue::Array(out))
+            }
+            Some('{') => {
+                self.i += 1;
+                let mut out = BTreeMap::new();
+                self.skip_ws();
+                if self.peek() == Some('}') {
+                    self.i += 1;
+                    return Ok(JsonValue::Object(out));
+                }
+                loop {
+                    self.skip_ws();
+                    let k = self.string()?;
+                    self.skip_ws();
+                    self.expect(':')?;
+                    let v = self.value()?;
+                    out.insert(k, v);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(',') => {
+                            self.i += 1;
+                        }
+                        Some('}') => {
+                            self.i += 1;
+                            break;
+                        }
+                        _ => return self.err("expected `,` or `}`"),
+                    }
+                }
+                Ok(JsonValue::Object(out))
+            }
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            _ => self.err("expected JSON value"),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.peek() else { return self.err("unterminated string") };
+            self.i += 1;
+            match c {
+                '"' => return Ok(out),
+                '\\' => {
+                    let Some(e) = self.peek() else { return self.err("bad escape") };
+                    self.i += 1;
+                    match e {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        '/' => out.push('/'),
+                        'n' => out.push('\n'),
+                        't' => out.push('\t'),
+                        'r' => out.push('\r'),
+                        'b' => out.push('\u{8}'),
+                        'f' => out.push('\u{c}'),
+                        'u' => {
+                            if self.i + 4 > self.s.len() {
+                                return self.err("bad \\u escape");
+                            }
+                            let hex: String = self.s[self.i..self.i + 4].iter().collect();
+                            self.i += 4;
+                            let code = u32::from_str_radix(&hex, 16)
+                                .map_err(|_| JsonError { at: self.i, message: "bad hex".into() })?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return self.err(format!("bad escape `\\{other}`")),
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.i;
+        if self.peek() == Some('-') {
+            self.i += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.i += 1;
+        }
+        if self.peek() == Some('.') {
+            self.i += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.i += 1;
+            }
+        }
+        if matches!(self.peek(), Some('e') | Some('E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some('+') | Some('-')) {
+                self.i += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.i += 1;
+            }
+        }
+        let text: String = self.s[start..self.i].iter().collect();
+        text.parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|_| JsonError { at: start, message: format!("bad number `{text}`") })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_fig8_shape() {
+        // The radio reddit status response from paper Fig. 8 (trimmed).
+        let src = r#"[{ "all_listeners":"99999", "listeners":"13586", "online":"TRUE",
+            "playlist":"hiphop",
+            "relay":"http://cdn.audiopump.co/radioreddit/hiphop_mp3_128k",
+            "songs":{ "song":[{ "album": "", "artist": "stirus",
+              "genre": "Hip-Hop", "id": "837", "score": "6",
+              "title": "Surviving Minds" }]} }]"#;
+        let v = JsonValue::parse(src).unwrap();
+        let station = v.at(0).unwrap();
+        assert_eq!(station.get("playlist").unwrap().as_str(), Some("hiphop"));
+        let song = station.get("songs").unwrap().get("song").unwrap().at(0).unwrap();
+        assert_eq!(song.get("artist").unwrap().as_str(), Some("stirus"));
+        // Keyword extraction (Fig. 7 metric).
+        let keys = v.all_keys();
+        assert!(keys.contains(&"relay"));
+        assert!(keys.contains(&"genre"));
+        assert_eq!(keys.len(), 13);
+    }
+
+    #[test]
+    fn round_trips_values() {
+        let cases = [
+            "null",
+            "true",
+            "[1,2,3]",
+            r#"{"a":1,"b":[true,null,"x"],"c":{"d":-2.5}}"#,
+            r#""escaped \" \\ \n chars""#,
+        ];
+        for c in cases {
+            let v = JsonValue::parse(c).unwrap();
+            let v2 = JsonValue::parse(&v.to_json()).unwrap();
+            assert_eq!(v, v2, "round trip of {c}");
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(JsonValue::parse("").is_err());
+        assert!(JsonValue::parse("{").is_err());
+        assert!(JsonValue::parse("[1,]").is_err());
+        assert!(JsonValue::parse("{\"a\" 1}").is_err());
+        assert!(JsonValue::parse("1 2").is_err());
+    }
+
+    #[test]
+    fn numbers_serialize_compactly() {
+        assert_eq!(JsonValue::num(42.0).to_json(), "42");
+        assert_eq!(JsonValue::num(2.5).to_json(), "2.5");
+        assert_eq!(JsonValue::parse("1e3").unwrap(), JsonValue::num(1000.0));
+    }
+
+    #[test]
+    fn builder_helpers() {
+        let mut o = JsonValue::object();
+        o.insert("uh", JsonValue::str("hashval"))
+            .insert("id", JsonValue::str("t3_x"));
+        assert_eq!(o.get("uh").unwrap().as_str(), Some("hashval"));
+        assert_eq!(o.to_json(), r#"{"id":"t3_x","uh":"hashval"}"#);
+    }
+}

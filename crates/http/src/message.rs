@@ -1,0 +1,238 @@
+//! Concrete HTTP messages: requests, responses, and reconstructed
+//! transactions.
+//!
+//! These are the values that flow through the dynamic harness (traces from
+//! interpreting apps against the mock server) and that static signatures
+//! are validated against, mirroring the paper's definition: "An HTTP
+//! transaction consists of URI, request data (header, mime-type and body),
+//! request method, and response data" (§2).
+
+use crate::json::JsonValue;
+use crate::uri::Uri;
+use crate::xml::XmlElement;
+use std::fmt;
+
+/// HTTP request methods observed in the corpus (paper Table 1 columns).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum HttpMethod {
+    Get,
+    Post,
+    Put,
+    Delete,
+}
+
+impl HttpMethod {
+    /// Canonical upper-case name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HttpMethod::Get => "GET",
+            HttpMethod::Post => "POST",
+            HttpMethod::Put => "PUT",
+            HttpMethod::Delete => "DELETE",
+        }
+    }
+
+    /// Parses the canonical name.
+    pub fn parse(s: &str) -> Option<HttpMethod> {
+        match s {
+            "GET" => Some(HttpMethod::Get),
+            "POST" => Some(HttpMethod::Post),
+            "PUT" => Some(HttpMethod::Put),
+            "DELETE" => Some(HttpMethod::Delete),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for HttpMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Ordered header list with case-insensitive lookup.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Headers {
+    entries: Vec<(String, String)>,
+}
+
+impl Headers {
+    /// Creates an empty header list.
+    pub fn new() -> Headers {
+        Headers::default()
+    }
+
+    /// Appends a header.
+    pub fn add(&mut self, name: &str, value: &str) {
+        self.entries.push((name.to_string(), value.to_string()));
+    }
+
+    /// First value for a name, case-insensitively.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All `(name, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), v.as_str()))
+    }
+
+    /// Number of headers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no headers are present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// A message body: the representation kinds the analysis distinguishes
+/// (paper Table 1 splits request bodies into query strings vs JSON, and
+/// responses into JSON vs XML; media and other payloads are opaque bytes).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Body {
+    /// No body.
+    Empty,
+    /// `application/x-www-form-urlencoded` key/value pairs.
+    Form(Vec<(String, String)>),
+    /// A JSON document.
+    Json(JsonValue),
+    /// An XML document.
+    Xml(XmlElement),
+    /// Free text.
+    Text(String),
+    /// Opaque binary (media streams, images); only the length is modelled.
+    Binary(usize),
+}
+
+impl Body {
+    /// Serializes the body to the bytes that would go on the wire.
+    /// `Binary` renders as a placeholder of the right length.
+    pub fn to_bytes_string(&self) -> String {
+        match self {
+            Body::Empty => String::new(),
+            Body::Form(pairs) => crate::uri::format_query(pairs),
+            Body::Json(v) => v.to_json(),
+            Body::Xml(e) => e.to_xml(),
+            Body::Text(t) => t.clone(),
+            Body::Binary(n) => "\u{0}".repeat(*n),
+        }
+    }
+
+    /// The MIME type a client would send.
+    pub fn mime(&self) -> &'static str {
+        match self {
+            Body::Empty => "",
+            Body::Form(_) => "application/x-www-form-urlencoded",
+            Body::Json(_) => "application/json",
+            Body::Xml(_) => "application/xml",
+            Body::Text(_) => "text/plain",
+            Body::Binary(_) => "application/octet-stream",
+        }
+    }
+
+    /// True when there is nothing to send.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Body::Empty)
+    }
+}
+
+/// A concrete HTTP request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    pub method: HttpMethod,
+    pub uri: Uri,
+    pub headers: Headers,
+    pub body: Body,
+}
+
+impl Request {
+    /// A bodyless GET for a URI.
+    pub fn get(uri: &str) -> Request {
+        Request {
+            method: HttpMethod::Get,
+            uri: Uri::parse(uri),
+            headers: Headers::new(),
+            body: Body::Empty,
+        }
+    }
+
+    /// A POST with the given body.
+    pub fn post(uri: &str, body: Body) -> Request {
+        Request {
+            method: HttpMethod::Post,
+            uri: Uri::parse(uri),
+            headers: Headers::new(),
+            body,
+        }
+    }
+}
+
+/// A concrete HTTP response.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Response {
+    pub status: u16,
+    pub headers: Headers,
+    pub body: Body,
+}
+
+impl Response {
+    /// A 200 response with the given body.
+    pub fn ok(body: Body) -> Response {
+        Response { status: 200, headers: Headers::new(), body }
+    }
+
+    /// A 404 response.
+    pub fn not_found() -> Response {
+        Response { status: 404, headers: Headers::new(), body: Body::Empty }
+    }
+}
+
+/// A reconstructed transaction: one request paired with its response
+/// (paper §3.3 "Request-response pairing").
+#[derive(Clone, Debug, PartialEq)]
+pub struct Transaction {
+    pub request: Request,
+    pub response: Response,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_lookup_is_case_insensitive() {
+        let mut h = Headers::new();
+        h.add("User-Agent", "kayakandroidphone/8.1");
+        h.add("Cookie", "session=1");
+        assert_eq!(h.get("user-agent"), Some("kayakandroidphone/8.1"));
+        assert_eq!(h.get("COOKIE"), Some("session=1"));
+        assert_eq!(h.get("X-Nope"), None);
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn body_serialization() {
+        let form = Body::Form(vec![("id".into(), "t3_x".into()), ("uh".into(), "h".into())]);
+        assert_eq!(form.to_bytes_string(), "id=t3_x&uh=h");
+        assert_eq!(form.mime(), "application/x-www-form-urlencoded");
+        let mut j = JsonValue::object();
+        j.insert("k", JsonValue::num(1.0));
+        assert_eq!(Body::Json(j).to_bytes_string(), "{\"k\":1}");
+        assert_eq!(Body::Binary(4).to_bytes_string().len(), 4);
+        assert!(Body::Empty.is_empty());
+    }
+
+    #[test]
+    fn method_parse_round_trip() {
+        for m in [HttpMethod::Get, HttpMethod::Post, HttpMethod::Put, HttpMethod::Delete] {
+            assert_eq!(HttpMethod::parse(m.as_str()), Some(m));
+        }
+        assert_eq!(HttpMethod::parse("PATCH"), None);
+    }
+}

@@ -1,0 +1,586 @@
+//! A Thompson-NFA regular expression engine for the signature subset.
+//!
+//! Extractocol compiles message signatures into regular expressions built
+//! from string literals, type-derived wildcards (`.*`, `[0-9]+`), Kleene
+//! stars for `rep{..}` parts, and `|` for disjunctions (paper §3.2). The
+//! evaluation then matches those regexes against captured traffic traces
+//! (§5.1 "Signature validity"). This engine supports exactly that dialect:
+//!
+//! * literals (with `\` escaping),
+//! * `.` (any character),
+//! * character classes `[a-z0-9_]`, optionally negated `[^/]`,
+//! * postfix quantifiers `*`, `+`, `?`,
+//! * grouping `( … )` and alternation `|`.
+//!
+//! Matching is whole-string (anchored at both ends), which is how the paper
+//! uses signatures; [`Regex::find_prefix`] provides the prefix-match
+//! variant used for byte-attribution metrics. Construction is Thompson's
+//! algorithm; matching is the standard simultaneous-state simulation, so
+//! both are linear — no backtracking blowups on adversarial bodies.
+
+use std::fmt;
+
+/// A compile error with position in the pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegexError {
+    pub at: usize,
+    pub message: String,
+}
+
+impl fmt::Display for RegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex error at {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for RegexError {}
+
+// ---------------------------------------------------------------------------
+// AST
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Ast {
+    Empty,
+    Literal(char),
+    Any,
+    Class { negated: bool, ranges: Vec<(char, char)> },
+    Concat(Vec<Ast>),
+    Alt(Vec<Ast>),
+    Star(Box<Ast>),
+    Plus(Box<Ast>),
+    Opt(Box<Ast>),
+}
+
+struct AstParser {
+    chars: Vec<char>,
+    i: usize,
+}
+
+impl AstParser {
+    fn err<T>(&self, m: impl Into<String>) -> Result<T, RegexError> {
+        Err(RegexError { at: self.i, message: m.into() })
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.i).copied()
+    }
+
+    fn alt(&mut self) -> Result<Ast, RegexError> {
+        let mut arms = vec![self.concat()?];
+        while self.peek() == Some('|') {
+            self.i += 1;
+            arms.push(self.concat()?);
+        }
+        Ok(if arms.len() == 1 { arms.pop().unwrap() } else { Ast::Alt(arms) })
+    }
+
+    fn concat(&mut self) -> Result<Ast, RegexError> {
+        let mut items = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            items.push(self.repeat()?);
+        }
+        Ok(match items.len() {
+            0 => Ast::Empty,
+            1 => items.pop().unwrap(),
+            _ => Ast::Concat(items),
+        })
+    }
+
+    fn repeat(&mut self) -> Result<Ast, RegexError> {
+        let mut a = self.atom()?;
+        loop {
+            match self.peek() {
+                Some('*') => {
+                    self.i += 1;
+                    a = Ast::Star(Box::new(a));
+                }
+                Some('+') => {
+                    self.i += 1;
+                    a = Ast::Plus(Box::new(a));
+                }
+                Some('?') => {
+                    self.i += 1;
+                    a = Ast::Opt(Box::new(a));
+                }
+                _ => break,
+            }
+        }
+        Ok(a)
+    }
+
+    fn atom(&mut self) -> Result<Ast, RegexError> {
+        match self.peek() {
+            None => self.err("unexpected end of pattern"),
+            Some('(') => {
+                self.i += 1;
+                let inner = self.alt()?;
+                if self.peek() != Some(')') {
+                    return self.err("unclosed group");
+                }
+                self.i += 1;
+                Ok(inner)
+            }
+            Some(')') => self.err("unexpected `)`"),
+            Some('.') => {
+                self.i += 1;
+                Ok(Ast::Any)
+            }
+            Some('[') => self.class(),
+            Some('*') | Some('+') | Some('?') => self.err("quantifier with nothing to repeat"),
+            Some('\\') => {
+                self.i += 1;
+                match self.peek() {
+                    None => self.err("trailing backslash"),
+                    Some('d') => {
+                        self.i += 1;
+                        Ok(Ast::Class { negated: false, ranges: vec![('0', '9')] })
+                    }
+                    Some('w') => {
+                        self.i += 1;
+                        Ok(Ast::Class {
+                            negated: false,
+                            ranges: vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')],
+                        })
+                    }
+                    Some('s') => {
+                        self.i += 1;
+                        Ok(Ast::Class {
+                            negated: false,
+                            ranges: vec![(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r')],
+                        })
+                    }
+                    Some(c) => {
+                        self.i += 1;
+                        Ok(Ast::Literal(c))
+                    }
+                }
+            }
+            Some(c) => {
+                self.i += 1;
+                Ok(Ast::Literal(c))
+            }
+        }
+    }
+
+    fn class(&mut self) -> Result<Ast, RegexError> {
+        self.i += 1; // [
+        let negated = self.peek() == Some('^');
+        if negated {
+            self.i += 1;
+        }
+        let mut ranges = Vec::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unclosed character class"),
+                Some(']') if !ranges.is_empty() => {
+                    self.i += 1;
+                    break;
+                }
+                Some(_) => {
+                    let lo = self.class_char()?;
+                    if self.peek() == Some('-')
+                        && self.chars.get(self.i + 1).copied() != Some(']')
+                        && self.chars.get(self.i + 1).is_some()
+                    {
+                        self.i += 1;
+                        let hi = self.class_char()?;
+                        if hi < lo {
+                            return self.err("inverted range in class");
+                        }
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+            }
+        }
+        Ok(Ast::Class { negated, ranges })
+    }
+
+    fn class_char(&mut self) -> Result<char, RegexError> {
+        match self.peek() {
+            None => self.err("unclosed character class"),
+            Some('\\') => {
+                self.i += 1;
+                match self.peek() {
+                    None => self.err("trailing backslash in class"),
+                    Some(c) => {
+                        self.i += 1;
+                        Ok(match c {
+                            'n' => '\n',
+                            't' => '\t',
+                            'r' => '\r',
+                            c => c,
+                        })
+                    }
+                }
+            }
+            Some(c) => {
+                self.i += 1;
+                Ok(c)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NFA
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Trans {
+    /// Epsilon transitions to other states.
+    Eps(Vec<usize>),
+    /// Consume one character matching the test, then go to the state.
+    Char(CharTest, usize),
+    /// Accepting state.
+    Accept,
+}
+
+#[derive(Debug, Clone)]
+enum CharTest {
+    Any,
+    Lit(char),
+    Class { negated: bool, ranges: Vec<(char, char)> },
+}
+
+impl CharTest {
+    fn matches(&self, c: char) -> bool {
+        match self {
+            CharTest::Any => true,
+            CharTest::Lit(l) => *l == c,
+            CharTest::Class { negated, ranges } => {
+                let inside = ranges.iter().any(|(lo, hi)| *lo <= c && c <= *hi);
+                inside != *negated
+            }
+        }
+    }
+}
+
+/// A compiled regular expression.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    pattern: String,
+    states: Vec<Trans>,
+    start: usize,
+}
+
+impl Regex {
+    /// Compiles a pattern.
+    pub fn new(pattern: &str) -> Result<Regex, RegexError> {
+        let mut p = AstParser { chars: pattern.chars().collect(), i: 0 };
+        let ast = p.alt()?;
+        if p.i != p.chars.len() {
+            return p.err("unexpected `)`");
+        }
+        let mut b = Builder { states: Vec::new() };
+        let frag = b.compile(&ast);
+        let accept = b.push(Trans::Accept);
+        b.patch(frag.out, accept);
+        Ok(Regex { pattern: pattern.to_string(), states: b.states, start: frag.start })
+    }
+
+    /// The original pattern text.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Whole-string (anchored) match.
+    pub fn is_match(&self, text: &str) -> bool {
+        let mut current = Vec::new();
+        let mut seen = vec![false; self.states.len()];
+        self.add_state(self.start, &mut current, &mut seen);
+        for c in text.chars() {
+            let mut next = Vec::new();
+            let mut seen_next = vec![false; self.states.len()];
+            for &s in &current {
+                if let Trans::Char(test, to) = &self.states[s] {
+                    if test.matches(c) {
+                        self.add_state(*to, &mut next, &mut seen_next);
+                    }
+                }
+            }
+            current = next;
+            if current.is_empty() {
+                return false;
+            }
+        }
+        current
+            .iter()
+            .any(|&s| matches!(self.states[s], Trans::Accept))
+    }
+
+    /// Length of the longest prefix of `text` this regex matches, if any
+    /// prefix (including the empty one) matches.
+    pub fn find_prefix(&self, text: &str) -> Option<usize> {
+        let mut current = Vec::new();
+        let mut seen = vec![false; self.states.len()];
+        self.add_state(self.start, &mut current, &mut seen);
+        let mut best = if current
+            .iter()
+            .any(|&s| matches!(self.states[s], Trans::Accept))
+        {
+            Some(0)
+        } else {
+            None
+        };
+        let mut consumed = 0;
+        for c in text.chars() {
+            let mut next = Vec::new();
+            let mut seen_next = vec![false; self.states.len()];
+            for &s in &current {
+                if let Trans::Char(test, to) = &self.states[s] {
+                    if test.matches(c) {
+                        self.add_state(*to, &mut next, &mut seen_next);
+                    }
+                }
+            }
+            consumed += c.len_utf8();
+            current = next;
+            if current.is_empty() {
+                break;
+            }
+            if current
+                .iter()
+                .any(|&s| matches!(self.states[s], Trans::Accept))
+            {
+                best = Some(consumed);
+            }
+        }
+        best
+    }
+
+    fn add_state(&self, s: usize, into: &mut Vec<usize>, seen: &mut [bool]) {
+        if seen[s] {
+            return;
+        }
+        seen[s] = true;
+        if let Trans::Eps(targets) = &self.states[s] {
+            for &t in targets {
+                self.add_state(t, into, seen);
+            }
+        } else {
+            into.push(s);
+        }
+    }
+}
+
+/// A fragment during Thompson construction: entry state plus the list of
+/// dangling out-edges to patch.
+struct Frag {
+    start: usize,
+    /// `(state, eps-slot)` pairs: state indices whose epsilon target list
+    /// has a hole at the given position.
+    out: Vec<(usize, usize)>,
+}
+
+struct Builder {
+    states: Vec<Trans>,
+}
+
+impl Builder {
+    fn push(&mut self, t: Trans) -> usize {
+        self.states.push(t);
+        self.states.len() - 1
+    }
+
+    fn patch(&mut self, outs: Vec<(usize, usize)>, target: usize) {
+        for (state, slot) in outs {
+            match &mut self.states[state] {
+                Trans::Eps(v) => v[slot] = target,
+                Trans::Char(_, to) => *to = target,
+                Trans::Accept => unreachable!("accept has no out edges"),
+            }
+        }
+    }
+
+    fn compile(&mut self, ast: &Ast) -> Frag {
+        match ast {
+            Ast::Empty => {
+                let s = self.push(Trans::Eps(vec![usize::MAX]));
+                Frag { start: s, out: vec![(s, 0)] }
+            }
+            Ast::Literal(c) => {
+                let s = self.push(Trans::Char(CharTest::Lit(*c), usize::MAX));
+                Frag { start: s, out: vec![(s, 0)] }
+            }
+            Ast::Any => {
+                let s = self.push(Trans::Char(CharTest::Any, usize::MAX));
+                Frag { start: s, out: vec![(s, 0)] }
+            }
+            Ast::Class { negated, ranges } => {
+                let s = self.push(Trans::Char(
+                    CharTest::Class { negated: *negated, ranges: ranges.clone() },
+                    usize::MAX,
+                ));
+                Frag { start: s, out: vec![(s, 0)] }
+            }
+            Ast::Concat(items) => {
+                let mut frags: Vec<Frag> = items.iter().map(|a| self.compile(a)).collect();
+                let mut iter = frags.drain(..);
+                let first = iter.next().expect("concat is non-empty");
+                let start = first.start;
+                let mut out = first.out;
+                for f in iter {
+                    self.patch(out, f.start);
+                    out = f.out;
+                }
+                Frag { start, out }
+            }
+            Ast::Alt(arms) => {
+                let split = self.push(Trans::Eps(vec![usize::MAX; arms.len()]));
+                let mut out = Vec::new();
+                for (i, arm) in arms.iter().enumerate() {
+                    let f = self.compile(arm);
+                    if let Trans::Eps(v) = &mut self.states[split] {
+                        v[i] = f.start;
+                    }
+                    out.extend(f.out);
+                }
+                Frag { start: split, out }
+            }
+            Ast::Star(inner) => {
+                let split = self.push(Trans::Eps(vec![usize::MAX, usize::MAX]));
+                let f = self.compile(inner);
+                if let Trans::Eps(v) = &mut self.states[split] {
+                    v[0] = f.start;
+                }
+                self.patch(f.out, split);
+                Frag { start: split, out: vec![(split, 1)] }
+            }
+            Ast::Plus(inner) => {
+                let f = self.compile(inner);
+                let split = self.push(Trans::Eps(vec![f.start, usize::MAX]));
+                self.patch(f.out, split);
+                Frag { start: f.start, out: vec![(split, 1)] }
+            }
+            Ast::Opt(inner) => {
+                let f = self.compile(inner);
+                let split = self.push(Trans::Eps(vec![f.start, usize::MAX]));
+                let mut out = f.out;
+                out.push((split, 1));
+                Frag { start: split, out }
+            }
+        }
+    }
+}
+
+/// Escapes a literal string so it matches itself when embedded in a
+/// pattern. Used by signature-to-regex compilation for constants.
+pub fn escape_literal(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        if "\\.*+?()[]|".contains(c) {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pat: &str, text: &str) -> bool {
+        Regex::new(pat).unwrap().is_match(text)
+    }
+
+    #[test]
+    fn literals_and_wildcards() {
+        assert!(m("abc", "abc"));
+        assert!(!m("abc", "abcd"));
+        assert!(!m("abc", "ab"));
+        assert!(m("a.c", "axc"));
+        assert!(m(".*", ""));
+        assert!(m(".*", "anything at all"));
+        assert!(m("a.*b", "ab"));
+        assert!(m("a.*b", "a---b"));
+        assert!(!m("a.+b", "ab"));
+    }
+
+    #[test]
+    fn classes_and_quantifiers() {
+        assert!(m("[0-9]+", "12345"));
+        assert!(!m("[0-9]+", ""));
+        assert!(!m("[0-9]+", "12a45"));
+        assert!(m("[a-z_][a-z0-9_]*", "snake_case9"));
+        assert!(m("[^/]+", "no-slash"));
+        assert!(!m("[^/]+", "has/slash"));
+        assert!(m("colou?r", "color"));
+        assert!(m("colou?r", "colour"));
+        assert!(m("\\d+", "42"));
+        assert!(m("\\w+", "word_9"));
+    }
+
+    #[test]
+    fn groups_and_alternation() {
+        assert!(m("(ab|cd)+", "abcdab"));
+        assert!(!m("(ab|cd)+", "abc"));
+        assert!(m("http(s)?://x", "https://x"));
+        assert!(m("http(s)?://x", "http://x"));
+        assert!(m("(GET|POST)", "POST"));
+        assert!(m("a(b(c|d))*e", "abcbde"));
+    }
+
+    #[test]
+    fn paper_shaped_signatures() {
+        // From paper §3.2 (Diode) and Table 3 (radio reddit).
+        let diode = Regex::new(&format!(
+            "{}(.*)&sort=(.*)",
+            escape_literal("http://www.reddit.com/search/.json?q=")
+        ))
+        .unwrap();
+        assert!(diode.is_match("http://www.reddit.com/search/.json?q=cats&sort=top"));
+        assert!(!diode.is_match("http://www.reddit.com/search/json?q=cats&sort=top"));
+
+        let ted = Regex::new(
+            "https://app-api\\.ted\\.com/v1/talks/[0-9]*/android_ad\\.json\\?api-key=.*",
+        )
+        .unwrap();
+        assert!(ted.is_match("https://app-api.ted.com/v1/talks/2406/android_ad.json?api-key=x9"));
+        assert!(!ted.is_match("https://app-api.ted.com/v1/talks/abc/android_ad.json?api-key=x9"));
+    }
+
+    #[test]
+    fn escaping_round_trip() {
+        let special = "a.b*c+d?e(f)g[h]i|j\\k";
+        let pat = escape_literal(special);
+        assert!(m(&pat, special));
+        assert!(!m(&pat, "aXb*c+d?e(f)g[h]i|j\\k"));
+    }
+
+    #[test]
+    fn prefix_matching() {
+        let r = Regex::new("id=[0-9]+").unwrap();
+        assert_eq!(r.find_prefix("id=123&rest"), Some(6));
+        assert_eq!(r.find_prefix("id=nope"), None);
+        let opt = Regex::new("(x)?").unwrap();
+        assert_eq!(opt.find_prefix("yz"), Some(0));
+        assert_eq!(opt.find_prefix("xz"), Some(1));
+    }
+
+    #[test]
+    fn compile_errors() {
+        assert!(Regex::new("(a").is_err());
+        assert!(Regex::new("a)").is_err());
+        assert!(Regex::new("[a").is_err());
+        assert!(Regex::new("*a").is_err());
+        assert!(Regex::new("a\\").is_err());
+        assert!(Regex::new("[z-a]").is_err());
+    }
+
+    #[test]
+    fn no_pathological_backtracking() {
+        // (a*)*b against a^40 — classic catastrophic-backtracking input;
+        // finishes instantly on an NFA simulation.
+        let r = Regex::new("(a*)*b").unwrap();
+        let text = "a".repeat(40);
+        assert!(!r.is_match(&text));
+        assert!(r.is_match(&format!("{text}b")));
+    }
+}

@@ -1,0 +1,186 @@
+//! URIs as protocol analysis sees them: scheme, authority, path, and a
+//! query string of key/value pairs.
+//!
+//! An HTTP transaction in the paper "consists of URI, request data (header,
+//! mime-type and body), request method, and response data" (§2); URI and
+//! query-string signatures are first-class outputs. This module provides the
+//! concrete URI type that dynamic traces carry and signatures are matched
+//! against.
+
+use std::fmt;
+
+/// A parsed absolute or origin-form URI.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Uri {
+    /// The exact byte string as it appeared on the wire — signatures are
+    /// matched against this, so trailing separators and empty pairs are
+    /// preserved rather than normalized away.
+    pub raw: String,
+    /// `http` or `https` (empty for origin-form references).
+    pub scheme: String,
+    /// Host (and `:port` if present), e.g. `www.reddit.com`.
+    pub authority: String,
+    /// Path including the leading `/` (may be empty).
+    pub path: String,
+    /// Decoded query parameters in order of appearance.
+    pub query: Vec<(String, String)>,
+}
+
+impl Uri {
+    /// Parses a URI string. Accepts absolute (`https://host/path?q`) and
+    /// origin-form (`/path?q`) references; query parameters split on `&`
+    /// and `=` without percent-decoding (traces carry encoded bytes, and
+    /// signatures are built over encoded bytes too).
+    pub fn parse(s: &str) -> Uri {
+        let (scheme, rest) = match s.find("://") {
+            Some(i) => (s[..i].to_string(), &s[i + 3..]),
+            None => (String::new(), s),
+        };
+        let (authority, path_query) = if scheme.is_empty() {
+            (String::new(), rest)
+        } else {
+            match rest.find('/') {
+                Some(i) => (rest[..i].to_string(), &rest[i..]),
+                None => match rest.find('?') {
+                    Some(i) => (rest[..i].to_string(), &rest[i..]),
+                    None => (rest.to_string(), ""),
+                },
+            }
+        };
+        let (path, query_str) = match path_query.find('?') {
+            Some(i) => (path_query[..i].to_string(), &path_query[i + 1..]),
+            None => (path_query.to_string(), ""),
+        };
+        let query = parse_query(query_str);
+        Uri { raw: s.to_string(), scheme, authority, path, query }
+    }
+
+    /// The wire form: exactly the string this URI was parsed from.
+    pub fn to_uri_string(&self) -> String {
+        self.raw.clone()
+    }
+
+    /// The first value for a query key.
+    pub fn query_value(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Path segments, without empty leading entry.
+    pub fn segments(&self) -> impl Iterator<Item = &str> {
+        self.path.split('/').filter(|s| !s.is_empty())
+    }
+}
+
+impl fmt::Display for Uri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_uri_string())
+    }
+}
+
+/// Parses `a=1&b=2` into ordered pairs. A bare key becomes `(key, "")`.
+pub fn parse_query(q: &str) -> Vec<(String, String)> {
+    if q.is_empty() {
+        return Vec::new();
+    }
+    q.split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.find('=') {
+            Some(i) => (kv[..i].to_string(), kv[i + 1..].to_string()),
+            None => (kv.to_string(), String::new()),
+        })
+        .collect()
+}
+
+/// Serializes ordered pairs back into `a=1&b=2` form.
+pub fn format_query(pairs: &[(String, String)]) -> String {
+    pairs
+        .iter()
+        .map(|(k, v)| {
+            if v.is_empty() {
+                k.clone()
+            } else {
+                format!("{k}={v}")
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("&")
+}
+
+/// Minimal percent-encoding of a query component (what
+/// `java.net.URLEncoder.encode` does to the characters our corpus uses).
+pub fn url_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'*' => {
+                out.push(b as char)
+            }
+            b' ' => out.push('+'),
+            other => out.push_str(&format!("%{other:02X}")),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_absolute_uri() {
+        let u = Uri::parse("https://www.reddit.com/api/login?user=bob&passwd=x&api_type=json");
+        assert_eq!(u.scheme, "https");
+        assert_eq!(u.authority, "www.reddit.com");
+        assert_eq!(u.path, "/api/login");
+        assert_eq!(u.query.len(), 3);
+        assert_eq!(u.query_value("user"), Some("bob"));
+        assert_eq!(u.query_value("api_type"), Some("json"));
+        assert_eq!(u.query_value("nope"), None);
+    }
+
+    #[test]
+    fn parses_origin_form_and_no_query() {
+        let u = Uri::parse("/flight/start");
+        assert_eq!(u.scheme, "");
+        assert_eq!(u.path, "/flight/start");
+        assert!(u.query.is_empty());
+        let v = Uri::parse("http://host.com");
+        assert_eq!(v.authority, "host.com");
+        assert_eq!(v.path, "");
+    }
+
+    #[test]
+    fn round_trips() {
+        for s in [
+            "https://app-api.ted.com/v1/speakers.json?limit=2000&api-key=k",
+            "http://www.radioreddit.com/api/hiphop/status.json",
+            "/k/authajax?action=registerandroid&uuid=1",
+            "https://host:8443/a/b?x=1",
+        ] {
+            assert_eq!(Uri::parse(s).to_uri_string(), s);
+        }
+    }
+
+    #[test]
+    fn segments_split() {
+        let u = Uri::parse("https://h/api/v1/talks/");
+        let segs: Vec<&str> = u.segments().collect();
+        assert_eq!(segs, vec!["api", "v1", "talks"]);
+    }
+
+    #[test]
+    fn bare_query_keys() {
+        let q = parse_query("a&b=2");
+        assert_eq!(q, vec![("a".into(), "".into()), ("b".into(), "2".into())]);
+        assert_eq!(format_query(&q), "a&b=2");
+    }
+
+    #[test]
+    fn url_encoding() {
+        assert_eq!(url_encode("a b&c=d"), "a+b%26c%3Dd");
+        assert_eq!(url_encode("safe-chars_0.9*"), "safe-chars_0.9*");
+    }
+}

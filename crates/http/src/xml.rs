@@ -1,0 +1,341 @@
+//! A small XML element tree with parser and serializer.
+//!
+//! Several corpus apps (Adblock Plus, AnarXiv, Lightning, Wallabag, Weather
+//! Notification — paper Table 1) exchange XML response bodies; Extractocol
+//! represents their signatures as trees and can emit DTD-style formats
+//! (paper §1). This module provides the concrete tree those signatures are
+//! matched against.
+
+use std::fmt;
+
+/// A node in an XML document: an element or character data.
+#[derive(Clone, Debug, PartialEq)]
+pub enum XmlNode {
+    Element(XmlElement),
+    Text(String),
+}
+
+/// An XML element: tag name, attributes in document order, and child nodes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct XmlElement {
+    pub name: String,
+    pub attrs: Vec<(String, String)>,
+    pub children: Vec<XmlNode>,
+}
+
+impl XmlElement {
+    /// Creates an element with no attributes or children.
+    pub fn new(name: &str) -> XmlElement {
+        XmlElement { name: name.to_string(), attrs: Vec::new(), children: Vec::new() }
+    }
+
+    /// Adds an attribute (builder style).
+    pub fn attr(mut self, k: &str, v: &str) -> XmlElement {
+        self.attrs.push((k.to_string(), v.to_string()));
+        self
+    }
+
+    /// Adds an element child (builder style).
+    pub fn child(mut self, c: XmlElement) -> XmlElement {
+        self.children.push(XmlNode::Element(c));
+        self
+    }
+
+    /// Adds a text child (builder style).
+    pub fn text(mut self, t: &str) -> XmlElement {
+        self.children.push(XmlNode::Text(t.to_string()));
+        self
+    }
+
+    /// First child element with the given tag name.
+    pub fn find(&self, name: &str) -> Option<&XmlElement> {
+        self.children.iter().find_map(|n| match n {
+            XmlNode::Element(e) if e.name == name => Some(e),
+            _ => None,
+        })
+    }
+
+    /// Concatenated text content of this element (non-recursive).
+    pub fn text_content(&self) -> String {
+        self.children
+            .iter()
+            .filter_map(|n| match n {
+                XmlNode::Text(t) => Some(t.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Attribute value lookup.
+    pub fn attr_value(&self, k: &str) -> Option<&str> {
+        self.attrs.iter().find(|(n, _)| n == k).map(|(_, v)| v.as_str())
+    }
+
+    /// All tag names and attribute names, recursively — the XML
+    /// contribution to the paper's Fig. 7 "constant keywords" metric
+    /// ("the tags and attributes in XML bodies").
+    pub fn all_keywords(&self) -> Vec<&str> {
+        let mut out = vec![self.name.as_str()];
+        for (k, _) in &self.attrs {
+            out.push(k.as_str());
+        }
+        for c in &self.children {
+            if let XmlNode::Element(e) = c {
+                out.extend(e.all_keywords());
+            }
+        }
+        out
+    }
+
+    /// Serializes to compact XML text.
+    pub fn to_xml(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s);
+        s
+    }
+
+    fn write(&self, out: &mut String) {
+        out.push('<');
+        out.push_str(&self.name);
+        for (k, v) in &self.attrs {
+            out.push(' ');
+            out.push_str(k);
+            out.push_str("=\"");
+            escape_into(v, out);
+            out.push('"');
+        }
+        if self.children.is_empty() {
+            out.push_str("/>");
+            return;
+        }
+        out.push('>');
+        for c in &self.children {
+            match c {
+                XmlNode::Element(e) => e.write(out),
+                XmlNode::Text(t) => escape_into(t, out),
+            }
+        }
+        out.push_str("</");
+        out.push_str(&self.name);
+        out.push('>');
+    }
+
+    /// Parses a single XML element (optionally preceded by an XML
+    /// declaration).
+    pub fn parse(s: &str) -> Result<XmlElement, XmlError> {
+        let chars: Vec<char> = s.chars().collect();
+        let mut p = XmlParser { s: &chars, i: 0 };
+        p.skip_ws();
+        if p.starts_with("<?") {
+            while p.i < p.s.len() && !p.starts_with("?>") {
+                p.i += 1;
+            }
+            p.i += 2;
+            p.skip_ws();
+        }
+        let e = p.element()?;
+        p.skip_ws();
+        if p.i != chars.len() {
+            return Err(XmlError { at: p.i, message: "trailing garbage".into() });
+        }
+        Ok(e)
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+}
+
+impl fmt::Display for XmlElement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_xml())
+    }
+}
+
+/// An XML parse error with character offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct XmlError {
+    pub at: usize,
+    pub message: String,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xml error at {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+struct XmlParser<'a> {
+    s: &'a [char],
+    i: usize,
+}
+
+impl XmlParser<'_> {
+    fn skip_ws(&mut self) {
+        while self.i < self.s.len() && self.s[self.i].is_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn starts_with(&self, pat: &str) -> bool {
+        (self.i..)
+            .zip(pat.chars())
+            .all(|(j, c)| self.s.get(j) == Some(&c))
+    }
+
+    fn err<T>(&self, m: impl Into<String>) -> Result<T, XmlError> {
+        Err(XmlError { at: self.i, message: m.into() })
+    }
+
+    fn name(&mut self) -> Result<String, XmlError> {
+        let start = self.i;
+        while self.i < self.s.len() {
+            let c = self.s[self.i];
+            if c.is_alphanumeric() || c == '_' || c == '-' || c == ':' || c == '.' {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+        if self.i == start {
+            return self.err("expected name");
+        }
+        Ok(self.s[start..self.i].iter().collect())
+    }
+
+    fn element(&mut self) -> Result<XmlElement, XmlError> {
+        if !self.starts_with("<") {
+            return self.err("expected `<`");
+        }
+        self.i += 1;
+        let name = self.name()?;
+        let mut e = XmlElement::new(&name);
+        loop {
+            self.skip_ws();
+            if self.starts_with("/>") {
+                self.i += 2;
+                return Ok(e);
+            }
+            if self.starts_with(">") {
+                self.i += 1;
+                break;
+            }
+            let k = self.name()?;
+            self.skip_ws();
+            if !self.starts_with("=") {
+                return self.err("expected `=` in attribute");
+            }
+            self.i += 1;
+            self.skip_ws();
+            if !self.starts_with("\"") {
+                return self.err("expected `\"`");
+            }
+            self.i += 1;
+            let start = self.i;
+            while self.i < self.s.len() && self.s[self.i] != '"' {
+                self.i += 1;
+            }
+            if self.i >= self.s.len() {
+                return self.err("unterminated attribute value");
+            }
+            let raw: String = self.s[start..self.i].iter().collect();
+            self.i += 1;
+            e.attrs.push((k, unescape(&raw)));
+        }
+        // children until </name>
+        loop {
+            if self.starts_with("</") {
+                self.i += 2;
+                let close = self.name()?;
+                if close != e.name {
+                    return self.err(format!("mismatched close tag `{close}` for `{}`", e.name));
+                }
+                self.skip_ws();
+                if !self.starts_with(">") {
+                    return self.err("expected `>`");
+                }
+                self.i += 1;
+                return Ok(e);
+            }
+            if self.starts_with("<") {
+                let child = self.element()?;
+                e.children.push(XmlNode::Element(child));
+                continue;
+            }
+            if self.i >= self.s.len() {
+                return self.err(format!("unterminated element `{}`", e.name));
+            }
+            let start = self.i;
+            while self.i < self.s.len() && self.s[self.i] != '<' {
+                self.i += 1;
+            }
+            let raw: String = self.s[start..self.i].iter().collect();
+            let text = unescape(&raw);
+            if !text.trim().is_empty() {
+                e.children.push(XmlNode::Text(text));
+            }
+        }
+    }
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&amp;", "&")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_serializes() {
+        let e = XmlElement::new("vast")
+            .attr("version", "2.0")
+            .child(XmlElement::new("Ad").attr("id", "1").child(
+                XmlElement::new("MediaFile").text("https://cdn.example.com/ad.mp4"),
+            ));
+        let s = e.to_xml();
+        assert_eq!(
+            s,
+            "<vast version=\"2.0\"><Ad id=\"1\"><MediaFile>https://cdn.example.com/ad.mp4</MediaFile></Ad></vast>"
+        );
+    }
+
+    #[test]
+    fn parses_round_trip() {
+        let src = "<a x=\"1\"><b>hi</b><c/><b>there &amp; more</b></a>";
+        let e = XmlElement::parse(src).unwrap();
+        assert_eq!(e.name, "a");
+        assert_eq!(e.attr_value("x"), Some("1"));
+        assert_eq!(e.find("b").unwrap().text_content(), "hi");
+        assert_eq!(e.children.len(), 3);
+        assert_eq!(XmlElement::parse(&e.to_xml()).unwrap(), e);
+    }
+
+    #[test]
+    fn skips_declaration_and_collects_keywords() {
+        let src = "<?xml version=\"1.0\"?><rss version=\"2\"><channel><title>t</title></channel></rss>";
+        let e = XmlElement::parse(src).unwrap();
+        let kw = e.all_keywords();
+        assert_eq!(kw, vec!["rss", "version", "channel", "title"]);
+    }
+
+    #[test]
+    fn rejects_mismatched_tags() {
+        assert!(XmlElement::parse("<a></b>").is_err());
+        assert!(XmlElement::parse("<a>").is_err());
+        assert!(XmlElement::parse("plain").is_err());
+    }
+}

@@ -1,0 +1,119 @@
+//! The APK container model: manifest, resources, and classes.
+//!
+//! Extractocol's only input is the application package ("Extractocol only
+//! uses Android application binary as input", paper §1). Besides code, two
+//! pieces of the package matter to the analysis:
+//!
+//! * the **manifest**, which names the entry-point components whose
+//!   lifecycle callbacks seed the call graph, and
+//! * the **resources** (`res/values/strings.xml`), because apps routinely
+//!   store API base URLs and API keys there and reference them as
+//!   `Android.R` values (paper §3.1 resolves these during slicing; the TED
+//!   case study's api-key lives in `android.content.res.Resources`, §5.2).
+
+use crate::class::Class;
+use std::collections::BTreeMap;
+
+/// The subset of `AndroidManifest.xml` the analysis consumes.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Manifest {
+    /// The application package name.
+    pub package: String,
+    /// Activity classes (UI entry points).
+    pub activities: Vec<String>,
+    /// Service classes (background entry points, e.g. timer-driven sync).
+    pub services: Vec<String>,
+    /// Broadcast receiver classes (push/server-triggered entry points).
+    pub receivers: Vec<String>,
+    /// Requested permissions (`INTERNET`, `RECORD_AUDIO`, ...), used by the
+    /// origin/consumption characterization.
+    pub permissions: Vec<String>,
+}
+
+/// String resources bundled in the APK (`res/values/strings.xml`).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Resources {
+    strings: BTreeMap<String, String>,
+}
+
+impl Resources {
+    /// Creates an empty resource table.
+    pub fn new() -> Resources {
+        Resources::default()
+    }
+
+    /// Inserts or replaces a string resource.
+    pub fn put_string(&mut self, key: &str, value: &str) {
+        self.strings.insert(key.to_string(), value.to_string());
+    }
+
+    /// Looks up a string resource by key.
+    pub fn string(&self, key: &str) -> Option<&str> {
+        self.strings.get(key).map(String::as_str)
+    }
+
+    /// Iterates over all `(key, value)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.strings.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Number of string resources.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True when no resources are present.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+/// A complete application package: the unit of analysis.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Apk {
+    /// Display name of the app (e.g. "Diode"), for reports.
+    pub name: String,
+    /// Manifest data.
+    pub manifest: Manifest,
+    /// Bundled string resources.
+    pub resources: Resources,
+    /// All classes in the package: the app's own code, bundled third-party
+    /// libraries (`is_library`), and bodyless platform stubs.
+    pub classes: Vec<Class>,
+}
+
+impl Apk {
+    /// Total number of statements across all concrete methods — the "app
+    /// size" metric used when reporting slice fractions (paper Fig. 3 notes
+    /// Diode's slices cover 6.3% of all code).
+    pub fn total_statements(&self) -> usize {
+        self.classes
+            .iter()
+            .flat_map(|c| c.methods.iter())
+            .map(|m| m.body.len())
+            .sum()
+    }
+
+    /// Looks up a class by fully-qualified name.
+    pub fn class(&self, name: &str) -> Option<&Class> {
+        self.classes.iter().find(|c| c.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resources_round_trip() {
+        let mut r = Resources::new();
+        assert!(r.is_empty());
+        r.put_string("api_key", "abc123");
+        r.put_string("base_url", "https://api.example.com");
+        assert_eq!(r.string("api_key"), Some("abc123"));
+        assert_eq!(r.string("missing"), None);
+        assert_eq!(r.len(), 2);
+        let keys: Vec<&str> = r.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["api_key", "base_url"]); // sorted
+    }
+}

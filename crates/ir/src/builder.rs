@@ -1,0 +1,644 @@
+//! Fluent construction of APKs, classes, and method bodies.
+//!
+//! The synthetic corpus (crate `extractocol-corpus`) authors whole apps
+//! through this API. It mirrors what Dexpler emits: flat statement lists
+//! with symbolic labels resolved to statement indices at build time.
+
+use crate::apk::{Apk, Manifest, Resources};
+use crate::class::{Class, FieldDecl, LocalDecl, Method};
+use crate::stmt::{Call, CallKind, Cond, CondOp, Expr, IdentityKind, Stmt};
+use crate::types::Type;
+use crate::values::{FieldRef, Local, MethodRef, Place, Value};
+use std::collections::HashMap;
+
+/// Builds a complete [`Apk`].
+pub struct ApkBuilder {
+    name: String,
+    manifest: Manifest,
+    resources: Resources,
+    classes: Vec<Class>,
+}
+
+impl ApkBuilder {
+    /// Starts a new APK with the given display name and package.
+    pub fn new(app_name: &str, package: &str) -> ApkBuilder {
+        ApkBuilder {
+            name: app_name.to_string(),
+            manifest: Manifest { package: package.to_string(), ..Manifest::default() },
+            resources: Resources::new(),
+            classes: Vec::new(),
+        }
+    }
+
+    /// Adds a string resource (`res/values/strings.xml` entry).
+    pub fn resource(&mut self, key: &str, value: &str) -> &mut Self {
+        self.resources.put_string(key, value);
+        self
+    }
+
+    /// Registers an activity in the manifest.
+    pub fn activity(&mut self, class: &str) -> &mut Self {
+        self.manifest.activities.push(class.to_string());
+        self
+    }
+
+    /// Registers a service in the manifest.
+    pub fn service(&mut self, class: &str) -> &mut Self {
+        self.manifest.services.push(class.to_string());
+        self
+    }
+
+    /// Registers a broadcast receiver in the manifest.
+    pub fn receiver(&mut self, class: &str) -> &mut Self {
+        self.manifest.receivers.push(class.to_string());
+        self
+    }
+
+    /// Requests a permission in the manifest.
+    pub fn permission(&mut self, perm: &str) -> &mut Self {
+        self.manifest.permissions.push(perm.to_string());
+        self
+    }
+
+    /// Defines a class. The closure configures it through a [`ClassBuilder`].
+    pub fn class(&mut self, name: &str, f: impl FnOnce(&mut ClassBuilder)) -> &mut Self {
+        let mut cb = ClassBuilder::new(name, false);
+        f(&mut cb);
+        self.classes.push(cb.finish());
+        self
+    }
+
+    /// Defines an interface.
+    pub fn iface(&mut self, name: &str, f: impl FnOnce(&mut ClassBuilder)) -> &mut Self {
+        let mut cb = ClassBuilder::new(name, true);
+        f(&mut cb);
+        self.classes.push(cb.finish());
+        self
+    }
+
+    /// Finalizes the APK. Classes declared in multiple `class()` calls
+    /// under the same name are merged (fields and methods appended), so
+    /// incremental app generators can add members per feature.
+    pub fn build(self) -> Apk {
+        let mut merged: Vec<Class> = Vec::new();
+        let mut index: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+        for c in self.classes {
+            match index.get(&c.name) {
+                Some(&i) => {
+                    let dst = &mut merged[i];
+                    dst.fields.extend(c.fields);
+                    dst.methods.extend(c.methods);
+                    for itf in c.interfaces {
+                        if !dst.interfaces.contains(&itf) {
+                            dst.interfaces.push(itf);
+                        }
+                    }
+                    dst.is_library |= c.is_library;
+                }
+                None => {
+                    index.insert(c.name.clone(), merged.len());
+                    merged.push(c);
+                }
+            }
+        }
+        Apk {
+            name: self.name,
+            manifest: self.manifest,
+            resources: self.resources,
+            classes: merged,
+        }
+    }
+}
+
+/// Builds one [`Class`].
+pub struct ClassBuilder {
+    class: Class,
+}
+
+impl ClassBuilder {
+    fn new(name: &str, is_interface: bool) -> ClassBuilder {
+        ClassBuilder {
+            class: Class {
+                name: name.to_string(),
+                superclass: Some("java.lang.Object".to_string()),
+                interfaces: Vec::new(),
+                fields: Vec::new(),
+                methods: Vec::new(),
+                is_interface,
+                is_library: false,
+            },
+        }
+    }
+
+    /// Sets the superclass (default: `java.lang.Object`).
+    pub fn extends(&mut self, superclass: &str) -> &mut Self {
+        self.class.superclass = Some(superclass.to_string());
+        self
+    }
+
+    /// Removes the superclass (for `java.lang.Object` itself).
+    pub fn no_super(&mut self) -> &mut Self {
+        self.class.superclass = None;
+        self
+    }
+
+    /// Adds an implemented interface.
+    pub fn implements(&mut self, iface: &str) -> &mut Self {
+        self.class.interfaces.push(iface.to_string());
+        self
+    }
+
+    /// Marks this class as bundled third-party library code.
+    pub fn library(&mut self) -> &mut Self {
+        self.class.is_library = true;
+        self
+    }
+
+    /// Declares an instance field and returns its reference.
+    pub fn field(&mut self, name: &str, ty: Type) -> FieldRef {
+        self.class.fields.push(FieldDecl { name: name.to_string(), ty: ty.clone(), is_static: false });
+        FieldRef::new(&self.class.name, name, ty)
+    }
+
+    /// Declares a static field and returns its reference.
+    pub fn static_field(&mut self, name: &str, ty: Type) -> FieldRef {
+        self.class.fields.push(FieldDecl { name: name.to_string(), ty: ty.clone(), is_static: true });
+        FieldRef::new(&self.class.name, name, ty)
+    }
+
+    /// Defines an instance method with a body.
+    pub fn method(
+        &mut self,
+        name: &str,
+        params: Vec<Type>,
+        ret: Type,
+        f: impl FnOnce(&mut MethodBuilder),
+    ) -> &mut Self {
+        self.add_method(name, params, ret, false, f)
+    }
+
+    /// Defines a static method with a body.
+    pub fn static_method(
+        &mut self,
+        name: &str,
+        params: Vec<Type>,
+        ret: Type,
+        f: impl FnOnce(&mut MethodBuilder),
+    ) -> &mut Self {
+        self.add_method(name, params, ret, true, f)
+    }
+
+    fn add_method(
+        &mut self,
+        name: &str,
+        params: Vec<Type>,
+        ret: Type,
+        is_static: bool,
+        f: impl FnOnce(&mut MethodBuilder),
+    ) -> &mut Self {
+        let mut mb = MethodBuilder::new(name, params, ret, is_static);
+        f(&mut mb);
+        self.class.methods.push(mb.finish());
+        self
+    }
+
+    /// Declares a bodyless method (abstract / native / platform stub).
+    pub fn stub_method(&mut self, name: &str, params: Vec<Type>, ret: Type) -> &mut Self {
+        self.class.methods.push(Method {
+            name: name.to_string(),
+            params,
+            ret,
+            is_static: false,
+            has_body: false,
+            locals: Vec::new(),
+            body: Vec::new(),
+        });
+        self
+    }
+
+    fn finish(self) -> Class {
+        self.class
+    }
+}
+
+/// A statement with possibly-unresolved symbolic branch targets.
+enum RawStmt {
+    Plain(Stmt),
+    If(Cond, String),
+    Goto(String),
+    Switch(Value, Vec<(i64, String)>, String),
+}
+
+/// Builds one [`Method`] body. Statements are emitted in order; labels are
+/// symbolic and resolved when the method is finished.
+pub struct MethodBuilder {
+    name: String,
+    params: Vec<Type>,
+    ret: Type,
+    is_static: bool,
+    locals: Vec<LocalDecl>,
+    stmts: Vec<RawStmt>,
+    labels: HashMap<String, usize>,
+    temp_count: u32,
+}
+
+impl MethodBuilder {
+    fn new(name: &str, params: Vec<Type>, ret: Type, is_static: bool) -> MethodBuilder {
+        MethodBuilder {
+            name: name.to_string(),
+            params,
+            ret,
+            is_static,
+            locals: Vec::new(),
+            stmts: Vec::new(),
+            labels: HashMap::new(),
+            temp_count: 0,
+        }
+    }
+
+    // ---- locals -----------------------------------------------------------
+
+    /// Declares a named local of the given type.
+    pub fn local(&mut self, name: &str, ty: Type) -> Local {
+        let l = Local(self.locals.len() as u32);
+        self.locals.push(LocalDecl { name: name.to_string(), ty });
+        l
+    }
+
+    /// Declares an anonymous temporary local.
+    pub fn temp(&mut self, ty: Type) -> Local {
+        self.temp_count += 1;
+        let name = format!("$t{}", self.temp_count);
+        self.local(&name, ty)
+    }
+
+    /// Declares a local bound to `this` and emits the identity statement.
+    pub fn recv(&mut self, class: &str) -> Local {
+        let l = self.local("this", Type::object(class));
+        self.push(Stmt::Identity { local: l, kind: IdentityKind::This });
+        l
+    }
+
+    /// Declares a local bound to parameter `i` and emits the identity
+    /// statement. The type comes from the declared parameter list.
+    pub fn arg(&mut self, i: u32, name: &str) -> Local {
+        let ty = self
+            .params
+            .get(i as usize)
+            .cloned()
+            .unwrap_or_else(Type::obj_root);
+        let l = self.local(name, ty);
+        self.push(Stmt::Identity { local: l, kind: IdentityKind::Param(i) });
+        l
+    }
+
+    // ---- raw statement emission -------------------------------------------
+
+    /// Emits an arbitrary resolved statement.
+    pub fn push(&mut self, s: Stmt) -> &mut Self {
+        self.stmts.push(RawStmt::Plain(s));
+        self
+    }
+
+    /// Emits `local = expr`.
+    pub fn assign(&mut self, local: Local, expr: Expr) -> &mut Self {
+        self.push(Stmt::Assign { place: Place::Local(local), expr })
+    }
+
+    /// Emits `place = expr` for any l-value.
+    pub fn set(&mut self, place: Place, expr: Expr) -> &mut Self {
+        self.push(Stmt::Assign { place, expr })
+    }
+
+    // ---- constants and copies ---------------------------------------------
+
+    /// `local = "s"`.
+    pub fn cstr(&mut self, local: Local, s: &str) -> &mut Self {
+        self.assign(local, Expr::Use(Value::str(s)))
+    }
+
+    /// `local = i`.
+    pub fn cint(&mut self, local: Local, i: i64) -> &mut Self {
+        self.assign(local, Expr::Use(Value::int(i)))
+    }
+
+    /// `local = @resource(key)` — an `Android.R` string lookup.
+    pub fn cres(&mut self, local: Local, key: &str) -> &mut Self {
+        self.assign(local, Expr::Use(Value::Resource(key.to_string())))
+    }
+
+    /// `dst = src`.
+    pub fn copy(&mut self, dst: Local, src: impl Into<Value>) -> &mut Self {
+        self.assign(dst, Expr::Use(src.into()))
+    }
+
+    // ---- fields and arrays --------------------------------------------------
+
+    /// `dst = base.field`.
+    pub fn get_field(&mut self, dst: Local, base: Local, field: &FieldRef) -> &mut Self {
+        self.assign(dst, Expr::Load(Place::InstanceField { base, field: field.clone() }))
+    }
+
+    /// `base.field = v`.
+    pub fn put_field(&mut self, base: Local, field: &FieldRef, v: impl Into<Value>) -> &mut Self {
+        self.set(
+            Place::InstanceField { base, field: field.clone() },
+            Expr::Use(v.into()),
+        )
+    }
+
+    /// `dst = Class.field`.
+    pub fn get_static(&mut self, dst: Local, field: &FieldRef) -> &mut Self {
+        self.assign(dst, Expr::Load(Place::StaticField(field.clone())))
+    }
+
+    /// `Class.field = v`.
+    pub fn put_static(&mut self, field: &FieldRef, v: impl Into<Value>) -> &mut Self {
+        self.set(Place::StaticField(field.clone()), Expr::Use(v.into()))
+    }
+
+    /// `dst = base[idx]`.
+    pub fn load_elem(&mut self, dst: Local, base: Local, idx: impl Into<Value>) -> &mut Self {
+        self.assign(dst, Expr::Load(Place::ArrayElem { base, index: idx.into() }))
+    }
+
+    /// `base[idx] = v`.
+    pub fn store_elem(
+        &mut self,
+        base: Local,
+        idx: impl Into<Value>,
+        v: impl Into<Value>,
+    ) -> &mut Self {
+        self.set(
+            Place::ArrayElem { base, index: idx.into() },
+            Expr::Use(v.into()),
+        )
+    }
+
+    /// `dst = new ty[len]`.
+    pub fn new_array(&mut self, dst: Local, elem: Type, len: impl Into<Value>) -> &mut Self {
+        self.assign(dst, Expr::NewArray(elem, len.into()))
+    }
+
+    // ---- allocation and calls -----------------------------------------------
+
+    /// Allocates and constructs an object: emits `l = new C` followed by
+    /// `specialinvoke l.<C: void <init>(..)>(args)`; returns the new local.
+    pub fn new_obj(&mut self, class: &str, args: Vec<Value>) -> Local {
+        let l = self.temp(Type::object(class));
+        self.assign(l, Expr::New(class.to_string()));
+        let params = self.arg_types(&args);
+        self.push(Stmt::Invoke(Call {
+            kind: CallKind::Special,
+            callee: MethodRef::new(class, "<init>", params, Type::Void),
+            receiver: Some(Value::Local(l)),
+            args,
+        }));
+        l
+    }
+
+    /// Like [`Self::new_obj`] but assigns into an existing local.
+    pub fn new_obj_into(&mut self, dst: Local, class: &str, args: Vec<Value>) -> &mut Self {
+        self.assign(dst, Expr::New(class.to_string()));
+        let params = self.arg_types(&args);
+        self.push(Stmt::Invoke(Call {
+            kind: CallKind::Special,
+            callee: MethodRef::new(class, "<init>", params, Type::Void),
+            receiver: Some(Value::Local(dst)),
+            args,
+        }));
+        self
+    }
+
+    fn arg_types(&self, args: &[Value]) -> Vec<Type> {
+        args.iter()
+            .map(|v| match v {
+                Value::Local(l) => self.locals[l.index()].ty.clone(),
+                Value::Const(c) => c.ty(),
+                Value::Resource(_) => Type::string(),
+            })
+            .collect()
+    }
+
+    fn mk_call(&self, kind: CallKind, class: &str, name: &str, recv: Option<Value>, args: Vec<Value>, ret: Type) -> Call {
+        let params = self.arg_types(&args);
+        Call {
+            kind,
+            callee: MethodRef::new(class, name, params, ret),
+            receiver: recv,
+            args,
+        }
+    }
+
+    /// Virtual call whose result is assigned to a fresh temp of type `ret`.
+    pub fn vcall(&mut self, recv: Local, class: &str, name: &str, args: Vec<Value>, ret: Type) -> Local {
+        let dst = self.temp(ret.clone());
+        let call = self.mk_call(CallKind::Virtual, class, name, Some(Value::Local(recv)), args, ret);
+        self.assign(dst, Expr::Invoke(call));
+        dst
+    }
+
+    /// Virtual call assigned into an existing local.
+    pub fn vcall_into(&mut self, dst: Local, recv: Local, class: &str, name: &str, args: Vec<Value>) -> &mut Self {
+        let ret = self.locals[dst.index()].ty.clone();
+        let call = self.mk_call(CallKind::Virtual, class, name, Some(Value::Local(recv)), args, ret);
+        self.assign(dst, Expr::Invoke(call))
+    }
+
+    /// Virtual call with discarded result.
+    pub fn vcall_void(&mut self, recv: Local, class: &str, name: &str, args: Vec<Value>) -> &mut Self {
+        let call = self.mk_call(CallKind::Virtual, class, name, Some(Value::Local(recv)), args, Type::Void);
+        self.push(Stmt::Invoke(call))
+    }
+
+    /// Interface call whose result is assigned to a fresh temp.
+    pub fn icall(&mut self, recv: Local, class: &str, name: &str, args: Vec<Value>, ret: Type) -> Local {
+        let dst = self.temp(ret.clone());
+        let call = self.mk_call(CallKind::Interface, class, name, Some(Value::Local(recv)), args, ret);
+        self.assign(dst, Expr::Invoke(call));
+        dst
+    }
+
+    /// Static call whose result is assigned to a fresh temp.
+    pub fn scall(&mut self, class: &str, name: &str, args: Vec<Value>, ret: Type) -> Local {
+        let dst = self.temp(ret.clone());
+        let call = self.mk_call(CallKind::Static, class, name, None, args, ret);
+        self.assign(dst, Expr::Invoke(call));
+        dst
+    }
+
+    /// Static call with discarded result.
+    pub fn scall_void(&mut self, class: &str, name: &str, args: Vec<Value>) -> &mut Self {
+        let call = self.mk_call(CallKind::Static, class, name, None, args, Type::Void);
+        self.push(Stmt::Invoke(call))
+    }
+
+    /// `specialinvoke` (constructor chaining, `super.m()`).
+    pub fn special_void(&mut self, recv: Local, class: &str, name: &str, args: Vec<Value>) -> &mut Self {
+        let call = self.mk_call(CallKind::Special, class, name, Some(Value::Local(recv)), args, Type::Void);
+        self.push(Stmt::Invoke(call))
+    }
+
+    // ---- control flow --------------------------------------------------------
+
+    /// Defines a label at the current position.
+    pub fn label(&mut self, name: &str) -> &mut Self {
+        self.labels.insert(name.to_string(), self.stmts.len());
+        self
+    }
+
+    /// Conditional jump to `label` when `lhs op rhs` holds.
+    pub fn iff(&mut self, op: CondOp, lhs: impl Into<Value>, rhs: impl Into<Value>, label: &str) -> &mut Self {
+        self.stmts.push(RawStmt::If(
+            Cond { op, lhs: lhs.into(), rhs: rhs.into() },
+            label.to_string(),
+        ));
+        self
+    }
+
+    /// Unconditional jump.
+    pub fn goto(&mut self, label: &str) -> &mut Self {
+        self.stmts.push(RawStmt::Goto(label.to_string()));
+        self
+    }
+
+    /// `lookupswitch`.
+    pub fn switch(&mut self, v: impl Into<Value>, arms: Vec<(i64, &str)>, default: &str) -> &mut Self {
+        self.stmts.push(RawStmt::Switch(
+            v.into(),
+            arms.into_iter().map(|(k, l)| (k, l.to_string())).collect(),
+            default.to_string(),
+        ));
+        self
+    }
+
+    /// `return;`
+    pub fn ret_void(&mut self) -> &mut Self {
+        self.push(Stmt::Return(None))
+    }
+
+    /// `return v;`
+    pub fn ret(&mut self, v: impl Into<Value>) -> &mut Self {
+        self.push(Stmt::Return(Some(v.into())))
+    }
+
+    // ---- finish ----------------------------------------------------------------
+
+    fn finish(mut self) -> Method {
+        // A label at the very end of the body needs a landing statement.
+        let needs_tail_nop = self.labels.values().any(|&i| i == self.stmts.len());
+        if needs_tail_nop {
+            self.stmts.push(RawStmt::Plain(Stmt::Nop));
+        }
+        let labels = self.labels;
+        let resolve = |l: &str| -> usize {
+            *labels
+                .get(l)
+                .unwrap_or_else(|| panic!("undefined label `{l}` in method `{}`", self.name))
+        };
+        let body: Vec<Stmt> = self
+            .stmts
+            .into_iter()
+            .map(|rs| match rs {
+                RawStmt::Plain(s) => s,
+                RawStmt::If(cond, l) => Stmt::If { cond, target: resolve(&l) },
+                RawStmt::Goto(l) => Stmt::Goto { target: resolve(&l) },
+                RawStmt::Switch(v, arms, d) => Stmt::Switch {
+                    scrutinee: v,
+                    arms: arms.iter().map(|(k, l)| (*k, resolve(l))).collect(),
+                    default: resolve(&d),
+                },
+            })
+            .collect();
+        Method {
+            name: self.name,
+            params: self.params,
+            ret: self.ret,
+            is_static: self.is_static,
+            has_body: true,
+            locals: self.locals,
+            body,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_straight_line_method() {
+        let mut b = ApkBuilder::new("app", "com.x");
+        b.resource("base", "https://x.com");
+        b.class("com.x.M", |c| {
+            c.method("go", vec![Type::Int], Type::string(), |m| {
+                let this = m.recv("com.x.M");
+                let p = m.arg(0, "n");
+                let sb = m.new_obj("java.lang.StringBuilder", vec![Value::str("http://a/")]);
+                let s = m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
+                let _ = (this, p);
+                m.ret(s);
+            });
+        });
+        let apk = b.build();
+        let c = apk.class("com.x.M").unwrap();
+        let meth = c.method("go", 1).unwrap();
+        assert!(meth.has_body);
+        // recv, arg, new, <init>, toString, return
+        assert_eq!(meth.body.len(), 6);
+        assert!(matches!(meth.body[5], Stmt::Return(Some(_))));
+    }
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let mut b = ApkBuilder::new("app", "com.x");
+        b.class("com.x.L", |c| {
+            c.method("loop", vec![], Type::Void, |m| {
+                let i = m.local("i", Type::Int);
+                m.cint(i, 0);
+                m.label("head");
+                m.iff(CondOp::Ge, i, Value::int(10), "done");
+                m.assign(i, Expr::Bin(crate::stmt::BinOp::Add, Value::Local(i), Value::int(1)));
+                m.goto("head");
+                m.label("done");
+                m.ret_void();
+            });
+        });
+        let apk = b.build();
+        let meth = apk.class("com.x.L").unwrap().method("loop", 0).unwrap();
+        match &meth.body[1] {
+            Stmt::If { target, .. } => assert_eq!(*target, 4),
+            other => panic!("expected if, got {other:?}"),
+        }
+        match &meth.body[3] {
+            Stmt::Goto { target } => assert_eq!(*target, 1),
+            other => panic!("expected goto, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_label_gets_nop() {
+        let mut b = ApkBuilder::new("app", "com.x");
+        b.class("com.x.T", |c| {
+            c.method("t", vec![], Type::Void, |m| {
+                m.goto("end");
+                m.label("end");
+            });
+        });
+        let apk = b.build();
+        let meth = apk.class("com.x.T").unwrap().method("t", 0).unwrap();
+        assert_eq!(meth.body.len(), 2);
+        assert!(matches!(meth.body[1], Stmt::Nop));
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined label")]
+    fn undefined_label_panics() {
+        let mut b = ApkBuilder::new("app", "com.x");
+        b.class("com.x.Bad", |c| {
+            c.method("t", vec![], Type::Void, |m| {
+                m.goto("nowhere");
+            });
+        });
+    }
+}

@@ -1,0 +1,142 @@
+//! Classes, fields, and methods.
+
+use crate::stmt::Stmt;
+use crate::types::Type;
+use crate::values::MethodRef;
+
+/// A field declaration inside a [`Class`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct FieldDecl {
+    /// Field name as it appears in the binary.
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+    /// Static (class-level) rather than instance field.
+    pub is_static: bool,
+}
+
+/// A local variable slot of a [`Method`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct LocalDecl {
+    /// Human-readable name (may be obfuscated).
+    pub name: String,
+    /// Declared type of the slot.
+    pub ty: Type,
+}
+
+/// A single method: signature plus a flat statement list.
+///
+/// Control flow is expressed with statement-index branch targets, as in
+/// Jimple after label resolution. Abstract and library-stub methods have an
+/// empty body and `has_body == false`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Method {
+    /// Simple name (`<init>` / `<clinit>` for constructors/initializers).
+    pub name: String,
+    /// Parameter types, excluding the implicit receiver.
+    pub params: Vec<Type>,
+    /// Return type.
+    pub ret: Type,
+    /// Static methods have no receiver.
+    pub is_static: bool,
+    /// True for concrete methods with IR bodies; false for
+    /// abstract/native/library-stub methods that analyses must model
+    /// semantically instead of stepping into.
+    pub has_body: bool,
+    /// Declared local slots; statement operands index into this table.
+    pub locals: Vec<LocalDecl>,
+    /// The statement list. Branch targets are indices into this vector.
+    pub body: Vec<Stmt>,
+}
+
+impl Method {
+    /// Builds the globally-unique reference for this method as a member of
+    /// `class`.
+    pub fn make_ref(&self, class: &str) -> MethodRef {
+        MethodRef {
+            class: class.to_string(),
+            name: self.name.clone(),
+            params: self.params.clone(),
+            ret: self.ret.clone(),
+        }
+    }
+}
+
+/// A class (or interface) in the application image.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Class {
+    /// Fully-qualified dotted name, e.g. `com.example.MainActivity`.
+    pub name: String,
+    /// Superclass name; `None` only for `java.lang.Object` roots.
+    pub superclass: Option<String>,
+    /// Implemented interfaces.
+    pub interfaces: Vec<String>,
+    /// Declared fields.
+    pub fields: Vec<FieldDecl>,
+    /// Declared methods.
+    pub methods: Vec<Method>,
+    /// Interfaces carry no state and their methods have no bodies.
+    pub is_interface: bool,
+    /// Marks third-party library code that ships inside the APK (and may be
+    /// obfuscated together with it), as opposed to the app's own packages.
+    /// Platform classes (`java.*`, `android.*`) are *not* part of the APK at
+    /// all and appear only as stubs.
+    pub is_library: bool,
+}
+
+impl Class {
+    /// Finds a declared method by name and arity (ignoring overloads on
+    /// parameter types, which the corpus does not produce).
+    pub fn method(&self, name: &str, arity: usize) -> Option<&Method> {
+        self.methods
+            .iter()
+            .find(|m| m.name == name && m.params.len() == arity)
+    }
+
+    /// Finds a declared field by name.
+    pub fn field(&self, name: &str) -> Option<&FieldDecl> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_lookup_by_name_and_arity() {
+        let c = Class {
+            name: "a.B".into(),
+            superclass: Some("java.lang.Object".into()),
+            interfaces: vec![],
+            fields: vec![FieldDecl { name: "x".into(), ty: Type::Int, is_static: false }],
+            methods: vec![
+                Method {
+                    name: "m".into(),
+                    params: vec![Type::Int],
+                    ret: Type::Void,
+                    is_static: false,
+                    has_body: true,
+                    locals: vec![],
+                    body: vec![],
+                },
+                Method {
+                    name: "m".into(),
+                    params: vec![Type::Int, Type::Int],
+                    ret: Type::Void,
+                    is_static: false,
+                    has_body: true,
+                    locals: vec![],
+                    body: vec![],
+                },
+            ],
+            is_interface: false,
+            is_library: false,
+        };
+        assert_eq!(c.method("m", 1).unwrap().params.len(), 1);
+        assert_eq!(c.method("m", 2).unwrap().params.len(), 2);
+        assert!(c.method("m", 3).is_none());
+        assert!(c.field("x").is_some());
+        assert!(c.field("y").is_none());
+    }
+}

@@ -1,0 +1,1094 @@
+//! Parser for the Jimple-flavoured text format produced by
+//! [`crate::printer`].
+//!
+//! The format exists so that example apps and regression fixtures can be
+//! written and inspected as text — the same role `.jimple` files play in the
+//! Soot ecosystem. `parse_apk(print_apk(apk))` reproduces `apk` exactly
+//! (checked by round-trip tests and a property test in the suite).
+
+use crate::apk::{Apk, Manifest, Resources};
+use crate::class::{Class, FieldDecl, LocalDecl, Method};
+use crate::stmt::{BinOp, Call, CallKind, Cond, CondOp, Expr, IdentityKind, Stmt, UnOp};
+use crate::types::Type;
+use crate::values::{Const, FieldRef, Local, MethodRef, Place, Value};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parse error with 1-based line/column of the offending token.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub line: usize,
+    pub col: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+type PResult<T> = Result<T, ParseError>;
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Punct(&'static str),
+    Eof,
+}
+
+#[derive(Debug, Clone)]
+struct SpTok {
+    tok: Tok,
+    line: usize,
+    col: usize,
+}
+
+const PUNCTS2: &[&str] = &[":=", "==", "!=", "<=", ">=", "<<", ">>"];
+const PUNCTS1: &[char] = &[
+    '{', '}', '(', ')', '[', ']', ';', ':', ',', '.', '=', '<', '>', '+', '-', '*', '/', '%',
+    '&', '|', '^', '@',
+];
+
+fn lex(src: &str) -> PResult<Vec<SpTok>> {
+    let mut toks = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    let mut col = 1;
+    let n = chars.len();
+    let err = |line: usize, col: usize, m: String| ParseError { line, col, message: m };
+    while i < n {
+        let c = chars[i];
+        // whitespace
+        if c == '\n' {
+            line += 1;
+            col = 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            col += 1;
+            continue;
+        }
+        // line comments
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            while i < n && chars[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let (tline, tcol) = (line, col);
+        // string literal
+        if c == '"' {
+            let mut s = String::new();
+            i += 1;
+            col += 1;
+            loop {
+                if i >= n {
+                    return Err(err(tline, tcol, "unterminated string".into()));
+                }
+                let ch = chars[i];
+                i += 1;
+                col += 1;
+                match ch {
+                    '"' => break,
+                    '\\' => {
+                        if i >= n {
+                            return Err(err(tline, tcol, "unterminated escape".into()));
+                        }
+                        let esc = chars[i];
+                        i += 1;
+                        col += 1;
+                        s.push(match esc {
+                            'n' => '\n',
+                            't' => '\t',
+                            'r' => '\r',
+                            '"' => '"',
+                            '\\' => '\\',
+                            other => {
+                                return Err(err(
+                                    tline,
+                                    tcol,
+                                    format!("bad escape `\\{other}`"),
+                                ))
+                            }
+                        });
+                    }
+                    '\n' => return Err(err(tline, tcol, "newline in string".into())),
+                    ch => s.push(ch),
+                }
+            }
+            toks.push(SpTok { tok: Tok::Str(s), line: tline, col: tcol });
+            continue;
+        }
+        // number
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < n && chars[i].is_ascii_digit() {
+                i += 1;
+                col += 1;
+            }
+            let mut is_float = false;
+            if i + 1 < n && chars[i] == '.' && chars[i + 1].is_ascii_digit() {
+                is_float = true;
+                i += 1;
+                col += 1;
+                while i < n && chars[i].is_ascii_digit() {
+                    i += 1;
+                    col += 1;
+                }
+            }
+            let text: String = chars[start..i].iter().collect();
+            let tok = if is_float {
+                Tok::Float(text.parse().map_err(|e| err(tline, tcol, format!("{e}")))?)
+            } else {
+                Tok::Int(text.parse().map_err(|e| err(tline, tcol, format!("{e}")))?)
+            };
+            toks.push(SpTok { tok, line: tline, col: tcol });
+            continue;
+        }
+        // identifier (dotted; `.` only joins when followed by ident start)
+        if c.is_alphabetic() || c == '_' || c == '$' {
+            let mut s = String::new();
+            while i < n {
+                let ch = chars[i];
+                if ch.is_alphanumeric() || ch == '_' || ch == '$' {
+                    s.push(ch);
+                    i += 1;
+                    col += 1;
+                } else if ch == '.'
+                    && i + 1 < n
+                    && (chars[i + 1].is_alphabetic() || chars[i + 1] == '_' || chars[i + 1] == '$')
+                {
+                    s.push('.');
+                    i += 1;
+                    col += 1;
+                } else {
+                    break;
+                }
+            }
+            toks.push(SpTok { tok: Tok::Ident(s), line: tline, col: tcol });
+            continue;
+        }
+        // two-char punctuation
+        if i + 1 < n {
+            let pair: String = chars[i..i + 2].iter().collect();
+            if let Some(p) = PUNCTS2.iter().find(|p| **p == pair) {
+                toks.push(SpTok { tok: Tok::Punct(p), line: tline, col: tcol });
+                i += 2;
+                col += 2;
+                continue;
+            }
+        }
+        // single-char punctuation
+        if PUNCTS1.contains(&c) {
+            let p: &'static str = match c {
+                '{' => "{",
+                '}' => "}",
+                '(' => "(",
+                ')' => ")",
+                '[' => "[",
+                ']' => "]",
+                ';' => ";",
+                ':' => ":",
+                ',' => ",",
+                '.' => ".",
+                '=' => "=",
+                '<' => "<",
+                '>' => ">",
+                '+' => "+",
+                '-' => "-",
+                '*' => "*",
+                '/' => "/",
+                '%' => "%",
+                '&' => "&",
+                '|' => "|",
+                '^' => "^",
+                '@' => "@",
+                _ => unreachable!(),
+            };
+            toks.push(SpTok { tok: Tok::Punct(p), line: tline, col: tcol });
+            i += 1;
+            col += 1;
+            continue;
+        }
+        return Err(err(line, col, format!("unexpected character `{c}`")));
+    }
+    toks.push(SpTok { tok: Tok::Eof, line, col });
+    Ok(toks)
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser {
+    toks: Vec<SpTok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn here(&self) -> (usize, usize) {
+        let t = &self.toks[self.pos];
+        (t.line, t.col)
+    }
+
+    fn err<T>(&self, m: impl Into<String>) -> PResult<T> {
+        let (line, col) = self.here();
+        Err(ParseError { line, col, message: m.into() })
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: &str) -> PResult<()> {
+        match self.peek() {
+            Tok::Punct(q) if *q == p => {
+                self.bump();
+                Ok(())
+            }
+            other => self.err(format!("expected `{p}`, found {other:?}")),
+        }
+    }
+
+    fn at_punct(&self, p: &str) -> bool {
+        matches!(self.peek(), Tok::Punct(q) if *q == p)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> PResult<()> {
+        match self.peek() {
+            Tok::Ident(s) if s == kw => {
+                self.bump();
+                Ok(())
+            }
+            other => self.err(format!("expected keyword `{kw}`, found {other:?}")),
+        }
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    fn ident(&mut self) -> PResult<String> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn string(&mut self) -> PResult<String> {
+        match self.peek().clone() {
+            Tok::Str(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected string literal, found {other:?}")),
+        }
+    }
+
+    // ---- types and refs ----------------------------------------------------
+
+    fn ty(&mut self) -> PResult<Type> {
+        let base = self.ident()?;
+        let mut t = Type::parse(&base).or_else(|e| self.err::<Type>(e).map(|_| Type::Void))?;
+        while self.at_punct("[") && matches!(self.peek2(), Tok::Punct("]")) {
+            self.bump();
+            self.bump();
+            t = t.array_of();
+        }
+        Ok(t)
+    }
+
+    /// Parses a method name: a plain identifier or `<init>` / `<clinit>`.
+    fn member_name(&mut self) -> PResult<String> {
+        if self.at_punct("<") {
+            self.bump();
+            let n = self.ident()?;
+            if n != "init" && n != "clinit" {
+                return self.err(format!("expected init/clinit in angle name, found `{n}`"));
+            }
+            self.eat_punct(">")?;
+            Ok(format!("<{n}>"))
+        } else {
+            self.ident()
+        }
+    }
+
+    /// Parses `<class: ty name>` (field ref) or `<class: ty name(params)>`
+    /// (method ref), distinguishing by the trailing `(`.
+    fn member_ref(&mut self) -> PResult<MemberRef> {
+        self.eat_punct("<")?;
+        let class = self.ident()?;
+        self.eat_punct(":")?;
+        let ty = self.ty()?;
+        let name = self.member_name()?;
+        if self.at_punct("(") {
+            self.bump();
+            let mut params = Vec::new();
+            if !self.at_punct(")") {
+                loop {
+                    params.push(self.ty()?);
+                    if self.at_punct(",") {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.eat_punct(")")?;
+            self.eat_punct(">")?;
+            Ok(MemberRef::Method(MethodRef { class, name, params, ret: ty }))
+        } else {
+            self.eat_punct(">")?;
+            Ok(MemberRef::Field(FieldRef { class, name, ty }))
+        }
+    }
+}
+
+enum MemberRef {
+    Field(FieldRef),
+    Method(MethodRef),
+}
+
+// ---------------------------------------------------------------------------
+// Top-level grammar
+// ---------------------------------------------------------------------------
+
+/// Parses a complete APK from text.
+pub fn parse_apk(src: &str) -> PResult<Apk> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.eat_kw("apk")?;
+    let name = p.string()?;
+    p.eat_kw("package")?;
+    let package = p.ident()?;
+    p.eat_punct("{")?;
+    let mut apk = Apk {
+        name,
+        manifest: Manifest { package, ..Manifest::default() },
+        resources: Resources::new(),
+        classes: Vec::new(),
+    };
+    loop {
+        if p.at_punct("}") {
+            p.bump();
+            break;
+        }
+        if p.at_kw("resource") {
+            p.bump();
+            let k = p.string()?;
+            p.eat_punct("=")?;
+            let v = p.string()?;
+            p.eat_punct(";")?;
+            apk.resources.put_string(&k, &v);
+        } else if p.at_kw("activity") {
+            p.bump();
+            let c = p.ident()?;
+            p.eat_punct(";")?;
+            apk.manifest.activities.push(c);
+        } else if p.at_kw("service") {
+            p.bump();
+            let c = p.ident()?;
+            p.eat_punct(";")?;
+            apk.manifest.services.push(c);
+        } else if p.at_kw("receiver") {
+            p.bump();
+            let c = p.ident()?;
+            p.eat_punct(";")?;
+            apk.manifest.receivers.push(c);
+        } else if p.at_kw("permission") {
+            p.bump();
+            let c = p.ident()?;
+            p.eat_punct(";")?;
+            apk.manifest.permissions.push(c);
+        } else if p.at_kw("class") || p.at_kw("interface") {
+            apk.classes.push(parse_class(&mut p)?);
+        } else {
+            return p.err(format!("unexpected token at APK level: {:?}", p.peek()));
+        }
+    }
+    Ok(apk)
+}
+
+fn parse_class(p: &mut Parser) -> PResult<Class> {
+    let is_interface = p.at_kw("interface");
+    p.bump();
+    let name = p.ident()?;
+    let mut superclass = None;
+    let mut interfaces = Vec::new();
+    if p.at_kw("extends") {
+        p.bump();
+        superclass = Some(p.ident()?);
+    }
+    if p.at_kw("implements") {
+        p.bump();
+        loop {
+            interfaces.push(p.ident()?);
+            if p.at_punct(",") {
+                p.bump();
+            } else {
+                break;
+            }
+        }
+    }
+    p.eat_punct("{")?;
+    let mut class = Class {
+        name,
+        superclass,
+        interfaces,
+        fields: Vec::new(),
+        methods: Vec::new(),
+        is_interface,
+        is_library: false,
+    };
+    loop {
+        if p.at_punct("}") {
+            p.bump();
+            break;
+        }
+        if p.at_kw("library") {
+            p.bump();
+            p.eat_punct(";")?;
+            class.is_library = true;
+        } else if p.at_kw("field") {
+            p.bump();
+            let ty = p.ty()?;
+            let fname = p.ident()?;
+            p.eat_punct(";")?;
+            class.fields.push(FieldDecl { name: fname, ty, is_static: false });
+        } else if p.at_kw("static") && matches!(p.peek2(), Tok::Ident(s) if s == "field") {
+            p.bump();
+            p.bump();
+            let ty = p.ty()?;
+            let fname = p.ident()?;
+            p.eat_punct(";")?;
+            class.fields.push(FieldDecl { name: fname, ty, is_static: true });
+        } else if p.at_kw("method") || p.at_kw("static") || p.at_kw("stub") {
+            class.methods.push(parse_method(p)?);
+        } else {
+            return p.err(format!("unexpected token in class body: {:?}", p.peek()));
+        }
+    }
+    Ok(class)
+}
+
+fn parse_method(p: &mut Parser) -> PResult<Method> {
+    let is_stub = p.at_kw("stub");
+    if is_stub {
+        p.bump();
+    }
+    let is_static = p.at_kw("static");
+    if is_static {
+        p.bump();
+    }
+    p.eat_kw("method")?;
+    let ret = p.ty()?;
+    let name = p.member_name()?;
+    p.eat_punct("(")?;
+    let mut params = Vec::new();
+    if !p.at_punct(")") {
+        loop {
+            params.push(p.ty()?);
+            if p.at_punct(",") {
+                p.bump();
+            } else {
+                break;
+            }
+        }
+    }
+    p.eat_punct(")")?;
+    if is_stub {
+        p.eat_punct(";")?;
+        return Ok(Method {
+            name,
+            params,
+            ret,
+            is_static,
+            has_body: false,
+            locals: Vec::new(),
+            body: Vec::new(),
+        });
+    }
+    p.eat_punct("{")?;
+    // locals block
+    let mut locals = Vec::new();
+    let mut local_ids: HashMap<String, Local> = HashMap::new();
+    if p.at_kw("locals") {
+        p.bump();
+        p.eat_punct("{")?;
+        while !p.at_punct("}") {
+            let lname = p.ident()?;
+            p.eat_punct(":")?;
+            let lty = p.ty()?;
+            p.eat_punct(";")?;
+            let id = Local(locals.len() as u32);
+            local_ids.insert(lname.clone(), id);
+            locals.push(LocalDecl { name: lname, ty: lty });
+        }
+        p.bump(); // }
+    }
+    // statements with labels
+    let mut stmts: Vec<RawParsed> = Vec::new();
+    let mut labels: HashMap<String, usize> = HashMap::new();
+    loop {
+        if p.at_punct("}") {
+            p.bump();
+            break;
+        }
+        if p.at_kw("label") {
+            p.bump();
+            let l = p.ident()?;
+            p.eat_punct(":")?;
+            labels.insert(l, stmts.len());
+            continue;
+        }
+        stmts.push(parse_stmt(p, &local_ids)?);
+        p.eat_punct(";")?;
+    }
+    // resolve labels
+    let resolve = |l: &str, p: &Parser| -> PResult<usize> {
+        labels
+            .get(l)
+            .copied()
+            .ok_or_else(|| {
+                let (line, col) = p.here();
+                ParseError { line, col, message: format!("undefined label `{l}`") }
+            })
+    };
+    let mut body = Vec::with_capacity(stmts.len());
+    for rs in stmts {
+        body.push(match rs {
+            RawParsed::Plain(s) => s,
+            RawParsed::If(cond, l) => Stmt::If { cond, target: resolve(&l, p)? },
+            RawParsed::Goto(l) => Stmt::Goto { target: resolve(&l, p)? },
+            RawParsed::Switch(v, arms, d) => Stmt::Switch {
+                scrutinee: v,
+                arms: arms
+                    .into_iter()
+                    .map(|(k, l)| resolve(&l, p).map(|t| (k, t)))
+                    .collect::<PResult<Vec<_>>>()?,
+                default: resolve(&d, p)?,
+            },
+        });
+    }
+    Ok(Method { name, params, ret, is_static, has_body: true, locals, body })
+}
+
+enum RawParsed {
+    Plain(Stmt),
+    If(Cond, String),
+    Goto(String),
+    Switch(Value, Vec<(i64, String)>, String),
+}
+
+fn parse_stmt(p: &mut Parser, locals: &HashMap<String, Local>) -> PResult<RawParsed> {
+    // control flow and keyword statements
+    if p.at_kw("return") {
+        p.bump();
+        if p.at_punct(";") {
+            return Ok(RawParsed::Plain(Stmt::Return(None)));
+        }
+        let v = parse_value(p, locals)?;
+        return Ok(RawParsed::Plain(Stmt::Return(Some(v))));
+    }
+    if p.at_kw("goto") {
+        p.bump();
+        let l = p.ident()?;
+        return Ok(RawParsed::Goto(l));
+    }
+    if p.at_kw("nop") {
+        p.bump();
+        return Ok(RawParsed::Plain(Stmt::Nop));
+    }
+    if p.at_kw("throw") {
+        p.bump();
+        let v = parse_value(p, locals)?;
+        return Ok(RawParsed::Plain(Stmt::Throw(v)));
+    }
+    if p.at_kw("if") {
+        p.bump();
+        let lhs = parse_value(p, locals)?;
+        let op = parse_cond_op(p)?;
+        let rhs = parse_value(p, locals)?;
+        p.eat_kw("goto")?;
+        let l = p.ident()?;
+        return Ok(RawParsed::If(Cond { op, lhs, rhs }, l));
+    }
+    if p.at_kw("switch") {
+        p.bump();
+        let v = parse_value(p, locals)?;
+        p.eat_punct("{")?;
+        let mut arms = Vec::new();
+        let mut default = None;
+        loop {
+            if p.at_punct("}") {
+                p.bump();
+                break;
+            }
+            if p.at_kw("case") {
+                p.bump();
+                let k = match p.bump() {
+                    Tok::Int(i) => i,
+                    Tok::Punct("-") => match p.bump() {
+                        Tok::Int(i) => -i,
+                        other => return p.err(format!("expected int after -, found {other:?}")),
+                    },
+                    other => return p.err(format!("expected case value, found {other:?}")),
+                };
+                p.eat_punct(":")?;
+                let l = p.ident()?;
+                p.eat_punct(";")?;
+                arms.push((k, l));
+            } else if p.at_kw("default") {
+                p.bump();
+                p.eat_punct(":")?;
+                let l = p.ident()?;
+                p.eat_punct(";")?;
+                default = Some(l);
+            } else {
+                return p.err(format!("unexpected token in switch: {:?}", p.peek()));
+            }
+        }
+        let d = match default {
+            Some(d) => d,
+            None => return p.err("switch without default"),
+        };
+        return Ok(RawParsed::Switch(v, arms, d));
+    }
+    // bare invokes
+    if let Some(kind) = peek_invoke_kind(p) {
+        let call = parse_call(p, locals, kind)?;
+        return Ok(RawParsed::Plain(Stmt::Invoke(call)));
+    }
+    // static-field store: `<C: T f> = expr`
+    if p.at_punct("<") {
+        let mref = p.member_ref()?;
+        let field = match mref {
+            MemberRef::Field(f) => f,
+            MemberRef::Method(_) => return p.err("method ref cannot be assigned"),
+        };
+        p.eat_punct("=")?;
+        let expr = parse_expr(p, locals)?;
+        return Ok(RawParsed::Plain(Stmt::Assign { place: Place::StaticField(field), expr }));
+    }
+    // identity / assignment, starting with a local name
+    let lname = p.ident()?;
+    let local = |p: &Parser, n: &str| -> PResult<Local> {
+        locals.get(n).copied().ok_or_else(|| {
+            let (line, col) = p.here();
+            ParseError { line, col, message: format!("undeclared local `{n}`") }
+        })
+    };
+    if p.at_punct(":=") {
+        p.bump();
+        p.eat_punct("@")?;
+        let which = p.ident()?;
+        let kind = if which == "this" {
+            IdentityKind::This
+        } else if which == "caughtexception" {
+            IdentityKind::CaughtException
+        } else if let Some(num) = which.strip_prefix("param") {
+            IdentityKind::Param(num.parse().map_err(|_| {
+                let (line, col) = p.here();
+                ParseError { line, col, message: format!("bad param index `{which}`") }
+            })?)
+        } else {
+            return p.err(format!("unknown identity source `@{which}`"));
+        };
+        let l = local(p, &lname)?;
+        return Ok(RawParsed::Plain(Stmt::Identity { local: l, kind }));
+    }
+    // place: local | local.<field> | local[idx]
+    let place = if p.at_punct(".") && matches!(p.peek2(), Tok::Punct("<")) {
+        p.bump(); // .
+        match p.member_ref()? {
+            MemberRef::Field(f) => Place::InstanceField { base: local(p, &lname)?, field: f },
+            MemberRef::Method(_) => return p.err("expected field ref after `.`"),
+        }
+    } else if p.at_punct("[") {
+        p.bump();
+        let idx = parse_value(p, locals)?;
+        p.eat_punct("]")?;
+        Place::ArrayElem { base: local(p, &lname)?, index: idx }
+    } else {
+        Place::Local(local(p, &lname)?)
+    };
+    p.eat_punct("=")?;
+    let expr = parse_expr(p, locals)?;
+    Ok(RawParsed::Plain(Stmt::Assign { place, expr }))
+}
+
+fn peek_invoke_kind(p: &Parser) -> Option<CallKind> {
+    match p.peek() {
+        Tok::Ident(s) => match s.as_str() {
+            "virtualinvoke" => Some(CallKind::Virtual),
+            "interfaceinvoke" => Some(CallKind::Interface),
+            "staticinvoke" => Some(CallKind::Static),
+            "specialinvoke" => Some(CallKind::Special),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+fn parse_call(p: &mut Parser, locals: &HashMap<String, Local>, kind: CallKind) -> PResult<Call> {
+    p.bump(); // the invoke keyword
+    let receiver = if kind == CallKind::Static {
+        None
+    } else {
+        let v = parse_value(p, locals)?;
+        p.eat_punct(".")?;
+        Some(v)
+    };
+    let callee = match p.member_ref()? {
+        MemberRef::Method(m) => m,
+        MemberRef::Field(_) => return p.err("expected method ref in invoke"),
+    };
+    p.eat_punct("(")?;
+    let mut args = Vec::new();
+    if !p.at_punct(")") {
+        loop {
+            args.push(parse_value(p, locals)?);
+            if p.at_punct(",") {
+                p.bump();
+            } else {
+                break;
+            }
+        }
+    }
+    p.eat_punct(")")?;
+    Ok(Call { kind, callee, receiver, args })
+}
+
+fn parse_cond_op(p: &mut Parser) -> PResult<CondOp> {
+    let op = match p.peek() {
+        Tok::Punct("==") => CondOp::Eq,
+        Tok::Punct("!=") => CondOp::Ne,
+        Tok::Punct("<=") => CondOp::Le,
+        Tok::Punct(">=") => CondOp::Ge,
+        Tok::Punct("<") => CondOp::Lt,
+        Tok::Punct(">") => CondOp::Gt,
+        other => return p.err(format!("expected comparison operator, found {other:?}")),
+    };
+    p.bump();
+    Ok(op)
+}
+
+fn parse_bin_op(p: &mut Parser) -> Option<BinOp> {
+    let op = match p.peek() {
+        Tok::Punct("+") => BinOp::Add,
+        Tok::Punct("-") => BinOp::Sub,
+        Tok::Punct("*") => BinOp::Mul,
+        Tok::Punct("/") => BinOp::Div,
+        Tok::Punct("%") => BinOp::Rem,
+        Tok::Punct("&") => BinOp::And,
+        Tok::Punct("|") => BinOp::Or,
+        Tok::Punct("^") => BinOp::Xor,
+        Tok::Punct("<<") => BinOp::Shl,
+        Tok::Punct(">>") => BinOp::Shr,
+        Tok::Ident(s) if s == "cmp" => BinOp::Cmp,
+        _ => return None,
+    };
+    Some(op)
+}
+
+fn parse_expr(p: &mut Parser, locals: &HashMap<String, Local>) -> PResult<Expr> {
+    // keyword-led expressions
+    if p.at_kw("new") && !matches!(p.peek2(), Tok::Punct(":")) {
+        p.bump();
+        let c = p.ident()?;
+        return Ok(Expr::New(c));
+    }
+    if p.at_kw("newarray") {
+        p.bump();
+        let t = p.ty()?;
+        // printed as `newarray T[len]`; the `[` here is the length bracket
+        p.eat_punct("[")?;
+        let len = parse_value(p, locals)?;
+        p.eat_punct("]")?;
+        return Ok(Expr::NewArray(t, len));
+    }
+    if p.at_kw("lengthof") {
+        p.bump();
+        return Ok(Expr::Un(UnOp::Len, parse_value(p, locals)?));
+    }
+    if p.at_kw("neg") {
+        p.bump();
+        return Ok(Expr::Un(UnOp::Neg, parse_value(p, locals)?));
+    }
+    if p.at_kw("not") {
+        p.bump();
+        return Ok(Expr::Un(UnOp::Not, parse_value(p, locals)?));
+    }
+    if p.at_punct("(") {
+        // cast: `(T) v`
+        p.bump();
+        let t = p.ty()?;
+        p.eat_punct(")")?;
+        let v = parse_value(p, locals)?;
+        return Ok(Expr::Cast(t, v));
+    }
+    if let Some(kind) = peek_invoke_kind(p) {
+        return Ok(Expr::Invoke(parse_call(p, locals, kind)?));
+    }
+    // static field load
+    if p.at_punct("<") {
+        match p.member_ref()? {
+            MemberRef::Field(f) => return Ok(Expr::Load(Place::StaticField(f))),
+            MemberRef::Method(_) => return p.err("unexpected method ref in expression"),
+        }
+    }
+    // value-led: value | value binop value | value instanceof C |
+    // local.<field> | local[idx]
+    // Distinguish loads from plain idents before consuming the value.
+    if let Tok::Ident(name) = p.peek().clone() {
+        if locals.contains_key(&name) {
+            if matches!(p.peek2(), Tok::Punct(".")) {
+                // might be `local.<field>` — look one further (a `<`)
+                let save = p.pos;
+                p.bump(); // ident
+                p.bump(); // .
+                if p.at_punct("<") {
+                    match p.member_ref()? {
+                        MemberRef::Field(f) => {
+                            let base = locals[&name];
+                            return Ok(Expr::Load(Place::InstanceField { base, field: f }));
+                        }
+                        MemberRef::Method(_) => {
+                            return p.err("unexpected method ref in field load")
+                        }
+                    }
+                }
+                p.pos = save;
+            } else if matches!(p.peek2(), Tok::Punct("[")) {
+                p.bump(); // ident
+                p.bump(); // [
+                let idx = parse_value(p, locals)?;
+                p.eat_punct("]")?;
+                let base = locals[&name];
+                return Ok(Expr::Load(Place::ArrayElem { base, index: idx }));
+            }
+        }
+    }
+    let v = parse_value(p, locals)?;
+    if p.at_kw("instanceof") {
+        p.bump();
+        let c = p.ident()?;
+        return Ok(Expr::InstanceOf(c, v));
+    }
+    if let Some(op) = parse_bin_op(p) {
+        p.bump();
+        let rhs = parse_value(p, locals)?;
+        return Ok(Expr::Bin(op, v, rhs));
+    }
+    Ok(Expr::Use(v))
+}
+
+fn parse_value(p: &mut Parser, locals: &HashMap<String, Local>) -> PResult<Value> {
+    match p.peek().clone() {
+        Tok::Str(s) => {
+            p.bump();
+            Ok(Value::Const(Const::Str(s)))
+        }
+        Tok::Int(i) => {
+            p.bump();
+            Ok(Value::Const(Const::Int(i)))
+        }
+        Tok::Float(f) => {
+            p.bump();
+            Ok(Value::Const(Const::Float(f)))
+        }
+        Tok::Punct("-") => {
+            p.bump();
+            match p.bump() {
+                Tok::Int(i) => Ok(Value::Const(Const::Int(-i))),
+                Tok::Float(f) => Ok(Value::Const(Const::Float(-f))),
+                other => p.err(format!("expected number after `-`, found {other:?}")),
+            }
+        }
+        Tok::Punct("@") => {
+            p.bump();
+            p.eat_kw("resource")?;
+            p.eat_punct("(")?;
+            let k = p.string()?;
+            p.eat_punct(")")?;
+            Ok(Value::Resource(k))
+        }
+        Tok::Ident(s) => match s.as_str() {
+            "null" => {
+                p.bump();
+                Ok(Value::Const(Const::Null))
+            }
+            "true" => {
+                p.bump();
+                Ok(Value::Const(Const::Bool(true)))
+            }
+            "false" => {
+                p.bump();
+                Ok(Value::Const(Const::Bool(false)))
+            }
+            "class" => {
+                p.bump();
+                let c = p.ident()?;
+                Ok(Value::Const(Const::Class(c)))
+            }
+            name => {
+                if let Some(l) = locals.get(name) {
+                    p.bump();
+                    Ok(Value::Local(*l))
+                } else {
+                    p.err(format!("undeclared local `{name}`"))
+                }
+            }
+        },
+        other => p.err(format!("expected value, found {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ApkBuilder;
+    use crate::printer::print_apk;
+    use crate::stmt::CondOp;
+
+    #[test]
+    fn parses_minimal_apk() {
+        let src = r#"
+            apk "demo" package com.d {
+              resource "k" = "v";
+              activity com.d.Main;
+              class com.d.Main extends android.app.Activity {
+                field java.lang.String mUrl;
+                method void go(int) {
+                  locals { this: com.d.Main; n: int; s: java.lang.String; }
+                  this := @this;
+                  n := @param0;
+                  s = "http://x/";
+                  this.<com.d.Main: java.lang.String mUrl> = s;
+                  if n == 0 goto end;
+                  s = @resource("k");
+                  label end:
+                  return;
+                }
+                stub method void stubby(java.lang.String);
+              }
+            }
+        "#;
+        let apk = parse_apk(src).unwrap();
+        assert_eq!(apk.name, "demo");
+        assert_eq!(apk.resources.string("k"), Some("v"));
+        let c = apk.class("com.d.Main").unwrap();
+        assert_eq!(c.superclass.as_deref(), Some("android.app.Activity"));
+        let m = c.method("go", 1).unwrap();
+        assert_eq!(m.body.len(), 7);
+        match &m.body[4] {
+            Stmt::If { cond, target } => {
+                assert_eq!(cond.op, CondOp::Eq);
+                assert_eq!(*target, 6);
+            }
+            other => panic!("expected if, got {other:?}"),
+        }
+        assert!(!c.method("stubby", 1).unwrap().has_body);
+    }
+
+    #[test]
+    fn parses_invokes_and_member_refs() {
+        let src = r#"
+            apk "a" package p {
+              class p.C {
+                method java.lang.String run() {
+                  locals { sb: java.lang.StringBuilder; s: java.lang.String; }
+                  sb = new java.lang.StringBuilder;
+                  specialinvoke sb.<java.lang.StringBuilder: void <init>(java.lang.String)>("x");
+                  s = virtualinvoke sb.<java.lang.StringBuilder: java.lang.String toString()>();
+                  staticinvoke <p.C: void log(java.lang.String)>(s);
+                  return s;
+                }
+              }
+            }
+        "#;
+        let apk = parse_apk(src).unwrap();
+        let m = apk.class("p.C").unwrap().method("run", 0).unwrap();
+        let init = m.body[1].call().unwrap();
+        assert_eq!(init.callee.name, "<init>");
+        assert_eq!(init.kind, CallKind::Special);
+        let log = m.body[3].call().unwrap();
+        assert_eq!(log.kind, CallKind::Static);
+        assert!(log.receiver.is_none());
+    }
+
+    #[test]
+    fn round_trips_printer_output() {
+        let mut b = ApkBuilder::new("rt", "com.r");
+        b.resource("base", "https://api.r.com");
+        b.activity("com.r.Main");
+        b.permission("android.permission.INTERNET");
+        b.class("com.r.Main", |c| {
+            c.extends("android.app.Activity");
+            c.implements("java.lang.Runnable");
+            let f = c.field("mUrl", Type::string());
+            let sf = c.static_field("COUNT", Type::Int);
+            c.method("go", vec![Type::Int, Type::string()], Type::string(), |m| {
+                let this = m.recv("com.r.Main");
+                let n = m.arg(0, "n");
+                let q = m.arg(1, "q");
+                let s = m.temp(Type::string());
+                m.cres(s, "base");
+                m.put_field(this, &f, s);
+                m.put_static(&sf, n);
+                let arr = m.temp(Type::string().array_of());
+                m.new_array(arr, Type::string(), Value::int(2));
+                m.store_elem(arr, Value::int(0), q);
+                let e = m.temp(Type::string());
+                m.load_elem(e, arr, Value::int(0));
+                m.iff(CondOp::Ne, e, Value::null(), "t");
+                m.switch(n, vec![(1, "t"), (2, "u")], "t");
+                m.label("u");
+                let sb = m.new_obj("java.lang.StringBuilder", vec![]);
+                m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::str("x")]);
+                m.label("t");
+                m.ret(e);
+            });
+            c.stub_method("cb", vec![Type::obj_root()], Type::Void);
+        });
+        let apk = b.build();
+        let txt = print_apk(&apk);
+        let reparsed = parse_apk(&txt).unwrap_or_else(|e| panic!("reparse failed: {e}\n{txt}"));
+        assert_eq!(apk, reparsed, "round trip mismatch:\n{txt}");
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = parse_apk("apk \"x\" package p {\n  bogus;\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("unexpected token"));
+    }
+}

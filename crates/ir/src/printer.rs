@@ -1,0 +1,288 @@
+//! Pretty-printer for the Jimple-flavoured text format.
+//!
+//! The output round-trips through [`crate::parser`]; the test suite checks
+//! `parse(print(apk)) == apk` for corpus apps. Labels are synthesized as
+//! `L<index>` at every branch target.
+
+use crate::apk::Apk;
+use crate::class::{Class, Method};
+use crate::stmt::{BinOp, Call, CallKind, CondOp, Expr, IdentityKind, Stmt, UnOp};
+use crate::values::{Const, Local, Place, Value};
+use std::collections::BTreeSet;
+use std::fmt::Write;
+
+/// Renders a whole APK in the text format.
+pub fn print_apk(apk: &Apk) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "apk \"{}\" package {} {{", escape(&apk.name), apk.manifest.package);
+    for (k, v) in apk.resources.iter() {
+        let _ = writeln!(out, "  resource \"{}\" = \"{}\";", escape(k), escape(v));
+    }
+    for a in &apk.manifest.activities {
+        let _ = writeln!(out, "  activity {a};");
+    }
+    for s in &apk.manifest.services {
+        let _ = writeln!(out, "  service {s};");
+    }
+    for r in &apk.manifest.receivers {
+        let _ = writeln!(out, "  receiver {r};");
+    }
+    for p in &apk.manifest.permissions {
+        let _ = writeln!(out, "  permission {p};");
+    }
+    for c in &apk.classes {
+        print_class(&mut out, c);
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn print_class(out: &mut String, c: &Class) {
+    let kw = if c.is_interface { "interface" } else { "class" };
+    let _ = write!(out, "  {kw} {}", c.name);
+    if let Some(s) = &c.superclass {
+        let _ = write!(out, " extends {s}");
+    }
+    if !c.interfaces.is_empty() {
+        let _ = write!(out, " implements {}", c.interfaces.join(", "));
+    }
+    out.push_str(" {\n");
+    if c.is_library {
+        out.push_str("    library;\n");
+    }
+    for f in &c.fields {
+        let st = if f.is_static { "static " } else { "" };
+        let _ = writeln!(out, "    {st}field {} {};", f.ty, f.name);
+    }
+    for m in &c.methods {
+        print_method(out, m);
+    }
+    out.push_str("  }\n");
+}
+
+fn print_method(out: &mut String, m: &Method) {
+    let st = if m.is_static { "static " } else { "" };
+    let params: Vec<String> = m.params.iter().map(|t| t.to_string()).collect();
+    if !m.has_body {
+        let _ = writeln!(out, "    stub {st}method {} {}({});", m.ret, m.name, params.join(", "));
+        return;
+    }
+    let _ = writeln!(out, "    {st}method {} {}({}) {{", m.ret, m.name, params.join(", "));
+    if !m.locals.is_empty() {
+        out.push_str("      locals {");
+        for l in &m.locals {
+            let _ = write!(out, " {}: {};", l.name, l.ty);
+        }
+        out.push_str(" }\n");
+    }
+    // Collect branch targets so labels are emitted where needed.
+    let mut targets = BTreeSet::new();
+    for s in &m.body {
+        for t in s.branch_targets() {
+            targets.insert(t);
+        }
+    }
+    let name_of = |l: Local| m.locals[l.index()].name.clone();
+    for (i, s) in m.body.iter().enumerate() {
+        if targets.contains(&i) {
+            let _ = writeln!(out, "      label L{i}:");
+        }
+        let _ = writeln!(out, "      {};", fmt_stmt(s, &name_of));
+    }
+    out.push_str("    }\n");
+}
+
+fn fmt_stmt(s: &Stmt, name: &dyn Fn(Local) -> String) -> String {
+    match s {
+        Stmt::Assign { place, expr } => {
+            format!("{} = {}", fmt_place(place, name), fmt_expr(expr, name))
+        }
+        Stmt::Invoke(c) => fmt_call(c, name),
+        Stmt::If { cond, target } => format!(
+            "if {} {} {} goto L{target}",
+            fmt_value(&cond.lhs, name),
+            fmt_cond_op(cond.op),
+            fmt_value(&cond.rhs, name)
+        ),
+        Stmt::Goto { target } => format!("goto L{target}"),
+        Stmt::Switch { scrutinee, arms, default } => {
+            let mut t = format!("switch {} {{", fmt_value(scrutinee, name));
+            for (k, tgt) in arms {
+                let _ = write!(t, " case {k}: L{tgt};");
+            }
+            let _ = write!(t, " default: L{default}; }}");
+            t
+        }
+        Stmt::Return(None) => "return".to_string(),
+        Stmt::Return(Some(v)) => format!("return {}", fmt_value(v, name)),
+        Stmt::Throw(v) => format!("throw {}", fmt_value(v, name)),
+        Stmt::Identity { local, kind } => {
+            let rhs = match kind {
+                IdentityKind::This => "@this".to_string(),
+                IdentityKind::Param(i) => format!("@param{i}"),
+                IdentityKind::CaughtException => "@caughtexception".to_string(),
+            };
+            format!("{} := {rhs}", name(*local))
+        }
+        Stmt::Nop => "nop".to_string(),
+    }
+}
+
+fn fmt_place(p: &Place, name: &dyn Fn(Local) -> String) -> String {
+    match p {
+        Place::Local(l) => name(*l),
+        Place::InstanceField { base, field } => format!("{}.{field}", name(*base)),
+        Place::StaticField(field) => field.to_string(),
+        Place::ArrayElem { base, index } => {
+            format!("{}[{}]", name(*base), fmt_value(index, name))
+        }
+    }
+}
+
+fn fmt_expr(e: &Expr, name: &dyn Fn(Local) -> String) -> String {
+    match e {
+        Expr::Use(v) => fmt_value(v, name),
+        Expr::Load(p) => fmt_place(p, name),
+        Expr::Un(op, v) => {
+            let o = match op {
+                UnOp::Neg => "neg",
+                UnOp::Not => "not",
+                UnOp::Len => "lengthof",
+            };
+            format!("{o} {}", fmt_value(v, name))
+        }
+        Expr::Bin(op, a, b) => format!(
+            "{} {} {}",
+            fmt_value(a, name),
+            fmt_bin_op(*op),
+            fmt_value(b, name)
+        ),
+        Expr::New(c) => format!("new {c}"),
+        Expr::NewArray(t, n) => format!("newarray {t}[{}]", fmt_value(n, name)),
+        Expr::Cast(t, v) => format!("({t}) {}", fmt_value(v, name)),
+        Expr::InstanceOf(c, v) => format!("{} instanceof {c}", fmt_value(v, name)),
+        Expr::Invoke(c) => fmt_call(c, name),
+    }
+}
+
+fn fmt_call(c: &Call, name: &dyn Fn(Local) -> String) -> String {
+    let kw = match c.kind {
+        CallKind::Virtual => "virtualinvoke",
+        CallKind::Interface => "interfaceinvoke",
+        CallKind::Static => "staticinvoke",
+        CallKind::Special => "specialinvoke",
+    };
+    let args: Vec<String> = c.args.iter().map(|a| fmt_value(a, name)).collect();
+    match &c.receiver {
+        Some(r) => format!("{kw} {}.{}({})", fmt_value(r, name), c.callee, args.join(", ")),
+        None => format!("{kw} {}({})", c.callee, args.join(", ")),
+    }
+}
+
+fn fmt_value(v: &Value, name: &dyn Fn(Local) -> String) -> String {
+    match v {
+        Value::Local(l) => name(*l),
+        Value::Const(c) => fmt_const(c),
+        Value::Resource(k) => format!("@resource(\"{}\")", escape(k)),
+    }
+}
+
+fn fmt_const(c: &Const) -> String {
+    match c {
+        Const::Str(s) => format!("\"{}\"", escape(s)),
+        Const::Int(i) => i.to_string(),
+        Const::Float(f) => {
+            // Always keep a decimal point so the parser can distinguish
+            // floats from ints.
+            let s = f.to_string();
+            if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+                s
+            } else {
+                format!("{s}.0")
+            }
+        }
+        Const::Bool(b) => b.to_string(),
+        Const::Null => "null".to_string(),
+        Const::Class(c) => format!("class {c}"),
+    }
+}
+
+fn fmt_cond_op(op: CondOp) -> &'static str {
+    match op {
+        CondOp::Eq => "==",
+        CondOp::Ne => "!=",
+        CondOp::Lt => "<",
+        CondOp::Le => "<=",
+        CondOp::Gt => ">",
+        CondOp::Ge => ">=",
+    }
+}
+
+fn fmt_bin_op(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Rem => "%",
+        BinOp::And => "&",
+        BinOp::Or => "|",
+        BinOp::Xor => "^",
+        BinOp::Shl => "<<",
+        BinOp::Shr => ">>",
+        BinOp::Cmp => "cmp",
+    }
+}
+
+/// Escapes `"` and `\` and control characters for string literals.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ApkBuilder;
+    use crate::types::Type;
+
+    #[test]
+    fn prints_a_small_apk() {
+        let mut b = ApkBuilder::new("demo", "com.d");
+        b.resource("k", "v");
+        b.activity("com.d.Main");
+        b.class("com.d.Main", |c| {
+            c.extends("android.app.Activity");
+            let f = c.field("mUrl", Type::string());
+            c.method("go", vec![Type::Int], Type::Void, |m| {
+                let this = m.recv("com.d.Main");
+                let s = m.temp(Type::string());
+                m.cstr(s, "http://x/");
+                m.put_field(this, &f, s);
+                m.ret_void();
+            });
+        });
+        let txt = print_apk(&b.build());
+        assert!(txt.contains("apk \"demo\" package com.d {"));
+        assert!(txt.contains("resource \"k\" = \"v\";"));
+        assert!(txt.contains("field java.lang.String mUrl;"));
+        assert!(txt.contains("this := @this;"));
+        assert!(txt.contains("$t1 = \"http://x/\";"));
+        assert!(txt.contains("this.<com.d.Main: java.lang.String mUrl> = $t1;"));
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -1,0 +1,223 @@
+//! An indexed view over an [`Apk`]: stable class/method identifiers, name
+//! lookup, and class-hierarchy queries (the substrate for CHA call-graph
+//! construction in the analysis crate).
+
+use crate::apk::Apk;
+use crate::class::{Class, Method};
+use std::collections::HashMap;
+
+/// Index of a class within the APK's class table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassId(pub u32);
+
+/// Index of a method: `(class, method-within-class)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MethodId {
+    pub class: ClassId,
+    pub method: u32,
+}
+
+/// An indexed, read-only view over an [`Apk`].
+///
+/// Built once per analysis run; all analyses address code through
+/// [`MethodId`]s obtained here.
+pub struct ProgramIndex<'a> {
+    apk: &'a Apk,
+    by_name: HashMap<&'a str, ClassId>,
+    /// Direct subclasses / implementors per class name.
+    children: HashMap<&'a str, Vec<ClassId>>,
+}
+
+impl<'a> ProgramIndex<'a> {
+    /// Indexes the APK. Duplicate class names keep the first occurrence
+    /// (matching dexer behavior for duplicate-in classpath).
+    pub fn new(apk: &'a Apk) -> ProgramIndex<'a> {
+        let mut by_name = HashMap::new();
+        let mut children: HashMap<&'a str, Vec<ClassId>> = HashMap::new();
+        for (i, c) in apk.classes.iter().enumerate() {
+            let id = ClassId(i as u32);
+            by_name.entry(c.name.as_str()).or_insert(id);
+            if let Some(sup) = &c.superclass {
+                children.entry(sup.as_str()).or_default().push(id);
+            }
+            for itf in &c.interfaces {
+                children.entry(itf.as_str()).or_default().push(id);
+            }
+        }
+        ProgramIndex { apk, by_name, children }
+    }
+
+    /// The underlying APK.
+    pub fn apk(&self) -> &'a Apk {
+        self.apk
+    }
+
+    /// Resolves a class name to its id.
+    pub fn class_id(&self, name: &str) -> Option<ClassId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The class for an id.
+    pub fn class(&self, id: ClassId) -> &'a Class {
+        &self.apk.classes[id.0 as usize]
+    }
+
+    /// The method for an id.
+    pub fn method(&self, id: MethodId) -> &'a Method {
+        &self.class(id.class).methods[id.method as usize]
+    }
+
+    /// Iterates over all `(ClassId, &Class)` pairs.
+    pub fn classes(&self) -> impl Iterator<Item = (ClassId, &'a Class)> + '_ {
+        self.apk
+            .classes
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (ClassId(i as u32), c))
+    }
+
+    /// Iterates over every method id in the program.
+    pub fn methods(&self) -> impl Iterator<Item = MethodId> + '_ {
+        self.classes().flat_map(|(cid, c)| {
+            (0..c.methods.len() as u32).map(move |m| MethodId { class: cid, method: m })
+        })
+    }
+
+    /// Iterates over every method with a concrete body.
+    pub fn concrete_methods(&self) -> impl Iterator<Item = MethodId> + '_ {
+        self.methods().filter(|id| self.method(*id).has_body)
+    }
+
+    /// Finds the declared method `name/arity` in `class` without walking the
+    /// hierarchy.
+    pub fn declared_method(&self, class: ClassId, name: &str, arity: usize) -> Option<MethodId> {
+        self.class(class)
+            .methods
+            .iter()
+            .position(|m| m.name == name && m.params.len() == arity)
+            .map(|m| MethodId { class, method: m as u32 })
+    }
+
+    /// Resolves `name/arity` starting at `class` and walking up the
+    /// superclass chain (Java virtual-dispatch resolution for the static
+    /// type).
+    pub fn resolve_method(&self, class: &str, name: &str, arity: usize) -> Option<MethodId> {
+        let mut cur = self.class_id(class);
+        while let Some(cid) = cur {
+            if let Some(mid) = self.declared_method(cid, name, arity) {
+                return Some(mid);
+            }
+            cur = self
+                .class(cid)
+                .superclass
+                .as_deref()
+                .and_then(|s| self.class_id(s));
+        }
+        None
+    }
+
+    /// Direct subclasses (and implementors) of the named class/interface.
+    pub fn direct_subtypes(&self, name: &str) -> &[ClassId] {
+        self.children.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All transitive subtypes of the named class/interface, excluding the
+    /// class itself. This is the cone used by CHA to resolve virtual calls.
+    pub fn all_subtypes(&self, name: &str) -> Vec<ClassId> {
+        let mut out = Vec::new();
+        let mut stack: Vec<ClassId> = self.direct_subtypes(name).to_vec();
+        while let Some(id) = stack.pop() {
+            if out.contains(&id) {
+                continue;
+            }
+            out.push(id);
+            stack.extend_from_slice(self.direct_subtypes(&self.class(id).name));
+        }
+        out
+    }
+
+    /// True if `sub` names the same type as `sup` or a transitive subtype of
+    /// it (through superclasses and interfaces).
+    pub fn is_subtype(&self, sub: &str, sup: &str) -> bool {
+        if sub == sup {
+            return true;
+        }
+        let Some(mut cur) = self.class_id(sub) else { return false };
+        loop {
+            let c = self.class(cur);
+            if c.interfaces.iter().any(|i| self.is_subtype(i, sup)) {
+                return true;
+            }
+            match c.superclass.as_deref() {
+                Some(s) if s == sup => return true,
+                Some(s) => match self.class_id(s) {
+                    Some(id) => cur = id,
+                    None => return false,
+                },
+                None => return false,
+            }
+        }
+    }
+
+    /// The method ref display string `<class: ret name(params)>` for an id.
+    pub fn method_display(&self, id: MethodId) -> String {
+        let c = self.class(id.class);
+        let m = self.method(id);
+        m.make_ref(&c.name).to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ApkBuilder;
+    use crate::types::Type;
+
+    fn sample() -> Apk {
+        let mut b = ApkBuilder::new("t", "com.t");
+        b.class("java.lang.Object", |c| {
+            c.no_super();
+        });
+        b.class("com.t.A", |c| {
+            c.extends("java.lang.Object");
+            c.method("m", vec![], Type::Void, |_| {});
+        });
+        b.class("com.t.B", |c| {
+            c.extends("com.t.A");
+            c.implements("com.t.I");
+            c.method("m", vec![], Type::Void, |_| {});
+        });
+        b.class("com.t.C", |c| {
+            c.extends("com.t.B");
+        });
+        b.iface("com.t.I", |_| {});
+        b.build()
+    }
+
+    #[test]
+    fn hierarchy_queries() {
+        let apk = sample();
+        let p = ProgramIndex::new(&apk);
+        assert!(p.is_subtype("com.t.C", "com.t.A"));
+        assert!(p.is_subtype("com.t.C", "com.t.I"));
+        assert!(p.is_subtype("com.t.B", "java.lang.Object"));
+        assert!(!p.is_subtype("com.t.A", "com.t.B"));
+        let subs: Vec<String> = p
+            .all_subtypes("com.t.A")
+            .into_iter()
+            .map(|id| p.class(id).name.clone())
+            .collect();
+        assert!(subs.contains(&"com.t.B".to_string()));
+        assert!(subs.contains(&"com.t.C".to_string()));
+    }
+
+    #[test]
+    fn method_resolution_walks_superclasses() {
+        let apk = sample();
+        let p = ProgramIndex::new(&apk);
+        // C declares no m(); resolution finds B's.
+        let mid = p.resolve_method("com.t.C", "m", 0).unwrap();
+        assert_eq!(p.class(mid.class).name, "com.t.B");
+        assert!(p.resolve_method("com.t.C", "nope", 0).is_none());
+    }
+}

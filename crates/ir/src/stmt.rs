@@ -1,0 +1,266 @@
+//! Statements and right-hand-side expressions, mirroring Jimple's grammar.
+
+use crate::types::Type;
+use crate::values::{Local, MethodRef, Place, Value};
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical/bitwise not.
+    Not,
+    /// `lengthof` an array.
+    Len,
+}
+
+/// Binary operators (arithmetic and bitwise; comparisons live in [`CondOp`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    /// Three-way compare (`cmp` family), result in {-1, 0, 1}.
+    Cmp,
+}
+
+/// Comparison operators used in `if` conditions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CondOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// An `if` condition: `lhs op rhs`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Cond {
+    pub op: CondOp,
+    pub lhs: Value,
+    pub rhs: Value,
+}
+
+/// The dispatch mode of a call site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CallKind {
+    /// `virtualinvoke` — resolved against the receiver's dynamic type.
+    Virtual,
+    /// `interfaceinvoke` — like virtual, through an interface reference.
+    Interface,
+    /// `staticinvoke` — no receiver.
+    Static,
+    /// `specialinvoke` — constructors, `super.m()`, private methods.
+    Special,
+}
+
+/// A call site.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Call {
+    pub kind: CallKind,
+    /// The static target.
+    pub callee: MethodRef,
+    /// Receiver operand; `None` for static calls.
+    pub receiver: Option<Value>,
+    /// Argument operands.
+    pub args: Vec<Value>,
+}
+
+impl Call {
+    /// All operands of the call: receiver (if any) followed by arguments.
+    pub fn operands(&self) -> impl Iterator<Item = &Value> {
+        self.receiver.iter().chain(self.args.iter())
+    }
+}
+
+/// What an identity statement binds (Jimple `@this`, `@parameterN`,
+/// `@caughtexception`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum IdentityKind {
+    /// The receiver of an instance method.
+    This,
+    /// The N-th declared parameter.
+    Param(u32),
+    /// The in-flight exception at the head of a handler block.
+    CaughtException,
+}
+
+/// A right-hand-side expression. Exactly one operation per statement, as in
+/// three-address code.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// A plain operand copy.
+    Use(Value),
+    /// Read from a field or array element.
+    Load(Place),
+    /// Unary operation.
+    Un(UnOp, Value),
+    /// Binary operation.
+    Bin(BinOp, Value, Value),
+    /// Allocate an instance of the named class (constructor is a separate
+    /// `specialinvoke <init>` statement, as in Jimple).
+    New(String),
+    /// Allocate an array of the element type with the given length.
+    NewArray(Type, Value),
+    /// Checked cast.
+    Cast(Type, Value),
+    /// `instanceof` test.
+    InstanceOf(String, Value),
+    /// A call whose result is assigned.
+    Invoke(Call),
+}
+
+impl Expr {
+    /// The call inside this expression, if it is an invoke.
+    pub fn as_call(&self) -> Option<&Call> {
+        match self {
+            Expr::Invoke(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// All value operands read by this expression.
+    pub fn operands(&self) -> Vec<&Value> {
+        match self {
+            Expr::Use(v) | Expr::Un(_, v) | Expr::NewArray(_, v) | Expr::Cast(_, v)
+            | Expr::InstanceOf(_, v) => vec![v],
+            Expr::Bin(_, a, b) => vec![a, b],
+            Expr::Load(p) => match p {
+                Place::ArrayElem { index, .. } => vec![index],
+                _ => vec![],
+            },
+            Expr::New(_) => vec![],
+            Expr::Invoke(c) => c.operands().collect(),
+        }
+    }
+}
+
+/// A statement. Branch targets are indices into the owning method's body.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `place = expr`.
+    Assign { place: Place, expr: Expr },
+    /// A call whose result (if any) is discarded.
+    Invoke(Call),
+    /// Conditional branch: fall through or jump to `target`.
+    If { cond: Cond, target: usize },
+    /// Unconditional jump.
+    Goto { target: usize },
+    /// `lookupswitch`: jump to the arm matching the scrutinee, else default.
+    Switch {
+        scrutinee: Value,
+        /// `(case value, target index)` pairs.
+        arms: Vec<(i64, usize)>,
+        default: usize,
+    },
+    /// Return, optionally with a value.
+    Return(Option<Value>),
+    /// Throw an exception.
+    Throw(Value),
+    /// Identity binding at method entry / handler head.
+    Identity { local: Local, kind: IdentityKind },
+    /// No-op (used as a label placeholder by the builder).
+    Nop,
+}
+
+impl Stmt {
+    /// The call at this statement, whether its result is used or not.
+    pub fn call(&self) -> Option<&Call> {
+        match self {
+            Stmt::Invoke(c) => Some(c),
+            Stmt::Assign { expr: Expr::Invoke(c), .. } => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The place defined (written) by this statement, if any.
+    pub fn def(&self) -> Option<&Place> {
+        match self {
+            Stmt::Assign { place, .. } => Some(place),
+            _ => None,
+        }
+    }
+
+    /// True if control cannot fall through to the next statement.
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, Stmt::Goto { .. } | Stmt::Return(_) | Stmt::Throw(_) | Stmt::Switch { .. })
+    }
+
+    /// Explicit branch targets of this statement (excluding fallthrough).
+    pub fn branch_targets(&self) -> Vec<usize> {
+        match self {
+            Stmt::If { target, .. } | Stmt::Goto { target } => vec![*target],
+            Stmt::Switch { arms, default, .. } => {
+                let mut t: Vec<usize> = arms.iter().map(|(_, i)| *i).collect();
+                t.push(*default);
+                t
+            }
+            _ => vec![],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::values::Const;
+
+    fn call() -> Call {
+        Call {
+            kind: CallKind::Virtual,
+            callee: MethodRef::new("a.B", "m", vec![], Type::Void),
+            receiver: Some(Value::Local(Local(0))),
+            args: vec![Value::str("x")],
+        }
+    }
+
+    #[test]
+    fn stmt_call_extraction() {
+        assert!(Stmt::Invoke(call()).call().is_some());
+        let s = Stmt::Assign {
+            place: Place::Local(Local(1)),
+            expr: Expr::Invoke(call()),
+        };
+        assert!(s.call().is_some());
+        assert!(Stmt::Nop.call().is_none());
+    }
+
+    #[test]
+    fn terminators_and_targets() {
+        let g = Stmt::Goto { target: 7 };
+        assert!(g.is_terminator());
+        assert_eq!(g.branch_targets(), vec![7]);
+        let i = Stmt::If {
+            cond: Cond { op: CondOp::Eq, lhs: Value::int(0), rhs: Value::int(0) },
+            target: 3,
+        };
+        assert!(!i.is_terminator());
+        assert_eq!(i.branch_targets(), vec![3]);
+        let sw = Stmt::Switch {
+            scrutinee: Value::Local(Local(0)),
+            arms: vec![(1, 10), (2, 20)],
+            default: 30,
+        };
+        assert!(sw.is_terminator());
+        assert_eq!(sw.branch_targets(), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn expr_operands() {
+        let e = Expr::Bin(BinOp::Add, Value::int(1), Value::Local(Local(2)));
+        assert_eq!(e.operands().len(), 2);
+        let c = Expr::Invoke(call());
+        assert_eq!(c.operands().len(), 2); // receiver + 1 arg
+        let l = Expr::Load(Place::ArrayElem { base: Local(0), index: Value::int(3) });
+        assert_eq!(l.operands(), vec![&Value::Const(Const::Int(3))]);
+    }
+}

@@ -1,0 +1,166 @@
+//! The IR's type lattice: Java primitive types, reference types, and arrays.
+
+use std::fmt;
+
+/// A Jimple-level type.
+///
+/// `Object` carries the fully-qualified dotted class name; `Array` nests.
+/// Equality/ordering are structural, which makes the type usable directly as
+/// map keys in analyses and semantic-model lookups.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Type {
+    /// The `void` pseudo-type (only valid as a return type).
+    Void,
+    Bool,
+    Byte,
+    Char,
+    Int,
+    Long,
+    Float,
+    Double,
+    /// A class or interface reference, e.g. `java.lang.String`.
+    Object(String),
+    /// An array of the element type, e.g. `byte[]`.
+    Array(Box<Type>),
+}
+
+impl Type {
+    /// Convenience constructor for reference types.
+    pub fn object(name: &str) -> Type {
+        Type::Object(name.to_string())
+    }
+
+    /// `java.lang.String`, the single most common type in protocol code.
+    pub fn string() -> Type {
+        Type::object("java.lang.String")
+    }
+
+    /// `java.lang.Object`.
+    pub fn obj_root() -> Type {
+        Type::object("java.lang.Object")
+    }
+
+    /// An array of this type.
+    pub fn array_of(self) -> Type {
+        Type::Array(Box::new(self))
+    }
+
+    /// True for the numeric primitives (used when deriving regex wildcards:
+    /// numeric unknowns become `[0-9]+`, everything else `.*`; paper §3.2).
+    pub fn is_numeric(&self) -> bool {
+        matches!(
+            self,
+            Type::Byte | Type::Char | Type::Int | Type::Long | Type::Float | Type::Double
+        )
+    }
+
+    /// True for any reference (class or array) type.
+    pub fn is_reference(&self) -> bool {
+        matches!(self, Type::Object(_) | Type::Array(_))
+    }
+
+    /// The class name if this is a plain object type.
+    pub fn class_name(&self) -> Option<&str> {
+        match self {
+            Type::Object(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Parses the display form produced by [`fmt::Display`]: a primitive
+    /// keyword or dotted class name, followed by any number of `[]` pairs.
+    pub fn parse(s: &str) -> Result<Type, String> {
+        let s = s.trim();
+        let mut dims = 0;
+        let mut base = s;
+        while let Some(stripped) = base.strip_suffix("[]") {
+            base = stripped.trim_end();
+            dims += 1;
+        }
+        let mut t = match base {
+            "void" => Type::Void,
+            "boolean" => Type::Bool,
+            "byte" => Type::Byte,
+            "char" => Type::Char,
+            "int" => Type::Int,
+            "long" => Type::Long,
+            "float" => Type::Float,
+            "double" => Type::Double,
+            "" => return Err(format!("empty type in `{s}`")),
+            name => {
+                if name
+                    .chars()
+                    .all(|c| c.is_alphanumeric() || c == '.' || c == '_' || c == '$')
+                {
+                    Type::Object(name.to_string())
+                } else {
+                    return Err(format!("invalid type name `{name}`"));
+                }
+            }
+        };
+        for _ in 0..dims {
+            t = t.array_of();
+        }
+        if dims > 0 && t == Type::Void.clone().array_of() {
+            return Err("void[] is not a type".into());
+        }
+        Ok(t)
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Void => write!(f, "void"),
+            Type::Bool => write!(f, "boolean"),
+            Type::Byte => write!(f, "byte"),
+            Type::Char => write!(f, "char"),
+            Type::Int => write!(f, "int"),
+            Type::Long => write!(f, "long"),
+            Type::Float => write!(f, "float"),
+            Type::Double => write!(f, "double"),
+            Type::Object(n) => write!(f, "{n}"),
+            Type::Array(t) => write!(f, "{t}[]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        let cases = [
+            Type::Void,
+            Type::Int,
+            Type::Bool,
+            Type::string(),
+            Type::Byte.array_of(),
+            Type::string().array_of().array_of(),
+            Type::object("com.example.Foo$Inner"),
+        ];
+        for t in cases {
+            let s = t.to_string();
+            assert_eq!(Type::parse(&s).unwrap(), t, "round trip of `{s}`");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Type::parse("").is_err());
+        assert!(Type::parse("int[").is_err());
+        assert!(Type::parse("foo bar").is_err());
+        assert!(Type::parse("void[]").is_err());
+    }
+
+    #[test]
+    fn numeric_classification() {
+        assert!(Type::Int.is_numeric());
+        assert!(Type::Double.is_numeric());
+        assert!(!Type::Bool.is_numeric());
+        assert!(!Type::string().is_numeric());
+        assert!(Type::string().is_reference());
+        assert!(Type::Int.array_of().is_reference());
+    }
+}

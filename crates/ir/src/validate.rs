@@ -1,0 +1,228 @@
+//! Structural well-formedness checks for IR, used throughout the test
+//! suites to catch malformed corpus apps early.
+
+use crate::apk::Apk;
+use crate::class::Method;
+use crate::stmt::{Expr, IdentityKind, Stmt};
+use crate::values::{Local, Place, Value};
+use std::fmt;
+
+/// A single well-formedness violation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationError {
+    /// `class.method` context.
+    pub context: String,
+    /// Statement index, when the error is statement-local.
+    pub stmt: Option<usize>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.stmt {
+            Some(i) => write!(f, "{} @{}: {}", self.context, i, self.message),
+            None => write!(f, "{}: {}", self.context, self.message),
+        }
+    }
+}
+
+/// Validates every class and method of an APK; returns all violations.
+pub fn validate_apk(apk: &Apk) -> Vec<ValidationError> {
+    let mut errs = Vec::new();
+    for c in &apk.classes {
+        for m in &c.methods {
+            validate_method(&format!("{}.{}", c.name, m.name), m, &mut errs);
+        }
+    }
+    errs
+}
+
+fn check_local(ctx: &str, i: usize, l: Local, n: usize, errs: &mut Vec<ValidationError>) {
+    if l.index() >= n {
+        errs.push(ValidationError {
+            context: ctx.to_string(),
+            stmt: Some(i),
+            message: format!("local {l} out of range (have {n} locals)"),
+        });
+    }
+}
+
+fn check_value(ctx: &str, i: usize, v: &Value, n: usize, errs: &mut Vec<ValidationError>) {
+    if let Value::Local(l) = v {
+        check_local(ctx, i, *l, n, errs);
+    }
+}
+
+fn check_place(ctx: &str, i: usize, p: &Place, n: usize, errs: &mut Vec<ValidationError>) {
+    match p {
+        Place::Local(l) => check_local(ctx, i, *l, n, errs),
+        Place::InstanceField { base, .. } => check_local(ctx, i, *base, n, errs),
+        Place::StaticField(_) => {}
+        Place::ArrayElem { base, index } => {
+            check_local(ctx, i, *base, n, errs);
+            check_value(ctx, i, index, n, errs);
+        }
+    }
+}
+
+/// Validates a single method.
+pub fn validate_method(ctx: &str, m: &Method, errs: &mut Vec<ValidationError>) {
+    if !m.has_body {
+        if !m.body.is_empty() {
+            errs.push(ValidationError {
+                context: ctx.to_string(),
+                stmt: None,
+                message: "bodyless method has statements".into(),
+            });
+        }
+        return;
+    }
+    let n = m.locals.len();
+    let len = m.body.len();
+    let mut seen_non_identity = false;
+    for (i, s) in m.body.iter().enumerate() {
+        for t in s.branch_targets() {
+            if t >= len {
+                errs.push(ValidationError {
+                    context: ctx.to_string(),
+                    stmt: Some(i),
+                    message: format!("branch target {t} out of range (body has {len})"),
+                });
+            }
+        }
+        match s {
+            Stmt::Identity { local, kind } => {
+                check_local(ctx, i, *local, n, errs);
+                match kind {
+                    IdentityKind::This | IdentityKind::Param(_) => {
+                        if seen_non_identity {
+                            errs.push(ValidationError {
+                                context: ctx.to_string(),
+                                stmt: Some(i),
+                                message: "this/param identity after non-identity statement"
+                                    .into(),
+                            });
+                        }
+                        if *kind == IdentityKind::This && m.is_static {
+                            errs.push(ValidationError {
+                                context: ctx.to_string(),
+                                stmt: Some(i),
+                                message: "@this in static method".into(),
+                            });
+                        }
+                        if let IdentityKind::Param(p) = kind {
+                            if *p as usize >= m.params.len() {
+                                errs.push(ValidationError {
+                                    context: ctx.to_string(),
+                                    stmt: Some(i),
+                                    message: format!(
+                                        "@param{p} out of range ({} params)",
+                                        m.params.len()
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                    IdentityKind::CaughtException => {}
+                }
+            }
+            Stmt::Assign { place, expr } => {
+                seen_non_identity = true;
+                check_place(ctx, i, place, n, errs);
+                for v in expr.operands() {
+                    check_value(ctx, i, v, n, errs);
+                }
+                if let Expr::Load(p) = expr {
+                    check_place(ctx, i, p, n, errs);
+                }
+            }
+            Stmt::Invoke(c) => {
+                seen_non_identity = true;
+                for v in c.operands() {
+                    check_value(ctx, i, v, n, errs);
+                }
+            }
+            Stmt::If { cond, .. } => {
+                seen_non_identity = true;
+                check_value(ctx, i, &cond.lhs, n, errs);
+                check_value(ctx, i, &cond.rhs, n, errs);
+            }
+            Stmt::Switch { scrutinee, .. } => {
+                seen_non_identity = true;
+                check_value(ctx, i, scrutinee, n, errs);
+            }
+            Stmt::Return(v) => {
+                seen_non_identity = true;
+                if let Some(v) = v {
+                    check_value(ctx, i, v, n, errs);
+                }
+            }
+            Stmt::Throw(v) => {
+                seen_non_identity = true;
+                check_value(ctx, i, v, n, errs);
+            }
+            Stmt::Goto { .. } | Stmt::Nop => {
+                seen_non_identity = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ApkBuilder;
+    use crate::types::Type;
+
+    #[test]
+    fn clean_apk_validates() {
+        let mut b = ApkBuilder::new("v", "com.v");
+        b.class("com.v.A", |c| {
+            c.method("m", vec![Type::Int], Type::Void, |m| {
+                let this = m.recv("com.v.A");
+                let p = m.arg(0, "p");
+                let _ = (this, p);
+                m.ret_void();
+            });
+        });
+        assert!(validate_apk(&b.build()).is_empty());
+    }
+
+    #[test]
+    fn catches_out_of_range_local_and_target() {
+        let m = Method {
+            name: "bad".into(),
+            params: vec![],
+            ret: Type::Void,
+            is_static: true,
+            has_body: true,
+            locals: vec![],
+            body: vec![
+                Stmt::Goto { target: 99 },
+                Stmt::Return(Some(Value::Local(Local(5)))),
+            ],
+        };
+        let mut errs = Vec::new();
+        validate_method("t.bad", &m, &mut errs);
+        assert_eq!(errs.len(), 2);
+        assert!(errs[0].message.contains("out of range"));
+    }
+
+    #[test]
+    fn catches_this_in_static() {
+        let m = Method {
+            name: "s".into(),
+            params: vec![],
+            ret: Type::Void,
+            is_static: true,
+            has_body: true,
+            locals: vec![crate::class::LocalDecl { name: "x".into(), ty: Type::obj_root() }],
+            body: vec![Stmt::Identity { local: Local(0), kind: IdentityKind::This }],
+        };
+        let mut errs = Vec::new();
+        validate_method("t.s", &m, &mut errs);
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].message.contains("@this in static"));
+    }
+}

@@ -1,0 +1,265 @@
+//! Operand values, places (l-values), and symbolic references to fields and
+//! methods.
+
+use crate::types::Type;
+use std::fmt;
+
+/// A local variable slot, indexing into the owning method's `locals` table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Local(pub u32);
+
+impl Local {
+    /// The slot index as `usize` for table lookups.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Local {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${}", self.0)
+    }
+}
+
+/// A compile-time constant operand.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Const {
+    /// A string literal. The single most important constant kind for
+    /// protocol analysis: URLs, JSON keys, query parameter names.
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+    Null,
+    /// A class literal (`Foo.class`), used by reflection-based JSON
+    /// libraries such as gson/Jackson/retrofit (paper §3.2).
+    Class(String),
+}
+
+impl Const {
+    /// The static type of the constant.
+    pub fn ty(&self) -> Type {
+        match self {
+            Const::Str(_) => Type::string(),
+            Const::Int(_) => Type::Int,
+            Const::Float(_) => Type::Double,
+            Const::Bool(_) => Type::Bool,
+            Const::Null => Type::obj_root(),
+            Const::Class(_) => Type::object("java.lang.Class"),
+        }
+    }
+}
+
+/// An operand: a local, a constant, or a reference to an Android resource
+/// (`R.string.*`), whose concrete value lives in the APK's
+/// `res/values/strings.xml` (modelled by [`crate::apk::Resources`]).
+///
+/// The paper's slicing step explicitly resolves such resource references
+/// ("we handle references to resource objects, such as Android.R, whose
+/// values are stored in user-defined files in the APK", §3.1).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Local(Local),
+    Const(Const),
+    Resource(String),
+}
+
+impl Value {
+    /// Shorthand for a string constant operand.
+    pub fn str(s: &str) -> Value {
+        Value::Const(Const::Str(s.to_string()))
+    }
+
+    /// Shorthand for an integer constant operand.
+    pub fn int(i: i64) -> Value {
+        Value::Const(Const::Int(i))
+    }
+
+    /// Shorthand for `null`.
+    pub fn null() -> Value {
+        Value::Const(Const::Null)
+    }
+
+    /// The local this operand reads, if any.
+    pub fn as_local(&self) -> Option<Local> {
+        match self {
+            Value::Local(l) => Some(*l),
+            _ => None,
+        }
+    }
+}
+
+impl From<Local> for Value {
+    fn from(l: Local) -> Value {
+        Value::Local(l)
+    }
+}
+
+/// A symbolic reference to a field, resolved by name (Dalvik-style).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FieldRef {
+    /// Declaring class, fully qualified.
+    pub class: String,
+    /// Field name.
+    pub name: String,
+    /// Declared field type.
+    pub ty: Type,
+}
+
+impl FieldRef {
+    /// Convenience constructor.
+    pub fn new(class: &str, name: &str, ty: Type) -> FieldRef {
+        FieldRef {
+            class: class.to_string(),
+            name: name.to_string(),
+            ty,
+        }
+    }
+}
+
+impl fmt::Display for FieldRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}: {} {}>", self.class, self.ty, self.name)
+    }
+}
+
+/// A symbolic reference to a method, resolved by name and signature
+/// (Dalvik-style). Virtual calls are resolved against the class hierarchy by
+/// the analysis crate; the reference itself names the *static* target.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MethodRef {
+    /// Static receiver class, fully qualified.
+    pub class: String,
+    /// Simple method name.
+    pub name: String,
+    /// Parameter types (no receiver).
+    pub params: Vec<Type>,
+    /// Return type.
+    pub ret: Type,
+}
+
+impl MethodRef {
+    /// Convenience constructor.
+    pub fn new(class: &str, name: &str, params: Vec<Type>, ret: Type) -> MethodRef {
+        MethodRef {
+            class: class.to_string(),
+            name: name.to_string(),
+            params,
+            ret,
+        }
+    }
+
+    /// `class.name` — the form used in semantic-model lookups, where
+    /// overloads share one model entry.
+    pub fn qualified(&self) -> String {
+        format!("{}.{}", self.class, self.name)
+    }
+
+    /// The *shape signature* used by the obfuscated-library mapper
+    /// (paper §3.4): return type and parameter types with class names erased
+    /// to `L` (any reference). Renaming identifiers does not change it.
+    pub fn shape(&self) -> String {
+        fn erase(t: &Type) -> String {
+            match t {
+                Type::Object(_) => "L".to_string(),
+                Type::Array(e) => format!("{}[]", erase(e)),
+                other => other.to_string(),
+            }
+        }
+        let params: Vec<String> = self.params.iter().map(erase).collect();
+        format!("{}({})", erase(&self.ret), params.join(","))
+    }
+}
+
+impl fmt::Display for MethodRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let params: Vec<String> = self.params.iter().map(|t| t.to_string()).collect();
+        write!(
+            f,
+            "<{}: {} {}({})>",
+            self.class,
+            self.ret,
+            self.name,
+            params.join(", ")
+        )
+    }
+}
+
+/// An l-value: the destination of an assignment or the source of a load.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Place {
+    /// A local slot.
+    Local(Local),
+    /// `base.field` for an instance field.
+    InstanceField {
+        /// The receiver local.
+        base: Local,
+        /// The referenced field.
+        field: FieldRef,
+    },
+    /// A static field.
+    StaticField(FieldRef),
+    /// `base[index]`.
+    ArrayElem {
+        /// The array local.
+        base: Local,
+        /// The element index operand.
+        index: Value,
+    },
+}
+
+impl Place {
+    /// The root local this place is anchored at, if any (static fields have
+    /// none). Used pervasively by taint transfer functions.
+    pub fn base_local(&self) -> Option<Local> {
+        match self {
+            Place::Local(l) => Some(*l),
+            Place::InstanceField { base, .. } => Some(*base),
+            Place::ArrayElem { base, .. } => Some(*base),
+            Place::StaticField(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_ref_shape_erases_names() {
+        let m = MethodRef::new(
+            "com.a.B",
+            "doIt",
+            vec![Type::string(), Type::Int, Type::object("x.Y").array_of()],
+            Type::object("z.W"),
+        );
+        assert_eq!(m.shape(), "L(L,int,L[])");
+        // An obfuscated rename of every class yields the same shape.
+        let m2 = MethodRef::new(
+            "a.a",
+            "a",
+            vec![Type::object("a.b"), Type::Int, Type::object("a.c").array_of()],
+            Type::object("a.d"),
+        );
+        assert_eq!(m.shape(), m2.shape());
+    }
+
+    #[test]
+    fn display_forms() {
+        let f = FieldRef::new("com.a.B", "mUrl", Type::string());
+        assert_eq!(f.to_string(), "<com.a.B: java.lang.String mUrl>");
+        let m = MethodRef::new("com.a.B", "get", vec![Type::Int], Type::Void);
+        assert_eq!(m.to_string(), "<com.a.B: void get(int)>");
+    }
+
+    #[test]
+    fn place_base_local() {
+        let f = FieldRef::new("c.D", "x", Type::Int);
+        assert_eq!(Place::Local(Local(3)).base_local(), Some(Local(3)));
+        assert_eq!(
+            Place::InstanceField { base: Local(1), field: f.clone() }.base_local(),
+            Some(Local(1))
+        );
+        assert_eq!(Place::StaticField(f).base_local(), None);
+    }
+}

@@ -1,0 +1,43 @@
+//! Obfuscation robustness (§3.4, §5.1): obfuscate an app with the
+//! ProGuard-style renamer — including its bundled libraries — and show the
+//! analysis recovers the identical protocol behavior via shape-based
+//! library de-obfuscation.
+//!
+//! ```bash
+//! cargo run --example obfuscation
+//! ```
+
+use extractocol_core::Extractocol;
+use extractocol_ir::obfuscate::{obfuscate, ObfuscationOptions};
+
+fn main() {
+    let app = extractocol_corpus::app("blippex").expect("corpus app");
+    let analyzer = Extractocol::new();
+
+    let plain = analyzer.analyze(&app.apk);
+
+    let (obf_apk, map) = obfuscate(
+        &app.apk,
+        &ObfuscationOptions { obfuscate_libraries: true, extra_keep_prefixes: vec![] },
+    );
+    println!(
+        "obfuscated {} classes and {} methods (libraries included)",
+        map.classes.len(),
+        map.methods.len()
+    );
+    let obf = analyzer.analyze(&obf_apk);
+    println!(
+        "library classes recovered by the §3.4 mapper: {}",
+        obf.stats.deobfuscated_classes
+    );
+
+    println!("\n-- plain --\n{}", plain.to_table());
+    println!("-- obfuscated --\n{}", obf.to_table());
+
+    assert_eq!(plain.transactions.len(), obf.transactions.len());
+    for (a, b) in plain.transactions.iter().zip(&obf.transactions) {
+        assert_eq!(a.method, b.method);
+        assert_eq!(a.uri_regex, b.uri_regex, "identifier renaming must not change signatures");
+    }
+    println!("identical signatures before and after obfuscation (paper §5.1).");
+}

@@ -1,0 +1,18 @@
+//! # extractocol-suite
+//!
+//! Workspace-level façade: re-exports the crates so the examples and
+//! integration tests read naturally, and hosts the cross-crate test suite
+//! under `tests/`.
+//!
+//! Start with the `quickstart` example:
+//!
+//! ```bash
+//! cargo run --example quickstart
+//! ```
+
+pub use extractocol_analysis as analysis;
+pub use extractocol_core as core;
+pub use extractocol_corpus as corpus;
+pub use extractocol_dynamic as dynamic;
+pub use extractocol_http as http;
+pub use extractocol_ir as ir;

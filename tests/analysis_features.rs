@@ -1,0 +1,220 @@
+//! Focused integration tests for analysis features the corpus exercises
+//! only lightly: SharedPreferences-mediated dependencies, shared response
+//! handlers (the not-one-to-one pairing case §3.3 mentions), static-field
+//! cells, and the multi-stack semantic model.
+
+use extractocol_core::interdep::DepVia;
+use extractocol_core::pairing::Pairing;
+use extractocol_core::{stubs, Extractocol};
+use extractocol_http::HttpMethod;
+use extractocol_ir::{ApkBuilder, Type, Value};
+
+/// A login that stashes its token in SharedPreferences, and a fetch that
+/// reads it back — the prefs-cell dependency channel.
+#[test]
+fn shared_preferences_bridge_transactions() {
+    let mut b = ApkBuilder::new("prefs", "t");
+    stubs::install(&mut b);
+    b.class("t.Api", |c| {
+        c.method("login", vec![], Type::Void, |m| {
+            m.recv("t.Api");
+            let req = m.new_obj(
+                "org.apache.http.client.methods.HttpPost",
+                vec![Value::str("https://s/login")],
+            );
+            let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
+            let resp = m.vcall(client, "org.apache.http.client.HttpClient", "execute",
+                vec![Value::Local(req)], Type::object("org.apache.http.HttpResponse"));
+            let ent = m.vcall(resp, "org.apache.http.HttpResponse", "getEntity", vec![], Type::object("org.apache.http.HttpEntity"));
+            let body = m.scall("org.apache.http.util.EntityUtils", "toString", vec![Value::Local(ent)], Type::string());
+            let j = m.new_obj("org.json.JSONObject", vec![Value::Local(body)]);
+            let tok = m.vcall(j, "org.json.JSONObject", "getString", vec![Value::str("session")], Type::string());
+            let prefs = m.new_obj("android.content.SharedPreferences", vec![]);
+            let ed = m.vcall(prefs, "android.content.SharedPreferences", "edit", vec![],
+                Type::object("android.content.SharedPreferences$Editor"));
+            m.vcall_void(ed, "android.content.SharedPreferences$Editor", "putString",
+                vec![Value::str("session_token"), Value::Local(tok)]);
+            m.ret_void();
+        });
+        c.method("fetch", vec![], Type::Void, |m| {
+            m.recv("t.Api");
+            let prefs = m.new_obj("android.content.SharedPreferences", vec![]);
+            let tok = m.vcall(prefs, "android.content.SharedPreferences", "getString",
+                vec![Value::str("session_token"), Value::str("")], Type::string());
+            let sb = m.new_obj("java.lang.StringBuilder", vec![Value::str("https://s/data?s=")]);
+            m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(tok)]);
+            let url = m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
+            let req = m.new_obj("org.apache.http.client.methods.HttpGet", vec![Value::Local(url)]);
+            let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
+            m.vcall_void(client, "org.apache.http.client.HttpClient", "execute", vec![Value::Local(req)]);
+            m.ret_void();
+        });
+    });
+    let report = Extractocol::new().analyze(&b.build());
+    assert_eq!(report.transactions.len(), 2);
+    let edge = report
+        .dependencies
+        .iter()
+        .find(|d| matches!(&d.via, DepVia::Prefs(k) if k == "session_token"))
+        .unwrap_or_else(|| panic!("prefs dependency expected: {:?}", report.dependencies));
+    assert_eq!(edge.resp_field.as_deref(), Some("session"));
+    assert_eq!(edge.req_field.as_deref(), Some("uri"));
+}
+
+/// Two requests whose responses funnel through one common handler: the
+/// paper notes "pairing may not always be one-to-one in general as there
+/// might be a common response handler for multiple requests".
+#[test]
+fn common_response_handler_is_reported_as_shared() {
+    let mut b = ApkBuilder::new("shared", "t");
+    stubs::install(&mut b);
+    b.class("t.Net", |c| {
+        c.static_method("common", vec![Type::string()], Type::Void, |m| {
+            let url = m.arg(0, "url");
+            let req = m.new_obj("org.apache.http.client.methods.HttpGet", vec![Value::Local(url)]);
+            let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
+            let resp = m.vcall(client, "org.apache.http.client.HttpClient", "execute",
+                vec![Value::Local(req)], Type::object("org.apache.http.HttpResponse"));
+            // The shared handler parses every response the same way.
+            let ent = m.vcall(resp, "org.apache.http.HttpResponse", "getEntity", vec![], Type::object("org.apache.http.HttpEntity"));
+            let body = m.scall("org.apache.http.util.EntityUtils", "toString", vec![Value::Local(ent)], Type::string());
+            let j = m.new_obj("org.json.JSONObject", vec![Value::Local(body)]);
+            let v = m.vcall(j, "org.json.JSONObject", "getString", vec![Value::str("status")], Type::string());
+            let _ = v;
+            m.ret_void();
+        });
+        c.static_method("requestA", vec![], Type::Void, |m| {
+            let u = m.temp(Type::string());
+            m.cstr(u, "http://svc/a");
+            m.scall_void("t.Net", "common", vec![Value::Local(u)]);
+            m.ret_void();
+        });
+        c.static_method("requestB", vec![], Type::Void, |m| {
+            let u = m.temp(Type::string());
+            m.cstr(u, "http://svc/b");
+            m.scall_void("t.Net", "common", vec![Value::Local(u)]);
+            m.ret_void();
+        });
+    });
+    let report = Extractocol::new().analyze(&b.build());
+    assert_eq!(report.transactions.len(), 2, "{}", report.to_table());
+    for t in &report.transactions {
+        assert_eq!(
+            t.pairing,
+            Pairing::SharedHandler,
+            "both candidates share the response code: {}",
+            report.to_table()
+        );
+        assert!(t.response.is_some(), "the shared handler's parse is still attributed");
+    }
+}
+
+/// Static fields carry tokens between transactions too.
+#[test]
+fn static_field_cells_create_dependencies() {
+    let mut b = ApkBuilder::new("statics", "t");
+    stubs::install(&mut b);
+    b.class("t.Api", |c| {
+        let sf = c.static_field("TOKEN", Type::string());
+        let sf2 = sf.clone();
+        c.static_method("login", vec![], Type::Void, move |m| {
+            let req = m.new_obj("org.apache.http.client.methods.HttpGet", vec![Value::str("https://s/token")]);
+            let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
+            let resp = m.vcall(client, "org.apache.http.client.HttpClient", "execute",
+                vec![Value::Local(req)], Type::object("org.apache.http.HttpResponse"));
+            let ent = m.vcall(resp, "org.apache.http.HttpResponse", "getEntity", vec![], Type::object("org.apache.http.HttpEntity"));
+            let body = m.scall("org.apache.http.util.EntityUtils", "toString", vec![Value::Local(ent)], Type::string());
+            let j = m.new_obj("org.json.JSONObject", vec![Value::Local(body)]);
+            let tok = m.vcall(j, "org.json.JSONObject", "getString", vec![Value::str("token")], Type::string());
+            m.put_static(&sf2, tok);
+            m.ret_void();
+        });
+        let sf3 = sf.clone();
+        c.static_method("use_token", vec![], Type::Void, move |m| {
+            let tok = m.temp(Type::string());
+            m.get_static(tok, &sf3);
+            let sb = m.new_obj("java.lang.StringBuilder", vec![Value::str("https://s/q?t=")]);
+            m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(tok)]);
+            let url = m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
+            let req = m.new_obj("org.apache.http.client.methods.HttpGet", vec![Value::Local(url)]);
+            let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
+            m.vcall_void(client, "org.apache.http.client.HttpClient", "execute", vec![Value::Local(req)]);
+            m.ret_void();
+        });
+    });
+    let report = Extractocol::new().analyze(&b.build());
+    assert!(
+        report
+            .dependencies
+            .iter()
+            .any(|d| matches!(&d.via, DepVia::Static(s) if s.contains("TOKEN"))),
+        "static-field dependency expected: {:?}",
+        report.dependencies
+    );
+}
+
+/// The semantic model understands every HTTP stack the corpus mixes; a
+/// single app using four stacks yields four transactions with correct
+/// methods.
+#[test]
+fn multi_stack_app_is_fully_reconstructed() {
+    let mut b = ApkBuilder::new("multi", "t");
+    stubs::install(&mut b);
+    b.class("t.Api", |c| {
+        // apache POST
+        c.method("a", vec![], Type::Void, |m| {
+            m.recv("t.Api");
+            let req = m.new_obj("org.apache.http.client.methods.HttpPost", vec![Value::str("https://h/apache")]);
+            let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
+            m.vcall_void(client, "org.apache.http.client.HttpClient", "execute", vec![Value::Local(req)]);
+            m.ret_void();
+        });
+        // okhttp PUT
+        c.method("b", vec![], Type::Void, |m| {
+            m.recv("t.Api");
+            let builder = m.new_obj("okhttp3.Request$Builder", vec![]);
+            m.vcall_void(builder, "okhttp3.Request$Builder", "url", vec![Value::str("https://h/okhttp")]);
+            let mt = m.scall("okhttp3.MediaType", "parse", vec![Value::str("application/json")], Type::object("okhttp3.MediaType"));
+            let rb = m.scall("okhttp3.RequestBody", "create", vec![Value::Local(mt), Value::str("{}")], Type::object("okhttp3.RequestBody"));
+            m.vcall_void(builder, "okhttp3.Request$Builder", "put", vec![Value::Local(rb)]);
+            let req = m.vcall(builder, "okhttp3.Request$Builder", "build", vec![], Type::object("okhttp3.Request"));
+            let client = m.new_obj("okhttp3.OkHttpClient", vec![]);
+            let call = m.vcall(client, "okhttp3.OkHttpClient", "newCall", vec![Value::Local(req)], Type::object("okhttp3.Call"));
+            let resp = m.vcall(call, "okhttp3.Call", "execute", vec![], Type::object("okhttp3.Response"));
+            let _ = resp;
+            m.ret_void();
+        });
+        // retrofit DELETE
+        c.method("c", vec![], Type::Void, |m| {
+            m.recv("t.Api");
+            let call = m.scall("retrofit2.CallFactory", "create",
+                vec![Value::str("DELETE"), Value::str("https://h/retrofit"), Value::null()],
+                Type::object("retrofit2.Call"));
+            let resp = m.vcall(call, "retrofit2.Call", "execute", vec![], Type::object("retrofit2.Response"));
+            let _ = resp;
+            m.ret_void();
+        });
+        // java.net GET
+        c.method("d", vec![], Type::Void, |m| {
+            m.recv("t.Api");
+            let u = m.new_obj("java.net.URL", vec![Value::str("https://h/urlconn")]);
+            let conn = m.vcall(u, "java.net.URL", "openConnection", vec![], Type::object("java.net.HttpURLConnection"));
+            m.vcall_void(conn, "java.net.HttpURLConnection", "connect", vec![]);
+            m.ret_void();
+        });
+    });
+    let report = Extractocol::new().analyze(&b.build());
+    assert_eq!(report.transactions.len(), 4, "{}", report.to_table());
+    let method_of = |frag: &str| {
+        report
+            .transactions
+            .iter()
+            .find(|t| t.uri_regex.contains(frag))
+            .map(|t| t.method)
+            .unwrap_or_else(|| panic!("no txn for {frag}: {}", report.to_table()))
+    };
+    assert_eq!(method_of("apache"), HttpMethod::Post);
+    assert_eq!(method_of("okhttp"), HttpMethod::Put);
+    assert_eq!(method_of("retrofit"), HttpMethod::Delete);
+    assert_eq!(method_of("urlconn"), HttpMethod::Get);
+}

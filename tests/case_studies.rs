@@ -1,0 +1,227 @@
+//! The paper's in-depth case studies as executable assertions:
+//! radio reddit (Table 3, Fig. 8), TED (Table 4, Fig. 1), Diode (Fig. 3),
+//! Kayak (Tables 5–6, §5.3), and the weather-notification async example
+//! (§3.4).
+
+use extractocol_core::interdep::DepVia;
+use extractocol_core::sigbuild::ResponseSig;
+use extractocol_core::slicing::SliceOptions;
+use extractocol_core::{Extractocol, Options};
+use extractocol_dynamic::eval::AppEval;
+use extractocol_dynamic::replay::replay_kayak_flight_search;
+use extractocol_http::{HttpMethod, Regex};
+
+#[test]
+fn radio_reddit_reconstructs_table3() {
+    let app = extractocol_corpus::app("radio reddit").unwrap();
+    let eval = AppEval::run(&app);
+    let r = &eval.report;
+    assert_eq!(r.transactions.len(), 6, "six transactions (Table 3)\n{}", r.to_table());
+
+    // #3 login: POST with user/passwd/api_type form body.
+    let login = r
+        .transactions
+        .iter()
+        .find(|t| t.uri_regex.contains("api/login"))
+        .expect("login txn");
+    assert_eq!(login.method, HttpMethod::Post);
+    let kw = login.request_keywords();
+    for k in ["user", "passwd", "api_type"] {
+        assert!(kw.contains(&k.to_string()), "login keywords: {kw:?}");
+    }
+    match &login.response {
+        Some(ResponseSig::Json(j)) => {
+            let keys = j.keys();
+            for k in ["modhash", "cookie", "need_https"] {
+                assert!(keys.contains(&k), "login response keys: {keys:?}");
+            }
+        }
+        other => panic!("login response: {other:?}"),
+    }
+
+    // Save/unsave: disjunctive URI.
+    let save = r
+        .transactions
+        .iter()
+        .find(|t| t.uri_regex.contains("save"))
+        .expect("save txn");
+    let re = Regex::new(&save.uri_regex).unwrap();
+    assert!(re.is_match("http://www.reddit.com/api/save"));
+    assert!(re.is_match("http://www.reddit.com/api/unsave"));
+
+    // Dependencies: login's modhash → uh form field; cookie → Cookie
+    // header; the status relay → the media stream.
+    let deps = &r.dependencies;
+    assert!(
+        deps.iter().any(|d| matches!(&d.via, DepVia::Field(f) if f.contains("mModhash"))
+            && d.req_field.as_deref() == Some("form:uh")),
+        "modhash → uh: {deps:?}"
+    );
+    assert!(
+        deps.iter().any(|d| matches!(&d.via, DepVia::Field(f) if f.contains("mCookie"))
+            && d.req_field.as_deref() == Some("header:Cookie")),
+        "cookie → Cookie header: {deps:?}"
+    );
+    assert!(
+        deps.iter().any(|d| matches!(&d.via, DepVia::Field(f) if f.contains("mRelay"))),
+        "status relay → stream: {deps:?}"
+    );
+
+    // Fig. 8: the status signature reads 16 keys, not album/score.
+    let status = r
+        .transactions
+        .iter()
+        .find(|t| t.uri_regex.contains("status"))
+        .expect("status txn");
+    let keys = status.response_keywords();
+    assert_eq!(keys.len(), 16, "{keys:?}");
+    assert!(!keys.contains(&"album".to_string()));
+    assert!(!keys.contains(&"score".to_string()));
+
+    // The stream is consumed by the media player.
+    let stream = r
+        .transactions
+        .iter()
+        .find(|t| t.consumptions.iter().any(|c| c == "media-player"))
+        .expect("media stream txn");
+    assert!(stream.is_dynamic_uri(), "the relay URI is dynamically derived");
+}
+
+#[test]
+fn ted_reconstructs_table4_and_fig1() {
+    let app = extractocol_corpus::app("TED").unwrap();
+    let eval = AppEval::run(&app);
+    let r = &eval.report;
+
+    // The api-key from resources is inlined into URIs (§5.2: the key lives
+    // in android.content.res.Resources).
+    let speakers = r
+        .transactions
+        .iter()
+        .find(|t| t.uri_regex.contains("speakers"))
+        .expect("speakers txn");
+    assert!(
+        speakers.uri_regex.contains("k9a7f3e2"),
+        "resource-resolved api-key: {}",
+        speakers.uri_regex
+    );
+
+    // Fig. 1 chain: ad query → (url field) → ad fetch → (video field) →
+    // media player; Table 4: DB-mediated thumbnail/video fetches.
+    let via_strings: Vec<String> = r.dependencies.iter().map(|d| d.via.to_string()).collect();
+    assert!(via_strings.iter().any(|v| v.contains("mAdQueryUri")), "{via_strings:?}");
+    assert!(via_strings.iter().any(|v| v.contains("mAdVideoUri")), "{via_strings:?}");
+    assert!(via_strings.iter().any(|v| v.contains("db talks")), "{via_strings:?}");
+
+    // The ad response's url key is identified (Fig. 1's prefetch hook).
+    let ad = r
+        .transactions
+        .iter()
+        .find(|t| t.uri_regex.contains("android_ad"))
+        .expect("ad txn");
+    match &ad.response {
+        Some(ResponseSig::Json(j)) => assert!(j.keys().contains(&"url")),
+        other => panic!("ad response: {other:?}"),
+    }
+
+    // Media consumption notes on the dynamic fetches.
+    assert!(
+        r.transactions
+            .iter()
+            .filter(|t| t.consumptions.iter().any(|c| c == "media-player"))
+            .count()
+            >= 2,
+        "ad video + talk video to the player"
+    );
+}
+
+#[test]
+fn diode_reconstructs_fig3() {
+    let app = extractocol_corpus::app("Diode").unwrap();
+    let eval = AppEval::run(&app);
+    let r = &eval.report;
+    let listing = r
+        .transactions
+        .iter()
+        .find(|t| t.uri_regex.contains("search"))
+        .expect("Fig. 3 listing txn");
+    assert_eq!(listing.uri_pattern_count(), 9, "nine URI patterns\n{}", listing.uri.display());
+    let re = Regex::new(&listing.uri_regex).unwrap();
+    // The paper's example pattern.
+    assert!(re.is_match("http://www.reddit.com/search/.json?q=cats&sort=hot"));
+    // The search query comes from user input.
+    assert!(listing.origins.iter().any(|o| o == "user-input"), "{:?}", listing.origins);
+    // Slice fraction is small (paper: 6.3%).
+    let f = r.stats.slice_fraction();
+    assert!((0.03..0.12).contains(&f), "slice fraction {f}");
+}
+
+#[test]
+fn kayak_reverse_engineering_works_end_to_end() {
+    let app = extractocol_corpus::app("KAYAK").unwrap();
+    let opts = Options { scope_prefix: Some("com.kayak".into()), ..Options::default() };
+    let report = Extractocol::with_options(opts).analyze(&app.apk);
+
+    // §5.3: all three previously-known flight APIs plus many more.
+    for fragment in ["authajax", "flight/start", "flight/poll"] {
+        assert!(
+            report.transactions.iter().any(|t| t.uri_regex.contains(fragment)),
+            "missing {fragment}"
+        );
+    }
+    assert!(report.transactions.len() >= 40, "14x more APIs than the manual analysis");
+
+    // The flight/poll signature carries its constant query parts.
+    let poll = report
+        .transactions
+        .iter()
+        .find(|t| t.uri_regex.contains("flight/poll"))
+        .unwrap();
+    for k in ["searchid", "nc", "currency", "includeopaques"] {
+        assert!(
+            poll.query_keys().contains(&k.to_string()),
+            "poll query keys: {:?}",
+            poll.query_keys()
+        );
+    }
+
+    // The User-Agent header is recovered and the replay retrieves fares.
+    assert!(report
+        .transactions
+        .iter()
+        .any(|t| t.headers.iter().any(|(k, v)| k == "User-Agent" && v.contains("kayakandroid"))));
+    let outcome = replay_kayak_flight_search(&report, &app.server);
+    assert!(outcome.auth_ok, "authajax accepted with the recovered UA");
+    assert!(outcome.fares_retrieved, "flight fares retrieved from signatures alone");
+}
+
+#[test]
+fn weather_async_heuristic_recovers_the_location_query() {
+    let app = extractocol_corpus::app("Weather Notification").unwrap();
+    let analyze = |on: bool| {
+        let opts = Options {
+            slice: SliceOptions { async_heuristic: on, ..Default::default() },
+            ..Options::default()
+        };
+        Extractocol::with_options(opts).analyze(&app.apk)
+    };
+    let with = analyze(true);
+    let without = analyze(false);
+    let current = |r: &extractocol_core::AnalysisReport| {
+        r.transactions
+            .iter()
+            .find(|t| t.uri_regex.contains("current"))
+            .map(|t| t.uri_regex.clone())
+            .expect("current-conditions txn")
+    };
+    // With the heuristic, the location-callback's query-string fragment
+    // (q=<city>&units=metric) is part of the signature; without it the
+    // heap-carried part is a wildcard (§3.4's motivating example).
+    assert!(current(&with).contains("units=metric"), "{}", current(&with));
+    assert!(!current(&without).contains("units=metric"), "{}", current(&without));
+    // And the origin is attributed to GPS.
+    assert!(with
+        .transactions
+        .iter()
+        .any(|t| t.origins.iter().any(|o| o == "gps")));
+}

@@ -1,0 +1,83 @@
+//! End-to-end CLI test: serialize a corpus app to the text IR format,
+//! run the `extractocol` binary on it, and check the report — the full
+//! text-in/analysis-out loop a standalone user would drive.
+
+use std::io::Write;
+use std::process::Command;
+
+fn cli() -> Command {
+    // Resolve the freshly-built binary next to the test executable.
+    let mut path = std::env::current_exe().expect("test exe path");
+    path.pop(); // deps/
+    path.pop(); // debug|release/
+    path.push(format!("extractocol{}", std::env::consts::EXE_SUFFIX));
+    Command::new(path)
+}
+
+fn write_app(name: &str) -> std::path::PathBuf {
+    let app = extractocol_corpus::app(name).expect("corpus app");
+    let txt = extractocol_ir::printer::print_apk(&app.apk);
+    let mut path = std::env::temp_dir();
+    path.push(format!("extractocol-cli-{}.jimple", name.replace(' ', "-")));
+    let mut f = std::fs::File::create(&path).expect("temp file");
+    f.write_all(txt.as_bytes()).expect("write");
+    path
+}
+
+#[test]
+fn cli_analyzes_a_serialized_app() {
+    let path = write_app("radio reddit");
+    let out = cli().arg(&path).output().expect("run extractocol");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("6 transactions"), "{stdout}");
+    assert!(stdout.contains("api/login"), "{stdout}");
+    assert!(stdout.contains("dependency graph"), "{stdout}");
+}
+
+#[test]
+fn cli_regex_mode_prints_one_signature_per_line() {
+    let path = write_app("blippex");
+    let out = cli().arg(&path).arg("--regex").output().expect("run extractocol");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 1, "{stdout}");
+    assert!(lines[0].starts_with("GET "), "{stdout}");
+    assert!(lines[0].contains("blippex"), "{stdout}");
+}
+
+#[test]
+fn cli_scope_filters_demarcation_points() {
+    let path = write_app("radio reddit");
+    let out = cli()
+        .arg(&path)
+        .args(["--regex", "--scope", "com.nonexistent"])
+        .output()
+        .expect("run extractocol");
+    assert!(out.status.success());
+    assert!(out.stdout.is_empty(), "scoped-out analysis must be empty");
+}
+
+#[test]
+fn cli_json_export_parses() {
+    let path = write_app("radio reddit");
+    let out = cli().arg(&path).arg("--json").output().expect("run extractocol");
+    assert!(out.status.success());
+    let v = extractocol_http::JsonValue::parse(&String::from_utf8_lossy(&out.stdout))
+        .expect("well-formed JSON");
+    assert_eq!(v.get("app").unwrap().as_str(), Some("radio reddit"));
+    let txns = v.get("transactions").unwrap();
+    assert!(txns.at(5).is_some(), "six transactions exported");
+    assert!(v.get("dependencies").unwrap().at(0).is_some(), "dependency edges exported");
+}
+
+#[test]
+fn cli_rejects_garbage_input() {
+    let mut path = std::env::temp_dir();
+    path.push("extractocol-cli-garbage.jimple");
+    std::fs::write(&path, "this is not an apk").unwrap();
+    let out = cli().arg(&path).output().expect("run extractocol");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("parse error"));
+}

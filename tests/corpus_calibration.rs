@@ -1,0 +1,77 @@
+//! The headline integration test: on all 34 corpus apps, the static
+//! analysis reconstructs exactly the ground-truth protocol behavior
+//! (Table 1's Extractocol column), and every signature is valid against
+//! the traffic a manual-fuzzing run produces (§5.1).
+
+use extractocol_dynamic::eval::AppEval;
+
+fn check(app: &extractocol_corpus::AppSpec) {
+    let eval = AppEval::run(app);
+    let measured = eval.extractocol_counts();
+    // The paper disables the async heuristic for open-source apps (§5.1).
+    let truth = app.truth.static_counts_with(!app.truth.open_source);
+    assert_eq!(
+        (measured.get, measured.post, measured.put, measured.delete),
+        (truth.get, truth.post, truth.put, truth.delete),
+        "{}: method counts\n{}",
+        app.truth.name,
+        eval.report.to_table()
+    );
+    assert_eq!(measured.pairs, truth.pairs, "{}: pair count", app.truth.name);
+    assert_eq!(measured.json, truth.json, "{}: JSON signatures", app.truth.name);
+    assert_eq!(measured.xml, truth.xml, "{}: XML signatures", app.truth.name);
+    assert!(
+        eval.validity.orphan_lines.is_empty(),
+        "{}: trace lines not covered by any signature: {:?}",
+        app.truth.name,
+        eval.validity.orphan_lines
+    );
+}
+
+#[test]
+fn open_source_apps_match_ground_truth() {
+    let apps = extractocol_corpus::open_source_apps();
+    assert_eq!(apps.len(), 14, "Table 1 has 14 open-source rows");
+    for app in &apps {
+        check(app);
+    }
+}
+
+#[test]
+fn closed_source_apps_match_ground_truth() {
+    let apps = extractocol_corpus::closed_source_apps();
+    assert_eq!(apps.len(), 20, "Table 1 has 20 closed-source rows");
+    for app in &apps {
+        check(app);
+    }
+}
+
+#[test]
+fn corpus_reproduces_the_papers_coverage_ordering() {
+    // §5.1: Extractocol ≥ manual fuzzing ≥ automatic fuzzing on
+    // closed-source apps, in total signature counts.
+    let mut stat = 0usize;
+    let mut man = 0usize;
+    let mut auto = 0usize;
+    for app in extractocol_corpus::closed_source_apps() {
+        let eval = AppEval::run(&app);
+        stat += eval.extractocol_counts().total();
+        man += AppEval::trace_counts(&eval.manual, &app.truth).total();
+        auto += AppEval::trace_counts(&eval.auto, &app.truth).total();
+    }
+    assert!(stat > man, "static {stat} must exceed manual fuzzing {man}");
+    assert!(man > auto, "manual {man} must exceed automatic fuzzing {auto}");
+}
+
+#[test]
+fn total_pairs_are_on_the_papers_scale() {
+    // §5.1: "it identified 971 HTTP (request URI-response body) pairs".
+    let total: usize = extractocol_corpus::all_apps()
+        .iter()
+        .map(|app| AppEval::run(app).report.pair_count())
+        .sum();
+    assert!(
+        (800..=1200).contains(&total),
+        "corpus-wide pair count {total} should be on the paper's ~971 scale"
+    );
+}

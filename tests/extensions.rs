@@ -1,0 +1,123 @@
+//! The extensions §4 sketches as future work, implemented and tested:
+//!
+//! * **Multi-hop asynchronous chains** — "one can perform multiple
+//!   iterations until it does not discover new dependencies for better
+//!   accuracy and wider coverage";
+//! * **Modeling additional network APIs via the plugin hook** — "direct
+//!   use of socket can be handled by modeling socket APIs"; here the
+//!   deliberately-unmodeled `com.adlib.Tracker` library becomes visible
+//!   once registered, recovering the traffic only fuzzing saw before.
+
+use extractocol_core::semantics::{DpRequestLoc, DpResponseLoc};
+use extractocol_core::slicing::SliceOptions;
+use extractocol_core::{stubs, Extractocol, Options};
+use extractocol_http::{HttpMethod, Regex};
+use extractocol_ir::{ApkBuilder, Type, Value};
+
+/// A two-hop async chain: a server push writes field A, a timer copies A
+/// into field B, a click sends B. One hop recovers nothing of the query;
+/// two hops recover it.
+#[test]
+fn multi_hop_async_chains_recover_with_more_iterations() {
+    let mut b = ApkBuilder::new("hops", "t");
+    stubs::install(&mut b);
+    b.class("t.C", |c| {
+        let a = c.field("mStageA", Type::string());
+        let bb = c.field("mStageB", Type::string());
+        let a2 = a.clone();
+        c.method("onPush", vec![Type::string()], Type::Void, move |m| {
+            let this = m.recv("t.C");
+            let v = m.arg(0, "payload");
+            let sb = m.new_obj("java.lang.StringBuilder", vec![Value::str("topic=")]);
+            m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(v)]);
+            let s = m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
+            m.put_field(this, &a2, s);
+            m.ret_void();
+        });
+        let (a3, b3) = (a.clone(), bb.clone());
+        c.method("onTimer", vec![], Type::Void, move |m| {
+            let this = m.recv("t.C");
+            let v = m.temp(Type::string());
+            m.get_field(v, this, &a3);
+            m.put_field(this, &b3, v);
+            m.ret_void();
+        });
+        c.method("onClick", vec![], Type::Void, move |m| {
+            let this = m.recv("t.C");
+            let v = m.temp(Type::string());
+            m.get_field(v, this, &bb);
+            let sb = m.new_obj("java.lang.StringBuilder", vec![Value::str("http://push.example.com/sub?")]);
+            m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(v)]);
+            let url = m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
+            let req = m.new_obj("org.apache.http.client.methods.HttpGet", vec![Value::Local(url)]);
+            let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
+            m.vcall_void(client, "org.apache.http.client.HttpClient", "execute", vec![Value::Local(req)]);
+            m.ret_void();
+        });
+    });
+    let apk = b.build();
+    let uri = |hops: usize| {
+        let opts = Options {
+            slice: SliceOptions { async_hops: hops, ..SliceOptions::default() },
+            ..Options::default()
+        };
+        let r = Extractocol::with_options(opts).analyze(&apk);
+        r.transactions[0].uri_regex.clone()
+    };
+    // One hop: stage B's store is found, but stage A's construction (the
+    // `topic=` fragment) is still behind a second event boundary.
+    assert!(!uri(1).contains("topic="), "one hop: {}", uri(1));
+    // Two hops: the full query fragment is recovered.
+    assert!(uri(2).contains("topic="), "two hops: {}", uri(2));
+    let re = Regex::new(&uri(2)).unwrap();
+    assert!(re.is_match("http://push.example.com/sub?topic=news"));
+}
+
+/// MusicDownloader's ad/analytics traffic is invisible to the default
+/// model (raw-socket library). Registering the library's API through the
+/// plugin hooks makes the analysis recover it — static counts then exceed
+/// what even manual fuzzing observed.
+#[test]
+fn plugin_hook_recovers_unmodeled_library_traffic() {
+    let app = extractocol_corpus::app("MusicDownloader").unwrap();
+
+    // Default model: the Tracker traffic is missed (§5.1's missed rows).
+    let default_report = Extractocol::new().analyze(&app.apk);
+    let default_gets = default_report.method_count(HttpMethod::Get);
+
+    // Plugin: model the ad library's send() / sendPost() as demarcation
+    // points ("Extractocol can be extended to support most of them", §4).
+    let mut analyzer = Extractocol::new();
+    analyzer.model_mut().register_dp(
+        "com.adlib.Tracker",
+        "send",
+        Some(1),
+        DpRequestLoc::Arg(0),
+        DpResponseLoc::Consumed,
+        Some(HttpMethod::Get),
+    );
+    analyzer.model_mut().register_dp(
+        "com.adlib.Tracker",
+        "sendPost",
+        Some(2),
+        DpRequestLoc::Arg(0),
+        DpResponseLoc::Consumed,
+        Some(HttpMethod::Post),
+    );
+    let extended_report = analyzer.analyze(&app.apk);
+    let extended_gets = extended_report.method_count(HttpMethod::Get);
+
+    let socket_txns = app
+        .truth
+        .txns
+        .iter()
+        .filter(|t| !t.static_visible && t.method == HttpMethod::Get)
+        .count();
+    assert!(socket_txns > 0, "MusicDownloader carries socket traffic");
+    assert_eq!(
+        extended_gets,
+        default_gets + socket_txns,
+        "the plugin recovers exactly the socket transactions\n{}",
+        extended_report.to_table()
+    );
+}

