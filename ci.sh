@@ -1,0 +1,21 @@
+#!/bin/sh
+# Offline CI gate — the same three checks .github/workflows/ci.yml runs.
+# The workspace has zero external dependencies, so everything here works
+# with no network access (see README "Building offline").
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q (tier-1)"
+cargo test -q
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "CI OK"

@@ -294,9 +294,7 @@ impl CallbackRegistry {
             let mut candidates: Vec<MethodId> = Vec::new();
             let mut classes: Vec<String> = vec![carrier_class.clone()];
             classes.extend(
-                prog.all_subtypes(&carrier_class)
-                    .into_iter()
-                    .map(|id| prog.class(id).name.clone()),
+                prog.all_subtypes(&carrier_class).into_iter().map(|id| prog.class(id).name.clone()),
             );
             for cn in classes {
                 if let Some(cid) = prog.class_id(&cn) {

@@ -188,17 +188,10 @@ mod tests {
             .body
             .iter()
             .enumerate()
-            .find_map(|(i, s)| {
-                s.call()
-                    .filter(|c| c.callee.name == "work")
-                    .map(|_| (main, i))
-            })
+            .find_map(|(i, s)| s.call().filter(|c| c.callee.name == "work").map(|_| (main, i)))
             .unwrap();
-        let mut names: Vec<String> = g
-            .targets_of(site)
-            .iter()
-            .map(|t| prog.class(t.class).name.clone())
-            .collect();
+        let mut names: Vec<String> =
+            g.targets_of(site).iter().map(|t| prog.class(t.class).name.clone()).collect();
         names.sort();
         assert_eq!(names, vec!["t.A", "t.B"]);
     }

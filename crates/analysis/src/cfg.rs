@@ -308,7 +308,11 @@ mod tests {
             m.iff(CondOp::Ge, i, Value::int(10), "done"); // b1: header
             m.assign(
                 i,
-                extractocol_ir::Expr::Bin(extractocol_ir::BinOp::Add, Value::Local(i), Value::int(1)),
+                extractocol_ir::Expr::Bin(
+                    extractocol_ir::BinOp::Add,
+                    Value::Local(i),
+                    Value::int(1),
+                ),
             ); // b2: body+latch
             m.goto("head");
             m.label("done");

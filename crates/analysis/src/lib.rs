@@ -44,6 +44,6 @@ pub use callbacks::{CallbackRegistry, ImplicitEdge, OperandSource};
 pub use callgraph::{CallGraph, CallSite};
 pub use cfg::Cfg;
 pub use taint::{
-    AccessPath, ApiFlowModel, ConservativeModel, Direction, Root, Seed, Slot, TaintEngine,
-    TaintOptions, TaintReport,
+    AccessPath, ApiFlowModel, CacheStats, ConservativeModel, Direction, Root, Seed, Slot,
+    TaintEngine, TaintOptions, TaintReport,
 };

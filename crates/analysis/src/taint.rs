@@ -30,6 +30,8 @@ use extractocol_ir::{
     Call, Expr, IdentityKind, Local, MethodId, MethodRef, Place, ProgramIndex, Stmt, Value,
 };
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 /// Propagation direction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -131,11 +133,44 @@ pub struct TaintOptions {
     /// Maximum access-path field depth (FlowDroid defaults to 5; protocol
     /// code rarely needs more than 2 — see `ablation_taint_depth`).
     pub max_field_depth: usize,
+    /// Enable the interprocedural method-summary cache. Propagation
+    /// results per `(method, statement, fact)` entry point are memoized on
+    /// the engine and shared across runs (and threads), so distinct
+    /// demarcation points stop re-analyzing shared helper methods. Results
+    /// are identical either way; this is purely a work-avoidance cache.
+    pub summary_cache: bool,
 }
 
 impl Default for TaintOptions {
     fn default() -> Self {
-        TaintOptions { max_field_depth: 2 }
+        TaintOptions { max_field_depth: 2, summary_cache: true }
+    }
+}
+
+/// Method-summary cache hit/miss counters (monotonic over an engine's
+/// lifetime, summed across every `run` and every thread using it).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from a memoized summary.
+    pub hits: u64,
+    /// Lookups that had to compute (and then memoize) a summary.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups answered from cache (0.0 when unused).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.lookups();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
     }
 }
 
@@ -159,12 +194,8 @@ impl TaintReport {
 
     /// The sliced statement indices within one method, sorted.
     pub fn stmts_in(&self, m: MethodId) -> Vec<usize> {
-        let mut v: Vec<usize> = self
-            .slice
-            .iter()
-            .filter(|(mm, _)| *mm == m)
-            .map(|(_, s)| *s)
-            .collect();
+        let mut v: Vec<usize> =
+            self.slice.iter().filter(|(mm, _)| *mm == m).map(|(_, s)| *s).collect();
         v.sort_unstable();
         v
     }
@@ -181,17 +212,51 @@ struct MethodInfo {
     returns: Vec<usize>,
 }
 
-/// The bidirectional taint engine.
+/// One propagation node: a fact holding at a program point.
+type Node = (MethodId, usize, AccessPath);
+
+/// Cache key: direction plus the entry node. Locals are method-relative
+/// and deterministic per program, so the access path itself is the
+/// "taint-seed abstraction" — two DPs entering the same helper with the
+/// same fact share one summary.
+type SummaryKey = (Direction, MethodId, usize, AccessPath);
+
+/// A memoized method-segment summary: everything propagation does from one
+/// entry node before leaving the method. Replaying a summary is
+/// observationally identical to re-running the segment — summaries are
+/// context-free (they depend only on the program, options and direction).
+#[derive(Debug, Default)]
+struct Summary {
+    /// Intra-method nodes visited, as `(stmt, fact)`.
+    nodes: Vec<(usize, AccessPath)>,
+    /// Sliced statement indices inside the method.
+    marks: Vec<usize>,
+    /// Statements marked outside the method (caller call sites reached by
+    /// return-value flow).
+    extern_marks: Vec<(MethodId, usize)>,
+    /// Facts that leave the method (callee entries, caller continuations).
+    exits: Vec<Node>,
+    /// Static-field keys tainted while inside the segment.
+    statics: Vec<String>,
+}
+
+/// The bidirectional taint engine. Shareable across threads (`&self` runs
+/// only): the summary cache is behind a `RwLock` and its counters are
+/// atomics, everything else is immutable after construction.
 pub struct TaintEngine<'p, 'g, 'm> {
     prog: &'p ProgramIndex<'p>,
     graph: &'g CallGraph,
-    model: &'m dyn ApiFlowModel,
+    model: &'m (dyn ApiFlowModel + Sync),
     options: TaintOptions,
     infos: HashMap<MethodId, MethodInfo>,
     /// static key → (method, stmt) sites that store to it.
     static_stores: HashMap<String, Vec<(MethodId, usize)>>,
     /// static key → (method, stmt) sites that load from it.
     static_loads: HashMap<String, Vec<(MethodId, usize)>>,
+    /// The interprocedural method-summary cache, shared by every run.
+    summaries: RwLock<HashMap<SummaryKey, Arc<Summary>>>,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
 }
 
 impl<'p, 'g, 'm> TaintEngine<'p, 'g, 'm> {
@@ -199,7 +264,7 @@ impl<'p, 'g, 'm> TaintEngine<'p, 'g, 'm> {
     pub fn new(
         prog: &'p ProgramIndex<'p>,
         graph: &'g CallGraph,
-        model: &'m dyn ApiFlowModel,
+        model: &'m (dyn ApiFlowModel + Sync),
         options: TaintOptions,
     ) -> Self {
         let mut infos = HashMap::new();
@@ -242,12 +307,31 @@ impl<'p, 'g, 'm> TaintEngine<'p, 'g, 'm> {
             }
             infos.insert(mid, MethodInfo { cfg, this_local, param_locals, returns });
         }
-        TaintEngine { prog, graph, model, options, infos, static_stores, static_loads }
+        TaintEngine {
+            prog,
+            graph,
+            model,
+            options,
+            infos,
+            static_stores,
+            static_loads,
+            summaries: RwLock::new(HashMap::new()),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+        }
     }
 
     /// Runs propagation from the seeds and returns the slice/facts report.
     pub fn run(&self, direction: Direction, seeds: &[Seed]) -> TaintReport {
         Propagation::new(self, direction).run(seeds)
+    }
+
+    /// Method-summary cache counters accumulated so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.cache_hits.load(Ordering::Relaxed),
+            misses: self.cache_misses.load(Ordering::Relaxed),
+        }
     }
 
     fn info(&self, m: MethodId) -> &MethodInfo {
@@ -270,25 +354,59 @@ impl<'p, 'g, 'm> TaintEngine<'p, 'g, 'm> {
                 if stmt + 1 < block.end {
                     vec![stmt + 1]
                 } else {
-                    block
-                        .succs
-                        .iter()
-                        .map(|&s| info.cfg.blocks[s].start)
-                        .collect()
+                    block.succs.iter().map(|&s| info.cfg.blocks[s].start).collect()
                 }
             }
             Direction::Backward => {
                 if stmt > block.start {
                     vec![stmt - 1]
                 } else {
-                    block
-                        .preds
-                        .iter()
-                        .map(|&p| info.cfg.blocks[p].end - 1)
-                        .collect()
+                    block.preds.iter().map(|&p| info.cfg.blocks[p].end - 1).collect()
                 }
             }
         }
+    }
+}
+
+/// In-flight state of one method-segment (summary) computation. While a
+/// segment is active, `enqueue`/`mark`/`taint_static` record into it
+/// instead of the global run state, which keeps the resulting summary
+/// context-free and therefore cacheable.
+struct SegState {
+    method: MethodId,
+    queue: VecDeque<(usize, AccessPath)>,
+    visited: HashSet<(usize, AccessPath)>,
+    marks: HashSet<usize>,
+    extern_marks: HashSet<(MethodId, usize)>,
+    exits: Vec<Node>,
+    exit_set: HashSet<Node>,
+    statics: Vec<String>,
+    static_set: HashSet<String>,
+}
+
+impl SegState {
+    fn new(method: MethodId) -> SegState {
+        SegState {
+            method,
+            queue: VecDeque::new(),
+            visited: HashSet::new(),
+            marks: HashSet::new(),
+            extern_marks: HashSet::new(),
+            exits: Vec::new(),
+            exit_set: HashSet::new(),
+            statics: Vec::new(),
+            static_set: HashSet::new(),
+        }
+    }
+
+    fn into_summary(self) -> Summary {
+        let mut nodes: Vec<(usize, AccessPath)> = self.visited.into_iter().collect();
+        nodes.sort();
+        let mut marks: Vec<usize> = self.marks.into_iter().collect();
+        marks.sort_unstable();
+        let mut extern_marks: Vec<(MethodId, usize)> = self.extern_marks.into_iter().collect();
+        extern_marks.sort();
+        Summary { nodes, marks, extern_marks, exits: self.exits, statics: self.statics }
     }
 }
 
@@ -296,10 +414,16 @@ impl<'p, 'g, 'm> TaintEngine<'p, 'g, 'm> {
 struct Propagation<'e, 'p, 'g, 'm> {
     eng: &'e TaintEngine<'p, 'g, 'm>,
     dir: Direction,
-    queue: VecDeque<(MethodId, usize, AccessPath)>,
-    visited: HashSet<(MethodId, usize, AccessPath)>,
+    queue: VecDeque<Node>,
+    visited: HashSet<Node>,
+    /// Nodes whose effects are fully in the report — either stepped
+    /// directly or covered by an applied summary. Popping a covered node
+    /// is a no-op (its closure is already accounted for).
+    processed: HashSet<Node>,
     report: TaintReport,
     tainted_statics: HashSet<String>,
+    /// Active summary computation, if any.
+    seg: Option<SegState>,
 }
 
 impl<'e, 'p, 'g, 'm> Propagation<'e, 'p, 'g, 'm> {
@@ -309,8 +433,10 @@ impl<'e, 'p, 'g, 'm> Propagation<'e, 'p, 'g, 'm> {
             dir,
             queue: VecDeque::new(),
             visited: HashSet::new(),
+            processed: HashSet::new(),
             report: TaintReport::default(),
             tainted_statics: HashSet::new(),
+            seg: None,
         }
     }
 
@@ -323,22 +449,46 @@ impl<'e, 'p, 'g, 'm> Propagation<'e, 'p, 'g, 'm> {
             return;
         }
         let stmt = stmt.min(self.eng.prog.method(m).body.len() - 1);
+        if let Some(seg) = &mut self.seg {
+            if m == seg.method {
+                let key = (stmt, fact);
+                if seg.visited.insert(key.clone()) {
+                    seg.queue.push_back(key);
+                }
+            } else {
+                let node: Node = (m, stmt, fact);
+                if seg.exit_set.insert(node.clone()) {
+                    seg.exits.push(node);
+                }
+            }
+            return;
+        }
         let key = (m, stmt, fact);
         if self.visited.insert(key.clone()) {
-            self.report
-                .facts_at
-                .entry((m, stmt))
-                .or_default()
-                .insert(key.2.clone());
+            self.report.facts_at.entry((m, stmt)).or_default().insert(key.2.clone());
             self.queue.push_back(key);
         }
     }
 
     fn mark(&mut self, m: MethodId, stmt: usize) {
+        if let Some(seg) = &mut self.seg {
+            if m == seg.method {
+                seg.marks.insert(stmt);
+            } else {
+                seg.extern_marks.insert((m, stmt));
+            }
+            return;
+        }
         self.report.slice.insert((m, stmt));
     }
 
     fn taint_static(&mut self, key: String) {
+        if let Some(seg) = &mut self.seg {
+            if seg.static_set.insert(key.clone()) {
+                seg.statics.push(key);
+            }
+            return;
+        }
         if self.tainted_statics.insert(key.clone()) {
             self.report.statics.insert(key.clone());
             // Flow-insensitive for statics: re-seed at every load (forward)
@@ -347,24 +497,33 @@ impl<'e, 'p, 'g, 'm> Propagation<'e, 'p, 'g, 'm> {
                 Direction::Forward => {
                     if let Some(loads) = self.eng.static_loads.get(&key) {
                         for &(m, s) in loads {
-                            self.enqueue(m, s, AccessPath {
-                                root: Root::Static(key.clone()),
-                                fields: Vec::new(),
-                            });
+                            self.enqueue(
+                                m,
+                                s,
+                                AccessPath { root: Root::Static(key.clone()), fields: Vec::new() },
+                            );
                         }
                     }
                 }
                 Direction::Backward => {
                     if let Some(stores) = self.eng.static_stores.get(&key) {
                         for &(m, s) in stores {
-                            self.enqueue(m, s, AccessPath {
-                                root: Root::Static(key.clone()),
-                                fields: Vec::new(),
-                            });
+                            self.enqueue(
+                                m,
+                                s,
+                                AccessPath { root: Root::Static(key.clone()), fields: Vec::new() },
+                            );
                         }
                     }
                 }
             }
+        }
+    }
+
+    fn step(&mut self, m: MethodId, stmt: usize, fact: &AccessPath) {
+        match self.dir {
+            Direction::Forward => self.step_forward(m, stmt, fact),
+            Direction::Backward => self.step_backward(m, stmt, fact),
         }
     }
 
@@ -375,13 +534,72 @@ impl<'e, 'p, 'g, 'm> Propagation<'e, 'p, 'g, 'm> {
             }
             self.enqueue(s.method, s.stmt, s.fact.clone());
         }
+        let use_cache = self.eng.options.summary_cache;
         while let Some((m, stmt, fact)) = self.queue.pop_front() {
-            match self.dir {
-                Direction::Forward => self.step_forward(m, stmt, &fact),
-                Direction::Backward => self.step_backward(m, stmt, &fact),
+            if !use_cache {
+                self.step(m, stmt, &fact);
+                continue;
             }
+            if !self.processed.insert((m, stmt, fact.clone())) {
+                continue; // already covered by an applied summary
+            }
+            let summary = self.summary_for(m, stmt, fact);
+            self.apply_summary(m, &summary);
         }
         self.report
+    }
+
+    /// Looks up (or computes and memoizes) the segment summary for one
+    /// entry node.
+    fn summary_for(&mut self, m: MethodId, stmt: usize, fact: AccessPath) -> Arc<Summary> {
+        let key: SummaryKey = (self.dir, m, stmt, fact.clone());
+        if let Some(hit) = self.eng.summaries.read().unwrap().get(&key) {
+            self.eng.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        self.eng.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let summary = Arc::new(self.compute_segment(m, stmt, fact));
+        // Under contention another thread may have raced us to the same
+        // key; keep the first insertion (both are equivalent closures).
+        Arc::clone(self.eng.summaries.write().unwrap().entry(key).or_insert(summary))
+    }
+
+    /// Computes the intra-method closure from one entry node, recording
+    /// every cross-method effect as an exit. Context-free: touches no
+    /// global run state.
+    fn compute_segment(&mut self, m: MethodId, stmt: usize, fact: AccessPath) -> Summary {
+        debug_assert!(self.seg.is_none(), "segments do not nest");
+        let mut seg = SegState::new(m);
+        seg.visited.insert((stmt, fact.clone()));
+        seg.queue.push_back((stmt, fact));
+        self.seg = Some(seg);
+        while let Some((s, f)) = self.seg.as_mut().and_then(|seg| seg.queue.pop_front()) {
+            self.step(m, s, &f);
+        }
+        self.seg.take().expect("segment state present").into_summary()
+    }
+
+    /// Replays a memoized summary into the global run state.
+    fn apply_summary(&mut self, m: MethodId, summary: &Summary) {
+        for (s, f) in &summary.nodes {
+            let node: Node = (m, *s, f.clone());
+            if self.visited.insert(node.clone()) {
+                self.report.facts_at.entry((m, *s)).or_default().insert(f.clone());
+            }
+            self.processed.insert(node);
+        }
+        for &s in &summary.marks {
+            self.report.slice.insert((m, s));
+        }
+        for &(em, es) in &summary.extern_marks {
+            self.report.slice.insert((em, es));
+        }
+        for k in &summary.statics {
+            self.taint_static(k.clone());
+        }
+        for (xm, xs, xf) in &summary.exits {
+            self.enqueue(*xm, *xs, xf.clone());
+        }
     }
 
     // ---- shared helpers ------------------------------------------------------
@@ -541,8 +759,8 @@ impl<'e, 'p, 'g, 'm> Propagation<'e, 'p, 'g, 'm> {
                 }
             }
             Stmt::If { cond, .. } => {
-                touched |= self.value_matches(&cond.lhs, fact)
-                    || self.value_matches(&cond.rhs, fact);
+                touched |=
+                    self.value_matches(&cond.lhs, fact) || self.value_matches(&cond.rhs, fact);
             }
             Stmt::Switch { scrutinee, .. } => {
                 touched |= self.value_matches(scrutinee, fact);
@@ -663,16 +881,12 @@ impl<'e, 'p, 'g, 'm> Propagation<'e, 'p, 'g, 'm> {
                     }
                     let target_value: Option<AccessPath> = match to {
                         Slot::Return => result.and_then(|p| self.fact_for_place(p, &[])),
-                        Slot::Receiver => call
-                            .receiver
-                            .as_ref()
-                            .and_then(Value::as_local)
-                            .map(AccessPath::local),
-                        Slot::Arg(i) => call
-                            .args
-                            .get(i)
-                            .and_then(Value::as_local)
-                            .map(AccessPath::local),
+                        Slot::Receiver => {
+                            call.receiver.as_ref().and_then(Value::as_local).map(AccessPath::local)
+                        }
+                        Slot::Arg(i) => {
+                            call.args.get(i).and_then(Value::as_local).map(AccessPath::local)
+                        }
                     };
                     if let Some(nf) = target_value {
                         if let Root::Static(k) = &nf.root {
@@ -700,12 +914,7 @@ impl<'e, 'p, 'g, 'm> Propagation<'e, 'p, 'g, 'm> {
             let stmt = &body[cs];
             // Explicit call with an assigned result.
             if let Stmt::Assign { place, expr: Expr::Invoke(_) } = stmt {
-                if self
-                    .eng
-                    .graph
-                    .targets_of((cm, cs))
-                    .contains(&callee)
-                {
+                if self.eng.graph.targets_of((cm, cs)).contains(&callee) {
                     if let Some(nf) = self.fact_for_place(place, &fact.fields) {
                         self.mark(cm, cs);
                         if let Root::Static(k) = &nf.root {
@@ -754,18 +963,14 @@ impl<'e, 'p, 'g, 'm> Propagation<'e, 'p, 'g, 'm> {
     fn forward_exit_params(&mut self, callee: MethodId, fact: &AccessPath) {
         let info = self.eng.info(callee);
         // Which entry binding is the fact rooted at?
-        let as_operand: Option<OperandSource> = if info
-            .this_local
-            .map(|t| fact.rooted_at(t))
-            .unwrap_or(false)
-        {
-            Some(OperandSource::Receiver)
-        } else {
-            info.param_locals.iter().enumerate().find_map(|(i, pl)| {
-                pl.filter(|pl| fact.rooted_at(*pl))
-                    .map(|_| OperandSource::Arg(i))
-            })
-        };
+        let as_operand: Option<OperandSource> =
+            if info.this_local.map(|t| fact.rooted_at(t)).unwrap_or(false) {
+                Some(OperandSource::Receiver)
+            } else {
+                info.param_locals.iter().enumerate().find_map(|(i, pl)| {
+                    pl.filter(|pl| fact.rooted_at(*pl)).map(|_| OperandSource::Arg(i))
+                })
+            };
         let Some(op) = as_operand else { return };
         let callers = match self.eng.graph.callers.get(&callee) {
             Some(c) => c.clone(),
@@ -947,19 +1152,12 @@ impl<'e, 'p, 'g, 'm> Propagation<'e, 'p, 'g, 'm> {
     ) -> bool {
         let mut touched = false;
         let site: CallSite = (m, stmt_idx);
-        let op_of_fact: Option<OperandSource> = if call
-            .receiver
-            .as_ref()
-            .map(|v| self.value_matches(v, fact))
-            .unwrap_or(false)
-        {
-            Some(OperandSource::Receiver)
-        } else {
-            call.args
-                .iter()
-                .position(|v| self.value_matches(v, fact))
-                .map(OperandSource::Arg)
-        };
+        let op_of_fact: Option<OperandSource> =
+            if call.receiver.as_ref().map(|v| self.value_matches(v, fact)).unwrap_or(false) {
+                Some(OperandSource::Receiver)
+            } else {
+                call.args.iter().position(|v| self.value_matches(v, fact)).map(OperandSource::Arg)
+            };
         let Some(op) = op_of_fact else { return false };
         let targets = self.eng.graph.targets_of(site);
         for &t in targets {
@@ -1036,9 +1234,9 @@ impl<'e, 'p, 'g, 'm> Propagation<'e, 'p, 'g, 'm> {
                         continue;
                     }
                     operand = match kind {
-                        IdentityKind::This => e
-                            .recv_from
-                            .and_then(|src| self.call_operand_value(call, src)),
+                        IdentityKind::This => {
+                            e.recv_from.and_then(|src| self.call_operand_value(call, src))
+                        }
                         IdentityKind::Param(i) => e
                             .param_from
                             .get(i as usize)
@@ -1078,16 +1276,11 @@ mod tests {
         let prog = ProgramIndex::new(apk);
         let graph = CallGraph::build(&prog, &CallbackRegistry::android_defaults());
         let engine = TaintEngine::new(&prog, &graph, &ConservativeModel, TaintOptions::default());
-        let mid = prog
-            .resolve_method(seed_method.0, seed_method.1, seed_method.2)
-            .unwrap();
+        let mid = prog.resolve_method(seed_method.0, seed_method.1, seed_method.2).unwrap();
         let seed = seed_builder(&prog, mid);
         let report = engine.run(dir, &[seed]);
-        let mut methods: Vec<String> = report
-            .methods()
-            .into_iter()
-            .map(|m| prog.method_display(m))
-            .collect();
+        let mut methods: Vec<String> =
+            report.methods().into_iter().map(|m| prog.method_display(m)).collect();
         methods.sort();
         (report, methods)
     }
@@ -1147,18 +1340,19 @@ mod tests {
             });
         });
         let apk = b.build();
-        let (report, methods) = analyze(&apk, Direction::Forward, ("t.C", "main", 1), |prog, mid| {
-            let p = prog
-                .method(mid)
-                .body
-                .iter()
-                .find_map(|s| match s {
-                    Stmt::Identity { local, kind: IdentityKind::Param(0) } => Some(*local),
-                    _ => None,
-                })
-                .unwrap();
-            Seed { method: mid, stmt: 0, fact: AccessPath::local(p) }
-        });
+        let (report, methods) =
+            analyze(&apk, Direction::Forward, ("t.C", "main", 1), |prog, mid| {
+                let p = prog
+                    .method(mid)
+                    .body
+                    .iter()
+                    .find_map(|s| match s {
+                        Stmt::Identity { local, kind: IdentityKind::Param(0) } => Some(*local),
+                        _ => None,
+                    })
+                    .unwrap();
+                Seed { method: mid, stmt: 0, fact: AccessPath::local(p) }
+            });
         assert!(methods.iter().any(|m| m.contains("id(")), "methods: {methods:?}");
         // the copy after the call is reached via return flow
         let prog = ProgramIndex::new(&apk);
@@ -1345,14 +1539,8 @@ mod tests {
                 .unwrap();
             Seed { method: mid, stmt: 0, fact: AccessPath::local(p) }
         });
-        assert!(
-            methods.iter().any(|m| m.contains("doInBackground")),
-            "methods: {methods:?}"
-        );
-        assert!(
-            methods.iter().any(|m| m.contains("onPostExecute")),
-            "methods: {methods:?}"
-        );
+        assert!(methods.iter().any(|m| m.contains("doInBackground")), "methods: {methods:?}");
+        assert!(methods.iter().any(|m| m.contains("onPostExecute")), "methods: {methods:?}");
     }
 
     /// Strong updates kill facts: overwriting a local stops propagation.
@@ -1424,7 +1612,7 @@ mod tests {
             &prog,
             &graph,
             &ConservativeModel,
-            TaintOptions { max_field_depth: 1 },
+            TaintOptions { max_field_depth: 1, ..TaintOptions::default() },
         );
         let mid = prog.resolve_method("t.C", "m", 1).unwrap();
         let p = prog
@@ -1436,12 +1624,133 @@ mod tests {
                 _ => None,
             })
             .unwrap();
-        let report = engine.run(
-            Direction::Forward,
-            &[Seed { method: mid, stmt: 0, fact: AccessPath::local(p) }],
-        );
+        let report = engine
+            .run(Direction::Forward, &[Seed { method: mid, stmt: 0, fact: AccessPath::local(p) }]);
         let sliced = report.stmts_in(mid);
         let last_load = prog.method(mid).body.len() - 2;
         assert!(sliced.contains(&last_load), "sliced: {sliced:?}");
+    }
+
+    /// Two entry points funnelling into one helper chain — the shape the
+    /// method-summary cache exists for.
+    fn shared_helper_apk() -> Apk {
+        let mut b = ApkBuilder::new("t", "t");
+        b.class("t.C", |c| {
+            for i in 0..3usize {
+                let next = format!("h{}", i + 1);
+                let last = i == 2;
+                c.static_method(&format!("h{i}"), vec![Type::string()], Type::string(), move |m| {
+                    let p = m.arg(0, "p");
+                    if last {
+                        m.ret(p);
+                    } else {
+                        let r = m.scall("t.C", &next, vec![Value::Local(p)], Type::string());
+                        m.ret(r);
+                    }
+                });
+            }
+            for entry in ["a", "b"] {
+                c.static_method(entry, vec![Type::string()], Type::Void, |m| {
+                    let p = m.arg(0, "p");
+                    let r = m.scall("t.C", "h0", vec![Value::Local(p)], Type::string());
+                    let s = m.temp(Type::string());
+                    m.copy(s, r);
+                    m.ret_void();
+                });
+            }
+        });
+        b.build()
+    }
+
+    fn entry_seed(prog: &ProgramIndex<'_>, name: &str) -> Seed {
+        let mid = prog.resolve_method("t.C", name, 1).unwrap();
+        let p = prog
+            .method(mid)
+            .body
+            .iter()
+            .find_map(|s| match s {
+                Stmt::Identity { local, kind: IdentityKind::Param(0) } => Some(*local),
+                _ => None,
+            })
+            .unwrap();
+        Seed { method: mid, stmt: 0, fact: AccessPath::local(p) }
+    }
+
+    fn sorted_slice(r: &TaintReport) -> Vec<(MethodId, usize)> {
+        let mut v: Vec<_> = r.slice.iter().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Distinct seeds re-entering shared helpers hit the cache, and the
+    /// cached engine's slices equal the uncached engine's.
+    #[test]
+    fn summary_cache_hits_on_shared_helpers_without_changing_results() {
+        let apk = shared_helper_apk();
+        let prog = ProgramIndex::new(&apk);
+        let graph = CallGraph::build(&prog, &CallbackRegistry::empty());
+        let cached = TaintEngine::new(&prog, &graph, &ConservativeModel, TaintOptions::default());
+        let plain = TaintEngine::new(
+            &prog,
+            &graph,
+            &ConservativeModel,
+            TaintOptions { summary_cache: false, ..TaintOptions::default() },
+        );
+        for entry in ["a", "b"] {
+            let seed = entry_seed(&prog, entry);
+            let with = cached.run(Direction::Forward, &[seed.clone()]);
+            let without = plain.run(Direction::Forward, &[seed]);
+            assert_eq!(sorted_slice(&with), sorted_slice(&without), "entry {entry}");
+            assert_eq!(with.statics, without.statics);
+        }
+        let stats = cached.cache_stats();
+        assert!(stats.hits > 0, "helper segments reused: {stats:?}");
+        assert!(stats.misses > 0);
+        assert_eq!(stats.lookups(), stats.hits + stats.misses);
+        assert_eq!(plain.cache_stats(), CacheStats::default());
+        assert_eq!(plain.cache_stats().hit_rate(), 0.0);
+    }
+
+    /// Re-running identical seeds is answered entirely from the cache.
+    #[test]
+    fn summary_cache_repeat_run_is_all_hits() {
+        let apk = shared_helper_apk();
+        let prog = ProgramIndex::new(&apk);
+        let graph = CallGraph::build(&prog, &CallbackRegistry::empty());
+        let engine = TaintEngine::new(&prog, &graph, &ConservativeModel, TaintOptions::default());
+        let seed = entry_seed(&prog, "a");
+        let first = engine.run(Direction::Forward, &[seed.clone()]);
+        let after_first = engine.cache_stats();
+        let second = engine.run(Direction::Forward, &[seed]);
+        let after_second = engine.cache_stats();
+        assert_eq!(sorted_slice(&first), sorted_slice(&second));
+        assert_eq!(after_second.misses, after_first.misses, "no new segments on a repeat run");
+        assert!(after_second.hits > after_first.hits);
+    }
+
+    /// Concurrency smoke test: one engine, many threads, identical
+    /// per-thread results and coherent counters.
+    #[test]
+    fn summary_cache_is_shareable_across_threads() {
+        let apk = shared_helper_apk();
+        let prog = ProgramIndex::new(&apk);
+        let graph = CallGraph::build(&prog, &CallbackRegistry::empty());
+        let engine = TaintEngine::new(&prog, &graph, &ConservativeModel, TaintOptions::default());
+        let baseline = sorted_slice(&engine.run(Direction::Forward, &[entry_seed(&prog, "a")]));
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    s.spawn(|| {
+                        let r = engine.run(Direction::Forward, &[entry_seed(&prog, "a")]);
+                        sorted_slice(&r)
+                    })
+                })
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().unwrap(), baseline);
+            }
+        });
+        let stats = engine.cache_stats();
+        assert!(stats.hits >= 8, "repeat runs served from cache: {stats:?}");
     }
 }

@@ -2,7 +2,7 @@
 //! access-path depth in the taint engine, object-aware augmentation, the
 //! asynchronous-event heuristic, and library de-obfuscation cost.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use extractocol_bench::timing;
 use extractocol_core::slicing::SliceOptions;
 use extractocol_core::{Extractocol, Options};
 
@@ -10,60 +10,47 @@ fn with_slice(slice: SliceOptions) -> Extractocol {
     Extractocol::with_options(Options { slice, ..Options::default() })
 }
 
-fn taint_depth(c: &mut Criterion) {
+fn taint_depth() {
     let app = extractocol_corpus::app("radio reddit").unwrap();
-    let mut group = c.benchmark_group("ablation_taint_depth");
     for depth in [1usize, 2, 3, 4] {
-        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
-            let analyzer = with_slice(SliceOptions { max_field_depth: d, ..Default::default() });
-            b.iter(|| analyzer.analyze(&app.apk));
+        let analyzer = with_slice(SliceOptions { max_field_depth: depth, ..Default::default() });
+        timing::bench(&format!("ablation_taint_depth/{depth}"), 1, 10, || {
+            analyzer.analyze(&app.apk)
         });
     }
-    group.finish();
 }
 
-fn augmentation(c: &mut Criterion) {
+fn augmentation() {
     let app = extractocol_corpus::app("TED").unwrap();
-    let mut group = c.benchmark_group("ablation_augment");
     for on in [true, false] {
-        group.bench_with_input(BenchmarkId::from_parameter(on), &on, |b, &on| {
-            let analyzer = with_slice(SliceOptions { augmentation: on, ..Default::default() });
-            b.iter(|| analyzer.analyze(&app.apk));
-        });
+        let analyzer = with_slice(SliceOptions { augmentation: on, ..Default::default() });
+        timing::bench(&format!("ablation_augment/{on}"), 1, 10, || analyzer.analyze(&app.apk));
     }
-    group.finish();
 }
 
-fn async_heuristic(c: &mut Criterion) {
+fn async_heuristic() {
     let app = extractocol_corpus::app("Weather Notification").unwrap();
-    let mut group = c.benchmark_group("ablation_async");
     for on in [true, false] {
-        group.bench_with_input(BenchmarkId::from_parameter(on), &on, |b, &on| {
-            let analyzer = with_slice(SliceOptions { async_heuristic: on, ..Default::default() });
-            b.iter(|| analyzer.analyze(&app.apk));
-        });
+        let analyzer = with_slice(SliceOptions { async_heuristic: on, ..Default::default() });
+        timing::bench(&format!("ablation_async/{on}"), 1, 10, || analyzer.analyze(&app.apk));
     }
-    group.finish();
 }
 
-fn deobfuscation(c: &mut Criterion) {
+fn deobfuscation() {
     use extractocol_ir::obfuscate::{obfuscate, ObfuscationOptions};
     let app = extractocol_corpus::app("blippex").unwrap();
     let (obf, _) = obfuscate(
         &app.apk,
         &ObfuscationOptions { obfuscate_libraries: true, extra_keep_prefixes: vec![] },
     );
-    let mut group = c.benchmark_group("ablation_deobf");
-    group.bench_function("plain", |b| {
-        let analyzer = Extractocol::new();
-        b.iter(|| analyzer.analyze(&app.apk));
-    });
-    group.bench_function("obfuscated_libraries", |b| {
-        let analyzer = Extractocol::new();
-        b.iter(|| analyzer.analyze(&obf));
-    });
-    group.finish();
+    let analyzer = Extractocol::new();
+    timing::bench("ablation_deobf/plain", 1, 10, || analyzer.analyze(&app.apk));
+    timing::bench("ablation_deobf/obfuscated_libraries", 1, 10, || analyzer.analyze(&obf));
 }
 
-criterion_group!(benches, taint_depth, augmentation, async_heuristic, deobfuscation);
-criterion_main!(benches);
+fn main() {
+    taint_depth();
+    augmentation();
+    async_heuristic();
+    deobfuscation();
+}

@@ -6,13 +6,17 @@
 //! Our corpus models are far smaller than real APKs, so absolute times
 //! differ by construction; the *shape* that must hold is
 //! small-open ≪ large-closed, scaling with app size and DP count.
+//!
+//! Also reports sequential (`jobs = 1`) vs parallel (`jobs = auto`) wall
+//! time per app, plus the method-summary cache hit rate, so the pipeline
+//! parallelization is measurable.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use extractocol_core::Extractocol;
+use extractocol_bench::timing;
+use extractocol_core::{Extractocol, Options};
 
-fn analysis_time(c: &mut Criterion) {
-    let mut group = c.benchmark_group("analysis_time");
-    group.sample_size(10);
+fn main() {
+    let parallelism = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("== analysis_time (host parallelism: {parallelism}) ==");
     for name in [
         "Weather Notification", // tiny open-source
         "radio reddit",         // small open-source
@@ -23,17 +27,23 @@ fn analysis_time(c: &mut Criterion) {
     ] {
         let app = extractocol_corpus::app(name).expect("corpus app");
         let stmts = app.apk.total_statements();
-        group.bench_with_input(
-            BenchmarkId::new("analyze", format!("{name} ({stmts} stmts)")),
-            &app,
-            |b, app| {
-                let analyzer = Extractocol::new();
-                b.iter(|| analyzer.analyze(&app.apk));
-            },
+        let sequential = Extractocol::with_options(Options { jobs: 1, ..Options::default() });
+        let parallel = Extractocol::with_options(Options { jobs: 0, ..Options::default() });
+        let seq = timing::bench(&format!("analyze/{name} ({stmts} stmts) jobs=1"), 1, 10, || {
+            sequential.analyze(&app.apk)
+        });
+        let par =
+            timing::bench(&format!("analyze/{name} ({stmts} stmts) jobs=auto"), 1, 10, || {
+                parallel.analyze(&app.apk)
+            });
+        let report = parallel.analyze(&app.apk);
+        let m = &report.metrics;
+        println!(
+            "  -> speedup {:.2}x  summary-cache {} hits / {} misses ({:.1}% hit rate)\n",
+            seq.speedup_over(&par),
+            m.cache.hits,
+            m.cache.misses,
+            m.cache.hit_rate() * 100.0,
         );
     }
-    group.finish();
 }
-
-criterion_group!(benches, analysis_time);
-criterion_main!(benches);

@@ -1,26 +1,25 @@
 //! Substrate micro-benches: the regex-lite engine (signature matching
 //! throughput over traces) and the taint engine on growing programs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use extractocol_analysis::{
-    AccessPath, CallbackRegistry, CallGraph, ConservativeModel, Direction, Seed, TaintEngine,
+    AccessPath, CallGraph, CallbackRegistry, ConservativeModel, Direction, Seed, TaintEngine,
     TaintOptions,
 };
+use extractocol_bench::timing;
 use extractocol_http::Regex;
 use extractocol_ir::{ApkBuilder, ProgramIndex, Type, Value};
 
-fn regex_matching(c: &mut Criterion) {
-    let sig = Regex::new(
-        "https://app-api\\.ted\\.com/v1/talks/[0-9]*/android_ad\\.json\\?api-key=.*",
-    )
-    .unwrap();
+fn regex_matching() {
+    let sig =
+        Regex::new("https://app-api\\.ted\\.com/v1/talks/[0-9]*/android_ad\\.json\\?api-key=.*")
+            .unwrap();
     let hits = "https://app-api.ted.com/v1/talks/2406/android_ad.json?api-key=x9";
     let misses = "https://app-api.ted.com/v1/speakers.json?limit=2000&api-key=x9";
-    c.bench_function("regexlite_match_hit", |b| {
-        b.iter(|| assert!(sig.is_match(std::hint::black_box(hits))))
+    timing::bench("regexlite_match_hit", 100, 10_000, || {
+        assert!(sig.is_match(std::hint::black_box(hits)))
     });
-    c.bench_function("regexlite_match_miss", |b| {
-        b.iter(|| assert!(!sig.is_match(std::hint::black_box(misses))))
+    timing::bench("regexlite_match_miss", 100, 10_000, || {
+        assert!(!sig.is_match(std::hint::black_box(misses)))
     });
 }
 
@@ -45,26 +44,24 @@ fn chain_apk(n: usize) -> extractocol_ir::Apk {
     b.build()
 }
 
-fn taint_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("taint_chain");
+fn taint_scaling() {
     for n in [10usize, 50, 200] {
         let apk = chain_apk(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &apk, |b, apk| {
-            let prog = ProgramIndex::new(apk);
-            let graph = CallGraph::build(&prog, &CallbackRegistry::empty());
-            let engine = TaintEngine::new(&prog, &graph, &ConservativeModel, TaintOptions::default());
-            let m0 = prog.resolve_method("t.C", "m0", 1).unwrap();
-            let p0 = extractocol_ir::Local(0);
-            b.iter(|| {
-                engine.run(
-                    Direction::Forward,
-                    &[Seed { method: m0, stmt: 0, fact: AccessPath::local(p0) }],
-                )
-            });
+        let prog = ProgramIndex::new(&apk);
+        let graph = CallGraph::build(&prog, &CallbackRegistry::empty());
+        let engine = TaintEngine::new(&prog, &graph, &ConservativeModel, TaintOptions::default());
+        let m0 = prog.resolve_method("t.C", "m0", 1).unwrap();
+        let p0 = extractocol_ir::Local(0);
+        timing::bench(&format!("taint_chain/{n}"), 2, 50, || {
+            engine.run(
+                Direction::Forward,
+                &[Seed { method: m0, stmt: 0, fact: AccessPath::local(p0) }],
+            )
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, regex_matching, taint_scaling);
-criterion_main!(benches);
+fn main() {
+    regex_matching();
+    taint_scaling();
+}

@@ -2,7 +2,7 @@
 //! share a demarcation point through a common helper; disjoint sub-slice
 //! preprocessing pairs each request with its own response handler.
 
-use extractocol_analysis::{CallbackRegistry, CallGraph};
+use extractocol_analysis::{CallGraph, CallbackRegistry};
 use extractocol_core::{demarcation, pairing, semantics::SemanticModel, slicing};
 use extractocol_ir::{ApkBuilder, ProgramIndex, Type, Value};
 
@@ -15,13 +15,31 @@ fn main() {
             let url = m.arg(0, "url");
             let req = m.new_obj("org.apache.http.client.methods.HttpGet", vec![Value::Local(url)]);
             let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
-            let resp = m.vcall(client, "org.apache.http.client.HttpClient", "execute",
-                vec![Value::Local(req)], Type::object("org.apache.http.HttpResponse"));
-            let ent = m.vcall(resp, "org.apache.http.HttpResponse", "getEntity", vec![], Type::object("org.apache.http.HttpEntity"));
-            let body = m.scall("org.apache.http.util.EntityUtils", "toString", vec![Value::Local(ent)], Type::string());
+            let resp = m.vcall(
+                client,
+                "org.apache.http.client.HttpClient",
+                "execute",
+                vec![Value::Local(req)],
+                Type::object("org.apache.http.HttpResponse"),
+            );
+            let ent = m.vcall(
+                resp,
+                "org.apache.http.HttpResponse",
+                "getEntity",
+                vec![],
+                Type::object("org.apache.http.HttpEntity"),
+            );
+            let body = m.scall(
+                "org.apache.http.util.EntityUtils",
+                "toString",
+                vec![Value::Local(ent)],
+                Type::string(),
+            );
             m.ret(body);
         });
-        for (name, path, key) in [("A", "http://svc/a.json", "alpha"), ("B", "http://svc/b.json", "beta")] {
+        for (name, path, key) in
+            [("A", "http://svc/a.json", "alpha"), ("B", "http://svc/b.json", "beta")]
+        {
             let req_m = format!("request{name}");
             let resp_m = format!("response{name}");
             let resp_m2 = resp_m.clone();
@@ -36,7 +54,13 @@ fn main() {
             c.static_method(&resp_m, vec![Type::string()], Type::Void, move |m| {
                 let body = m.arg(0, "body");
                 let j = m.new_obj("org.json.JSONObject", vec![Value::Local(body)]);
-                let v = m.vcall(j, "org.json.JSONObject", "getString", vec![Value::str(&key)], Type::string());
+                let v = m.vcall(
+                    j,
+                    "org.json.JSONObject",
+                    "getString",
+                    vec![Value::str(&key)],
+                    Type::string(),
+                );
                 let _ = v;
                 m.ret_void();
             });

@@ -83,12 +83,34 @@ fn main() {
     }
 
     let mut table = Table::new(&[
-        "Corpus", "Series", "Extractocol", "Manual fuzzing", "Source code | Auto fuzzing",
+        "Corpus",
+        "Series",
+        "Extractocol",
+        "Manual fuzzing",
+        "Source code | Auto fuzzing",
     ]);
     for (name, s, m, t) in &rows {
-        table.row(vec![name.to_string(), "URI".into(), s.uri.to_string(), m.uri.to_string(), t.uri.to_string()]);
-        table.row(vec![String::new(), "Request body/query".into(), s.request.to_string(), m.request.to_string(), t.request.to_string()]);
-        table.row(vec![String::new(), "Response body".into(), s.response.to_string(), m.response.to_string(), t.response.to_string()]);
+        table.row(vec![
+            name.to_string(),
+            "URI".into(),
+            s.uri.to_string(),
+            m.uri.to_string(),
+            t.uri.to_string(),
+        ]);
+        table.row(vec![
+            String::new(),
+            "Request body/query".into(),
+            s.request.to_string(),
+            m.request.to_string(),
+            t.request.to_string(),
+        ]);
+        table.row(vec![
+            String::new(),
+            "Response body".into(),
+            s.response.to_string(),
+            m.response.to_string(),
+            t.response.to_string(),
+        ]);
     }
     println!("{}", table.render());
     println!("paper (open):   URI 98/95/98, request 92/91/92, response 48/48/48");

@@ -21,9 +21,8 @@ fn trace_request_keywords(t: &TrafficTrace) -> BTreeSet<String> {
 
 fn main() {
     let force_async = std::env::args().any(|a| a == "--async");
-    let mut table = Table::new(&[
-        "Corpus", "Series", "Extractocol", "Manual fuzzing", "Source | Auto",
-    ]);
+    let mut table =
+        Table::new(&["Corpus", "Series", "Extractocol", "Manual fuzzing", "Source | Auto"]);
     for open in [true, false] {
         let apps: Vec<_> = extractocol_corpus::all_apps()
             .into_iter()
@@ -62,11 +61,7 @@ fn main() {
                     .txns
                     .iter()
                     .flat_map(|t| {
-                        t.query_keys
-                            .iter()
-                            .chain(&t.body_json_keys)
-                            .chain(&t.form_keys)
-                            .cloned()
+                        t.query_keys.iter().chain(&t.body_json_keys).chain(&t.form_keys).cloned()
                     })
                     .collect();
                 t_req += gt_req.len();

@@ -22,8 +22,10 @@ fn main() {
     println!("\nHTTP Response Body\n{}", body.to_json());
     let sig_keys = status.response_keywords();
     let served: Vec<&str> = body.all_keys();
-    let covered: Vec<&str> = served.iter().copied().filter(|k| sig_keys.contains(&k.to_string())).collect();
-    let uncovered: Vec<&str> = served.iter().copied().filter(|k| !sig_keys.contains(&k.to_string())).collect();
+    let covered: Vec<&str> =
+        served.iter().copied().filter(|k| sig_keys.contains(&k.to_string())).collect();
+    let uncovered: Vec<&str> =
+        served.iter().copied().filter(|k| !sig_keys.contains(&k.to_string())).collect();
     println!("\nkeywords covered by the signature ({}): {covered:?}", covered.len());
     println!("keywords served but never parsed ({}): {uncovered:?}", uncovered.len());
     println!("paper: 16 of 18 keywords covered; album and score unparsed.");

@@ -11,7 +11,9 @@ fn main() {
     println!("{}", eval.report.to_table());
     println!("paper Table 3:");
     println!("  #1 GET  http://www.reddit.com/api/info.json?");
-    println!("  #2 GET  http://www.radioreddit.com/(.*)(status.json) -> relay/listeners/playlist JSON");
+    println!(
+        "  #2 GET  http://www.radioreddit.com/(.*)(status.json) -> relay/listeners/playlist JSON"
+    );
     println!("  #3 POST https://ssl.reddit.com/api/login  (user=.*&passwd=&api_type=json)");
     println!("          -> modhash/cookie/need_https JSON");
     println!("  #4 POST http://www.reddit.com/api/(unsave|save)  id=.*&uh=.*  + Cookie header");
@@ -29,10 +31,7 @@ fn main() {
     let keys = status.response_keywords();
     println!("\nFig. 8: status.json keys read by the app: {} (paper: 16 of 18)", keys.len());
     for missing in ["album", "score"] {
-        assert!(
-            !keys.contains(&missing.to_string()),
-            "`{missing}` is served but never parsed"
-        );
+        assert!(!keys.contains(&missing.to_string()), "`{missing}` is served but never parsed");
     }
     println!("unparsed keys (served but absent from the signature): album, score");
 }

@@ -20,10 +20,7 @@ fn main() {
     println!("  #8 GET (.*) audio/video URI from DB (D)");
     // Assert the headline dependencies are present.
     let has = |needle: &str| {
-        eval.report
-            .dependencies
-            .iter()
-            .any(|d| format!("{}", d.via).contains(needle))
+        eval.report.dependencies.iter().any(|d| format!("{}", d.via).contains(needle))
     };
     assert!(has("mAdQueryUri"), "#3 -> #4 via the ad query URI field");
     assert!(has("mAdVideoUri"), "#4 -> #5 via the ad video URI field");

@@ -12,7 +12,8 @@ fn main() {
     let opts = Options { scope_prefix: Some("com.kayak".into()), ..Options::default() };
     let report = Extractocol::with_options(opts).analyze(&app.apk);
 
-    let mut table = Table::new(&["Category", "Method", "URI prefix", "#APIs (measured)", "#APIs (paper)"]);
+    let mut table =
+        Table::new(&["Category", "Method", "URI prefix", "#APIs (measured)", "#APIs (paper)"]);
     for (name, method, prefix, paper_n) in CATEGORIES {
         // Assign each transaction to its most specific category prefix.
         let n = report
@@ -35,9 +36,18 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
-    let gets = report.transactions.iter().filter(|t| t.method == extractocol_http::HttpMethod::Get).count();
+    let gets = report
+        .transactions
+        .iter()
+        .filter(|t| t.method == extractocol_http::HttpMethod::Get)
+        .count();
     let posts = report.transactions.len() - gets;
-    println!("total transactions: {} ({} GET, {} POST) — paper: 46 (39 GET, 7 POST; its", report.transactions.len(), gets, posts);
+    println!(
+        "total transactions: {} ({} GET, {} POST) — paper: 46 (39 GET, 7 POST; its",
+        report.transactions.len(),
+        gets,
+        posts
+    );
     println!("Table 5 itself sums to 43 across 10 POST APIs — the model follows Table 5)");
     let ua = report
         .transactions
@@ -45,5 +55,8 @@ fn main() {
         .flat_map(|t| t.headers.iter())
         .find(|(k, _)| k == "User-Agent")
         .expect("User-Agent identified");
-    println!("app-specific header identified: User-Agent: {} (paper: {USER_AGENT})", ua.1.replace('\\', ""));
+    println!(
+        "app-specific header identified: User-Agent: {} (paper: {USER_AGENT})",
+        ua.1.replace('\\', "")
+    );
 }

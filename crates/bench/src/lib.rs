@@ -2,13 +2,74 @@
 //!
 //! The benchmark harness: one report binary per table/figure of the
 //! paper's evaluation (run with `cargo run -p extractocol-bench --bin
-//! <id> --release`) plus criterion timing/ablation benches (`cargo
-//! bench`). EXPERIMENTS.md records the paper-vs-measured comparison each
-//! binary prints.
+//! <id> --release`) plus dependency-free timing/ablation benches (`cargo
+//! bench` — each bench is a plain `main` built on [`timing`], so no
+//! external harness crate is needed and the workspace builds offline).
+//! EXPERIMENTS.md records the paper-vs-measured comparison each binary
+//! prints.
 
 use extractocol_corpus::{AppSpec, RowCounts};
 use extractocol_dynamic::eval::AppEval;
 use std::fmt::Write as _;
+
+pub mod timing {
+    //! A minimal wall-clock benchmark harness (criterion replacement):
+    //! warm up, run a fixed number of timed iterations, report
+    //! min/median/mean. Deliberately tiny — the benches here compare
+    //! *shapes* (small ≪ large, sequential vs parallel), not nanoseconds.
+
+    use std::time::{Duration, Instant};
+
+    /// Timing summary over the measured iterations.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Sample {
+        pub min: Duration,
+        pub median: Duration,
+        pub mean: Duration,
+        pub iters: u32,
+    }
+
+    impl Sample {
+        /// `self.mean / other.mean` — e.g. sequential-vs-parallel speedup.
+        pub fn speedup_over(&self, other: &Sample) -> f64 {
+            if other.mean.as_nanos() == 0 {
+                return 1.0;
+            }
+            self.mean.as_secs_f64() / other.mean.as_secs_f64()
+        }
+    }
+
+    /// Runs `f` for `warmup` untimed and `iters` timed iterations.
+    pub fn measure<T>(warmup: u32, iters: u32, mut f: impl FnMut() -> T) -> Sample {
+        for _ in 0..warmup {
+            std::hint::black_box(f());
+        }
+        let mut times: Vec<Duration> = Vec::with_capacity(iters as usize);
+        for _ in 0..iters.max(1) {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            times.push(t.elapsed());
+        }
+        times.sort_unstable();
+        let total: Duration = times.iter().sum();
+        Sample {
+            min: times[0],
+            median: times[times.len() / 2],
+            mean: total / times.len() as u32,
+            iters: times.len() as u32,
+        }
+    }
+
+    /// Measures and prints one labelled benchmark line.
+    pub fn bench<T>(label: &str, warmup: u32, iters: u32, f: impl FnMut() -> T) -> Sample {
+        let s = measure(warmup, iters, f);
+        println!(
+            "{label:<56} min {:>10.3?}  median {:>10.3?}  mean {:>10.3?}  ({} iters)",
+            s.min, s.median, s.mean, s.iters
+        );
+        s
+    }
+}
 
 /// Formats a Table 1 cell triple.
 pub fn cell(e: usize, m: usize, t: usize) -> String {
@@ -47,7 +108,8 @@ impl Table {
         let fmt_row = |cells: &[String], widths: &[usize]| -> String {
             let mut line = String::new();
             for (i, c) in cells.iter().enumerate() {
-                let _ = write!(line, "{:<width$}  ", c, width = widths.get(i).copied().unwrap_or(0));
+                let _ =
+                    write!(line, "{:<width$}  ", c, width = widths.get(i).copied().unwrap_or(0));
             }
             line.trim_end().to_string()
         };

@@ -9,6 +9,7 @@
 //! extractocol app.jimple --scope com.x  # restrict DPs to a package (§5.3)
 //! extractocol app.jimple --no-async     # disable the §3.4 heuristic
 //! extractocol app.jimple --hops 3       # multi-hop async chains (§4)
+//! extractocol app.jimple --jobs 8       # worker threads (0 = one per core)
 //! ```
 
 use extractocol_core::slicing::SliceOptions;
@@ -18,7 +19,8 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: extractocol <app.jimple> [--regex] [--scope <prefix>] \
-         [--json] [--no-async] [--no-augment] [--hops <n>] [--depth <n>]"
+         [--json] [--no-async] [--no-augment] [--hops <n>] [--depth <n>] \
+         [--jobs <n>]"
     );
     ExitCode::from(2)
 }
@@ -50,13 +52,15 @@ fn main() -> ExitCode {
                 Some(n) => slice.max_field_depth = n,
                 None => return usage(),
             },
+            "--jobs" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => opts.jobs = n,
+                None => return usage(),
+            },
             "--help" | "-h" => {
                 usage();
                 return ExitCode::SUCCESS;
             }
-            other if path.is_none() && !other.starts_with('-') => {
-                path = Some(other.to_string())
-            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
             _ => return usage(),
         }
     }
@@ -100,6 +104,14 @@ fn main() -> ExitCode {
             100.0 * report.stats.slice_fraction(),
             report.stats.total_stmts,
             report.stats.duration
+        );
+        let m = &report.metrics;
+        println!(
+            "{} worker(s); summary cache {}/{} hits ({:.1}%)",
+            m.jobs,
+            m.cache.hits,
+            m.cache.lookups(),
+            100.0 * m.cache.hit_rate()
         );
     }
     ExitCode::SUCCESS

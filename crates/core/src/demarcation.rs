@@ -82,9 +82,7 @@ pub fn scan(prog: &ProgramIndex<'_>, model: &SemanticModel) -> Vec<DpSite> {
             let Some(Value::Local(req)) = &s.request_value else { return true };
             // If the request operand is another DP's response local in the
             // same method, this is the chained inner site — drop it.
-            !dp_result_locals
-                .iter()
-                .any(|(m, l)| *m == s.method && l == req)
+            !dp_result_locals.iter().any(|(m, l)| *m == s.method && l == req)
         })
         .collect();
     for (i, s) in kept.iter_mut().enumerate() {
@@ -100,7 +98,11 @@ mod tests {
 
     fn stubs(b: &mut ApkBuilder) {
         b.class("org.apache.http.client.HttpClient", |c| {
-            c.stub_method("execute", vec![Type::obj_root()], Type::object("org.apache.http.HttpResponse"));
+            c.stub_method(
+                "execute",
+                vec![Type::obj_root()],
+                Type::object("org.apache.http.HttpResponse"),
+            );
         });
         b.class("okhttp3.OkHttpClient", |c| {
             c.stub_method("newCall", vec![Type::obj_root()], Type::object("okhttp3.Call"));
@@ -117,7 +119,10 @@ mod tests {
         b.class("t.C", |c| {
             c.method("go", vec![], Type::Void, |m| {
                 m.recv("t.C");
-                let req = m.new_obj("org.apache.http.client.methods.HttpGet", vec![Value::str("http://x/")]);
+                let req = m.new_obj(
+                    "org.apache.http.client.methods.HttpGet",
+                    vec![Value::str("http://x/")],
+                );
                 let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
                 let resp = m.vcall(
                     client,
@@ -150,8 +155,20 @@ mod tests {
                 let req = m.temp(Type::object("okhttp3.Request"));
                 m.assign(req, extractocol_ir::Expr::New("okhttp3.Request".into()));
                 let client = m.new_obj("okhttp3.OkHttpClient", vec![]);
-                let call = m.vcall(client, "okhttp3.OkHttpClient", "newCall", vec![Value::Local(req)], Type::object("okhttp3.Call"));
-                let resp = m.vcall(call, "okhttp3.Call", "execute", vec![], Type::object("okhttp3.Response"));
+                let call = m.vcall(
+                    client,
+                    "okhttp3.OkHttpClient",
+                    "newCall",
+                    vec![Value::Local(req)],
+                    Type::object("okhttp3.Call"),
+                );
+                let resp = m.vcall(
+                    call,
+                    "okhttp3.Call",
+                    "execute",
+                    vec![],
+                    Type::object("okhttp3.Response"),
+                );
                 let _ = resp;
                 m.ret_void();
             });

@@ -60,10 +60,7 @@ fn shape_multiset(c: &Class) -> BTreeMap<String, usize> {
 
 /// Canonical string of a level-0 multiset, used as a type color.
 fn canon(ms: &BTreeMap<String, usize>) -> String {
-    ms.iter()
-        .map(|(k, v)| format!("{k}*{v}"))
-        .collect::<Vec<_>>()
-        .join(";")
+    ms.iter().map(|(k, v)| format!("{k}*{v}")).collect::<Vec<_>>().join(";")
 }
 
 /// One round of Weisfeiler–Leman-style refinement: a method shape where
@@ -71,16 +68,12 @@ fn canon(ms: &BTreeMap<String, usize>) -> String {
 /// its own level-0 multiset. This separates structural twins such as
 /// `okhttp3.Call` and `retrofit2.Call`, whose parameter/return types have
 /// different shapes even though the classes themselves match.
-fn refined_shape(
-    m: &extractocol_ir::Method,
-    colors: &HashMap<&str, String>,
-) -> String {
+fn refined_shape(m: &extractocol_ir::Method, colors: &HashMap<&str, String>) -> String {
     fn erase(t: &extractocol_ir::Type, colors: &HashMap<&str, String>) -> String {
         match t {
-            extractocol_ir::Type::Object(n) => colors
-                .get(n.as_str())
-                .map(|c| format!("C<{c}>"))
-                .unwrap_or_else(|| "L".to_string()),
+            extractocol_ir::Type::Object(n) => {
+                colors.get(n.as_str()).map(|c| format!("C<{c}>")).unwrap_or_else(|| "L".to_string())
+            }
             extractocol_ir::Type::Array(e) => format!("{}[]", erase(e, colors)),
             other => other.to_string(),
         }
@@ -99,10 +92,7 @@ fn refined_multiset(c: &Class, colors: &HashMap<&str, String>) -> BTreeMap<Strin
 }
 
 fn overlap_score(a: &BTreeMap<String, usize>, b: &BTreeMap<String, usize>) -> f64 {
-    let inter: usize = a
-        .iter()
-        .map(|(k, &ca)| ca.min(b.get(k).copied().unwrap_or(0)))
-        .sum();
+    let inter: usize = a.iter().map(|(k, &ca)| ca.min(b.get(k).copied().unwrap_or(0))).sum();
     let total_a: usize = a.values().sum();
     let total_b: usize = b.values().sum();
     let denom = total_a.max(total_b);
@@ -115,24 +105,19 @@ fn overlap_score(a: &BTreeMap<String, usize>, b: &BTreeMap<String, usize>) -> f6
 /// Infers the obfuscated→reference map for bundled library classes whose
 /// names do not already match a reference class.
 pub fn infer_library_map(apk: &Apk, reference: &[Class]) -> LibraryMap {
-    let ref_names: HashMap<&str, &Class> =
-        reference.iter().map(|c| (c.name.as_str(), c)).collect();
+    let ref_names: HashMap<&str, &Class> = reference.iter().map(|c| (c.name.as_str(), c)).collect();
 
     // Type colors (level-0 canonical shapes) for both sides.
-    let ref_colors: HashMap<&str, String> = reference
-        .iter()
-        .map(|c| (c.name.as_str(), canon(&shape_multiset(c))))
-        .collect();
+    let ref_colors: HashMap<&str, String> =
+        reference.iter().map(|c| (c.name.as_str(), canon(&shape_multiset(c)))).collect();
     let obf_colors: HashMap<&str, String> = apk
         .classes
         .iter()
         .filter(|c| c.is_library)
         .map(|c| (c.name.as_str(), canon(&shape_multiset(c))))
         .collect();
-    let ref_refined: Vec<(&Class, BTreeMap<String, usize>)> = reference
-        .iter()
-        .map(|c| (c, refined_multiset(c, &ref_colors)))
-        .collect();
+    let ref_refined: Vec<(&Class, BTreeMap<String, usize>)> =
+        reference.iter().map(|c| (c, refined_multiset(c, &ref_colors))).collect();
 
     let mut map = LibraryMap::default();
     for c in &apk.classes {
@@ -140,10 +125,8 @@ pub fn infer_library_map(apk: &Apk, reference: &[Class]) -> LibraryMap {
             continue;
         }
         let shapes = refined_multiset(c, &obf_colors);
-        let mut scored: Vec<(&Class, f64)> = ref_refined
-            .iter()
-            .map(|(rc, rs)| (*rc, overlap_score(&shapes, rs)))
-            .collect();
+        let mut scored: Vec<(&Class, f64)> =
+            ref_refined.iter().map(|(rc, rs)| (*rc, overlap_score(&shapes, rs))).collect();
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         let Some(&(rc, score)) = scored.first() else { continue };
         // An inaccurate mapping is worse than none (the analysis then
@@ -163,25 +146,19 @@ pub fn infer_library_map(apk: &Apk, reference: &[Class]) -> LibraryMap {
     // their method signatures reference (e.g. `Response.body()` returning
     // the obfuscated `ResponseBody`), resolving classes whose own shape is
     // too generic to match — to a fixpoint.
-    let obf_by_name: HashMap<&str, &Class> = apk
-        .classes
-        .iter()
-        .filter(|c| c.is_library)
-        .map(|c| (c.name.as_str(), c))
-        .collect();
+    let obf_by_name: HashMap<&str, &Class> =
+        apk.classes.iter().filter(|c| c.is_library).map(|c| (c.name.as_str(), c)).collect();
     loop {
         let mut added: Vec<(String, String)> = Vec::new();
         for (obf_name, ref_name) in &map.classes {
-            let (Some(c), Some(rc)) = (obf_by_name.get(obf_name.as_str()), ref_names.get(ref_name.as_str()))
+            let (Some(c), Some(rc)) =
+                (obf_by_name.get(obf_name.as_str()), ref_names.get(ref_name.as_str()))
             else {
                 continue;
             };
             for (m, rm) in align_methods(c, rc, &obf_colors, &ref_colors) {
-                let pairs = m
-                    .params
-                    .iter()
-                    .zip(&rm.params)
-                    .chain(std::iter::once((&m.ret, &rm.ret)));
+                let pairs =
+                    m.params.iter().zip(&rm.params).chain(std::iter::once((&m.ret, &rm.ret)));
                 for (ot, rt) in pairs {
                     if let (Some(on), Some(rn)) = (ot.class_name(), rt.class_name()) {
                         if obf_by_name.contains_key(on)
@@ -206,7 +183,8 @@ pub fn infer_library_map(apk: &Apk, reference: &[Class]) -> LibraryMap {
 
     // Method-level mapping for every matched class.
     for (obf_name, ref_name) in map.classes.clone() {
-        let (Some(c), Some(rc)) = (obf_by_name.get(obf_name.as_str()), ref_names.get(ref_name.as_str()))
+        let (Some(c), Some(rc)) =
+            (obf_by_name.get(obf_name.as_str()), ref_names.get(ref_name.as_str()))
         else {
             continue;
         };
@@ -214,8 +192,7 @@ pub fn infer_library_map(apk: &Apk, reference: &[Class]) -> LibraryMap {
             if m.name.starts_with('<') {
                 continue; // constructors keep their names
             }
-            map.methods
-                .insert((obf_name.clone(), m.name.clone(), m.params.len()), rm.name.clone());
+            map.methods.insert((obf_name.clone(), m.name.clone(), m.params.len()), rm.name.clone());
         }
     }
     map
@@ -231,10 +208,7 @@ fn align_methods<'a>(
 ) -> Vec<(&'a extractocol_ir::Method, &'a extractocol_ir::Method)> {
     let mut ref_by_shape: HashMap<String, Vec<&extractocol_ir::Method>> = HashMap::new();
     for m in &rc.methods {
-        ref_by_shape
-            .entry(refined_shape(m, ref_colors))
-            .or_default()
-            .push(m);
+        ref_by_shape.entry(refined_shape(m, ref_colors)).or_default().push(m);
     }
     let mut used: HashMap<String, usize> = HashMap::new();
     let mut out = Vec::new();
@@ -282,7 +256,12 @@ mod tests {
             c.method("go", vec![], Type::Void, |m| {
                 m.recv("t.C");
                 let builder = m.new_obj("okhttp3.Request$Builder", vec![]);
-                m.vcall_void(builder, "okhttp3.Request$Builder", "url", vec![extractocol_ir::Value::str("http://x/")]);
+                m.vcall_void(
+                    builder,
+                    "okhttp3.Request$Builder",
+                    "url",
+                    vec![extractocol_ir::Value::str("http://x/")],
+                );
                 m.ret_void();
             });
         });

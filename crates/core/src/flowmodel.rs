@@ -96,10 +96,18 @@ impl ApiFlowModel for SemanticFlowModel<'_> {
                 f.extend(args_to(n, Slot::Return));
                 f
             }
-            ApiOp::StrConcat | ApiOp::Stringify | ApiOp::StrFormat | ApiOp::UrlEncode
-            | ApiOp::JsonParse | ApiOp::XmlParse | ApiOp::ReflectToJson
-            | ApiOp::ReflectFromJson | ApiOp::OkBodyCreate | ApiOp::RetrofitCreate
-            | ApiOp::GoogleBuildRequest(_) | ApiOp::OkNewCall => {
+            ApiOp::StrConcat
+            | ApiOp::Stringify
+            | ApiOp::StrFormat
+            | ApiOp::UrlEncode
+            | ApiOp::JsonParse
+            | ApiOp::XmlParse
+            | ApiOp::ReflectToJson
+            | ApiOp::ReflectFromJson
+            | ApiOp::OkBodyCreate
+            | ApiOp::RetrofitCreate
+            | ApiOp::GoogleBuildRequest(_)
+            | ApiOp::OkNewCall => {
                 let mut f = args_to(n, Slot::Return);
                 f.push((Slot::Receiver, Slot::Return));
                 // JSONObject.<init>(String) parse form mutates receiver too.
@@ -153,13 +161,23 @@ mod tests {
 
         // getString: only receiver→return, arg (the key) too, but crucially
         // no receiver mutation.
-        let get = MethodRef::new("org.json.JSONObject", "getString", vec![Type::string()], Type::string());
+        let get = MethodRef::new(
+            "org.json.JSONObject",
+            "getString",
+            vec![Type::string()],
+            Type::string(),
+        );
         let flows = fm.flows(&get);
         assert!(flows.contains(&(Slot::Receiver, Slot::Return)));
         assert!(!flows.iter().any(|(_, to)| *to == Slot::Receiver));
 
         // Resources.getString carries no taint (constant-valued).
-        let res = MethodRef::new("android.content.res.Resources", "getString", vec![Type::Int], Type::string());
+        let res = MethodRef::new(
+            "android.content.res.Resources",
+            "getString",
+            vec![Type::Int],
+            Type::string(),
+        );
         assert!(fm.flows(&res).is_empty());
     }
 

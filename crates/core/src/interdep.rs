@@ -86,10 +86,8 @@ pub fn dependencies(
     slices: &[SliceSet],
     txns: &[Transaction],
 ) -> Vec<DependencyEdge> {
-    let cells: Vec<TxnCells> = txns
-        .iter()
-        .map(|t| collect_cells(prog, model, &slices[t.dp_index], t))
-        .collect();
+    let cells: Vec<TxnCells> =
+        txns.iter().map(|t| collect_cells(prog, model, &slices[t.dp_index], t)).collect();
 
     let mut out: BTreeSet<DependencyEdge> = BTreeSet::new();
 
@@ -99,20 +97,18 @@ pub fn dependencies(
             if ai == bi {
                 continue;
             }
-            let shared: Vec<(MethodId, usize)> = a
-                .response_stmts
-                .intersection(&b.request_stmts)
-                .copied()
-                .collect();
+            let mut shared: Vec<(MethodId, usize)> =
+                a.response_stmts.intersection(&b.request_stmts).copied().collect();
+            // HashSet intersection order is randomized; sort so the
+            // reported field below is stable run-to-run.
+            shared.sort();
             // The DP statements themselves are plumbing, not data overlap.
-            let meaningful = shared
-                .iter()
-                .any(|site| *site != (slices[a.dp_index].dp.method, slices[a.dp_index].dp.stmt)
-                    && *site != (slices[b.dp_index].dp.method, slices[b.dp_index].dp.stmt));
+            let meaningful = shared.iter().any(|site| {
+                *site != (slices[a.dp_index].dp.method, slices[a.dp_index].dp.stmt)
+                    && *site != (slices[b.dp_index].dp.method, slices[b.dp_index].dp.stmt)
+            });
             if meaningful {
-                let resp_field = shared
-                    .iter()
-                    .find_map(|&(m, s)| json_key_of(prog, model, m, s));
+                let resp_field = shared.iter().find_map(|&(m, s)| json_key_of(prog, model, m, s));
                 out.insert(DependencyEdge {
                     from: a.id,
                     to: b.id,
@@ -178,22 +174,14 @@ fn collect_cells(
                     if let Some(Value::Const(extractocol_ir::Const::Str(k))) = call.args.first() {
                         // Field granularity: which response key produced the
                         // stored value.
-                        let jf = call
-                            .args
-                            .get(1)
-                            .and_then(|v| value_json_key(prog, model, m, s, v));
-                        cells
-                            .resp_writes
-                            .entry(DepVia::Prefs(k.clone()))
-                            .or_insert(jf);
+                        let jf =
+                            call.args.get(1).and_then(|v| value_json_key(prog, model, m, s, v));
+                        cells.resp_writes.entry(DepVia::Prefs(k.clone())).or_insert(jf);
                     }
                 }
                 ApiOp::CellPut(CellKind::Database) => {
                     if let Some(Value::Const(extractocol_ir::Const::Str(t))) = call.args.first() {
-                        cells
-                            .resp_writes
-                            .entry(DepVia::Database(t.clone()))
-                            .or_insert(None);
+                        cells.resp_writes.entry(DepVia::Database(t.clone())).or_insert(None);
                     }
                 }
                 _ => {}
@@ -207,12 +195,10 @@ fn collect_cells(
         match stmt {
             Stmt::Assign { expr: Expr::Load(Place::InstanceField { field, .. }), place } => {
                 let key = DepVia::Field(format!("{}#{}", field.class, field.name));
-                let part = place
-                    .base_local()
-                    .and_then(|_| match place {
-                        Place::Local(l) => request_part_of(prog, model, m, s, *l),
-                        _ => None,
-                    });
+                let part = place.base_local().and_then(|_| match place {
+                    Place::Local(l) => request_part_of(prog, model, m, s, *l),
+                    _ => None,
+                });
                 cells.req_reads.entry(key).or_insert(part);
             }
             Stmt::Assign { expr: Expr::Load(Place::StaticField(field)), place } => {
@@ -229,17 +215,14 @@ fn collect_cells(
             match model.op_for(prog, &call.callee) {
                 ApiOp::CellGet(CellKind::Prefs) => {
                     if let Some(Value::Const(extractocol_ir::Const::Str(k))) = call.args.first() {
-                        let part = result_local(stmt)
-                            .and_then(|l| request_part_of(prog, model, m, s, l));
+                        let part =
+                            result_local(stmt).and_then(|l| request_part_of(prog, model, m, s, l));
                         cells.req_reads.entry(DepVia::Prefs(k.clone())).or_insert(part);
                     }
                 }
                 ApiOp::DbQuery => {
                     if let Some(Value::Const(extractocol_ir::Const::Str(t))) = call.args.first() {
-                        cells
-                            .req_reads
-                            .entry(DepVia::Database(t.clone()))
-                            .or_insert(None);
+                        cells.req_reads.entry(DepVia::Database(t.clone())).or_insert(None);
                     }
                 }
                 _ => {}
@@ -316,9 +299,7 @@ fn json_key_of(
     m: MethodId,
     s: usize,
 ) -> Option<String> {
-    prog.method(m).body[s]
-        .call()
-        .and_then(|c| call_json_key(prog, model, c))
+    prog.method(m).body[s].call().and_then(|c| call_json_key(prog, model, c))
 }
 
 /// Where a loaded value ends up in the request being built: follows copies
@@ -342,10 +323,8 @@ fn request_part_of(
             }
         }
         let Some(call) = stmt.call() else { continue };
-        let uses_alias = call
-            .args
-            .iter()
-            .any(|v| matches!(v, Value::Local(l) if aliases.contains(l)));
+        let uses_alias =
+            call.args.iter().any(|v| matches!(v, Value::Local(l) if aliases.contains(l)));
         if !uses_alias {
             continue;
         }
@@ -370,8 +349,12 @@ fn request_part_of(
                     }
                 }
             }
-            ApiOp::SbAppend | ApiOp::StrConcat | ApiOp::UrlNew | ApiOp::ApacheRequestNew(_)
-            | ApiOp::OkUrl | ApiOp::VolleyRequestNew => {
+            ApiOp::SbAppend
+            | ApiOp::StrConcat
+            | ApiOp::UrlNew
+            | ApiOp::ApacheRequestNew(_)
+            | ApiOp::OkUrl
+            | ApiOp::VolleyRequestNew => {
                 return Some("uri".to_string());
             }
             _ => {
@@ -391,7 +374,7 @@ mod tests {
     use crate::demarcation;
     use crate::pairing::pair;
     use crate::slicing::{slice_all, SliceOptions};
-    use extractocol_analysis::{CallbackRegistry, CallGraph};
+    use extractocol_analysis::{CallGraph, CallbackRegistry};
     use extractocol_ir::{ApkBuilder, Type};
 
     /// A login transaction whose response token feeds a second request's
@@ -412,21 +395,54 @@ mod tests {
                 let this = m.recv("t.Api");
                 let user = m.arg(0, "user");
                 let pw = m.arg(1, "pw");
-                let sb = m.new_obj("java.lang.StringBuilder", vec![Value::str("https://ssl.reddit.com/api/login?user=")]);
+                let sb = m.new_obj(
+                    "java.lang.StringBuilder",
+                    vec![Value::str("https://ssl.reddit.com/api/login?user=")],
+                );
                 m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(user)]);
                 m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::str("&passwd=")]);
                 m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(pw)]);
-                let url = m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
-                let req = m.new_obj("org.apache.http.client.methods.HttpPost", vec![Value::Local(url)]);
+                let url =
+                    m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
+                let req =
+                    m.new_obj("org.apache.http.client.methods.HttpPost", vec![Value::Local(url)]);
                 let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
-                let resp = m.vcall(client, "org.apache.http.client.HttpClient", "execute",
-                    vec![Value::Local(req)], Type::object("org.apache.http.HttpResponse"));
-                let ent = m.vcall(resp, "org.apache.http.HttpResponse", "getEntity", vec![], Type::object("org.apache.http.HttpEntity"));
-                let body = m.scall("org.apache.http.util.EntityUtils", "toString", vec![Value::Local(ent)], Type::string());
+                let resp = m.vcall(
+                    client,
+                    "org.apache.http.client.HttpClient",
+                    "execute",
+                    vec![Value::Local(req)],
+                    Type::object("org.apache.http.HttpResponse"),
+                );
+                let ent = m.vcall(
+                    resp,
+                    "org.apache.http.HttpResponse",
+                    "getEntity",
+                    vec![],
+                    Type::object("org.apache.http.HttpEntity"),
+                );
+                let body = m.scall(
+                    "org.apache.http.util.EntityUtils",
+                    "toString",
+                    vec![Value::Local(ent)],
+                    Type::string(),
+                );
                 let j = m.new_obj("org.json.JSONObject", vec![Value::Local(body)]);
-                let mh = m.vcall(j, "org.json.JSONObject", "getString", vec![Value::str("modhash")], Type::string());
+                let mh = m.vcall(
+                    j,
+                    "org.json.JSONObject",
+                    "getString",
+                    vec![Value::str("modhash")],
+                    Type::string(),
+                );
                 m.put_field(this, &modhash, mh);
-                let ck = m.vcall(j, "org.json.JSONObject", "getString", vec![Value::str("cookie")], Type::string());
+                let ck = m.vcall(
+                    j,
+                    "org.json.JSONObject",
+                    "getString",
+                    vec![Value::str("cookie")],
+                    Type::string(),
+                );
                 m.put_field(this, &cookie, ck);
                 m.ret_void();
             });
@@ -438,16 +454,43 @@ mod tests {
                 let ck = m.temp(Type::string());
                 m.get_field(ck, this, &cookie);
                 let list = m.new_obj("java.util.ArrayList", vec![]);
-                let p1 = m.new_obj("org.apache.http.message.BasicNameValuePair", vec![Value::str("id"), Value::Local(id)]);
+                let p1 = m.new_obj(
+                    "org.apache.http.message.BasicNameValuePair",
+                    vec![Value::str("id"), Value::Local(id)],
+                );
                 m.vcall_void(list, "java.util.ArrayList", "add", vec![Value::Local(p1)]);
-                let p2 = m.new_obj("org.apache.http.message.BasicNameValuePair", vec![Value::str("uh"), Value::Local(mh)]);
+                let p2 = m.new_obj(
+                    "org.apache.http.message.BasicNameValuePair",
+                    vec![Value::str("uh"), Value::Local(mh)],
+                );
                 m.vcall_void(list, "java.util.ArrayList", "add", vec![Value::Local(p2)]);
-                let ent = m.new_obj("org.apache.http.client.entity.UrlEncodedFormEntity", vec![Value::Local(list)]);
-                let req = m.new_obj("org.apache.http.client.methods.HttpPost", vec![Value::str("http://www.reddit.com/api/vote")]);
-                m.vcall_void(req, "org.apache.http.client.methods.HttpPost", "setEntity", vec![Value::Local(ent)]);
-                m.vcall_void(req, "org.apache.http.client.methods.HttpPost", "setHeader", vec![Value::str("Cookie"), Value::Local(ck)]);
+                let ent = m.new_obj(
+                    "org.apache.http.client.entity.UrlEncodedFormEntity",
+                    vec![Value::Local(list)],
+                );
+                let req = m.new_obj(
+                    "org.apache.http.client.methods.HttpPost",
+                    vec![Value::str("http://www.reddit.com/api/vote")],
+                );
+                m.vcall_void(
+                    req,
+                    "org.apache.http.client.methods.HttpPost",
+                    "setEntity",
+                    vec![Value::Local(ent)],
+                );
+                m.vcall_void(
+                    req,
+                    "org.apache.http.client.methods.HttpPost",
+                    "setHeader",
+                    vec![Value::str("Cookie"), Value::Local(ck)],
+                );
                 let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
-                m.vcall_void(client, "org.apache.http.client.HttpClient", "execute", vec![Value::Local(req)]);
+                m.vcall_void(
+                    client,
+                    "org.apache.http.client.HttpClient",
+                    "execute",
+                    vec![Value::Local(req)],
+                );
                 m.ret_void();
             });
         });

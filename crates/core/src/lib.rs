@@ -29,7 +29,9 @@ pub mod demarcation;
 pub mod deobf;
 pub mod flowmodel;
 pub mod interdep;
+pub mod metrics;
 pub mod pairing;
+pub mod par;
 pub mod pipeline;
 pub mod report;
 pub mod semantics;
@@ -38,6 +40,7 @@ pub mod siglang;
 pub mod slicing;
 pub mod stubs;
 
+pub use metrics::{CacheStats, DpSliceMetrics, Metrics, PhaseTimings};
 pub use pipeline::{Extractocol, Options};
 pub use report::AnalysisReport;
 pub use semantics::{ApiOp, SemanticModel};

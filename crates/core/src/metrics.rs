@@ -1,0 +1,94 @@
+//! Analysis instrumentation: per-phase wall time, per-DP slice sizes, and
+//! method-summary-cache counters. Everything here is *observational* —
+//! excluded from the canonical report serialization (`to_table` /
+//! `to_json`), because timings and cache counters vary run-to-run and
+//! across worker counts while the analysis result itself must not.
+
+pub use extractocol_analysis::CacheStats;
+use std::time::Duration;
+
+/// Wall-clock time of each pipeline phase (Fig. 2's boxes).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimings {
+    /// §3.4 library de-obfuscation.
+    pub deobfuscation: Duration,
+    /// Program indexing + call-graph construction.
+    pub indexing: Duration,
+    /// Demarcation-point scan.
+    pub demarcation: Duration,
+    /// Bidirectional slicing across all DPs (wall time, not CPU time —
+    /// under `jobs > 1` many DPs overlap inside this window).
+    pub slicing: Duration,
+    /// Request/response pairing via disjoint sub-slices.
+    pub pairing: Duration,
+    /// Per-transaction signature extraction.
+    pub signatures: Duration,
+    /// Inter-transaction dependency analysis.
+    pub dependencies: Duration,
+}
+
+impl PhaseTimings {
+    /// Sum of all phase times.
+    pub fn total(&self) -> Duration {
+        self.deobfuscation
+            + self.indexing
+            + self.demarcation
+            + self.slicing
+            + self.pairing
+            + self.signatures
+            + self.dependencies
+    }
+}
+
+/// Slice sizes of one demarcation point.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DpSliceMetrics {
+    /// The DP site id.
+    pub dp_id: usize,
+    /// Statements in the backward (request) slice.
+    pub request_stmts: usize,
+    /// Statements in the forward (response) slice.
+    pub response_stmts: usize,
+}
+
+impl DpSliceMetrics {
+    /// Total statements across both slices (with overlap counted twice —
+    /// a per-DP effort proxy, not a coverage figure).
+    pub fn total_stmts(&self) -> usize {
+        self.request_stmts + self.response_stmts
+    }
+}
+
+/// All instrumentation of one analysis run.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    /// Worker threads the run actually used (after resolving `jobs = 0`).
+    pub jobs: usize,
+    /// Per-phase wall times.
+    pub phases: PhaseTimings,
+    /// Method-summary cache counters from the slicing phase.
+    pub cache: CacheStats,
+    /// Per-DP slice sizes, ordered by DP id.
+    pub per_dp: Vec<DpSliceMetrics>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_total_sums_components() {
+        let t = PhaseTimings {
+            slicing: Duration::from_millis(30),
+            signatures: Duration::from_millis(12),
+            ..PhaseTimings::default()
+        };
+        assert_eq!(t.total(), Duration::from_millis(42));
+    }
+
+    #[test]
+    fn dp_totals() {
+        let d = DpSliceMetrics { dp_id: 0, request_stmts: 10, response_stmts: 5 };
+        assert_eq!(d.total_stmts(), 15);
+    }
+}

@@ -52,18 +52,10 @@ pub struct Transaction {
 }
 
 /// Splits each DP's slices into per-root transaction candidates.
-pub fn pair(
-    prog: &ProgramIndex<'_>,
-    graph: &CallGraph,
-    slices: &[SliceSet],
-) -> Vec<Transaction> {
+pub fn pair(prog: &ProgramIndex<'_>, graph: &CallGraph, slices: &[SliceSet]) -> Vec<Transaction> {
     let mut out = Vec::new();
     for (dp_index, s) in slices.iter().enumerate() {
-        let mut methods: HashSet<MethodId> = s
-            .all_stmts()
-            .into_iter()
-            .map(|(m, _)| m)
-            .collect();
+        let mut methods: HashSet<MethodId> = s.all_stmts().into_iter().map(|(m, _)| m).collect();
         methods.insert(s.dp.method);
 
         // Roots: slice methods not called from other slice methods, that
@@ -91,10 +83,8 @@ pub fn pair(
         }
 
         // Reachability from each root within the slice subgraph.
-        let reach: HashMap<MethodId, HashSet<MethodId>> = roots
-            .iter()
-            .map(|&r| (r, reachable_within(prog, graph, r, &methods)))
-            .collect();
+        let reach: HashMap<MethodId, HashSet<MethodId>> =
+            roots.iter().map(|&r| (r, reachable_within(prog, graph, r, &methods))).collect();
         // How many roots reach each method.
         let mut reach_count: HashMap<MethodId, usize> = HashMap::new();
         for set in reach.values() {
@@ -121,12 +111,8 @@ pub fn pair(
                 })
                 .copied()
                 .collect();
-            let response_disjoint: HashSet<(MethodId, usize)> = s
-                .response_slice
-                .iter()
-                .filter(|(m, _)| disjoint(m))
-                .copied()
-                .collect();
+            let response_disjoint: HashSet<(MethodId, usize)> =
+                s.response_slice.iter().filter(|(m, _)| disjoint(m)).copied().collect();
             let response_shared: HashSet<(MethodId, usize)> = s
                 .response_slice
                 .iter()
@@ -230,29 +216,33 @@ mod tests {
         });
         b.class("t.Net", |c| {
             // common2: the shared demarcation point.
-            c.static_method(
-                "common2",
-                vec![Type::string()],
-                Type::string(),
-                |m| {
-                    let url = m.arg(0, "url");
-                    let req = m.new_obj(
-                        "org.apache.http.client.methods.HttpGet",
-                        vec![Value::Local(url)],
-                    );
-                    let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
-                    let resp = m.vcall(
-                        client,
-                        "org.apache.http.client.HttpClient",
-                        "execute",
-                        vec![Value::Local(req)],
-                        Type::object("org.apache.http.HttpResponse"),
-                    );
-                    let ent = m.vcall(resp, "org.apache.http.HttpResponse", "getEntity", vec![], Type::object("org.apache.http.HttpEntity"));
-                    let body = m.scall("org.apache.http.util.EntityUtils", "toString", vec![Value::Local(ent)], Type::string());
-                    m.ret(body);
-                },
-            );
+            c.static_method("common2", vec![Type::string()], Type::string(), |m| {
+                let url = m.arg(0, "url");
+                let req =
+                    m.new_obj("org.apache.http.client.methods.HttpGet", vec![Value::Local(url)]);
+                let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
+                let resp = m.vcall(
+                    client,
+                    "org.apache.http.client.HttpClient",
+                    "execute",
+                    vec![Value::Local(req)],
+                    Type::object("org.apache.http.HttpResponse"),
+                );
+                let ent = m.vcall(
+                    resp,
+                    "org.apache.http.HttpResponse",
+                    "getEntity",
+                    vec![],
+                    Type::object("org.apache.http.HttpEntity"),
+                );
+                let body = m.scall(
+                    "org.apache.http.util.EntityUtils",
+                    "toString",
+                    vec![Value::Local(ent)],
+                    Type::string(),
+                );
+                m.ret(body);
+            });
             // Transaction A.
             c.static_method("requestA", vec![], Type::Void, |m| {
                 let url = m.temp(Type::string());
@@ -264,7 +254,13 @@ mod tests {
             c.static_method("responseA", vec![Type::string()], Type::Void, |m| {
                 let body = m.arg(0, "body");
                 let j = m.new_obj("org.json.JSONObject", vec![Value::Local(body)]);
-                let v = m.vcall(j, "org.json.JSONObject", "getString", vec![Value::str("alpha")], Type::string());
+                let v = m.vcall(
+                    j,
+                    "org.json.JSONObject",
+                    "getString",
+                    vec![Value::str("alpha")],
+                    Type::string(),
+                );
                 let _ = v;
                 m.ret_void();
             });
@@ -279,7 +275,13 @@ mod tests {
             c.static_method("responseB", vec![Type::string()], Type::Void, |m| {
                 let body = m.arg(0, "body");
                 let j = m.new_obj("org.json.JSONObject", vec![Value::Local(body)]);
-                let v = m.vcall(j, "org.json.JSONObject", "getString", vec![Value::str("beta")], Type::string());
+                let v = m.vcall(
+                    j,
+                    "org.json.JSONObject",
+                    "getString",
+                    vec![Value::str("beta")],
+                    Type::string(),
+                );
                 let _ = v;
                 m.ret_void();
             });
@@ -302,11 +304,8 @@ mod tests {
         let name = |m: MethodId| prog.method(m).name.clone();
         for t in &txns {
             assert_eq!(t.pairing, Pairing::Unique, "root {}", name(t.root));
-            let resp_methods: HashSet<String> = t
-                .response_stmts
-                .iter()
-                .map(|(m, _)| name(*m))
-                .collect();
+            let resp_methods: HashSet<String> =
+                t.response_stmts.iter().map(|(m, _)| name(*m)).collect();
             match name(t.root).as_str() {
                 "requestA" => {
                     assert!(resp_methods.contains("responseA"), "{resp_methods:?}");
@@ -334,11 +333,25 @@ mod tests {
         b.class("t.C", |c| {
             c.method("go", vec![], Type::Void, |m| {
                 m.recv("t.C");
-                let req = m.new_obj("org.apache.http.client.methods.HttpGet", vec![Value::str("http://x/")]);
+                let req = m.new_obj(
+                    "org.apache.http.client.methods.HttpGet",
+                    vec![Value::str("http://x/")],
+                );
                 let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
-                let resp = m.vcall(client, "org.apache.http.client.HttpClient", "execute",
-                    vec![Value::Local(req)], Type::object("org.apache.http.HttpResponse"));
-                let ent = m.vcall(resp, "org.apache.http.HttpResponse", "getEntity", vec![], Type::object("org.apache.http.HttpEntity"));
+                let resp = m.vcall(
+                    client,
+                    "org.apache.http.client.HttpClient",
+                    "execute",
+                    vec![Value::Local(req)],
+                    Type::object("org.apache.http.HttpResponse"),
+                );
+                let ent = m.vcall(
+                    resp,
+                    "org.apache.http.HttpResponse",
+                    "getEntity",
+                    vec![],
+                    Type::object("org.apache.http.HttpEntity"),
+                );
                 let _ = ent;
                 m.ret_void();
             });

@@ -1,0 +1,92 @@
+//! A minimal scoped-thread work pool for the per-DP fan-out.
+//!
+//! The pipeline's unit of parallelism is one demarcation point (slicing)
+//! or one transaction (signature extraction); both are independent given
+//! the shared read-only program structures, so a work-stealing pool is
+//! overkill — workers pull indices off one atomic counter and results are
+//! reassembled in input order, which keeps parallel output byte-identical
+//! to sequential output.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolves an [`Options::jobs`](crate::Options) value: `0` means "one
+/// worker per available core", anything else is taken literally.
+pub fn resolve_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        jobs
+    }
+}
+
+/// Maps `f` over `items` with up to `jobs` worker threads (`0` = auto),
+/// returning results in input order. `jobs <= 1` runs inline on the
+/// calling thread — the strictly sequential path.
+pub fn parallel_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let jobs = resolve_jobs(jobs).min(items.len());
+    if jobs <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    std::thread::scope(|s| {
+        let workers: Vec<_> = (0..jobs)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut done: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        done.push((i, f(i, item)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for w in workers {
+            for (i, r) in w.join().expect("pipeline worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots.into_iter().map(|r| r.expect("every index claimed")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let seq = parallel_map(&items, 1, |i, &x| (i, x * 2));
+        let par = parallel_map(&items, 8, |i, &x| (i, x * 2));
+        assert_eq!(seq, par);
+        assert_eq!(par[200], (200, 400));
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(&empty, 0, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(&[7u32], 0, |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn more_jobs_than_items() {
+        let items = [1u32, 2, 3];
+        assert_eq!(parallel_map(&items, 64, |_, &x| x * x), vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn resolve_jobs_auto_is_positive() {
+        assert!(resolve_jobs(0) >= 1);
+        assert_eq!(resolve_jobs(3), 3);
+    }
+}

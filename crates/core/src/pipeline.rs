@@ -6,13 +6,15 @@
 use crate::demarcation;
 use crate::deobf;
 use crate::interdep;
+use crate::metrics::{DpSliceMetrics, Metrics, PhaseTimings};
 use crate::pairing::{self, Pairing};
+use crate::par;
 use crate::report::{AnalysisReport, Stats, TxnReport};
-use crate::sigbuild::SignatureBuilder;
 use crate::semantics::SemanticModel;
+use crate::sigbuild::SignatureBuilder;
 use crate::slicing::{self, SliceOptions};
 use crate::stubs;
-use extractocol_analysis::{CallbackRegistry, CallGraph};
+use extractocol_analysis::{CallGraph, CallbackRegistry};
 use extractocol_ir::{Apk, MethodId, ProgramIndex};
 use std::time::Instant;
 
@@ -26,6 +28,11 @@ pub struct Options {
     /// Restrict demarcation points to classes with this prefix — the
     /// "we only scope the analysis to com.kayak classes" mode of §5.3.
     pub scope_prefix: Option<String>,
+    /// Worker threads for the per-DP fan-out (slicing and signature
+    /// extraction). `0` means one per available core; `1` runs strictly
+    /// sequentially. Every setting yields a byte-identical report — the
+    /// fan-out reassembles results in DP order.
+    pub jobs: usize,
 }
 
 impl Default for Options {
@@ -34,6 +41,7 @@ impl Default for Options {
             slice: SliceOptions::default(),
             deobfuscate_libraries: true,
             scope_prefix: None,
+            jobs: 0,
         }
     }
 }
@@ -83,10 +91,19 @@ impl Extractocol {
     }
 
     /// Analyzes one APK and reconstructs its protocol behavior.
+    ///
+    /// Per-DP slicing and per-transaction signature extraction fan out
+    /// across [`Options::jobs`] worker threads; the report is identical
+    /// for every `jobs` setting (results are merged in DP order and the
+    /// shared method-summary cache only memoizes order-independent
+    /// closures).
     pub fn analyze(&self, apk: &Apk) -> AnalysisReport {
         let started = Instant::now();
+        let mut phases = PhaseTimings::default();
+        let jobs = par::resolve_jobs(self.options.jobs);
 
         // §3.4: map obfuscated bundled libraries back to canonical names.
+        let t = Instant::now();
         let (apk, deobfuscated_classes) = if self.options.deobfuscate_libraries {
             let map = deobf::infer_library_map(apk, &stubs::library_reference());
             let n = map.classes.len();
@@ -94,11 +111,15 @@ impl Extractocol {
         } else {
             (apk.clone(), 0)
         };
+        phases.deobfuscation = t.elapsed();
 
+        let t = Instant::now();
         let prog = ProgramIndex::new(&apk);
         let graph = CallGraph::build(&prog, &self.registry);
+        phases.indexing = t.elapsed();
 
         // Phase 1: demarcation points + bidirectional slicing.
+        let t = Instant::now();
         let mut sites = demarcation::scan(&prog, &self.model);
         if let Some(prefix) = &self.options.scope_prefix {
             sites.retain(|s| prog.class(s.method.class).name.starts_with(prefix.as_str()));
@@ -106,14 +127,29 @@ impl Extractocol {
                 s.id = i;
             }
         }
-        let slices = slicing::slice_all(&prog, &graph, &self.model, &sites, &self.options.slice);
+        phases.demarcation = t.elapsed();
+
+        let t = Instant::now();
+        let (slices, cache) = slicing::slice_all_with(
+            &prog,
+            &graph,
+            &self.model,
+            &sites,
+            &self.options.slice,
+            self.options.jobs,
+        );
+        phases.slicing = t.elapsed();
 
         // Phase 3a: request/response pairing via disjoint sub-slices.
+        let t = Instant::now();
         let txns = pairing::pair(&prog, &graph, &slices);
+        phases.pairing = t.elapsed();
 
-        // Phase 2: per-transaction signature extraction.
-        let mut reports: Vec<TxnReport> = Vec::with_capacity(txns.len());
-        for t in &txns {
+        // Phase 2: per-transaction signature extraction. Each transaction
+        // is independent (the builder is constructed per call), so the
+        // same fan-out applies; input order is preserved.
+        let t = Instant::now();
+        let reports: Vec<TxnReport> = par::parallel_map(&txns, self.options.jobs, |_, t| {
             let siblings: Vec<MethodId> = txns
                 .iter()
                 .filter(|o| o.dp_index == t.dp_index && o.id != t.id)
@@ -143,14 +179,10 @@ impl Extractocol {
                     r => r,
                 }
             };
-            reports.push(TxnReport {
+            TxnReport {
                 id: t.id,
                 dp_class: slice.dp.spec.class.clone(),
-                root: format!(
-                    "{}.{}",
-                    prog.class(t.root.class).name,
-                    prog.method(t.root).name
-                ),
+                root: format!("{}.{}", prog.class(t.root.class).name, prog.method(t.root).name),
                 method,
                 uri_regex: sigs.request.uri.to_regex(),
                 uri: sigs.request.uri.clone(),
@@ -165,11 +197,23 @@ impl Extractocol {
                 pairing: t.pairing,
                 origins: sigs.origins.clone(),
                 consumptions: sigs.consumptions.clone(),
-            });
-        }
+            }
+        });
+        phases.signatures = t.elapsed();
 
         // Phase 3b: inter-transaction dependencies.
+        let t = Instant::now();
         let dependencies = interdep::dependencies(&prog, &self.model, &slices, &txns);
+        phases.dependencies = t.elapsed();
+
+        let per_dp: Vec<DpSliceMetrics> = slices
+            .iter()
+            .map(|s| DpSliceMetrics {
+                dp_id: s.dp.id,
+                request_stmts: s.request_slice.len(),
+                response_stmts: s.response_slice.len(),
+            })
+            .collect();
 
         let slice_stats = slicing::stats(&prog, &slices);
         AnalysisReport {
@@ -183,6 +227,7 @@ impl Extractocol {
                 deobfuscated_classes,
                 duration: started.elapsed(),
             },
+            metrics: Metrics { jobs, phases, cache, per_dp },
         }
     }
 }
@@ -210,8 +255,10 @@ mod tests {
                     vec![Value::str("https://api.sample.com/login?u=")],
                 );
                 m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(user)]);
-                let url = m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
-                let req = m.new_obj("org.apache.http.client.methods.HttpPost", vec![Value::Local(url)]);
+                let url =
+                    m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
+                let req =
+                    m.new_obj("org.apache.http.client.methods.HttpPost", vec![Value::Local(url)]);
                 let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
                 let resp = m.vcall(
                     client,
@@ -220,10 +267,27 @@ mod tests {
                     vec![Value::Local(req)],
                     Type::object("org.apache.http.HttpResponse"),
                 );
-                let ent = m.vcall(resp, "org.apache.http.HttpResponse", "getEntity", vec![], Type::object("org.apache.http.HttpEntity"));
-                let body = m.scall("org.apache.http.util.EntityUtils", "toString", vec![Value::Local(ent)], Type::string());
+                let ent = m.vcall(
+                    resp,
+                    "org.apache.http.HttpResponse",
+                    "getEntity",
+                    vec![],
+                    Type::object("org.apache.http.HttpEntity"),
+                );
+                let body = m.scall(
+                    "org.apache.http.util.EntityUtils",
+                    "toString",
+                    vec![Value::Local(ent)],
+                    Type::string(),
+                );
                 let j = m.new_obj("org.json.JSONObject", vec![Value::Local(body)]);
-                let tok = m.vcall(j, "org.json.JSONObject", "getString", vec![Value::str("token")], Type::string());
+                let tok = m.vcall(
+                    j,
+                    "org.json.JSONObject",
+                    "getString",
+                    vec![Value::str("token")],
+                    Type::string(),
+                );
                 m.put_field(this, &token, tok);
                 m.ret_void();
             });
@@ -236,8 +300,10 @@ mod tests {
                     vec![Value::str("https://api.sample.com/items?auth=")],
                 );
                 m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(tok)]);
-                let url = m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
-                let req = m.new_obj("org.apache.http.client.methods.HttpGet", vec![Value::Local(url)]);
+                let url =
+                    m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
+                let req =
+                    m.new_obj("org.apache.http.client.methods.HttpGet", vec![Value::Local(url)]);
                 let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
                 let resp = m.vcall(
                     client,
@@ -246,10 +312,27 @@ mod tests {
                     vec![Value::Local(req)],
                     Type::object("org.apache.http.HttpResponse"),
                 );
-                let ent = m.vcall(resp, "org.apache.http.HttpResponse", "getEntity", vec![], Type::object("org.apache.http.HttpEntity"));
-                let body = m.scall("org.apache.http.util.EntityUtils", "toString", vec![Value::Local(ent)], Type::string());
+                let ent = m.vcall(
+                    resp,
+                    "org.apache.http.HttpResponse",
+                    "getEntity",
+                    vec![],
+                    Type::object("org.apache.http.HttpEntity"),
+                );
+                let body = m.scall(
+                    "org.apache.http.util.EntityUtils",
+                    "toString",
+                    vec![Value::Local(ent)],
+                    Type::string(),
+                );
                 let j = m.new_obj("org.json.JSONObject", vec![Value::Local(body)]);
-                let items = m.vcall(j, "org.json.JSONObject", "getJSONArray", vec![Value::str("items")], Type::object("org.json.JSONArray"));
+                let items = m.vcall(
+                    j,
+                    "org.json.JSONObject",
+                    "getJSONArray",
+                    vec![Value::str("items")],
+                    Type::object("org.json.JSONArray"),
+                );
                 let _ = items;
                 m.ret_void();
             });

@@ -3,6 +3,7 @@
 //! case studies (Tables 3–6).
 
 use crate::interdep::DependencyEdge;
+use crate::metrics::Metrics;
 use crate::pairing::Pairing;
 use crate::sigbuild::{BodySig, ResponseSig};
 use crate::siglang::SigPat;
@@ -113,9 +114,7 @@ impl TxnReport {
     /// Fig. 7 metric.
     pub fn response_keywords(&self) -> Vec<String> {
         match &self.response {
-            Some(ResponseSig::Json(j)) => {
-                j.keys().into_iter().map(str::to_string).collect()
-            }
+            Some(ResponseSig::Json(j)) => j.keys().into_iter().map(str::to_string).collect(),
             Some(ResponseSig::Xml(x)) => {
                 x.keywords().into_iter().filter(|k| !k.is_empty()).map(str::to_string).collect()
             }
@@ -216,6 +215,11 @@ pub struct AnalysisReport {
     pub dependencies: Vec<DependencyEdge>,
     /// Run statistics.
     pub stats: Stats,
+    /// Instrumentation: phase timings, summary-cache counters, per-DP
+    /// slice sizes. Observational only — never serialized by `to_table`
+    /// or `to_json`, so reports from different `jobs` settings compare
+    /// equal.
+    pub metrics: Metrics,
 }
 
 impl AnalysisReport {
@@ -349,10 +353,7 @@ mod tests {
 
     #[test]
     fn keywords_combine_query_and_body() {
-        let mut t = txn(SigPat::Concat(vec![
-            SigPat::lit("https://h/x?id="),
-            SigPat::any_str(),
-        ]));
+        let mut t = txn(SigPat::Concat(vec![SigPat::lit("https://h/x?id="), SigPat::any_str()]));
         let mut j = JsonSig::object();
         j.put("uh", JsonSig::Unknown);
         t.request_body = Some(BodySig::Json(j.clone()));
@@ -373,6 +374,7 @@ mod tests {
             transactions: vec![t],
             dependencies: vec![],
             stats: Stats::default(),
+            metrics: Metrics::default(),
         };
         let s = r.to_table();
         assert!(s.contains("#1 GET (https://h/a) (S)"));
@@ -515,15 +517,13 @@ mod json_export_tests {
             transactions: vec![txn],
             dependencies: vec![],
             stats: Stats::default(),
+            metrics: Metrics::default(),
         };
         let exported = report.to_json();
         // Round-trips through the JSON parser (well-formed).
         let text = exported.to_json();
         let reparsed = JsonValue::parse(&text).expect("valid JSON");
-        assert_eq!(
-            reparsed.get("app").unwrap().as_str(),
-            Some("demo")
-        );
+        assert_eq!(reparsed.get("app").unwrap().as_str(), Some("demo"));
         let t0 = reparsed.get("transactions").unwrap().at(0).unwrap();
         assert_eq!(t0.get("method").unwrap().as_str(), Some("POST"));
         assert!(t0.get("request_body_form").is_some());

@@ -250,11 +250,8 @@ pub struct SemanticModel {
 impl SemanticModel {
     /// Builds the full default model.
     pub fn standard() -> SemanticModel {
-        let mut m = SemanticModel {
-            map: HashMap::new(),
-            dp_count: 0,
-            dp_classes: Default::default(),
-        };
+        let mut m =
+            SemanticModel { map: HashMap::new(), dp_count: 0, dp_classes: Default::default() };
         m.install_strings();
         m.install_apache_http();
         m.install_java_net();
@@ -274,10 +271,7 @@ impl SemanticModel {
 
     /// Registers an op for `class.method` (the plugin hook).
     pub fn register(&mut self, class: &str, method: &str, arity: Option<usize>, op: ApiOp) {
-        self.map
-            .entry((class.to_string(), method.to_string()))
-            .or_default()
-            .push((arity, op));
+        self.map.entry((class.to_string(), method.to_string())).or_default().push((arity, op));
     }
 
     /// Registers a demarcation point.
@@ -418,7 +412,12 @@ impl SemanticModel {
             Some(2),
             ApiOp::NameValuePairNew,
         );
-        self.register("org.apache.http.entity.StringEntity", "<init>", None, ApiOp::StringEntityNew);
+        self.register(
+            "org.apache.http.entity.StringEntity",
+            "<init>",
+            None,
+            ApiOp::StringEntityNew,
+        );
         self.register("org.apache.http.HttpResponse", "getEntity", Some(0), ApiOp::RespEntity);
         self.register("org.apache.http.HttpResponse", "getStatusLine", Some(0), ApiOp::RespStatus);
         self.register("org.apache.http.HttpEntity", "getContent", Some(0), ApiOp::RespEntity);
@@ -435,35 +434,140 @@ impl SemanticModel {
         // DP class 2: DefaultHttpClient (same overloads, reached directly
         // when apps type receivers concretely).
         let dhc = "org.apache.http.impl.client.DefaultHttpClient";
-        self.register_dp(dhc, "execute", Some(1), DpRequestLoc::Arg(0), DpResponseLoc::Return, None);
-        self.register_dp(dhc, "execute", Some(2), DpRequestLoc::Arg(0), DpResponseLoc::Return, None);
-        self.register_dp(dhc, "execute", Some(3), DpRequestLoc::Arg(1), DpResponseLoc::Return, None);
-        self.register_dp(dhc, "execute", Some(4), DpRequestLoc::Arg(1), DpResponseLoc::Return, None);
+        self.register_dp(
+            dhc,
+            "execute",
+            Some(1),
+            DpRequestLoc::Arg(0),
+            DpResponseLoc::Return,
+            None,
+        );
+        self.register_dp(
+            dhc,
+            "execute",
+            Some(2),
+            DpRequestLoc::Arg(0),
+            DpResponseLoc::Return,
+            None,
+        );
+        self.register_dp(
+            dhc,
+            "execute",
+            Some(3),
+            DpRequestLoc::Arg(1),
+            DpResponseLoc::Return,
+            None,
+        );
+        self.register_dp(
+            dhc,
+            "execute",
+            Some(4),
+            DpRequestLoc::Arg(1),
+            DpResponseLoc::Return,
+            None,
+        );
         // DP class 3: android.net.http.AndroidHttpClient.
         let ahc = "android.net.http.AndroidHttpClient";
-        self.register_dp(ahc, "execute", Some(1), DpRequestLoc::Arg(0), DpResponseLoc::Return, None);
-        self.register_dp(ahc, "execute", Some(2), DpRequestLoc::Arg(0), DpResponseLoc::Return, None);
-        self.register_dp(ahc, "execute", Some(3), DpRequestLoc::Arg(1), DpResponseLoc::Return, None);
+        self.register_dp(
+            ahc,
+            "execute",
+            Some(1),
+            DpRequestLoc::Arg(0),
+            DpResponseLoc::Return,
+            None,
+        );
+        self.register_dp(
+            ahc,
+            "execute",
+            Some(2),
+            DpRequestLoc::Arg(0),
+            DpResponseLoc::Return,
+            None,
+        );
+        self.register_dp(
+            ahc,
+            "execute",
+            Some(3),
+            DpRequestLoc::Arg(1),
+            DpResponseLoc::Return,
+            None,
+        );
     }
 
     fn install_java_net(&mut self) {
         self.register("java.net.URL", "<init>", Some(1), ApiOp::UrlNew);
         // DP class 4: java.net.URL.
-        self.register_dp("java.net.URL", "openConnection", Some(0), DpRequestLoc::Receiver, DpResponseLoc::Return, None);
-        self.register_dp("java.net.URL", "openStream", Some(0), DpRequestLoc::Receiver, DpResponseLoc::Return, Some(HttpMethod::Get));
-        self.register_dp("java.net.URL", "getContent", Some(0), DpRequestLoc::Receiver, DpResponseLoc::Return, Some(HttpMethod::Get));
+        self.register_dp(
+            "java.net.URL",
+            "openConnection",
+            Some(0),
+            DpRequestLoc::Receiver,
+            DpResponseLoc::Return,
+            None,
+        );
+        self.register_dp(
+            "java.net.URL",
+            "openStream",
+            Some(0),
+            DpRequestLoc::Receiver,
+            DpResponseLoc::Return,
+            Some(HttpMethod::Get),
+        );
+        self.register_dp(
+            "java.net.URL",
+            "getContent",
+            Some(0),
+            DpRequestLoc::Receiver,
+            DpResponseLoc::Return,
+            Some(HttpMethod::Get),
+        );
         // DP class 5: java.net.HttpURLConnection.
         let huc = "java.net.HttpURLConnection";
         self.register(huc, "setRequestMethod", Some(1), ApiOp::SetRequestMethod);
         self.register(huc, "setRequestProperty", Some(2), ApiOp::SetHeader);
-        self.register_dp(huc, "connect", Some(0), DpRequestLoc::Receiver, DpResponseLoc::Return, None);
-        self.register_dp(huc, "getInputStream", Some(0), DpRequestLoc::Receiver, DpResponseLoc::Return, None);
-        self.register_dp(huc, "getOutputStream", Some(0), DpRequestLoc::Receiver, DpResponseLoc::Return, None);
+        self.register_dp(
+            huc,
+            "connect",
+            Some(0),
+            DpRequestLoc::Receiver,
+            DpResponseLoc::Return,
+            None,
+        );
+        self.register_dp(
+            huc,
+            "getInputStream",
+            Some(0),
+            DpRequestLoc::Receiver,
+            DpResponseLoc::Return,
+            None,
+        );
+        self.register_dp(
+            huc,
+            "getOutputStream",
+            Some(0),
+            DpRequestLoc::Receiver,
+            DpResponseLoc::Return,
+            None,
+        );
         // DP class 6: java.net.URLConnection.
         let uc = "java.net.URLConnection";
         self.register(uc, "setRequestProperty", Some(2), ApiOp::SetHeader);
-        self.register_dp(uc, "getInputStream", Some(0), DpRequestLoc::Receiver, DpResponseLoc::Return, None);
-        self.register_dp(uc, "getContent", Some(0), DpRequestLoc::Receiver, DpResponseLoc::Return, None);
+        self.register_dp(
+            uc,
+            "getInputStream",
+            Some(0),
+            DpRequestLoc::Receiver,
+            DpResponseLoc::Return,
+            None,
+        );
+        self.register_dp(
+            uc,
+            "getContent",
+            Some(0),
+            DpRequestLoc::Receiver,
+            DpResponseLoc::Return,
+            None,
+        );
     }
 
     fn install_volley(&mut self) {
@@ -518,8 +622,22 @@ impl SemanticModel {
             None,
         );
         // DP class 9: okhttp3.Call.
-        self.register_dp("okhttp3.Call", "execute", Some(0), DpRequestLoc::Receiver, DpResponseLoc::Return, None);
-        self.register_dp("okhttp3.Call", "enqueue", Some(1), DpRequestLoc::Receiver, DpResponseLoc::Callback, None);
+        self.register_dp(
+            "okhttp3.Call",
+            "execute",
+            Some(0),
+            DpRequestLoc::Receiver,
+            DpResponseLoc::Return,
+            None,
+        );
+        self.register_dp(
+            "okhttp3.Call",
+            "enqueue",
+            Some(1),
+            DpRequestLoc::Receiver,
+            DpResponseLoc::Callback,
+            None,
+        );
         // DP class 10: okhttp2 (com.squareup.okhttp).
         self.register_dp(
             "com.squareup.okhttp.OkHttpClient",
@@ -534,38 +652,134 @@ impl SemanticModel {
     fn install_retrofit(&mut self) {
         self.register("retrofit2.CallFactory", "create", None, ApiOp::RetrofitCreate);
         // DP class 11: retrofit2.Call.
-        self.register_dp("retrofit2.Call", "execute", Some(0), DpRequestLoc::Receiver, DpResponseLoc::Return, None);
-        self.register_dp("retrofit2.Call", "enqueue", Some(1), DpRequestLoc::Receiver, DpResponseLoc::Callback, None);
+        self.register_dp(
+            "retrofit2.Call",
+            "execute",
+            Some(0),
+            DpRequestLoc::Receiver,
+            DpResponseLoc::Return,
+            None,
+        );
+        self.register_dp(
+            "retrofit2.Call",
+            "enqueue",
+            Some(1),
+            DpRequestLoc::Receiver,
+            DpResponseLoc::Callback,
+            None,
+        );
         self.register("retrofit2.Response", "body", Some(0), ApiOp::RespEntity);
     }
 
     fn install_google_http(&mut self) {
-        self.register("com.google.api.client.http.GenericUrl", "<init>", Some(1), ApiOp::GoogleUrlNew);
+        self.register(
+            "com.google.api.client.http.GenericUrl",
+            "<init>",
+            Some(1),
+            ApiOp::GoogleUrlNew,
+        );
         let f = "com.google.api.client.http.HttpRequestFactory";
         self.register(f, "buildGetRequest", Some(1), ApiOp::GoogleBuildRequest(HttpMethod::Get));
         self.register(f, "buildPostRequest", Some(2), ApiOp::GoogleBuildRequest(HttpMethod::Post));
         // DP class 12: com.google.api.client.http.HttpRequest.
         let r = "com.google.api.client.http.HttpRequest";
-        self.register_dp(r, "execute", Some(0), DpRequestLoc::Receiver, DpResponseLoc::Return, None);
-        self.register_dp(r, "executeAsync", Some(0), DpRequestLoc::Receiver, DpResponseLoc::Callback, None);
+        self.register_dp(
+            r,
+            "execute",
+            Some(0),
+            DpRequestLoc::Receiver,
+            DpResponseLoc::Return,
+            None,
+        );
+        self.register_dp(
+            r,
+            "executeAsync",
+            Some(0),
+            DpRequestLoc::Receiver,
+            DpResponseLoc::Callback,
+            None,
+        );
     }
 
     fn install_bee_loopj_kevinsawicki(&mut self) {
         // DP class 13: BeeFramework.
         let bee = "com.beeframework.Bee";
-        self.register_dp(bee, "get", Some(2), DpRequestLoc::Arg(0), DpResponseLoc::Callback, Some(HttpMethod::Get));
-        self.register_dp(bee, "post", Some(3), DpRequestLoc::Arg(0), DpResponseLoc::Callback, Some(HttpMethod::Post));
+        self.register_dp(
+            bee,
+            "get",
+            Some(2),
+            DpRequestLoc::Arg(0),
+            DpResponseLoc::Callback,
+            Some(HttpMethod::Get),
+        );
+        self.register_dp(
+            bee,
+            "post",
+            Some(3),
+            DpRequestLoc::Arg(0),
+            DpResponseLoc::Callback,
+            Some(HttpMethod::Post),
+        );
         // DP class 15: loopj android-async-http.
         let loopj = "com.loopj.android.http.AsyncHttpClient";
-        self.register_dp(loopj, "get", Some(2), DpRequestLoc::Arg(0), DpResponseLoc::Callback, Some(HttpMethod::Get));
-        self.register_dp(loopj, "get", Some(3), DpRequestLoc::Arg(1), DpResponseLoc::Callback, Some(HttpMethod::Get));
-        self.register_dp(loopj, "post", Some(3), DpRequestLoc::Arg(0), DpResponseLoc::Callback, Some(HttpMethod::Post));
-        self.register_dp(loopj, "post", Some(4), DpRequestLoc::Arg(1), DpResponseLoc::Callback, Some(HttpMethod::Post));
+        self.register_dp(
+            loopj,
+            "get",
+            Some(2),
+            DpRequestLoc::Arg(0),
+            DpResponseLoc::Callback,
+            Some(HttpMethod::Get),
+        );
+        self.register_dp(
+            loopj,
+            "get",
+            Some(3),
+            DpRequestLoc::Arg(1),
+            DpResponseLoc::Callback,
+            Some(HttpMethod::Get),
+        );
+        self.register_dp(
+            loopj,
+            "post",
+            Some(3),
+            DpRequestLoc::Arg(0),
+            DpResponseLoc::Callback,
+            Some(HttpMethod::Post),
+        );
+        self.register_dp(
+            loopj,
+            "post",
+            Some(4),
+            DpRequestLoc::Arg(1),
+            DpResponseLoc::Callback,
+            Some(HttpMethod::Post),
+        );
         // DP class 16: kevinsawicki http-request.
         let ks = "com.github.kevinsawicki.http.HttpRequest";
-        self.register_dp(ks, "get", Some(1), DpRequestLoc::Arg(0), DpResponseLoc::Return, Some(HttpMethod::Get));
-        self.register_dp(ks, "post", Some(1), DpRequestLoc::Arg(0), DpResponseLoc::Return, Some(HttpMethod::Post));
-        self.register_dp(ks, "put", Some(1), DpRequestLoc::Arg(0), DpResponseLoc::Return, Some(HttpMethod::Put));
+        self.register_dp(
+            ks,
+            "get",
+            Some(1),
+            DpRequestLoc::Arg(0),
+            DpResponseLoc::Return,
+            Some(HttpMethod::Get),
+        );
+        self.register_dp(
+            ks,
+            "post",
+            Some(1),
+            DpRequestLoc::Arg(0),
+            DpResponseLoc::Return,
+            Some(HttpMethod::Post),
+        );
+        self.register_dp(
+            ks,
+            "put",
+            Some(1),
+            DpRequestLoc::Arg(0),
+            DpResponseLoc::Return,
+            Some(HttpMethod::Put),
+        );
         self.register(ks, "body", Some(0), ApiOp::RespToString);
     }
 
@@ -573,8 +787,22 @@ impl SemanticModel {
         // DP class 14: android.media.MediaPlayer — the stream URI *is* the
         // request; the response is consumed by the player (Fig. 1, RR #6).
         let mp = "android.media.MediaPlayer";
-        self.register_dp(mp, "setDataSource", Some(1), DpRequestLoc::Arg(0), DpResponseLoc::Consumed, Some(HttpMethod::Get));
-        self.register_dp(mp, "create", Some(2), DpRequestLoc::Arg(1), DpResponseLoc::Consumed, Some(HttpMethod::Get));
+        self.register_dp(
+            mp,
+            "setDataSource",
+            Some(1),
+            DpRequestLoc::Arg(0),
+            DpResponseLoc::Consumed,
+            Some(HttpMethod::Get),
+        );
+        self.register_dp(
+            mp,
+            "create",
+            Some(2),
+            DpRequestLoc::Arg(1),
+            DpResponseLoc::Consumed,
+            Some(HttpMethod::Get),
+        );
     }
 
     fn install_json(&mut self) {
@@ -610,7 +838,9 @@ impl SemanticModel {
         self.register(gjo, "getAsJsonArray", Some(1), ApiOp::JsonGet(JsonAccess::Array));
         self.register("com.google.gson.JsonParser", "parse", Some(1), ApiOp::JsonParse);
         // jackson (fasterxml + legacy codehaus)
-        for om in ["com.fasterxml.jackson.databind.ObjectMapper", "org.codehaus.jackson.map.ObjectMapper"] {
+        for om in
+            ["com.fasterxml.jackson.databind.ObjectMapper", "org.codehaus.jackson.map.ObjectMapper"]
+        {
             self.register(om, "readTree", Some(1), ApiOp::JsonParse);
             self.register(om, "readValue", Some(2), ApiOp::ReflectFromJson);
             self.register(om, "writeValueAsString", Some(1), ApiOp::ReflectToJson);
@@ -656,8 +886,18 @@ impl SemanticModel {
 
     fn install_android_state(&mut self) {
         self.register("android.content.res.Resources", "getString", Some(1), ApiOp::ResGetString);
-        self.register("android.content.SharedPreferences", "getString", Some(2), ApiOp::CellGet(CellKind::Prefs));
-        self.register("android.content.SharedPreferences$Editor", "putString", Some(2), ApiOp::CellPut(CellKind::Prefs));
+        self.register(
+            "android.content.SharedPreferences",
+            "getString",
+            Some(2),
+            ApiOp::CellGet(CellKind::Prefs),
+        );
+        self.register(
+            "android.content.SharedPreferences$Editor",
+            "putString",
+            Some(2),
+            ApiOp::CellPut(CellKind::Prefs),
+        );
         let db = "android.database.sqlite.SQLiteDatabase";
         self.register(db, "insert", Some(3), ApiOp::CellPut(CellKind::Database));
         self.register(db, "update", Some(4), ApiOp::CellPut(CellKind::Database));
@@ -676,7 +916,12 @@ impl SemanticModel {
         self.register("android.widget.EditText", "getText", Some(0), ApiOp::Origin("user-input"));
         self.register("java.io.FileOutputStream", "write", None, ApiOp::Sink("file"));
         self.register("android.webkit.WebView", "loadUrl", Some(1), ApiOp::Sink("webview"));
-        self.register("android.widget.ImageView", "setImageBitmap", Some(1), ApiOp::Sink("image-view"));
+        self.register(
+            "android.widget.ImageView",
+            "setImageBitmap",
+            Some(1),
+            ApiOp::Sink("image-view"),
+        );
         self.register("android.media.MediaPlayer", "start", Some(0), ApiOp::Sink("media-player"));
         self.register("android.media.MediaPlayer", "prepare", Some(0), ApiOp::Sink("media-player"));
     }
@@ -732,7 +977,8 @@ mod tests {
         let apk = b.build();
         let prog = ProgramIndex::new(&apk);
         let m = SemanticModel::standard();
-        let call = MethodRef::new("my.custom.Client", "execute", vec![Type::obj_root()], Type::obj_root());
+        let call =
+            MethodRef::new("my.custom.Client", "execute", vec![Type::obj_root()], Type::obj_root());
         let dp = m.demarcation(&prog, &call).expect("inherited DP");
         assert_eq!(dp.request, DpRequestLoc::Arg(0));
         assert_eq!(dp.response, DpResponseLoc::Return);

@@ -152,8 +152,12 @@ impl AbsVal {
         match self {
             AbsVal::Str(p) => p.clone(),
             AbsVal::Json(j) => SigPat::Json(j.clone()),
-            AbsVal::Response(_) | AbsVal::Unknown | AbsVal::List(_) | AbsVal::Map(_)
-            | AbsVal::Pair(_, _) | AbsVal::Request(_) => match ty {
+            AbsVal::Response(_)
+            | AbsVal::Unknown
+            | AbsVal::List(_)
+            | AbsVal::Map(_)
+            | AbsVal::Pair(_, _)
+            | AbsVal::Request(_) => match ty {
                 Some(t) if t.is_numeric() => SigPat::Unknown(TypeHint::Num),
                 Some(Type::Bool) => SigPat::Unknown(TypeHint::Bool),
                 _ => SigPat::Unknown(TypeHint::Str),
@@ -357,11 +361,7 @@ impl<'a> SignatureBuilder<'a> {
         // so are not entries — evaluate them explicitly with the response
         // root seeded on their framework-fed parameters.
         if self.dp.spec.response == DpResponseLoc::Callback {
-            for e in self
-                .graph
-                .implicit_of((self.dp.method, self.dp.stmt))
-                .to_vec()
-            {
+            for e in self.graph.implicit_of((self.dp.method, self.dp.stmt)).to_vec() {
                 self.eval_entry(e.target);
             }
         }
@@ -419,11 +419,7 @@ impl<'a> SignatureBuilder<'a> {
     fn eval_entry(&self, mid: MethodId) {
         let method = self.prog.method(mid);
         let this = AbsVal::Unknown;
-        let args: Vec<AbsVal> = method
-            .params
-            .iter()
-            .map(|_| AbsVal::Unknown)
-            .collect();
+        let args: Vec<AbsVal> = method.params.iter().map(|_| AbsVal::Unknown).collect();
         // Response callbacks get the Response root seeded on the
         // framework-fed parameter.
         let args = self.seed_callback_args(mid, args);
@@ -480,16 +476,41 @@ impl<'a> SignatureBuilder<'a> {
         let mut ret_val: Option<AbsVal> = None;
         let mut this_out: Option<AbsVal> = None;
 
-        // Three passes over loops (§3.2's loop-header/latch handling):
+        // Widening over loops (§3.2's loop-header/latch handling),
+        // innermost loops first so an inner `rep{..}` is part of the
+        // enclosing loop's delta:
         //   pass 0 — ignore back edges (loop bodies see pre-loop values);
-        //   pass 1 — loop-carried *scalars* merge with the latch value
-        //            (e.g. a counter becomes 0 ∨ unknown-number), while
-        //            *accumulators* (latch value structurally extends the
-        //            header value) stay at their base, so the loop delta
-        //            can stabilize;
-        //   pass 2 — accumulators widen to base · rep{delta}, scalars
-        //            merge; captures/returns are taken from this pass only.
-        let passes = if cfg.back_edges.is_empty() { 1 } else { 3 };
+        //   pass p (1..=depth) — headers of loops at nesting depth
+        //            ≥ depth+1-p widen accumulators (latch value
+        //            structurally extends the header value) to
+        //            `base · rep{delta}`; the delta is *pinned* on first
+        //            widening, so outer prefixes may change on later
+        //            passes without re-deriving it. Headers not yet
+        //            scheduled keep accumulators at their base so their
+        //            delta can stabilize. Loop-carried *scalars* merge
+        //            with the latch value (e.g. a counter becomes
+        //            0 ∨ unknown-number) on every pass;
+        //   final pass — every header applies its pinned delta;
+        //            captures/returns are taken from this pass only.
+        let mut loop_members: Vec<(usize, std::collections::BTreeSet<usize>)> = Vec::new();
+        for &(latch, header) in &cfg.back_edges {
+            let body = cfg.natural_loop(latch, header);
+            if let Some(entry) = loop_members.iter_mut().find(|(h, _)| *h == header) {
+                entry.1.extend(body);
+            } else {
+                loop_members.push((header, body));
+            }
+        }
+        let depth_of =
+            |h: usize| loop_members.iter().filter(|(_, blocks)| blocks.contains(&h)).count();
+        let max_depth = loop_members.iter().map(|(h, _)| depth_of(*h)).max().unwrap_or(0);
+        // First pass on which each header widens (deeper loops earlier,
+        // and never before pass 2 so loop-carried scalars get one merge
+        // pass to stabilize first).
+        let widen_from: HashMap<usize, usize> =
+            loop_members.iter().map(|(h, _)| (*h, max_depth + 2 - depth_of(*h))).collect();
+        let mut deltas: HashMap<(usize, Local), SigPat> = HashMap::new();
+        let passes = if cfg.back_edges.is_empty() { 1 } else { 2 + max_depth };
         for pass in 0..passes {
             let last = pass + 1 == passes;
             for &bi in &cfg.rpo {
@@ -512,13 +533,15 @@ impl<'a> SignatureBuilder<'a> {
                     merged.unwrap_or_default()
                 };
                 if pass > 0 {
-                    for &(latch, header) in &cfg.back_edges {
-                        if header != bi {
-                            continue;
-                        }
-                        if let Some(latch_env) = env_out[latch].clone() {
-                            env = widen_env(&env, &latch_env, /*widen_accumulators=*/ last);
-                        }
+                    let latch_envs: Vec<Env> = cfg
+                        .back_edges
+                        .iter()
+                        .filter(|&&(_, h)| h == bi)
+                        .filter_map(|&(l, _)| env_out[l].clone())
+                        .collect();
+                    if !latch_envs.is_empty() {
+                        let widen_now = widen_from.get(&bi).is_some_and(|&w| pass >= w);
+                        env = widen_env(&env, &latch_envs, widen_now, bi, &mut deltas);
                     }
                 }
                 for si in block.stmts() {
@@ -538,10 +561,7 @@ impl<'a> SignatureBuilder<'a> {
                 env_out[bi] = Some(env);
             }
         }
-        (
-            ret_val.unwrap_or(AbsVal::Unknown),
-            this_out.unwrap_or(this),
-        )
+        (ret_val.unwrap_or(AbsVal::Unknown), this_out.unwrap_or(this))
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -587,24 +607,23 @@ impl<'a> SignatureBuilder<'a> {
             Stmt::Invoke(call) => {
                 let _ = self.eval_call(mid, si, call, env, is_dp_stmt);
             }
-            Stmt::Return(v)
-                if final_pass => {
-                    let rv = match v {
-                        Some(val) => self.eval_value(val, env),
-                        None => AbsVal::Unknown,
-                    };
-                    *ret_val = Some(match ret_val.take() {
-                        None => rv,
-                        Some(old) => AbsVal::merge(old, rv),
+            Stmt::Return(v) if final_pass => {
+                let rv = match v {
+                    Some(val) => self.eval_value(val, env),
+                    None => AbsVal::Unknown,
+                };
+                *ret_val = Some(match ret_val.take() {
+                    None => rv,
+                    Some(old) => AbsVal::merge(old, rv),
+                });
+                if let Some(tl) = this_local {
+                    let tv = env.get(tl).cloned().unwrap_or(AbsVal::Unknown);
+                    *this_out = Some(match this_out.take() {
+                        None => tv,
+                        Some(old) => AbsVal::merge(old, tv),
                     });
-                    if let Some(tl) = this_local {
-                        let tv = env.get(tl).cloned().unwrap_or(AbsVal::Unknown);
-                        *this_out = Some(match this_out.take() {
-                            None => tv,
-                            Some(old) => AbsVal::merge(old, tv),
-                        });
-                    }
                 }
+            }
             _ => {}
         }
         // Capture the request operand at the DP (merged across paths of
@@ -684,11 +703,7 @@ impl<'a> SignatureBuilder<'a> {
                     // Resources stored via the Resources class are resolved
                     // by cell; unknown cells stay unknown.
                     let key = format!("{}#{}", field.class, field.name);
-                    self.heap
-                        .borrow()
-                        .get(&key)
-                        .cloned()
-                        .unwrap_or(AbsVal::Unknown)
+                    self.heap.borrow().get(&key).cloned().unwrap_or(AbsVal::Unknown)
                 }
                 Place::ArrayElem { .. } | Place::Local(_) => AbsVal::Unknown,
             },
@@ -710,15 +725,12 @@ impl<'a> SignatureBuilder<'a> {
     fn new_object(&self, class: &str) -> AbsVal {
         match class {
             "java.lang.StringBuilder" => AbsVal::Str(SigPat::empty()),
-            "org.json.JSONObject" | "com.google.gson.JsonObject"
+            "org.json.JSONObject"
+            | "com.google.gson.JsonObject"
             | "com.alibaba.fastjson.JSONObject" => AbsVal::Json(JsonSig::object()),
             "org.json.JSONArray" => AbsVal::List(Vec::new()),
-            c if c.ends_with("ArrayList") || c.ends_with("LinkedList") => {
-                AbsVal::List(Vec::new())
-            }
-            c if c.ends_with("HashMap") || c.ends_with("ContentValues") => {
-                AbsVal::Map(Vec::new())
-            }
+            c if c.ends_with("ArrayList") || c.ends_with("LinkedList") => AbsVal::List(Vec::new()),
+            c if c.ends_with("HashMap") || c.ends_with("ContentValues") => AbsVal::Map(Vec::new()),
             _ => AbsVal::Unknown,
         }
     }
@@ -726,12 +738,7 @@ impl<'a> SignatureBuilder<'a> {
     /// Type hint of a value for wildcard derivation.
     fn value_type(&self, mid: MethodId, v: &Value) -> Option<Type> {
         match v {
-            Value::Local(l) => self
-                .prog
-                .method(mid)
-                .locals
-                .get(l.index())
-                .map(|d| d.ty.clone()),
+            Value::Local(l) => self.prog.method(mid).locals.get(l.index()).map(|d| d.ty.clone()),
             Value::Const(c) => Some(c.ty()),
             Value::Resource(_) => Some(Type::string()),
         }
@@ -746,11 +753,8 @@ impl<'a> SignatureBuilder<'a> {
         env: &mut HashMap<Local, AbsVal>,
         is_dp_stmt: bool,
     ) -> AbsVal {
-        let recv_val = call
-            .receiver
-            .as_ref()
-            .map(|v| self.eval_value(v, env))
-            .unwrap_or(AbsVal::Unknown);
+        let recv_val =
+            call.receiver.as_ref().map(|v| self.eval_value(v, env)).unwrap_or(AbsVal::Unknown);
         let arg_vals: Vec<AbsVal> = call.args.iter().map(|v| self.eval_value(v, env)).collect();
         let arg_sig = |i: usize| -> SigPat {
             arg_vals
@@ -770,7 +774,9 @@ impl<'a> SignatureBuilder<'a> {
             ApiOp::SbNew => {
                 let init = arg_vals
                     .first()
-                    .map(|v| v.to_sig(call.args.first().and_then(|a| self.value_type(mid, a)).as_ref()))
+                    .map(|v| {
+                        v.to_sig(call.args.first().and_then(|a| self.value_type(mid, a)).as_ref())
+                    })
                     .unwrap_or(SigPat::empty());
                 set_recv(env, AbsVal::Str(init));
                 AbsVal::Unknown
@@ -791,11 +797,13 @@ impl<'a> SignatureBuilder<'a> {
                 AbsVal::Str(base.concat(arg_sig(0)))
             }
             ApiOp::Stringify => {
-                let hint = call
-                    .args
-                    .first()
-                    .and_then(|a| self.value_type(mid, a));
-                AbsVal::Str(arg_vals.first().map(|v| v.to_sig(hint.as_ref())).unwrap_or(SigPat::Unknown(TypeHint::Str)))
+                let hint = call.args.first().and_then(|a| self.value_type(mid, a));
+                AbsVal::Str(
+                    arg_vals
+                        .first()
+                        .map(|v| v.to_sig(hint.as_ref()))
+                        .unwrap_or(SigPat::Unknown(TypeHint::Str)),
+                )
             }
             ApiOp::StrFormat => {
                 // Expand %s/%d in a constant format string.
@@ -838,11 +846,8 @@ impl<'a> SignatureBuilder<'a> {
 
             // ---- request objects ----
             ApiOp::ApacheRequestNew(m) => {
-                let r = RequestAbs {
-                    method: Some(m),
-                    uri: Some(arg_sig(0)),
-                    ..RequestAbs::default()
-                };
+                let r =
+                    RequestAbs { method: Some(m), uri: Some(arg_sig(0)), ..RequestAbs::default() };
                 set_recv(env, AbsVal::Request(Box::new(r)));
                 AbsVal::Unknown
             }
@@ -1003,7 +1008,9 @@ impl<'a> SignatureBuilder<'a> {
             ApiOp::GoogleBuildRequest(m) => {
                 let mut r = match arg_vals.first() {
                     Some(AbsVal::Request(r)) => (**r).clone(),
-                    Some(AbsVal::Str(p)) => RequestAbs { uri: Some(p.clone()), ..RequestAbs::default() },
+                    Some(AbsVal::Str(p)) => {
+                        RequestAbs { uri: Some(p.clone()), ..RequestAbs::default() }
+                    }
                     _ => RequestAbs::default(),
                 };
                 r.method = Some(m);
@@ -1064,9 +1071,9 @@ impl<'a> SignatureBuilder<'a> {
                     if let Some(AbsVal::Str(SigPat::Const(k))) = arg_vals.first() {
                         let child = match arg_vals.get(1) {
                             Some(AbsVal::Json(cj)) => cj.clone(),
-                            Some(v) => JsonSig::Value(Box::new(
-                                v.to_sig(call.args.get(1).and_then(|a| self.value_type(mid, a)).as_ref()),
-                            )),
+                            Some(v) => JsonSig::Value(Box::new(v.to_sig(
+                                call.args.get(1).and_then(|a| self.value_type(mid, a)).as_ref(),
+                            ))),
                             None => JsonSig::Unknown,
                         };
                         j.put(k, child);
@@ -1109,10 +1116,9 @@ impl<'a> SignatureBuilder<'a> {
                     self.record_json_read(&path, JsonAccess::Object);
                     AbsVal::Response(path)
                 }
-                AbsVal::List(items) => items
-                    .into_iter()
-                    .reduce(AbsVal::merge)
-                    .unwrap_or(AbsVal::Unknown),
+                AbsVal::List(items) => {
+                    items.into_iter().reduce(AbsVal::merge).unwrap_or(AbsVal::Unknown)
+                }
                 _ => AbsVal::Unknown,
             },
             ApiOp::JsonArrayPut | ApiOp::ListAdd => {
@@ -1209,10 +1215,9 @@ impl<'a> SignatureBuilder<'a> {
                 AbsVal::Unknown
             }
             ApiOp::ListGet => match recv_val {
-                AbsVal::List(items) => items
-                    .into_iter()
-                    .reduce(AbsVal::merge)
-                    .unwrap_or(AbsVal::Unknown),
+                AbsVal::List(items) => {
+                    items.into_iter().reduce(AbsVal::merge).unwrap_or(AbsVal::Unknown)
+                }
                 _ => AbsVal::Unknown,
             },
             ApiOp::MapNew | ApiOp::ContentValuesNew => {
@@ -1457,11 +1462,7 @@ fn body_from(v: AbsVal) -> BodySig {
                 .collect();
             BodySig::Form(pairs)
         }
-        AbsVal::Map(m) => BodySig::Form(
-            m.into_iter()
-                .map(|(k, v)| (k, v.to_sig(None)))
-                .collect(),
-        ),
+        AbsVal::Map(m) => BodySig::Form(m.into_iter().map(|(k, v)| (k, v.to_sig(None))).collect()),
         _ => BodySig::Text(SigPat::Unknown(TypeHint::Str)),
     }
 }
@@ -1494,42 +1495,74 @@ fn merge_env(
 /// `base · rep{delta}`. All other loop-carried variables merge with `∨`.
 fn widen_env(
     before: &HashMap<Local, AbsVal>,
-    after: &HashMap<Local, AbsVal>,
+    latches: &[HashMap<Local, AbsVal>],
     widen_accumulators: bool,
+    header: usize,
+    deltas: &mut HashMap<(usize, Local), SigPat>,
 ) -> HashMap<Local, AbsVal> {
     let mut out = HashMap::new();
     for (k, b) in before {
-        match after.get(k) {
-            Some(a) if a != b => {
-                let widened = match (b, a) {
-                    (AbsVal::Str(pb), AbsVal::Str(pa)) if extends(pb, pa) => {
-                        if widen_accumulators {
-                            AbsVal::Str(SigPat::widen_loop(pb, pa))
-                        } else {
-                            b.clone()
+        let afters: Vec<&AbsVal> =
+            latches.iter().filter_map(|e| e.get(k)).filter(|a| *a != b).collect();
+        if afters.is_empty() {
+            out.insert(*k, b.clone());
+            continue;
+        }
+        if let AbsVal::Str(pb) = b {
+            // Accumulator: every latch value structurally extends the
+            // header value (or a delta was already pinned for this cell).
+            let mut ds: Vec<SigPat> = Vec::new();
+            let all_extend = afters.iter().all(|a| match a {
+                AbsVal::Str(pa) => match SigPat::loop_delta(pb, pa) {
+                    Some(d) => {
+                        if !d.is_epsilon() {
+                            ds.push(d);
                         }
+                        true
                     }
-                    _ => AbsVal::merge(b.clone(), a.clone()),
-                };
-                out.insert(*k, widened);
-            }
-            _ => {
-                out.insert(*k, b.clone());
+                    None => false,
+                },
+                _ => false,
+            });
+            let pinned = deltas.contains_key(&(header, *k));
+            if all_extend || pinned {
+                let mut val = b.clone();
+                if widen_accumulators {
+                    let delta = match deltas.get(&(header, *k)) {
+                        Some(d) => Some(d.clone()),
+                        None if ds.is_empty() => None,
+                        None => {
+                            let mut it = ds.into_iter();
+                            let first = it.next().expect("non-empty deltas");
+                            let merged = it.fold(first, |acc, d| acc.or(d));
+                            deltas.insert((header, *k), merged.clone());
+                            Some(merged)
+                        }
+                    };
+                    if let Some(d) = delta {
+                        val = AbsVal::Str(
+                            SigPat::Concat(vec![pb.clone(), SigPat::Rep(Box::new(d))]).normalize(),
+                        );
+                    }
+                }
+                out.insert(*k, val);
+                continue;
             }
         }
+        // Scalar / non-accumulator: ∨-merge with every latch value.
+        let mut val = b.clone();
+        for a in afters {
+            val = AbsVal::merge(val, a.clone());
+        }
+        out.insert(*k, val);
     }
-    for (k, a) in after {
-        out.entry(*k).or_insert_with(|| a.clone());
+    // Locals first defined inside the loop body.
+    for latch in latches {
+        for (k, a) in latch {
+            out.entry(*k).or_insert_with(|| a.clone());
+        }
     }
     out
-}
-
-/// True when `after` structurally extends `before` (accumulator shape).
-fn extends(before: &SigPat, after: &SigPat) -> bool {
-    !matches!(
-        SigPat::widen_loop(before, after),
-        SigPat::Or(_)
-    )
 }
 
 #[cfg(test)]
@@ -1557,10 +1590,7 @@ mod tests {
         let graph = CallGraph::build(&prog, &CallbackRegistry::android_defaults());
         let sites = demarcation::scan(&prog, &model);
         let slices = slice_all(&prog, &graph, &model, &sites, &SliceOptions::default());
-        slices
-            .iter()
-            .map(|s| SignatureBuilder::extract(&prog, &model, &graph, s))
-            .collect()
+        slices.iter().map(|s| SignatureBuilder::extract(&prog, &model, &graph, s)).collect()
     }
 
     /// URI built by StringBuilder with branches: the diode-like shape.
@@ -1580,13 +1610,24 @@ mod tests {
                 m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::str("/.json")]);
                 m.goto("send");
                 m.label("search");
-                m.new_obj_into(sb, "java.lang.StringBuilder", vec![Value::str("http://r.com/search/.json?q=")]);
+                m.new_obj_into(
+                    sb,
+                    "java.lang.StringBuilder",
+                    vec![Value::str("http://r.com/search/.json?q=")],
+                );
                 m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(q)]);
                 m.label("send");
-                let url = m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
-                let req = m.new_obj("org.apache.http.client.methods.HttpGet", vec![Value::Local(url)]);
+                let url =
+                    m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
+                let req =
+                    m.new_obj("org.apache.http.client.methods.HttpGet", vec![Value::Local(url)]);
                 let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
-                m.vcall_void(client, "org.apache.http.client.HttpClient", "execute", vec![Value::Local(req)]);
+                m.vcall_void(
+                    client,
+                    "org.apache.http.client.HttpClient",
+                    "execute",
+                    vec![Value::Local(req)],
+                );
                 m.ret_void();
             });
         });
@@ -1623,10 +1664,17 @@ mod tests {
                 m.assign(i, Expr::Bin(extractocol_ir::BinOp::Add, Value::Local(i), Value::int(1)));
                 m.goto("head");
                 m.label("done");
-                let url = m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
-                let req = m.new_obj("org.apache.http.client.methods.HttpGet", vec![Value::Local(url)]);
+                let url =
+                    m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
+                let req =
+                    m.new_obj("org.apache.http.client.methods.HttpGet", vec![Value::Local(url)]);
                 let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
-                m.vcall_void(client, "org.apache.http.client.HttpClient", "execute", vec![Value::Local(req)]);
+                m.vcall_void(
+                    client,
+                    "org.apache.http.client.HttpClient",
+                    "execute",
+                    vec![Value::Local(req)],
+                );
                 m.ret_void();
             });
         });
@@ -1638,6 +1686,123 @@ mod tests {
         assert!(re.is_match("http://x/?id=1&"), "{}", uri.to_regex());
         assert!(re.is_match("http://x/?id=1&id=2&id=3&"), "{}", uri.to_regex());
         assert!(!re.is_match("http://y/?id=1&"));
+    }
+
+    /// Diamond CFG: one StringBuilder, two arms appending different
+    /// constants, a join, then a common suffix. The confluence ∨-merge
+    /// (Fig. 4's join rule) must keep both arm values while sharing the
+    /// prefix and suffix — not drop an arm, not cross-combine.
+    #[test]
+    fn diamond_confluence_keeps_both_arms_and_common_suffix() {
+        let mut b = ApkBuilder::new("t", "t");
+        http_stubs(&mut b);
+        b.class("t.C", |c| {
+            c.method("go", vec![Type::Int], Type::Void, |m| {
+                m.recv("t.C");
+                let mode = m.arg(0, "mode");
+                let sb =
+                    m.new_obj("java.lang.StringBuilder", vec![Value::str("http://d.com/api/")]);
+                m.iff(CondOp::Eq, mode, Value::int(0), "right");
+                m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::str("hot")]);
+                m.goto("join");
+                m.label("right");
+                m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::str("new")]);
+                m.label("join");
+                m.vcall_void(
+                    sb,
+                    "java.lang.StringBuilder",
+                    "append",
+                    vec![Value::str("/page.json")],
+                );
+                let url =
+                    m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
+                let req =
+                    m.new_obj("org.apache.http.client.methods.HttpGet", vec![Value::Local(url)]);
+                let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
+                m.vcall_void(
+                    client,
+                    "org.apache.http.client.HttpClient",
+                    "execute",
+                    vec![Value::Local(req)],
+                );
+                m.ret_void();
+            });
+        });
+        let apk = b.build();
+        let sigs = extract_all(&apk);
+        assert_eq!(sigs.len(), 1);
+        let uri = &sigs[0].request.uri;
+        let re = Regex::new(&uri.to_regex()).unwrap();
+        assert!(re.is_match("http://d.com/api/hot/page.json"), "{}", uri.display());
+        assert!(re.is_match("http://d.com/api/new/page.json"), "{}", uri.display());
+        // Neither arm may be dropped at the join, and the suffix applies
+        // to both arms (no arm escapes the merge without it).
+        assert!(!re.is_match("http://d.com/api/hot"), "{}", uri.display());
+        assert!(!re.is_match("http://d.com/api//page.json"), "{}", uri.display());
+        assert!(!re.is_match("http://d.com/api/hotnew/page.json"), "{}", uri.display());
+    }
+
+    /// Nested loops: the inner loop's rep must live *inside* the outer
+    /// loop's rep — `(g=(i&)*;)*` — so any number of outer iterations,
+    /// each with any number of inner iterations, matches.
+    #[test]
+    fn nested_loops_produce_nested_rep() {
+        let mut b = ApkBuilder::new("t", "t");
+        http_stubs(&mut b);
+        b.class("t.C", |c| {
+            c.method("go", vec![Type::Int, Type::Int], Type::Void, |m| {
+                m.recv("t.C");
+                let n = m.arg(0, "n");
+                let k = m.arg(1, "k");
+                let i = m.local("i", Type::Int);
+                let j = m.local("j", Type::Int);
+                let sb = m.new_obj("java.lang.StringBuilder", vec![Value::str("http://x/?")]);
+                m.cint(i, 0);
+                m.label("outer");
+                m.iff(CondOp::Ge, i, n, "done_outer");
+                m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::str("g=")]);
+                m.cint(j, 0);
+                m.label("inner");
+                m.iff(CondOp::Ge, j, k, "done_inner");
+                m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::str("i&")]);
+                m.assign(j, Expr::Bin(extractocol_ir::BinOp::Add, Value::Local(j), Value::int(1)));
+                m.goto("inner");
+                m.label("done_inner");
+                m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::str(";")]);
+                m.assign(i, Expr::Bin(extractocol_ir::BinOp::Add, Value::Local(i), Value::int(1)));
+                m.goto("outer");
+                m.label("done_outer");
+                let url =
+                    m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
+                let req =
+                    m.new_obj("org.apache.http.client.methods.HttpGet", vec![Value::Local(url)]);
+                let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
+                m.vcall_void(
+                    client,
+                    "org.apache.http.client.HttpClient",
+                    "execute",
+                    vec![Value::Local(req)],
+                );
+                m.ret_void();
+            });
+        });
+        let apk = b.build();
+        let sigs = extract_all(&apk);
+        assert_eq!(sigs.len(), 1);
+        let uri = &sigs[0].request.uri;
+        let re = Regex::new(&uri.to_regex()).unwrap();
+        // zero outer iterations
+        assert!(re.is_match("http://x/?"), "{}", uri.display());
+        // one outer, zero inner
+        assert!(re.is_match("http://x/?g=;"), "{}", uri.display());
+        // one outer, several inner
+        assert!(re.is_match("http://x/?g=i&i&i&;"), "{}", uri.display());
+        // several outer with differing inner counts — only possible when
+        // the inner rep is nested inside the outer rep
+        assert!(re.is_match("http://x/?g=i&;g=;g=i&i&;"), "{}", uri.display());
+        // inner content cannot appear outside an outer iteration
+        assert!(!re.is_match("http://x/?i&"), "{}", uri.display());
+        assert!(!re.is_match("http://y/?g=;"));
     }
 
     /// JSON request bodies and response reader trees.
@@ -1652,22 +1817,75 @@ mod tests {
                 let pw = m.arg(1, "pw");
                 // body: {"user": <u>, "passwd": <p>}
                 let json = m.new_obj("org.json.JSONObject", vec![]);
-                m.vcall_void(json, "org.json.JSONObject", "put", vec![Value::str("user"), Value::Local(user)]);
-                m.vcall_void(json, "org.json.JSONObject", "put", vec![Value::str("passwd"), Value::Local(pw)]);
+                m.vcall_void(
+                    json,
+                    "org.json.JSONObject",
+                    "put",
+                    vec![Value::str("user"), Value::Local(user)],
+                );
+                m.vcall_void(
+                    json,
+                    "org.json.JSONObject",
+                    "put",
+                    vec![Value::str("passwd"), Value::Local(pw)],
+                );
                 let text = m.vcall(json, "org.json.JSONObject", "toString", vec![], Type::string());
-                let ent = m.new_obj("org.apache.http.entity.StringEntity", vec![Value::Local(text)]);
-                let req = m.new_obj("org.apache.http.client.methods.HttpPost", vec![Value::str("https://s.com/api/login")]);
-                m.vcall_void(req, "org.apache.http.client.methods.HttpPost", "setEntity", vec![Value::Local(ent)]);
+                let ent =
+                    m.new_obj("org.apache.http.entity.StringEntity", vec![Value::Local(text)]);
+                let req = m.new_obj(
+                    "org.apache.http.client.methods.HttpPost",
+                    vec![Value::str("https://s.com/api/login")],
+                );
+                m.vcall_void(
+                    req,
+                    "org.apache.http.client.methods.HttpPost",
+                    "setEntity",
+                    vec![Value::Local(ent)],
+                );
                 let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
-                let resp = m.vcall(client, "org.apache.http.client.HttpClient", "execute",
-                    vec![Value::Local(req)], Type::object("org.apache.http.HttpResponse"));
+                let resp = m.vcall(
+                    client,
+                    "org.apache.http.client.HttpClient",
+                    "execute",
+                    vec![Value::Local(req)],
+                    Type::object("org.apache.http.HttpResponse"),
+                );
                 // parse response: {"json": {"data": {"modhash": .., "cookie": ..}}}
-                let ent2 = m.vcall(resp, "org.apache.http.HttpResponse", "getEntity", vec![], Type::object("org.apache.http.HttpEntity"));
-                let body = m.scall("org.apache.http.util.EntityUtils", "toString", vec![Value::Local(ent2)], Type::string());
+                let ent2 = m.vcall(
+                    resp,
+                    "org.apache.http.HttpResponse",
+                    "getEntity",
+                    vec![],
+                    Type::object("org.apache.http.HttpEntity"),
+                );
+                let body = m.scall(
+                    "org.apache.http.util.EntityUtils",
+                    "toString",
+                    vec![Value::Local(ent2)],
+                    Type::string(),
+                );
                 let root = m.new_obj("org.json.JSONObject", vec![Value::Local(body)]);
-                let data = m.vcall(root, "org.json.JSONObject", "getJSONObject", vec![Value::str("json")], Type::object("org.json.JSONObject"));
-                let modhash = m.vcall(data, "org.json.JSONObject", "getString", vec![Value::str("modhash")], Type::string());
-                let cookie = m.vcall(data, "org.json.JSONObject", "getString", vec![Value::str("cookie")], Type::string());
+                let data = m.vcall(
+                    root,
+                    "org.json.JSONObject",
+                    "getJSONObject",
+                    vec![Value::str("json")],
+                    Type::object("org.json.JSONObject"),
+                );
+                let modhash = m.vcall(
+                    data,
+                    "org.json.JSONObject",
+                    "getString",
+                    vec![Value::str("modhash")],
+                    Type::string(),
+                );
+                let cookie = m.vcall(
+                    data,
+                    "org.json.JSONObject",
+                    "getString",
+                    vec![Value::str("cookie")],
+                    Type::string(),
+                );
                 let _ = (modhash, cookie);
                 m.ret_void();
             });
@@ -1710,18 +1928,44 @@ mod tests {
                 m.cres(base, "base_url");
                 let sb = m.new_obj("java.lang.StringBuilder", vec![Value::Local(base)]);
                 m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::str("vote")]);
-                let url = m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
+                let url =
+                    m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
                 let list = m.new_obj("java.util.ArrayList", vec![]);
-                let p1 = m.new_obj("org.apache.http.message.BasicNameValuePair", vec![Value::str("id"), Value::Local(tok)]);
+                let p1 = m.new_obj(
+                    "org.apache.http.message.BasicNameValuePair",
+                    vec![Value::str("id"), Value::Local(tok)],
+                );
                 m.vcall_void(list, "java.util.ArrayList", "add", vec![Value::Local(p1)]);
-                let p2 = m.new_obj("org.apache.http.message.BasicNameValuePair", vec![Value::str("dir"), Value::str("1")]);
+                let p2 = m.new_obj(
+                    "org.apache.http.message.BasicNameValuePair",
+                    vec![Value::str("dir"), Value::str("1")],
+                );
                 m.vcall_void(list, "java.util.ArrayList", "add", vec![Value::Local(p2)]);
-                let ent = m.new_obj("org.apache.http.client.entity.UrlEncodedFormEntity", vec![Value::Local(list)]);
-                let req = m.new_obj("org.apache.http.client.methods.HttpPost", vec![Value::Local(url)]);
-                m.vcall_void(req, "org.apache.http.client.methods.HttpPost", "setEntity", vec![Value::Local(ent)]);
-                m.vcall_void(req, "org.apache.http.client.methods.HttpPost", "setHeader", vec![Value::str("Cookie"), Value::Local(tok)]);
+                let ent = m.new_obj(
+                    "org.apache.http.client.entity.UrlEncodedFormEntity",
+                    vec![Value::Local(list)],
+                );
+                let req =
+                    m.new_obj("org.apache.http.client.methods.HttpPost", vec![Value::Local(url)]);
+                m.vcall_void(
+                    req,
+                    "org.apache.http.client.methods.HttpPost",
+                    "setEntity",
+                    vec![Value::Local(ent)],
+                );
+                m.vcall_void(
+                    req,
+                    "org.apache.http.client.methods.HttpPost",
+                    "setHeader",
+                    vec![Value::str("Cookie"), Value::Local(tok)],
+                );
                 let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
-                m.vcall_void(client, "org.apache.http.client.HttpClient", "execute", vec![Value::Local(req)]);
+                m.vcall_void(
+                    client,
+                    "org.apache.http.client.HttpClient",
+                    "execute",
+                    vec![Value::Local(req)],
+                );
                 m.ret_void();
             });
         });
@@ -1758,12 +2002,32 @@ mod tests {
                 let obj = m.temp(Type::object("t.LoginReq"));
                 m.assign(obj, Expr::New("t.LoginReq".into()));
                 let gson = m.new_obj("com.google.gson.Gson", vec![]);
-                let text = m.vcall(gson, "com.google.gson.Gson", "toJson", vec![Value::Local(obj)], Type::string());
-                let ent = m.new_obj("org.apache.http.entity.StringEntity", vec![Value::Local(text)]);
-                let req = m.new_obj("org.apache.http.client.methods.HttpPost", vec![Value::str("https://x/login")]);
-                m.vcall_void(req, "org.apache.http.client.methods.HttpPost", "setEntity", vec![Value::Local(ent)]);
+                let text = m.vcall(
+                    gson,
+                    "com.google.gson.Gson",
+                    "toJson",
+                    vec![Value::Local(obj)],
+                    Type::string(),
+                );
+                let ent =
+                    m.new_obj("org.apache.http.entity.StringEntity", vec![Value::Local(text)]);
+                let req = m.new_obj(
+                    "org.apache.http.client.methods.HttpPost",
+                    vec![Value::str("https://x/login")],
+                );
+                m.vcall_void(
+                    req,
+                    "org.apache.http.client.methods.HttpPost",
+                    "setEntity",
+                    vec![Value::Local(ent)],
+                );
                 let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
-                m.vcall_void(client, "org.apache.http.client.HttpClient", "execute", vec![Value::Local(req)]);
+                m.vcall_void(
+                    client,
+                    "org.apache.http.client.HttpClient",
+                    "execute",
+                    vec![Value::Local(req)],
+                );
                 m.ret_void();
             });
         });

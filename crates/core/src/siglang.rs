@@ -145,9 +145,24 @@ impl SigPat {
     /// marks the part can be repeated").
     pub fn widen_loop(before: &SigPat, after: &SigPat) -> SigPat {
         let b = before.clone().normalize();
+        match SigPat::loop_delta(before, after) {
+            Some(delta) if delta.is_epsilon() => b,
+            Some(delta) => SigPat::Concat(vec![b, SigPat::Rep(Box::new(delta))]).normalize(),
+            // No structural prefix: fall back to disjunction, which stays
+            // sound.
+            None => b.or(after.clone().normalize()),
+        }
+    }
+
+    /// The per-iteration suffix of a loop accumulator: when `after` is
+    /// `before` followed by extra parts, returns that delta (the empty
+    /// pattern when they are equal). `None` means `after` does not
+    /// structurally extend `before` — not an accumulator shape.
+    pub fn loop_delta(before: &SigPat, after: &SigPat) -> Option<SigPat> {
+        let b = before.clone().normalize();
         let a = after.clone().normalize();
         if a == b {
-            return b;
+            return Some(SigPat::Const(String::new()));
         }
         let bv = match &b {
             SigPat::Concat(v) => v.clone(),
@@ -157,16 +172,17 @@ impl SigPat {
             SigPat::Concat(v) => v.clone(),
             other => vec![other.clone()],
         };
-        if let Some(delta) = strip_prefix_parts(&bv, &av) {
-            if delta.is_empty() {
-                return b;
-            }
-            let delta = SigPat::Concat(delta).normalize();
-            return SigPat::Concat(vec![b, SigPat::Rep(Box::new(delta))]).normalize();
+        let delta = strip_prefix_parts(&bv, &av)?;
+        Some(SigPat::Concat(delta).normalize())
+    }
+
+    /// True for the empty pattern (matches only the empty string).
+    pub fn is_epsilon(&self) -> bool {
+        match self {
+            SigPat::Const(s) => s.is_empty(),
+            SigPat::Concat(v) => v.iter().all(SigPat::is_epsilon),
+            _ => false,
         }
-        // No structural prefix: fall back to disjunction, which stays
-        // sound.
-        b.or(a)
     }
 
     /// All constant keywords (string literals) appearing in the signature —
@@ -376,9 +392,9 @@ impl JsonSig {
     pub fn matches(&self, v: &JsonValue) -> bool {
         match (self, v) {
             (JsonSig::Unknown, _) => true,
-            (JsonSig::Object(m), JsonValue::Object(vm)) => m.iter().all(|(k, s)| {
-                vm.get(k).map(|vv| s.matches(vv)).unwrap_or(false)
-            }),
+            (JsonSig::Object(m), JsonValue::Object(vm)) => {
+                m.iter().all(|(k, s)| vm.get(k).map(|vv| s.matches(vv)).unwrap_or(false))
+            }
             (JsonSig::Array(e), JsonValue::Array(va)) => va.iter().all(|vv| e.matches(vv)),
             // A JSON body whose top level is an array of one station etc.
             (JsonSig::Object(_), JsonValue::Array(va)) => {
@@ -457,10 +473,8 @@ impl JsonSig {
             JsonSig::Value(p) => p.display(),
             JsonSig::Array(e) => format!("[{}]", e.display()),
             JsonSig::Object(m) => {
-                let fields: Vec<String> = m
-                    .iter()
-                    .map(|(k, v)| format!("\"{}\": {}", k, v.display()))
-                    .collect();
+                let fields: Vec<String> =
+                    m.iter().map(|(k, v)| format!("\"{}\": {}", k, v.display())).collect();
                 format!("{{ {} }}", fields.join(", "))
             }
         }
@@ -659,10 +673,7 @@ mod tests {
             SigPat::any_str(),
         ])
         .normalize();
-        assert_eq!(
-            p,
-            SigPat::Concat(vec![SigPat::lit("http://host/api"), SigPat::any_str()])
-        );
+        assert_eq!(p, SigPat::Concat(vec![SigPat::lit("http://host/api"), SigPat::any_str()]));
         // idempotent
         assert_eq!(p.clone().normalize(), p);
     }
@@ -726,10 +737,9 @@ mod tests {
         let mut sig = JsonSig::object();
         sig.put("relay", JsonSig::Value(Box::new(SigPat::any_str())));
         sig.put("listeners", JsonSig::Value(Box::new(SigPat::any_str())));
-        let v = JsonValue::parse(
-            r#"{"relay":"http://cdn/x","listeners":"13586","extra":"ignored"}"#,
-        )
-        .unwrap();
+        let v =
+            JsonValue::parse(r#"{"relay":"http://cdn/x","listeners":"13586","extra":"ignored"}"#)
+                .unwrap();
         assert!(sig.matches(&v));
         let missing = JsonValue::parse(r#"{"listeners":"1"}"#).unwrap();
         assert!(!sig.matches(&missing));
@@ -784,11 +794,8 @@ mod tests {
 
     #[test]
     fn constants_extraction() {
-        let sig = SigPat::Concat(vec![
-            SigPat::lit("user="),
-            SigPat::any_str(),
-            SigPat::lit("&passwd="),
-        ]);
+        let sig =
+            SigPat::Concat(vec![SigPat::lit("user="), SigPat::any_str(), SigPat::lit("&passwd=")]);
         assert_eq!(sig.constants(), vec!["user=", "&passwd="]);
     }
 }

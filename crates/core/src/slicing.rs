@@ -20,7 +20,7 @@ use crate::demarcation::DpSite;
 use crate::flowmodel::SemanticFlowModel;
 use crate::semantics::{DpResponseLoc, SemanticModel};
 use extractocol_analysis::{
-    AccessPath, CallGraph, Direction, Seed, TaintEngine, TaintOptions, TaintReport,
+    AccessPath, CacheStats, CallGraph, Direction, Seed, TaintEngine, TaintOptions, TaintReport,
 };
 use extractocol_ir::{Expr, Local, MethodId, Place, ProgramIndex, Stmt, Value};
 use std::collections::HashSet;
@@ -70,10 +70,7 @@ pub struct SliceSet {
 impl SliceSet {
     /// All statements in either slice.
     pub fn all_stmts(&self) -> HashSet<(MethodId, usize)> {
-        self.request_slice
-            .union(&self.response_slice)
-            .copied()
-            .collect()
+        self.request_slice.union(&self.response_slice).copied().collect()
     }
 }
 
@@ -96,7 +93,7 @@ impl SliceStats {
     }
 }
 
-/// Runs bidirectional slicing for every DP site.
+/// Runs bidirectional slicing for every DP site, sequentially.
 pub fn slice_all(
     prog: &ProgramIndex<'_>,
     graph: &CallGraph,
@@ -104,17 +101,33 @@ pub fn slice_all(
     sites: &[DpSite],
     opts: &SliceOptions,
 ) -> Vec<SliceSet> {
+    slice_all_with(prog, graph, model, sites, opts, 1).0
+}
+
+/// Runs bidirectional slicing for every DP site, fanning independent DPs
+/// across up to `jobs` worker threads (`0` = one per core, `1` =
+/// sequential). One [`TaintEngine`] — and therefore one method-summary
+/// cache — is shared by every worker, so helper methods reached from
+/// several DPs are analyzed once; the returned [`CacheStats`] quantifies
+/// that sharing. Results are ordered by DP site regardless of `jobs`.
+pub fn slice_all_with(
+    prog: &ProgramIndex<'_>,
+    graph: &CallGraph,
+    model: &SemanticModel,
+    sites: &[DpSite],
+    opts: &SliceOptions,
+    jobs: usize,
+) -> (Vec<SliceSet>, CacheStats) {
     let flow_model = SemanticFlowModel::new(model, prog);
     let engine = TaintEngine::new(
         prog,
         graph,
         &flow_model,
-        TaintOptions { max_field_depth: opts.max_field_depth },
+        TaintOptions { max_field_depth: opts.max_field_depth, ..TaintOptions::default() },
     );
-    sites
-        .iter()
-        .map(|dp| slice_one(prog, graph, &engine, dp, opts))
-        .collect()
+    let sets =
+        crate::par::parallel_map(sites, jobs, |_, dp| slice_one(prog, graph, &engine, dp, opts));
+    (sets, engine.cache_stats())
 }
 
 fn slice_one(
@@ -195,13 +208,7 @@ fn slice_one(
         response_slice.insert((dp.method, dp.stmt));
     }
 
-    SliceSet {
-        dp: dp.clone(),
-        request_slice,
-        response_slice,
-        request_report,
-        response_report,
-    }
+    SliceSet { dp: dp.clone(), request_slice, response_slice, request_report, response_report }
 }
 
 /// The local bound to parameter `pi` of `mid`.
@@ -291,12 +298,8 @@ fn augment(
     // never a candidate: pulling it in would chain backwards through the
     // request operand and drag the entire request construction into the
     // response slice.
-    let mut candidates: Vec<(MethodId, usize)> = request
-        .slice
-        .iter()
-        .copied()
-        .filter(|site| *site != dp_site)
-        .collect();
+    let mut candidates: Vec<(MethodId, usize)> =
+        request.slice.iter().copied().filter(|site| *site != dp_site).collect();
     let touched: HashSet<MethodId> = response.slice.iter().map(|(m, _)| *m).collect();
     for m in touched {
         for s in 0..prog.method(m).body.len() {
@@ -321,9 +324,8 @@ fn augment(
             let stmt = &prog.method(m).body[s];
             // A statement belongs if it defines a local the slice uses, or
             // is the constructor call of such a local.
-            let defines_used = defined_local(stmt)
-                .map(|def| used.contains(&(m, def)))
-                .unwrap_or(false);
+            let defines_used =
+                defined_local(stmt).map(|def| used.contains(&(m, def))).unwrap_or(false);
             let constructs_used = matches!(
                 stmt,
                 Stmt::Invoke(c) if c.callee.name == "<init>"
@@ -398,10 +400,7 @@ fn async_augment(
 
 /// Computes slice statistics over a set of slices.
 pub fn stats(prog: &ProgramIndex<'_>, slices: &[SliceSet]) -> SliceStats {
-    let total: usize = prog
-        .concrete_methods()
-        .map(|m| prog.method(m).body.len())
-        .sum();
+    let total: usize = prog.concrete_methods().map(|m| prog.method(m).body.len()).sum();
     let mut sliced: HashSet<(MethodId, usize)> = HashSet::new();
     for s in slices {
         sliced.extend(s.all_stmts());
@@ -432,10 +431,7 @@ mod tests {
         let graph = CallGraph::build(&prog, &CallbackRegistry::android_defaults());
         let sites = demarcation::scan(&prog, &model);
         let slices = slice_all(&prog, &graph, &model, &sites, opts);
-        slices
-            .iter()
-            .map(|s| (s.request_slice.len(), s.response_slice.len()))
-            .collect()
+        slices.iter().map(|s| (s.request_slice.len(), s.response_slice.len())).collect()
     }
 
     /// Request + response slices exist for a straightforward transaction.
@@ -448,8 +444,10 @@ mod tests {
                 m.recv("t.C");
                 let sb = m.new_obj("java.lang.StringBuilder", vec![Value::str("http://api/v1/")]);
                 m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::str("items")]);
-                let url = m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
-                let req = m.new_obj("org.apache.http.client.methods.HttpGet", vec![Value::Local(url)]);
+                let url =
+                    m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
+                let req =
+                    m.new_obj("org.apache.http.client.methods.HttpGet", vec![Value::Local(url)]);
                 let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
                 let resp = m.vcall(
                     client,
@@ -458,8 +456,19 @@ mod tests {
                     vec![Value::Local(req)],
                     Type::object("org.apache.http.HttpResponse"),
                 );
-                let ent = m.vcall(resp, "org.apache.http.HttpResponse", "getEntity", vec![], Type::object("org.apache.http.HttpEntity"));
-                let body = m.scall("org.apache.http.util.EntityUtils", "toString", vec![Value::Local(ent)], Type::string());
+                let ent = m.vcall(
+                    resp,
+                    "org.apache.http.HttpResponse",
+                    "getEntity",
+                    vec![],
+                    Type::object("org.apache.http.HttpEntity"),
+                );
+                let body = m.scall(
+                    "org.apache.http.util.EntityUtils",
+                    "toString",
+                    vec![Value::Local(ent)],
+                    Type::string(),
+                );
                 let _ = body;
                 // unrelated statement, must stay out of both slices
                 let dead = m.temp(Type::string());
@@ -505,14 +514,27 @@ mod tests {
                 // Event 2: click handler reads it into the URL.
                 c.method("onClick", vec![], Type::Void, |m| {
                     let this = m.recv("t.C");
-                    let sb = m.new_obj("java.lang.StringBuilder", vec![Value::str("http://w/api?q=")]);
+                    let sb =
+                        m.new_obj("java.lang.StringBuilder", vec![Value::str("http://w/api?q=")]);
                     let cityv = m.temp(Type::string());
                     m.get_field(cityv, this, &city);
-                    m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(cityv)]);
-                    let url = m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
-                    let req = m.new_obj("org.apache.http.client.methods.HttpGet", vec![Value::Local(url)]);
+                    m.vcall_void(
+                        sb,
+                        "java.lang.StringBuilder",
+                        "append",
+                        vec![Value::Local(cityv)],
+                    );
+                    let url =
+                        m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
+                    let req = m
+                        .new_obj("org.apache.http.client.methods.HttpGet", vec![Value::Local(url)]);
                     let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
-                    m.vcall_void(client, "org.apache.http.client.HttpClient", "execute", vec![Value::Local(req)]);
+                    m.vcall_void(
+                        client,
+                        "org.apache.http.client.HttpClient",
+                        "execute",
+                        vec![Value::Local(req)],
+                    );
                     m.ret_void();
                 });
             });
@@ -524,10 +546,7 @@ mod tests {
             let opts = SliceOptions { async_heuristic: on, ..SliceOptions::default() };
             let slices = slice_all(&prog, &graph, &model, &sites, &opts);
             let setter = prog.resolve_method("t.C", "onLocationChanged", 1).unwrap();
-            slices[0]
-                .request_slice
-                .iter()
-                .any(|(m, _)| *m == setter)
+            slices[0].request_slice.iter().any(|(m, _)| *m == setter)
         };
         assert!(!build(false), "without the heuristic the setter is missed");
         assert!(build(true), "with the heuristic the setter is included");
@@ -545,10 +564,18 @@ mod tests {
                 // A list initialized BEFORE the DP and used to process the
                 // response after it.
                 let list = m.new_obj("java.util.ArrayList", vec![]);
-                let req = m.new_obj("org.apache.http.client.methods.HttpGet", vec![Value::str("http://x/")]);
+                let req = m.new_obj(
+                    "org.apache.http.client.methods.HttpGet",
+                    vec![Value::str("http://x/")],
+                );
                 let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
-                let resp = m.vcall(client, "org.apache.http.client.HttpClient", "execute",
-                    vec![Value::Local(req)], Type::object("org.apache.http.HttpResponse"));
+                let resp = m.vcall(
+                    client,
+                    "org.apache.http.client.HttpClient",
+                    "execute",
+                    vec![Value::Local(req)],
+                    Type::object("org.apache.http.HttpResponse"),
+                );
                 m.vcall_void(list, "java.util.ArrayList", "add", vec![Value::Local(resp)]);
                 m.ret_void();
             });

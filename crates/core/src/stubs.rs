@@ -46,8 +46,11 @@ fn platform(b: &mut ApkBuilder) {
             .stub_method("toString", vec![], s());
     });
     b.class("java.lang.Thread", |c| {
-        c.stub_method("<init>", vec![o("java.lang.Runnable")], Type::Void)
-            .stub_method("start", vec![], Type::Void);
+        c.stub_method("<init>", vec![o("java.lang.Runnable")], Type::Void).stub_method(
+            "start",
+            vec![],
+            Type::Void,
+        );
     });
     b.iface("java.lang.Runnable", |c| {
         c.stub_method("run", vec![], Type::Void);
@@ -56,8 +59,11 @@ fn platform(b: &mut ApkBuilder) {
         c.stub_method("call", vec![], obj());
     });
     b.class("java.util.Timer", |c| {
-        c.stub_method("<init>", vec![], Type::Void)
-            .stub_method("schedule", vec![o("java.util.TimerTask"), Type::Long], Type::Void);
+        c.stub_method("<init>", vec![], Type::Void).stub_method(
+            "schedule",
+            vec![o("java.util.TimerTask"), Type::Long],
+            Type::Void,
+        );
     });
     b.class("java.util.TimerTask", |c| {
         c.implements("java.lang.Runnable");
@@ -79,8 +85,11 @@ fn platform(b: &mut ApkBuilder) {
             .stub_method("openStream", vec![], o("java.io.InputStream"));
     });
     b.class("java.net.URLConnection", |c| {
-        c.stub_method("getInputStream", vec![], o("java.io.InputStream"))
-            .stub_method("setRequestProperty", vec![s(), s()], Type::Void);
+        c.stub_method("getInputStream", vec![], o("java.io.InputStream")).stub_method(
+            "setRequestProperty",
+            vec![s(), s()],
+            Type::Void,
+        );
     });
     b.class("java.net.HttpURLConnection", |c| {
         c.extends("java.net.URLConnection");
@@ -100,8 +109,11 @@ fn platform(b: &mut ApkBuilder) {
     });
     b.class("java.io.FileOutputStream", |c| {
         c.extends("java.io.OutputStream");
-        c.stub_method("<init>", vec![s()], Type::Void)
-            .stub_method("write", vec![Type::Byte.array_of()], Type::Void);
+        c.stub_method("<init>", vec![s()], Type::Void).stub_method(
+            "write",
+            vec![Type::Byte.array_of()],
+            Type::Void,
+        );
     });
 
     // Android components and services.
@@ -112,7 +124,11 @@ fn platform(b: &mut ApkBuilder) {
             .stub_method("getResources", vec![], o("android.content.res.Resources"));
     });
     b.class("android.app.Service", |c| {
-        c.stub_method("onStartCommand", vec![o("android.content.Intent"), Type::Int, Type::Int], Type::Int);
+        c.stub_method(
+            "onStartCommand",
+            vec![o("android.content.Intent"), Type::Int, Type::Int],
+            Type::Int,
+        );
     });
     b.class("android.content.BroadcastReceiver", |c| {
         c.stub_method(
@@ -182,8 +198,11 @@ fn platform(b: &mut ApkBuilder) {
         c.stub_method("getString", vec![s()], s());
     });
     b.class("android.content.SharedPreferences", |c| {
-        c.stub_method("getString", vec![s(), s()], s())
-            .stub_method("edit", vec![], o("android.content.SharedPreferences$Editor"));
+        c.stub_method("getString", vec![s(), s()], s()).stub_method(
+            "edit",
+            vec![],
+            o("android.content.SharedPreferences$Editor"),
+        );
     });
     b.class("android.content.SharedPreferences$Editor", |c| {
         c.stub_method("putString", vec![s(), s()], o("android.content.SharedPreferences$Editor"))
@@ -199,12 +218,18 @@ fn platform(b: &mut ApkBuilder) {
             .stub_method("query", vec![s(), s().array_of(), s()], o("android.database.Cursor"));
     });
     b.class("android.database.Cursor", |c| {
-        c.stub_method("getString", vec![Type::Int], s())
-            .stub_method("moveToNext", vec![], Type::Bool);
+        c.stub_method("getString", vec![Type::Int], s()).stub_method(
+            "moveToNext",
+            vec![],
+            Type::Bool,
+        );
     });
     b.class("android.content.ContentValues", |c| {
-        c.stub_method("<init>", vec![], Type::Void)
-            .stub_method("put", vec![s(), obj()], Type::Void);
+        c.stub_method("<init>", vec![], Type::Void).stub_method(
+            "put",
+            vec![s(), obj()],
+            Type::Void,
+        );
     });
 
     // org.json ships in the platform.
@@ -242,8 +267,11 @@ fn platform(b: &mut ApkBuilder) {
             .stub_method("getTextContent", vec![], s());
     });
     b.class("org.w3c.dom.NodeList", |c| {
-        c.stub_method("item", vec![Type::Int], o("org.w3c.dom.Element"))
-            .stub_method("getLength", vec![], Type::Int);
+        c.stub_method("item", vec![Type::Int], o("org.w3c.dom.Element")).stub_method(
+            "getLength",
+            vec![],
+            Type::Int,
+        );
     });
 }
 
@@ -273,8 +301,11 @@ fn apache_http(b: &mut ApkBuilder) {
             );
     });
     b.class("org.apache.http.client.methods.HttpUriRequest", |c| {
-        c.stub_method("setHeader", vec![s(), s()], Type::Void)
-            .stub_method("addHeader", vec![s(), s()], Type::Void);
+        c.stub_method("setHeader", vec![s(), s()], Type::Void).stub_method(
+            "addHeader",
+            vec![s(), s()],
+            Type::Void,
+        );
     });
     for m in ["HttpGet", "HttpPost", "HttpPut", "HttpDelete"] {
         let name = format!("org.apache.http.client.methods.{m}");
@@ -286,8 +317,11 @@ fn apache_http(b: &mut ApkBuilder) {
         });
     }
     b.class("org.apache.http.HttpResponse", |c| {
-        c.stub_method("getEntity", vec![], o("org.apache.http.HttpEntity"))
-            .stub_method("getStatusLine", vec![], obj());
+        c.stub_method("getEntity", vec![], o("org.apache.http.HttpEntity")).stub_method(
+            "getStatusLine",
+            vec![],
+            obj(),
+        );
     });
     b.class("org.apache.http.HttpEntity", |c| {
         c.stub_method("getContent", vec![], o("java.io.InputStream"));
@@ -302,8 +336,11 @@ fn apache_http(b: &mut ApkBuilder) {
     // §5.1 "missed messages" source. Not in the semantic model on purpose.
     b.class("com.adlib.Tracker", |c| {
         c.library();
-        c.stub_method("send", vec![s()], Type::Void)
-            .stub_method("sendPost", vec![s(), s()], Type::Void);
+        c.stub_method("send", vec![s()], Type::Void).stub_method(
+            "sendPost",
+            vec![s(), s()],
+            Type::Void,
+        );
     });
     b.class("org.apache.http.client.entity.UrlEncodedFormEntity", |c| {
         c.extends("org.apache.http.HttpEntity");
@@ -322,8 +359,11 @@ fn apache_http(b: &mut ApkBuilder) {
 fn libraries(b: &mut ApkBuilder) {
     b.class("okhttp3.OkHttpClient", |c| {
         c.library();
-        c.stub_method("<init>", vec![], Type::Void)
-            .stub_method("newCall", vec![o("okhttp3.Request")], o("okhttp3.Call"));
+        c.stub_method("<init>", vec![], Type::Void).stub_method(
+            "newCall",
+            vec![o("okhttp3.Request")],
+            o("okhttp3.Call"),
+        );
     });
     b.class("okhttp3.Request", |c| {
         c.library();
@@ -349,8 +389,11 @@ fn libraries(b: &mut ApkBuilder) {
     });
     b.class("okhttp3.Call", |c| {
         c.library();
-        c.stub_method("execute", vec![], o("okhttp3.Response"))
-            .stub_method("enqueue", vec![o("okhttp3.Callback")], Type::Void);
+        c.stub_method("execute", vec![], o("okhttp3.Response")).stub_method(
+            "enqueue",
+            vec![o("okhttp3.Callback")],
+            Type::Void,
+        );
     });
     b.iface("okhttp3.Callback", |c| {
         c.library();
@@ -359,8 +402,11 @@ fn libraries(b: &mut ApkBuilder) {
     });
     b.class("okhttp3.Response", |c| {
         c.library();
-        c.stub_method("body", vec![], o("okhttp3.ResponseBody"))
-            .stub_method("code", vec![], Type::Int);
+        c.stub_method("body", vec![], o("okhttp3.ResponseBody")).stub_method(
+            "code",
+            vec![],
+            Type::Int,
+        );
     });
     b.class("okhttp3.ResponseBody", |c| {
         c.library();
@@ -369,7 +415,11 @@ fn libraries(b: &mut ApkBuilder) {
 
     b.class("com.android.volley.RequestQueue", |c| {
         c.library();
-        c.stub_method("add", vec![o("com.android.volley.Request")], o("com.android.volley.Request"));
+        c.stub_method(
+            "add",
+            vec![o("com.android.volley.Request")],
+            o("com.android.volley.Request"),
+        );
     });
     b.class("com.android.volley.Request", |c| {
         c.library();
@@ -398,8 +448,11 @@ fn libraries(b: &mut ApkBuilder) {
     });
     b.class("retrofit2.Call", |c| {
         c.library();
-        c.stub_method("execute", vec![], o("retrofit2.Response"))
-            .stub_method("enqueue", vec![o("retrofit2.Callback")], Type::Void);
+        c.stub_method("execute", vec![], o("retrofit2.Response")).stub_method(
+            "enqueue",
+            vec![o("retrofit2.Callback")],
+            Type::Void,
+        );
     });
     b.iface("retrofit2.Callback", |c| {
         c.library();

@@ -294,9 +294,7 @@ fn generate(spec: ClosedSpec) -> AppSpec {
     let m = paper.manual;
     let a = paper.third;
 
-    let mut g = AppGen::new(spec.name, spec.package, spec.host)
-        .protocol("HTTPS")
-        .paper_row(paper);
+    let mut g = AppGen::new(spec.name, spec.package, spec.host).protocol("HTTPS").paper_row(paper);
 
     let pairs = e.pairs.min(e.total());
     // Response JSON count vs request-body JSON count (see DESIGN.md):
@@ -346,11 +344,7 @@ fn generate(spec: ClosedSpec) -> AppSpec {
             };
             let verb = method.as_str().to_lowercase();
             let mut t = TxnSpec::get(
-                if is_socket {
-                    Stack::Socket
-                } else {
-                    spec.stacks[idx % spec.stacks.len()]
-                },
+                if is_socket { Stack::Socket } else { spec.stacks[idx % spec.stacks.len()] },
                 &format!("/v2/{verb}/endpoint{idx}"),
             )
             .method(method);
@@ -373,10 +367,7 @@ fn generate(spec: ClosedSpec) -> AppSpec {
                 // transactions first but overflow onto GETs (several real
                 // APIs tunnel JSON documents in GET bodies).
                 if (method != HttpMethod::Get || postish == 0) && budget_body_json > 0 {
-                    t = t.body(BodyKind::Json(vec![
-                        format!("param_{idx}"),
-                        "client".to_string(),
-                    ]));
+                    t = t.body(BodyKind::Json(vec![format!("param_{idx}"), "client".to_string()]));
                     budget_body_json -= 1;
                     if method != HttpMethod::Get && budget_postq > 0 {
                         t = t.q_dyn("access_token");

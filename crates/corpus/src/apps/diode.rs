@@ -72,9 +72,7 @@ pub fn build() -> AppSpec {
             .resp(RespKind::Raw),
     );
     // Thumbnail fetch: dynamically-derived URI from the listing response.
-    g.txn(
-        TxnSpec::get(Stack::UrlConn, "/thumbs/t3_xyz.png").resp(RespKind::Raw),
-    );
+    g.txn(TxnSpec::get(Stack::UrlConn, "/thumbs/t3_xyz.png").resp(RespKind::Raw));
     // CAPTCHA image fetch.
     g.txn(TxnSpec::get(Stack::UrlConn, "/captcha/abc123.png").resp(RespKind::Raw));
 
@@ -127,13 +125,7 @@ fn build_fig3_task(g: &mut AppGen) {
         let f_count = c.field("mCount", Type::string());
         c.method(
             "<init>",
-            vec![
-                Type::string(),
-                Type::string(),
-                Type::string(),
-                Type::string(),
-                Type::string(),
-            ],
+            vec![Type::string(), Type::string(), Type::string(), Type::string(), Type::string()],
             Type::Void,
             |m| {
                 let this = m.recv(&task);
@@ -171,7 +163,11 @@ fn build_fig3_task(g: &mut AppGen) {
                 Type::Bool,
             );
             m.iff(CondOp::Eq, is_front, Value::int(0), "not_front");
-            m.new_obj_into(sb, "java.lang.StringBuilder", vec![Value::str("http://www.reddit.com/")]);
+            m.new_obj_into(
+                sb,
+                "java.lang.StringBuilder",
+                vec![Value::str("http://www.reddit.com/")],
+            );
             let sort1 = m.temp(Type::string());
             m.get_field(sort1, this, &f_sort);
             m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(sort1)]);
@@ -213,7 +209,11 @@ fn build_fig3_task(g: &mut AppGen) {
 
             // else { "/r/" + subreddit.trim() + "/" + sort + ".json?" + "&" }
             m.label("plain_subreddit");
-            m.new_obj_into(sb, "java.lang.StringBuilder", vec![Value::str("http://www.reddit.com/r/")]);
+            m.new_obj_into(
+                sb,
+                "java.lang.StringBuilder",
+                vec![Value::str("http://www.reddit.com/r/")],
+            );
             let trimmed = m.vcall(subreddit, "java.lang.String", "trim", vec![], Type::string());
             m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(trimmed)]);
             m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::str("/")]);
@@ -321,29 +321,40 @@ fn build_fig3_task(g: &mut AppGen) {
     let main = format!("{PKG}.Main");
     b.class(&main, |c| {
         c.extends("android.app.Activity");
-        c.method("refresh", vec![Type::string(), Type::string(), Type::string()], Type::Void, |m| {
-            m.recv(&main);
-            let sub = m.arg(0, "subreddit");
-            let after = m.arg(1, "after");
-            let before = m.arg(2, "before");
-            let et = m.temp(Type::object("android.widget.EditText"));
-            m.assign(et, extractocol_ir::Expr::New("android.widget.EditText".into()));
-            let query = m.vcall(et, "android.widget.EditText", "getText", vec![], Type::string());
-            let count = m.temp(Type::string());
-            m.cstr(count, "25");
-            let t = m.new_obj(
-                &format!("{PKG}.DownloadThreadsTask"),
-                vec![
-                    Value::Local(sub),
-                    Value::Local(query),
-                    Value::Local(after),
-                    Value::Local(before),
-                    Value::Local(count),
-                ],
-            );
-            m.vcall_void(t, &format!("{PKG}.DownloadThreadsTask"), "execute", vec![Value::null()]);
-            m.ret_void();
-        });
+        c.method(
+            "refresh",
+            vec![Type::string(), Type::string(), Type::string()],
+            Type::Void,
+            |m| {
+                m.recv(&main);
+                let sub = m.arg(0, "subreddit");
+                let after = m.arg(1, "after");
+                let before = m.arg(2, "before");
+                let et = m.temp(Type::object("android.widget.EditText"));
+                m.assign(et, extractocol_ir::Expr::New("android.widget.EditText".into()));
+                let query =
+                    m.vcall(et, "android.widget.EditText", "getText", vec![], Type::string());
+                let count = m.temp(Type::string());
+                m.cstr(count, "25");
+                let t = m.new_obj(
+                    &format!("{PKG}.DownloadThreadsTask"),
+                    vec![
+                        Value::Local(sub),
+                        Value::Local(query),
+                        Value::Local(after),
+                        Value::Local(before),
+                        Value::Local(count),
+                    ],
+                );
+                m.vcall_void(
+                    t,
+                    &format!("{PKG}.DownloadThreadsTask"),
+                    "execute",
+                    vec![Value::null()],
+                );
+                m.ret_void();
+            },
+        );
     });
 
     // Ground truth: 9 concrete example URIs (3 base forms × 3 pagination
@@ -366,8 +377,10 @@ fn build_fig3_task(g: &mut AppGen) {
                 "http://www.reddit.com/hot.json?limit=25&count=25&before=t3_b&".into(),
                 "http://www.reddit.com/hot.json?limit=25&".into(),
                 // search × {after, before, plain}
-                "http://www.reddit.com/search/.json?q=user-input&sort=hot&count=25&after=t3_a&".into(),
-                "http://www.reddit.com/search/.json?q=user-input&sort=hot&count=25&before=t3_b&".into(),
+                "http://www.reddit.com/search/.json?q=user-input&sort=hot&count=25&after=t3_a&"
+                    .into(),
+                "http://www.reddit.com/search/.json?q=user-input&sort=hot&count=25&before=t3_b&"
+                    .into(),
                 "http://www.reddit.com/search/.json?q=user-input&sort=hot".into(),
                 // subreddit × {after, before, plain}
                 "http://www.reddit.com/r/pics/hot.json?&count=25&after=t3_a&".into(),
@@ -411,9 +424,11 @@ fn build_fig3_task(g: &mut AppGen) {
             static_visible: true,
             body_requires_async: false,
         },
-        vec![
-            Route::json(HttpMethod::Get, "http://www\\.reddit\\.com/(hot|search/|r/).*", listing_json),
-        ],
+        vec![Route::json(
+            HttpMethod::Get,
+            "http://www\\.reddit\\.com/(hot|search/|r/).*",
+            listing_json,
+        )],
     );
 }
 

@@ -56,31 +56,26 @@ pub fn build() -> AppSpec {
     // authajax are handcrafted; the rest use templates.
 
     // ---- Table 6 #1: /k/authajax (Authentication category, 1 of 4) ----
-    g.txn(
-        kayak_spec(
-            TxnSpec::get(Stack::OkHttp, "/k/authajax")
-                .method(HttpMethod::Post)
-                .q_const("action", "registerandroid")
-                .q_dyn("uuid")
-                .q_dyn("hash")
-                .q_dyn("model")
-                .q_const("platform", "android")
-                .q_dyn("os")
-                .q_dyn("locale")
-                .q_dyn("tz")
-                .resp(RespKind::Json(vec!["sid".into(), "token".into()])),
-            true,
-        ),
-    );
+    g.txn(kayak_spec(
+        TxnSpec::get(Stack::OkHttp, "/k/authajax")
+            .method(HttpMethod::Post)
+            .q_const("action", "registerandroid")
+            .q_dyn("uuid")
+            .q_dyn("hash")
+            .q_dyn("model")
+            .q_const("platform", "android")
+            .q_dyn("os")
+            .q_dyn("locale")
+            .q_dyn("tz")
+            .resp(RespKind::Json(vec!["sid".into(), "token".into()])),
+        true,
+    ));
     // Remaining Authentication APIs.
     for sub in ["/login", "/logout", "/register"] {
         g.txn(kayak_spec(
             TxnSpec::get(Stack::OkHttp, &format!("/k/authajax{sub}"))
                 .method(HttpMethod::Post)
-                .body(BodyKind::Form(vec![
-                    ("email".into(), None),
-                    ("password".into(), None),
-                ])),
+                .body(BodyKind::Form(vec![("email".into(), None), ("password".into(), None)])),
             false,
         ));
     }
@@ -111,15 +106,14 @@ pub fn build() -> AppSpec {
             .q_dyn("currency")
             .q_const("includeopaques", "true")
             .q_const("includeSplit", "false")
-            .resp(RespKind::Json(vec![
-                "tripset".into(),
-                "price".into(),
-                "airline".into(),
-            ])),
+            .resp(RespKind::Json(vec!["tripset".into(), "price".into(), "airline".into()])),
         true,
     ));
     for sub in ["/flight/stop", "/flight/detail", "/flight/book", "/flight/filters"] {
-        g.txn(kayak_spec(TxnSpec::get(Stack::OkHttp, &format!("/api/search/V8{sub}")).q_dyn("searchid"), false));
+        g.txn(kayak_spec(
+            TxnSpec::get(Stack::OkHttp, &format!("/api/search/V8{sub}")).q_dyn("searchid"),
+            false,
+        ));
     }
 
     // ---- Hotel / Car (JSON responses per Table 5) ----
@@ -129,7 +123,10 @@ pub fn build() -> AppSpec {
             .resp(RespKind::Json(vec!["hotel".into(), "rate".into()])),
         true,
     ));
-    g.txn(kayak_spec(TxnSpec::get(Stack::OkHttp, "/api/search/V8/hotel/start").q_dyn("city"), false));
+    g.txn(kayak_spec(
+        TxnSpec::get(Stack::OkHttp, "/api/search/V8/hotel/start").q_dyn("city"),
+        false,
+    ));
     g.txn(kayak_spec(
         TxnSpec::get(Stack::OkHttp, "/api/search/V8/car/poll")
             .q_dyn("searchid")
@@ -139,10 +136,22 @@ pub fn build() -> AppSpec {
 
     // ---- Travel Planner (11 GETs) ----
     for sub in [
-        "/edit/trip", "/list", "/detail", "/share", "/delete", "/events",
-        "/notes", "/flightstatus", "/checkin", "/summary", "/sync",
+        "/edit/trip",
+        "/list",
+        "/detail",
+        "/share",
+        "/delete",
+        "/events",
+        "/notes",
+        "/flightstatus",
+        "/checkin",
+        "/summary",
+        "/sync",
     ] {
-        g.txn(kayak_spec(TxnSpec::get(Stack::OkHttp, &format!("/trips/v2{sub}")).q_dyn("tripid"), false));
+        g.txn(kayak_spec(
+            TxnSpec::get(Stack::OkHttp, &format!("/trips/v2{sub}")).q_dyn("tripid"),
+            false,
+        ));
     }
 
     // ---- Mobile Specific (12 GETs; one JSON: currency/allRates) ----
@@ -152,9 +161,17 @@ pub fn build() -> AppSpec {
         false,
     ));
     for sub in [
-        "/directory/airlines", "/directory/airports", "/feedback", "/config",
-        "/translations", "/notifications", "/pricealerts", "/profile",
-        "/history", "/settings", "/appversion",
+        "/directory/airlines",
+        "/directory/airports",
+        "/feedback",
+        "/config",
+        "/translations",
+        "/notifications",
+        "/pricealerts",
+        "/profile",
+        "/history",
+        "/settings",
+        "/appversion",
     ] {
         g.txn(kayak_spec(TxnSpec::get(Stack::OkHttp, &format!("/h/mobileapis{sub}")), false));
     }
@@ -185,8 +202,12 @@ pub fn build() -> AppSpec {
 
     // ---- remaining GETs to reach 39 (static assets) ----
     for sub in [
-        "/res/logo.png", "/res/splash.png", "/res/fonts.css",
-        "/res/strings.json", "/res/icons.png", "/res/legal.html",
+        "/res/logo.png",
+        "/res/splash.png",
+        "/res/fonts.css",
+        "/res/strings.json",
+        "/res/icons.png",
+        "/res/legal.html",
     ] {
         g.txn(kayak_spec(TxnSpec::get(Stack::OkHttp, sub), false));
     }
@@ -242,10 +263,9 @@ fn add_user_agent_headers(apk: &mut extractocol_ir::Apk) {
                     // Inserting after position i: fix up branch targets.
                     for s in method.body.iter_mut() {
                         match s {
-                            Stmt::If { target, .. } | Stmt::Goto { target }
-                                if *target > i => {
-                                    *target += 1;
-                                }
+                            Stmt::If { target, .. } | Stmt::Goto { target } if *target > i => {
+                                *target += 1;
+                            }
                             Stmt::Switch { arms, default, .. } => {
                                 for (_, t) in arms.iter_mut() {
                                     if *t > i {

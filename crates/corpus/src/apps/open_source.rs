@@ -21,14 +21,7 @@ use extractocol_ir::{Type, Value};
 
 use super::{diode, radio_reddit, weather};
 
-fn row(
-    get: usize,
-    post: usize,
-    query: usize,
-    json: usize,
-    xml: usize,
-    pairs: usize,
-) -> RowCounts {
+fn row(get: usize, post: usize, query: usize, json: usize, xml: usize, pairs: usize) -> RowCounts {
     RowCounts { get, post, put: 0, delete: 0, query, json, xml, pairs }
 }
 
@@ -62,21 +55,17 @@ fn adblock_plus() -> AppSpec {
         .protocol("HTTPS")
         .paper_row(same(row(2, 1, 1, 0, 1, 1)));
     // Filter-list download: the XML pair.
-    g.txn(
-        TxnSpec::get(Stack::UrlConn, "/filters/easylist.xml")
-            .resp(RespKind::Xml(vec!["filterlist".into(), "rule".into(), "version".into()])),
-    );
+    g.txn(TxnSpec::get(Stack::UrlConn, "/filters/easylist.xml").resp(RespKind::Xml(vec![
+        "filterlist".into(),
+        "rule".into(),
+        "version".into(),
+    ])));
     // Update check (status only).
     g.txn(TxnSpec::get(Stack::UrlConn, "/update/check").trigger(TriggerKind::Timer, true, true));
     // Subscription report: the form POST.
-    g.txn(
-        TxnSpec::get(Stack::Apache, "/report")
-            .method(HttpMethod::Post)
-            .body(BodyKind::Form(vec![
-                ("subscription".into(), None),
-                ("version".into(), Some("1.3".into())),
-            ])),
-    );
+    g.txn(TxnSpec::get(Stack::Apache, "/report").method(HttpMethod::Post).body(BodyKind::Form(
+        vec![("subscription".into(), None), ("version".into(), Some("1.3".into()))],
+    )));
     g.ballast(60);
     g.finish()
 }
@@ -86,14 +75,17 @@ fn anarxiv() -> AppSpec {
         .open_source()
         .protocol("HTTP")
         .paper_row(same(row(2, 0, 0, 0, 2, 2)));
-    g.txn(
-        TxnSpec::get(Stack::UrlConn, "/api/query")
-            .resp(RespKind::Xml(vec!["feed".into(), "entry".into(), "title".into(), "summary".into()])),
-    );
-    g.txn(
-        TxnSpec::get(Stack::UrlConn, "/rss/cs.NI")
-            .resp(RespKind::Xml(vec!["rss".into(), "channel".into(), "item".into()])),
-    );
+    g.txn(TxnSpec::get(Stack::UrlConn, "/api/query").resp(RespKind::Xml(vec![
+        "feed".into(),
+        "entry".into(),
+        "title".into(),
+        "summary".into(),
+    ])));
+    g.txn(TxnSpec::get(Stack::UrlConn, "/rss/cs.NI").resp(RespKind::Xml(vec![
+        "rss".into(),
+        "channel".into(),
+        "item".into(),
+    ])));
     g.ballast(60);
     g.finish()
 }
@@ -103,23 +95,26 @@ fn blippex() -> AppSpec {
         .open_source()
         .protocol("HTTPS")
         .paper_row(same(row(1, 0, 0, 1, 0, 1)));
-    g.txn(
-        TxnSpec::get(Stack::OkHttp, "/search")
-            .resp(RespKind::Json(vec!["results".into(), "url".into(), "dwell".into()])),
-    );
+    g.txn(TxnSpec::get(Stack::OkHttp, "/search").resp(RespKind::Json(vec![
+        "results".into(),
+        "url".into(),
+        "dwell".into(),
+    ])));
     g.ballast(60);
     g.finish()
 }
 
 fn diaspora() -> AppSpec {
-    let mut g = AppGen::new("Diaspora WebClient", "de.baumann.diaspora", "http://pod.diaspora.example")
-        .open_source()
-        .protocol("HTTP")
-        .paper_row(same(row(1, 0, 0, 1, 0, 1)));
-    g.txn(
-        TxnSpec::get(Stack::Apache, "/stream")
-            .resp(RespKind::Json(vec!["posts".into(), "author".into(), "text".into()])),
-    );
+    let mut g =
+        AppGen::new("Diaspora WebClient", "de.baumann.diaspora", "http://pod.diaspora.example")
+            .open_source()
+            .protocol("HTTP")
+            .paper_row(same(row(1, 0, 0, 1, 0, 1)));
+    g.txn(TxnSpec::get(Stack::Apache, "/stream").resp(RespKind::Json(vec![
+        "posts".into(),
+        "author".into(),
+        "text".into(),
+    ])));
     g.ballast(60);
     g.finish()
 }
@@ -157,7 +152,9 @@ fn ifixit() -> AppSpec {
         g.txn(TxnSpec::get(Stack::UrlConn, path));
     }
     // 4 JSON-response POSTs (API writes).
-    for path in ["/api/2.0/guides/like", "/api/2.0/comments", "/api/2.0/flags", "/api/2.0/favorites"] {
+    for path in
+        ["/api/2.0/guides/like", "/api/2.0/comments", "/api/2.0/flags", "/api/2.0/favorites"]
+    {
         g.txn(
             TxnSpec::get(Stack::Apache, path)
                 .method(HttpMethod::Post)
@@ -192,10 +189,11 @@ fn lightning() -> AppSpec {
 }
 
 fn qbittorrent() -> AppSpec {
-    let mut g = AppGen::new("qBittorrent", "com.qbittorrent.client", "http://qbt.example.local:8080")
-        .open_source()
-        .protocol("HTTP")
-        .paper_row(same(row(3, 13, 13, 3, 0, 3)));
+    let mut g =
+        AppGen::new("qBittorrent", "com.qbittorrent.client", "http://qbt.example.local:8080")
+            .open_source()
+            .protocol("HTTP")
+            .paper_row(same(row(3, 13, 13, 3, 0, 3)));
     for path in ["/query/torrents", "/query/transferInfo", "/query/preferences"] {
         g.txn(TxnSpec::get(Stack::Apache, path).resp(RespKind::Json(vec![
             "hash".into(),
@@ -204,10 +202,19 @@ fn qbittorrent() -> AppSpec {
         ])));
     }
     for cmd in [
-        "/command/download", "/command/delete", "/command/pause", "/command/resume",
-        "/command/pauseAll", "/command/resumeAll", "/command/increasePrio",
-        "/command/decreasePrio", "/command/topPrio", "/command/bottomPrio",
-        "/command/setFilePrio", "/command/recheck", "/command/setForceStart",
+        "/command/download",
+        "/command/delete",
+        "/command/pause",
+        "/command/resume",
+        "/command/pauseAll",
+        "/command/resumeAll",
+        "/command/increasePrio",
+        "/command/decreasePrio",
+        "/command/topPrio",
+        "/command/bottomPrio",
+        "/command/setFilePrio",
+        "/command/recheck",
+        "/command/setForceStart",
     ] {
         g.txn(
             TxnSpec::get(Stack::Apache, cmd)
@@ -256,9 +263,15 @@ fn reddinator() -> AppSpec {
                 let this = m.recv(api);
                 let et = m.temp(Type::object("android.widget.EditText"));
                 m.assign(et, extractocol_ir::Expr::New("android.widget.EditText".into()));
-                let text = m.vcall(et, "android.widget.EditText", "getText", vec![], Type::string());
+                let text =
+                    m.vcall(et, "android.widget.EditText", "getText", vec![], Type::string());
                 let j = m.new_obj("org.json.JSONObject", vec![]);
-                m.vcall_void(j, "org.json.JSONObject", "put", vec![Value::str("flair_text"), Value::Local(text)]);
+                m.vcall_void(
+                    j,
+                    "org.json.JSONObject",
+                    "put",
+                    vec![Value::str("flair_text"), Value::Local(text)],
+                );
                 let body = m.vcall(j, "org.json.JSONObject", "toString", vec![], Type::string());
                 m.put_field(this, &f_body, body);
                 m.ret_void();
@@ -267,19 +280,47 @@ fn reddinator() -> AppSpec {
                 let this = m.recv(api);
                 let body = m.temp(Type::string());
                 m.get_field(body, this, &f_body);
-                let ent = m.new_obj("org.apache.http.entity.StringEntity", vec![Value::Local(body)]);
+                let ent =
+                    m.new_obj("org.apache.http.entity.StringEntity", vec![Value::Local(body)]);
                 let req = m.new_obj(
                     "org.apache.http.client.methods.HttpPost",
                     vec![Value::str("https://www.reddit.com/api/flair")],
                 );
-                m.vcall_void(req, "org.apache.http.client.methods.HttpPost", "setEntity", vec![Value::Local(ent)]);
+                m.vcall_void(
+                    req,
+                    "org.apache.http.client.methods.HttpPost",
+                    "setEntity",
+                    vec![Value::Local(ent)],
+                );
                 let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
-                let resp = m.vcall(client, "org.apache.http.client.HttpClient", "execute",
-                    vec![Value::Local(req)], Type::object("org.apache.http.HttpResponse"));
-                let rent = m.vcall(resp, "org.apache.http.HttpResponse", "getEntity", vec![], Type::object("org.apache.http.HttpEntity"));
-                let text = m.scall("org.apache.http.util.EntityUtils", "toString", vec![Value::Local(rent)], Type::string());
+                let resp = m.vcall(
+                    client,
+                    "org.apache.http.client.HttpClient",
+                    "execute",
+                    vec![Value::Local(req)],
+                    Type::object("org.apache.http.HttpResponse"),
+                );
+                let rent = m.vcall(
+                    resp,
+                    "org.apache.http.HttpResponse",
+                    "getEntity",
+                    vec![],
+                    Type::object("org.apache.http.HttpEntity"),
+                );
+                let text = m.scall(
+                    "org.apache.http.util.EntityUtils",
+                    "toString",
+                    vec![Value::Local(rent)],
+                    Type::string(),
+                );
                 let j = m.new_obj("org.json.JSONObject", vec![Value::Local(text)]);
-                let ok = m.vcall(j, "org.json.JSONObject", "getString", vec![Value::str("ok")], Type::string());
+                let ok = m.vcall(
+                    j,
+                    "org.json.JSONObject",
+                    "getString",
+                    vec![Value::str("ok")],
+                    Type::string(),
+                );
                 let _ = ok;
                 m.ret_void();
             });
@@ -319,8 +360,14 @@ fn twister() -> AppSpec {
         .paper_row(same(row(0, 11, 11, 8, 0, 8)));
     // 8 RPC posts with JSON responses, 3 fire-and-forget.
     for (i, cmd) in [
-        "/rpc/getposts", "/rpc/follow", "/rpc/getfollowing", "/rpc/dhtget",
-        "/rpc/dhtput", "/rpc/newpostmsg", "/rpc/getlasthave", "/rpc/listusernames",
+        "/rpc/getposts",
+        "/rpc/follow",
+        "/rpc/getfollowing",
+        "/rpc/dhtget",
+        "/rpc/dhtput",
+        "/rpc/newpostmsg",
+        "/rpc/getlasthave",
+        "/rpc/listusernames",
     ]
     .into_iter()
     .enumerate()
@@ -358,14 +405,17 @@ fn tzm() -> AppSpec {
 }
 
 fn wallabag() -> AppSpec {
-    let mut g = AppGen::new("Wallabag", "fr.gaulupeau.apps.InThePoche", "http://wallabag.example.org")
-        .open_source()
-        .protocol("HTTP")
-        .paper_row(same(row(1, 0, 0, 0, 1, 1)));
-    g.txn(
-        TxnSpec::get(Stack::KSawicki, "/feed/unread.xml")
-            .resp(RespKind::Xml(vec!["rss".into(), "channel".into(), "item".into(), "link".into()])),
-    );
+    let mut g =
+        AppGen::new("Wallabag", "fr.gaulupeau.apps.InThePoche", "http://wallabag.example.org")
+            .open_source()
+            .protocol("HTTP")
+            .paper_row(same(row(1, 0, 0, 0, 1, 1)));
+    g.txn(TxnSpec::get(Stack::KSawicki, "/feed/unread.xml").resp(RespKind::Xml(vec![
+        "rss".into(),
+        "channel".into(),
+        "item".into(),
+        "link".into(),
+    ])));
     g.ballast(60);
     g.finish()
 }

@@ -79,12 +79,34 @@ pub fn build() -> AppSpec {
                     vec![Value::str("http://www.reddit.com/api/info.json?")],
                 );
                 let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
-                let resp = m.vcall(client, "org.apache.http.client.HttpClient", "execute",
-                    vec![Value::Local(req)], Type::object("org.apache.http.HttpResponse"));
-                let ent = m.vcall(resp, "org.apache.http.HttpResponse", "getEntity", vec![], Type::object("org.apache.http.HttpEntity"));
-                let body = m.scall("org.apache.http.util.EntityUtils", "toString", vec![Value::Local(ent)], Type::string());
+                let resp = m.vcall(
+                    client,
+                    "org.apache.http.client.HttpClient",
+                    "execute",
+                    vec![Value::Local(req)],
+                    Type::object("org.apache.http.HttpResponse"),
+                );
+                let ent = m.vcall(
+                    resp,
+                    "org.apache.http.HttpResponse",
+                    "getEntity",
+                    vec![],
+                    Type::object("org.apache.http.HttpEntity"),
+                );
+                let body = m.scall(
+                    "org.apache.http.util.EntityUtils",
+                    "toString",
+                    vec![Value::Local(ent)],
+                    Type::string(),
+                );
                 let j = m.new_obj("org.json.JSONObject", vec![Value::Local(body)]);
-                let name = m.vcall(j, "org.json.JSONObject", "getString", vec![Value::str("name")], Type::string());
+                let name = m.vcall(
+                    j,
+                    "org.json.JSONObject",
+                    "getString",
+                    vec![Value::str("name")],
+                    Type::string(),
+                );
                 m.put_field(this, &f_fullname, name);
                 m.ret_void();
             });
@@ -98,24 +120,77 @@ pub fn build() -> AppSpec {
                     vec![Value::str("http://www.radioreddit.com/")],
                 );
                 m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(station)]);
-                m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::str("/status.json")]);
-                let url = m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
-                let req = m.new_obj("org.apache.http.client.methods.HttpGet", vec![Value::Local(url)]);
+                m.vcall_void(
+                    sb,
+                    "java.lang.StringBuilder",
+                    "append",
+                    vec![Value::str("/status.json")],
+                );
+                let url =
+                    m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
+                let req =
+                    m.new_obj("org.apache.http.client.methods.HttpGet", vec![Value::Local(url)]);
                 let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
-                let resp = m.vcall(client, "org.apache.http.client.HttpClient", "execute",
-                    vec![Value::Local(req)], Type::object("org.apache.http.HttpResponse"));
-                let ent = m.vcall(resp, "org.apache.http.HttpResponse", "getEntity", vec![], Type::object("org.apache.http.HttpEntity"));
-                let body = m.scall("org.apache.http.util.EntityUtils", "toString", vec![Value::Local(ent)], Type::string());
+                let resp = m.vcall(
+                    client,
+                    "org.apache.http.client.HttpClient",
+                    "execute",
+                    vec![Value::Local(req)],
+                    Type::object("org.apache.http.HttpResponse"),
+                );
+                let ent = m.vcall(
+                    resp,
+                    "org.apache.http.HttpResponse",
+                    "getEntity",
+                    vec![],
+                    Type::object("org.apache.http.HttpEntity"),
+                );
+                let body = m.scall(
+                    "org.apache.http.util.EntityUtils",
+                    "toString",
+                    vec![Value::Local(ent)],
+                    Type::string(),
+                );
                 let j = m.new_obj("org.json.JSONObject", vec![Value::Local(body)]);
                 for k in ["all_listeners", "listeners", "online", "playlist"] {
-                    let v = m.vcall(j, "org.json.JSONObject", "getString", vec![Value::str(k)], Type::string());
+                    let v = m.vcall(
+                        j,
+                        "org.json.JSONObject",
+                        "getString",
+                        vec![Value::str(k)],
+                        Type::string(),
+                    );
                     let _ = v;
                 }
-                let relay = m.vcall(j, "org.json.JSONObject", "getString", vec![Value::str("relay")], Type::string());
+                let relay = m.vcall(
+                    j,
+                    "org.json.JSONObject",
+                    "getString",
+                    vec![Value::str("relay")],
+                    Type::string(),
+                );
                 m.put_field(this, &f_relay, relay);
-                let songs = m.vcall(j, "org.json.JSONObject", "getJSONObject", vec![Value::str("songs")], Type::object("org.json.JSONObject"));
-                let arr = m.vcall(songs, "org.json.JSONObject", "getJSONArray", vec![Value::str("song")], Type::object("org.json.JSONArray"));
-                let song = m.vcall(arr, "org.json.JSONArray", "getJSONObject", vec![Value::int(0)], Type::object("org.json.JSONObject"));
+                let songs = m.vcall(
+                    j,
+                    "org.json.JSONObject",
+                    "getJSONObject",
+                    vec![Value::str("songs")],
+                    Type::object("org.json.JSONObject"),
+                );
+                let arr = m.vcall(
+                    songs,
+                    "org.json.JSONObject",
+                    "getJSONArray",
+                    vec![Value::str("song")],
+                    Type::object("org.json.JSONArray"),
+                );
+                let song = m.vcall(
+                    arr,
+                    "org.json.JSONArray",
+                    "getJSONObject",
+                    vec![Value::int(0)],
+                    Type::object("org.json.JSONObject"),
+                );
                 for k in [
                     "artist",
                     "download_url",
@@ -127,7 +202,13 @@ pub fn build() -> AppSpec {
                     "redditor",
                     "title",
                 ] {
-                    let v = m.vcall(song, "org.json.JSONObject", "getString", vec![Value::str(k)], Type::string());
+                    let v = m.vcall(
+                        song,
+                        "org.json.JSONObject",
+                        "getString",
+                        vec![Value::str(k)],
+                        Type::string(),
+                    );
                     let _ = v;
                 }
                 m.ret_void();
@@ -139,26 +220,80 @@ pub fn build() -> AppSpec {
                 let user = m.arg(0, "user");
                 let passwd = m.arg(1, "passwd");
                 let list = m.new_obj("java.util.ArrayList", vec![]);
-                let p1 = m.new_obj("org.apache.http.message.BasicNameValuePair", vec![Value::str("user"), Value::Local(user)]);
+                let p1 = m.new_obj(
+                    "org.apache.http.message.BasicNameValuePair",
+                    vec![Value::str("user"), Value::Local(user)],
+                );
                 m.vcall_void(list, "java.util.ArrayList", "add", vec![Value::Local(p1)]);
-                let p2 = m.new_obj("org.apache.http.message.BasicNameValuePair", vec![Value::str("passwd"), Value::Local(passwd)]);
+                let p2 = m.new_obj(
+                    "org.apache.http.message.BasicNameValuePair",
+                    vec![Value::str("passwd"), Value::Local(passwd)],
+                );
                 m.vcall_void(list, "java.util.ArrayList", "add", vec![Value::Local(p2)]);
-                let p3 = m.new_obj("org.apache.http.message.BasicNameValuePair", vec![Value::str("api_type"), Value::str("json")]);
+                let p3 = m.new_obj(
+                    "org.apache.http.message.BasicNameValuePair",
+                    vec![Value::str("api_type"), Value::str("json")],
+                );
                 m.vcall_void(list, "java.util.ArrayList", "add", vec![Value::Local(p3)]);
-                let ent = m.new_obj("org.apache.http.client.entity.UrlEncodedFormEntity", vec![Value::Local(list)]);
-                let req = m.new_obj("org.apache.http.client.methods.HttpPost", vec![Value::str("https://ssl.reddit.com/api/login")]);
-                m.vcall_void(req, "org.apache.http.client.methods.HttpPost", "setEntity", vec![Value::Local(ent)]);
+                let ent = m.new_obj(
+                    "org.apache.http.client.entity.UrlEncodedFormEntity",
+                    vec![Value::Local(list)],
+                );
+                let req = m.new_obj(
+                    "org.apache.http.client.methods.HttpPost",
+                    vec![Value::str("https://ssl.reddit.com/api/login")],
+                );
+                m.vcall_void(
+                    req,
+                    "org.apache.http.client.methods.HttpPost",
+                    "setEntity",
+                    vec![Value::Local(ent)],
+                );
                 let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
-                let resp = m.vcall(client, "org.apache.http.client.HttpClient", "execute",
-                    vec![Value::Local(req)], Type::object("org.apache.http.HttpResponse"));
-                let rent = m.vcall(resp, "org.apache.http.HttpResponse", "getEntity", vec![], Type::object("org.apache.http.HttpEntity"));
-                let body = m.scall("org.apache.http.util.EntityUtils", "toString", vec![Value::Local(rent)], Type::string());
+                let resp = m.vcall(
+                    client,
+                    "org.apache.http.client.HttpClient",
+                    "execute",
+                    vec![Value::Local(req)],
+                    Type::object("org.apache.http.HttpResponse"),
+                );
+                let rent = m.vcall(
+                    resp,
+                    "org.apache.http.HttpResponse",
+                    "getEntity",
+                    vec![],
+                    Type::object("org.apache.http.HttpEntity"),
+                );
+                let body = m.scall(
+                    "org.apache.http.util.EntityUtils",
+                    "toString",
+                    vec![Value::Local(rent)],
+                    Type::string(),
+                );
                 let j = m.new_obj("org.json.JSONObject", vec![Value::Local(body)]);
-                let modhash = m.vcall(j, "org.json.JSONObject", "getString", vec![Value::str("modhash")], Type::string());
+                let modhash = m.vcall(
+                    j,
+                    "org.json.JSONObject",
+                    "getString",
+                    vec![Value::str("modhash")],
+                    Type::string(),
+                );
                 m.put_field(this, &f_modhash, modhash);
-                let cookie = m.vcall(j, "org.json.JSONObject", "getString", vec![Value::str("cookie")], Type::string());
+                let cookie = m.vcall(
+                    j,
+                    "org.json.JSONObject",
+                    "getString",
+                    vec![Value::str("cookie")],
+                    Type::string(),
+                );
                 m.put_field(this, &f_cookie, cookie);
-                let https = m.vcall(j, "org.json.JSONObject", "getString", vec![Value::str("need_https")], Type::string());
+                let https = m.vcall(
+                    j,
+                    "org.json.JSONObject",
+                    "getString",
+                    vec![Value::str("need_https")],
+                    Type::string(),
+                );
                 let _ = https;
                 m.ret_void();
             });
@@ -177,7 +312,8 @@ pub fn build() -> AppSpec {
                 m.label("do_save");
                 m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::str("save")]);
                 m.label("built");
-                let url = m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
+                let url =
+                    m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
                 let id = m.temp(Type::string());
                 m.get_field(id, this, &f_fullname);
                 let uh = m.temp(Type::string());
@@ -185,21 +321,63 @@ pub fn build() -> AppSpec {
                 let ck = m.temp(Type::string());
                 m.get_field(ck, this, &f_cookie);
                 let list = m.new_obj("java.util.ArrayList", vec![]);
-                let p1 = m.new_obj("org.apache.http.message.BasicNameValuePair", vec![Value::str("id"), Value::Local(id)]);
+                let p1 = m.new_obj(
+                    "org.apache.http.message.BasicNameValuePair",
+                    vec![Value::str("id"), Value::Local(id)],
+                );
                 m.vcall_void(list, "java.util.ArrayList", "add", vec![Value::Local(p1)]);
-                let p2 = m.new_obj("org.apache.http.message.BasicNameValuePair", vec![Value::str("uh"), Value::Local(uh)]);
+                let p2 = m.new_obj(
+                    "org.apache.http.message.BasicNameValuePair",
+                    vec![Value::str("uh"), Value::Local(uh)],
+                );
                 m.vcall_void(list, "java.util.ArrayList", "add", vec![Value::Local(p2)]);
-                let ent = m.new_obj("org.apache.http.client.entity.UrlEncodedFormEntity", vec![Value::Local(list)]);
-                let req = m.new_obj("org.apache.http.client.methods.HttpPost", vec![Value::Local(url)]);
-                m.vcall_void(req, "org.apache.http.client.methods.HttpPost", "setEntity", vec![Value::Local(ent)]);
-                m.vcall_void(req, "org.apache.http.client.methods.HttpPost", "setHeader", vec![Value::str("Cookie"), Value::Local(ck)]);
+                let ent = m.new_obj(
+                    "org.apache.http.client.entity.UrlEncodedFormEntity",
+                    vec![Value::Local(list)],
+                );
+                let req =
+                    m.new_obj("org.apache.http.client.methods.HttpPost", vec![Value::Local(url)]);
+                m.vcall_void(
+                    req,
+                    "org.apache.http.client.methods.HttpPost",
+                    "setEntity",
+                    vec![Value::Local(ent)],
+                );
+                m.vcall_void(
+                    req,
+                    "org.apache.http.client.methods.HttpPost",
+                    "setHeader",
+                    vec![Value::str("Cookie"), Value::Local(ck)],
+                );
                 let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
-                let resp = m.vcall(client, "org.apache.http.client.HttpClient", "execute",
-                    vec![Value::Local(req)], Type::object("org.apache.http.HttpResponse"));
-                let rent = m.vcall(resp, "org.apache.http.HttpResponse", "getEntity", vec![], Type::object("org.apache.http.HttpEntity"));
-                let body = m.scall("org.apache.http.util.EntityUtils", "toString", vec![Value::Local(rent)], Type::string());
+                let resp = m.vcall(
+                    client,
+                    "org.apache.http.client.HttpClient",
+                    "execute",
+                    vec![Value::Local(req)],
+                    Type::object("org.apache.http.HttpResponse"),
+                );
+                let rent = m.vcall(
+                    resp,
+                    "org.apache.http.HttpResponse",
+                    "getEntity",
+                    vec![],
+                    Type::object("org.apache.http.HttpEntity"),
+                );
+                let body = m.scall(
+                    "org.apache.http.util.EntityUtils",
+                    "toString",
+                    vec![Value::Local(rent)],
+                    Type::string(),
+                );
                 let j = m.new_obj("org.json.JSONObject", vec![Value::Local(body)]);
-                let err = m.vcall(j, "org.json.JSONObject", "getString", vec![Value::str("errors")], Type::string());
+                let err = m.vcall(
+                    j,
+                    "org.json.JSONObject",
+                    "getString",
+                    vec![Value::str("errors")],
+                    Type::string(),
+                );
                 let _ = err;
                 m.ret_void();
             });
@@ -215,18 +393,48 @@ pub fn build() -> AppSpec {
                 let ck = m.temp(Type::string());
                 m.get_field(ck, this, &f_cookie);
                 let list = m.new_obj("java.util.ArrayList", vec![]);
-                let p1 = m.new_obj("org.apache.http.message.BasicNameValuePair", vec![Value::str("id"), Value::Local(id)]);
+                let p1 = m.new_obj(
+                    "org.apache.http.message.BasicNameValuePair",
+                    vec![Value::str("id"), Value::Local(id)],
+                );
                 m.vcall_void(list, "java.util.ArrayList", "add", vec![Value::Local(p1)]);
-                let p2 = m.new_obj("org.apache.http.message.BasicNameValuePair", vec![Value::str("dir"), Value::Local(dir)]);
+                let p2 = m.new_obj(
+                    "org.apache.http.message.BasicNameValuePair",
+                    vec![Value::str("dir"), Value::Local(dir)],
+                );
                 m.vcall_void(list, "java.util.ArrayList", "add", vec![Value::Local(p2)]);
-                let p3 = m.new_obj("org.apache.http.message.BasicNameValuePair", vec![Value::str("uh"), Value::Local(uh)]);
+                let p3 = m.new_obj(
+                    "org.apache.http.message.BasicNameValuePair",
+                    vec![Value::str("uh"), Value::Local(uh)],
+                );
                 m.vcall_void(list, "java.util.ArrayList", "add", vec![Value::Local(p3)]);
-                let ent = m.new_obj("org.apache.http.client.entity.UrlEncodedFormEntity", vec![Value::Local(list)]);
-                let req = m.new_obj("org.apache.http.client.methods.HttpPost", vec![Value::str("http://www.reddit.com/api/vote")]);
-                m.vcall_void(req, "org.apache.http.client.methods.HttpPost", "setEntity", vec![Value::Local(ent)]);
-                m.vcall_void(req, "org.apache.http.client.methods.HttpPost", "setHeader", vec![Value::str("Cookie"), Value::Local(ck)]);
+                let ent = m.new_obj(
+                    "org.apache.http.client.entity.UrlEncodedFormEntity",
+                    vec![Value::Local(list)],
+                );
+                let req = m.new_obj(
+                    "org.apache.http.client.methods.HttpPost",
+                    vec![Value::str("http://www.reddit.com/api/vote")],
+                );
+                m.vcall_void(
+                    req,
+                    "org.apache.http.client.methods.HttpPost",
+                    "setEntity",
+                    vec![Value::Local(ent)],
+                );
+                m.vcall_void(
+                    req,
+                    "org.apache.http.client.methods.HttpPost",
+                    "setHeader",
+                    vec![Value::str("Cookie"), Value::Local(ck)],
+                );
                 let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
-                m.vcall_void(client, "org.apache.http.client.HttpClient", "execute", vec![Value::Local(req)]);
+                m.vcall_void(
+                    client,
+                    "org.apache.http.client.HttpClient",
+                    "execute",
+                    vec![Value::Local(req)],
+                );
                 m.ret_void();
             });
 
@@ -237,7 +445,12 @@ pub fn build() -> AppSpec {
                 let relay = m.temp(Type::string());
                 m.get_field(relay, this, &f_relay);
                 let mp = m.new_obj("android.media.MediaPlayer", vec![]);
-                m.vcall_void(mp, "android.media.MediaPlayer", "setDataSource", vec![Value::Local(relay)]);
+                m.vcall_void(
+                    mp,
+                    "android.media.MediaPlayer",
+                    "setDataSource",
+                    vec![Value::Local(relay)],
+                );
                 m.vcall_void(mp, "android.media.MediaPlayer", "prepare", vec![]);
                 m.vcall_void(mp, "android.media.MediaPlayer", "start", vec![]);
                 m.ret_void();

@@ -106,10 +106,26 @@ fn build_handcrafted(g: &mut AppGen) {
             let url = m.arg(0, "url");
             let req = m.new_obj("org.apache.http.client.methods.HttpGet", vec![Value::Local(url)]);
             let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
-            let resp = m.vcall(client, "org.apache.http.client.HttpClient", "execute",
-                vec![Value::Local(req)], Type::object("org.apache.http.HttpResponse"));
-            let ent = m.vcall(resp, "org.apache.http.HttpResponse", "getEntity", vec![], Type::object("org.apache.http.HttpEntity"));
-            let body = m.scall("org.apache.http.util.EntityUtils", "toString", vec![Value::Local(ent)], Type::string());
+            let resp = m.vcall(
+                client,
+                "org.apache.http.client.HttpClient",
+                "execute",
+                vec![Value::Local(req)],
+                Type::object("org.apache.http.HttpResponse"),
+            );
+            let ent = m.vcall(
+                resp,
+                "org.apache.http.HttpResponse",
+                "getEntity",
+                vec![],
+                Type::object("org.apache.http.HttpEntity"),
+            );
+            let body = m.scall(
+                "org.apache.http.util.EntityUtils",
+                "toString",
+                vec![Value::Local(ent)],
+                Type::string(),
+            );
             m.ret(body);
         });
 
@@ -130,22 +146,68 @@ fn build_handcrafted(g: &mut AppGen) {
                 vec![Value::str("https://app-api.ted.com/v1/speakers.json?limit=2000&api-key=")],
             );
             m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(key)]);
-            m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::str("&filter=updated_at:%3E")]);
+            m.vcall_void(
+                sb,
+                "java.lang.StringBuilder",
+                "append",
+                vec![Value::str("&filter=updated_at:%3E")],
+            );
             m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(since)]);
             let url = m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
             let body = m.vcall(this, &api, "doGet", vec![Value::Local(url)], Type::string());
             let j = m.new_obj("org.json.JSONObject", vec![Value::Local(body)]);
-            let speakers = m.vcall(j, "org.json.JSONObject", "getJSONArray", vec![Value::str("speakers")], Type::object("org.json.JSONArray"));
-            let first = m.vcall(speakers, "org.json.JSONArray", "getJSONObject", vec![Value::int(0)], Type::object("org.json.JSONObject"));
-            let name = m.vcall(first, "org.json.JSONObject", "getString", vec![Value::str("name")], Type::string());
-            let desc = m.vcall(first, "org.json.JSONObject", "getString", vec![Value::str("description")], Type::string());
+            let speakers = m.vcall(
+                j,
+                "org.json.JSONObject",
+                "getJSONArray",
+                vec![Value::str("speakers")],
+                Type::object("org.json.JSONArray"),
+            );
+            let first = m.vcall(
+                speakers,
+                "org.json.JSONArray",
+                "getJSONObject",
+                vec![Value::int(0)],
+                Type::object("org.json.JSONObject"),
+            );
+            let name = m.vcall(
+                first,
+                "org.json.JSONObject",
+                "getString",
+                vec![Value::str("name")],
+                Type::string(),
+            );
+            let desc = m.vcall(
+                first,
+                "org.json.JSONObject",
+                "getString",
+                vec![Value::str("description")],
+                Type::string(),
+            );
             let cv = m.new_obj("android.content.ContentValues", vec![]);
-            m.vcall_void(cv, "android.content.ContentValues", "put", vec![Value::str("name"), Value::Local(name)]);
-            m.vcall_void(cv, "android.content.ContentValues", "put", vec![Value::str("description"), Value::Local(desc)]);
+            m.vcall_void(
+                cv,
+                "android.content.ContentValues",
+                "put",
+                vec![Value::str("name"), Value::Local(name)],
+            );
+            m.vcall_void(
+                cv,
+                "android.content.ContentValues",
+                "put",
+                vec![Value::str("description"), Value::Local(desc)],
+            );
             let db = m.temp(Type::object("android.database.sqlite.SQLiteDatabase"));
-            m.assign(db, extractocol_ir::Expr::New("android.database.sqlite.SQLiteDatabase".into()));
-            m.vcall_void(db, "android.database.sqlite.SQLiteDatabase", "insert",
-                vec![Value::str("speakers"), Value::null(), Value::Local(cv)]);
+            m.assign(
+                db,
+                extractocol_ir::Expr::New("android.database.sqlite.SQLiteDatabase".into()),
+            );
+            m.vcall_void(
+                db,
+                "android.database.sqlite.SQLiteDatabase",
+                "insert",
+                vec![Value::str("speakers"), Value::null(), Value::Local(cv)],
+            );
             m.ret_void();
         });
 
@@ -180,17 +242,52 @@ fn build_handcrafted(g: &mut AppGen) {
                 vec![Value::str("https://app-api.ted.com/v1/talks/")],
             );
             m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(talk_id)]);
-            m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::str("/android_ad.json?api-key=")]);
+            m.vcall_void(
+                sb,
+                "java.lang.StringBuilder",
+                "append",
+                vec![Value::str("/android_ad.json?api-key=")],
+            );
             m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(key)]);
             let url = m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
             let body = m.vcall(this, &api, "doGet", vec![Value::Local(url)], Type::string());
             let j = m.new_obj("org.json.JSONObject", vec![Value::Local(body)]);
-            let comps = m.vcall(j, "org.json.JSONObject", "getJSONObject", vec![Value::str("companions")], Type::object("org.json.JSONObject"));
-            let on_page = m.vcall(comps, "org.json.JSONObject", "getJSONObject", vec![Value::str("on_page")], Type::object("org.json.JSONObject"));
-            let h = m.vcall(on_page, "org.json.JSONObject", "getString", vec![Value::str("height")], Type::string());
-            let w = m.vcall(on_page, "org.json.JSONObject", "getString", vec![Value::str("width")], Type::string());
+            let comps = m.vcall(
+                j,
+                "org.json.JSONObject",
+                "getJSONObject",
+                vec![Value::str("companions")],
+                Type::object("org.json.JSONObject"),
+            );
+            let on_page = m.vcall(
+                comps,
+                "org.json.JSONObject",
+                "getJSONObject",
+                vec![Value::str("on_page")],
+                Type::object("org.json.JSONObject"),
+            );
+            let h = m.vcall(
+                on_page,
+                "org.json.JSONObject",
+                "getString",
+                vec![Value::str("height")],
+                Type::string(),
+            );
+            let w = m.vcall(
+                on_page,
+                "org.json.JSONObject",
+                "getString",
+                vec![Value::str("width")],
+                Type::string(),
+            );
             let _ = (h, w);
-            let ad_url = m.vcall(j, "org.json.JSONObject", "getString", vec![Value::str("url")], Type::string());
+            let ad_url = m.vcall(
+                j,
+                "org.json.JSONObject",
+                "getString",
+                vec![Value::str("url")],
+                Type::string(),
+            );
             m.put_field(this, &f_ad_query, ad_url);
             m.ret_void();
         });
@@ -202,12 +299,29 @@ fn build_handcrafted(g: &mut AppGen) {
             m.get_field(url, this, &f_ad_query);
             let body = m.vcall(this, &api, "doGet", vec![Value::Local(url)], Type::string());
             let db = m.new_obj("javax.xml.parsers.DocumentBuilder", vec![]);
-            let doc = m.vcall(db, "javax.xml.parsers.DocumentBuilder", "parse",
-                vec![Value::Local(body)], Type::object("org.w3c.dom.Document"));
-            let nl = m.vcall(doc, "org.w3c.dom.Document", "getElementsByTagName",
-                vec![Value::str("MediaFile")], Type::object("org.w3c.dom.NodeList"));
-            let el = m.vcall(nl, "org.w3c.dom.NodeList", "item", vec![Value::int(0)], Type::object("org.w3c.dom.Element"));
-            let video = m.vcall(el, "org.w3c.dom.Element", "getTextContent", vec![], Type::string());
+            let doc = m.vcall(
+                db,
+                "javax.xml.parsers.DocumentBuilder",
+                "parse",
+                vec![Value::Local(body)],
+                Type::object("org.w3c.dom.Document"),
+            );
+            let nl = m.vcall(
+                doc,
+                "org.w3c.dom.Document",
+                "getElementsByTagName",
+                vec![Value::str("MediaFile")],
+                Type::object("org.w3c.dom.NodeList"),
+            );
+            let el = m.vcall(
+                nl,
+                "org.w3c.dom.NodeList",
+                "item",
+                vec![Value::int(0)],
+                Type::object("org.w3c.dom.Element"),
+            );
+            let video =
+                m.vcall(el, "org.w3c.dom.Element", "getTextContent", vec![], Type::string());
             m.put_field(this, &f_ad_video, video);
             m.ret_void();
         });
@@ -237,25 +351,73 @@ fn build_handcrafted(g: &mut AppGen) {
             );
             let sb = m.new_obj(
                 "java.lang.StringBuilder",
-                vec![Value::str("https://app-api.ted.com/v1/talk_catalogs/android_v1.json?api-key=")],
+                vec![Value::str(
+                    "https://app-api.ted.com/v1/talk_catalogs/android_v1.json?api-key=",
+                )],
             );
             m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(key)]);
-            m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::str("&fields=duration_in_seconds&filter=id:")]);
+            m.vcall_void(
+                sb,
+                "java.lang.StringBuilder",
+                "append",
+                vec![Value::str("&fields=duration_in_seconds&filter=id:")],
+            );
             m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(ids)]);
             let url = m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
             let body = m.vcall(this, &api, "doGet", vec![Value::Local(url)], Type::string());
             let j = m.new_obj("org.json.JSONObject", vec![Value::Local(body)]);
-            let talks = m.vcall(j, "org.json.JSONObject", "getJSONArray", vec![Value::str("talks")], Type::object("org.json.JSONArray"));
-            let first = m.vcall(talks, "org.json.JSONArray", "getJSONObject", vec![Value::int(0)], Type::object("org.json.JSONObject"));
-            let thumb = m.vcall(first, "org.json.JSONObject", "getString", vec![Value::str("thumbnail_url")], Type::string());
-            let video = m.vcall(first, "org.json.JSONObject", "getString", vec![Value::str("video_url")], Type::string());
+            let talks = m.vcall(
+                j,
+                "org.json.JSONObject",
+                "getJSONArray",
+                vec![Value::str("talks")],
+                Type::object("org.json.JSONArray"),
+            );
+            let first = m.vcall(
+                talks,
+                "org.json.JSONArray",
+                "getJSONObject",
+                vec![Value::int(0)],
+                Type::object("org.json.JSONObject"),
+            );
+            let thumb = m.vcall(
+                first,
+                "org.json.JSONObject",
+                "getString",
+                vec![Value::str("thumbnail_url")],
+                Type::string(),
+            );
+            let video = m.vcall(
+                first,
+                "org.json.JSONObject",
+                "getString",
+                vec![Value::str("video_url")],
+                Type::string(),
+            );
             let cv = m.new_obj("android.content.ContentValues", vec![]);
-            m.vcall_void(cv, "android.content.ContentValues", "put", vec![Value::str("thumbnail_url"), Value::Local(thumb)]);
-            m.vcall_void(cv, "android.content.ContentValues", "put", vec![Value::str("video_url"), Value::Local(video)]);
+            m.vcall_void(
+                cv,
+                "android.content.ContentValues",
+                "put",
+                vec![Value::str("thumbnail_url"), Value::Local(thumb)],
+            );
+            m.vcall_void(
+                cv,
+                "android.content.ContentValues",
+                "put",
+                vec![Value::str("video_url"), Value::Local(video)],
+            );
             let db = m.temp(Type::object("android.database.sqlite.SQLiteDatabase"));
-            m.assign(db, extractocol_ir::Expr::New("android.database.sqlite.SQLiteDatabase".into()));
-            m.vcall_void(db, "android.database.sqlite.SQLiteDatabase", "update",
-                vec![Value::str("talks"), Value::Local(cv), Value::str("id=?"), Value::null()]);
+            m.assign(
+                db,
+                extractocol_ir::Expr::New("android.database.sqlite.SQLiteDatabase".into()),
+            );
+            m.vcall_void(
+                db,
+                "android.database.sqlite.SQLiteDatabase",
+                "update",
+                vec![Value::str("talks"), Value::Local(cv), Value::str("id=?"), Value::null()],
+            );
             m.ret_void();
         });
 
@@ -263,16 +425,46 @@ fn build_handcrafted(g: &mut AppGen) {
         c.method("loadThumbnail", vec![], Type::Void, |m| {
             m.recv(&api);
             let db = m.temp(Type::object("android.database.sqlite.SQLiteDatabase"));
-            m.assign(db, extractocol_ir::Expr::New("android.database.sqlite.SQLiteDatabase".into()));
-            let cur = m.vcall(db, "android.database.sqlite.SQLiteDatabase", "query",
+            m.assign(
+                db,
+                extractocol_ir::Expr::New("android.database.sqlite.SQLiteDatabase".into()),
+            );
+            let cur = m.vcall(
+                db,
+                "android.database.sqlite.SQLiteDatabase",
+                "query",
                 vec![Value::str("talks"), Value::null(), Value::str("thumbnail_url")],
-                Type::object("android.database.Cursor"));
-            let url = m.vcall(cur, "android.database.Cursor", "getString", vec![Value::int(0)], Type::string());
+                Type::object("android.database.Cursor"),
+            );
+            let url = m.vcall(
+                cur,
+                "android.database.Cursor",
+                "getString",
+                vec![Value::int(0)],
+                Type::string(),
+            );
             let u = m.new_obj("java.net.URL", vec![Value::Local(url)]);
-            let conn = m.vcall(u, "java.net.URL", "openConnection", vec![], Type::object("java.net.HttpURLConnection"));
-            let input = m.vcall(conn, "java.net.HttpURLConnection", "getInputStream", vec![], Type::object("java.io.InputStream"));
+            let conn = m.vcall(
+                u,
+                "java.net.URL",
+                "openConnection",
+                vec![],
+                Type::object("java.net.HttpURLConnection"),
+            );
+            let input = m.vcall(
+                conn,
+                "java.net.HttpURLConnection",
+                "getInputStream",
+                vec![],
+                Type::object("java.io.InputStream"),
+            );
             let iv = m.new_obj("android.widget.ImageView", vec![]);
-            m.vcall_void(iv, "android.widget.ImageView", "setImageBitmap", vec![Value::Local(input)]);
+            m.vcall_void(
+                iv,
+                "android.widget.ImageView",
+                "setImageBitmap",
+                vec![Value::Local(input)],
+            );
             m.ret_void();
         });
 
@@ -280,11 +472,24 @@ fn build_handcrafted(g: &mut AppGen) {
         c.method("playTalk", vec![], Type::Void, |m| {
             m.recv(&api);
             let db = m.temp(Type::object("android.database.sqlite.SQLiteDatabase"));
-            m.assign(db, extractocol_ir::Expr::New("android.database.sqlite.SQLiteDatabase".into()));
-            let cur = m.vcall(db, "android.database.sqlite.SQLiteDatabase", "query",
+            m.assign(
+                db,
+                extractocol_ir::Expr::New("android.database.sqlite.SQLiteDatabase".into()),
+            );
+            let cur = m.vcall(
+                db,
+                "android.database.sqlite.SQLiteDatabase",
+                "query",
                 vec![Value::str("talks"), Value::null(), Value::str("video_url")],
-                Type::object("android.database.Cursor"));
-            let url = m.vcall(cur, "android.database.Cursor", "getString", vec![Value::int(0)], Type::string());
+                Type::object("android.database.Cursor"),
+            );
+            let url = m.vcall(
+                cur,
+                "android.database.Cursor",
+                "getString",
+                vec![Value::int(0)],
+                Type::string(),
+            );
             let mp = m.new_obj("android.media.MediaPlayer", vec![]);
             m.vcall_void(mp, "android.media.MediaPlayer", "setDataSource", vec![Value::Local(url)]);
             m.vcall_void(mp, "android.media.MediaPlayer", "prepare", vec![]);
@@ -404,7 +609,11 @@ fn build_handcrafted(g: &mut AppGen) {
             TriggerKind::StandardUi,
             true,
         ),
-        vec![Route::ok(HttpMethod::Get, "https://cdn\\.ted\\.example\\.com/.*", Body::Binary(4096))],
+        vec![Route::ok(
+            HttpMethod::Get,
+            "https://cdn\\.ted\\.example\\.com/.*",
+            Body::Binary(4096),
+        )],
     );
     g.record(
         mk(
@@ -440,7 +649,11 @@ fn build_handcrafted(g: &mut AppGen) {
             TriggerKind::StandardUi,
             true,
         ),
-        vec![Route::ok(HttpMethod::Get, "https://img\\.ted\\.example\\.com/.*", Body::Binary(1024))],
+        vec![Route::ok(
+            HttpMethod::Get,
+            "https://img\\.ted\\.example\\.com/.*",
+            Body::Binary(1024),
+        )],
     );
     g.record(
         mk(
@@ -453,7 +666,11 @@ fn build_handcrafted(g: &mut AppGen) {
             TriggerKind::StandardUi,
             true,
         ),
-        vec![Route::ok(HttpMethod::Get, "https://media\\.ted\\.example\\.com/.*", Body::Binary(65536))],
+        vec![Route::ok(
+            HttpMethod::Get,
+            "https://media\\.ted\\.example\\.com/.*",
+            Body::Binary(65536),
+        )],
     );
 }
 

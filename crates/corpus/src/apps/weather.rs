@@ -42,17 +42,34 @@ pub fn build() -> AppSpec {
 
             // Event 1: the location callback builds part of the query
             // string into a heap object.
-            c.method("onLocationChanged", vec![Type::object("android.location.Location")], Type::Void, |m| {
-                let this = m.recv(&svc);
-                let loc = m.arg(0, "location");
-                let city = m.vcall(loc, "android.location.Location", "getCity", vec![], Type::string());
-                let sb = m.new_obj("java.lang.StringBuilder", vec![Value::str("q=")]);
-                m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(city)]);
-                m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::str("&units=metric")]);
-                let q = m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
-                m.put_field(this, &f_city, q);
-                m.ret_void();
-            });
+            c.method(
+                "onLocationChanged",
+                vec![Type::object("android.location.Location")],
+                Type::Void,
+                |m| {
+                    let this = m.recv(&svc);
+                    let loc = m.arg(0, "location");
+                    let city = m.vcall(
+                        loc,
+                        "android.location.Location",
+                        "getCity",
+                        vec![],
+                        Type::string(),
+                    );
+                    let sb = m.new_obj("java.lang.StringBuilder", vec![Value::str("q=")]);
+                    m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(city)]);
+                    m.vcall_void(
+                        sb,
+                        "java.lang.StringBuilder",
+                        "append",
+                        vec![Value::str("&units=metric")],
+                    );
+                    let q =
+                        m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
+                    m.put_field(this, &f_city, q);
+                    m.ret_void();
+                },
+            );
 
             // Registration wiring (gives the location callback a caller).
             c.method("start", vec![], Type::Void, |m| {
@@ -79,21 +96,61 @@ pub fn build() -> AppSpec {
                     vec![Value::str("http://weather.example.org/data/current.xml?")],
                 );
                 m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(q)]);
-                let url = m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
-                let req = m.new_obj("org.apache.http.client.methods.HttpGet", vec![Value::Local(url)]);
+                let url =
+                    m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
+                let req =
+                    m.new_obj("org.apache.http.client.methods.HttpGet", vec![Value::Local(url)]);
                 let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
-                let resp = m.vcall(client, "org.apache.http.client.HttpClient", "execute",
-                    vec![Value::Local(req)], Type::object("org.apache.http.HttpResponse"));
-                let ent = m.vcall(resp, "org.apache.http.HttpResponse", "getEntity", vec![], Type::object("org.apache.http.HttpEntity"));
-                let body = m.scall("org.apache.http.util.EntityUtils", "toString", vec![Value::Local(ent)], Type::string());
+                let resp = m.vcall(
+                    client,
+                    "org.apache.http.client.HttpClient",
+                    "execute",
+                    vec![Value::Local(req)],
+                    Type::object("org.apache.http.HttpResponse"),
+                );
+                let ent = m.vcall(
+                    resp,
+                    "org.apache.http.HttpResponse",
+                    "getEntity",
+                    vec![],
+                    Type::object("org.apache.http.HttpEntity"),
+                );
+                let body = m.scall(
+                    "org.apache.http.util.EntityUtils",
+                    "toString",
+                    vec![Value::Local(ent)],
+                    Type::string(),
+                );
                 let db = m.new_obj("javax.xml.parsers.DocumentBuilder", vec![]);
-                let doc = m.vcall(db, "javax.xml.parsers.DocumentBuilder", "parse",
-                    vec![Value::Local(body)], Type::object("org.w3c.dom.Document"));
+                let doc = m.vcall(
+                    db,
+                    "javax.xml.parsers.DocumentBuilder",
+                    "parse",
+                    vec![Value::Local(body)],
+                    Type::object("org.w3c.dom.Document"),
+                );
                 for tag in ["temperature", "humidity", "wind"] {
-                    let nl = m.vcall(doc, "org.w3c.dom.Document", "getElementsByTagName",
-                        vec![Value::str(tag)], Type::object("org.w3c.dom.NodeList"));
-                    let el = m.vcall(nl, "org.w3c.dom.NodeList", "item", vec![Value::int(0)], Type::object("org.w3c.dom.Element"));
-                    let v = m.vcall(el, "org.w3c.dom.Element", "getTextContent", vec![], Type::string());
+                    let nl = m.vcall(
+                        doc,
+                        "org.w3c.dom.Document",
+                        "getElementsByTagName",
+                        vec![Value::str(tag)],
+                        Type::object("org.w3c.dom.NodeList"),
+                    );
+                    let el = m.vcall(
+                        nl,
+                        "org.w3c.dom.NodeList",
+                        "item",
+                        vec![Value::int(0)],
+                        Type::object("org.w3c.dom.Element"),
+                    );
+                    let v = m.vcall(
+                        el,
+                        "org.w3c.dom.Element",
+                        "getTextContent",
+                        vec![],
+                        Type::string(),
+                    );
                     let _ = v;
                 }
                 m.ret_void();
@@ -108,18 +165,46 @@ pub fn build() -> AppSpec {
                     vec![Value::str("http://weather.example.org/data/forecast.xml?q=")],
                 );
                 m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(city)]);
-                let url = m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
-                let req = m.new_obj("org.apache.http.client.methods.HttpGet", vec![Value::Local(url)]);
+                let url =
+                    m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
+                let req =
+                    m.new_obj("org.apache.http.client.methods.HttpGet", vec![Value::Local(url)]);
                 let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
-                let resp = m.vcall(client, "org.apache.http.client.HttpClient", "execute",
-                    vec![Value::Local(req)], Type::object("org.apache.http.HttpResponse"));
-                let ent = m.vcall(resp, "org.apache.http.HttpResponse", "getEntity", vec![], Type::object("org.apache.http.HttpEntity"));
-                let body = m.scall("org.apache.http.util.EntityUtils", "toString", vec![Value::Local(ent)], Type::string());
+                let resp = m.vcall(
+                    client,
+                    "org.apache.http.client.HttpClient",
+                    "execute",
+                    vec![Value::Local(req)],
+                    Type::object("org.apache.http.HttpResponse"),
+                );
+                let ent = m.vcall(
+                    resp,
+                    "org.apache.http.HttpResponse",
+                    "getEntity",
+                    vec![],
+                    Type::object("org.apache.http.HttpEntity"),
+                );
+                let body = m.scall(
+                    "org.apache.http.util.EntityUtils",
+                    "toString",
+                    vec![Value::Local(ent)],
+                    Type::string(),
+                );
                 let db = m.new_obj("javax.xml.parsers.DocumentBuilder", vec![]);
-                let doc = m.vcall(db, "javax.xml.parsers.DocumentBuilder", "parse",
-                    vec![Value::Local(body)], Type::object("org.w3c.dom.Document"));
-                let nl = m.vcall(doc, "org.w3c.dom.Document", "getElementsByTagName",
-                    vec![Value::str("day")], Type::object("org.w3c.dom.NodeList"));
+                let doc = m.vcall(
+                    db,
+                    "javax.xml.parsers.DocumentBuilder",
+                    "parse",
+                    vec![Value::Local(body)],
+                    Type::object("org.w3c.dom.Document"),
+                );
+                let nl = m.vcall(
+                    doc,
+                    "org.w3c.dom.Document",
+                    "getElementsByTagName",
+                    vec![Value::str("day")],
+                    Type::object("org.w3c.dom.NodeList"),
+                );
                 let _ = nl;
                 m.ret_void();
             });
@@ -134,7 +219,7 @@ pub fn build() -> AppSpec {
             method: HttpMethod::Get,
             variants: 1,
             uri_examples: vec![
-                "http://weather.example.org/data/current.xml?q=Irvine&units=metric".into(),
+                "http://weather.example.org/data/current.xml?q=Irvine&units=metric".into()
             ],
             query_keys: vec!["q".into(), "units".into()],
             body_json_keys: vec![],
@@ -163,9 +248,7 @@ pub fn build() -> AppSpec {
         TxnTruth {
             method: HttpMethod::Get,
             variants: 1,
-            uri_examples: vec![
-                "http://weather.example.org/data/forecast.xml?q=Irvine".into(),
-            ],
+            uri_examples: vec!["http://weather.example.org/data/forecast.xml?q=Irvine".into()],
             query_keys: vec!["q".into()],
             body_json_keys: vec![],
             form_keys: vec![],

@@ -224,18 +224,12 @@ impl AppGen {
         if variant_count > 1 {
             params.push(Type::Int);
         }
-        let dyn_query: Vec<&str> = spec
-            .query
-            .iter()
-            .filter(|(_, v)| v.is_none())
-            .map(|(k, _)| k.as_str())
-            .collect();
+        let dyn_query: Vec<&str> =
+            spec.query.iter().filter(|(_, v)| v.is_none()).map(|(k, _)| k.as_str()).collect();
         let dyn_form: Vec<&str> = match &spec.body {
-            BodyKind::Form(pairs) => pairs
-                .iter()
-                .filter(|(_, v)| v.is_none())
-                .map(|(k, _)| k.as_str())
-                .collect(),
+            BodyKind::Form(pairs) => {
+                pairs.iter().filter(|(_, v)| v.is_none()).map(|(k, _)| k.as_str()).collect()
+            }
             _ => Vec::new(),
         };
         let dyn_json: Vec<&str> = match &spec.body {
@@ -277,8 +271,7 @@ impl AppGen {
         let base = self.base.clone();
         let needs_volley_class = matches!(spec.stack, Stack::Volley);
         let volley_class = format!("{}.VolleyReq{id}", self.package);
-        let needs_handler_class =
-            matches!(spec.stack, Stack::Loopj | Stack::Bee);
+        let needs_handler_class = matches!(spec.stack, Stack::Loopj | Stack::Bee);
         let handler_class = format!("{}.Handler{id}", self.package);
 
         self.builder.class(&class, |c| {
@@ -361,11 +354,8 @@ impl AppGen {
 
         // ---- server route ----
         // Anchored on the path; variants and query strings may follow.
-        let pattern = format!(
-            "{}{}(/.*|\\?.*)?",
-            escape_literal(&self.base),
-            escape_literal(&spec.path)
-        );
+        let pattern =
+            format!("{}{}(/.*|\\?.*)?", escape_literal(&self.base), escape_literal(&spec.path));
         let route = match &spec.resp {
             RespKind::None => Route::empty(spec.method, &pattern),
             RespKind::Json(keys) => {
@@ -380,11 +370,8 @@ impl AppGen {
                 Route::ok(spec.method, &pattern, extractocol_http::Body::Json(o))
             }
             RespKind::Xml(tags) => {
-                let inner: String = tags
-                    .iter()
-                    .skip(1)
-                    .map(|t| format!("<{t}>{t}-val</{t}>"))
-                    .collect();
+                let inner: String =
+                    tags.iter().skip(1).map(|t| format!("<{t}>{t}-val</{t}>")).collect();
                 let root = tags.first().map(String::as_str).unwrap_or("root");
                 Route::xml(
                     spec.method,
@@ -447,8 +434,19 @@ impl AppGen {
                             "java.lang.StringBuilder",
                             vec![Value::str("items rendered: ")],
                         );
-                        m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(acc)]);
-                        let label = m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
+                        m.vcall_void(
+                            sb,
+                            "java.lang.StringBuilder",
+                            "append",
+                            vec![Value::Local(acc)],
+                        );
+                        let label = m.vcall(
+                            sb,
+                            "java.lang.StringBuilder",
+                            "toString",
+                            vec![],
+                            Type::string(),
+                        );
                         let list = m.new_obj("java.util.ArrayList", vec![]);
                         m.vcall_void(list, "java.util.ArrayList", "add", vec![Value::Local(label)]);
                         m.ret(label);
@@ -512,27 +510,17 @@ fn emit_txn(
     let mut next_dyn = dyn_locals.into_iter();
 
     // ---- build the URL string ----
-    let sb = m.new_obj(
-        "java.lang.StringBuilder",
-        vec![Value::str(&format!("{base}{}", spec.path))],
-    );
+    let sb =
+        m.new_obj("java.lang.StringBuilder", vec![Value::str(&format!("{base}{}", spec.path))]);
     if let Some(vp) = variant_param {
         // Branchy URI (Diode-style): one append per variant.
         let labels: Vec<String> = (0..spec.variants.len()).map(|i| format!("v{i}")).collect();
-        let arms: Vec<(i64, &str)> = labels
-            .iter()
-            .enumerate()
-            .map(|(i, l)| (i as i64, l.as_str()))
-            .collect();
+        let arms: Vec<(i64, &str)> =
+            labels.iter().enumerate().map(|(i, l)| (i as i64, l.as_str())).collect();
         m.switch(vp, arms, &labels[0]);
         for (i, suffix) in spec.variants.iter().enumerate() {
             m.label(&labels[i]);
-            m.vcall_void(
-                sb,
-                "java.lang.StringBuilder",
-                "append",
-                vec![Value::str(suffix)],
-            );
+            m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::str(suffix)]);
             if i + 1 < spec.variants.len() {
                 m.goto("after_variants");
             }
@@ -588,12 +576,7 @@ fn emit_txn(
             let j = m.new_obj("org.json.JSONObject", vec![]);
             for k in keys {
                 let p = next_dyn.next().expect("dynamic json param");
-                m.vcall_void(
-                    j,
-                    "org.json.JSONObject",
-                    "put",
-                    vec![Value::str(k), Value::Local(p)],
-                );
+                m.vcall_void(j, "org.json.JSONObject", "put", vec![Value::str(k), Value::Local(p)]);
             }
             let text = m.vcall(j, "org.json.JSONObject", "toString", vec![], Type::string());
             BuiltBody::JsonText(text)
@@ -619,10 +602,8 @@ fn emit_txn(
                     m.vcall_void(req, req_class, "setEntity", vec![Value::Local(ent)]);
                 }
                 BuiltBody::JsonText(text) => {
-                    let ent = m.new_obj(
-                        "org.apache.http.entity.StringEntity",
-                        vec![Value::Local(text)],
-                    );
+                    let ent =
+                        m.new_obj("org.apache.http.entity.StringEntity", vec![Value::Local(text)]);
                     m.vcall_void(req, req_class, "setEntity", vec![Value::Local(ent)]);
                 }
                 BuiltBody::None => {}
@@ -701,12 +682,7 @@ fn emit_txn(
                 Type::object("com.android.volley.RequestQueue"),
             );
             let req = m.new_obj(volley_class, vec![Value::int(method_code), Value::Local(url)]);
-            m.vcall_void(
-                queue,
-                "com.android.volley.RequestQueue",
-                "add",
-                vec![Value::Local(req)],
-            );
+            m.vcall_void(queue, "com.android.volley.RequestQueue", "add", vec![Value::Local(req)]);
         }
         Stack::OkHttp => {
             let builder = m.new_obj("okhttp3.Request$Builder", vec![]);
@@ -752,9 +728,16 @@ fn emit_txn(
                 vec![Value::Local(req)],
                 Type::object("okhttp3.Call"),
             );
-            let resp = m.vcall(call, "okhttp3.Call", "execute", vec![], Type::object("okhttp3.Response"));
+            let resp =
+                m.vcall(call, "okhttp3.Call", "execute", vec![], Type::object("okhttp3.Response"));
             if !matches!(spec.resp, RespKind::None) {
-                let rb = m.vcall(resp, "okhttp3.Response", "body", vec![], Type::object("okhttp3.ResponseBody"));
+                let rb = m.vcall(
+                    resp,
+                    "okhttp3.Response",
+                    "body",
+                    vec![],
+                    Type::object("okhttp3.ResponseBody"),
+                );
                 let text = m.vcall(rb, "okhttp3.ResponseBody", "string", vec![], Type::string());
                 parse_text_response(m, text, &spec.resp);
             }
@@ -770,7 +753,13 @@ fn emit_txn(
                 vec![Value::str(spec.method.as_str()), Value::Local(url), body_value],
                 Type::object("retrofit2.Call"),
             );
-            let resp = m.vcall(call, "retrofit2.Call", "execute", vec![], Type::object("retrofit2.Response"));
+            let resp = m.vcall(
+                call,
+                "retrofit2.Call",
+                "execute",
+                vec![],
+                Type::object("retrofit2.Response"),
+            );
             if !matches!(spec.resp, RespKind::None) {
                 let obj = m.vcall(resp, "retrofit2.Response", "body", vec![], Type::obj_root());
                 let text = m.temp(Type::string());
@@ -856,11 +845,7 @@ fn emit_txn(
                     BuiltBody::JsonText(text) => Value::Local(*text),
                     _ => Value::str(""),
                 };
-                m.scall_void(
-                    "com.adlib.Tracker",
-                    "sendPost",
-                    vec![Value::Local(url), content],
-                );
+                m.scall_void("com.adlib.Tracker", "sendPost", vec![Value::Local(url), content]);
             }
         }
     }
@@ -948,13 +933,8 @@ fn parse_text_response(m: &mut MethodBuilder, text: Local, kind: &RespKind) {
                     vec![Value::int(0)],
                     Type::object("org.w3c.dom.Element"),
                 );
-                let txt = m.vcall(
-                    el,
-                    "org.w3c.dom.Element",
-                    "getTextContent",
-                    vec![],
-                    Type::string(),
-                );
+                let txt =
+                    m.vcall(el, "org.w3c.dom.Element", "getTextContent", vec![], Type::string());
                 let _ = txt;
             }
         }

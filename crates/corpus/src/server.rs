@@ -28,13 +28,7 @@ pub struct Route {
 impl Route {
     /// A 200 route with a body.
     pub fn ok(method: HttpMethod, pattern: &str, body: Body) -> Route {
-        Route {
-            method,
-            pattern: pattern.to_string(),
-            status: 200,
-            body,
-            require_header: None,
-        }
+        Route { method, pattern: pattern.to_string(), status: 200, body, require_header: None }
     }
 
     /// A 200 route with an empty body (fire-and-forget endpoints).
@@ -44,20 +38,12 @@ impl Route {
 
     /// JSON route from a parsed template.
     pub fn json(method: HttpMethod, pattern: &str, json: &str) -> Route {
-        Route::ok(
-            method,
-            pattern,
-            Body::Json(JsonValue::parse(json).expect("route JSON template")),
-        )
+        Route::ok(method, pattern, Body::Json(JsonValue::parse(json).expect("route JSON template")))
     }
 
     /// XML route from a template.
     pub fn xml(method: HttpMethod, pattern: &str, xml: &str) -> Route {
-        Route::ok(
-            method,
-            pattern,
-            Body::Xml(XmlElement::parse(xml).expect("route XML template")),
-        )
+        Route::ok(method, pattern, Body::Xml(XmlElement::parse(xml).expect("route XML template")))
     }
 
     /// Adds a header requirement (builder style).
@@ -103,10 +89,18 @@ impl ServerSpec {
                     .and_then(|v| Regex::new(vp).ok().map(|re| re.is_match(v)))
                     .unwrap_or(false);
                 if !ok {
-                    return Response { status: 403, headers: Default::default(), body: Body::Empty };
+                    return Response {
+                        status: 403,
+                        headers: Default::default(),
+                        body: Body::Empty,
+                    };
                 }
             }
-            return Response { status: r.status, headers: Default::default(), body: r.body.clone() };
+            return Response {
+                status: r.status,
+                headers: Default::default(),
+                body: r.body.clone(),
+            };
         }
         Response::not_found()
     }

@@ -68,19 +68,22 @@ impl AppEval {
             post: self.report.method_count(HttpMethod::Post),
             put: self.report.method_count(HttpMethod::Put),
             delete: self.report.method_count(HttpMethod::Delete),
-            query: self
+            query: self.report.transactions.iter().filter(|t| t.has_query_string()).count(),
+            json: self
                 .report
                 .transactions
                 .iter()
-                .filter(|t| t.has_query_string())
-                .count(),
-            json: self.report.transactions.iter().filter(|t| t.uses_json()).map(|t| {
-                usize::from(matches!(t.request_body, Some(extractocol_core::sigbuild::BodySig::Json(_))))
-                    + usize::from(matches!(
+                .filter(|t| t.uses_json())
+                .map(|t| {
+                    usize::from(matches!(
+                        t.request_body,
+                        Some(extractocol_core::sigbuild::BodySig::Json(_))
+                    )) + usize::from(matches!(
                         t.response,
                         Some(extractocol_core::sigbuild::ResponseSig::Json(_))
                     ))
-            }).sum(),
+                })
+                .sum(),
             xml: self.report.transactions.iter().filter(|t| t.uses_xml()).count(),
             pairs: self.report.pair_count(),
         }
@@ -92,7 +95,10 @@ impl AppEval {
     /// request URIs into unique patterns", §5.2); the corpus ground truth
     /// provides that grouping — a transaction counts when any of its
     /// variant URIs shows up in the trace.
-    pub fn trace_counts(trace: &TrafficTrace, truth: &extractocol_corpus::GroundTruth) -> RowCounts {
+    pub fn trace_counts(
+        trace: &TrafficTrace,
+        truth: &extractocol_corpus::GroundTruth,
+    ) -> RowCounts {
         let observed: BTreeSet<String> = trace.unique_uris();
         truth.counts_where(|t| t.uri_examples.iter().any(|e| observed.contains(e)))
     }

@@ -13,8 +13,7 @@
 use extractocol_corpus::ServerSpec;
 use extractocol_http::uri::url_encode;
 use extractocol_http::{
-    Body, Headers, HttpMethod, JsonValue, Request, Transaction, Uri, XmlElement,
-    XmlNode,
+    Body, Headers, HttpMethod, JsonValue, Request, Transaction, Uri, XmlElement, XmlNode,
 };
 use extractocol_ir::{
     Apk, Call, CallKind, Cond, CondOp, Const, Expr, IdentityKind, Local, MethodId, Place,
@@ -86,7 +85,6 @@ impl RtValue {
             _ => 0,
         }
     }
-
 }
 
 /// A heap object: class, fields, and an optional native payload for
@@ -109,7 +107,11 @@ pub enum Native {
     /// A request under construction.
     Request(RequestBuild),
     /// A received response with its body rendered to text.
-    Response { status: u16, body_text: String, body: Body },
+    Response {
+        status: u16,
+        body_text: String,
+        body: Body,
+    },
     /// An input stream / entity wrapping body text.
     Stream(String),
     Xml(XmlElement),
@@ -237,11 +239,7 @@ impl<'a> Interpreter<'a> {
                 Stmt::Goto { target } => pc = *target,
                 Stmt::Switch { scrutinee, arms, default } => {
                     let v = self.eval_value(scrutinee, &env).as_int();
-                    pc = arms
-                        .iter()
-                        .find(|(k, _)| *k == v)
-                        .map(|(_, t)| *t)
-                        .unwrap_or(*default);
+                    pc = arms.iter().find(|(k, _)| *k == v).map(|(_, t)| *t).unwrap_or(*default);
                 }
                 Stmt::Return(v) => {
                     return Ok(v
@@ -289,9 +287,9 @@ impl<'a> Interpreter<'a> {
                 Const::Null => RtValue::Null,
                 Const::Class(c) => RtValue::Str(c.clone()),
             },
-            Value::Resource(k) => RtValue::Str(
-                self.apk.resources.string(k).unwrap_or_default().to_string(),
-            ),
+            Value::Resource(k) => {
+                RtValue::Str(self.apk.resources.string(k).unwrap_or_default().to_string())
+            }
         }
     }
 
@@ -312,8 +310,7 @@ impl<'a> Interpreter<'a> {
                 }
             }
             Place::StaticField(field) => {
-                self.statics
-                    .insert(format!("{}#{}", field.class, field.name), v);
+                self.statics.insert(format!("{}#{}", field.class, field.name), v);
             }
             Place::ArrayElem { base, .. } => {
                 let b = env.get(base).cloned().unwrap_or(RtValue::Null);
@@ -340,12 +337,9 @@ impl<'a> Interpreter<'a> {
                 Place::InstanceField { base, field } => {
                     let b = env.get(base).cloned().unwrap_or(RtValue::Null);
                     match b {
-                        RtValue::Object(o) => o
-                            .borrow()
-                            .fields
-                            .get(&field.name)
-                            .cloned()
-                            .unwrap_or(RtValue::Null),
+                        RtValue::Object(o) => {
+                            o.borrow().fields.get(&field.name).cloned().unwrap_or(RtValue::Null)
+                        }
                         _ => RtValue::Null,
                     }
                 }
@@ -359,9 +353,7 @@ impl<'a> Interpreter<'a> {
                     let i = self.eval_value(index, env).as_int() as usize;
                     match b {
                         RtValue::Object(o) => match &o.borrow().native {
-                            Native::List(items) => {
-                                items.get(i).cloned().unwrap_or(RtValue::Null)
-                            }
+                            Native::List(items) => items.get(i).cloned().unwrap_or(RtValue::Null),
                             _ => RtValue::Null,
                         },
                         _ => RtValue::Null,
@@ -439,11 +431,7 @@ impl<'a> Interpreter<'a> {
         env: &mut HashMap<Local, RtValue>,
     ) -> RtResult<RtValue> {
         self.tick()?;
-        let recv = call
-            .receiver
-            .as_ref()
-            .map(|v| self.eval_value(v, env))
-            .unwrap_or(RtValue::Null);
+        let recv = call.receiver.as_ref().map(|v| self.eval_value(v, env)).unwrap_or(RtValue::Null);
         let args: Vec<RtValue> = call.args.iter().map(|v| self.eval_value(v, env)).collect();
 
         // Try API semantics (receiver's dynamic class, then static class).
@@ -469,15 +457,15 @@ impl<'a> Interpreter<'a> {
             ),
             CallKind::Virtual | CallKind::Interface => {
                 let cls = dynamic_class.as_deref().unwrap_or(&call.callee.class);
-                self.prog
-                    .resolve_method(cls, &call.callee.name, call.callee.params.len())
-                    .or_else(|| {
+                self.prog.resolve_method(cls, &call.callee.name, call.callee.params.len()).or_else(
+                    || {
                         self.prog.resolve_method(
                             &call.callee.class,
                             &call.callee.name,
                             call.callee.params.len(),
                         )
-                    })
+                    },
+                )
             }
         };
         match target {
@@ -493,12 +481,11 @@ impl<'a> Interpreter<'a> {
     fn new_object(&mut self, class: &str) -> RtValue {
         let native = match class {
             "java.lang.StringBuilder" => Native::StringBuilder(String::new()),
-            "org.json.JSONObject" | "com.google.gson.JsonObject"
+            "org.json.JSONObject"
+            | "com.google.gson.JsonObject"
             | "com.alibaba.fastjson.JSONObject" => Native::Json(JsonValue::object()),
             "org.json.JSONArray" => Native::Json(JsonValue::Array(Vec::new())),
-            c if c.ends_with("ArrayList") || c.ends_with("LinkedList") => {
-                Native::List(Vec::new())
-            }
+            c if c.ends_with("ArrayList") || c.ends_with("LinkedList") => Native::List(Vec::new()),
             c if c.ends_with("HashMap") => Native::Map(Vec::new()),
             "android.content.ContentValues" => Native::Map(Vec::new()),
             "okhttp3.Request$Builder" => Native::Request(RequestBuild::default()),
@@ -542,17 +529,12 @@ impl<'a> Interpreter<'a> {
             ("java.lang.String", "equals") => {
                 // Corpus uses the static-style helper `equals(a, b)` and the
                 // instance form; support both.
-                let (a, b) = if args.len() == 2 {
-                    (s(0), s(1))
-                } else {
-                    (recv.to_str_lossy(), s(0))
-                };
+                let (a, b) =
+                    if args.len() == 2 { (s(0), s(1)) } else { (recv.to_str_lossy(), s(0)) };
                 RtValue::Bool(a == b)
             }
             ("java.lang.String", "trim") => RtValue::Str(recv.to_str_lossy().trim().to_string()),
-            ("java.lang.String", "toLowerCase") => {
-                RtValue::Str(recv.to_str_lossy().to_lowercase())
-            }
+            ("java.lang.String", "toLowerCase") => RtValue::Str(recv.to_str_lossy().to_lowercase()),
             ("java.lang.String", "toString") => RtValue::Str(recv.to_str_lossy()),
             ("java.lang.String", "concat") => RtValue::Str(recv.to_str_lossy() + &s(0)),
             ("java.lang.String", "valueOf") => RtValue::Str(s(0)),
@@ -563,7 +545,8 @@ impl<'a> Interpreter<'a> {
 
             // ---- containers ----
             ("java.util.ArrayList", "<init>") | ("java.util.LinkedList", "<init>") => RtValue::Null,
-            ("java.util.ArrayList", "add") | ("java.util.LinkedList", "add")
+            ("java.util.ArrayList", "add")
+            | ("java.util.LinkedList", "add")
             | ("java.util.List", "add") => {
                 if let RtValue::Object(o) = recv {
                     if let Native::List(items) = &mut o.borrow_mut().native {
@@ -679,7 +662,8 @@ impl<'a> Interpreter<'a> {
             ("org.apache.http.client.HttpClient", "execute")
             | ("org.apache.http.impl.client.DefaultHttpClient", "execute")
             | ("android.net.http.AndroidHttpClient", "execute") => {
-                let req = request_of(&args[0]).ok_or_else(|| RtError("execute: no request".into()))?;
+                let req =
+                    request_of(&args[0]).ok_or_else(|| RtError("execute: no request".into()))?;
                 self.perform(req)?
             }
             ("org.apache.http.HttpResponse", "getEntity") => match recv {
@@ -703,9 +687,7 @@ impl<'a> Interpreter<'a> {
                 _ => RtValue::Null,
             },
             ("org.apache.http.util.EntityUtils", "toString")
-            | ("org.apache.commons.io.IOUtils", "toString") => {
-                RtValue::Str(args[0].to_str_lossy())
-            }
+            | ("org.apache.commons.io.IOUtils", "toString") => RtValue::Str(args[0].to_str_lossy()),
 
             // ---- java.net ----
             ("java.net.URL", "<init>") => {
@@ -759,7 +741,8 @@ impl<'a> Interpreter<'a> {
                 set_method(recv, HttpMethod::Get);
                 recv.clone()
             }
-            ("okhttp3.Request$Builder", "post") | ("okhttp3.Request$Builder", "put")
+            ("okhttp3.Request$Builder", "post")
+            | ("okhttp3.Request$Builder", "put")
             | ("okhttp3.Request$Builder", "delete") => {
                 let method = match name {
                     "post" => HttpMethod::Post,
@@ -853,7 +836,8 @@ impl<'a> Interpreter<'a> {
             }
             ("com.android.volley.RequestQueue", "add") => {
                 let req_obj = args[0].clone();
-                let req = request_of(&req_obj).ok_or_else(|| RtError("volley: no request".into()))?;
+                let req =
+                    request_of(&req_obj).ok_or_else(|| RtError("volley: no request".into()))?;
                 let resp = self.perform(req)?;
                 let body_text = match &resp {
                     RtValue::Object(o) => match &o.borrow().native {
@@ -932,7 +916,8 @@ impl<'a> Interpreter<'a> {
                     },
                     _ => String::new(),
                 };
-                let cb_name = if class.contains("beeframework") { "onReceive" } else { "onSuccess" };
+                let cb_name =
+                    if class.contains("beeframework") { "onReceive" } else { "onSuccess" };
                 if let Some(RtValue::Object(h)) = &handler {
                     let cls = h.borrow().class.clone();
                     if let Some(t) = self.prog.resolve_method(&cls, cb_name, 1) {
@@ -1039,11 +1024,7 @@ impl<'a> Interpreter<'a> {
             }
             ("org.json.JSONObject", "getInt") => {
                 let j = json_of(recv);
-                RtValue::Int(
-                    lookup_json(&j, &s(0))
-                        .and_then(|v| v.as_num())
-                        .unwrap_or(0.0) as i64,
-                )
+                RtValue::Int(lookup_json(&j, &s(0)).and_then(|v| v.as_num()).unwrap_or(0.0) as i64)
             }
             ("org.json.JSONObject", "getBoolean") => {
                 let j = json_of(recv);
@@ -1061,10 +1042,7 @@ impl<'a> Interpreter<'a> {
             }
             ("org.json.JSONArray", "getJSONObject") | ("org.json.JSONArray", "get") => {
                 let j = json_of(recv);
-                let v = j
-                    .at(args[0].as_int() as usize)
-                    .cloned()
-                    .unwrap_or(JsonValue::Null);
+                let v = j.at(args[0].as_int() as usize).cloned().unwrap_or(JsonValue::Null);
                 RtValue::obj("org.json.JSONObject", Native::Json(v))
             }
             ("org.json.JSONArray", "length") => {
@@ -1119,8 +1097,7 @@ impl<'a> Interpreter<'a> {
             // ---- XML DOM ----
             ("javax.xml.parsers.DocumentBuilder", "<init>") => RtValue::Null,
             ("javax.xml.parsers.DocumentBuilder", "parse") => {
-                let e = XmlElement::parse(&s(0))
-                    .map_err(|e| RtError(format!("xml parse: {e}")))?;
+                let e = XmlElement::parse(&s(0)).map_err(|e| RtError(format!("xml parse: {e}")))?;
                 RtValue::obj("org.w3c.dom.Document", Native::Xml(e))
             }
             ("org.w3c.dom.Document", "getElementsByTagName")
@@ -1137,7 +1114,9 @@ impl<'a> Interpreter<'a> {
                     RtValue::Object(o) => match &o.borrow().native {
                         Native::NodeList(items) => items
                             .get(i)
-                            .map(|e| RtValue::obj("org.w3c.dom.Element", Native::Element(e.clone())))
+                            .map(|e| {
+                                RtValue::obj("org.w3c.dom.Element", Native::Element(e.clone()))
+                            })
                             .unwrap_or(RtValue::Null),
                         _ => RtValue::Null,
                     },
@@ -1153,7 +1132,9 @@ impl<'a> Interpreter<'a> {
             },
             ("org.w3c.dom.Element", "getAttribute") => {
                 let e = element_of(recv);
-                RtValue::Str(e.and_then(|e| e.attr_value(&s(0)).map(str::to_string)).unwrap_or_default())
+                RtValue::Str(
+                    e.and_then(|e| e.attr_value(&s(0)).map(str::to_string)).unwrap_or_default(),
+                )
             }
             ("org.w3c.dom.Element", "getTextContent") => {
                 let e = element_of(recv);
@@ -1163,9 +1144,9 @@ impl<'a> Interpreter<'a> {
             // ---- android state ----
             ("android.content.res.Resources", "<init>") => RtValue::Null,
             ("android.content.res.Resources", "getString") => RtValue::Str(s(0)),
-            ("android.content.SharedPreferences", "getString") => RtValue::Str(
-                self.prefs.get(&s(0)).cloned().unwrap_or_else(|| s(1)),
-            ),
+            ("android.content.SharedPreferences", "getString") => {
+                RtValue::Str(self.prefs.get(&s(0)).cloned().unwrap_or_else(|| s(1)))
+            }
             ("android.content.SharedPreferences$Editor", "putString") => {
                 self.prefs.insert(s(0), s(1));
                 recv.clone()
@@ -1196,12 +1177,7 @@ impl<'a> Interpreter<'a> {
             ("android.database.sqlite.SQLiteDatabase", "query") => {
                 let table = s(0);
                 let col = s(2);
-                let v = self
-                    .db
-                    .get(&table)
-                    .and_then(|t| t.get(&col))
-                    .cloned()
-                    .unwrap_or_default();
+                let v = self.db.get(&table).and_then(|t| t.get(&col)).cloned().unwrap_or_default();
                 RtValue::obj("android.database.Cursor", Native::Cursor(vec![v]))
             }
             ("android.database.Cursor", "getString") => match recv {
@@ -1238,7 +1214,11 @@ impl<'a> Interpreter<'a> {
                 let mut result = RtValue::Null;
                 if let Some(t) = self.prog.resolve_method(&cls, "doInBackground", 1) {
                     if self.prog.method(t).has_body {
-                        result = self.call(t, recv.clone(), vec![args.first().cloned().unwrap_or(RtValue::Null)])?;
+                        result = self.call(
+                            t,
+                            recv.clone(),
+                            vec![args.first().cloned().unwrap_or(RtValue::Null)],
+                        )?;
                     }
                 }
                 if let Some(t) = self.prog.resolve_method(&cls, "onPostExecute", 1) {
@@ -1265,7 +1245,8 @@ impl<'a> Interpreter<'a> {
                 RtValue::Null
             }
             ("android.os.Handler", "<init>") | ("java.util.Timer", "<init>") => RtValue::Null,
-            ("android.os.Handler", "post") | ("android.os.Handler", "postDelayed")
+            ("android.os.Handler", "post")
+            | ("android.os.Handler", "postDelayed")
             | ("java.util.Timer", "schedule") => {
                 if let Some(r) = args.first() {
                     let r = r.clone();
@@ -1490,17 +1471,42 @@ mod tests {
             c.method("login", vec![Type::string()], Type::Void, |m| {
                 let this = m.recv("t.Api");
                 let user = m.arg(0, "user");
-                let sb = m.new_obj("java.lang.StringBuilder", vec![Value::str("http://h/login?u=")]);
+                let sb =
+                    m.new_obj("java.lang.StringBuilder", vec![Value::str("http://h/login?u=")]);
                 m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(user)]);
-                let url = m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
-                let req = m.new_obj("org.apache.http.client.methods.HttpGet", vec![Value::Local(url)]);
+                let url =
+                    m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
+                let req =
+                    m.new_obj("org.apache.http.client.methods.HttpGet", vec![Value::Local(url)]);
                 let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
-                let resp = m.vcall(client, "org.apache.http.client.HttpClient", "execute",
-                    vec![Value::Local(req)], Type::object("org.apache.http.HttpResponse"));
-                let ent = m.vcall(resp, "org.apache.http.HttpResponse", "getEntity", vec![], Type::object("org.apache.http.HttpEntity"));
-                let body = m.scall("org.apache.http.util.EntityUtils", "toString", vec![Value::Local(ent)], Type::string());
+                let resp = m.vcall(
+                    client,
+                    "org.apache.http.client.HttpClient",
+                    "execute",
+                    vec![Value::Local(req)],
+                    Type::object("org.apache.http.HttpResponse"),
+                );
+                let ent = m.vcall(
+                    resp,
+                    "org.apache.http.HttpResponse",
+                    "getEntity",
+                    vec![],
+                    Type::object("org.apache.http.HttpEntity"),
+                );
+                let body = m.scall(
+                    "org.apache.http.util.EntityUtils",
+                    "toString",
+                    vec![Value::Local(ent)],
+                    Type::string(),
+                );
                 let j = m.new_obj("org.json.JSONObject", vec![Value::Local(body)]);
-                let t = m.vcall(j, "org.json.JSONObject", "getString", vec![Value::str("token")], Type::string());
+                let t = m.vcall(
+                    j,
+                    "org.json.JSONObject",
+                    "getString",
+                    vec![Value::str("token")],
+                    Type::string(),
+                );
                 m.put_field(this, &tok, t);
                 m.ret_void();
             });
@@ -1508,12 +1514,20 @@ mod tests {
                 let this = m.recv("t.Api");
                 let t = m.temp(Type::string());
                 m.get_field(t, this, &tok);
-                let sb = m.new_obj("java.lang.StringBuilder", vec![Value::str("http://h/items?auth=")]);
+                let sb =
+                    m.new_obj("java.lang.StringBuilder", vec![Value::str("http://h/items?auth=")]);
                 m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(t)]);
-                let url = m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
-                let req = m.new_obj("org.apache.http.client.methods.HttpGet", vec![Value::Local(url)]);
+                let url =
+                    m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
+                let req =
+                    m.new_obj("org.apache.http.client.methods.HttpGet", vec![Value::Local(url)]);
                 let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
-                m.vcall_void(client, "org.apache.http.client.HttpClient", "execute", vec![Value::Local(req)]);
+                m.vcall_void(
+                    client,
+                    "org.apache.http.client.HttpClient",
+                    "execute",
+                    vec![Value::Local(req)],
+                );
                 m.ret_void();
             });
         });
@@ -1530,15 +1544,9 @@ mod tests {
         interp.invoke("t.Api", "login", vec![RtValue::Str("alice".into())]).unwrap();
         interp.invoke("t.Api", "fetch", vec![]).unwrap();
         assert_eq!(interp.trace.len(), 2);
-        assert_eq!(
-            interp.trace[0].request.uri.to_uri_string(),
-            "http://h/login?u=alice"
-        );
+        assert_eq!(interp.trace[0].request.uri.to_uri_string(), "http://h/login?u=alice");
         // The token from the first response flows into the second request.
-        assert_eq!(
-            interp.trace[1].request.uri.to_uri_string(),
-            "http://h/items?auth=tk-99"
-        );
+        assert_eq!(interp.trace[1].request.uri.to_uri_string(), "http://h/items?auth=tk-99");
         assert_eq!(interp.trace[0].response.status, 200);
     }
 }
@@ -1570,11 +1578,22 @@ mod api_semantics_tests {
             |m| {
                 m.recv("t.C");
                 let j = m.new_obj("org.json.JSONObject", vec![]);
-                m.vcall_void(j, "org.json.JSONObject", "put", vec![Value::str("a"), Value::str("1")]);
+                m.vcall_void(
+                    j,
+                    "org.json.JSONObject",
+                    "put",
+                    vec![Value::str("a"), Value::str("1")],
+                );
                 m.vcall_void(j, "org.json.JSONObject", "put", vec![Value::str("b"), Value::int(2)]);
                 let text = m.vcall(j, "org.json.JSONObject", "toString", vec![], Type::string());
                 let j2 = m.new_obj("org.json.JSONObject", vec![Value::Local(text)]);
-                let v = m.vcall(j2, "org.json.JSONObject", "getString", vec![Value::str("a")], Type::string());
+                let v = m.vcall(
+                    j2,
+                    "org.json.JSONObject",
+                    "getString",
+                    vec![Value::str("a")],
+                    Type::string(),
+                );
                 m.ret(v);
             },
             ServerSpec::new(),
@@ -1588,15 +1607,39 @@ mod api_semantics_tests {
             |m| {
                 m.recv("t.C");
                 let text = m.temp(Type::string());
-                m.cstr(text, "<root><item id=\"7\">first</item><item id=\"8\">second</item></root>");
+                m.cstr(
+                    text,
+                    "<root><item id=\"7\">first</item><item id=\"8\">second</item></root>",
+                );
                 let db = m.new_obj("javax.xml.parsers.DocumentBuilder", vec![]);
-                let doc = m.vcall(db, "javax.xml.parsers.DocumentBuilder", "parse",
-                    vec![Value::Local(text)], Type::object("org.w3c.dom.Document"));
-                let nl = m.vcall(doc, "org.w3c.dom.Document", "getElementsByTagName",
-                    vec![Value::str("item")], Type::object("org.w3c.dom.NodeList"));
-                let el = m.vcall(nl, "org.w3c.dom.NodeList", "item", vec![Value::int(1)],
-                    Type::object("org.w3c.dom.Element"));
-                let attr = m.vcall(el, "org.w3c.dom.Element", "getAttribute", vec![Value::str("id")], Type::string());
+                let doc = m.vcall(
+                    db,
+                    "javax.xml.parsers.DocumentBuilder",
+                    "parse",
+                    vec![Value::Local(text)],
+                    Type::object("org.w3c.dom.Document"),
+                );
+                let nl = m.vcall(
+                    doc,
+                    "org.w3c.dom.Document",
+                    "getElementsByTagName",
+                    vec![Value::str("item")],
+                    Type::object("org.w3c.dom.NodeList"),
+                );
+                let el = m.vcall(
+                    nl,
+                    "org.w3c.dom.NodeList",
+                    "item",
+                    vec![Value::int(1)],
+                    Type::object("org.w3c.dom.Element"),
+                );
+                let attr = m.vcall(
+                    el,
+                    "org.w3c.dom.Element",
+                    "getAttribute",
+                    vec![Value::str("id")],
+                    Type::string(),
+                );
                 m.ret(attr);
             },
             ServerSpec::new(),
@@ -1611,11 +1654,20 @@ mod api_semantics_tests {
                 m.recv("t.C");
                 // fromJson fills fields; toJson reads them back.
                 let gson = m.new_obj("com.google.gson.Gson", vec![]);
-                let obj = m.vcall(gson, "com.google.gson.Gson", "fromJson",
+                let obj = m.vcall(
+                    gson,
+                    "com.google.gson.Gson",
+                    "fromJson",
                     vec![Value::str(r#"{"user":"bob","age":7}"#), Value::str("t.User")],
-                    Type::obj_root());
-                let text = m.vcall(gson, "com.google.gson.Gson", "toJson",
-                    vec![Value::Local(obj)], Type::string());
+                    Type::obj_root(),
+                );
+                let text = m.vcall(
+                    gson,
+                    "com.google.gson.Gson",
+                    "toJson",
+                    vec![Value::Local(obj)],
+                    Type::string(),
+                );
                 m.ret(text);
             },
             ServerSpec::new(),
@@ -1665,14 +1717,37 @@ mod api_semantics_tests {
         let (trace, r) = run_method(
             |m| {
                 m.recv("t.C");
-                let req = m.new_obj("org.apache.http.client.methods.HttpGet", vec![Value::str("https://h/x")]);
-                m.vcall_void(req, "org.apache.http.client.methods.HttpGet", "setHeader",
-                    vec![Value::str("X-Auth"), Value::str("secret-1")]);
+                let req = m.new_obj(
+                    "org.apache.http.client.methods.HttpGet",
+                    vec![Value::str("https://h/x")],
+                );
+                m.vcall_void(
+                    req,
+                    "org.apache.http.client.methods.HttpGet",
+                    "setHeader",
+                    vec![Value::str("X-Auth"), Value::str("secret-1")],
+                );
                 let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
-                let resp = m.vcall(client, "org.apache.http.client.HttpClient", "execute",
-                    vec![Value::Local(req)], Type::object("org.apache.http.HttpResponse"));
-                let ent = m.vcall(resp, "org.apache.http.HttpResponse", "getEntity", vec![], Type::object("org.apache.http.HttpEntity"));
-                let body = m.scall("org.apache.http.util.EntityUtils", "toString", vec![Value::Local(ent)], Type::string());
+                let resp = m.vcall(
+                    client,
+                    "org.apache.http.client.HttpClient",
+                    "execute",
+                    vec![Value::Local(req)],
+                    Type::object("org.apache.http.HttpResponse"),
+                );
+                let ent = m.vcall(
+                    resp,
+                    "org.apache.http.HttpResponse",
+                    "getEntity",
+                    vec![],
+                    Type::object("org.apache.http.HttpEntity"),
+                );
+                let body = m.scall(
+                    "org.apache.http.util.EntityUtils",
+                    "toString",
+                    vec![Value::Local(ent)],
+                    Type::string(),
+                );
                 m.ret(body);
             },
             server,

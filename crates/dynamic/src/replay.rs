@@ -26,19 +26,13 @@ pub fn concretize(sig: &SigPat, sample: &str) -> String {
         SigPat::Unknown(TypeHint::Str) => sample.to_string(),
         SigPat::Concat(items) => items.iter().map(|p| concretize(p, sample)).collect(),
         SigPat::Rep(inner) => concretize(inner, sample),
-        SigPat::Or(items) => items
-            .first()
-            .map(|p| concretize(p, sample))
-            .unwrap_or_default(),
+        SigPat::Or(items) => items.first().map(|p| concretize(p, sample)).unwrap_or_default(),
         SigPat::Json(_) | SigPat::Xml(_) => sample.to_string(),
     }
 }
 
 /// Builds a concrete request from a reconstructed transaction signature.
-pub fn request_from_signature(
-    txn: &extractocol_core::report::TxnReport,
-    sample: &str,
-) -> Request {
+pub fn request_from_signature(txn: &extractocol_core::report::TxnReport, sample: &str) -> Request {
     let uri = concretize(&txn.uri, sample);
     let mut headers = Headers::new();
     for (name, value_re) in &txn.headers {
@@ -47,12 +41,7 @@ pub fn request_from_signature(
         let value = value_re.replace("\\", "");
         headers.add(name, &value);
     }
-    Request {
-        method: txn.method,
-        uri: Uri::parse(&uri),
-        headers,
-        body: Body::Empty,
-    }
+    Request { method: txn.method, uri: Uri::parse(&uri), headers, body: Body::Empty }
 }
 
 /// The outcome of the flight-fare replay.
@@ -66,10 +55,7 @@ pub struct ReplayOutcome {
 }
 
 /// Replays the Kayak flight-fare sequence from the analysis report alone.
-pub fn replay_kayak_flight_search(
-    report: &AnalysisReport,
-    server: &ServerSpec,
-) -> ReplayOutcome {
+pub fn replay_kayak_flight_search(report: &AnalysisReport, server: &ServerSpec) -> ReplayOutcome {
     let mut trace = TrafficTrace { app: report.app.clone(), transactions: Vec::new() };
     let mut send = |req: Request| -> (u16, String) {
         let resp = server.serve(&req);
@@ -78,12 +64,7 @@ pub fn replay_kayak_flight_search(
         (resp.status, body)
     };
 
-    let find = |fragment: &str| {
-        report
-            .transactions
-            .iter()
-            .find(|t| t.uri_regex.contains(fragment))
-    };
+    let find = |fragment: &str| report.transactions.iter().find(|t| t.uri_regex.contains(fragment));
 
     // 1. authajax with the recovered User-Agent.
     let auth_ok = match find("authajax") {

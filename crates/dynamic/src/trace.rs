@@ -24,10 +24,7 @@ pub struct TrafficTrace {
 impl TrafficTrace {
     /// Unique request URIs observed.
     pub fn unique_uris(&self) -> BTreeSet<String> {
-        self.transactions
-            .iter()
-            .map(|t| t.request.uri.to_uri_string())
-            .collect()
+        self.transactions.iter().map(|t| t.request.uri.to_uri_string()).collect()
     }
 
     /// Count of unique requests per method.
@@ -93,10 +90,7 @@ impl TrafficTrace {
 }
 
 /// Which trace transactions a static transaction signature matches.
-pub fn matching_transactions<'t>(
-    txn: &TxnReport,
-    trace: &'t TrafficTrace,
-) -> Vec<&'t Transaction> {
+pub fn matching_transactions<'t>(txn: &TxnReport, trace: &'t TrafficTrace) -> Vec<&'t Transaction> {
     let Ok(re) = Regex::new(&txn.uri_regex) else { return Vec::new() };
     trace
         .transactions
@@ -134,9 +128,7 @@ pub fn validate(report: &AnalysisReport, trace: &TrafficTrace) -> Validity {
         let uri = t.request.uri.to_uri_string();
         let matched = report.transactions.iter().any(|txn| {
             txn.method == t.request.method
-                && Regex::new(&txn.uri_regex)
-                    .map(|re| re.is_match(&uri))
-                    .unwrap_or(false)
+                && Regex::new(&txn.uri_regex).map(|re| re.is_match(&uri)).unwrap_or(false)
         });
         if !matched {
             v.orphan_lines.push((t.request.method, uri));
@@ -181,10 +173,7 @@ impl ByteFractions {
 }
 
 /// Attributes the bytes of key/value pairs against a set of known keys.
-fn attribute_pairs(
-    pairs: &[(String, String)],
-    known: &BTreeSet<String>,
-) -> ByteFractions {
+fn attribute_pairs(pairs: &[(String, String)], known: &BTreeSet<String>) -> ByteFractions {
     let mut f = ByteFractions::default();
     for (k, v) in pairs {
         if known.contains(k) {
@@ -302,9 +291,7 @@ pub fn body_matches(sig: &BodySig, body: &Body) -> bool {
     match (sig, body) {
         (BodySig::Form(pairs), Body::Form(concrete)) => pairs.iter().all(|(k, _)| {
             let key_re = Regex::new(&k.to_regex());
-            key_re
-                .map(|re| concrete.iter().any(|(ck, _)| re.is_match(ck)))
-                .unwrap_or(false)
+            key_re.map(|re| concrete.iter().any(|(ck, _)| re.is_match(ck))).unwrap_or(false)
         }),
         (BodySig::Json(js), Body::Json(j)) => js.matches(j),
         (BodySig::Xml(xs), Body::Xml(x)) => xs.matches(x),
@@ -338,7 +325,9 @@ mod tests {
         let t = trace_with(
             "https://h/api/login?user=bob&passwd=x",
             Body::Form(vec![("api_type".into(), "json".into())]),
-            Body::Json(extractocol_http::JsonValue::parse(r#"{"modhash":"m","cookie":"c"}"#).unwrap()),
+            Body::Json(
+                extractocol_http::JsonValue::parse(r#"{"modhash":"m","cookie":"c"}"#).unwrap(),
+            ),
         );
         let req = t.request_keywords();
         assert!(req.contains("user") && req.contains("passwd") && req.contains("api_type"));

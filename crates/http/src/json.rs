@@ -430,8 +430,7 @@ mod tests {
     #[test]
     fn builder_helpers() {
         let mut o = JsonValue::object();
-        o.insert("uh", JsonValue::str("hashval"))
-            .insert("id", JsonValue::str("t3_x"));
+        o.insert("uh", JsonValue::str("hashval")).insert("id", JsonValue::str("t3_x"));
         assert_eq!(o.get("uh").unwrap().as_str(), Some("hashval"));
         assert_eq!(o.to_json(), r#"{"id":"t3_x","uh":"hashval"}"#);
     }

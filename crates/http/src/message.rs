@@ -69,10 +69,7 @@ impl Headers {
 
     /// First value for a name, case-insensitively.
     pub fn get(&self, name: &str) -> Option<&str> {
-        self.entries
-            .iter()
-            .find(|(n, _)| n.eq_ignore_ascii_case(name))
-            .map(|(_, v)| v.as_str())
+        self.entries.iter().find(|(n, _)| n.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
     }
 
     /// All `(name, value)` pairs in insertion order.
@@ -164,12 +161,7 @@ impl Request {
 
     /// A POST with the given body.
     pub fn post(uri: &str, body: Body) -> Request {
-        Request {
-            method: HttpMethod::Post,
-            uri: Uri::parse(uri),
-            headers: Headers::new(),
-            body,
-        }
+        Request { method: HttpMethod::Post, uri: Uri::parse(uri), headers: Headers::new(), body }
     }
 }
 

@@ -309,9 +309,7 @@ impl Regex {
                 return false;
             }
         }
-        current
-            .iter()
-            .any(|&s| matches!(self.states[s], Trans::Accept))
+        current.iter().any(|&s| matches!(self.states[s], Trans::Accept))
     }
 
     /// Length of the longest prefix of `text` this regex matches, if any
@@ -320,10 +318,7 @@ impl Regex {
         let mut current = Vec::new();
         let mut seen = vec![false; self.states.len()];
         self.add_state(self.start, &mut current, &mut seen);
-        let mut best = if current
-            .iter()
-            .any(|&s| matches!(self.states[s], Trans::Accept))
-        {
+        let mut best = if current.iter().any(|&s| matches!(self.states[s], Trans::Accept)) {
             Some(0)
         } else {
             None
@@ -344,10 +339,7 @@ impl Regex {
             if current.is_empty() {
                 break;
             }
-            if current
-                .iter()
-                .any(|&s| matches!(self.states[s], Trans::Accept))
-            {
+            if current.iter().any(|&s| matches!(self.states[s], Trans::Accept)) {
                 best = Some(consumed);
             }
         }

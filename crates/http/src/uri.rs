@@ -62,10 +62,7 @@ impl Uri {
 
     /// The first value for a query key.
     pub fn query_value(&self, key: &str) -> Option<&str> {
-        self.query
-            .iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v.as_str())
+        self.query.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
     }
 
     /// Path segments, without empty leading entry.
@@ -98,13 +95,7 @@ pub fn parse_query(q: &str) -> Vec<(String, String)> {
 pub fn format_query(pairs: &[(String, String)]) -> String {
     pairs
         .iter()
-        .map(|(k, v)| {
-            if v.is_empty() {
-                k.clone()
-            } else {
-                format!("{k}={v}")
-            }
-        })
+        .map(|(k, v)| if v.is_empty() { k.clone() } else { format!("{k}={v}") })
         .collect::<Vec<_>>()
         .join("&")
 }

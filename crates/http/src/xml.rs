@@ -188,9 +188,7 @@ impl XmlParser<'_> {
     }
 
     fn starts_with(&self, pat: &str) -> bool {
-        (self.i..)
-            .zip(pat.chars())
-            .all(|(j, c)| self.s.get(j) == Some(&c))
+        (self.i..).zip(pat.chars()).all(|(j, c)| self.s.get(j) == Some(&c))
     }
 
     fn err<T>(&self, m: impl Into<String>) -> Result<T, XmlError> {
@@ -289,10 +287,7 @@ impl XmlParser<'_> {
 }
 
 fn unescape(s: &str) -> String {
-    s.replace("&lt;", "<")
-        .replace("&gt;", ">")
-        .replace("&quot;", "\"")
-        .replace("&amp;", "&")
+    s.replace("&lt;", "<").replace("&gt;", ">").replace("&quot;", "\"").replace("&amp;", "&")
 }
 
 #[cfg(test)]
@@ -301,11 +296,11 @@ mod tests {
 
     #[test]
     fn builds_and_serializes() {
-        let e = XmlElement::new("vast")
-            .attr("version", "2.0")
-            .child(XmlElement::new("Ad").attr("id", "1").child(
-                XmlElement::new("MediaFile").text("https://cdn.example.com/ad.mp4"),
-            ));
+        let e = XmlElement::new("vast").attr("version", "2.0").child(
+            XmlElement::new("Ad")
+                .attr("id", "1")
+                .child(XmlElement::new("MediaFile").text("https://cdn.example.com/ad.mp4")),
+        );
         let s = e.to_xml();
         assert_eq!(
             s,
@@ -326,7 +321,8 @@ mod tests {
 
     #[test]
     fn skips_declaration_and_collects_keywords() {
-        let src = "<?xml version=\"1.0\"?><rss version=\"2\"><channel><title>t</title></channel></rss>";
+        let src =
+            "<?xml version=\"1.0\"?><rss version=\"2\"><channel><title>t</title></channel></rss>";
         let e = XmlElement::parse(src).unwrap();
         let kw = e.all_keywords();
         assert_eq!(kw, vec!["rss", "version", "channel", "title"]);

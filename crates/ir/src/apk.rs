@@ -87,11 +87,7 @@ impl Apk {
     /// size" metric used when reporting slice fractions (paper Fig. 3 notes
     /// Diode's slices cover 6.3% of all code).
     pub fn total_statements(&self) -> usize {
-        self.classes
-            .iter()
-            .flat_map(|c| c.methods.iter())
-            .map(|m| m.body.len())
-            .sum()
+        self.classes.iter().flat_map(|c| c.methods.iter()).map(|m| m.body.len()).sum()
     }
 
     /// Looks up a class by fully-qualified name.

@@ -101,12 +101,7 @@ impl ApkBuilder {
                 }
             }
         }
-        Apk {
-            name: self.name,
-            manifest: self.manifest,
-            resources: self.resources,
-            classes: merged,
-        }
+        Apk { name: self.name, manifest: self.manifest, resources: self.resources, classes: merged }
     }
 }
 
@@ -156,13 +151,21 @@ impl ClassBuilder {
 
     /// Declares an instance field and returns its reference.
     pub fn field(&mut self, name: &str, ty: Type) -> FieldRef {
-        self.class.fields.push(FieldDecl { name: name.to_string(), ty: ty.clone(), is_static: false });
+        self.class.fields.push(FieldDecl {
+            name: name.to_string(),
+            ty: ty.clone(),
+            is_static: false,
+        });
         FieldRef::new(&self.class.name, name, ty)
     }
 
     /// Declares a static field and returns its reference.
     pub fn static_field(&mut self, name: &str, ty: Type) -> FieldRef {
-        self.class.fields.push(FieldDecl { name: name.to_string(), ty: ty.clone(), is_static: true });
+        self.class.fields.push(FieldDecl {
+            name: name.to_string(),
+            ty: ty.clone(),
+            is_static: true,
+        });
         FieldRef::new(&self.class.name, name, ty)
     }
 
@@ -282,11 +285,7 @@ impl MethodBuilder {
     /// Declares a local bound to parameter `i` and emits the identity
     /// statement. The type comes from the declared parameter list.
     pub fn arg(&mut self, i: u32, name: &str) -> Local {
-        let ty = self
-            .params
-            .get(i as usize)
-            .cloned()
-            .unwrap_or_else(Type::obj_root);
+        let ty = self.params.get(i as usize).cloned().unwrap_or_else(Type::obj_root);
         let l = self.local(name, ty);
         self.push(Stmt::Identity { local: l, kind: IdentityKind::Param(i) });
         l
@@ -341,10 +340,7 @@ impl MethodBuilder {
 
     /// `base.field = v`.
     pub fn put_field(&mut self, base: Local, field: &FieldRef, v: impl Into<Value>) -> &mut Self {
-        self.set(
-            Place::InstanceField { base, field: field.clone() },
-            Expr::Use(v.into()),
-        )
+        self.set(Place::InstanceField { base, field: field.clone() }, Expr::Use(v.into()))
     }
 
     /// `dst = Class.field`.
@@ -369,10 +365,7 @@ impl MethodBuilder {
         idx: impl Into<Value>,
         v: impl Into<Value>,
     ) -> &mut Self {
-        self.set(
-            Place::ArrayElem { base, index: idx.into() },
-            Expr::Use(v.into()),
-        )
+        self.set(Place::ArrayElem { base, index: idx.into() }, Expr::Use(v.into()))
     }
 
     /// `dst = new ty[len]`.
@@ -420,41 +413,81 @@ impl MethodBuilder {
             .collect()
     }
 
-    fn mk_call(&self, kind: CallKind, class: &str, name: &str, recv: Option<Value>, args: Vec<Value>, ret: Type) -> Call {
+    fn mk_call(
+        &self,
+        kind: CallKind,
+        class: &str,
+        name: &str,
+        recv: Option<Value>,
+        args: Vec<Value>,
+        ret: Type,
+    ) -> Call {
         let params = self.arg_types(&args);
-        Call {
-            kind,
-            callee: MethodRef::new(class, name, params, ret),
-            receiver: recv,
-            args,
-        }
+        Call { kind, callee: MethodRef::new(class, name, params, ret), receiver: recv, args }
     }
 
     /// Virtual call whose result is assigned to a fresh temp of type `ret`.
-    pub fn vcall(&mut self, recv: Local, class: &str, name: &str, args: Vec<Value>, ret: Type) -> Local {
+    pub fn vcall(
+        &mut self,
+        recv: Local,
+        class: &str,
+        name: &str,
+        args: Vec<Value>,
+        ret: Type,
+    ) -> Local {
         let dst = self.temp(ret.clone());
-        let call = self.mk_call(CallKind::Virtual, class, name, Some(Value::Local(recv)), args, ret);
+        let call =
+            self.mk_call(CallKind::Virtual, class, name, Some(Value::Local(recv)), args, ret);
         self.assign(dst, Expr::Invoke(call));
         dst
     }
 
     /// Virtual call assigned into an existing local.
-    pub fn vcall_into(&mut self, dst: Local, recv: Local, class: &str, name: &str, args: Vec<Value>) -> &mut Self {
+    pub fn vcall_into(
+        &mut self,
+        dst: Local,
+        recv: Local,
+        class: &str,
+        name: &str,
+        args: Vec<Value>,
+    ) -> &mut Self {
         let ret = self.locals[dst.index()].ty.clone();
-        let call = self.mk_call(CallKind::Virtual, class, name, Some(Value::Local(recv)), args, ret);
+        let call =
+            self.mk_call(CallKind::Virtual, class, name, Some(Value::Local(recv)), args, ret);
         self.assign(dst, Expr::Invoke(call))
     }
 
     /// Virtual call with discarded result.
-    pub fn vcall_void(&mut self, recv: Local, class: &str, name: &str, args: Vec<Value>) -> &mut Self {
-        let call = self.mk_call(CallKind::Virtual, class, name, Some(Value::Local(recv)), args, Type::Void);
+    pub fn vcall_void(
+        &mut self,
+        recv: Local,
+        class: &str,
+        name: &str,
+        args: Vec<Value>,
+    ) -> &mut Self {
+        let call = self.mk_call(
+            CallKind::Virtual,
+            class,
+            name,
+            Some(Value::Local(recv)),
+            args,
+            Type::Void,
+        );
         self.push(Stmt::Invoke(call))
     }
 
     /// Interface call whose result is assigned to a fresh temp.
-    pub fn icall(&mut self, recv: Local, class: &str, name: &str, args: Vec<Value>, ret: Type) -> Local {
+    pub fn icall(
+        &mut self,
+        recv: Local,
+        class: &str,
+        name: &str,
+        args: Vec<Value>,
+        ret: Type,
+    ) -> Local {
         let dst = self.temp(ret.clone());
-        let call = self.mk_call(CallKind::Interface, class, name, Some(Value::Local(recv)), args, ret);
+        let call =
+            self.mk_call(CallKind::Interface, class, name, Some(Value::Local(recv)), args, ret);
         self.assign(dst, Expr::Invoke(call));
         dst
     }
@@ -474,8 +507,21 @@ impl MethodBuilder {
     }
 
     /// `specialinvoke` (constructor chaining, `super.m()`).
-    pub fn special_void(&mut self, recv: Local, class: &str, name: &str, args: Vec<Value>) -> &mut Self {
-        let call = self.mk_call(CallKind::Special, class, name, Some(Value::Local(recv)), args, Type::Void);
+    pub fn special_void(
+        &mut self,
+        recv: Local,
+        class: &str,
+        name: &str,
+        args: Vec<Value>,
+    ) -> &mut Self {
+        let call = self.mk_call(
+            CallKind::Special,
+            class,
+            name,
+            Some(Value::Local(recv)),
+            args,
+            Type::Void,
+        );
         self.push(Stmt::Invoke(call))
     }
 
@@ -488,11 +534,15 @@ impl MethodBuilder {
     }
 
     /// Conditional jump to `label` when `lhs op rhs` holds.
-    pub fn iff(&mut self, op: CondOp, lhs: impl Into<Value>, rhs: impl Into<Value>, label: &str) -> &mut Self {
-        self.stmts.push(RawStmt::If(
-            Cond { op, lhs: lhs.into(), rhs: rhs.into() },
-            label.to_string(),
-        ));
+    pub fn iff(
+        &mut self,
+        op: CondOp,
+        lhs: impl Into<Value>,
+        rhs: impl Into<Value>,
+        label: &str,
+    ) -> &mut Self {
+        self.stmts
+            .push(RawStmt::If(Cond { op, lhs: lhs.into(), rhs: rhs.into() }, label.to_string()));
         self
     }
 
@@ -503,7 +553,12 @@ impl MethodBuilder {
     }
 
     /// `lookupswitch`.
-    pub fn switch(&mut self, v: impl Into<Value>, arms: Vec<(i64, &str)>, default: &str) -> &mut Self {
+    pub fn switch(
+        &mut self,
+        v: impl Into<Value>,
+        arms: Vec<(i64, &str)>,
+        default: &str,
+    ) -> &mut Self {
         self.stmts.push(RawStmt::Switch(
             v.into(),
             arms.into_iter().map(|(k, l)| (k, l.to_string())).collect(),

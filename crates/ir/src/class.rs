@@ -88,9 +88,7 @@ impl Class {
     /// Finds a declared method by name and arity (ignoring overloads on
     /// parameter types, which the corpus does not produce).
     pub fn method(&self, name: &str, arity: usize) -> Option<&Method> {
-        self.methods
-            .iter()
-            .find(|m| m.name == name && m.params.len() == arity)
+        self.methods.iter().find(|m| m.name == name && m.params.len() == arity)
     }
 
     /// Finds a declared field by name.

@@ -31,6 +31,7 @@ pub mod obfuscate;
 pub mod parser;
 pub mod printer;
 pub mod program;
+pub mod rng;
 pub mod stmt;
 pub mod types;
 pub mod validate;

@@ -124,8 +124,7 @@ pub fn obfuscate(apk: &Apk, opts: &ObfuscationOptions) -> (Apk, ObfuscationMap) 
     let mut class_counter = 0usize;
     for c in &apk.classes {
         if !kept_class(&c.name) {
-            map.classes
-                .insert(c.name.clone(), format!("o.{}", short_name(class_counter)));
+            map.classes.insert(c.name.clone(), format!("o.{}", short_name(class_counter)));
             class_counter += 1;
         }
     }
@@ -221,8 +220,7 @@ pub fn obfuscate(apk: &Apk, opts: &ObfuscationOptions) -> (Apk, ObfuscationMap) 
             continue;
         }
         for (i, f) in c.fields.iter().enumerate() {
-            map.fields
-                .insert((c.name.clone(), f.name.clone()), short_name(i));
+            map.fields.insert((c.name.clone(), f.name.clone()), short_name(i));
         }
     }
 
@@ -264,9 +262,7 @@ fn rewrite(apk: &Apk, map: &ObfuscationMap, index: &ProgramIndex<'_>) -> Apk {
             if apk.class(&cn).map(|c| c.method(name, arity).is_some()).unwrap_or(false) {
                 return name.to_string(); // declared but kept
             }
-            cur = index
-                .class_id(&cn)
-                .and_then(|id| index.class(id).superclass.clone());
+            cur = index.class_id(&cn).and_then(|id| index.class(id).superclass.clone());
         }
         name.to_string()
     };
@@ -279,9 +275,7 @@ fn rewrite(apk: &Apk, map: &ObfuscationMap, index: &ProgramIndex<'_>) -> Apk {
             if apk.class(&cn).map(|c| c.field(name).is_some()).unwrap_or(false) {
                 return name.to_string();
             }
-            cur = index
-                .class_id(&cn)
-                .and_then(|id| index.class(id).superclass.clone());
+            cur = index.class_id(&cn).and_then(|id| index.class(id).superclass.clone());
         }
         name.to_string()
     };

@@ -55,8 +55,8 @@ struct SpTok {
 
 const PUNCTS2: &[&str] = &[":=", "==", "!=", "<=", ">=", "<<", ">>"];
 const PUNCTS1: &[char] = &[
-    '{', '}', '(', ')', '[', ']', ';', ':', ',', '.', '=', '<', '>', '+', '-', '*', '/', '%',
-    '&', '|', '^', '@',
+    '{', '}', '(', ')', '[', ']', ';', ':', ',', '.', '=', '<', '>', '+', '-', '*', '/', '%', '&',
+    '|', '^', '@',
 ];
 
 fn lex(src: &str) -> PResult<Vec<SpTok>> {
@@ -117,11 +117,7 @@ fn lex(src: &str) -> PResult<Vec<SpTok>> {
                             '"' => '"',
                             '\\' => '\\',
                             other => {
-                                return Err(err(
-                                    tline,
-                                    tcol,
-                                    format!("bad escape `\\{other}`"),
-                                ))
+                                return Err(err(tline, tcol, format!("bad escape `\\{other}`")))
                             }
                         });
                     }
@@ -574,13 +570,10 @@ fn parse_method(p: &mut Parser) -> PResult<Method> {
     }
     // resolve labels
     let resolve = |l: &str, p: &Parser| -> PResult<usize> {
-        labels
-            .get(l)
-            .copied()
-            .ok_or_else(|| {
-                let (line, col) = p.here();
-                ParseError { line, col, message: format!("undefined label `{l}`") }
-            })
+        labels.get(l).copied().ok_or_else(|| {
+            let (line, col) = p.here();
+            ParseError { line, col, message: format!("undefined label `{l}`") }
+        })
     };
     let mut body = Vec::with_capacity(stmts.len());
     for rs in stmts {

@@ -151,12 +151,9 @@ fn fmt_expr(e: &Expr, name: &dyn Fn(Local) -> String) -> String {
             };
             format!("{o} {}", fmt_value(v, name))
         }
-        Expr::Bin(op, a, b) => format!(
-            "{} {} {}",
-            fmt_value(a, name),
-            fmt_bin_op(*op),
-            fmt_value(b, name)
-        ),
+        Expr::Bin(op, a, b) => {
+            format!("{} {} {}", fmt_value(a, name), fmt_bin_op(*op), fmt_value(b, name))
+        }
         Expr::New(c) => format!("new {c}"),
         Expr::NewArray(t, n) => format!("newarray {t}[{}]", fmt_value(n, name)),
         Expr::Cast(t, v) => format!("({t}) {}", fmt_value(v, name)),

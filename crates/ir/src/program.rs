@@ -69,11 +69,7 @@ impl<'a> ProgramIndex<'a> {
 
     /// Iterates over all `(ClassId, &Class)` pairs.
     pub fn classes(&self) -> impl Iterator<Item = (ClassId, &'a Class)> + '_ {
-        self.apk
-            .classes
-            .iter()
-            .enumerate()
-            .map(|(i, c)| (ClassId(i as u32), c))
+        self.apk.classes.iter().enumerate().map(|(i, c)| (ClassId(i as u32), c))
     }
 
     /// Iterates over every method id in the program.
@@ -107,11 +103,7 @@ impl<'a> ProgramIndex<'a> {
             if let Some(mid) = self.declared_method(cid, name, arity) {
                 return Some(mid);
             }
-            cur = self
-                .class(cid)
-                .superclass
-                .as_deref()
-                .and_then(|s| self.class_id(s));
+            cur = self.class(cid).superclass.as_deref().and_then(|s| self.class_id(s));
         }
         None
     }
@@ -202,11 +194,8 @@ mod tests {
         assert!(p.is_subtype("com.t.C", "com.t.I"));
         assert!(p.is_subtype("com.t.B", "java.lang.Object"));
         assert!(!p.is_subtype("com.t.A", "com.t.B"));
-        let subs: Vec<String> = p
-            .all_subtypes("com.t.A")
-            .into_iter()
-            .map(|id| p.class(id).name.clone())
-            .collect();
+        let subs: Vec<String> =
+            p.all_subtypes("com.t.A").into_iter().map(|id| p.class(id).name.clone()).collect();
         assert!(subs.contains(&"com.t.B".to_string()));
         assert!(subs.contains(&"com.t.C".to_string()));
     }

@@ -131,7 +131,10 @@ impl Expr {
     /// All value operands read by this expression.
     pub fn operands(&self) -> Vec<&Value> {
         match self {
-            Expr::Use(v) | Expr::Un(_, v) | Expr::NewArray(_, v) | Expr::Cast(_, v)
+            Expr::Use(v)
+            | Expr::Un(_, v)
+            | Expr::NewArray(_, v)
+            | Expr::Cast(_, v)
             | Expr::InstanceOf(_, v) => vec![v],
             Expr::Bin(_, a, b) => vec![a, b],
             Expr::Load(p) => match p {
@@ -226,10 +229,7 @@ mod tests {
     #[test]
     fn stmt_call_extraction() {
         assert!(Stmt::Invoke(call()).call().is_some());
-        let s = Stmt::Assign {
-            place: Place::Local(Local(1)),
-            expr: Expr::Invoke(call()),
-        };
+        let s = Stmt::Assign { place: Place::Local(Local(1)), expr: Expr::Invoke(call()) };
         assert!(s.call().is_some());
         assert!(Stmt::Nop.call().is_none());
     }

@@ -88,10 +88,7 @@ impl Type {
             "double" => Type::Double,
             "" => return Err(format!("empty type in `{s}`")),
             name => {
-                if name
-                    .chars()
-                    .all(|c| c.is_alphanumeric() || c == '.' || c == '_' || c == '$')
-                {
+                if name.chars().all(|c| c.is_alphanumeric() || c == '.' || c == '_' || c == '$') {
                     Type::Object(name.to_string())
                 } else {
                     return Err(format!("invalid type name `{name}`"));

@@ -100,8 +100,7 @@ pub fn validate_method(ctx: &str, m: &Method, errs: &mut Vec<ValidationError>) {
                             errs.push(ValidationError {
                                 context: ctx.to_string(),
                                 stmt: Some(i),
-                                message: "this/param identity after non-identity statement"
-                                    .into(),
+                                message: "this/param identity after non-identity statement".into(),
                             });
                         }
                         if *kind == IdentityKind::This && m.is_static {
@@ -198,10 +197,7 @@ mod tests {
             is_static: true,
             has_body: true,
             locals: vec![],
-            body: vec![
-                Stmt::Goto { target: 99 },
-                Stmt::Return(Some(Value::Local(Local(5)))),
-            ],
+            body: vec![Stmt::Goto { target: 99 }, Stmt::Return(Some(Value::Local(Local(5))))],
         };
         let mut errs = Vec::new();
         validate_method("t.bad", &m, &mut errs);

@@ -109,11 +109,7 @@ pub struct FieldRef {
 impl FieldRef {
     /// Convenience constructor.
     pub fn new(class: &str, name: &str, ty: Type) -> FieldRef {
-        FieldRef {
-            class: class.to_string(),
-            name: name.to_string(),
-            ty,
-        }
+        FieldRef { class: class.to_string(), name: name.to_string(), ty }
     }
 }
 
@@ -141,12 +137,7 @@ pub struct MethodRef {
 impl MethodRef {
     /// Convenience constructor.
     pub fn new(class: &str, name: &str, params: Vec<Type>, ret: Type) -> MethodRef {
-        MethodRef {
-            class: class.to_string(),
-            name: name.to_string(),
-            params,
-            ret,
-        }
+        MethodRef { class: class.to_string(), name: name.to_string(), params, ret }
     }
 
     /// `class.name` — the form used in semantic-model lookups, where
@@ -174,14 +165,7 @@ impl MethodRef {
 impl fmt::Display for MethodRef {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let params: Vec<String> = self.params.iter().map(|t| t.to_string()).collect();
-        write!(
-            f,
-            "<{}: {} {}({})>",
-            self.class,
-            self.ret,
-            self.name,
-            params.join(", ")
-        )
+        write!(f, "<{}: {} {}({})>", self.class, self.ret, self.name, params.join(", "))
     }
 }
 

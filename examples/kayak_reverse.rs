@@ -43,7 +43,10 @@ fn main() {
 
     // The replay client concretizes the signatures and retrieves fares.
     let outcome = replay_kayak_flight_search(&report, &app.server);
-    println!("with recovered signatures: auth={} fares={}", outcome.auth_ok, outcome.fares_retrieved);
+    println!(
+        "with recovered signatures: auth={} fares={}",
+        outcome.auth_ok, outcome.fares_retrieved
+    );
     assert!(outcome.fares_retrieved);
     for t in &outcome.trace.transactions {
         println!("  {} {} -> {}", t.request.method, t.request.uri, t.response.status);

@@ -26,10 +26,7 @@ fn main() {
         map.methods.len()
     );
     let obf = analyzer.analyze(&obf_apk);
-    println!(
-        "library classes recovered by the §3.4 mapper: {}",
-        obf.stats.deobfuscated_classes
-    );
+    println!("library classes recovered by the §3.4 mapper: {}", obf.stats.deobfuscated_classes);
 
     println!("\n-- plain --\n{}", plain.to_table());
     println!("-- obfuscated --\n{}", obf.to_table());

@@ -45,7 +45,12 @@ fn build_app() -> extractocol_ir::Apk {
                 "org.apache.http.client.methods.HttpPost",
                 vec![Value::str("https://api.example.com/session")],
             );
-            m.vcall_void(req, "org.apache.http.client.methods.HttpPost", "setEntity", vec![Value::Local(ent)]);
+            m.vcall_void(
+                req,
+                "org.apache.http.client.methods.HttpPost",
+                "setEntity",
+                vec![Value::Local(ent)],
+            );
             let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
             let resp = m.vcall(
                 client,
@@ -54,10 +59,27 @@ fn build_app() -> extractocol_ir::Apk {
                 vec![Value::Local(req)],
                 Type::object("org.apache.http.HttpResponse"),
             );
-            let e = m.vcall(resp, "org.apache.http.HttpResponse", "getEntity", vec![], Type::object("org.apache.http.HttpEntity"));
-            let body = m.scall("org.apache.http.util.EntityUtils", "toString", vec![Value::Local(e)], Type::string());
+            let e = m.vcall(
+                resp,
+                "org.apache.http.HttpResponse",
+                "getEntity",
+                vec![],
+                Type::object("org.apache.http.HttpEntity"),
+            );
+            let body = m.scall(
+                "org.apache.http.util.EntityUtils",
+                "toString",
+                vec![Value::Local(e)],
+                Type::string(),
+            );
             let j = m.new_obj("org.json.JSONObject", vec![Value::Local(body)]);
-            let tok = m.vcall(j, "org.json.JSONObject", "getString", vec![Value::str("token")], Type::string());
+            let tok = m.vcall(
+                j,
+                "org.json.JSONObject",
+                "getString",
+                vec![Value::str("token")],
+                Type::string(),
+            );
             m.put_field(this, &token, tok);
             m.ret_void();
         });
@@ -85,12 +107,41 @@ fn build_app() -> extractocol_ir::Apk {
                 vec![Value::Local(req)],
                 Type::object("org.apache.http.HttpResponse"),
             );
-            let e = m.vcall(resp, "org.apache.http.HttpResponse", "getEntity", vec![], Type::object("org.apache.http.HttpEntity"));
-            let body = m.scall("org.apache.http.util.EntityUtils", "toString", vec![Value::Local(e)], Type::string());
+            let e = m.vcall(
+                resp,
+                "org.apache.http.HttpResponse",
+                "getEntity",
+                vec![],
+                Type::object("org.apache.http.HttpEntity"),
+            );
+            let body = m.scall(
+                "org.apache.http.util.EntityUtils",
+                "toString",
+                vec![Value::Local(e)],
+                Type::string(),
+            );
             let j = m.new_obj("org.json.JSONObject", vec![Value::Local(body)]);
-            let items = m.vcall(j, "org.json.JSONObject", "getJSONArray", vec![Value::str("items")], Type::object("org.json.JSONArray"));
-            let first = m.vcall(items, "org.json.JSONArray", "getJSONObject", vec![Value::int(0)], Type::object("org.json.JSONObject"));
-            let title = m.vcall(first, "org.json.JSONObject", "getString", vec![Value::str("title")], Type::string());
+            let items = m.vcall(
+                j,
+                "org.json.JSONObject",
+                "getJSONArray",
+                vec![Value::str("items")],
+                Type::object("org.json.JSONArray"),
+            );
+            let first = m.vcall(
+                items,
+                "org.json.JSONArray",
+                "getJSONObject",
+                vec![Value::int(0)],
+                Type::object("org.json.JSONObject"),
+            );
+            let title = m.vcall(
+                first,
+                "org.json.JSONObject",
+                "getString",
+                vec![Value::str("title")],
+                Type::string(),
+            );
             let _ = title;
             m.ret_void();
         });
@@ -100,11 +151,7 @@ fn build_app() -> extractocol_ir::Apk {
 
 fn main() {
     let apk = build_app();
-    println!(
-        "analyzing `{}` ({} statements) …\n",
-        apk.name,
-        apk.total_statements()
-    );
+    println!("analyzing `{}` ({} statements) …\n", apk.name, apk.total_statements());
     let report = Extractocol::new().analyze(&apk);
     println!("{}", report.to_table());
     println!(

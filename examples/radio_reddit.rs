@@ -26,9 +26,6 @@ fn main() {
         };
         println!("#{} {} … {status}", txn.id + 1, txn.method);
     }
-    assert!(
-        eval.validity.orphan_lines.is_empty(),
-        "every trace line is covered by a signature"
-    );
+    assert!(eval.validity.orphan_lines.is_empty(), "every trace line is covered by a signature");
     println!("\nall signatures valid against the captured traffic (paper §5.1).");
 }

@@ -23,30 +23,71 @@ fn shared_preferences_bridge_transactions() {
                 vec![Value::str("https://s/login")],
             );
             let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
-            let resp = m.vcall(client, "org.apache.http.client.HttpClient", "execute",
-                vec![Value::Local(req)], Type::object("org.apache.http.HttpResponse"));
-            let ent = m.vcall(resp, "org.apache.http.HttpResponse", "getEntity", vec![], Type::object("org.apache.http.HttpEntity"));
-            let body = m.scall("org.apache.http.util.EntityUtils", "toString", vec![Value::Local(ent)], Type::string());
+            let resp = m.vcall(
+                client,
+                "org.apache.http.client.HttpClient",
+                "execute",
+                vec![Value::Local(req)],
+                Type::object("org.apache.http.HttpResponse"),
+            );
+            let ent = m.vcall(
+                resp,
+                "org.apache.http.HttpResponse",
+                "getEntity",
+                vec![],
+                Type::object("org.apache.http.HttpEntity"),
+            );
+            let body = m.scall(
+                "org.apache.http.util.EntityUtils",
+                "toString",
+                vec![Value::Local(ent)],
+                Type::string(),
+            );
             let j = m.new_obj("org.json.JSONObject", vec![Value::Local(body)]);
-            let tok = m.vcall(j, "org.json.JSONObject", "getString", vec![Value::str("session")], Type::string());
+            let tok = m.vcall(
+                j,
+                "org.json.JSONObject",
+                "getString",
+                vec![Value::str("session")],
+                Type::string(),
+            );
             let prefs = m.new_obj("android.content.SharedPreferences", vec![]);
-            let ed = m.vcall(prefs, "android.content.SharedPreferences", "edit", vec![],
-                Type::object("android.content.SharedPreferences$Editor"));
-            m.vcall_void(ed, "android.content.SharedPreferences$Editor", "putString",
-                vec![Value::str("session_token"), Value::Local(tok)]);
+            let ed = m.vcall(
+                prefs,
+                "android.content.SharedPreferences",
+                "edit",
+                vec![],
+                Type::object("android.content.SharedPreferences$Editor"),
+            );
+            m.vcall_void(
+                ed,
+                "android.content.SharedPreferences$Editor",
+                "putString",
+                vec![Value::str("session_token"), Value::Local(tok)],
+            );
             m.ret_void();
         });
         c.method("fetch", vec![], Type::Void, |m| {
             m.recv("t.Api");
             let prefs = m.new_obj("android.content.SharedPreferences", vec![]);
-            let tok = m.vcall(prefs, "android.content.SharedPreferences", "getString",
-                vec![Value::str("session_token"), Value::str("")], Type::string());
+            let tok = m.vcall(
+                prefs,
+                "android.content.SharedPreferences",
+                "getString",
+                vec![Value::str("session_token"), Value::str("")],
+                Type::string(),
+            );
             let sb = m.new_obj("java.lang.StringBuilder", vec![Value::str("https://s/data?s=")]);
             m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(tok)]);
             let url = m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
             let req = m.new_obj("org.apache.http.client.methods.HttpGet", vec![Value::Local(url)]);
             let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
-            m.vcall_void(client, "org.apache.http.client.HttpClient", "execute", vec![Value::Local(req)]);
+            m.vcall_void(
+                client,
+                "org.apache.http.client.HttpClient",
+                "execute",
+                vec![Value::Local(req)],
+            );
             m.ret_void();
         });
     });
@@ -73,13 +114,35 @@ fn common_response_handler_is_reported_as_shared() {
             let url = m.arg(0, "url");
             let req = m.new_obj("org.apache.http.client.methods.HttpGet", vec![Value::Local(url)]);
             let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
-            let resp = m.vcall(client, "org.apache.http.client.HttpClient", "execute",
-                vec![Value::Local(req)], Type::object("org.apache.http.HttpResponse"));
+            let resp = m.vcall(
+                client,
+                "org.apache.http.client.HttpClient",
+                "execute",
+                vec![Value::Local(req)],
+                Type::object("org.apache.http.HttpResponse"),
+            );
             // The shared handler parses every response the same way.
-            let ent = m.vcall(resp, "org.apache.http.HttpResponse", "getEntity", vec![], Type::object("org.apache.http.HttpEntity"));
-            let body = m.scall("org.apache.http.util.EntityUtils", "toString", vec![Value::Local(ent)], Type::string());
+            let ent = m.vcall(
+                resp,
+                "org.apache.http.HttpResponse",
+                "getEntity",
+                vec![],
+                Type::object("org.apache.http.HttpEntity"),
+            );
+            let body = m.scall(
+                "org.apache.http.util.EntityUtils",
+                "toString",
+                vec![Value::Local(ent)],
+                Type::string(),
+            );
             let j = m.new_obj("org.json.JSONObject", vec![Value::Local(body)]);
-            let v = m.vcall(j, "org.json.JSONObject", "getString", vec![Value::str("status")], Type::string());
+            let v = m.vcall(
+                j,
+                "org.json.JSONObject",
+                "getString",
+                vec![Value::str("status")],
+                Type::string(),
+            );
             let _ = v;
             m.ret_void();
         });
@@ -118,14 +181,39 @@ fn static_field_cells_create_dependencies() {
         let sf = c.static_field("TOKEN", Type::string());
         let sf2 = sf.clone();
         c.static_method("login", vec![], Type::Void, move |m| {
-            let req = m.new_obj("org.apache.http.client.methods.HttpGet", vec![Value::str("https://s/token")]);
+            let req = m.new_obj(
+                "org.apache.http.client.methods.HttpGet",
+                vec![Value::str("https://s/token")],
+            );
             let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
-            let resp = m.vcall(client, "org.apache.http.client.HttpClient", "execute",
-                vec![Value::Local(req)], Type::object("org.apache.http.HttpResponse"));
-            let ent = m.vcall(resp, "org.apache.http.HttpResponse", "getEntity", vec![], Type::object("org.apache.http.HttpEntity"));
-            let body = m.scall("org.apache.http.util.EntityUtils", "toString", vec![Value::Local(ent)], Type::string());
+            let resp = m.vcall(
+                client,
+                "org.apache.http.client.HttpClient",
+                "execute",
+                vec![Value::Local(req)],
+                Type::object("org.apache.http.HttpResponse"),
+            );
+            let ent = m.vcall(
+                resp,
+                "org.apache.http.HttpResponse",
+                "getEntity",
+                vec![],
+                Type::object("org.apache.http.HttpEntity"),
+            );
+            let body = m.scall(
+                "org.apache.http.util.EntityUtils",
+                "toString",
+                vec![Value::Local(ent)],
+                Type::string(),
+            );
             let j = m.new_obj("org.json.JSONObject", vec![Value::Local(body)]);
-            let tok = m.vcall(j, "org.json.JSONObject", "getString", vec![Value::str("token")], Type::string());
+            let tok = m.vcall(
+                j,
+                "org.json.JSONObject",
+                "getString",
+                vec![Value::str("token")],
+                Type::string(),
+            );
             m.put_static(&sf2, tok);
             m.ret_void();
         });
@@ -138,7 +226,12 @@ fn static_field_cells_create_dependencies() {
             let url = m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
             let req = m.new_obj("org.apache.http.client.methods.HttpGet", vec![Value::Local(url)]);
             let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
-            m.vcall_void(client, "org.apache.http.client.HttpClient", "execute", vec![Value::Local(req)]);
+            m.vcall_void(
+                client,
+                "org.apache.http.client.HttpClient",
+                "execute",
+                vec![Value::Local(req)],
+            );
             m.ret_void();
         });
     });
@@ -164,33 +257,78 @@ fn multi_stack_app_is_fully_reconstructed() {
         // apache POST
         c.method("a", vec![], Type::Void, |m| {
             m.recv("t.Api");
-            let req = m.new_obj("org.apache.http.client.methods.HttpPost", vec![Value::str("https://h/apache")]);
+            let req = m.new_obj(
+                "org.apache.http.client.methods.HttpPost",
+                vec![Value::str("https://h/apache")],
+            );
             let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
-            m.vcall_void(client, "org.apache.http.client.HttpClient", "execute", vec![Value::Local(req)]);
+            m.vcall_void(
+                client,
+                "org.apache.http.client.HttpClient",
+                "execute",
+                vec![Value::Local(req)],
+            );
             m.ret_void();
         });
         // okhttp PUT
         c.method("b", vec![], Type::Void, |m| {
             m.recv("t.Api");
             let builder = m.new_obj("okhttp3.Request$Builder", vec![]);
-            m.vcall_void(builder, "okhttp3.Request$Builder", "url", vec![Value::str("https://h/okhttp")]);
-            let mt = m.scall("okhttp3.MediaType", "parse", vec![Value::str("application/json")], Type::object("okhttp3.MediaType"));
-            let rb = m.scall("okhttp3.RequestBody", "create", vec![Value::Local(mt), Value::str("{}")], Type::object("okhttp3.RequestBody"));
+            m.vcall_void(
+                builder,
+                "okhttp3.Request$Builder",
+                "url",
+                vec![Value::str("https://h/okhttp")],
+            );
+            let mt = m.scall(
+                "okhttp3.MediaType",
+                "parse",
+                vec![Value::str("application/json")],
+                Type::object("okhttp3.MediaType"),
+            );
+            let rb = m.scall(
+                "okhttp3.RequestBody",
+                "create",
+                vec![Value::Local(mt), Value::str("{}")],
+                Type::object("okhttp3.RequestBody"),
+            );
             m.vcall_void(builder, "okhttp3.Request$Builder", "put", vec![Value::Local(rb)]);
-            let req = m.vcall(builder, "okhttp3.Request$Builder", "build", vec![], Type::object("okhttp3.Request"));
+            let req = m.vcall(
+                builder,
+                "okhttp3.Request$Builder",
+                "build",
+                vec![],
+                Type::object("okhttp3.Request"),
+            );
             let client = m.new_obj("okhttp3.OkHttpClient", vec![]);
-            let call = m.vcall(client, "okhttp3.OkHttpClient", "newCall", vec![Value::Local(req)], Type::object("okhttp3.Call"));
-            let resp = m.vcall(call, "okhttp3.Call", "execute", vec![], Type::object("okhttp3.Response"));
+            let call = m.vcall(
+                client,
+                "okhttp3.OkHttpClient",
+                "newCall",
+                vec![Value::Local(req)],
+                Type::object("okhttp3.Call"),
+            );
+            let resp =
+                m.vcall(call, "okhttp3.Call", "execute", vec![], Type::object("okhttp3.Response"));
             let _ = resp;
             m.ret_void();
         });
         // retrofit DELETE
         c.method("c", vec![], Type::Void, |m| {
             m.recv("t.Api");
-            let call = m.scall("retrofit2.CallFactory", "create",
+            let call = m.scall(
+                "retrofit2.CallFactory",
+                "create",
                 vec![Value::str("DELETE"), Value::str("https://h/retrofit"), Value::null()],
-                Type::object("retrofit2.Call"));
-            let resp = m.vcall(call, "retrofit2.Call", "execute", vec![], Type::object("retrofit2.Response"));
+                Type::object("retrofit2.Call"),
+            );
+            let resp = m.vcall(
+                call,
+                "retrofit2.Call",
+                "execute",
+                vec![],
+                Type::object("retrofit2.Response"),
+            );
             let _ = resp;
             m.ret_void();
         });
@@ -198,7 +336,13 @@ fn multi_stack_app_is_fully_reconstructed() {
         c.method("d", vec![], Type::Void, |m| {
             m.recv("t.Api");
             let u = m.new_obj("java.net.URL", vec![Value::str("https://h/urlconn")]);
-            let conn = m.vcall(u, "java.net.URL", "openConnection", vec![], Type::object("java.net.HttpURLConnection"));
+            let conn = m.vcall(
+                u,
+                "java.net.URL",
+                "openConnection",
+                vec![],
+                Type::object("java.net.HttpURLConnection"),
+            );
             m.vcall_void(conn, "java.net.HttpURLConnection", "connect", vec![]);
             m.ret_void();
         });

@@ -19,11 +19,8 @@ fn radio_reddit_reconstructs_table3() {
     assert_eq!(r.transactions.len(), 6, "six transactions (Table 3)\n{}", r.to_table());
 
     // #3 login: POST with user/passwd/api_type form body.
-    let login = r
-        .transactions
-        .iter()
-        .find(|t| t.uri_regex.contains("api/login"))
-        .expect("login txn");
+    let login =
+        r.transactions.iter().find(|t| t.uri_regex.contains("api/login")).expect("login txn");
     assert_eq!(login.method, HttpMethod::Post);
     let kw = login.request_keywords();
     for k in ["user", "passwd", "api_type"] {
@@ -40,11 +37,7 @@ fn radio_reddit_reconstructs_table3() {
     }
 
     // Save/unsave: disjunctive URI.
-    let save = r
-        .transactions
-        .iter()
-        .find(|t| t.uri_regex.contains("save"))
-        .expect("save txn");
+    let save = r.transactions.iter().find(|t| t.uri_regex.contains("save")).expect("save txn");
     let re = Regex::new(&save.uri_regex).unwrap();
     assert!(re.is_match("http://www.reddit.com/api/save"));
     assert!(re.is_match("http://www.reddit.com/api/unsave"));
@@ -68,11 +61,8 @@ fn radio_reddit_reconstructs_table3() {
     );
 
     // Fig. 8: the status signature reads 16 keys, not album/score.
-    let status = r
-        .transactions
-        .iter()
-        .find(|t| t.uri_regex.contains("status"))
-        .expect("status txn");
+    let status =
+        r.transactions.iter().find(|t| t.uri_regex.contains("status")).expect("status txn");
     let keys = status.response_keywords();
     assert_eq!(keys.len(), 16, "{keys:?}");
     assert!(!keys.contains(&"album".to_string()));
@@ -95,11 +85,8 @@ fn ted_reconstructs_table4_and_fig1() {
 
     // The api-key from resources is inlined into URIs (§5.2: the key lives
     // in android.content.res.Resources).
-    let speakers = r
-        .transactions
-        .iter()
-        .find(|t| t.uri_regex.contains("speakers"))
-        .expect("speakers txn");
+    let speakers =
+        r.transactions.iter().find(|t| t.uri_regex.contains("speakers")).expect("speakers txn");
     assert!(
         speakers.uri_regex.contains("k9a7f3e2"),
         "resource-resolved api-key: {}",
@@ -114,11 +101,7 @@ fn ted_reconstructs_table4_and_fig1() {
     assert!(via_strings.iter().any(|v| v.contains("db talks")), "{via_strings:?}");
 
     // The ad response's url key is identified (Fig. 1's prefetch hook).
-    let ad = r
-        .transactions
-        .iter()
-        .find(|t| t.uri_regex.contains("android_ad"))
-        .expect("ad txn");
+    let ad = r.transactions.iter().find(|t| t.uri_regex.contains("android_ad")).expect("ad txn");
     match &ad.response {
         Some(ResponseSig::Json(j)) => assert!(j.keys().contains(&"url")),
         other => panic!("ad response: {other:?}"),
@@ -140,11 +123,8 @@ fn diode_reconstructs_fig3() {
     let app = extractocol_corpus::app("Diode").unwrap();
     let eval = AppEval::run(&app);
     let r = &eval.report;
-    let listing = r
-        .transactions
-        .iter()
-        .find(|t| t.uri_regex.contains("search"))
-        .expect("Fig. 3 listing txn");
+    let listing =
+        r.transactions.iter().find(|t| t.uri_regex.contains("search")).expect("Fig. 3 listing txn");
     assert_eq!(listing.uri_pattern_count(), 9, "nine URI patterns\n{}", listing.uri.display());
     let re = Regex::new(&listing.uri_regex).unwrap();
     // The paper's example pattern.
@@ -172,11 +152,7 @@ fn kayak_reverse_engineering_works_end_to_end() {
     assert!(report.transactions.len() >= 40, "14x more APIs than the manual analysis");
 
     // The flight/poll signature carries its constant query parts.
-    let poll = report
-        .transactions
-        .iter()
-        .find(|t| t.uri_regex.contains("flight/poll"))
-        .unwrap();
+    let poll = report.transactions.iter().find(|t| t.uri_regex.contains("flight/poll")).unwrap();
     for k in ["searchid", "nc", "currency", "includeopaques"] {
         assert!(
             poll.query_keys().contains(&k.to_string()),
@@ -220,8 +196,5 @@ fn weather_async_heuristic_recovers_the_location_query() {
     assert!(current(&with).contains("units=metric"), "{}", current(&with));
     assert!(!current(&without).contains("units=metric"), "{}", current(&without));
     // And the origin is attributed to GPS.
-    assert!(with
-        .transactions
-        .iter()
-        .any(|t| t.origins.iter().any(|o| o == "gps")));
+    assert!(with.transactions.iter().any(|t| t.origins.iter().any(|o| o == "gps")));
 }

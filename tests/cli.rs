@@ -73,6 +73,30 @@ fn cli_json_export_parses() {
 }
 
 #[test]
+fn cli_jobs_flag_changes_nothing_but_the_worker_count() {
+    let path = write_app("radio reddit");
+    let table = |jobs: &str| {
+        let out = cli().arg(&path).args(["--jobs", jobs]).output().expect("run extractocol");
+        assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let seq = table("1");
+    assert!(seq.contains("1 worker(s)"), "{seq}");
+    assert!(seq.contains("summary cache"), "{seq}");
+    let par = table("4");
+    assert!(par.contains("4 worker(s)"), "{par}");
+    // Everything except the trailing stats lines (duration, workers) is
+    // byte-identical across worker counts.
+    let body = |s: &str| {
+        s.lines()
+            .filter(|l| !l.contains("demarcation sites") && !l.contains("worker(s)"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(body(&seq), body(&par), "report differs between --jobs 1 and --jobs 4");
+}
+
+#[test]
 fn cli_rejects_garbage_input() {
     let mut path = std::env::temp_dir();
     path.push("extractocol-cli-garbage.jimple");

@@ -46,12 +46,20 @@ fn multi_hop_async_chains_recover_with_more_iterations() {
             let this = m.recv("t.C");
             let v = m.temp(Type::string());
             m.get_field(v, this, &bb);
-            let sb = m.new_obj("java.lang.StringBuilder", vec![Value::str("http://push.example.com/sub?")]);
+            let sb = m.new_obj(
+                "java.lang.StringBuilder",
+                vec![Value::str("http://push.example.com/sub?")],
+            );
             m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(v)]);
             let url = m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
             let req = m.new_obj("org.apache.http.client.methods.HttpGet", vec![Value::Local(url)]);
             let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
-            m.vcall_void(client, "org.apache.http.client.HttpClient", "execute", vec![Value::Local(req)]);
+            m.vcall_void(
+                client,
+                "org.apache.http.client.HttpClient",
+                "execute",
+                vec![Value::Local(req)],
+            );
             m.ret_void();
         });
     });
@@ -107,12 +115,8 @@ fn plugin_hook_recovers_unmodeled_library_traffic() {
     let extended_report = analyzer.analyze(&app.apk);
     let extended_gets = extended_report.method_count(HttpMethod::Get);
 
-    let socket_txns = app
-        .truth
-        .txns
-        .iter()
-        .filter(|t| !t.static_visible && t.method == HttpMethod::Get)
-        .count();
+    let socket_txns =
+        app.truth.txns.iter().filter(|t| !t.static_visible && t.method == HttpMethod::Get).count();
     assert!(socket_txns > 0, "MusicDownloader carries socket traffic");
     assert_eq!(
         extended_gets,

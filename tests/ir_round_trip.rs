@@ -18,8 +18,8 @@ fn every_corpus_apk_validates() {
 fn every_corpus_apk_round_trips_through_text() {
     for app in extractocol_corpus::all_apps() {
         let txt = print_apk(&app.apk);
-        let reparsed = parse_apk(&txt)
-            .unwrap_or_else(|e| panic!("{}: reparse failed: {e}", app.truth.name));
+        let reparsed =
+            parse_apk(&txt).unwrap_or_else(|e| panic!("{}: reparse failed: {e}", app.truth.name));
         assert_eq!(app.apk, reparsed, "{}: round-trip mismatch", app.truth.name);
     }
 }
@@ -29,14 +29,10 @@ fn corpus_statement_volume_is_app_scale() {
     // Sanity on the substitution: the corpus carries real program volume,
     // and closed-source apps are larger than open-source ones (the size
     // asymmetry behind §5.1's analysis times).
-    let open: usize = extractocol_corpus::open_source_apps()
-        .iter()
-        .map(|a| a.apk.total_statements())
-        .sum();
-    let closed: usize = extractocol_corpus::closed_source_apps()
-        .iter()
-        .map(|a| a.apk.total_statements())
-        .sum();
+    let open: usize =
+        extractocol_corpus::open_source_apps().iter().map(|a| a.apk.total_statements()).sum();
+    let closed: usize =
+        extractocol_corpus::closed_source_apps().iter().map(|a| a.apk.total_statements()).sum();
     assert!(open > 10_000, "open-source corpus: {open} statements");
     assert!(closed > 50_000, "closed-source corpus: {closed} statements");
     assert!(closed > 2 * open, "closed apps must dwarf open ones");

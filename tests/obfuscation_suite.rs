@@ -7,11 +7,7 @@ use extractocol_ir::obfuscate::{obfuscate, ObfuscationOptions};
 use std::collections::BTreeSet;
 
 fn signature_set(report: &extractocol_core::AnalysisReport) -> BTreeSet<(String, String)> {
-    report
-        .transactions
-        .iter()
-        .map(|t| (t.method.to_string(), t.uri_regex.clone()))
-        .collect()
+    report.transactions.iter().map(|t| (t.method.to_string(), t.uri_regex.clone())).collect()
 }
 
 #[test]
@@ -77,9 +73,7 @@ fn obfuscation_keeps_platform_overrides_and_constants() {
     let (obf, map) = obfuscate(&app.apk, &ObfuscationOptions::default());
     // Lifecycle/callback overrides keep their names.
     assert!(
-        !map.methods
-            .keys()
-            .any(|(_, name, _)| name == "doInBackground" || name == "onPostExecute"),
+        !map.methods.keys().any(|(_, name, _)| name == "doInBackground" || name == "onPostExecute"),
         "platform overrides must not be renamed"
     );
     // String constants survive (URLs are still visible in the binary).

@@ -1,16 +1,21 @@
-//! Property-based tests (proptest) on the core data structures:
+//! Randomized property tests on the core data structures, driven by the
+//! in-repo deterministic PRNG (`extractocol_ir::rng`) so the suite runs
+//! with no network access (no external `proptest` dependency):
 //!
 //! * the regex-lite engine agrees with a reference backtracking matcher
 //!   on the signature dialect;
 //! * signature normalization is idempotent and meaning-preserving
 //!   (concrete strings drawn from a signature always match its regex);
 //! * JSON parse∘serialize is a fixpoint;
-//! * the IR printer/parser round-trips generated methods.
+//! * arbitrary input never panics the parsers.
+//!
+//! Every case is deterministic in its iteration index, so a failure
+//! reports a reproducible seed.
 
 use extractocol_core::siglang::{SigPat, TypeHint};
 use extractocol_http::regexlite::escape_literal;
-use extractocol_http::{JsonValue, Regex};
-use proptest::prelude::*;
+use extractocol_http::{JsonValue, Regex, XmlElement};
+use extractocol_ir::rng::Rng;
 
 // ---------------------------------------------------------------------------
 // A tiny reference backtracking matcher for the same dialect.
@@ -119,114 +124,93 @@ impl Rx {
     }
 }
 
-fn rx_strategy() -> impl Strategy<Value = Rx> {
-    let leaf = prop_oneof![
-        prop::char::range('a', 'e').prop_map(Rx::Lit),
-        prop::char::range('0', '3').prop_map(Rx::Lit),
-        Just(Rx::Any),
-        Just(Rx::Digit),
-    ];
-    leaf.prop_recursive(3, 16, 4, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|r| Rx::Star(Box::new(r))),
-            inner.clone().prop_map(|r| Rx::Plus(Box::new(r))),
-            inner.clone().prop_map(|r| Rx::Opt(Box::new(r))),
-            prop::collection::vec(inner.clone(), 1..4).prop_map(Rx::Seq),
-            (inner.clone(), inner).prop_map(|(a, b)| Rx::Alt(Box::new(a), Box::new(b))),
-        ]
-    })
-}
+// ---------------------------------------------------------------------------
+// Generators (recursive, depth-bounded, deterministic in the Rng state).
+// ---------------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+const RX_LEAVES: [char; 9] = ['a', 'b', 'c', 'd', 'e', '0', '1', '2', '3'];
 
-    #[test]
-    fn regexlite_agrees_with_reference(rx in rx_strategy(), text in "[a-e0-3]{0,8}") {
-        let pattern = rx.to_pattern();
-        let compiled = Regex::new(&pattern).expect("generated pattern compiles");
-        prop_assert_eq!(
-            compiled.is_match(&text),
-            rx.is_match(&text),
-            "pattern {} on {:?}", pattern, text
-        );
+fn gen_rx(rng: &mut Rng, depth: usize) -> Rx {
+    if depth == 0 || rng.chance(2, 5) {
+        return match rng.below(4) {
+            0 | 1 => Rx::Lit(*rng.pick(&RX_LEAVES)),
+            2 => Rx::Any,
+            _ => Rx::Digit,
+        };
     }
-
-    #[test]
-    fn json_parse_serialize_fixpoint(v in json_strategy()) {
-        let once = v.to_json();
-        let reparsed = JsonValue::parse(&once).expect("serialized JSON parses");
-        prop_assert_eq!(&reparsed.to_json(), &once);
-        prop_assert_eq!(reparsed, v);
-    }
-
-    #[test]
-    fn signature_normalization_is_idempotent(sig in sig_strategy()) {
-        let once = sig.clone().normalize();
-        let twice = once.clone().normalize();
-        prop_assert_eq!(once, twice);
-    }
-
-    #[test]
-    fn strings_drawn_from_a_signature_match_its_regex(sig in sig_strategy(), seed in 0u32..1000) {
-        let sample = sample_from(&sig, seed);
-        let regex = Regex::new(&sig.to_regex()).expect("signature regex compiles");
-        prop_assert!(
-            regex.is_match(&sample),
-            "signature {} regex {} sample {:?}", sig.display(), sig.to_regex(), sample
-        );
+    match rng.below(5) {
+        0 => Rx::Star(Box::new(gen_rx(rng, depth - 1))),
+        1 => Rx::Plus(Box::new(gen_rx(rng, depth - 1))),
+        2 => Rx::Opt(Box::new(gen_rx(rng, depth - 1))),
+        3 => {
+            let n = 1 + rng.below(3);
+            Rx::Seq((0..n).map(|_| gen_rx(rng, depth - 1)).collect())
+        }
+        _ => Rx::Alt(Box::new(gen_rx(rng, depth - 1)), Box::new(gen_rx(rng, depth - 1))),
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+fn gen_text(rng: &mut Rng, max_len: usize) -> String {
+    let len = rng.below(max_len + 1);
+    rng.ascii_string(&RX_LEAVES, len)
+}
 
-    /// Robustness: arbitrary input never panics the parsers — they return
-    /// a value or a structured error.
-    #[test]
-    fn parsers_never_panic(input in ".{0,200}") {
-        let _ = extractocol_ir::parser::parse_apk(&input);
-        let _ = JsonValue::parse(&input);
-        let _ = extractocol_http::XmlElement::parse(&input);
-        let _ = Regex::new(&input);
+const JSON_STR_ALPHABET: [char; 16] =
+    ['a', 'z', 'A', 'Z', '0', '9', ' ', '_', '.', '/', ':', '?', '&', '=', '-', 'q'];
+
+fn gen_json(rng: &mut Rng, depth: usize) -> JsonValue {
+    if depth == 0 || rng.chance(1, 2) {
+        return match rng.below(4) {
+            0 => JsonValue::Null,
+            1 => JsonValue::Bool(rng.chance(1, 2)),
+            2 => JsonValue::Number(rng.range(-1000, 1000) as f64),
+            _ => {
+                let len = rng.below(13);
+                JsonValue::String(rng.ascii_string(&JSON_STR_ALPHABET, len))
+            }
+        };
     }
-
-    /// Compiling any signature drawn from the signature strategy always
-    /// yields a valid regex (signature → regex is total).
-    #[test]
-    fn signature_regexes_always_compile(sig in sig_strategy()) {
-        prop_assert!(Regex::new(&sig.to_regex()).is_ok(), "{}", sig.to_regex());
+    if rng.chance(1, 2) {
+        let n = rng.below(4);
+        JsonValue::Array((0..n).map(|_| gen_json(rng, depth - 1)).collect())
+    } else {
+        let n = rng.below(4);
+        let mut obj = JsonValue::object();
+        for _ in 0..n {
+            let klen = 1 + rng.below(8);
+            let key = rng.ascii_string(&['a', 'b', 'c', 'k', 'm', 'n', 's', 't', 'x', '_'], klen);
+            obj.insert(&key, gen_json(rng, depth - 1));
+        }
+        obj
     }
 }
 
-fn json_strategy() -> impl Strategy<Value = JsonValue> {
-    let leaf = prop_oneof![
-        Just(JsonValue::Null),
-        any::<bool>().prop_map(JsonValue::Bool),
-        (-1000i32..1000).prop_map(|n| JsonValue::Number(f64::from(n))),
-        "[a-zA-Z0-9 _./:?&=-]{0,12}".prop_map(JsonValue::String),
-    ];
-    leaf.prop_recursive(3, 24, 4, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 0..4).prop_map(JsonValue::Array),
-            prop::collection::btree_map("[a-z_]{1,8}", inner, 0..4).prop_map(JsonValue::Object),
-        ]
-    })
-}
+const SIG_ALPHABET: [char; 14] =
+    ['a', 'b', 'h', 'p', 's', 't', '0', '9', '/', '.', '?', '&', '=', '-'];
 
-fn sig_strategy() -> impl Strategy<Value = SigPat> {
-    let leaf = prop_oneof![
-        "[a-z0-9/.?&=_-]{0,10}".prop_map(SigPat::Const),
-        Just(SigPat::Unknown(TypeHint::Str)),
-        Just(SigPat::Unknown(TypeHint::Num)),
-        Just(SigPat::Unknown(TypeHint::Bool)),
-    ];
-    leaf.prop_recursive(3, 16, 3, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 1..4).prop_map(SigPat::Concat),
-            prop::collection::vec(inner.clone(), 1..3).prop_map(SigPat::Or),
-            inner.prop_map(|p| SigPat::Rep(Box::new(p))),
-        ]
-    })
+fn gen_sig(rng: &mut Rng, depth: usize) -> SigPat {
+    if depth == 0 || rng.chance(2, 5) {
+        return match rng.below(4) {
+            0 => {
+                let len = rng.below(11);
+                SigPat::Const(rng.ascii_string(&SIG_ALPHABET, len))
+            }
+            1 => SigPat::Unknown(TypeHint::Str),
+            2 => SigPat::Unknown(TypeHint::Num),
+            _ => SigPat::Unknown(TypeHint::Bool),
+        };
+    }
+    match rng.below(3) {
+        0 => {
+            let n = 1 + rng.below(3);
+            SigPat::Concat((0..n).map(|_| gen_sig(rng, depth - 1)).collect())
+        }
+        1 => {
+            let n = 1 + rng.below(2);
+            SigPat::Or((0..n).map(|_| gen_sig(rng, depth - 1)).collect())
+        }
+        _ => SigPat::Rep(Box::new(gen_sig(rng, depth - 1))),
+    }
 }
 
 /// Draws one concrete string covered by a signature (deterministic in the
@@ -252,10 +236,110 @@ fn sample_from(sig: &SigPat, seed: u32) -> String {
         }
         SigPat::Rep(inner) => {
             let n = (seed % 3) as usize;
-            (0..n)
-                .map(|i| sample_from(inner, seed.wrapping_add(i as u32)))
-                .collect()
+            (0..n).map(|i| sample_from(inner, seed.wrapping_add(i as u32))).collect()
         }
         SigPat::Json(_) | SigPat::Xml(_) => String::new(),
+    }
+}
+
+/// Arbitrary (printable-ish) fuzz input for the parsers.
+fn gen_fuzz_input(rng: &mut Rng, max_len: usize) -> String {
+    let len = rng.below(max_len + 1);
+    (0..len)
+        .map(|_| {
+            // Mostly printable ASCII with occasional structural characters
+            // and non-ASCII to poke the parsers' edge cases.
+            match rng.below(10) {
+                0 => *rng.pick(&['{', '}', '[', ']', '(', ')', '"', '\\', '|', '*', '<', '>']),
+                1 => *rng.pick(&['\n', '\t', 'é', '✓', '\u{7f}']),
+                _ => (0x20 + rng.below(0x5f) as u8) as char,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------------
+
+#[test]
+fn regexlite_agrees_with_reference() {
+    for case in 0..256u64 {
+        let mut rng = Rng::new(0xA11CE ^ case);
+        let rx = gen_rx(&mut rng, 3);
+        let text = gen_text(&mut rng, 8);
+        let pattern = rx.to_pattern();
+        let compiled = Regex::new(&pattern).expect("generated pattern compiles");
+        assert_eq!(
+            compiled.is_match(&text),
+            rx.is_match(&text),
+            "case {case}: pattern {pattern} on {text:?}"
+        );
+    }
+}
+
+#[test]
+fn json_parse_serialize_fixpoint() {
+    for case in 0..256u64 {
+        let mut rng = Rng::new(0xB0B ^ (case << 1));
+        let v = gen_json(&mut rng, 3);
+        let once = v.to_json();
+        let reparsed = JsonValue::parse(&once).expect("serialized JSON parses");
+        assert_eq!(reparsed.to_json(), once, "case {case}");
+        assert_eq!(reparsed, v, "case {case}");
+    }
+}
+
+#[test]
+fn signature_normalization_is_idempotent() {
+    for case in 0..256u64 {
+        let mut rng = Rng::new(0x516_1D ^ case);
+        let sig = gen_sig(&mut rng, 3);
+        let once = sig.clone().normalize();
+        let twice = once.clone().normalize();
+        assert_eq!(once, twice, "case {case}: {}", sig.display());
+    }
+}
+
+#[test]
+fn strings_drawn_from_a_signature_match_its_regex() {
+    for case in 0..256u64 {
+        let mut rng = Rng::new(0xD4A3 ^ case);
+        let sig = gen_sig(&mut rng, 3);
+        let seed = rng.next_u32() % 1000;
+        let sample = sample_from(&sig, seed);
+        let regex = Regex::new(&sig.to_regex()).expect("signature regex compiles");
+        assert!(
+            regex.is_match(&sample),
+            "case {case}: signature {} regex {} sample {:?}",
+            sig.display(),
+            sig.to_regex(),
+            sample
+        );
+    }
+}
+
+/// Robustness: arbitrary input never panics the parsers — they return a
+/// value or a structured error.
+#[test]
+fn parsers_never_panic() {
+    for case in 0..512u64 {
+        let mut rng = Rng::new(0xF422 ^ case);
+        let input = gen_fuzz_input(&mut rng, 200);
+        let _ = extractocol_ir::parser::parse_apk(&input);
+        let _ = JsonValue::parse(&input);
+        let _ = XmlElement::parse(&input);
+        let _ = Regex::new(&input);
+    }
+}
+
+/// Compiling any signature drawn from the signature generator always
+/// yields a valid regex (signature → regex is total).
+#[test]
+fn signature_regexes_always_compile() {
+    for case in 0..512u64 {
+        let mut rng = Rng::new(0xC0DE ^ case);
+        let sig = gen_sig(&mut rng, 3);
+        assert!(Regex::new(&sig.to_regex()).is_ok(), "case {case}: {}", sig.to_regex());
     }
 }
