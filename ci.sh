@@ -1,5 +1,5 @@
 #!/bin/sh
-# Offline CI gate — the same three checks .github/workflows/ci.yml runs.
+# Offline CI gate — the same checks .github/workflows/ci.yml runs.
 # The workspace has zero external dependencies, so everything here works
 # with no network access (see README "Building offline").
 set -eu
@@ -8,6 +8,9 @@ cd "$(dirname "$0")"
 
 echo "==> cargo fmt --check"
 cargo fmt --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
 
 echo "==> cargo build --release"
 cargo build --release --workspace

@@ -7,7 +7,8 @@
 //! points).
 
 use crate::callbacks::{CallbackRegistry, ImplicitEdge};
-use extractocol_ir::{CallKind, MethodId, ProgramIndex};
+use crate::pointsto::PointsTo;
+use extractocol_ir::{CallKind, MethodId, ProgramIndex, Value};
 use std::collections::{HashMap, HashSet};
 
 /// A call site: `(containing method, statement index)`.
@@ -18,10 +19,18 @@ pub type CallSite = (MethodId, usize);
 pub struct CallGraph {
     /// Explicit targets (concrete methods only) per call site.
     pub targets: HashMap<CallSite, Vec<MethodId>>,
+    /// Resolved-but-bodyless targets per call site: dispatch lands in a
+    /// platform/library stub, so the edge is owed to an API model rather
+    /// than the graph. Recorded (instead of silently dropped) so the
+    /// diagnostics pass can count model-coverage gaps.
+    pub unresolved: HashMap<CallSite, Vec<MethodId>>,
     /// Implicit callback edges per call site.
     pub implicit: HashMap<CallSite, Vec<ImplicitEdge>>,
     /// Reverse edges: callee → explicit call sites invoking it.
     pub callers: HashMap<MethodId, Vec<CallSite>>,
+    /// Virtual/interface sites whose targets came from the receiver's
+    /// points-to set (only populated by [`CallGraph::build_with_pointsto`]).
+    pub devirtualized: HashSet<CallSite>,
 }
 
 impl CallGraph {
@@ -30,9 +39,31 @@ impl CallGraph {
     /// Virtual/interface sites resolve to the statically-typed receiver
     /// class's implementation (if concrete) plus every overriding subtype
     /// implementation — plain CHA. Static/special sites resolve directly.
-    /// Bodyless targets (platform/library stubs) are *not* edges; they are
-    /// handled by the taint engine's API model.
+    /// Bodyless targets (platform/library stubs) are *not* edges — they are
+    /// handled by the taint engine's API model — but are recorded in
+    /// [`CallGraph::unresolved`] for the diagnostics pass.
     pub fn build(prog: &ProgramIndex<'_>, registry: &CallbackRegistry) -> CallGraph {
+        Self::build_inner(prog, registry, None)
+    }
+
+    /// Builds the call graph with on-the-fly devirtualization: a
+    /// virtual/interface site whose receiver has a non-empty points-to set
+    /// resolves against the *allocated* classes only, shedding the CHA
+    /// subtype cone. Sites with an empty set (receivers fed by modeled
+    /// APIs or unanalyzed contexts) fall back to CHA.
+    pub fn build_with_pointsto(
+        prog: &ProgramIndex<'_>,
+        registry: &CallbackRegistry,
+        pts: &PointsTo,
+    ) -> CallGraph {
+        Self::build_inner(prog, registry, Some(pts))
+    }
+
+    fn build_inner(
+        prog: &ProgramIndex<'_>,
+        registry: &CallbackRegistry,
+        pts: Option<&PointsTo>,
+    ) -> CallGraph {
         let mut g = CallGraph::default();
         for mid in prog.concrete_methods() {
             let body = &prog.method(mid).body;
@@ -40,6 +71,13 @@ impl CallGraph {
                 let Some(call) = stmt.call() else { continue };
                 let site: CallSite = (mid, si);
                 let mut targets: Vec<MethodId> = Vec::new();
+                let mut stubs: Vec<MethodId> = Vec::new();
+                let mut push = |t: MethodId| {
+                    let bucket = if prog.method(t).has_body { &mut targets } else { &mut stubs };
+                    if !bucket.contains(&t) {
+                        bucket.push(t);
+                    }
+                };
                 match call.kind {
                     CallKind::Static | CallKind::Special => {
                         if let Some(t) = prog.resolve_method(
@@ -47,30 +85,33 @@ impl CallGraph {
                             &call.callee.name,
                             call.callee.params.len(),
                         ) {
-                            if prog.method(t).has_body {
-                                targets.push(t);
-                            }
+                            push(t);
                         }
                     }
                     CallKind::Virtual | CallKind::Interface => {
-                        let mut seen = HashSet::new();
-                        if let Some(t) = prog.resolve_method(
-                            &call.callee.class,
-                            &call.callee.name,
-                            call.callee.params.len(),
-                        ) {
-                            if prog.method(t).has_body && seen.insert(t) {
-                                targets.push(t);
+                        let devirt = pts.and_then(|p| {
+                            devirtualize(prog, p, mid, call).filter(|v| !v.is_empty())
+                        });
+                        if let Some(resolved) = devirt {
+                            for t in resolved {
+                                push(t);
                             }
-                        }
-                        for sub in prog.all_subtypes(&call.callee.class) {
-                            if let Some(t) = prog.declared_method(
-                                sub,
+                            g.devirtualized.insert(site);
+                        } else {
+                            if let Some(t) = prog.resolve_method(
+                                &call.callee.class,
                                 &call.callee.name,
                                 call.callee.params.len(),
                             ) {
-                                if prog.method(t).has_body && seen.insert(t) {
-                                    targets.push(t);
+                                push(t);
+                            }
+                            for sub in prog.all_subtypes(&call.callee.class) {
+                                if let Some(t) = prog.declared_method(
+                                    sub,
+                                    &call.callee.name,
+                                    call.callee.params.len(),
+                                ) {
+                                    push(t);
                                 }
                             }
                         }
@@ -86,6 +127,9 @@ impl CallGraph {
                 if !targets.is_empty() {
                     g.targets.insert(site, targets);
                 }
+                if !stubs.is_empty() {
+                    g.unresolved.insert(site, stubs);
+                }
                 if !implicit.is_empty() {
                     g.implicit.insert(site, implicit);
                 }
@@ -98,6 +142,17 @@ impl CallGraph {
     /// library-modelled).
     pub fn targets_of(&self, site: CallSite) -> &[MethodId] {
         self.targets.get(&site).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Resolved-but-bodyless targets of a call site.
+    pub fn unresolved_of(&self, site: CallSite) -> &[MethodId] {
+        self.unresolved.get(&site).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total explicit targets across all sites — the precision figure the
+    /// CHA-vs-PTA ablation compares (devirtualization can only shrink it).
+    pub fn total_explicit_targets(&self) -> usize {
+        self.targets.values().map(Vec::len).sum()
     }
 
     /// Implicit callback edges of a call site.
@@ -129,6 +184,37 @@ impl CallGraph {
         }
         seen
     }
+}
+
+/// Resolves a virtual/interface call against the receiver's points-to set:
+/// one dispatch per allocated class, in allocation order. Returns `None`
+/// when the receiver is not a local or its set is empty (CHA fallback).
+fn devirtualize(
+    prog: &ProgramIndex<'_>,
+    pts: &PointsTo,
+    mid: MethodId,
+    call: &extractocol_ir::Call,
+) -> Option<Vec<MethodId>> {
+    let recv = call.receiver.as_ref().and_then(Value::as_local)?;
+    let classes = pts.classes_of(mid, recv);
+    if classes.is_empty() {
+        return None;
+    }
+    let mut out = Vec::new();
+    for class in classes {
+        // The same type filter the points-to solver applies on dispatch:
+        // ill-typed allocations washed in by flow-insensitivity don't
+        // fabricate call edges.
+        if !prog.is_subtype(class, &call.callee.class) {
+            continue;
+        }
+        if let Some(t) = prog.resolve_method(class, &call.callee.name, call.callee.params.len()) {
+            if !out.contains(&t) {
+                out.push(t);
+            }
+        }
+    }
+    Some(out)
 }
 
 #[cfg(test)]
@@ -208,5 +294,59 @@ mod tests {
         assert!(!reach.contains(&prog.resolve_method("t.A", "work", 0).unwrap()));
         // callers recorded
         assert_eq!(g.callers[&util2].len(), 1);
+    }
+
+    #[test]
+    fn pointsto_devirtualizes_interface_call_to_one_target() {
+        let apk = diamond_apk();
+        let prog = ProgramIndex::new(&apk);
+        let cha = CallGraph::build(&prog, &CallbackRegistry::empty());
+        let pts = crate::pointsto::PointsTo::solve(&prog);
+        let pta = CallGraph::build_with_pointsto(&prog, &CallbackRegistry::empty(), &pts);
+        let main = prog.resolve_method("t.Main", "go", 0).unwrap();
+        let site = prog
+            .method(main)
+            .body
+            .iter()
+            .enumerate()
+            .find_map(|(i, s)| s.call().filter(|c| c.callee.name == "work").map(|_| (main, i)))
+            .unwrap();
+        assert_eq!(cha.targets_of(site).len(), 2, "CHA sees both implementations");
+        let names: Vec<String> =
+            pta.targets_of(site).iter().map(|t| prog.class(t.class).name.clone()).collect();
+        assert_eq!(names, vec!["t.A"], "the receiver only ever holds a t.A");
+        assert!(pta.devirtualized.contains(&site));
+        assert!(pta.total_explicit_targets() < cha.total_explicit_targets());
+    }
+
+    #[test]
+    fn bodyless_targets_land_in_unresolved_not_dropped() {
+        let mut b = ApkBuilder::new("t", "t");
+        b.class("t.Stubby", |c| {
+            c.stub_method("api", vec![], Type::Void);
+        });
+        b.class("t.Main", |c| {
+            c.method("go", vec![], Type::Void, |m| {
+                m.recv("t.Main");
+                let s = m.new_obj("t.Stubby", vec![]);
+                m.vcall_void(s, "t.Stubby", "api", vec![]);
+                m.ret_void();
+            });
+        });
+        let apk = b.build();
+        let prog = ProgramIndex::new(&apk);
+        let g = CallGraph::build(&prog, &CallbackRegistry::empty());
+        let main = prog.resolve_method("t.Main", "go", 0).unwrap();
+        let site = prog
+            .method(main)
+            .body
+            .iter()
+            .enumerate()
+            .find_map(|(i, s)| s.call().filter(|c| c.callee.name == "api").map(|_| (main, i)))
+            .unwrap();
+        assert!(g.targets_of(site).is_empty(), "stub is not a taint edge");
+        let stubs: Vec<String> =
+            g.unresolved_of(site).iter().map(|t| prog.method_display(*t)).collect();
+        assert_eq!(stubs.len(), 1, "but the resolution is recorded: {stubs:?}");
     }
 }

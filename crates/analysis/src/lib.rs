@@ -18,6 +18,13 @@
 //!   libraries (`AsyncTask`, Volley, retrofit, `Thread`/`Runnable`,
 //!   `Handler`, `Timer`, rx-style subscriptions, UI/location listeners),
 //!   the issue EDGEMINER \[33\] studies and §3.4 addresses;
+//! * [`pointsto`] — Andersen-style, field-sensitive points-to analysis
+//!   with allocation-site abstraction and on-the-fly call resolution (the
+//!   SPARK \[60\] layer), feeding call-graph devirtualization and alias
+//!   queries;
+//! * [`diagnostics`] — a static precision-lint pass over the IR and
+//!   analysis results: unresolved sites, empty points-to sets, API-model
+//!   coverage gaps, reflection, dead blocks;
 //! * [`taint`] — the bidirectional taint engine over access paths, used
 //!   three ways by the paper: bi-directional slicing, inter-slice
 //!   dependency analysis, and asynchronous-event handling (§3 footnote 1).
@@ -38,11 +45,15 @@
 pub mod callbacks;
 pub mod callgraph;
 pub mod cfg;
+pub mod diagnostics;
+pub mod pointsto;
 pub mod taint;
 
 pub use callbacks::{CallbackRegistry, ImplicitEdge, OperandSource};
 pub use callgraph::{CallGraph, CallSite};
 pub use cfg::Cfg;
+pub use diagnostics::{Lint, LintCategory, LintReport};
+pub use pointsto::{AllocId, AllocSite, PointsTo, PtsStats};
 pub use taint::{
     AccessPath, ApiFlowModel, CacheStats, ConservativeModel, Direction, Root, Seed, Slot,
     TaintEngine, TaintOptions, TaintReport,

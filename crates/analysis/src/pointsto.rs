@@ -1,0 +1,736 @@
+//! Andersen-style points-to analysis (the role SPARK \[60\] plays under
+//! Soot in the original system).
+//!
+//! The analysis is *flow-insensitive* (one constraint system for the whole
+//! program), *field-sensitive* (each abstract object tracks its instance
+//! fields separately), and uses *allocation-site abstraction*: every
+//! `new C` / `newarray` statement is one abstract object. Call targets are
+//! resolved *on the fly*: a virtual/interface site only binds
+//! receiver/argument/return edges to the implementations of classes that
+//! actually reach its receiver, so the solved points-to sets and the
+//! devirtualized call graph are mutually consistent — exactly SPARK's
+//! on-the-fly call-graph mode.
+//!
+//! Determinism: the solver is a worklist over dense integer node ids
+//! assigned in program order; points-to sets are `BTreeSet`s and every
+//! exported map is keyed by ordered ids. Two runs over the same program
+//! produce identical results regardless of thread count or hash seeds,
+//! preserving the byte-identical-report guarantee.
+
+use extractocol_ir::{
+    CallKind, Expr, IdentityKind, Local, MethodId, Place, ProgramIndex, Stmt, Value,
+};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+
+/// An abstract object: one allocation site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AllocId(pub u32);
+
+/// Where (and what) an abstract object is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllocSite {
+    /// Method containing the `new`.
+    pub method: MethodId,
+    /// Statement index of the `new`.
+    pub stmt: usize,
+    /// Allocated class (array allocations use the `elem[]` spelling).
+    pub class: String,
+}
+
+/// The pseudo-field under which array elements are merged (array
+/// index-insensitivity, as in SPARK).
+pub const ARRAY_FIELD: &str = "[]";
+
+/// Solved points-to results.
+#[derive(Debug, Default)]
+pub struct PointsTo {
+    allocs: Vec<AllocSite>,
+    locals: HashMap<(MethodId, Local), BTreeSet<AllocId>>,
+    fields: HashMap<(AllocId, String), BTreeSet<AllocId>>,
+    statics: HashMap<String, BTreeSet<AllocId>>,
+}
+
+/// Aggregate solver statistics for reports and ablations.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PtsStats {
+    /// Allocation sites discovered.
+    pub allocs: usize,
+    /// `(method, local)` variables with a non-empty points-to set.
+    pub nonempty_locals: usize,
+    /// Field cells `(alloc, field)` with a non-empty points-to set.
+    pub field_cells: usize,
+}
+
+impl PointsTo {
+    /// Solves the whole-program constraint system.
+    pub fn solve(prog: &ProgramIndex<'_>) -> PointsTo {
+        Solver::new(prog).solve()
+    }
+
+    /// The allocation site behind an id.
+    pub fn alloc(&self, id: AllocId) -> &AllocSite {
+        &self.allocs[id.0 as usize]
+    }
+
+    /// All allocation sites, indexed by [`AllocId`].
+    pub fn allocs(&self) -> &[AllocSite] {
+        &self.allocs
+    }
+
+    /// The points-to set of a local (empty when nothing reaches it).
+    pub fn local_pts(&self, m: MethodId, l: Local) -> &BTreeSet<AllocId> {
+        static EMPTY: BTreeSet<AllocId> = BTreeSet::new();
+        self.locals.get(&(m, l)).unwrap_or(&EMPTY)
+    }
+
+    /// The points-to set of an instance-field cell.
+    pub fn field_pts(&self, a: AllocId, field: &str) -> &BTreeSet<AllocId> {
+        static EMPTY: BTreeSet<AllocId> = BTreeSet::new();
+        self.fields.get(&(a, field.to_string())).unwrap_or(&EMPTY)
+    }
+
+    /// The points-to set of a static field (`class#name` key).
+    pub fn static_pts(&self, key: &str) -> &BTreeSet<AllocId> {
+        static EMPTY: BTreeSet<AllocId> = BTreeSet::new();
+        self.statics.get(key).unwrap_or(&EMPTY)
+    }
+
+    /// The distinct classes a local may point to, in [`AllocId`] order.
+    pub fn classes_of(&self, m: MethodId, l: Local) -> Vec<&str> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for &a in self.local_pts(m, l) {
+            let c = self.alloc(a).class.as_str();
+            if seen.insert(c) {
+                out.push(c);
+            }
+        }
+        out
+    }
+
+    /// May-alias query between two locals. Conservative: a local with an
+    /// *empty* set is unknown (a parameter from an unanalyzed context, a
+    /// modeled API return) and may alias anything.
+    pub fn may_alias(&self, a: (MethodId, Local), b: (MethodId, Local)) -> bool {
+        let pa = self.local_pts(a.0, a.1);
+        let pb = self.local_pts(b.0, b.1);
+        if pa.is_empty() || pb.is_empty() {
+            return true;
+        }
+        pa.intersection(pb).next().is_some()
+    }
+
+    /// Solver statistics.
+    pub fn stats(&self) -> PtsStats {
+        PtsStats {
+            allocs: self.allocs.len(),
+            nonempty_locals: self.locals.values().filter(|s| !s.is_empty()).count(),
+            field_cells: self.fields.values().filter(|s| !s.is_empty()).count(),
+        }
+    }
+}
+
+/// A constraint-graph node.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum NodeKey {
+    /// A method-local pointer variable.
+    Local(MethodId, Local),
+    /// A static field (`class#name`).
+    Static(String),
+    /// The result of a statement whose value does not land in a plain
+    /// local (e.g. `o.f = call()` or a `new` stored straight to a field).
+    Site(MethodId, usize),
+    /// One instance-field cell of one abstract object.
+    Field(AllocId, String),
+}
+
+#[derive(Default)]
+struct Node {
+    pts: BTreeSet<AllocId>,
+    /// Subset edges: everything here is a superset of this node.
+    succ: Vec<usize>,
+    /// Pending field loads `x = n.f`: `(field, destination node)`.
+    loads: Vec<(String, usize)>,
+    /// Pending field stores `n.f = x`: `(field, source node)`.
+    stores: Vec<(String, usize)>,
+    /// On-the-fly virtual sites dispatching on this node.
+    sites: Vec<usize>,
+}
+
+/// A virtual/interface call site awaiting on-the-fly resolution.
+struct FlySite {
+    /// Declared (static) receiver class — dispatch filter.
+    static_class: String,
+    callee_name: String,
+    arity: usize,
+    /// Argument operand nodes (those that are pointer-typed locals).
+    args: Vec<(usize, usize)>,
+    /// Node receiving the return value, if the result is used.
+    result: Option<usize>,
+}
+
+/// Per-method entry/exit info for call binding.
+struct MInfo {
+    this_local: Option<Local>,
+    param_locals: Vec<Option<Local>>,
+    ret_locals: Vec<Local>,
+}
+
+struct Solver<'a> {
+    prog: &'a ProgramIndex<'a>,
+    minfo: HashMap<MethodId, MInfo>,
+    ids: HashMap<NodeKey, usize>,
+    nodes: Vec<Node>,
+    allocs: Vec<AllocSite>,
+    fly: Vec<FlySite>,
+    /// `(fly-site, target)` pairs already bound.
+    bound: HashSet<(usize, MethodId)>,
+    /// `(node, alloc)` pairs still to be propagated.
+    worklist: VecDeque<(usize, AllocId)>,
+}
+
+impl<'a> Solver<'a> {
+    fn new(prog: &'a ProgramIndex<'a>) -> Solver<'a> {
+        let mut minfo = HashMap::new();
+        for mid in prog.concrete_methods() {
+            let method = prog.method(mid);
+            let mut this_local = None;
+            let mut param_locals = vec![None; method.params.len()];
+            let mut ret_locals = Vec::new();
+            for s in &method.body {
+                match s {
+                    Stmt::Identity { local, kind } => match kind {
+                        IdentityKind::This => this_local = Some(*local),
+                        IdentityKind::Param(p) => {
+                            if let Some(slot) = param_locals.get_mut(*p as usize) {
+                                *slot = Some(*local);
+                            }
+                        }
+                        IdentityKind::CaughtException => {}
+                    },
+                    Stmt::Return(Some(Value::Local(l))) => ret_locals.push(*l),
+                    _ => {}
+                }
+            }
+            minfo.insert(mid, MInfo { this_local, param_locals, ret_locals });
+        }
+        Solver {
+            prog,
+            minfo,
+            ids: HashMap::new(),
+            nodes: Vec::new(),
+            allocs: Vec::new(),
+            fly: Vec::new(),
+            bound: HashSet::new(),
+            worklist: VecDeque::new(),
+        }
+    }
+
+    fn node(&mut self, key: NodeKey) -> usize {
+        if let Some(&id) = self.ids.get(&key) {
+            return id;
+        }
+        let id = self.nodes.len();
+        self.ids.insert(key, id);
+        self.nodes.push(Node::default());
+        id
+    }
+
+    fn local_node(&mut self, m: MethodId, l: Local) -> usize {
+        self.node(NodeKey::Local(m, l))
+    }
+
+    fn static_key(class: &str, name: &str) -> String {
+        format!("{class}#{name}")
+    }
+
+    fn add_alloc(&mut self, node: usize, a: AllocId) {
+        if self.nodes[node].pts.insert(a) {
+            self.worklist.push_back((node, a));
+        }
+    }
+
+    fn add_edge(&mut self, from: usize, to: usize) {
+        if from == to || self.nodes[from].succ.contains(&to) {
+            return;
+        }
+        self.nodes[from].succ.push(to);
+        for a in self.nodes[from].pts.clone() {
+            self.add_alloc(to, a);
+        }
+    }
+
+    /// Generates constraints for the whole program, in program order.
+    fn generate(&mut self) {
+        let methods: Vec<MethodId> = self.prog.concrete_methods().collect();
+        for mid in methods {
+            let body = &self.prog.method(mid).body;
+            for (si, stmt) in body.iter().enumerate() {
+                match stmt {
+                    Stmt::Assign { place, expr } => self.assign(mid, si, place, expr),
+                    Stmt::Invoke(call) => self.call(mid, call, None),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    fn assign(&mut self, m: MethodId, si: usize, place: &Place, expr: &Expr) {
+        let src: Option<usize> = match expr {
+            Expr::New(class) => Some(self.alloc_node(m, si, class.clone())),
+            Expr::NewArray(elem, _) => Some(self.alloc_node(m, si, format!("{elem}[]"))),
+            Expr::Use(Value::Local(l)) | Expr::Cast(_, Value::Local(l)) => {
+                Some(self.local_node(m, *l))
+            }
+            Expr::Load(loaded) => self.load_node(m, si, loaded),
+            Expr::Invoke(call) => {
+                let result = self.place_sink(m, si, place);
+                self.call(m, call, result);
+                return;
+            }
+            _ => None,
+        };
+        if let Some(src) = src {
+            self.flow_into_place(m, src, place);
+        }
+    }
+
+    /// A fresh node holding exactly one new abstract object.
+    fn alloc_node(&mut self, m: MethodId, si: usize, class: String) -> usize {
+        let id = AllocId(self.allocs.len() as u32);
+        self.allocs.push(AllocSite { method: m, stmt: si, class });
+        let n = self.node(NodeKey::Site(m, si));
+        self.add_alloc(n, id);
+        n
+    }
+
+    /// The node a load reads from (introducing a deferred constraint for
+    /// instance/array cells).
+    fn load_node(&mut self, m: MethodId, si: usize, loaded: &Place) -> Option<usize> {
+        match loaded {
+            Place::Local(l) => Some(self.local_node(m, *l)),
+            Place::StaticField(f) => {
+                Some(self.node(NodeKey::Static(Self::static_key(&f.class, &f.name))))
+            }
+            Place::InstanceField { base, field } => {
+                let dst = self.node(NodeKey::Site(m, si));
+                let b = self.local_node(m, *base);
+                self.add_load(b, field.name.clone(), dst);
+                Some(dst)
+            }
+            Place::ArrayElem { base, .. } => {
+                let dst = self.node(NodeKey::Site(m, si));
+                let b = self.local_node(m, *base);
+                self.add_load(b, ARRAY_FIELD.to_string(), dst);
+                Some(dst)
+            }
+        }
+    }
+
+    /// The node a statement's produced value should land in, given its
+    /// destination place. Plain locals write directly; field/array/static
+    /// destinations go through a per-site node then a store constraint.
+    fn place_sink(&mut self, m: MethodId, si: usize, place: &Place) -> Option<usize> {
+        match place {
+            Place::Local(l) => Some(self.local_node(m, *l)),
+            _ => {
+                let site = self.node(NodeKey::Site(m, si));
+                self.flow_into_place(m, site, place);
+                Some(site)
+            }
+        }
+    }
+
+    fn flow_into_place(&mut self, m: MethodId, src: usize, place: &Place) {
+        match place {
+            Place::Local(l) => {
+                let dst = self.local_node(m, *l);
+                self.add_edge(src, dst);
+            }
+            Place::StaticField(f) => {
+                let dst = self.node(NodeKey::Static(Self::static_key(&f.class, &f.name)));
+                self.add_edge(src, dst);
+            }
+            Place::InstanceField { base, field } => {
+                let b = self.local_node(m, *base);
+                self.add_store(b, field.name.clone(), src);
+            }
+            Place::ArrayElem { base, .. } => {
+                let b = self.local_node(m, *base);
+                self.add_store(b, ARRAY_FIELD.to_string(), src);
+            }
+        }
+    }
+
+    fn add_load(&mut self, base: usize, field: String, dst: usize) {
+        for a in self.nodes[base].pts.clone() {
+            let fnode = self.node(NodeKey::Field(a, field.clone()));
+            self.add_edge(fnode, dst);
+        }
+        self.nodes[base].loads.push((field, dst));
+    }
+
+    fn add_store(&mut self, base: usize, field: String, src: usize) {
+        for a in self.nodes[base].pts.clone() {
+            let fnode = self.node(NodeKey::Field(a, field.clone()));
+            self.add_edge(src, fnode);
+        }
+        self.nodes[base].stores.push((field, src));
+    }
+
+    fn call(&mut self, m: MethodId, call: &extractocol_ir::Call, result: Option<usize>) {
+        let args: Vec<(usize, usize)> = call
+            .args
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.as_local().map(|l| (i, l)))
+            .map(|(i, l)| (i, self.local_node(m, l)))
+            .collect();
+        match call.kind {
+            CallKind::Static | CallKind::Special => {
+                let target = self.prog.resolve_method(
+                    &call.callee.class,
+                    &call.callee.name,
+                    call.callee.params.len(),
+                );
+                let Some(t) = target else { return };
+                if !self.prog.method(t).has_body {
+                    return;
+                }
+                if let Some(recv) = call.receiver.as_ref().and_then(Value::as_local) {
+                    let rn = self.local_node(m, recv);
+                    if let Some(this) = self.minfo[&t].this_local {
+                        let tn = self.local_node(t, this);
+                        self.add_edge(rn, tn);
+                    }
+                }
+                self.bind_args_and_return(t, &args, result);
+            }
+            CallKind::Virtual | CallKind::Interface => {
+                let Some(recv) = call.receiver.as_ref().and_then(Value::as_local) else {
+                    return;
+                };
+                let rn = self.local_node(m, recv);
+                let idx = self.fly.len();
+                self.fly.push(FlySite {
+                    static_class: call.callee.class.clone(),
+                    callee_name: call.callee.name.clone(),
+                    arity: call.callee.params.len(),
+                    args,
+                    result,
+                });
+                for a in self.nodes[rn].pts.clone() {
+                    self.dispatch(idx, a);
+                }
+                self.nodes[rn].sites.push(idx);
+            }
+        }
+    }
+
+    fn bind_args_and_return(
+        &mut self,
+        t: MethodId,
+        args: &[(usize, usize)],
+        result: Option<usize>,
+    ) {
+        let (params, rets) = {
+            let info = &self.minfo[&t];
+            (info.param_locals.clone(), info.ret_locals.clone())
+        };
+        for &(i, an) in args {
+            if let Some(Some(pl)) = params.get(i) {
+                let pn = self.local_node(t, *pl);
+                self.add_edge(an, pn);
+            }
+        }
+        if let Some(rnode) = result {
+            for rl in rets {
+                let sn = self.local_node(t, rl);
+                self.add_edge(sn, rnode);
+            }
+        }
+    }
+
+    /// On-the-fly dispatch: one abstract object reached one virtual site.
+    fn dispatch(&mut self, site: usize, a: AllocId) {
+        let class = self.allocs[a.0 as usize].class.clone();
+        let (static_class, name, arity) = {
+            let s = &self.fly[site];
+            (s.static_class.clone(), s.callee_name.clone(), s.arity)
+        };
+        // Dispatch filter: ignore objects that cannot inhabit the declared
+        // receiver type (flow-insensitive imprecision can wash unrelated
+        // allocations into a set; an ill-typed dispatch would fabricate
+        // edges a real VM could never take). Classes absent from the
+        // hierarchy (platform types) pass the filter only for calls
+        // declared directly on them.
+        let typed = self.prog.is_subtype(&class, &static_class);
+        if !typed {
+            return;
+        }
+        let Some(t) = self.prog.resolve_method(&class, &name, arity) else { return };
+        if !self.prog.method(t).has_body || !self.bound.insert((site, t)) {
+            return;
+        }
+        let (args, result) = {
+            let s = &self.fly[site];
+            (s.args.clone(), s.result)
+        };
+        // Receiver binding is per-object: only `a` flows into the callee's
+        // `this`, not the whole receiver set — the precision on-the-fly
+        // resolution exists to provide.
+        if let Some(this) = self.minfo[&t].this_local {
+            let tn = self.local_node(t, this);
+            self.add_alloc(tn, a);
+        }
+        self.bind_args_and_return(t, &args, result);
+    }
+
+    fn solve(mut self) -> PointsTo {
+        self.generate();
+        while let Some((n, a)) = self.worklist.pop_front() {
+            for s in self.nodes[n].succ.clone() {
+                self.add_alloc(s, a);
+            }
+            for (field, dst) in self.nodes[n].loads.clone() {
+                let fnode = self.node(NodeKey::Field(a, field));
+                self.add_edge(fnode, dst);
+            }
+            for (field, src) in self.nodes[n].stores.clone() {
+                let fnode = self.node(NodeKey::Field(a, field));
+                self.add_edge(src, fnode);
+            }
+            for site in self.nodes[n].sites.clone() {
+                self.dispatch(site, a);
+            }
+        }
+
+        let mut out = PointsTo { allocs: self.allocs, ..PointsTo::default() };
+        for (key, &id) in &self.ids {
+            let pts = &self.nodes[id].pts;
+            if pts.is_empty() {
+                continue;
+            }
+            match key {
+                NodeKey::Local(m, l) => {
+                    out.locals.insert((*m, *l), pts.clone());
+                }
+                NodeKey::Static(k) => {
+                    out.statics.insert(k.clone(), pts.clone());
+                }
+                NodeKey::Field(a, f) => {
+                    out.fields.insert((*a, f.clone()), pts.clone());
+                }
+                NodeKey::Site(..) => {}
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extractocol_ir::{ApkBuilder, Type};
+
+    fn classes(pts: &PointsTo, prog: &ProgramIndex<'_>, class: &str, method: &str) -> Vec<String> {
+        let mid = prog.resolve_method(class, method, 0).unwrap();
+        // take the local assigned last (by convention the interesting one)
+        let m = prog.method(mid);
+        let mut last = None;
+        for s in &m.body {
+            if let Stmt::Assign { place: Place::Local(l), .. } = s {
+                last = Some(*l);
+            }
+        }
+        pts.classes_of(mid, last.unwrap()).into_iter().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn alloc_and_copy_chains() {
+        let mut b = ApkBuilder::new("t", "t");
+        b.class("t.A", |c| {
+            c.method("go", vec![], Type::Void, |m| {
+                m.recv("t.A");
+                let a = m.new_obj("t.A", vec![]);
+                let x = m.temp(Type::object("t.A"));
+                m.copy(x, a);
+                let y = m.temp(Type::object("t.A"));
+                m.copy(y, x);
+                m.ret_void();
+            });
+        });
+        let apk = b.build();
+        let prog = ProgramIndex::new(&apk);
+        let pts = PointsTo::solve(&prog);
+        assert_eq!(classes(&pts, &prog, "t.A", "go"), vec!["t.A"]);
+        assert_eq!(pts.stats().allocs, 1);
+    }
+
+    #[test]
+    fn field_sensitivity_separates_objects() {
+        let mut b = ApkBuilder::new("t", "t");
+        b.class("t.Box", |c| {
+            c.field("v", Type::obj_root());
+        });
+        b.class("t.P", |_| {});
+        b.class("t.Q", |_| {});
+        b.class("t.M", |c| {
+            c.static_method("go", vec![], Type::Void, |m| {
+                let f = extractocol_ir::FieldRef::new("t.Box", "v", Type::obj_root());
+                let b1 = m.new_obj("t.Box", vec![]);
+                let b2 = m.new_obj("t.Box", vec![]);
+                let p = m.new_obj("t.P", vec![]);
+                let q = m.new_obj("t.Q", vec![]);
+                m.put_field(b1, &f, p);
+                m.put_field(b2, &f, q);
+                let got = m.temp(Type::obj_root());
+                m.get_field(got, b1, &f);
+                m.ret_void();
+            });
+        });
+        let apk = b.build();
+        let prog = ProgramIndex::new(&apk);
+        let pts = PointsTo::solve(&prog);
+        // b1.v only holds P — the two boxes are distinct abstract objects.
+        assert_eq!(classes(&pts, &prog, "t.M", "go"), vec!["t.P"]);
+    }
+
+    #[test]
+    fn calls_bind_params_returns_and_receiver() {
+        let mut b = ApkBuilder::new("t", "t");
+        b.class("t.A", |c| {
+            c.method("id", vec![Type::obj_root()], Type::obj_root(), |m| {
+                m.recv("t.A");
+                let p = m.arg(0, "p");
+                m.ret(p);
+            });
+        });
+        b.class("t.M", |c| {
+            c.static_method("go", vec![], Type::Void, |m| {
+                let a = m.new_obj("t.A", vec![]);
+                let v = m.new_obj("t.M", vec![]);
+                let r = m.vcall(a, "t.A", "id", vec![Value::Local(v)], Type::obj_root());
+                let _ = r;
+                m.ret_void();
+            });
+        });
+        let apk = b.build();
+        let prog = ProgramIndex::new(&apk);
+        let pts = PointsTo::solve(&prog);
+        let id = prog.resolve_method("t.A", "id", 1).unwrap();
+        // receiver bound
+        let this = prog
+            .method(id)
+            .body
+            .iter()
+            .find_map(|s| match s {
+                Stmt::Identity { local, kind: IdentityKind::This } => Some(*local),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(pts.classes_of(id, this), vec!["t.A"], "receiver flows into callee this");
+        // return flows back: last assigned local in go is r
+        assert_eq!(classes(&pts, &prog, "t.M", "go"), vec!["t.M"]);
+    }
+
+    #[test]
+    fn on_the_fly_devirtualization_is_receiver_precise() {
+        let mut b = ApkBuilder::new("t", "t");
+        b.iface("t.I", |c| {
+            c.stub_method("make", vec![], Type::obj_root());
+        });
+        b.class("t.A", |c| {
+            c.implements("t.I");
+            c.method("make", vec![], Type::obj_root(), |m| {
+                m.recv("t.A");
+                let o = m.new_obj("t.A", vec![]);
+                m.ret(o);
+            });
+        });
+        b.class("t.B", |c| {
+            c.implements("t.I");
+            c.method("make", vec![], Type::obj_root(), |m| {
+                m.recv("t.B");
+                let o = m.new_obj("t.B", vec![]);
+                m.ret(o);
+            });
+        });
+        b.class("t.M", |c| {
+            c.static_method("go", vec![], Type::Void, |m| {
+                let a = m.new_obj("t.A", vec![]);
+                let i = m.temp(Type::object("t.I"));
+                m.copy(i, a);
+                let r = m.icall(i, "t.I", "make", vec![], Type::obj_root());
+                let _ = r;
+                m.ret_void();
+            });
+        });
+        let apk = b.build();
+        let prog = ProgramIndex::new(&apk);
+        let pts = PointsTo::solve(&prog);
+        // Only t.A::make is dispatched: the call result points to t.A,
+        // never t.B, and t.B::make's receiver is never bound.
+        assert_eq!(classes(&pts, &prog, "t.M", "go"), vec!["t.A"]);
+        let b_make = prog.resolve_method("t.B", "make", 0).unwrap();
+        let b_this = prog
+            .method(b_make)
+            .body
+            .iter()
+            .find_map(|s| match s {
+                Stmt::Identity { local, kind: IdentityKind::This } => Some(*local),
+                _ => None,
+            })
+            .unwrap();
+        assert!(pts.local_pts(b_make, b_this).is_empty(), "t.B::make must stay unbound");
+    }
+
+    #[test]
+    fn statics_and_arrays_propagate() {
+        let mut b = ApkBuilder::new("t", "t");
+        b.class("t.G", |c| {
+            c.static_field("cache", Type::obj_root());
+        });
+        b.class("t.M", |c| {
+            c.static_method("go", vec![], Type::Void, |m| {
+                let f = extractocol_ir::FieldRef::new("t.G", "cache", Type::obj_root());
+                let o = m.new_obj("t.M", vec![]);
+                m.put_static(&f, o);
+                let back = m.temp(Type::obj_root());
+                m.get_static(back, &f);
+                let arr = m.temp(Type::obj_root().array_of());
+                m.new_array(arr, Type::obj_root(), Value::int(2));
+                m.store_elem(arr, Value::int(0), back);
+                let out = m.temp(Type::obj_root());
+                m.load_elem(out, arr, Value::int(0));
+                m.ret_void();
+            });
+        });
+        let apk = b.build();
+        let prog = ProgramIndex::new(&apk);
+        let pts = PointsTo::solve(&prog);
+        assert_eq!(classes(&pts, &prog, "t.M", "go"), vec!["t.M"]);
+        assert!(!pts.static_pts("t.G#cache").is_empty());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut b = ApkBuilder::new("t", "t");
+        for i in 0..6 {
+            let cls = format!("t.C{i}");
+            b.class(&cls, |c| {
+                c.method("mk", vec![], Type::obj_root(), |m| {
+                    m.recv("x");
+                    let o = m.new_obj("java.lang.Object", vec![]);
+                    m.ret(o);
+                });
+            });
+        }
+        let apk = b.build();
+        let prog = ProgramIndex::new(&apk);
+        let a = PointsTo::solve(&prog);
+        let b2 = PointsTo::solve(&prog);
+        assert_eq!(format!("{:?}", a.stats()), format!("{:?}", b2.stats()));
+        assert_eq!(a.allocs(), b2.allocs());
+    }
+}

@@ -26,8 +26,10 @@
 use crate::callbacks::OperandSource;
 use crate::callgraph::{CallGraph, CallSite};
 use crate::cfg::Cfg;
+use crate::pointsto::PointsTo;
 use extractocol_ir::{
-    Call, Expr, IdentityKind, Local, MethodId, MethodRef, Place, ProgramIndex, Stmt, Value,
+    Call, CallKind, Expr, IdentityKind, Local, MethodId, MethodRef, Place, ProgramIndex, Stmt,
+    Value,
 };
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -247,6 +249,10 @@ pub struct TaintEngine<'p, 'g, 'm> {
     prog: &'p ProgramIndex<'p>,
     graph: &'g CallGraph,
     model: &'m (dyn ApiFlowModel + Sync),
+    /// Optional alias information: narrows virtual-call transfer to the
+    /// targets the receiver's points-to set allows, so taint only enters
+    /// callees that allocation sites can actually reach.
+    pts: Option<&'g PointsTo>,
     options: TaintOptions,
     infos: HashMap<MethodId, MethodInfo>,
     /// static key → (method, stmt) sites that store to it.
@@ -266,6 +272,21 @@ impl<'p, 'g, 'm> TaintEngine<'p, 'g, 'm> {
         graph: &'g CallGraph,
         model: &'m (dyn ApiFlowModel + Sync),
         options: TaintOptions,
+    ) -> Self {
+        Self::with_pointsto(prog, graph, model, options, None)
+    }
+
+    /// Like [`TaintEngine::new`], with alias information from a solved
+    /// points-to analysis. Virtual/interface call transfer then consults
+    /// the receiver's points-to set and skips CHA targets no reaching
+    /// allocation site can dispatch to; empty sets keep every target
+    /// (conservative fallback). Results are deterministic either way.
+    pub fn with_pointsto(
+        prog: &'p ProgramIndex<'p>,
+        graph: &'g CallGraph,
+        model: &'m (dyn ApiFlowModel + Sync),
+        options: TaintOptions,
+        pts: Option<&'g PointsTo>,
     ) -> Self {
         let mut infos = HashMap::new();
         let mut static_stores: HashMap<String, Vec<(MethodId, usize)>> = HashMap::new();
@@ -311,6 +332,7 @@ impl<'p, 'g, 'm> TaintEngine<'p, 'g, 'm> {
             prog,
             graph,
             model,
+            pts,
             options,
             infos,
             static_stores,
@@ -332,6 +354,50 @@ impl<'p, 'g, 'm> TaintEngine<'p, 'g, 'm> {
             hits: self.cache_hits.load(Ordering::Relaxed),
             misses: self.cache_misses.load(Ordering::Relaxed),
         }
+    }
+
+    /// Explicit targets of a call site, narrowed by the receiver's
+    /// points-to set when alias information is available. A fact entering
+    /// a virtual call only steps into implementations some allocation
+    /// site flowing to the receiver can dispatch to; with no alias info,
+    /// an empty set, or a non-virtual site, the graph's targets stand.
+    fn call_targets(&self, site: CallSite, call: &Call) -> Vec<MethodId> {
+        let targets = self.graph.targets_of(site);
+        let Some(pts) = self.pts else { return targets.to_vec() };
+        if !matches!(call.kind, CallKind::Virtual | CallKind::Interface) {
+            return targets.to_vec();
+        }
+        let Some(recv) = call.receiver.as_ref().and_then(Value::as_local) else {
+            return targets.to_vec();
+        };
+        let classes = pts.classes_of(site.0, recv);
+        if classes.is_empty() {
+            return targets.to_vec();
+        }
+        let mut allowed: Vec<MethodId> = Vec::new();
+        for class in classes {
+            if !self.prog.is_subtype(class, &call.callee.class) {
+                continue;
+            }
+            if let Some(t) =
+                self.prog.resolve_method(class, &call.callee.name, call.callee.params.len())
+            {
+                if !allowed.contains(&t) {
+                    allowed.push(t);
+                }
+            }
+        }
+        if allowed.is_empty() {
+            // Every reaching object was ill-typed for this site — keep the
+            // CHA answer rather than inventing an unsound "no callees".
+            return targets.to_vec();
+        }
+        targets.iter().copied().filter(|t| allowed.contains(t)).collect()
+    }
+
+    /// True when `callee` survives alias narrowing at `site`.
+    fn calls_into(&self, site: CallSite, call: &Call, callee: MethodId) -> bool {
+        self.call_targets(site, call).contains(&callee)
     }
 
     fn info(&self, m: MethodId) -> &MethodInfo {
@@ -805,9 +871,10 @@ impl<'e, 'p, 'g, 'm> Propagation<'e, 'p, 'g, 'm> {
         let site: CallSite = (m, stmt_idx);
         let succs = self.eng.neighbors(m, stmt_idx, Direction::Forward);
 
-        // 1. Explicit concrete targets: map into callee entry.
-        let targets = self.eng.graph.targets_of(site);
-        for &t in targets {
+        // 1. Explicit concrete targets (alias-narrowed): map into callee
+        //    entry.
+        let targets = self.eng.call_targets(site, call);
+        for &t in &targets {
             let info = self.eng.info(t);
             // receiver
             if let Some(rv) = &call.receiver {
@@ -913,8 +980,8 @@ impl<'e, 'p, 'g, 'm> Propagation<'e, 'p, 'g, 'm> {
             let body = &self.eng.prog.method(cm).body;
             let stmt = &body[cs];
             // Explicit call with an assigned result.
-            if let Stmt::Assign { place, expr: Expr::Invoke(_) } = stmt {
-                if self.eng.graph.targets_of((cm, cs)).contains(&callee) {
+            if let Stmt::Assign { place, expr: Expr::Invoke(call) } = stmt {
+                if self.eng.calls_into((cm, cs), call, callee) {
                     if let Some(nf) = self.fact_for_place(place, &fact.fields) {
                         self.mark(cm, cs);
                         if let Root::Static(k) = &nf.root {
@@ -1098,9 +1165,9 @@ impl<'e, 'p, 'g, 'm> Propagation<'e, 'p, 'g, 'm> {
         _fact: &AccessPath,
     ) {
         let site: CallSite = (m, stmt_idx);
-        let targets = self.eng.graph.targets_of(site);
+        let targets = self.eng.call_targets(site, call);
         let mut modeled = targets.is_empty();
-        for &t in targets {
+        for &t in &targets {
             let info = self.eng.info(t);
             let body = &self.eng.prog.method(t).body;
             for &ri in &info.returns {
@@ -1159,8 +1226,8 @@ impl<'e, 'p, 'g, 'm> Propagation<'e, 'p, 'g, 'm> {
                 call.args.iter().position(|v| self.value_matches(v, fact)).map(OperandSource::Arg)
             };
         let Some(op) = op_of_fact else { return false };
-        let targets = self.eng.graph.targets_of(site);
-        for &t in targets {
+        let targets = self.eng.call_targets(site, call);
+        for &t in &targets {
             let info = self.eng.info(t);
             let entry_local = match op {
                 OperandSource::Receiver => info.this_local,
@@ -1222,7 +1289,7 @@ impl<'e, 'p, 'g, 'm> Propagation<'e, 'p, 'g, 'm> {
             // Figure out the operand for this binding, both for explicit
             // calls and implicit callback edges.
             let mut operand: Option<&Value> = None;
-            if self.eng.graph.targets_of((cm, cs)).contains(&m) {
+            if self.eng.calls_into((cm, cs), call, m) {
                 operand = match kind {
                     IdentityKind::This => call.receiver.as_ref(),
                     IdentityKind::Param(i) => call.args.get(i as usize),

@@ -1,6 +1,7 @@
 //! Ablation benches for the design choices DESIGN.md calls out:
 //! access-path depth in the taint engine, object-aware augmentation, the
-//! asynchronous-event heuristic, and library de-obfuscation cost.
+//! asynchronous-event heuristic, CHA vs points-to call-graph
+//! construction, and library de-obfuscation cost.
 
 use extractocol_bench::timing;
 use extractocol_core::slicing::SliceOptions;
@@ -36,6 +37,19 @@ fn async_heuristic() {
     }
 }
 
+fn cha_vs_pta() {
+    // Diode carries the corpus's polymorphic dispatch site: CHA keeps
+    // every `TextFilter` implementor, points-to prunes to the one that is
+    // constructed. Measures the solver's cost against the slicing time it
+    // buys back.
+    let app = extractocol_corpus::app("Diode").unwrap();
+    for pointsto in [false, true] {
+        let analyzer = Extractocol::with_options(Options { pointsto, ..Options::default() });
+        let label = if pointsto { "pta" } else { "cha" };
+        timing::bench(&format!("ablation_callgraph/{label}"), 1, 10, || analyzer.analyze(&app.apk));
+    }
+}
+
 fn deobfuscation() {
     use extractocol_ir::obfuscate::{obfuscate, ObfuscationOptions};
     let app = extractocol_corpus::app("blippex").unwrap();
@@ -52,5 +66,6 @@ fn main() {
     taint_depth();
     augmentation();
     async_heuristic();
+    cha_vs_pta();
     deobfuscation();
 }

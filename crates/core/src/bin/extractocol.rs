@@ -10,6 +10,8 @@
 //! extractocol app.jimple --no-async     # disable the §3.4 heuristic
 //! extractocol app.jimple --hops 3       # multi-hop async chains (§4)
 //! extractocol app.jimple --jobs 8       # worker threads (0 = one per core)
+//! extractocol app.jimple --lints        # precision diagnostics, then report
+//! extractocol app.jimple --no-pointsto  # pure-CHA call graph (no SPARK layer)
 //! ```
 
 use extractocol_core::slicing::SliceOptions;
@@ -20,7 +22,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: extractocol <app.jimple> [--regex] [--scope <prefix>] \
          [--json] [--no-async] [--no-augment] [--hops <n>] [--depth <n>] \
-         [--jobs <n>]"
+         [--jobs <n>] [--lints] [--no-pointsto]"
     );
     ExitCode::from(2)
 }
@@ -30,6 +32,7 @@ fn main() -> ExitCode {
     let mut path: Option<String> = None;
     let mut regex_only = false;
     let mut json_out = false;
+    let mut show_lints = false;
     let mut opts = Options::default();
     let mut slice = SliceOptions::default();
 
@@ -38,6 +41,9 @@ fn main() -> ExitCode {
         match a.as_str() {
             "--regex" => regex_only = true,
             "--json" => json_out = true,
+            "--lints" => show_lints = true,
+            "--no-pointsto" => opts.pointsto = false,
+            "--pointsto" => opts.pointsto = true,
             "--no-async" => slice.async_heuristic = false,
             "--no-augment" => slice.augmentation = false,
             "--scope" => match it.next() {
@@ -90,6 +96,12 @@ fn main() -> ExitCode {
     }
 
     let report = Extractocol::with_options(opts).analyze(&apk);
+    if show_lints {
+        print!("{}", report.metrics.lints.to_text());
+        if report.metrics.lints.lints.is_empty() {
+            println!("no lints");
+        }
+    }
     if json_out {
         println!("{}", report.to_json().to_json());
     } else if regex_only {

@@ -5,6 +5,7 @@
 //! across worker counts while the analysis result itself must not.
 
 pub use extractocol_analysis::CacheStats;
+pub use extractocol_analysis::{LintReport, PtsStats};
 use std::time::Duration;
 
 /// Wall-clock time of each pipeline phase (Fig. 2's boxes).
@@ -70,6 +71,13 @@ pub struct Metrics {
     pub cache: CacheStats,
     /// Per-DP slice sizes, ordered by DP id.
     pub per_dp: Vec<DpSliceMetrics>,
+    /// Precision lints from the diagnostics pass (stable order; rendered
+    /// by `extractocol --lints`). Unlike timings, these ARE deterministic
+    /// across worker counts — they just aren't part of the protocol
+    /// signature, so they live here rather than in the canonical report.
+    pub lints: LintReport,
+    /// Points-to solver statistics, when `Options::pointsto` ran.
+    pub pts: Option<PtsStats>,
 }
 
 #[cfg(test)]

@@ -10,11 +10,12 @@ use crate::metrics::{DpSliceMetrics, Metrics, PhaseTimings};
 use crate::pairing::{self, Pairing};
 use crate::par;
 use crate::report::{AnalysisReport, Stats, TxnReport};
+use crate::semantics::ApiOp;
 use crate::semantics::SemanticModel;
 use crate::sigbuild::SignatureBuilder;
 use crate::slicing::{self, SliceOptions};
 use crate::stubs;
-use extractocol_analysis::{CallGraph, CallbackRegistry};
+use extractocol_analysis::{diagnostics, CallGraph, CallbackRegistry, PointsTo};
 use extractocol_ir::{Apk, MethodId, ProgramIndex};
 use std::time::Instant;
 
@@ -33,6 +34,13 @@ pub struct Options {
     /// sequentially. Every setting yields a byte-identical report — the
     /// fan-out reassembles results in DP order.
     pub jobs: usize,
+    /// Solve Andersen points-to before building the call graph (the
+    /// SPARK layer): virtual sites devirtualize through receiver
+    /// points-to sets (falling back to the CHA cone where empty), the
+    /// taint engine narrows call targets by receiver aliasing, and
+    /// augmentation seeds from actual allocation sites. Turning this off
+    /// reverts to pure CHA — the `cha_vs_pta` ablation's baseline.
+    pub pointsto: bool,
 }
 
 impl Default for Options {
@@ -42,6 +50,7 @@ impl Default for Options {
             deobfuscate_libraries: true,
             scope_prefix: None,
             jobs: 0,
+            pointsto: true,
         }
     }
 }
@@ -115,8 +124,17 @@ impl Extractocol {
 
         let t = Instant::now();
         let prog = ProgramIndex::new(&apk);
-        let graph = CallGraph::build(&prog, &self.registry);
+        let pts = self.options.pointsto.then(|| PointsTo::solve(&prog));
+        let graph = match &pts {
+            Some(p) => CallGraph::build_with_pointsto(&prog, &self.registry, p),
+            None => CallGraph::build(&prog, &self.registry),
+        };
         phases.indexing = t.elapsed();
+
+        // Precision diagnostics (surfaced via `extractocol --lints`).
+        let lints = diagnostics::lint(&prog, &graph, pts.as_ref(), &|callee| {
+            !matches!(self.model.op_for(&prog, callee), ApiOp::Unknown)
+        });
 
         // Phase 1: demarcation points + bidirectional slicing.
         let t = Instant::now();
@@ -137,6 +155,7 @@ impl Extractocol {
             &sites,
             &self.options.slice,
             self.options.jobs,
+            pts.as_ref(),
         );
         phases.slicing = t.elapsed();
 
@@ -227,7 +246,14 @@ impl Extractocol {
                 deobfuscated_classes,
                 duration: started.elapsed(),
             },
-            metrics: Metrics { jobs, phases, cache, per_dp },
+            metrics: Metrics {
+                jobs,
+                phases,
+                cache,
+                per_dp,
+                lints,
+                pts: pts.as_ref().map(PointsTo::stats),
+            },
         }
     }
 }

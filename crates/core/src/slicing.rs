@@ -20,7 +20,8 @@ use crate::demarcation::DpSite;
 use crate::flowmodel::SemanticFlowModel;
 use crate::semantics::{DpResponseLoc, SemanticModel};
 use extractocol_analysis::{
-    AccessPath, CacheStats, CallGraph, Direction, Seed, TaintEngine, TaintOptions, TaintReport,
+    AccessPath, CacheStats, CallGraph, Direction, PointsTo, Seed, TaintEngine, TaintOptions,
+    TaintReport,
 };
 use extractocol_ir::{Expr, Local, MethodId, Place, ProgramIndex, Stmt, Value};
 use std::collections::HashSet;
@@ -101,7 +102,7 @@ pub fn slice_all(
     sites: &[DpSite],
     opts: &SliceOptions,
 ) -> Vec<SliceSet> {
-    slice_all_with(prog, graph, model, sites, opts, 1).0
+    slice_all_with(prog, graph, model, sites, opts, 1, None).0
 }
 
 /// Runs bidirectional slicing for every DP site, fanning independent DPs
@@ -110,6 +111,11 @@ pub fn slice_all(
 /// cache — is shared by every worker, so helper methods reached from
 /// several DPs are analyzed once; the returned [`CacheStats`] quantifies
 /// that sharing. Results are ordered by DP site regardless of `jobs`.
+///
+/// With `pts`, the engine consults alias information (narrowed virtual
+/// transfer), the §3.4 async heuristic only bridges field cells whose
+/// base objects may alias, and augmentation seeds initialization contexts
+/// from allocation sites.
 pub fn slice_all_with(
     prog: &ProgramIndex<'_>,
     graph: &CallGraph,
@@ -117,16 +123,19 @@ pub fn slice_all_with(
     sites: &[DpSite],
     opts: &SliceOptions,
     jobs: usize,
+    pts: Option<&PointsTo>,
 ) -> (Vec<SliceSet>, CacheStats) {
     let flow_model = SemanticFlowModel::new(model, prog);
-    let engine = TaintEngine::new(
+    let engine = TaintEngine::with_pointsto(
         prog,
         graph,
         &flow_model,
         TaintOptions { max_field_depth: opts.max_field_depth, ..TaintOptions::default() },
+        pts,
     );
-    let sets =
-        crate::par::parallel_map(sites, jobs, |_, dp| slice_one(prog, graph, &engine, dp, opts));
+    let sets = crate::par::parallel_map(sites, jobs, |_, dp| {
+        slice_one(prog, graph, &engine, dp, opts, pts)
+    });
     (sets, engine.cache_stats())
 }
 
@@ -136,6 +145,7 @@ fn slice_one(
     engine: &TaintEngine<'_, '_, '_>,
     dp: &DpSite,
     opts: &SliceOptions,
+    pts: Option<&PointsTo>,
 ) -> SliceSet {
     // ---- backward (request) slice ----
     let mut request_report = TaintReport::default();
@@ -146,7 +156,7 @@ fn slice_one(
         );
         if opts.async_heuristic {
             for _ in 0..opts.async_hops.max(1) {
-                if !async_augment(prog, engine, &mut request_report) {
+                if !async_augment(prog, engine, &mut request_report, pts) {
                     break; // fixpoint: no new dependencies discovered
                 }
             }
@@ -201,7 +211,7 @@ fn slice_one(
 
     // ---- object-aware augmentation ----
     if opts.augmentation {
-        augment(prog, &request_report, &mut response_report, (dp.method, dp.stmt));
+        augment(prog, &request_report, &mut response_report, (dp.method, dp.stmt), pts);
     }
     let mut response_slice = response_report.slice.clone();
     if !seeds.is_empty() {
@@ -229,6 +239,28 @@ fn defined_local(stmt: &Stmt) -> Option<Local> {
         Stmt::Assign { place: Place::Local(l), .. } => Some(*l),
         _ => None,
     }
+}
+
+/// The `<init>` call paired with the allocation at `(mid, alloc_stmt)`:
+/// the first `specialinvoke <init>` on the allocated local after the
+/// allocation, stopping if the local is reassigned first.
+fn constructor_after(prog: &ProgramIndex<'_>, mid: MethodId, alloc_stmt: usize) -> Option<usize> {
+    let body = &prog.method(mid).body;
+    let obj = defined_local(body.get(alloc_stmt)?)?;
+    for (off, stmt) in body[alloc_stmt + 1..].iter().enumerate() {
+        let si = alloc_stmt + 1 + off;
+        if let Stmt::Invoke(c) = stmt {
+            if c.callee.name == "<init>"
+                && c.receiver.as_ref().and_then(Value::as_local) == Some(obj)
+            {
+                return Some(si);
+            }
+        }
+        if defined_local(stmt) == Some(obj) {
+            return None;
+        }
+    }
+    None
 }
 
 /// All locals read by a statement.
@@ -292,6 +324,7 @@ fn augment(
     request: &TaintReport,
     response: &mut TaintReport,
     dp_site: (MethodId, usize),
+    pts: Option<&PointsTo>,
 ) {
     // Candidate statements: the request slice plus every statement of a
     // method the response slice already touches. The DP statement itself is
@@ -300,7 +333,40 @@ fn augment(
     // response slice.
     let mut candidates: Vec<(MethodId, usize)> =
         request.slice.iter().copied().filter(|site| *site != dp_site).collect();
-    let touched: HashSet<MethodId> = response.slice.iter().map(|(m, _)| *m).collect();
+    let mut touched: HashSet<MethodId> = response.slice.iter().map(|(m, _)| *m).collect();
+
+    // With points-to results, initialization contexts come from the
+    // objects' actual allocation sites — which may live in a method
+    // neither slice has touched (a factory, a shared setup helper) that
+    // the declared-type/def-chain candidates above can never reach.
+    if let Some(pts) = pts {
+        let mut extra: Vec<(MethodId, usize)> = Vec::new();
+        for &(m, s) in &response.slice {
+            for l in used_locals(&prog.method(m).body[s]) {
+                for &a in pts.local_pts(m, l) {
+                    let alloc = pts.alloc(a);
+                    extra.push((alloc.method, alloc.stmt));
+                    // The paired constructor call directly follows the
+                    // allocation in three-address form.
+                    if let Some(ctor) = constructor_after(prog, alloc.method, alloc.stmt) {
+                        extra.push((alloc.method, ctor));
+                    }
+                }
+            }
+        }
+        extra.sort_unstable();
+        extra.dedup();
+        for site in extra {
+            // Allocations inside the DP's own method are left to the
+            // def-chain fixpoint below — importing them wholesale would
+            // pull request-side construction into the response slice.
+            if site != dp_site && site.0 != dp_site.0 {
+                response.slice.insert(site);
+                touched.insert(site.0);
+            }
+        }
+    }
+
     for m in touched {
         for s in 0..prog.method(m).body.len() {
             if (m, s) != dp_site {
@@ -349,24 +415,40 @@ fn augment(
 /// slice and re-run backward propagation from the stored value, merging
 /// the result. Each invocation chases one hop; returns whether it grew
 /// the slice (callers iterate for the §4 multi-hop extension).
+///
+/// Cells are `(class, field)` pairs, so without alias information every
+/// store to `C.f` bridges to every read of `C.f` — taint bleeds across
+/// unrelated heap objects. With points-to results, a store only bridges
+/// when its base object may alias some base object the slice reads.
 fn async_augment(
     prog: &ProgramIndex<'_>,
     engine: &TaintEngine<'_, '_, '_>,
     report: &mut TaintReport,
+    pts: Option<&PointsTo>,
 ) -> bool {
-    // Field cells read by sliced statements.
+    // Field cells read by sliced statements, with the base locals reading
+    // them (the alias side of the bridge).
     let mut cells: HashSet<(String, String)> = HashSet::new();
+    let mut read_bases: Vec<(MethodId, extractocol_ir::Local)> = Vec::new();
     for &(m, s) in &report.slice {
-        if let Stmt::Assign { expr: Expr::Load(Place::InstanceField { field, .. }), .. } =
+        if let Stmt::Assign { expr: Expr::Load(Place::InstanceField { base, field }), .. } =
             &prog.method(m).body[s]
         {
             cells.insert((field.class.clone(), field.name.clone()));
+            read_bases.push((m, *base));
         }
     }
     if cells.is_empty() {
         return false;
     }
-    // Out-of-slice stores to those cells.
+    // Out-of-slice stores to those cells (alias-compatible ones only,
+    // when points-to results are available).
+    let may_bridge = |mid: MethodId, store_base: extractocol_ir::Local| -> bool {
+        match pts {
+            None => true,
+            Some(p) => read_bases.iter().any(|&rb| p.may_alias((mid, store_base), rb)),
+        }
+    };
     let mut seeds: Vec<Seed> = Vec::new();
     let mut store_sites: Vec<(MethodId, usize)> = Vec::new();
     for mid in prog.concrete_methods() {
@@ -374,8 +456,10 @@ fn async_augment(
             if report.slice.contains(&(mid, si)) {
                 continue;
             }
-            if let Stmt::Assign { place: Place::InstanceField { field, .. }, expr } = stmt {
-                if cells.contains(&(field.class.clone(), field.name.clone())) {
+            if let Stmt::Assign { place: Place::InstanceField { base, field }, expr } = stmt {
+                if cells.contains(&(field.class.clone(), field.name.clone()))
+                    && may_bridge(mid, *base)
+                {
                     store_sites.push((mid, si));
                     if let Expr::Use(Value::Local(v)) = expr {
                         seeds.push(Seed { method: mid, stmt: si, fact: AccessPath::local(*v) });

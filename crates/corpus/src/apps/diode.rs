@@ -317,6 +317,43 @@ fn build_fig3_task(g: &mut AppGen) {
             m.ret_void();
         });
     });
+    // Diode normalizes search input through a `TextFilter` strategy. Three
+    // implementors are hierarchy-visible but only `PassthroughFilter` is
+    // ever constructed — the shape SPARK-style devirtualization exists
+    // for: CHA must assume all three, points-to proves one. Every filter
+    // returns its argument (the extra two just shuffle it through locals
+    // and a scratch field), so the extracted signatures are identical
+    // either way; only slice sizes differ.
+    let filter_iface = format!("{PKG}.TextFilter");
+    b.iface(&filter_iface, |c| {
+        c.stub_method("apply", vec![Type::string()], Type::string());
+    });
+    b.class(&format!("{PKG}.PassthroughFilter"), |c| {
+        c.implements(&filter_iface);
+        c.method("apply", vec![Type::string()], Type::string(), |m| {
+            m.recv(&format!("{PKG}.PassthroughFilter"));
+            let s = m.arg(0, "s");
+            m.ret(s);
+        });
+    });
+    for short in ["TrimFilter", "CollapseFilter"] {
+        let name = format!("{PKG}.{short}");
+        b.class(&name, |c| {
+            c.implements(&filter_iface);
+            let scratch = c.field("mScratch", Type::string());
+            c.method("apply", vec![Type::string()], Type::string(), |m| {
+                let this = m.recv(&name);
+                let s = m.arg(0, "s");
+                let a = m.temp(Type::string());
+                m.copy(a, s);
+                m.put_field(this, &scratch, a);
+                let out = m.temp(Type::string());
+                m.get_field(out, this, &scratch);
+                m.ret(out);
+            });
+        });
+    }
+
     // The UI entry: builds the task from user input and executes it.
     let main = format!("{PKG}.Main");
     b.class(&main, |c| {
@@ -332,8 +369,15 @@ fn build_fig3_task(g: &mut AppGen) {
                 let before = m.arg(2, "before");
                 let et = m.temp(Type::object("android.widget.EditText"));
                 m.assign(et, extractocol_ir::Expr::New("android.widget.EditText".into()));
-                let query =
-                    m.vcall(et, "android.widget.EditText", "getText", vec![], Type::string());
+                let raw = m.vcall(et, "android.widget.EditText", "getText", vec![], Type::string());
+                let filter = m.new_obj(&format!("{PKG}.PassthroughFilter"), vec![]);
+                let query = m.icall(
+                    filter,
+                    &format!("{PKG}.TextFilter"),
+                    "apply",
+                    vec![Value::Local(raw)],
+                    Type::string(),
+                );
                 let count = m.temp(Type::string());
                 m.cstr(count, "25");
                 let t = m.new_obj(

@@ -2,9 +2,10 @@
 //! suites to catch malformed corpus apps early.
 
 use crate::apk::Apk;
-use crate::class::Method;
+use crate::class::{Class, Method};
 use crate::stmt::{Expr, IdentityKind, Stmt};
-use crate::values::{Local, Place, Value};
+use crate::values::{FieldRef, Local, Place, Value};
+use std::collections::HashMap;
 use std::fmt;
 
 /// A single well-formedness violation.
@@ -35,7 +36,106 @@ pub fn validate_apk(apk: &Apk) -> Vec<ValidationError> {
             validate_method(&format!("{}.{}", c.name, m.name), m, &mut errs);
         }
     }
+    validate_heap_shape(apk, &mut errs);
     errs
+}
+
+/// Platform/library namespaces an app references without bundling. A `new`
+/// of (or a field on) a class under these prefixes is legal even when the
+/// APK declares no such class — the runtime provides it.
+const PLATFORM_PREFIXES: &[&str] = &[
+    "java.",
+    "javax.",
+    "android.",
+    "androidx.",
+    "dalvik.",
+    "kotlin.",
+    "org.apache.",
+    "org.json.",
+    "org.w3c.",
+    "org.xml.",
+    "com.android.",
+];
+
+fn is_platform_class(name: &str) -> bool {
+    PLATFORM_PREFIXES.iter().any(|p| name.starts_with(p))
+}
+
+/// Whole-program heap-shape checks: every allocated class must be declared
+/// in the APK or belong to a platform namespace, and every field access on
+/// a declared class must name a field that exists somewhere on its
+/// superclass chain. Catches typo'd corpus apps and obfuscator-mangled
+/// field references before an analysis silently resolves them to nothing.
+fn validate_heap_shape(apk: &Apk, errs: &mut Vec<ValidationError>) {
+    let classes: HashMap<&str, &Class> = apk.classes.iter().map(|c| (c.name.as_str(), c)).collect();
+    // A field reference is fine when: the declaring class is undeclared
+    // platform/library surface, or some class on the (declared part of
+    // the) superclass chain declares the field, or the chain escapes into
+    // undeclared territory where the field may live.
+    let field_ok = |fr: &FieldRef| -> bool {
+        let mut cur: &str = &fr.class;
+        loop {
+            let Some(c) = classes.get(cur) else {
+                // The chain left the declared program. `java.lang.Object`
+                // declares no fields, so reaching it means the field does
+                // not exist; any other undeclared class (a platform
+                // superclass like `android.app.Activity`, or an undeclared
+                // library type) may hold the field, so accept — except an
+                // undeclared *declaring* class outside the platform
+                // namespaces, which is a dangling reference.
+                if cur == "java.lang.Object" {
+                    return false;
+                }
+                return cur != fr.class || is_platform_class(cur);
+            };
+            if c.fields.iter().any(|f| f.name == fr.name) {
+                return true;
+            }
+            match c.superclass.as_deref() {
+                Some(s) => cur = s,
+                None => return false,
+            }
+        }
+    };
+    let check_field = |ctx: &str, i: usize, fr: &FieldRef, errs: &mut Vec<ValidationError>| {
+        if !field_ok(fr) {
+            errs.push(ValidationError {
+                context: ctx.to_string(),
+                stmt: Some(i),
+                message: format!("field {}.{} is not declared", fr.class, fr.name),
+            });
+        }
+    };
+    for c in &apk.classes {
+        for m in &c.methods {
+            let ctx = format!("{}.{}", c.name, m.name);
+            for (i, s) in m.body.iter().enumerate() {
+                if let Stmt::Assign { place, expr } = s {
+                    if let Expr::New(class) = expr {
+                        if !classes.contains_key(class.as_str()) && !is_platform_class(class) {
+                            errs.push(ValidationError {
+                                context: ctx.clone(),
+                                stmt: Some(i),
+                                message: format!("new of undeclared class {class}"),
+                            });
+                        }
+                    }
+                    let loaded = match expr {
+                        Expr::Load(p) => Some(p),
+                        _ => None,
+                    };
+                    for p in [Some(place), loaded].into_iter().flatten() {
+                        match p {
+                            Place::InstanceField { field, .. } | Place::StaticField(field) => {
+                                check_field(&ctx, i, field, errs);
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
 
 fn check_local(ctx: &str, i: usize, l: Local, n: usize, errs: &mut Vec<ValidationError>) {
@@ -203,6 +303,69 @@ mod tests {
         validate_method("t.bad", &m, &mut errs);
         assert_eq!(errs.len(), 2);
         assert!(errs[0].message.contains("out of range"));
+    }
+
+    #[test]
+    fn catches_new_of_undeclared_class() {
+        let mut b = ApkBuilder::new("v", "com.v");
+        b.class("com.v.A", |c| {
+            c.method("m", vec![], Type::Void, |m| {
+                m.recv("com.v.A");
+                // Platform allocation with no declaration: fine.
+                let s = m.new_obj("java.lang.StringBuilder", vec![]);
+                let _ = s;
+                // App-namespace allocation of a class nobody declared: error.
+                let g = m.new_obj("com.v.Ghost", vec![]);
+                let _ = g;
+                m.ret_void();
+            });
+        });
+        let errs = validate_apk(&b.build());
+        assert_eq!(errs.len(), 1, "{errs:?}");
+        assert!(errs[0].message.contains("undeclared class com.v.Ghost"), "{}", errs[0]);
+    }
+
+    #[test]
+    fn catches_undeclared_field_but_accepts_inherited() {
+        let mut b = ApkBuilder::new("v", "com.v");
+        b.class("com.v.Base", |c| {
+            c.field("shared", Type::string());
+        });
+        b.class("com.v.A", |c| {
+            c.extends("com.v.Base");
+            let f = c.field("own", Type::Int);
+            c.method("m", vec![], Type::Void, |m| {
+                let this = m.recv("com.v.A");
+                let x = m.temp(Type::Int);
+                m.get_field(x, this, &f); // declared: fine
+                let y = m.temp(Type::string());
+                // Inherited from com.v.Base: fine.
+                m.get_field(
+                    y,
+                    this,
+                    &crate::values::FieldRef {
+                        class: "com.v.A".into(),
+                        name: "shared".into(),
+                        ty: Type::string(),
+                    },
+                );
+                let z = m.temp(Type::Int);
+                // Nobody declares `phantom` anywhere on the chain: error.
+                m.get_field(
+                    z,
+                    this,
+                    &crate::values::FieldRef {
+                        class: "com.v.A".into(),
+                        name: "phantom".into(),
+                        ty: Type::Int,
+                    },
+                );
+                m.ret_void();
+            });
+        });
+        let errs = validate_apk(&b.build());
+        assert_eq!(errs.len(), 1, "{errs:?}");
+        assert!(errs[0].message.contains("com.v.A.phantom"), "{}", errs[0]);
     }
 
     #[test]

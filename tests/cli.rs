@@ -97,6 +97,66 @@ fn cli_jobs_flag_changes_nothing_but_the_worker_count() {
 }
 
 #[test]
+fn cli_lints_surface_precision_diagnostics_in_stable_order() {
+    use extractocol_ir::{ApkBuilder, Type, Value};
+    // A small pathological app: a virtual site resolving to nothing, a
+    // bodyless library callee no API model covers, and a dead block.
+    let mut b = ApkBuilder::new("linty", "com.linty");
+    b.class("com.linty.Lib", |c| {
+        c.stub_method("mystery", vec![], Type::Void);
+    });
+    b.class("com.linty.Main", |c| {
+        c.method("go", vec![], Type::Void, |m| {
+            m.recv("com.linty.Main");
+            let lib = m.new_obj("com.linty.Lib", vec![]);
+            m.vcall_void(lib, "com.linty.Lib", "mystery", vec![]);
+            let ghost = m.temp(Type::object("com.linty.Ghost"));
+            m.vcall_void(ghost, "com.linty.Ghost", "haunt", vec![]);
+            m.goto("done");
+            let dead = m.temp(Type::string());
+            m.cstr(dead, "unreachable");
+            m.label("done");
+            m.ret_void();
+        });
+    });
+    let _ = Value::int(0);
+    let txt = extractocol_ir::printer::print_apk(&b.build());
+    let mut path = std::env::temp_dir();
+    path.push("extractocol-cli-lints.jimple");
+    std::fs::write(&path, txt).unwrap();
+
+    let run = || {
+        let out = cli().arg(&path).arg("--lints").output().expect("run extractocol");
+        assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let first = run();
+    for cat in ["unresolved-virtual-site", "model-gap", "dead-block"] {
+        assert!(first.contains(cat), "missing {cat} lint:\n{first}");
+        assert!(first.contains(&format!("# {cat}: ")), "missing {cat} summary:\n{first}");
+    }
+    // Stable ordering: the lint section (everything before the report
+    // table, which ends with a wall-clock line) renders byte-identically
+    // on a second run.
+    let lint_section =
+        |s: &str| s.lines().take_while(|l| !l.starts_with("==")).collect::<Vec<_>>().join("\n");
+    assert_eq!(lint_section(&first), lint_section(&run()), "--lints output must be deterministic");
+}
+
+#[test]
+fn cli_no_pointsto_keeps_the_protocol_report_identical() {
+    let path = write_app("Diode");
+    let run = |extra: &[&str]| {
+        let out = cli().arg(&path).arg("--regex").args(extra).output().expect("run extractocol");
+        assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    // Devirtualization prunes never-executed callees; the signatures the
+    // slices extract must not move.
+    assert_eq!(run(&[]), run(&["--no-pointsto"]));
+}
+
+#[test]
 fn cli_rejects_garbage_input() {
     let mut path = std::env::temp_dir();
     path.push("extractocol-cli-garbage.jimple");

@@ -73,6 +73,32 @@ fn metrics_are_populated() {
     assert!(m.phases.slicing.as_nanos() > 0, "slicing phase timed");
 }
 
+/// The points-to solve and the lint pass obey the same determinism
+/// contract as the report: byte-identical output whether the per-DP
+/// fan-out ran sequentially or across every core.
+#[test]
+fn pointsto_and_lints_identical_across_job_counts() {
+    for app in extractocol_corpus::open_source_apps()
+        .into_iter()
+        .chain(extractocol_corpus::closed_source_apps())
+    {
+        let seq = analyze(&app, 1);
+        let par = analyze(&app, 0);
+        assert_eq!(
+            seq.metrics.lints.to_text(),
+            par.metrics.lints.to_text(),
+            "{}: lint output differs between jobs=1 and jobs=0",
+            app.truth.name
+        );
+        assert_eq!(
+            seq.metrics.pts, par.metrics.pts,
+            "{}: points-to stats differ between jobs=1 and jobs=0",
+            app.truth.name
+        );
+        assert!(seq.metrics.pts.is_some(), "{}: pointsto runs by default", app.truth.name);
+    }
+}
+
 /// Concurrency smoke test: one analyzer instance, many threads.
 #[test]
 fn analyzer_is_shareable_across_threads() {
