@@ -21,4 +21,10 @@ cargo test -q
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> conformance gate (clean corpus)"
+cargo run --release -q -p extractocol-dynamic --bin extractocol-eval -- --conformance
+
+echo "==> conformance gate (mutation self-test)"
+cargo run --release -q -p extractocol-dynamic --bin extractocol-eval -- --conformance-mutate
+
 echo "CI OK"

@@ -25,6 +25,7 @@
 //! orchestrates everything behind [`pipeline::Extractocol`]; [`report`]
 //! holds the output model.
 
+pub mod conformance;
 pub mod demarcation;
 pub mod deobf;
 pub mod flowmodel;

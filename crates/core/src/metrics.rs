@@ -78,6 +78,11 @@ pub struct Metrics {
     pub lints: LintReport,
     /// Points-to solver statistics, when `Options::pointsto` ran.
     pub pts: Option<PtsStats>,
+    /// Conformance-oracle result, when a driver (e.g. `extractocol-eval
+    /// --conformance`) cross-checked this report against a dynamic trace.
+    /// Deterministic given the same trace, but observational: it describes
+    /// a validation run, not the protocol signature itself.
+    pub conformance: Option<crate::conformance::ConformanceReport>,
 }
 
 #[cfg(test)]

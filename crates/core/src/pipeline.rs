@@ -211,6 +211,7 @@ impl Extractocol {
                     .iter()
                     .map(|(k, v)| (k.clone(), v.to_regex()))
                     .collect(),
+                header_sigs: sigs.request.headers.clone(),
                 request_body: sigs.request.body.clone(),
                 response,
                 pairing: t.pairing,
@@ -253,6 +254,7 @@ impl Extractocol {
                 per_dp,
                 lints,
                 pts: pts.as_ref().map(PointsTo::stats),
+                conformance: None,
             },
         }
     }

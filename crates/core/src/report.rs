@@ -28,6 +28,10 @@ pub struct TxnReport {
     pub uri_regex: String,
     /// Headers the app sets (name, value regex).
     pub headers: Vec<(String, String)>,
+    /// Headers in the intermediate signature language (name, value sig) —
+    /// kept alongside the rendered regexes so the conformance oracle can
+    /// structurally match header values without re-parsing regexes.
+    pub header_sigs: Vec<(String, SigPat)>,
     /// Request body signature, if any.
     pub request_body: Option<BodySig>,
     /// Response body signature, if the app processes one.
@@ -320,6 +324,7 @@ mod tests {
             uri_regex: uri.to_regex(),
             uri,
             headers: Vec::new(),
+            header_sigs: Vec::new(),
             request_body: None,
             response: None,
             pairing: Pairing::Unique,
@@ -506,6 +511,7 @@ mod json_export_tests {
             uri: SigPat::lit("https://h/login"),
             uri_regex: "https://h/login".into(),
             headers: vec![("Cookie".into(), ".*".into())],
+            header_sigs: vec![("Cookie".into(), SigPat::any_str())],
             request_body: Some(BodySig::Form(vec![(SigPat::lit("user"), SigPat::any_str())])),
             response: Some(ResponseSig::Json(j)),
             pairing: Pairing::Unique,

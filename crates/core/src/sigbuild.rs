@@ -1644,6 +1644,58 @@ mod tests {
         assert!(!re.is_match("http://other.com/"));
     }
 
+    /// Swapping which branch is the fallthrough (and therefore which arm
+    /// reaches the confluence merge first) must not change the extracted
+    /// signature: canonical `Or` makes confluence order-invariant.
+    #[test]
+    fn confluence_merge_order_is_invariant() {
+        let build = |swap: bool| {
+            let mut b = ApkBuilder::new("t", "t");
+            http_stubs(&mut b);
+            b.class("t.C", |c| {
+                c.method("go", vec![Type::Int, Type::string()], Type::Void, |m| {
+                    m.recv("t.C");
+                    let mode = m.arg(0, "mode");
+                    let q = m.arg(1, "q");
+                    let sb = m.temp(Type::object("java.lang.StringBuilder"));
+                    m.iff(CondOp::Eq, mode, Value::int(0), "other");
+                    let (first, second) = if swap {
+                        ("http://r.com/search/.json?q=", "http://r.com/r/")
+                    } else {
+                        ("http://r.com/r/", "http://r.com/search/.json?q=")
+                    };
+                    m.new_obj_into(sb, "java.lang.StringBuilder", vec![Value::str(first)]);
+                    m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(q)]);
+                    m.goto("send");
+                    m.label("other");
+                    m.new_obj_into(sb, "java.lang.StringBuilder", vec![Value::str(second)]);
+                    m.vcall_void(sb, "java.lang.StringBuilder", "append", vec![Value::Local(q)]);
+                    m.label("send");
+                    let url =
+                        m.vcall(sb, "java.lang.StringBuilder", "toString", vec![], Type::string());
+                    let req = m
+                        .new_obj("org.apache.http.client.methods.HttpGet", vec![Value::Local(url)]);
+                    let client = m.new_obj("org.apache.http.impl.client.DefaultHttpClient", vec![]);
+                    m.vcall_void(
+                        client,
+                        "org.apache.http.client.HttpClient",
+                        "execute",
+                        vec![Value::Local(req)],
+                    );
+                    m.ret_void();
+                });
+            });
+            b.build()
+        };
+        let a = extract_all(&build(false));
+        let b = extract_all(&build(true));
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+        assert_eq!(a[0].request.uri, b[0].request.uri, "confluence order leaked into the sig");
+        assert_eq!(a[0].request.uri.to_regex(), b[0].request.uri.to_regex());
+        assert_eq!(a[0].request.uri.disjuncts().len(), 2);
+    }
+
     /// Loops produce rep{..} (Kleene star in the regex).
     #[test]
     fn loop_variant_query_becomes_rep() {

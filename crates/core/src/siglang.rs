@@ -15,13 +15,13 @@
 //! ("whose leaves are string literals or numbers") and can additionally be
 //! rendered as JSON-Schema or DTD (§1).
 
-use extractocol_http::regexlite::escape_literal;
+use extractocol_http::regexlite::{escape_literal, BudgetExceeded};
 use extractocol_http::{JsonValue, XmlElement, XmlNode};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// Type-derived wildcard hints for `unknown` terms.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum TypeHint {
     /// Numeric unknown → `[0-9]+`.
     Num,
@@ -32,7 +32,12 @@ pub enum TypeHint {
 }
 
 /// A string signature pattern.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// Derives a total order so `Or` disjunctions can be kept canonical
+/// (sorted, deduplicated) — semantically equal signatures then render
+/// byte-identical regexes regardless of the order confluence arms were
+/// merged in.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum SigPat {
     /// A string literal known exactly.
     Const(String),
@@ -78,7 +83,9 @@ impl SigPat {
 
     /// Structural normalization: flattens nested concats/ors, merges
     /// adjacent constants, drops empty constants inside concats, and
-    /// deduplicates disjunction arms. Idempotent (property-tested).
+    /// canonicalizes disjunctions (arms sorted and deduplicated, so `a ∨ a`
+    /// collapses and every merge order of the same arm set renders the same
+    /// regex). Idempotent (property-tested).
     pub fn normalize(self) -> SigPat {
         match self {
             SigPat::Concat(items) => {
@@ -112,16 +119,16 @@ impl SigPat {
                         other => flat.push(other),
                     }
                 }
-                let mut dedup: Vec<SigPat> = Vec::new();
-                for it in flat {
-                    if !dedup.contains(&it) {
-                        dedup.push(it);
-                    }
-                }
-                match dedup.len() {
+                // Canonical form: stable (sorted) arm order + dedup. Arm
+                // order never carries meaning for a disjunction, and a
+                // canonical order makes normalization confluent — merging
+                // `a ∨ b` and `b ∨ a` yields one representation.
+                flat.sort();
+                flat.dedup();
+                match flat.len() {
                     0 => SigPat::empty(),
-                    1 => dedup.pop().unwrap(),
-                    _ => SigPat::Or(dedup),
+                    1 => flat.pop().unwrap(),
+                    _ => SigPat::Or(flat),
                 }
             }
             SigPat::Rep(inner) => SigPat::Rep(Box::new(inner.normalize())),
@@ -228,7 +235,10 @@ impl SigPat {
                 format!("({})", arms.join("|"))
             }
             SigPat::Json(j) => j.to_regex(),
-            SigPat::Xml(x) => x.to_regex(),
+            // XmlSig::to_regex has a top-level `|`; parenthesize so the
+            // alternation cannot swallow neighbouring concat parts or a
+            // surrounding `*`.
+            SigPat::Xml(x) => format!("({})", x.to_regex()),
         }
     }
 
@@ -249,6 +259,148 @@ impl SigPat {
             SigPat::Json(j) => j.display(),
             SigPat::Xml(x) => format!("xml({})", x.to_regex()),
         }
+    }
+
+    /// Structural whole-string matching evaluated directly on the signature
+    /// tree — fully independent of [`SigPat::to_regex`] and the regexlite
+    /// engine, so the conformance oracle can cross-check the regex compiler
+    /// instead of trusting it to test itself.
+    pub fn matches(&self, s: &str) -> bool {
+        self.matches_budgeted(s, usize::MAX).expect("unbounded budget cannot be exceeded")
+    }
+
+    /// Budgeted structural matching. `Err(BudgetExceeded)` is distinct from
+    /// a non-match, mirroring `Regex::is_match_budgeted` semantics.
+    pub fn matches_budgeted(&self, s: &str, budget: usize) -> Result<bool, BudgetExceeded> {
+        let mut steps = 0usize;
+        let starts: BTreeSet<usize> = std::iter::once(0).collect();
+        let ends = self.ends_from(s, &starts, &mut steps, budget)?;
+        Ok(ends.contains(&s.len()))
+    }
+
+    /// The set of byte positions reachable after matching `self` starting
+    /// from any position in `starts`. Positions are always char boundaries.
+    fn ends_from(
+        &self,
+        s: &str,
+        starts: &BTreeSet<usize>,
+        steps: &mut usize,
+        budget: usize,
+    ) -> Result<BTreeSet<usize>, BudgetExceeded> {
+        *steps = steps.saturating_add(starts.len().max(1));
+        if *steps > budget {
+            return Err(BudgetExceeded { budget });
+        }
+        let mut out = BTreeSet::new();
+        match self {
+            SigPat::Const(c) => {
+                for &p in starts {
+                    if s[p..].starts_with(c.as_str()) {
+                        out.insert(p + c.len());
+                    }
+                }
+            }
+            SigPat::Unknown(TypeHint::Str) => {
+                // `.*`: from the earliest start, every boundary at or after
+                // some start is reachable; starts are sorted, so everything
+                // at or after the minimum qualifies.
+                if let Some(&lo) = starts.iter().next() {
+                    for q in lo..=s.len() {
+                        if s.is_char_boundary(q) {
+                            out.insert(q);
+                        }
+                    }
+                    *steps = steps.saturating_add(s.len() - lo + 1);
+                }
+            }
+            SigPat::Unknown(TypeHint::Num) => {
+                // `[0-9]+`: at least one digit.
+                let bytes = s.as_bytes();
+                for &p in starts {
+                    let mut q = p;
+                    while q < s.len() && bytes[q].is_ascii_digit() {
+                        q += 1;
+                        out.insert(q);
+                    }
+                }
+            }
+            SigPat::Unknown(TypeHint::Bool) => {
+                for &p in starts {
+                    for lit in ["true", "false"] {
+                        if s[p..].starts_with(lit) {
+                            out.insert(p + lit.len());
+                        }
+                    }
+                }
+            }
+            SigPat::Concat(items) => {
+                let mut cur = starts.clone();
+                for it in items {
+                    cur = it.ends_from(s, &cur, steps, budget)?;
+                    if cur.is_empty() {
+                        break;
+                    }
+                }
+                return Ok(cur);
+            }
+            SigPat::Or(arms) => {
+                for a in arms {
+                    out.extend(a.ends_from(s, starts, steps, budget)?);
+                }
+            }
+            SigPat::Rep(inner) => {
+                // Zero or more repetitions: the transitive closure of the
+                // inner pattern's end positions. Terminates because every
+                // round only adds new (strictly bounded) positions.
+                let mut all = starts.clone();
+                let mut frontier = starts.clone();
+                while !frontier.is_empty() {
+                    let next = inner.ends_from(s, &frontier, steps, budget)?;
+                    frontier = next.difference(&all).copied().collect();
+                    all.extend(frontier.iter().copied());
+                }
+                return Ok(all);
+            }
+            SigPat::Json(j) => {
+                // An embedded JSON document: any slice that parses as JSON
+                // and satisfies the tree signature.
+                for &p in starts {
+                    for q in (p + 1)..=s.len() {
+                        if !s.is_char_boundary(q) {
+                            continue;
+                        }
+                        *steps = steps.saturating_add(1);
+                        if *steps > budget {
+                            return Err(BudgetExceeded { budget });
+                        }
+                        if let Ok(v) = JsonValue::parse(&s[p..q]) {
+                            if j.matches(&v) {
+                                out.insert(q);
+                            }
+                        }
+                    }
+                }
+            }
+            SigPat::Xml(x) => {
+                for &p in starts {
+                    for q in (p + 1)..=s.len() {
+                        if !s.is_char_boundary(q) {
+                            continue;
+                        }
+                        *steps = steps.saturating_add(1);
+                        if *steps > budget {
+                            return Err(BudgetExceeded { budget });
+                        }
+                        if let Ok(e) = XmlElement::parse(&s[p..q]) {
+                            if x.matches(&e) {
+                                out.insert(q);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
     }
 }
 
@@ -295,7 +447,7 @@ fn strip_prefix_parts(prefix: &[SigPat], full: &[SigPat]) -> Option<Vec<SigPat>>
 /// A JSON signature tree: "For JSON and XML objects, Extractocol maintains
 /// a tree data structure" (§3.2). Built from `put` operations (requests)
 /// or `get` operations (responses — the keys the app actually reads).
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum JsonSig {
     /// An object with known keys. Keys absent from the map are
     /// unconstrained (responses routinely carry more keys than an app
@@ -530,7 +682,7 @@ fn inner_regex(v: &JsonSig) -> String {
 
 /// An XML signature tree: tag name, constrained attributes, child element
 /// signatures, optional text pattern.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub struct XmlSig {
     pub name: String,
     pub attrs: Vec<(String, SigPat)>,
@@ -797,5 +949,198 @@ mod tests {
         let sig =
             SigPat::Concat(vec![SigPat::lit("user="), SigPat::any_str(), SigPat::lit("&passwd=")]);
         assert_eq!(sig.constants(), vec!["user=", "&passwd="]);
+    }
+
+    #[test]
+    fn or_is_canonical_across_merge_orders() {
+        // a ∨ (b ∨ c) and (c ∨ a) ∨ b must normalize to the same tree and
+        // hence render byte-identical regexes (confluence-order invariance).
+        let a = || SigPat::lit("alpha");
+        let b = || SigPat::lit("beta");
+        let c = || SigPat::Concat(vec![SigPat::lit("q="), SigPat::any_str()]);
+        let left = a().or(b().or(c()));
+        let right = c().or(a()).or(b());
+        assert_eq!(left, right);
+        assert_eq!(left.to_regex(), right.to_regex());
+        // duplicates collapse
+        let dup = a().or(b()).or(a()).or(b());
+        assert_eq!(dup.disjuncts().len(), 2);
+        assert_eq!(dup, a().or(b()));
+    }
+
+    #[test]
+    fn rep_precedence_compiles_and_matches() {
+        // rep{} of a multi-part inner pattern must bind the whole inner
+        // pattern under `*`, not just its last atom.
+        let rep = SigPat::Concat(vec![
+            SigPat::lit("base?"),
+            SigPat::Rep(Box::new(SigPat::Concat(vec![
+                SigPat::lit("id="),
+                SigPat::Unknown(TypeHint::Num),
+                SigPat::lit("&"),
+            ]))),
+            SigPat::lit("end"),
+        ]);
+        let re = Regex::new(&rep.to_regex()).unwrap();
+        assert!(re.is_match("base?end"));
+        assert!(re.is_match("base?id=1&end"));
+        assert!(re.is_match("base?id=1&id=22&end"));
+        assert!(!re.is_match("base?id=&end"));
+        // the star must not leak onto the neighbouring literal
+        assert!(!re.is_match("base?id=1&endend"));
+    }
+
+    #[test]
+    fn or_precedence_in_concat_compiles_and_matches() {
+        // An Or embedded in a Concat must be parenthesized — otherwise
+        // `a(x|y)b` would degrade into `ax|yb`.
+        let sig = SigPat::Concat(vec![
+            SigPat::lit("pre/"),
+            SigPat::Or(vec![SigPat::lit("cats"), SigPat::lit("dogs")]).normalize(),
+            SigPat::lit("/post"),
+        ]);
+        let re = Regex::new(&sig.to_regex()).unwrap();
+        assert!(re.is_match("pre/cats/post"));
+        assert!(re.is_match("pre/dogs/post"));
+        assert!(!re.is_match("pre/cats"));
+        assert!(!re.is_match("dogs/post"));
+    }
+
+    #[test]
+    fn xml_in_concat_and_rep_is_parenthesized() {
+        // XmlSig::to_regex has a top-level `|` (open/self-closing forms);
+        // embedding it in a Concat or under Rep must not let that
+        // alternation swallow the neighbouring parts.
+        let x = XmlSig::tag("item");
+        let sig = SigPat::Concat(vec![
+            SigPat::lit("payload="),
+            SigPat::Xml(Box::new(x.clone())),
+            SigPat::lit(";done"),
+        ]);
+        let re = Regex::new(&sig.to_regex()).unwrap();
+        assert!(re.is_match("payload=<item>v</item>;done"));
+        assert!(re.is_match("payload=<item/>;done"));
+        // without the parens this would match: `payload=<item.*</item>`
+        // alone (alternation absorbing the prefix/suffix).
+        assert!(!re.is_match("payload=<item>v</item>"));
+        assert!(!re.is_match("<item/>;done"));
+
+        let rep =
+            SigPat::Concat(vec![SigPat::Rep(Box::new(SigPat::Xml(Box::new(x)))), SigPat::lit("!")]);
+        let re = Regex::new(&rep.to_regex()).unwrap();
+        assert!(re.is_match("!"));
+        assert!(re.is_match("<item/><item>a</item>!"));
+        assert!(!re.is_match("<item/>"));
+    }
+
+    #[test]
+    fn structural_matches_basics() {
+        let sig = SigPat::Concat(vec![
+            SigPat::lit("http://h/talks/"),
+            SigPat::Unknown(TypeHint::Num),
+            SigPat::lit("/ad.json?b="),
+            SigPat::Unknown(TypeHint::Bool),
+        ]);
+        assert!(sig.matches("http://h/talks/2406/ad.json?b=true"));
+        assert!(sig.matches("http://h/talks/7/ad.json?b=false"));
+        assert!(!sig.matches("http://h/talks//ad.json?b=true"));
+        assert!(!sig.matches("http://h/talks/x/ad.json?b=true"));
+        assert!(!sig.matches("http://h/talks/2406/ad.json?b=maybe"));
+
+        let rep = SigPat::Concat(vec![
+            SigPat::lit("base?"),
+            SigPat::Rep(Box::new(SigPat::Concat(vec![
+                SigPat::lit("c="),
+                SigPat::Unknown(TypeHint::Num),
+                SigPat::lit("&"),
+            ]))),
+        ]);
+        assert!(rep.matches("base?"));
+        assert!(rep.matches("base?c=1&c=2&c=33&"));
+        assert!(!rep.matches("base?c=1"));
+
+        let json = SigPat::Concat(vec![SigPat::lit("data="), {
+            let mut o = JsonSig::object();
+            o.put("id", JsonSig::Value(Box::new(SigPat::Unknown(TypeHint::Num))));
+            SigPat::Json(o)
+        }]);
+        assert!(json.matches(r#"data={"id":"42"}"#));
+        assert!(!json.matches(r#"data={"other":"42"}"#));
+        assert!(!json.matches("data=notjson"));
+    }
+
+    #[test]
+    fn structural_match_agrees_with_compiled_regex() {
+        // Differential check on paper-shaped signatures: the structural
+        // matcher and the regexlite compilation must agree verdict-for-
+        // verdict, so the conformance oracle can use both engines.
+        let sigs = vec![
+            SigPat::Concat(vec![
+                SigPat::lit("http://www.reddit.com/search/.json?q="),
+                SigPat::any_str(),
+                SigPat::lit("&sort="),
+                SigPat::any_str(),
+            ]),
+            SigPat::Concat(vec![
+                SigPat::lit("https://h/talks/"),
+                SigPat::Unknown(TypeHint::Num),
+                SigPat::lit("/ad.json"),
+            ]),
+            SigPat::Or(vec![
+                SigPat::lit("GET /a"),
+                SigPat::Concat(vec![SigPat::lit("GET /b/"), SigPat::Unknown(TypeHint::Num)]),
+            ])
+            .normalize(),
+            SigPat::Concat(vec![
+                SigPat::lit("base?"),
+                SigPat::Rep(Box::new(SigPat::Concat(vec![
+                    SigPat::lit("count="),
+                    SigPat::any_str(),
+                    SigPat::lit("&"),
+                ]))),
+            ]),
+        ];
+        let inputs = [
+            "http://www.reddit.com/search/.json?q=cats&sort=top",
+            "http://www.reddit.com/r/all",
+            "https://h/talks/2406/ad.json",
+            "https://h/talks/late/ad.json",
+            "GET /a",
+            "GET /b/77",
+            "GET /b/x",
+            "base?",
+            "base?count=1&",
+            "base?count=1&count=2&",
+            "base?count=1",
+            "",
+        ];
+        for sig in &sigs {
+            let re = Regex::new(&sig.to_regex()).unwrap();
+            for input in inputs {
+                assert_eq!(
+                    sig.matches(input),
+                    re.is_match(input),
+                    "engines disagree on sig {:?} input {:?}",
+                    sig.display(),
+                    input
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn structural_match_budget_is_distinct_from_no_match() {
+        let sig = SigPat::Concat(vec![
+            SigPat::Rep(Box::new(SigPat::Or(vec![
+                SigPat::Unknown(TypeHint::Num),
+                SigPat::Concat(vec![SigPat::lit("q="), SigPat::any_str(), SigPat::lit("&")]),
+            ]))),
+            SigPat::lit("tail"),
+        ]);
+        let body = "q=cats&q=0&".repeat(200);
+        assert_eq!(sig.matches_budgeted(&body, 10), Err(BudgetExceeded { budget: 10 }));
+        assert_eq!(sig.matches_budgeted(&body, usize::MAX), Ok(false));
+        let ok = format!("{body}tail");
+        assert_eq!(sig.matches_budgeted(&ok, usize::MAX), Ok(true));
     }
 }

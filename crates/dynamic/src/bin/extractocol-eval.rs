@@ -1,0 +1,108 @@
+//! The `extractocol-eval` command-line tool: corpus-wide validation of the
+//! static pipeline against the dynamic interpreter.
+//!
+//! ```bash
+//! extractocol-eval --conformance                # oracle over every corpus app
+//! extractocol-eval --conformance --app "TED"    # one app only
+//! extractocol-eval --conformance --jobs 0       # one worker per core
+//! extractocol-eval --conformance-mutate         # seeded mutation self-test
+//! extractocol-eval --conformance-mutate --seed 7 --sites 3
+//! ```
+//!
+//! `--conformance` exits non-zero when any app yields a diagnostic;
+//! `--conformance-mutate` exits non-zero when the oracle detects < 90% of
+//! the seeded perturbations.
+
+use extractocol_dynamic::conformance::{conformance_check, mutation_self_test};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: extractocol-eval (--conformance | --conformance-mutate) \
+         [--app <name>] [--jobs <n>] [--seed <n>] [--sites <n>]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut conformance = false;
+    let mut mutate = false;
+    let mut app_filter: Option<String> = None;
+    let mut jobs = 1usize;
+    let mut seed = 0xE7_AC_0C_01u64;
+    let mut sites = 2usize;
+
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--conformance" => conformance = true,
+            "--conformance-mutate" => mutate = true,
+            "--app" => match it.next() {
+                Some(n) => app_filter = Some(n),
+                None => return usage(),
+            },
+            "--jobs" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => jobs = n,
+                None => return usage(),
+            },
+            "--seed" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => seed = n,
+                None => return usage(),
+            },
+            "--sites" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => sites = n,
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+    if conformance == mutate {
+        return usage();
+    }
+
+    let mut apps = extractocol_corpus::all_apps();
+    if let Some(name) = &app_filter {
+        apps.retain(|a| &a.truth.name == name);
+        if apps.is_empty() {
+            eprintln!("extractocol-eval: no corpus app named {name:?}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if conformance {
+        let mut dirty = 0usize;
+        for app in &apps {
+            let (_, conf) = conformance_check(app, jobs);
+            print!("{}", conf.to_text());
+            if !conf.is_clean() {
+                dirty += 1;
+            }
+        }
+        if dirty > 0 {
+            eprintln!("extractocol-eval: {dirty} app(s) with conformance diagnostics");
+            return ExitCode::FAILURE;
+        }
+        println!("conformance: all {} app(s) clean", apps.len());
+        return ExitCode::SUCCESS;
+    }
+
+    let summary = mutation_self_test(&apps, seed, sites, jobs);
+    print!("{}", summary.to_text());
+    if summary.total() == 0 {
+        eprintln!("extractocol-eval: no mutation sites found");
+        return ExitCode::FAILURE;
+    }
+    if summary.rate() < 0.9 {
+        eprintln!(
+            "extractocol-eval: detection rate {:.1}% below the 90% gate",
+            100.0 * summary.rate()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -23,12 +23,14 @@
 //! * [`replay`] — the §5.3 Kayak replay client built purely from
 //!   recovered signatures.
 
+pub mod conformance;
 pub mod eval;
 pub mod fuzz;
 pub mod interp;
 pub mod replay;
 pub mod trace;
 
+pub use conformance::{conformance_all, conformance_check, mutation_self_test, MutationSummary};
 pub use fuzz::{run_auto_fuzzer, run_manual_fuzzer, run_perfect_fuzzer};
 pub use interp::{Interpreter, RtError};
 pub use trace::TrafficTrace;

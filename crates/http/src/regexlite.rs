@@ -35,6 +35,30 @@ impl fmt::Display for RegexError {
 
 impl std::error::Error for RegexError {}
 
+/// Returned by the budgeted matchers when the step budget was exhausted
+/// before a definitive answer. This is *not* a non-match: callers that
+/// care about soundness (the conformance oracle) must treat it as
+/// "unknown" and surface it separately from a mismatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetExceeded {
+    /// The budget that was exhausted.
+    pub budget: usize,
+}
+
+impl fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "match step budget of {} exceeded", self.budget)
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+/// Default step budget for signature-conformance matching. The NFA
+/// simulation is `O(states × chars)`, so this comfortably covers every
+/// legitimate signature/message pair in the corpus while still bounding
+/// nested `(..)*` signatures (`rep{}`-of-`∨`) against megabyte bodies.
+pub const DEFAULT_MATCH_BUDGET: usize = 1 << 22;
+
 // ---------------------------------------------------------------------------
 // AST
 // ---------------------------------------------------------------------------
@@ -291,33 +315,51 @@ impl Regex {
 
     /// Whole-string (anchored) match.
     pub fn is_match(&self, text: &str) -> bool {
+        self.is_match_budgeted(text, usize::MAX).expect("unbounded budget cannot be exceeded")
+    }
+
+    /// Whole-string match under a step budget. Every state test and every
+    /// epsilon-closure expansion counts one step; when the budget runs out
+    /// before the answer is definitive, `Err(BudgetExceeded)` is returned —
+    /// deliberately distinct from `Ok(false)` so conformance checks never
+    /// mistake "ran out of fuel" for "does not match".
+    pub fn is_match_budgeted(&self, text: &str, budget: usize) -> Result<bool, BudgetExceeded> {
+        let mut steps: usize = 0;
         let mut current = Vec::new();
         let mut seen = vec![false; self.states.len()];
-        self.add_state(self.start, &mut current, &mut seen);
+        self.add_state(self.start, &mut current, &mut seen, &mut steps);
+        if steps > budget {
+            return Err(BudgetExceeded { budget });
+        }
         for c in text.chars() {
             let mut next = Vec::new();
             let mut seen_next = vec![false; self.states.len()];
             for &s in &current {
+                steps = steps.saturating_add(1);
                 if let Trans::Char(test, to) = &self.states[s] {
                     if test.matches(c) {
-                        self.add_state(*to, &mut next, &mut seen_next);
+                        self.add_state(*to, &mut next, &mut seen_next, &mut steps);
                     }
                 }
             }
+            if steps > budget {
+                return Err(BudgetExceeded { budget });
+            }
             current = next;
             if current.is_empty() {
-                return false;
+                return Ok(false);
             }
         }
-        current.iter().any(|&s| matches!(self.states[s], Trans::Accept))
+        Ok(current.iter().any(|&s| matches!(self.states[s], Trans::Accept)))
     }
 
     /// Length of the longest prefix of `text` this regex matches, if any
     /// prefix (including the empty one) matches.
     pub fn find_prefix(&self, text: &str) -> Option<usize> {
+        let mut steps = 0usize;
         let mut current = Vec::new();
         let mut seen = vec![false; self.states.len()];
-        self.add_state(self.start, &mut current, &mut seen);
+        self.add_state(self.start, &mut current, &mut seen, &mut steps);
         let mut best = if current.iter().any(|&s| matches!(self.states[s], Trans::Accept)) {
             Some(0)
         } else {
@@ -330,7 +372,7 @@ impl Regex {
             for &s in &current {
                 if let Trans::Char(test, to) = &self.states[s] {
                     if test.matches(c) {
-                        self.add_state(*to, &mut next, &mut seen_next);
+                        self.add_state(*to, &mut next, &mut seen_next, &mut steps);
                     }
                 }
             }
@@ -346,14 +388,15 @@ impl Regex {
         best
     }
 
-    fn add_state(&self, s: usize, into: &mut Vec<usize>, seen: &mut [bool]) {
+    fn add_state(&self, s: usize, into: &mut Vec<usize>, seen: &mut [bool], steps: &mut usize) {
         if seen[s] {
             return;
         }
         seen[s] = true;
+        *steps = steps.saturating_add(1);
         if let Trans::Eps(targets) = &self.states[s] {
             for &t in targets {
-                self.add_state(t, into, seen);
+                self.add_state(t, into, seen, steps);
             }
         } else {
             into.push(s);
@@ -463,6 +506,19 @@ impl Builder {
 
 /// Escapes a literal string so it matches itself when embedded in a
 /// pattern. Used by signature-to-regex compilation for constants.
+///
+/// Audited against the full metacharacter set of this engine (the
+/// `escape_literal_self_match` property test over printable ASCII keeps it
+/// honest): the characters with special meaning *outside* a character
+/// class are exactly `\ . * + ? ( ) [ ] |`, all escaped here. `{` and `}`
+/// are ordinary literals — this dialect has no bounded repetition — and
+/// `^`/`$` carry no anchor meaning (matching is always whole-string).
+/// `-` and `]` are special only *inside* `[...]` classes; escaped output
+/// is never embedded in a class position (class atoms are emitted
+/// directly by the type-hint compiler, never from user literals), and
+/// `]` is escaped anyway. Escaping a non-metacharacter would also be
+/// harmless (`\c` parses as the literal `c` unless `c` is `d`/`w`/`s`),
+/// but we keep the output minimal so compiled signatures stay readable.
 pub fn escape_literal(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -564,6 +620,66 @@ mod tests {
         assert!(Regex::new("*a").is_err());
         assert!(Regex::new("a\\").is_err());
         assert!(Regex::new("[z-a]").is_err());
+    }
+
+    #[test]
+    fn budget_exceeded_is_distinct_from_no_match() {
+        // The `rep{}`-of-`∨` shape signature building emits for nested
+        // accumulator loops: nested `(..)*` groups around an alternation.
+        let pathological = "((q=(cats|dogs|[0-9]+)&)*)*tail";
+        let r = Regex::new(pathological).unwrap();
+        let body: String = "q=cats&q=0&".repeat(2000);
+
+        // A starved budget yields a definitive BudgetExceeded, not a
+        // non-match verdict.
+        assert_eq!(r.is_match_budgeted(&body, 50), Err(BudgetExceeded { budget: 50 }));
+        // With fuel, the same input gets a real answer (no trailing
+        // "tail"), and the unbudgeted entry point agrees.
+        assert_eq!(r.is_match_budgeted(&body, DEFAULT_MATCH_BUDGET), Ok(false));
+        assert!(!r.is_match(&body));
+        let matching = format!("{body}tail");
+        assert_eq!(r.is_match_budgeted(&matching, DEFAULT_MATCH_BUDGET), Ok(true));
+        // Budgeted and unbudgeted matching agree on ordinary inputs.
+        assert_eq!(r.is_match_budgeted("q=dogs&tail", DEFAULT_MATCH_BUDGET), Ok(true));
+        assert_eq!(r.is_match_budgeted("q=frogs&tail", DEFAULT_MATCH_BUDGET), Ok(false));
+    }
+
+    #[test]
+    fn escape_literal_self_match_property() {
+        // Property: for any printable-ASCII string `s`,
+        // `Regex::new(escape_literal(s))` compiles and full-matches exactly
+        // `s` — no more, no less. Exercises every metacharacter (incl. `{`,
+        // `}`, `-`, `^`, `$`, and `]`) plus plain text.
+        let alphabet: Vec<char> = (0x20u8..0x7f).map(char::from).collect();
+        let mut rng = extractocol_ir::rng::Rng::new(0x5eed_e5ca_9e);
+        for _ in 0..300 {
+            let len = rng.below(24);
+            let s = rng.ascii_string(&alphabet, len);
+            let pat = escape_literal(&s);
+            let re = Regex::new(&pat)
+                .unwrap_or_else(|e| panic!("escape_literal({s:?}) -> {pat:?} failed: {e}"));
+            assert!(re.is_match(&s), "escape_literal({s:?}) -> {pat:?} must match itself");
+            // Strictness: a longer string must not match.
+            assert!(!re.is_match(&format!("{s}x")), "{pat:?} matched a proper super-string");
+            // A single-character perturbation must not match.
+            if !s.is_empty() {
+                let at = rng.below(s.len());
+                let orig = s.as_bytes()[at] as char;
+                let mut repl = *rng.pick(&alphabet);
+                if repl == orig {
+                    repl = if orig == 'z' { 'y' } else { 'z' };
+                }
+                let mut chars: Vec<char> = s.chars().collect();
+                chars[at] = repl;
+                let mutated: String = chars.into_iter().collect();
+                assert!(!re.is_match(&mutated), "{pat:?} matched perturbed {mutated:?}");
+            }
+        }
+        // The full metacharacter set in one deterministic round-trip.
+        let gauntlet = r"\.*+?()[]|{}-^$a0 ~";
+        let re = Regex::new(&escape_literal(gauntlet)).unwrap();
+        assert!(re.is_match(gauntlet));
+        assert!(!re.is_match(&gauntlet[1..]));
     }
 
     #[test]

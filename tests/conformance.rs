@@ -1,0 +1,74 @@
+//! The differential conformance oracle's corpus gates (ISSUE 3 tentpole):
+//!
+//! * **Clean corpus** — every statically extracted signature must conform
+//!   to the traffic the dynamic interpreter actually produces; zero
+//!   diagnostics across all 34 apps.
+//! * **Teeth** — seeded constant perturbations (in-repo PRNG) must be
+//!   flagged at ≥ 90%: an oracle that passes the clean corpus but misses
+//!   injected drift would be vacuous.
+
+use extractocol_dynamic::conformance::{conformance_check, mutation_self_test};
+
+#[test]
+fn corpus_is_conformant() {
+    for app in extractocol_corpus::all_apps() {
+        let (report, conf) = conformance_check(&app, 1);
+        assert!(
+            conf.is_clean(),
+            "{}: static signatures disagree with dynamic traffic\n{}",
+            app.truth.name,
+            conf.to_text()
+        );
+        assert_eq!(conf.signatures_checked, report.transactions.len(), "{}", app.truth.name);
+        assert!(conf.messages_checked > 0, "{}: empty trace", app.truth.name);
+        // The result is surfaced on the report's metrics.
+        assert_eq!(report.metrics.conformance.as_ref(), Some(&conf), "{}", app.truth.name);
+    }
+}
+
+#[test]
+fn orphan_messages_are_exactly_the_statically_invisible_traffic() {
+    // The oracle counts orphans informationally; on the calibrated corpus
+    // they must line up with the ground truth's raw-socket (statically
+    // invisible) transactions, scaled by how often the perfect fuzzer
+    // triggers each.
+    let mut saw_orphans = false;
+    for app in extractocol_corpus::all_apps() {
+        let (_, conf) = conformance_check(&app, 1);
+        let invisible = app.truth.txns.iter().filter(|t| !t.static_visible).count();
+        if invisible == 0 {
+            assert_eq!(
+                conf.orphan_messages, 0,
+                "{}: orphans without statically invisible ground-truth traffic",
+                app.truth.name
+            );
+        }
+        saw_orphans |= conf.orphan_messages > 0;
+    }
+    assert!(saw_orphans, "the corpus deliberately contains raw-socket ad/analytics traffic");
+}
+
+#[test]
+fn mutation_mode_detects_seeded_perturbations() {
+    let apps = extractocol_corpus::all_apps();
+    let summary = mutation_self_test(&apps, 0xE7_AC_0C_01, 2, 1);
+    assert!(summary.total() >= 30, "too few mutation sites seeded: {}", summary.total());
+    assert!(
+        summary.rate() >= 0.9,
+        "oracle detected only {:.1}% of seeded mutations:\n{}",
+        100.0 * summary.rate(),
+        summary.to_text()
+    );
+}
+
+#[test]
+fn mutation_run_is_deterministic() {
+    let app = extractocol_corpus::app("radio reddit").expect("corpus app");
+    let apps = std::slice::from_ref(&app);
+    let a = mutation_self_test(apps, 7, 3, 1);
+    let b = mutation_self_test(apps, 7, 3, 0);
+    assert_eq!(a.to_text(), b.to_text(), "mutation outcome depends on worker count");
+    let c = mutation_self_test(apps, 8, 3, 1);
+    // A different seed perturbs different characters (sites are the same).
+    assert_eq!(a.total(), c.total());
+}

@@ -99,6 +99,28 @@ fn pointsto_and_lints_identical_across_job_counts() {
     }
 }
 
+/// The conformance oracle obeys the same contract: its diagnostic text is
+/// byte-identical whether the analysis behind it ran sequentially or
+/// across every core (ISSUE 3 satellite: `--jobs 1` vs `--jobs 0`).
+#[test]
+fn conformance_output_identical_across_job_counts() {
+    use extractocol_dynamic::conformance::conformance_check;
+    for app in extractocol_corpus::open_source_apps()
+        .into_iter()
+        .chain(extractocol_corpus::closed_source_apps())
+    {
+        let (_, seq) = conformance_check(&app, 1);
+        let (_, par) = conformance_check(&app, 0);
+        assert_eq!(
+            seq.to_text(),
+            par.to_text(),
+            "{}: conformance output differs between jobs=1 and jobs=0",
+            app.truth.name
+        );
+        assert_eq!(seq, par, "{}: conformance reports differ structurally", app.truth.name);
+    }
+}
+
 /// Concurrency smoke test: one analyzer instance, many threads.
 #[test]
 fn analyzer_is_shareable_across_threads() {
