@@ -27,4 +27,9 @@ cargo run --release -q -p extractocol-dynamic --bin extractocol-eval -- --confor
 echo "==> conformance gate (mutation self-test)"
 cargo run --release -q -p extractocol-dynamic --bin extractocol-eval -- --conformance-mutate
 
+echo "==> serving gate (classify bench smoke: pruning bar + 2x throughput regression)"
+cargo run --release -q -p extractocol-serve --bin extractocol-serve -- \
+  bench --requests 50000 --jobs 0 \
+  --out BENCH_classify.json --baseline BENCH_classify.baseline.json
+
 echo "CI OK"

@@ -1,0 +1,57 @@
+//! Serving-pipeline throughput bench (ISSUE 4): compiles the 34-app
+//! corpus signature index and classifies tiled perfect-fuzzer traffic,
+//! comparing the trie-pruned path against brute-force linear scan and
+//! sequential against pooled batch classification. Writes
+//! `BENCH_classify.json` (the artifact CI regression-gates) when invoked
+//! with an output path argument.
+//!
+//! Run: `cargo bench -p extractocol-bench --bench classify [-- <out.json>]`
+
+use extractocol_bench::timing;
+use extractocol_serve::{bench as serve_bench, classify_batch, SignatureIndex};
+
+fn main() {
+    let out = std::env::args().nth(1);
+
+    let reports = serve_bench::corpus_reports(0);
+    let index = SignatureIndex::compile(&reports);
+    let base = serve_bench::corpus_requests();
+    let requests = serve_bench::tile_requests(&base, 20_000);
+    println!(
+        "index: {} signatures, {} trie nodes; {} base requests tiled to {}",
+        index.len(),
+        index.trie_nodes(),
+        base.len(),
+        requests.len()
+    );
+
+    // Trie-pruned vs brute-force single-request paths (over the base set,
+    // sequential — isolates the pruning win from pool throughput).
+    let pruned = timing::bench("classify/pruned_seq", 1, 5, || {
+        base.iter().map(|r| index.classify(r).0).collect::<Vec<_>>()
+    });
+    let brute = timing::bench("classify/brute_seq", 1, 5, || {
+        base.iter().map(|r| index.classify_brute(r).0).collect::<Vec<_>>()
+    });
+    println!("pruning speedup over brute force: {:.2}x", brute.speedup_over(&pruned));
+
+    // Batch path: sequential vs pooled.
+    let seq = timing::bench("classify/batch_jobs1", 1, 5, || classify_batch(&index, &requests, 1));
+    let par = timing::bench("classify/batch_jobs0", 1, 5, || classify_batch(&index, &requests, 0));
+    println!("pool speedup (jobs=auto over jobs=1): {:.2}x", seq.speedup_over(&par));
+
+    // The full benchmark report (the CI artifact).
+    let report = serve_bench::run(20_000, 0);
+    println!(
+        "throughput: {:.0} req/s, p50 {:.1}us, p99 {:.1}us, candidate frac {:.4}",
+        report.requests_per_sec,
+        report.p50_latency_us,
+        report.p99_latency_us,
+        report.stats.avg_candidate_fraction()
+    );
+    if let Some(path) = out {
+        std::fs::write(&path, format!("{}\n", report.to_json().to_json()))
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {path}");
+    }
+}

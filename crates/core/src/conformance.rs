@@ -218,7 +218,11 @@ fn dual_match(sig: &SigPat, re: &Regex, input: &str) -> Verdict {
 /// `body_matches`) for request bodies: constant form keys must be present,
 /// JSON/XML bodies must satisfy the tree signature, text signatures accept
 /// anything, and mismatched representation kinds fail.
-fn request_body_matches(sig: &BodySig, body: &Body) -> bool {
+///
+/// Public because the signature-serving classifier (`extractocol-serve`)
+/// applies the *same* body semantics to surviving candidates — a request
+/// must never classify differently under the oracle and under the index.
+pub fn request_body_matches(sig: &BodySig, body: &Body) -> bool {
     match (sig, body) {
         (BodySig::Form(pairs), Body::Form(concrete)) => pairs.iter().all(|(k, _)| {
             let structural = concrete.iter().any(|(ck, _)| k.matches(ck));

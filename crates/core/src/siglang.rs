@@ -136,6 +136,48 @@ impl SigPat {
         }
     }
 
+    /// The *mandatory* literal prefix of this pattern: the longest run of
+    /// constant bytes every matching string must start with. Matching is
+    /// whole-string anchored, so a leading `Const` run is a hard
+    /// requirement — the serving index keys its byte-trie on this.
+    ///
+    /// Extraction stops at the first `Or`, `Rep`, `Unknown`, `Json`, or
+    /// `Xml` part (any of them can begin the string with arbitrary bytes —
+    /// `Rep` matches zero iterations, `Or` arms diverge), **and** at the
+    /// first `%` byte inside a constant: `%`-escaped bytes are kept out of
+    /// the trie so percent-encoding-normalizing front ends can never be
+    /// pruned against raw signature bytes. Stopping early is always sound —
+    /// it only weakens pruning, never drops a match.
+    ///
+    /// A signature that starts with a variable part (e.g. a dynamically
+    /// derived host, `(.*)/path`) yields the empty prefix and lands in the
+    /// index's root fallback bucket rather than being dropped.
+    pub fn literal_prefix(&self) -> String {
+        fn walk(p: &SigPat, out: &mut String) -> bool {
+            match p {
+                SigPat::Const(s) => match s.find('%') {
+                    Some(i) => {
+                        out.push_str(&s[..i]);
+                        false
+                    }
+                    None => {
+                        out.push_str(s);
+                        true
+                    }
+                },
+                SigPat::Concat(items) => items.iter().all(|it| walk(it, out)),
+                SigPat::Or(_)
+                | SigPat::Rep(_)
+                | SigPat::Unknown(_)
+                | SigPat::Json(_)
+                | SigPat::Xml(_) => false,
+            }
+        }
+        let mut out = String::new();
+        walk(&self.clone().normalize(), &mut out);
+        out
+    }
+
     /// Top-level disjunction arms (after normalization): the distinct
     /// message patterns a signature covers. Table 1 counts these.
     pub fn disjuncts(&self) -> Vec<SigPat> {
@@ -942,6 +984,67 @@ mod tests {
         assert!(dtd.contains("<!ELEMENT vast (Ad)>"));
         assert!(dtd.contains("<!ATTLIST vast version CDATA #REQUIRED>"));
         assert_eq!(sig.keywords(), vec!["vast", "version", "Ad", "MediaFile"]);
+    }
+
+    #[test]
+    fn literal_prefix_stops_at_variable_parts() {
+        // Plain constant head: the whole leading run is the prefix.
+        let sig = SigPat::Concat(vec![
+            SigPat::lit("https://h/talks/"),
+            SigPat::Unknown(TypeHint::Num),
+            SigPat::lit("/ad.json"),
+        ]);
+        assert_eq!(sig.literal_prefix(), "https://h/talks/");
+
+        // Normalization merges adjacent constants before extraction.
+        let merged = SigPat::Concat(vec![SigPat::lit("http://"), SigPat::lit("host/api?q=")]);
+        assert_eq!(merged.literal_prefix(), "http://host/api?q=");
+
+        // Or: arms diverge, so extraction stops at the disjunction even
+        // when every arm shares a head byte.
+        let or = SigPat::Concat(vec![
+            SigPat::lit("http://h/"),
+            SigPat::Or(vec![SigPat::lit("cats"), SigPat::lit("dogs")]).normalize(),
+        ]);
+        assert_eq!(or.literal_prefix(), "http://h/");
+        // A top-level Or has no mandatory head at all.
+        let top = SigPat::Or(vec![SigPat::lit("http://a"), SigPat::lit("http://b")]).normalize();
+        assert_eq!(top.literal_prefix(), "");
+
+        // Rep matches zero iterations: nothing after it is mandatory.
+        let rep = SigPat::Concat(vec![
+            SigPat::lit("base?"),
+            SigPat::Rep(Box::new(SigPat::lit("id=1&"))),
+            SigPat::lit("end"),
+        ]);
+        assert_eq!(rep.literal_prefix(), "base?");
+    }
+
+    #[test]
+    fn literal_prefix_stops_at_percent_escapes() {
+        let sig = SigPat::Concat(vec![
+            SigPat::lit("https://h/search?q=a%20b&page="),
+            SigPat::Unknown(TypeHint::Num),
+        ]);
+        // Everything before the first `%` byte, nothing after.
+        assert_eq!(sig.literal_prefix(), "https://h/search?q=a");
+        // A constant *starting* with an escape contributes nothing.
+        assert_eq!(SigPat::lit("%7Bx%7D").literal_prefix(), "");
+    }
+
+    #[test]
+    fn literal_prefix_of_variable_host_is_empty() {
+        // Dynamically derived URI: `(.*)` — the Tables 3–4 `GET (.*)` rows.
+        assert_eq!(SigPat::any_str().literal_prefix(), "");
+        // Variable host with a constant path: still no mandatory head,
+        // so the serving index must file it under the root fallback
+        // bucket, not drop it.
+        let sig = SigPat::Concat(vec![SigPat::any_str(), SigPat::lit("/status.json")]);
+        assert_eq!(sig.literal_prefix(), "");
+        // Structured heads are variable too.
+        let mut o = JsonSig::object();
+        o.put("k", JsonSig::Unknown);
+        assert_eq!(SigPat::Json(o).literal_prefix(), "");
     }
 
     #[test]

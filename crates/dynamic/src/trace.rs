@@ -89,6 +89,112 @@ impl TrafficTrace {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Line-based request serialization (the serving subsystem's wire format)
+// ---------------------------------------------------------------------------
+
+impl TrafficTrace {
+    /// Serializes the trace's *requests* as one tab-separated line each:
+    ///
+    /// ```text
+    /// METHOD<TAB>URI[<TAB>MIME<TAB>BODY]
+    /// ```
+    ///
+    /// Blank lines and `#` comments are permitted in files. This is the
+    /// traffic source format of `extractocol-serve classify --traffic`;
+    /// responses are deliberately not serialized — classification is a
+    /// request-side workload. Bodies are rendered on one line (our JSON and
+    /// XML writers never emit newlines; binary bodies serialize as their
+    /// byte length).
+    pub fn to_request_text(&self) -> String {
+        let mut out = String::new();
+        for t in &self.transactions {
+            let req = &t.request;
+            out.push_str(req.method.as_str());
+            out.push('\t');
+            out.push_str(&req.uri.to_uri_string());
+            match &req.body {
+                Body::Empty => {}
+                Body::Binary(n) => {
+                    out.push('\t');
+                    out.push_str(req.body.mime());
+                    out.push('\t');
+                    out.push_str(&n.to_string());
+                }
+                other => {
+                    out.push('\t');
+                    out.push_str(other.mime());
+                    out.push('\t');
+                    out.push_str(&other.to_bytes_string());
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the [`TrafficTrace::to_request_text`] format back into a
+    /// trace. Responses come back empty (`200`, no body): the format
+    /// carries exactly what a classifier consumes. Returns a line-anchored
+    /// error on malformed input.
+    pub fn parse_request_text(app: &str, text: &str) -> Result<TrafficTrace, String> {
+        let mut transactions = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim_end_matches('\r');
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut fields = line.split('\t');
+            let method_str = fields.next().unwrap_or("");
+            let method = HttpMethod::parse(method_str)
+                .ok_or_else(|| format!("line {}: unknown method {:?}", lineno + 1, method_str))?;
+            let uri = fields
+                .next()
+                .filter(|u| !u.is_empty())
+                .ok_or_else(|| format!("line {}: missing URI", lineno + 1))?;
+            let body = match (fields.next(), fields.next()) {
+                (None, _) => Body::Empty,
+                (Some(mime), Some(raw)) => {
+                    parse_body(mime, raw).map_err(|e| format!("line {}: {e}", lineno + 1))?
+                }
+                (Some(_), None) => {
+                    return Err(format!("line {}: MIME without a body field", lineno + 1))
+                }
+            };
+            transactions.push(Transaction {
+                request: extractocol_http::Request {
+                    method,
+                    uri: extractocol_http::Uri::parse(uri),
+                    headers: Default::default(),
+                    body,
+                },
+                response: extractocol_http::Response::ok(Body::Empty),
+            });
+        }
+        Ok(TrafficTrace { app: app.to_string(), transactions })
+    }
+}
+
+/// Decodes one serialized body field by its MIME tag.
+fn parse_body(mime: &str, raw: &str) -> Result<Body, String> {
+    match mime {
+        "application/x-www-form-urlencoded" => {
+            Ok(Body::Form(extractocol_http::uri::parse_query(raw)))
+        }
+        "application/json" => extractocol_http::JsonValue::parse(raw)
+            .map(Body::Json)
+            .map_err(|e| format!("bad JSON body: {e:?}")),
+        "application/xml" => extractocol_http::XmlElement::parse(raw)
+            .map(Body::Xml)
+            .map_err(|e| format!("bad XML body: {e:?}")),
+        "text/plain" => Ok(Body::Text(raw.to_string())),
+        "application/octet-stream" => {
+            raw.parse::<usize>().map(Body::Binary).map_err(|_| format!("bad binary length {raw:?}"))
+        }
+        other => Err(format!("unknown MIME {other:?}")),
+    }
+}
+
 /// Which trace transactions a static transaction signature matches.
 pub fn matching_transactions<'t>(txn: &TxnReport, trace: &'t TrafficTrace) -> Vec<&'t Transaction> {
     let Ok(re) = Regex::new(&txn.uri_regex) else { return Vec::new() };
@@ -333,6 +439,53 @@ mod tests {
         assert!(req.contains("user") && req.contains("passwd") && req.contains("api_type"));
         let resp = t.response_keywords();
         assert!(resp.contains("modhash") && resp.contains("cookie"));
+    }
+
+    #[test]
+    fn request_text_round_trips_every_body_kind() {
+        let mk = |body: Body| Transaction {
+            request: Request {
+                method: HttpMethod::Post,
+                uri: extractocol_http::Uri::parse("https://h/api?x=1"),
+                headers: Default::default(),
+                body,
+            },
+            response: Response::ok(Body::Json(
+                extractocol_http::JsonValue::parse(r#"{"ignored":1}"#).unwrap(),
+            )),
+        };
+        let trace = TrafficTrace {
+            app: "rt".into(),
+            transactions: vec![
+                Transaction {
+                    request: Request::get("https://h/plain"),
+                    response: Response::ok(Body::Empty),
+                },
+                mk(Body::Form(vec![("user".into(), "bob".into()), ("uh".into(), "h".into())])),
+                mk(Body::Json(extractocol_http::JsonValue::parse(r#"{"id":"42"}"#).unwrap())),
+                mk(Body::Xml(extractocol_http::XmlElement::parse("<q><a>1</a></q>").unwrap())),
+                mk(Body::Text("raw payload".into())),
+                mk(Body::Binary(16)),
+            ],
+        };
+        let text = trace.to_request_text();
+        let parsed = TrafficTrace::parse_request_text("rt", &text).unwrap();
+        assert_eq!(parsed.transactions.len(), trace.transactions.len());
+        for (orig, back) in trace.transactions.iter().zip(&parsed.transactions) {
+            assert_eq!(orig.request.method, back.request.method);
+            assert_eq!(orig.request.uri.to_uri_string(), back.request.uri.to_uri_string());
+            assert_eq!(orig.request.body, back.request.body);
+            // Responses are intentionally not carried.
+            assert_eq!(back.response.body, Body::Empty);
+        }
+        // Comments and blank lines are tolerated; garbage is anchored.
+        let commented = format!("# header\n\n{text}");
+        assert_eq!(
+            TrafficTrace::parse_request_text("rt", &commented).unwrap().transactions.len(),
+            trace.transactions.len()
+        );
+        let err = TrafficTrace::parse_request_text("rt", "FETCH https://h/x").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
     }
 
     #[test]

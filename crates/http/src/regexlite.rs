@@ -17,6 +17,25 @@
 //! variant used for byte-attribution metrics. Construction is Thompson's
 //! algorithm; matching is the standard simultaneous-state simulation, so
 //! both are linear — no backtracking blowups on adversarial bodies.
+//!
+//! **Empty-pattern semantics** (pinned; the traffic classifier hits this
+//! edge constantly with empty header values and empty query components):
+//! the empty pattern `""` compiles successfully and denotes the language
+//! `{""}` under full anchored matching — it matches the empty input and
+//! *nothing else*. Symmetrically, a non-nullable pattern does not match
+//! the empty input. The cost of the empty-input verdict never scales with
+//! the pattern's language: it is exactly one start-closure construction
+//! (a handful of budget steps), so any budget that admits the closure
+//! yields a definitive answer.
+//!
+//! **Candidate short-circuit**: compilation precomputes the regex's
+//! *required literal prefix* — the longest byte run every accepted string
+//! must start with, read off the NFA by following single-successor literal
+//! states from the start closure. Anchored matching rejects in O(prefix)
+//! without simulating the NFA when the input doesn't start with it
+//! ([`Regex::required_prefix`]); the signature-serving index uses the same
+//! prefix notion (on the signature side) to prune candidates before any
+//! matcher runs.
 
 use std::fmt;
 
@@ -291,6 +310,44 @@ pub struct Regex {
     pattern: String,
     states: Vec<Trans>,
     start: usize,
+    /// Longest literal run every accepted string must start with — the
+    /// anchored-match short-circuit (see module docs).
+    required_prefix: String,
+}
+
+/// Cap on the precomputed required prefix: long enough for any corpus
+/// host + path head, short enough that computing it stays negligible.
+const REQUIRED_PREFIX_CAP: usize = 128;
+
+/// Follows single-successor literal states from `start` to recover the
+/// mandatory literal prefix of the automaton's language. Conservative:
+/// stops at the first branch (closure with ≠ 1 concrete state), at an
+/// accepting state, and at any non-literal character test.
+fn compute_required_prefix(states: &[Trans], start: usize) -> String {
+    let mut prefix = String::new();
+    let mut cur = start;
+    while prefix.len() < REQUIRED_PREFIX_CAP {
+        let mut stack = vec![cur];
+        let mut seen = vec![false; states.len()];
+        let mut concrete = Vec::new();
+        while let Some(s) = stack.pop() {
+            if seen[s] {
+                continue;
+            }
+            seen[s] = true;
+            match &states[s] {
+                Trans::Eps(targets) => stack.extend(targets.iter().copied()),
+                _ => concrete.push(s),
+            }
+        }
+        // A branch, an accepting state, or a wildcard/class head ends the
+        // mandatory run.
+        let [only] = concrete.as_slice() else { break };
+        let Trans::Char(CharTest::Lit(c), to) = &states[*only] else { break };
+        prefix.push(*c);
+        cur = *to;
+    }
+    prefix
 }
 
 impl Regex {
@@ -305,12 +362,25 @@ impl Regex {
         let frag = b.compile(&ast);
         let accept = b.push(Trans::Accept);
         b.patch(frag.out, accept);
-        Ok(Regex { pattern: pattern.to_string(), states: b.states, start: frag.start })
+        let required_prefix = compute_required_prefix(&b.states, frag.start);
+        Ok(Regex {
+            pattern: pattern.to_string(),
+            states: b.states,
+            start: frag.start,
+            required_prefix,
+        })
     }
 
     /// The original pattern text.
     pub fn pattern(&self) -> &str {
         &self.pattern
+    }
+
+    /// The literal prefix every accepted string must start with (possibly
+    /// empty). Anchored matching uses it as an O(prefix) reject before any
+    /// NFA simulation; index builders can use it to bucket candidates.
+    pub fn required_prefix(&self) -> &str {
+        &self.required_prefix
     }
 
     /// Whole-string (anchored) match.
@@ -324,6 +394,12 @@ impl Regex {
     /// deliberately distinct from `Ok(false)` so conformance checks never
     /// mistake "ran out of fuel" for "does not match".
     pub fn is_match_budgeted(&self, text: &str, budget: usize) -> Result<bool, BudgetExceeded> {
+        // Candidate short-circuit: an anchored match must start with the
+        // required literal prefix. Rejecting here is definitive (never a
+        // budget question), and strictly cheaper than the simulation.
+        if !self.required_prefix.is_empty() && !text.starts_with(&self.required_prefix) {
+            return Ok(false);
+        }
         let mut steps: usize = 0;
         let mut current = Vec::new();
         let mut seen = vec![false; self.states.len()];
@@ -610,6 +686,60 @@ mod tests {
         let opt = Regex::new("(x)?").unwrap();
         assert_eq!(opt.find_prefix("yz"), Some(0));
         assert_eq!(opt.find_prefix("xz"), Some(1));
+    }
+
+    #[test]
+    fn empty_pattern_is_a_full_anchored_match_of_the_empty_string() {
+        // Pinned semantics (see module docs): `""` denotes exactly {""}.
+        let empty = Regex::new("").unwrap();
+        assert!(empty.is_match(""));
+        assert!(!empty.is_match("a"));
+        assert!(!empty.is_match(" "));
+        assert_eq!(empty.is_match_budgeted("", usize::MAX), Ok(true));
+        assert_eq!(empty.is_match_budgeted("x", usize::MAX), Ok(false));
+        // Nullable-but-nonempty patterns agree with the empty pattern on
+        // the empty input; mandatory patterns reject it.
+        assert!(m(".*", ""));
+        assert!(m("(x)?", ""));
+        assert!(m("()", ""));
+        assert!(!m("a", ""));
+        assert!(!m("[0-9]+", ""));
+        // Prefix matching on the empty pattern: the empty prefix matches.
+        assert_eq!(empty.find_prefix("abc"), Some(0));
+        assert_eq!(empty.find_prefix(""), Some(0));
+    }
+
+    #[test]
+    fn empty_pattern_verdict_is_budget_free() {
+        // A tiny-but-nonzero budget suffices for the empty/empty pair:
+        // the whole match is one start-state insertion.
+        let empty = Regex::new("").unwrap();
+        assert_eq!(empty.is_match_budgeted("", 2), Ok(true));
+    }
+
+    #[test]
+    fn required_prefix_is_computed_and_sound() {
+        assert_eq!(Regex::new("abc").unwrap().required_prefix(), "abc");
+        assert_eq!(Regex::new("http://h/a\\.json").unwrap().required_prefix(), "http://h/a.json");
+        // Wildcards, classes, and alternation end the mandatory run.
+        assert_eq!(Regex::new("ab.*cd").unwrap().required_prefix(), "ab");
+        assert_eq!(Regex::new("a[0-9]+").unwrap().required_prefix(), "a");
+        assert_eq!(Regex::new("(ab|ac)").unwrap().required_prefix(), "");
+        // A star head is optional, so nothing is mandatory.
+        assert_eq!(Regex::new("(ab)*c").unwrap().required_prefix(), "");
+        // A plus head *is* mandatory up to its first literal run.
+        assert_eq!(Regex::new("(ab)+c").unwrap().required_prefix(), "ab");
+        assert_eq!(Regex::new("").unwrap().required_prefix(), "");
+        assert_eq!(Regex::new(".*").unwrap().required_prefix(), "");
+
+        // Soundness: the short-circuit path and the simulation agree.
+        let r = Regex::new("http://h/api\\?q=.*").unwrap();
+        assert_eq!(r.required_prefix(), "http://h/api?q=");
+        assert!(r.is_match("http://h/api?q=cats"));
+        assert!(!r.is_match("https://h/api?q=cats"));
+        // A mismatching prefix is a definitive Ok(false) under any budget,
+        // never BudgetExceeded.
+        assert_eq!(r.is_match_budgeted("nope://elsewhere", 1), Ok(false));
     }
 
     #[test]

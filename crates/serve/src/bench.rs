@@ -1,0 +1,171 @@
+//! Corpus-driven throughput benchmark for the serving pipeline.
+//!
+//! Builds the full 34-app signature index (static analysis of every
+//! corpus app), harvests the perfect-fuzzer request set, tiles it out to
+//! the requested request count, and measures:
+//!
+//! * batch throughput (requests/sec) on the trie-pruned path,
+//! * single-request p50/p99 latency (sequential, no pool overhead),
+//! * candidate-set telemetry (avg/max, candidate and structural-eval
+//!   fractions) — the numbers backing the "≤ 20% of signatures reach the
+//!   structural matcher" acceptance bar.
+//!
+//! The emitted JSON (`BENCH_classify.json`) is what CI regression-gates
+//! against the checked-in baseline.
+
+use crate::classify::{classify_batch, ClassifyStats};
+use crate::index::SignatureIndex;
+use extractocol_core::report::AnalysisReport;
+use extractocol_http::{JsonValue, Request};
+use std::time::Instant;
+
+/// Analyzes every corpus app and returns the reports in corpus order
+/// (deterministic, so the compiled index is too).
+pub fn corpus_reports(jobs: usize) -> Vec<AnalysisReport> {
+    extractocol_corpus::all_apps()
+        .iter()
+        .map(|app| {
+            extractocol_dynamic::conformance::analyze_app(&app.apk, app.truth.open_source, jobs)
+        })
+        .collect()
+}
+
+/// The perfect-fuzzer request set of every corpus app, in corpus order.
+pub fn corpus_requests() -> Vec<Request> {
+    extractocol_corpus::all_apps()
+        .iter()
+        .flat_map(|app| {
+            extractocol_dynamic::run_perfect_fuzzer(app).transactions.into_iter().map(|t| t.request)
+        })
+        .collect()
+}
+
+/// Result of one benchmark run.
+#[derive(Clone, Debug)]
+pub struct BenchReport {
+    /// Requests classified in the timed batch run.
+    pub requests: usize,
+    /// Compiled signatures in the index.
+    pub signatures: usize,
+    /// Trie nodes in the index.
+    pub trie_nodes: usize,
+    /// Worker count used for the batch run.
+    pub jobs: usize,
+    /// Batch wall-clock in seconds.
+    pub elapsed_secs: f64,
+    /// Requests per second over the batch run.
+    pub requests_per_sec: f64,
+    /// Single-request latency, 50th percentile (microseconds).
+    pub p50_latency_us: f64,
+    /// Single-request latency, 99th percentile (microseconds).
+    pub p99_latency_us: f64,
+    /// Batch stats (candidate telemetry, match counts).
+    pub stats: ClassifyStats,
+}
+
+impl BenchReport {
+    /// Serializes the report for `BENCH_classify.json`.
+    pub fn to_json(&self) -> JsonValue {
+        let mut o = JsonValue::object();
+        o.insert("requests", JsonValue::num(self.requests as f64));
+        o.insert("signatures", JsonValue::num(self.signatures as f64));
+        o.insert("trie_nodes", JsonValue::num(self.trie_nodes as f64));
+        o.insert("jobs", JsonValue::num(self.jobs as f64));
+        o.insert("elapsed_secs", JsonValue::num(self.elapsed_secs));
+        o.insert("requests_per_sec", JsonValue::num(self.requests_per_sec));
+        o.insert("p50_latency_us", JsonValue::num(self.p50_latency_us));
+        o.insert("p99_latency_us", JsonValue::num(self.p99_latency_us));
+        o.insert("avg_candidates", JsonValue::num(self.stats.avg_candidates()));
+        o.insert("max_candidates", JsonValue::num(self.stats.max_candidates as f64));
+        o.insert("avg_candidate_fraction", JsonValue::num(self.stats.avg_candidate_fraction()));
+        o.insert("avg_eval_fraction", JsonValue::num(self.stats.avg_eval_fraction()));
+        o.insert("matched", JsonValue::num(self.stats.matched as f64));
+        o.insert("unmatched", JsonValue::num(self.stats.unmatched as f64));
+        o.insert("budget_exhausted", JsonValue::num(self.stats.budget_exhausted as f64));
+        o
+    }
+}
+
+/// Tiles the corpus request set out to exactly `n` requests.
+pub fn tile_requests(base: &[Request], n: usize) -> Vec<Request> {
+    assert!(!base.is_empty(), "no base requests to tile");
+    base.iter().cycle().take(n).cloned().collect()
+}
+
+/// Runs the benchmark: compiles the corpus index, classifies `requests_n`
+/// tiled fuzzer requests on `jobs` workers, and samples single-request
+/// latency over (up to) 10k requests.
+pub fn run(requests_n: usize, jobs: usize) -> BenchReport {
+    let reports = corpus_reports(jobs);
+    let index = SignatureIndex::compile(&reports);
+    let base = corpus_requests();
+    let requests = tile_requests(&base, requests_n);
+
+    let t = Instant::now();
+    let (_, stats) = classify_batch(&index, &requests, jobs);
+    let elapsed = t.elapsed().as_secs_f64();
+
+    // Latency sampling: sequential, one timer per request.
+    let sample = &requests[..requests.len().min(10_000)];
+    let mut lat_us: Vec<f64> = sample
+        .iter()
+        .map(|req| {
+            let t = Instant::now();
+            std::hint::black_box(index.classify(req));
+            t.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    lat_us.sort_unstable_by(|a, b| a.total_cmp(b));
+    let pct = |p: f64| -> f64 {
+        if lat_us.is_empty() {
+            return 0.0;
+        }
+        let i = ((lat_us.len() - 1) as f64 * p).round() as usize;
+        lat_us[i]
+    };
+
+    BenchReport {
+        requests: requests.len(),
+        signatures: index.len(),
+        trie_nodes: index.trie_nodes(),
+        jobs,
+        elapsed_secs: elapsed,
+        requests_per_sec: if elapsed > 0.0 { requests.len() as f64 / elapsed } else { 0.0 },
+        p50_latency_us: pct(0.50),
+        p99_latency_us: pct(0.99),
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiling_repeats_the_base_set() {
+        let base = vec![Request::get("http://h/a"), Request::get("http://h/b")];
+        let tiled = tile_requests(&base, 5);
+        assert_eq!(tiled.len(), 5);
+        assert_eq!(tiled[0].uri.raw, "http://h/a");
+        assert_eq!(tiled[4].uri.raw, "http://h/a");
+    }
+
+    #[test]
+    fn bench_report_json_is_well_formed() {
+        let report = BenchReport {
+            requests: 100,
+            signatures: 10,
+            trie_nodes: 42,
+            jobs: 2,
+            elapsed_secs: 0.5,
+            requests_per_sec: 200.0,
+            p50_latency_us: 3.0,
+            p99_latency_us: 9.0,
+            stats: ClassifyStats::default(),
+        };
+        let text = report.to_json().to_json();
+        let parsed = JsonValue::parse(&text).expect("valid JSON");
+        assert_eq!(parsed.get("requests_per_sec").and_then(|v| v.as_num()), Some(200.0));
+        assert!(parsed.get("avg_eval_fraction").is_some());
+    }
+}

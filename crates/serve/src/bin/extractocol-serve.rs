@@ -1,0 +1,279 @@
+//! The `extractocol-serve` command-line tool: compile signatures into the
+//! serving index and classify traffic, or benchmark the serving pipeline.
+//!
+//! ```bash
+//! # Classify a traffic file against signatures extracted from apps:
+//! extractocol-serve classify --report app.jimple --traffic requests.txt
+//! extractocol-serve classify --corpus --traffic requests.txt --jobs 0
+//! extractocol-serve classify --app "TED" --traffic requests.txt --json
+//!
+//! # Throughput benchmark over the corpus fuzzer traffic:
+//! extractocol-serve bench --requests 50000 --jobs 0 --out BENCH_classify.json
+//! extractocol-serve bench --requests 50000 --baseline BENCH_classify.baseline.json
+//! ```
+//!
+//! The traffic file is line-based, one request per line —
+//! `METHOD<TAB>URI[<TAB>MIME<TAB>BODY]` with `#` comments (the
+//! `TrafficTrace::to_request_text` format).
+//!
+//! `bench --baseline` exits non-zero when measured throughput falls more
+//! than 2x below the baseline's `requests_per_sec`, or when the average
+//! candidate fraction exceeds the 20% pruning bar.
+
+use extractocol_serve::bench as serve_bench;
+use extractocol_serve::{classify_batch, SignatureIndex, Verdict};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: extractocol-serve classify (--report <app.jimple> ... | --corpus | --app <name>) \
+         --traffic <file> [--jobs <n>] [--json]\n       \
+         extractocol-serve bench [--requests <n>] [--jobs <n>] [--out <file>] \
+         [--baseline <file>]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("classify") => cmd_classify(args.collect()),
+        Some("bench") => cmd_bench(args.collect()),
+        Some("--help") | Some("-h") => {
+            usage();
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}
+
+fn cmd_classify(args: Vec<String>) -> ExitCode {
+    let mut report_paths: Vec<String> = Vec::new();
+    let mut use_corpus = false;
+    let mut app_filter: Option<String> = None;
+    let mut traffic: Option<String> = None;
+    let mut jobs = 1usize;
+    let mut json_out = false;
+
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--report" => match it.next() {
+                Some(p) => report_paths.push(p),
+                None => return usage(),
+            },
+            "--corpus" => use_corpus = true,
+            "--app" => match it.next() {
+                Some(n) => app_filter = Some(n),
+                None => return usage(),
+            },
+            "--traffic" => match it.next() {
+                Some(p) => traffic = Some(p),
+                None => return usage(),
+            },
+            "--jobs" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => jobs = n,
+                None => return usage(),
+            },
+            "--json" => json_out = true,
+            _ => return usage(),
+        }
+    }
+    let Some(traffic_path) = traffic else { return usage() };
+    if report_paths.is_empty() && !use_corpus && app_filter.is_none() {
+        return usage();
+    }
+
+    // Build the report set: explicit jimple files, the whole corpus, or
+    // one corpus app by name.
+    let mut reports = Vec::new();
+    for path in &report_paths {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("extractocol-serve: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let apk = match extractocol_ir::parser::parse_apk(&src) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("extractocol-serve: {path}: parse error at {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        reports.push(extractocol_dynamic::conformance::analyze_app(&apk, false, jobs));
+    }
+    if use_corpus || app_filter.is_some() {
+        let mut apps = extractocol_corpus::all_apps();
+        if let Some(name) = &app_filter {
+            apps.retain(|a| &a.truth.name == name);
+            if apps.is_empty() {
+                eprintln!("extractocol-serve: no corpus app named {name:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+        for app in &apps {
+            reports.push(extractocol_dynamic::conformance::analyze_app(
+                &app.apk,
+                app.truth.open_source,
+                jobs,
+            ));
+        }
+    }
+    let index = SignatureIndex::compile(&reports);
+
+    let text = match std::fs::read_to_string(&traffic_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("extractocol-serve: cannot read {traffic_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace = match extractocol_dynamic::TrafficTrace::parse_request_text("traffic", &text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("extractocol-serve: {traffic_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let requests: Vec<_> = trace.transactions.into_iter().map(|t| t.request).collect();
+    let (verdicts, stats) = classify_batch(&index, &requests, jobs);
+
+    if json_out {
+        use extractocol_http::JsonValue;
+        let mut o = JsonValue::object();
+        let rows: Vec<JsonValue> = verdicts
+            .iter()
+            .zip(&requests)
+            .map(|(v, req)| {
+                let mut row = JsonValue::object();
+                row.insert("method", JsonValue::str(req.method.as_str()));
+                row.insert("uri", JsonValue::str(&req.uri.raw));
+                match v {
+                    Verdict::Match(id) => {
+                        let sig = index.sig(*id);
+                        row.insert("app", JsonValue::str(&sig.app));
+                        row.insert("txn", JsonValue::num(sig.txn_id as f64));
+                        row.insert("dp", JsonValue::str(&sig.dp_class));
+                    }
+                    Verdict::Unmatched => {
+                        row.insert("unmatched", JsonValue::Bool(true));
+                    }
+                }
+                row
+            })
+            .collect();
+        o.insert("verdicts", JsonValue::Array(rows));
+        o.insert("matched", JsonValue::num(stats.matched as f64));
+        o.insert("unmatched", JsonValue::num(stats.unmatched as f64));
+        println!("{}", o.to_json());
+    } else {
+        for (v, req) in verdicts.iter().zip(&requests) {
+            match v {
+                Verdict::Match(id) => {
+                    let sig = index.sig(*id);
+                    println!(
+                        "{} {} -> {} #{} ({})",
+                        req.method, req.uri.raw, sig.app, sig.txn_id, sig.dp_class
+                    );
+                }
+                Verdict::Unmatched => println!("{} {} -> unmatched", req.method, req.uri.raw),
+            }
+        }
+        print!("{}", stats.to_text());
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_bench(args: Vec<String>) -> ExitCode {
+    let mut requests = 50_000usize;
+    let mut jobs = 0usize;
+    let mut out: Option<String> = None;
+    let mut baseline: Option<String> = None;
+
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--requests" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => requests = n,
+                None => return usage(),
+            },
+            "--jobs" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => jobs = n,
+                None => return usage(),
+            },
+            "--out" => match it.next() {
+                Some(p) => out = Some(p),
+                None => return usage(),
+            },
+            "--baseline" => match it.next() {
+                Some(p) => baseline = Some(p),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    let report = serve_bench::run(requests, jobs);
+    let json = report.to_json().to_json();
+    println!(
+        "classified {} requests against {} signatures: {:.0} req/s \
+         (p50 {:.1}us, p99 {:.1}us, avg candidates {:.2}, candidate frac {:.4})",
+        report.requests,
+        report.signatures,
+        report.requests_per_sec,
+        report.p50_latency_us,
+        report.p99_latency_us,
+        report.stats.avg_candidates(),
+        report.stats.avg_candidate_fraction(),
+    );
+    if let Some(path) = &out {
+        if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+            eprintln!("extractocol-serve: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if report.stats.avg_candidate_fraction() > 0.20 {
+        eprintln!(
+            "extractocol-serve: candidate fraction {:.4} exceeds the 20% pruning bar",
+            report.stats.avg_candidate_fraction()
+        );
+        return ExitCode::FAILURE;
+    }
+    if let Some(path) = &baseline {
+        let base = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("extractocol-serve: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let parsed = match extractocol_http::JsonValue::parse(&base) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("extractocol-serve: {path}: invalid JSON: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let Some(base_rps) = parsed.get("requests_per_sec").and_then(|v| v.as_num()) else {
+            eprintln!("extractocol-serve: {path}: missing requests_per_sec");
+            return ExitCode::FAILURE;
+        };
+        if report.requests_per_sec < base_rps / 2.0 {
+            eprintln!(
+                "extractocol-serve: throughput {:.0} req/s regressed more than 2x below \
+                 baseline {base_rps:.0} req/s",
+                report.requests_per_sec
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "baseline check: {:.0} req/s vs baseline {base_rps:.0} req/s (gate: > {:.0})",
+            report.requests_per_sec,
+            base_rps / 2.0
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,29 @@
+//! # extractocol-serve
+//!
+//! The signature-serving subsystem: takes the [`AnalysisReport`]s the
+//! static pipeline extracts (§4–§5 of the paper) and turns them into a
+//! deployable artifact — a compiled [`SignatureIndex`] that classifies
+//! live HTTP traffic back to `(app, transaction, demarcation point)`
+//! provenance at high throughput. This is the paper's "network management
+//! / signature-based filtering" use case (§2, §7) made concrete.
+//!
+//! Three layers:
+//!
+//! * [`index`] — the immutable compiled index: a byte-trie over mandatory
+//!   literal URI prefixes prunes the candidate set before the structural
+//!   matcher runs; verdicts are deterministic and brute-force-equivalent.
+//! * [`classify`] — batch classification on the `core::par` worker pool
+//!   with fixed-size shards and order-independent stat merging, so
+//!   results are byte-identical across `jobs` settings.
+//! * [`bench`] — the corpus-driven throughput benchmark behind
+//!   `extractocol-serve bench` and CI's `BENCH_classify.json` gate.
+//!
+//! [`AnalysisReport`]: extractocol_core::report::AnalysisReport
+
+pub mod bench;
+pub mod classify;
+pub mod index;
+
+pub use bench::BenchReport;
+pub use classify::{classify_batch, ClassifyStats};
+pub use index::{CompiledSig, Probe, SignatureIndex, Verdict};

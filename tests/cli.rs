@@ -165,3 +165,84 @@ fn cli_rejects_garbage_input() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("parse error"));
 }
+
+fn serve_cli() -> Command {
+    let mut path = std::env::current_exe().expect("test exe path");
+    path.pop(); // deps/
+    path.pop(); // debug|release/
+    path.push(format!("extractocol-serve{}", std::env::consts::EXE_SUFFIX));
+    Command::new(path)
+}
+
+#[test]
+fn serve_cli_classifies_a_traffic_file() {
+    // Serialize an app's own fuzzer traffic to the wire format and
+    // classify it against that app's signatures — everything must match
+    // and carry provenance.
+    let app = extractocol_corpus::app("radio reddit").expect("corpus app");
+    let trace = extractocol_dynamic::run_perfect_fuzzer(&app);
+    let mut traffic = std::env::temp_dir();
+    traffic.push("extractocol-serve-cli-traffic.txt");
+    std::fs::write(&traffic, trace.to_request_text()).unwrap();
+
+    let out = serve_cli()
+        .args(["classify", "--app", "radio reddit", "--traffic"])
+        .arg(&traffic)
+        .output()
+        .expect("run extractocol-serve");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("-> radio reddit #"), "{stdout}");
+    assert!(stdout.contains("unmatched:         0"), "{stdout}");
+
+    // JSON mode carries the same verdicts, machine-readably.
+    let out = serve_cli()
+        .args(["classify", "--app", "radio reddit", "--json", "--traffic"])
+        .arg(&traffic)
+        .output()
+        .expect("run extractocol-serve");
+    assert!(out.status.success());
+    let v = extractocol_http::JsonValue::parse(&String::from_utf8_lossy(&out.stdout))
+        .expect("well-formed JSON");
+    assert_eq!(v.get("unmatched").and_then(|n| n.as_num()), Some(0.0));
+    let row = v.get("verdicts").unwrap().at(0).unwrap();
+    assert_eq!(row.get("app").unwrap().as_str(), Some("radio reddit"));
+    assert!(row.get("dp").is_some(), "provenance includes the DP class");
+}
+
+#[test]
+fn serve_cli_classifies_jimple_reports_and_flags_foreign_traffic() {
+    let apk_path = write_app("blippex");
+    let mut traffic = std::env::temp_dir();
+    traffic.push("extractocol-serve-cli-foreign.txt");
+    std::fs::write(
+        &traffic,
+        "# one request the app never sends\nGET\thttp://nowhere.example/zzz\n",
+    )
+    .unwrap();
+    let out = serve_cli()
+        .args(["classify", "--report"])
+        .arg(&apk_path)
+        .arg("--traffic")
+        .arg(&traffic)
+        .output()
+        .expect("run extractocol-serve");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("-> unmatched"), "{stdout}");
+    assert!(stdout.contains("matched:           0"), "{stdout}");
+}
+
+#[test]
+fn serve_cli_rejects_malformed_traffic() {
+    let mut traffic = std::env::temp_dir();
+    traffic.push("extractocol-serve-cli-bad.txt");
+    std::fs::write(&traffic, "FETCH http://h/x\n").unwrap();
+    let out = serve_cli()
+        .args(["classify", "--app", "blippex", "--traffic"])
+        .arg(&traffic)
+        .output()
+        .expect("run extractocol-serve");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("line 1"), "line-anchored error");
+}
