@@ -21,8 +21,12 @@ cargo test -q
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
-echo "==> conformance gate (clean corpus)"
-cargo run --release -q -p extractocol-dynamic --bin extractocol-eval -- --conformance
+echo "==> conformance gate (clean corpus, traced)"
+cargo run --release -q -p extractocol-dynamic --bin extractocol-eval -- \
+  --conformance --trace-out trace.json
+
+echo "==> observability gate (chrome-trace round-trip validator)"
+cargo run --release -q -p extractocol-obs --bin extractocol-trace-validate -- trace.json
 
 echo "==> conformance gate (mutation self-test)"
 cargo run --release -q -p extractocol-dynamic --bin extractocol-eval -- --conformance-mutate
@@ -30,6 +34,15 @@ cargo run --release -q -p extractocol-dynamic --bin extractocol-eval -- --confor
 echo "==> serving gate (classify bench smoke: pruning bar + 2x throughput regression)"
 cargo run --release -q -p extractocol-serve --bin extractocol-serve -- \
   bench --requests 50000 --jobs 0 \
-  --out BENCH_classify.json --baseline BENCH_classify.baseline.json
+  --out BENCH_classify.json --baseline BENCH_classify.baseline.json \
+  --metrics-out METRICS_classify.txt
+
+echo "==> observability gate (mandatory serving instruments)"
+for fam in serve_classify_requests_total serve_classify_verdict_total \
+  serve_classify_candidate_fraction_bucket serve_classify_latency_us_bucket \
+  serve_index_signatures serve_shards_total serve_phase_classify_seconds; do
+  grep -q "$fam" METRICS_classify.txt \
+    || { echo "METRICS_classify.txt: missing instrument family $fam"; exit 1; }
+done
 
 echo "CI OK"

@@ -48,6 +48,7 @@ pub struct PointsTo {
     locals: HashMap<(MethodId, Local), BTreeSet<AllocId>>,
     fields: HashMap<(AllocId, String), BTreeSet<AllocId>>,
     statics: HashMap<String, BTreeSet<AllocId>>,
+    propagations: usize,
 }
 
 /// Aggregate solver statistics for reports and ablations.
@@ -59,6 +60,9 @@ pub struct PtsStats {
     pub nonempty_locals: usize,
     /// Field cells `(alloc, field)` with a non-empty points-to set.
     pub field_cells: usize,
+    /// Worklist items processed to fixpoint — the solver's work measure.
+    /// The worklist order is deterministic, so this is too.
+    pub propagations: usize,
 }
 
 impl PointsTo {
@@ -126,6 +130,7 @@ impl PointsTo {
             allocs: self.allocs.len(),
             nonempty_locals: self.locals.values().filter(|s| !s.is_empty()).count(),
             field_cells: self.fields.values().filter(|s| !s.is_empty()).count(),
+            propagations: self.propagations,
         }
     }
 }
@@ -488,7 +493,9 @@ impl<'a> Solver<'a> {
 
     fn solve(mut self) -> PointsTo {
         self.generate();
+        let mut propagations = 0usize;
         while let Some((n, a)) = self.worklist.pop_front() {
+            propagations += 1;
             for s in self.nodes[n].succ.clone() {
                 self.add_alloc(s, a);
             }
@@ -505,7 +512,7 @@ impl<'a> Solver<'a> {
             }
         }
 
-        let mut out = PointsTo { allocs: self.allocs, ..PointsTo::default() };
+        let mut out = PointsTo { allocs: self.allocs, propagations, ..PointsTo::default() };
         for (key, &id) in &self.ids {
             let pts = &self.nodes[id].pts;
             if pts.is_empty() {

@@ -12,17 +12,22 @@
 //! extractocol app.jimple --jobs 8       # worker threads (0 = one per core)
 //! extractocol app.jimple --lints        # precision diagnostics, then report
 //! extractocol app.jimple --no-pointsto  # pure-CHA call graph (no SPARK layer)
+//! extractocol app.jimple --trace-out trace.json   # Chrome-trace span tree
+//! extractocol app.jimple --trace-summary          # top spans by self-time
+//! extractocol app.jimple --flame-out stacks.txt   # collapsed flamegraph stacks
+//! extractocol app.jimple --metrics-out metrics.txt  # exposition-format metrics
 //! ```
 
 use extractocol_core::slicing::SliceOptions;
-use extractocol_core::{Extractocol, Options};
+use extractocol_core::{Extractocol, Options, TraceCollector};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: extractocol <app.jimple> [--regex] [--scope <prefix>] \
          [--json] [--no-async] [--no-augment] [--hops <n>] [--depth <n>] \
-         [--jobs <n>] [--lints] [--no-pointsto]"
+         [--jobs <n>] [--lints] [--no-pointsto] [--trace-out <file>] \
+         [--trace-summary] [--flame-out <file>] [--metrics-out <file>]"
     );
     ExitCode::from(2)
 }
@@ -33,6 +38,10 @@ fn main() -> ExitCode {
     let mut regex_only = false;
     let mut json_out = false;
     let mut show_lints = false;
+    let mut trace_out: Option<String> = None;
+    let mut flame_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut trace_summary = false;
     let mut opts = Options::default();
     let mut slice = SliceOptions::default();
 
@@ -42,6 +51,19 @@ fn main() -> ExitCode {
             "--regex" => regex_only = true,
             "--json" => json_out = true,
             "--lints" => show_lints = true,
+            "--trace-summary" => trace_summary = true,
+            "--trace-out" => match it.next() {
+                Some(p) => trace_out = Some(p),
+                None => return usage(),
+            },
+            "--flame-out" => match it.next() {
+                Some(p) => flame_out = Some(p),
+                None => return usage(),
+            },
+            "--metrics-out" => match it.next() {
+                Some(p) => metrics_out = Some(p),
+                None => return usage(),
+            },
             "--no-pointsto" => opts.pointsto = false,
             "--pointsto" => opts.pointsto = true,
             "--no-async" => slice.async_heuristic = false,
@@ -95,7 +117,41 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let report = Extractocol::with_options(opts).analyze(&apk);
+    // Tracing is off-by-default: the disabled collector costs one branch
+    // per span site, so the plain path stays within the perf gates.
+    let trace = if trace_out.is_some() || flame_out.is_some() || trace_summary {
+        TraceCollector::enabled()
+    } else {
+        TraceCollector::disabled()
+    };
+    let report = Extractocol::with_options(opts).analyze_traced(&apk, &trace);
+    let spans = trace.drain();
+    if let Some(out) = &trace_out {
+        let json = extractocol_obs::chrome_trace_json(&spans);
+        if let Err(e) = std::fs::write(out, json) {
+            eprintln!("extractocol: cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(out) = &flame_out {
+        if let Err(e) = std::fs::write(out, extractocol_obs::collapsed_stacks(&spans)) {
+            eprintln!("extractocol: cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if trace_summary {
+        print!("{}", extractocol_obs::summary_table(&spans, 15));
+        if trace.dropped() > 0 {
+            println!("({} span(s) dropped at the collector capacity)", trace.dropped());
+        }
+    }
+    if let Some(out) = &metrics_out {
+        let text = report.metrics.export_registry().render();
+        if let Err(e) = std::fs::write(out, text) {
+            eprintln!("extractocol: cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     if show_lints {
         print!("{}", report.metrics.lints.to_text());
         if report.metrics.lints.lints.is_empty() {

@@ -6,9 +6,13 @@
 
 pub use extractocol_analysis::CacheStats;
 pub use extractocol_analysis::{LintReport, PtsStats};
+use extractocol_obs::{Registry, Volatility};
 use std::time::Duration;
 
-/// Wall-clock time of each pipeline phase (Fig. 2's boxes).
+/// Wall-clock time of each pipeline phase (Fig. 2's boxes, plus the
+/// validation and serving phases bolted on since). `total()` always sums
+/// *every* slot, so an end-to-end run that exercises conformance or the
+/// serving side is no longer under-reported.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct PhaseTimings {
     /// §3.4 library de-obfuscation.
@@ -26,18 +30,54 @@ pub struct PhaseTimings {
     pub signatures: Duration,
     /// Inter-transaction dependency analysis.
     pub dependencies: Duration,
+    /// Differential conformance check against a dynamic trace (zero when
+    /// no oracle ran).
+    pub conformance: Duration,
+    /// Serving-side signature-index compilation (zero outside
+    /// `extractocol-serve`).
+    pub serve_compile: Duration,
+    /// Serving-side traffic classification (zero outside
+    /// `extractocol-serve`).
+    pub serve_classify: Duration,
 }
 
 impl PhaseTimings {
-    /// Sum of all phase times.
+    /// Every `(phase name, duration)` pair, in pipeline order. The single
+    /// source of truth for `total()`, the registry export, and the CLI
+    /// timing tables — a new slot only has to be added here.
+    pub fn slots(&self) -> [(&'static str, Duration); 10] {
+        [
+            ("deobfuscation", self.deobfuscation),
+            ("indexing", self.indexing),
+            ("demarcation", self.demarcation),
+            ("slicing", self.slicing),
+            ("pairing", self.pairing),
+            ("signatures", self.signatures),
+            ("dependencies", self.dependencies),
+            ("conformance", self.conformance),
+            ("serve_compile", self.serve_compile),
+            ("serve_classify", self.serve_classify),
+        ]
+    }
+
+    /// Sum of all phase times (every slot, including conformance and the
+    /// serving phases).
     pub fn total(&self) -> Duration {
-        self.deobfuscation
-            + self.indexing
-            + self.demarcation
-            + self.slicing
-            + self.pairing
-            + self.signatures
-            + self.dependencies
+        self.slots().iter().map(|(_, d)| *d).sum()
+    }
+
+    /// A per-phase breakdown table (skips zero slots), ending with the
+    /// total row.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, d) in self.slots() {
+            if !d.is_zero() {
+                let _ = writeln!(out, "  {name:<14} {:>10.3}ms", d.as_secs_f64() * 1e3);
+            }
+        }
+        let _ = writeln!(out, "  {:<14} {:>10.3}ms", "total", self.total().as_secs_f64() * 1e3);
+        out
     }
 }
 
@@ -85,6 +125,133 @@ pub struct Metrics {
     pub conformance: Option<crate::conformance::ConformanceReport>,
 }
 
+impl Metrics {
+    /// Exports this run's instrumentation into a fresh [`Registry`] for
+    /// exposition-format rendering. The existing public fields stay the
+    /// plain-struct views; the registry is the rendering/aggregation
+    /// layer on top.
+    ///
+    /// Volatility split: per-DP slice sizes, points-to statistics, lint
+    /// counts, and conformance diagnostic counts are
+    /// [`Volatility::Deterministic`] (byte-identical across `--jobs`
+    /// counts — pinned by the jobs-invariance tests). Phase timings, the
+    /// worker count, and the summary-cache counters are
+    /// [`Volatility::PerRun`]: cache hit/miss totals depend on which
+    /// worker reaches a method first, so they are honest counters but not
+    /// reproducible ones.
+    pub fn export_registry(&self) -> Registry {
+        let reg = Registry::new();
+        reg.gauge("pipeline_jobs", &[], Volatility::PerRun, "resolved worker count")
+            .set(self.jobs as f64);
+        for (name, d) in self.phases.slots() {
+            reg.gauge(
+                "pipeline_phase_seconds",
+                &[("phase", name)],
+                Volatility::PerRun,
+                "wall-clock time per pipeline phase",
+            )
+            .set(d.as_secs_f64());
+        }
+        reg.counter(
+            "summary_cache_lookups_total",
+            &[("outcome", "hit")],
+            Volatility::PerRun,
+            "method-summary cache lookups",
+        )
+        .add(self.cache.hits);
+        reg.counter(
+            "summary_cache_lookups_total",
+            &[("outcome", "miss")],
+            Volatility::PerRun,
+            "method-summary cache lookups",
+        )
+        .add(self.cache.misses);
+
+        reg.counter(
+            "pipeline_dp_sites_total",
+            &[],
+            Volatility::Deterministic,
+            "demarcation points analyzed",
+        )
+        .add(self.per_dp.len() as u64);
+        let dp_hist = reg.histogram(
+            "pipeline_dp_slice_stmts",
+            &[],
+            Volatility::Deterministic,
+            "statements per DP slice (request + response)",
+            extractocol_obs::metrics::COUNT_BUCKETS,
+        );
+        let (mut req_total, mut resp_total) = (0u64, 0u64);
+        for dp in &self.per_dp {
+            dp_hist.observe(dp.total_stmts() as f64);
+            req_total += dp.request_stmts as u64;
+            resp_total += dp.response_stmts as u64;
+        }
+        reg.counter(
+            "pipeline_slice_stmts_total",
+            &[("direction", "request")],
+            Volatility::Deterministic,
+            "sliced statements by direction",
+        )
+        .add(req_total);
+        reg.counter(
+            "pipeline_slice_stmts_total",
+            &[("direction", "response")],
+            Volatility::Deterministic,
+            "sliced statements by direction",
+        )
+        .add(resp_total);
+
+        reg.counter(
+            "analysis_lints_total",
+            &[],
+            Volatility::Deterministic,
+            "precision lints from the diagnostics pass",
+        )
+        .add(self.lints.lints.len() as u64);
+        if let Some(pts) = &self.pts {
+            reg.counter(
+                "pointsto_allocation_sites_total",
+                &[],
+                Volatility::Deterministic,
+                "allocation sites discovered by the points-to solver",
+            )
+            .add(pts.allocs as u64);
+            reg.counter(
+                "pointsto_nonempty_locals_total",
+                &[],
+                Volatility::Deterministic,
+                "locals with a non-empty points-to set",
+            )
+            .add(pts.nonempty_locals as u64);
+            reg.counter(
+                "pointsto_field_cells_total",
+                &[],
+                Volatility::Deterministic,
+                "field cells with a non-empty points-to set",
+            )
+            .add(pts.field_cells as u64);
+            reg.counter(
+                "pointsto_propagations_total",
+                &[],
+                Volatility::Deterministic,
+                "worklist items the solver processed to fixpoint",
+            )
+            .add(pts.propagations as u64);
+        }
+        if let Some(conf) = &self.conformance {
+            reg.counter(
+                "conformance_diags_total",
+                &[],
+                Volatility::Deterministic,
+                "conformance-oracle diagnostics",
+            )
+            .add(conf.diags.len() as u64);
+        }
+        reg
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,6 +264,64 @@ mod tests {
             ..PhaseTimings::default()
         };
         assert_eq!(t.total(), Duration::from_millis(42));
+    }
+
+    /// `total()` must cover *every* slot — the conformance and serving
+    /// phases used to be missing, under-reporting end-to-end runs.
+    #[test]
+    fn phase_total_includes_conformance_and_serve_slots() {
+        let t = PhaseTimings {
+            slicing: Duration::from_millis(10),
+            conformance: Duration::from_millis(7),
+            serve_compile: Duration::from_millis(5),
+            serve_classify: Duration::from_millis(3),
+            ..PhaseTimings::default()
+        };
+        assert_eq!(t.total(), Duration::from_millis(25));
+        // And `slots()` is exhaustive: summing it agrees with total() on
+        // a fully populated struct.
+        let full = PhaseTimings {
+            deobfuscation: Duration::from_millis(1),
+            indexing: Duration::from_millis(2),
+            demarcation: Duration::from_millis(3),
+            slicing: Duration::from_millis(4),
+            pairing: Duration::from_millis(5),
+            signatures: Duration::from_millis(6),
+            dependencies: Duration::from_millis(7),
+            conformance: Duration::from_millis(8),
+            serve_compile: Duration::from_millis(9),
+            serve_classify: Duration::from_millis(10),
+        };
+        assert_eq!(full.total(), Duration::from_millis(55));
+        assert_eq!(full.slots().len(), 10);
+        let text = full.to_text();
+        assert!(text.contains("conformance"), "{text}");
+        assert!(text.contains("total"), "{text}");
+    }
+
+    #[test]
+    fn registry_export_splits_deterministic_from_per_run() {
+        let m = Metrics {
+            jobs: 4,
+            phases: PhaseTimings { slicing: Duration::from_millis(12), ..PhaseTimings::default() },
+            cache: CacheStats { hits: 10, misses: 3 },
+            per_dp: vec![
+                DpSliceMetrics { dp_id: 0, request_stmts: 8, response_stmts: 4 },
+                DpSliceMetrics { dp_id: 1, request_stmts: 2, response_stmts: 0 },
+            ],
+            ..Metrics::default()
+        };
+        let reg = m.export_registry();
+        let full = reg.render();
+        assert!(full.contains("pipeline_phase_seconds{phase=\"slicing\"}"), "{full}");
+        assert!(full.contains("summary_cache_lookups_total{outcome=\"hit\"} 10"), "{full}");
+        assert!(full.contains("pipeline_dp_sites_total 2"), "{full}");
+        assert!(full.contains("pipeline_slice_stmts_total{direction=\"request\"} 10"), "{full}");
+        let det = reg.render_deterministic();
+        assert!(det.contains("pipeline_dp_sites_total 2"), "{det}");
+        assert!(det.contains("pipeline_dp_slice_stmts_bucket"), "{det}");
+        assert!(!det.contains("pipeline_phase_seconds"), "timings are per-run: {det}");
+        assert!(!det.contains("summary_cache"), "cache counters race across workers: {det}");
     }
 
     #[test]

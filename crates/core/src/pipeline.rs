@@ -17,6 +17,7 @@ use crate::slicing::{self, SliceOptions};
 use crate::stubs;
 use extractocol_analysis::{diagnostics, CallGraph, CallbackRegistry, PointsTo};
 use extractocol_ir::{Apk, MethodId, ProgramIndex};
+use extractocol_obs::TraceCollector;
 use std::time::Instant;
 
 /// Analysis configuration.
@@ -107,37 +108,69 @@ impl Extractocol {
     /// shared method-summary cache only memoizes order-independent
     /// closures).
     pub fn analyze(&self, apk: &Apk) -> AnalysisReport {
+        self.analyze_traced(apk, &TraceCollector::disabled())
+    }
+
+    /// [`Extractocol::analyze`] with span-tree tracing: each pipeline
+    /// phase becomes a `phase` span, each demarcation point a nested `dp`
+    /// span, and each transaction a `txn` span, recorded into `trace`
+    /// (see `extractocol --trace-out`). With a disabled collector this is
+    /// exactly `analyze` — the guards compile to a branch.
+    pub fn analyze_traced(&self, apk: &Apk, trace: &TraceCollector) -> AnalysisReport {
         let started = Instant::now();
         let mut phases = PhaseTimings::default();
         let jobs = par::resolve_jobs(self.options.jobs);
+        let mut run_span = trace.span_in("run", format!("analyze:{}", apk.name));
+        run_span.attr("app", apk.name.as_str()).attr("jobs", jobs);
 
         // §3.4: map obfuscated bundled libraries back to canonical names.
         let t = Instant::now();
-        let (apk, deobfuscated_classes) = if self.options.deobfuscate_libraries {
-            let map = deobf::infer_library_map(apk, &stubs::library_reference());
-            let n = map.classes.len();
-            (deobf::deobfuscate(apk, &map), n)
-        } else {
-            (apk.clone(), 0)
+        let (apk, deobfuscated_classes) = {
+            let mut span = trace.span_in("phase", "deobfuscation");
+            let out = if self.options.deobfuscate_libraries {
+                let map = deobf::infer_library_map(apk, &stubs::library_reference());
+                let n = map.classes.len();
+                (deobf::deobfuscate(apk, &map), n)
+            } else {
+                (apk.clone(), 0)
+            };
+            span.attr("deobfuscated_classes", out.1);
+            out
         };
         phases.deobfuscation = t.elapsed();
 
         let t = Instant::now();
+        let mut span = trace.span_in("phase", "indexing");
         let prog = ProgramIndex::new(&apk);
-        let pts = self.options.pointsto.then(|| PointsTo::solve(&prog));
-        let graph = match &pts {
-            Some(p) => CallGraph::build_with_pointsto(&prog, &self.registry, p),
-            None => CallGraph::build(&prog, &self.registry),
+        let pts = self.options.pointsto.then(|| {
+            let _s = trace.span_in("step", "pointsto_solve");
+            PointsTo::solve(&prog)
+        });
+        let graph = {
+            let _s = trace.span_in("step", "callgraph_build");
+            match &pts {
+                Some(p) => CallGraph::build_with_pointsto(&prog, &self.registry, p),
+                None => CallGraph::build(&prog, &self.registry),
+            }
         };
+        if let Some(p) = &pts {
+            let s = p.stats();
+            span.attr("allocation_sites", s.allocs).attr("pts_propagations", s.propagations);
+        }
+        drop(span);
         phases.indexing = t.elapsed();
 
         // Precision diagnostics (surfaced via `extractocol --lints`).
-        let lints = diagnostics::lint(&prog, &graph, pts.as_ref(), &|callee| {
-            !matches!(self.model.op_for(&prog, callee), ApiOp::Unknown)
-        });
+        let lints = {
+            let _s = trace.span_in("step", "lint");
+            diagnostics::lint(&prog, &graph, pts.as_ref(), &|callee| {
+                !matches!(self.model.op_for(&prog, callee), ApiOp::Unknown)
+            })
+        };
 
         // Phase 1: demarcation points + bidirectional slicing.
         let t = Instant::now();
+        let mut span = trace.span_in("phase", "demarcation");
         let mut sites = demarcation::scan(&prog, &self.model);
         if let Some(prefix) = &self.options.scope_prefix {
             sites.retain(|s| prog.class(s.method.class).name.starts_with(prefix.as_str()));
@@ -145,10 +178,13 @@ impl Extractocol {
                 s.id = i;
             }
         }
+        span.attr("dp_sites", sites.len());
+        drop(span);
         phases.demarcation = t.elapsed();
 
         let t = Instant::now();
-        let (slices, cache) = slicing::slice_all_with(
+        let mut span = trace.span_in("phase", "slicing");
+        let (slices, cache) = slicing::slice_all_traced(
             &prog,
             &graph,
             &self.model,
@@ -156,19 +192,33 @@ impl Extractocol {
             &self.options.slice,
             self.options.jobs,
             pts.as_ref(),
+            trace,
         );
+        span.attr("cache_hits", cache.hits).attr("cache_misses", cache.misses);
+        drop(span);
         phases.slicing = t.elapsed();
 
         // Phase 3a: request/response pairing via disjoint sub-slices.
         let t = Instant::now();
+        let mut span = trace.span_in("phase", "pairing");
         let txns = pairing::pair(&prog, &graph, &slices);
+        span.attr("transactions", txns.len());
+        drop(span);
         phases.pairing = t.elapsed();
 
         // Phase 2: per-transaction signature extraction. Each transaction
         // is independent (the builder is constructed per call), so the
         // same fan-out applies; input order is preserved.
         let t = Instant::now();
+        let sig_span = trace.span_in("phase", "signatures");
         let reports: Vec<TxnReport> = par::parallel_map(&txns, self.options.jobs, |_, t| {
+            let mut span = trace.span_in("txn", format!("txn:{}", t.id));
+            if span.is_recording() {
+                span.attr("txn_id", t.id).attr("dp_index", t.dp_index).attr(
+                    "root",
+                    format!("{}.{}", prog.class(t.root.class).name, prog.method(t.root).name),
+                );
+            }
             let siblings: Vec<MethodId> = txns
                 .iter()
                 .filter(|o| o.dp_index == t.dp_index && o.id != t.id)
@@ -219,11 +269,15 @@ impl Extractocol {
                 consumptions: sigs.consumptions.clone(),
             }
         });
+        drop(sig_span);
         phases.signatures = t.elapsed();
 
         // Phase 3b: inter-transaction dependencies.
         let t = Instant::now();
+        let mut span = trace.span_in("phase", "dependencies");
         let dependencies = interdep::dependencies(&prog, &self.model, &slices, &txns);
+        span.attr("edges", dependencies.len());
+        drop(span);
         phases.dependencies = t.elapsed();
 
         let per_dp: Vec<DpSliceMetrics> = slices

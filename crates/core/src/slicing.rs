@@ -125,6 +125,33 @@ pub fn slice_all_with(
     jobs: usize,
     pts: Option<&PointsTo>,
 ) -> (Vec<SliceSet>, CacheStats) {
+    slice_all_traced(
+        prog,
+        graph,
+        model,
+        sites,
+        opts,
+        jobs,
+        pts,
+        &extractocol_obs::TraceCollector::disabled(),
+    )
+}
+
+/// [`slice_all_with`], recording one `dp` span per demarcation point into
+/// `trace` (attributes: `dp_id`, `method`, slice sizes, summary-cache
+/// delta). Worker threads record into the same collector; with `jobs <=
+/// 1` the spans nest under the caller's open `phase:slicing` span.
+#[allow(clippy::too_many_arguments)]
+pub fn slice_all_traced(
+    prog: &ProgramIndex<'_>,
+    graph: &CallGraph,
+    model: &SemanticModel,
+    sites: &[DpSite],
+    opts: &SliceOptions,
+    jobs: usize,
+    pts: Option<&PointsTo>,
+    trace: &extractocol_obs::TraceCollector,
+) -> (Vec<SliceSet>, CacheStats) {
     let flow_model = SemanticFlowModel::new(model, prog);
     let engine = TaintEngine::with_pointsto(
         prog,
@@ -134,7 +161,20 @@ pub fn slice_all_with(
         pts,
     );
     let sets = crate::par::parallel_map(sites, jobs, |_, dp| {
-        slice_one(prog, graph, &engine, dp, opts, pts)
+        let mut span = trace.span_in("dp", format!("dp:{}", dp.id));
+        let before = engine.cache_stats();
+        let set = slice_one(prog, graph, &engine, dp, opts, pts);
+        if span.is_recording() {
+            let after = engine.cache_stats();
+            let m = prog.method(dp.method);
+            span.attr("dp_id", dp.id)
+                .attr("method", format!("{}.{}", prog.class(dp.method.class).name, m.name))
+                .attr("dp_class", dp.spec.class.as_str())
+                .attr("request_stmts", set.request_slice.len())
+                .attr("response_stmts", set.response_slice.len())
+                .attr("cache_lookups_during", after.lookups() - before.lookups());
+        }
+        set
     });
     (sets, engine.cache_stats())
 }

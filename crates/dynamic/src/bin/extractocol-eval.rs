@@ -5,21 +5,29 @@
 //! extractocol-eval --conformance                # oracle over every corpus app
 //! extractocol-eval --conformance --app "TED"    # one app only
 //! extractocol-eval --conformance --jobs 0       # one worker per core
+//! extractocol-eval --conformance --timings      # per-phase breakdown per app
+//! extractocol-eval --conformance --trace-out trace.json --trace-summary
+//! extractocol-eval --conformance --metrics-out metrics.txt
 //! extractocol-eval --conformance-mutate         # seeded mutation self-test
 //! extractocol-eval --conformance-mutate --seed 7 --sites 3
 //! ```
 //!
 //! `--conformance` exits non-zero when any app yields a diagnostic;
 //! `--conformance-mutate` exits non-zero when the oracle detects < 90% of
-//! the seeded perturbations.
+//! the seeded perturbations. `--trace-out` records the whole run as one
+//! span tree (per app → per phase → per DP) in Chrome-trace JSON;
+//! `--timings` prints the `PhaseTimings` table — including the
+//! conformance slot, so the total matches the end-to-end run.
 
-use extractocol_dynamic::conformance::{conformance_check, mutation_self_test};
+use extractocol_core::TraceCollector;
+use extractocol_dynamic::conformance::{conformance_check_traced, mutation_self_test};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: extractocol-eval (--conformance | --conformance-mutate) \
-         [--app <name>] [--jobs <n>] [--seed <n>] [--sites <n>]"
+         [--app <name>] [--jobs <n>] [--seed <n>] [--sites <n>] [--timings] \
+         [--trace-out <file>] [--trace-summary] [--metrics-out <file>]"
     );
     ExitCode::from(2)
 }
@@ -32,12 +40,26 @@ fn main() -> ExitCode {
     let mut jobs = 1usize;
     let mut seed = 0xE7_AC_0C_01u64;
     let mut sites = 2usize;
+    let mut timings = false;
+    let mut trace_summary = false;
+    let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
 
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--conformance" => conformance = true,
             "--conformance-mutate" => mutate = true,
+            "--timings" => timings = true,
+            "--trace-summary" => trace_summary = true,
+            "--trace-out" => match it.next() {
+                Some(p) => trace_out = Some(p),
+                None => return usage(),
+            },
+            "--metrics-out" => match it.next() {
+                Some(p) => metrics_out = Some(p),
+                None => return usage(),
+            },
             "--app" => match it.next() {
                 Some(n) => app_filter = Some(n),
                 None => return usage(),
@@ -75,13 +97,43 @@ fn main() -> ExitCode {
     }
 
     if conformance {
+        let trace = if trace_out.is_some() || trace_summary {
+            TraceCollector::enabled()
+        } else {
+            TraceCollector::disabled()
+        };
         let mut dirty = 0usize;
         for app in &apps {
-            let (_, conf) = conformance_check(app, jobs);
+            let (report, conf) = conformance_check_traced(app, jobs, &trace);
             print!("{}", conf.to_text());
+            if timings {
+                println!("{} phase timings:", app.truth.name);
+                print!("{}", report.metrics.phases.to_text());
+            }
+            if let Some(path) = &metrics_out {
+                // One exposition file per run; last app wins per-app
+                // instruments, aggregate files belong to serve's batch path.
+                let text = report.metrics.export_registry().render();
+                if let Err(e) = std::fs::write(path, text) {
+                    eprintln!("extractocol-eval: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
             if !conf.is_clean() {
                 dirty += 1;
             }
+        }
+        let spans = trace.drain();
+        if let Some(path) = &trace_out {
+            let json = extractocol_obs::chrome_trace_json(&spans);
+            if let Err(e) = std::fs::write(path, json) {
+                eprintln!("extractocol-eval: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {} span(s) to {path} ({} dropped)", spans.len(), trace.dropped());
+        }
+        if trace_summary {
+            print!("{}", extractocol_obs::summary_table(&spans, 20));
         }
         if dirty > 0 {
             eprintln!("extractocol-eval: {dirty} app(s) with conformance diagnostics");

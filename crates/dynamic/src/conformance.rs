@@ -9,7 +9,7 @@
 use crate::fuzz::run_perfect_fuzzer;
 use extractocol_core::conformance::{check, ConformanceReport};
 use extractocol_core::report::AnalysisReport;
-use extractocol_core::{Extractocol, Options};
+use extractocol_core::{Extractocol, Options, TraceCollector};
 use extractocol_corpus::AppSpec;
 use extractocol_ir::rng::Rng;
 use extractocol_ir::{Apk, Const, Expr, Place, Stmt, Value};
@@ -17,6 +17,16 @@ use extractocol_ir::{Apk, Const, Expr, Place, Stmt, Value};
 /// Analyzes one app with the evaluation options (paper §5.1: the async
 /// heuristic is disabled for open-source apps) at the given worker count.
 pub fn analyze_app(apk: &Apk, open_source: bool, jobs: usize) -> AnalysisReport {
+    analyze_app_traced(apk, open_source, jobs, &TraceCollector::disabled())
+}
+
+/// [`analyze_app`] recording pipeline spans into `trace`.
+pub fn analyze_app_traced(
+    apk: &Apk,
+    open_source: bool,
+    jobs: usize,
+    trace: &TraceCollector,
+) -> AnalysisReport {
     let opts = Options {
         slice: extractocol_core::slicing::SliceOptions {
             async_heuristic: !open_source,
@@ -25,15 +35,43 @@ pub fn analyze_app(apk: &Apk, open_source: bool, jobs: usize) -> AnalysisReport 
         jobs,
         ..Options::default()
     };
-    Extractocol::with_options(opts).analyze(apk)
+    Extractocol::with_options(opts).analyze_traced(apk, trace)
 }
 
 /// Runs the oracle for one app: static report vs. perfect-fuzzer trace.
 /// The conformance result is also attached to `report.metrics`.
 pub fn conformance_check(app: &AppSpec, jobs: usize) -> (AnalysisReport, ConformanceReport) {
-    let mut report = analyze_app(&app.apk, app.truth.open_source, jobs);
-    let trace = run_perfect_fuzzer(app);
-    let conf = check(&report, &trace.transactions);
+    conformance_check_traced(app, jobs, &TraceCollector::disabled())
+}
+
+/// [`conformance_check`] recording spans into `trace` (one `app` span per
+/// app, `phase` spans for the fuzzer run and the oracle check) and
+/// filling [`PhaseTimings::conformance`] — without it `total()`
+/// under-reports an end-to-end evaluation run.
+///
+/// [`PhaseTimings::conformance`]: extractocol_core::PhaseTimings
+pub fn conformance_check_traced(
+    app: &AppSpec,
+    jobs: usize,
+    trace: &TraceCollector,
+) -> (AnalysisReport, ConformanceReport) {
+    let mut app_span = trace.span_in("app", format!("conformance:{}", app.truth.name));
+    app_span.attr("app", app.truth.name.as_str());
+    let mut report = analyze_app_traced(&app.apk, app.truth.open_source, jobs, trace);
+    let dyn_trace = {
+        let _s = trace.span_in("phase", "perfect_fuzzer");
+        run_perfect_fuzzer(app)
+    };
+    let t = std::time::Instant::now();
+    let conf = {
+        let mut s = trace.span_in("phase", "conformance");
+        let conf = check(&report, &dyn_trace.transactions);
+        s.attr("signatures_checked", conf.signatures_checked)
+            .attr("messages_checked", conf.messages_checked)
+            .attr("diags", conf.diags.len());
+        conf
+    };
+    report.metrics.phases.conformance = t.elapsed();
     report.metrics.conformance = Some(conf.clone());
     (report, conf)
 }

@@ -1,0 +1,40 @@
+//! The `extractocol-trace-validate` tool: strict round-trip validation of
+//! a Chrome-trace JSON file produced by `--trace-out`.
+//!
+//! ```bash
+//! extractocol-trace-validate trace.json
+//! ```
+//!
+//! Exits zero when the trace is well-formed (complete events only,
+//! per-thread monotonic timestamps, proper nesting) and prints the trace
+//! statistics; exits non-zero with the first violation otherwise.
+
+use extractocol_obs::validate_chrome_trace;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: extractocol-trace-validate <trace.json>");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("extractocol-trace-validate: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match validate_chrome_trace(&text) {
+        Ok(stats) => {
+            println!(
+                "{path}: valid trace — {} event(s), {} thread(s), max depth {}, {}us span",
+                stats.events, stats.threads, stats.max_depth, stats.span_end_us
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("extractocol-trace-validate: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! Span exporters: Chrome `chrome://tracing` JSON, collapsed-stack text
+//! for flamegraph tooling, a human top-k summary table — plus the strict
+//! round-trip validator the CI observability gate runs over `trace.json`.
+//!
+//! # Timestamp discipline
+//!
+//! Spans are recorded in nanoseconds and exported in *floored* integer
+//! microseconds (both endpoints floored). Flooring is monotone, so every
+//! containment that held in nanoseconds still holds in microseconds:
+//! children stay inside parents, siblings stay disjoint, and per-thread
+//! start times stay non-decreasing. The validator can therefore be exact
+//! (integer comparisons, no epsilon).
+
+use crate::span::{AttrValue, SpanRecord};
+use extractocol_http::JsonValue;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The fixed process id in exported traces (one process per run).
+pub const TRACE_PID: u64 = 1;
+
+fn sorted_for_export(records: &[SpanRecord]) -> Vec<&SpanRecord> {
+    let mut sorted: Vec<&SpanRecord> = records.iter().collect();
+    // Per-thread lanes, start-ordered; at equal starts the longer span is
+    // the parent and must come first, then shallower before deeper.
+    sorted.sort_by_key(|r| (r.tid, r.start_ns / 1000, std::cmp::Reverse(r.end_ns / 1000), r.depth));
+    sorted
+}
+
+fn attr_json(v: &AttrValue) -> JsonValue {
+    match v {
+        AttrValue::Int(i) => JsonValue::num(*i as f64),
+        AttrValue::Uint(u) => JsonValue::num(*u as f64),
+        AttrValue::Float(f) => JsonValue::num(*f),
+        AttrValue::Str(s) => JsonValue::str(s),
+        AttrValue::Bool(b) => JsonValue::Bool(*b),
+    }
+}
+
+/// Renders spans as a Chrome trace file (complete `"X"` events, one lane
+/// per thread). Load the result in `chrome://tracing` or Perfetto.
+pub fn chrome_trace_json(records: &[SpanRecord]) -> String {
+    let mut events = Vec::with_capacity(records.len());
+    for r in sorted_for_export(records) {
+        let ts = r.start_ns / 1000;
+        let end = r.end_ns / 1000;
+        let mut e = JsonValue::object();
+        e.insert("name", JsonValue::str(&r.name));
+        e.insert("cat", JsonValue::str(&r.cat));
+        e.insert("ph", JsonValue::str("X"));
+        e.insert("ts", JsonValue::num(ts as f64));
+        e.insert("dur", JsonValue::num((end - ts) as f64));
+        e.insert("pid", JsonValue::num(TRACE_PID as f64));
+        e.insert("tid", JsonValue::num(r.tid as f64));
+        if !r.attrs.is_empty() {
+            let mut args = JsonValue::object();
+            for (k, v) in &r.attrs {
+                args.insert(k, attr_json(v));
+            }
+            e.insert("args", args);
+        }
+        events.push(e);
+    }
+    let mut root = JsonValue::object();
+    root.insert("traceEvents", JsonValue::Array(events));
+    root.insert("displayTimeUnit", JsonValue::str("ms"));
+    root.to_json()
+}
+
+/// What the round-trip validator learned about a trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Complete events in the trace.
+    pub events: usize,
+    /// Distinct thread lanes.
+    pub threads: usize,
+    /// Deepest nesting observed (1 = flat).
+    pub max_depth: usize,
+    /// Last end timestamp, microseconds.
+    pub span_end_us: u64,
+}
+
+/// Strict validation of a Chrome-trace JSON file: well-formed JSON, every
+/// event a complete `"X"` event with `name`/`ts`/`dur`/`pid`/`tid`,
+/// timestamps non-decreasing per thread, and spans on one thread either
+/// properly nested or disjoint (no partial overlap — the `B`-without-`E`
+/// class of bug expressed in complete-event form).
+pub fn validate_chrome_trace(text: &str) -> Result<TraceStats, String> {
+    let root = JsonValue::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let Some(JsonValue::Array(events)) = root.get("traceEvents") else {
+        return Err("missing traceEvents array".to_string());
+    };
+    let mut stats = TraceStats::default();
+    // Per-tid state: (last ts, stack of (ts, end)).
+    let mut lanes: BTreeMap<u64, (u64, Vec<(u64, u64)>)> = BTreeMap::new();
+    for (i, e) in events.iter().enumerate() {
+        let name = e
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("event {i}: missing name"))?;
+        let ph = e
+            .get("ph")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("event {i} ({name}): missing ph"))?;
+        if ph != "X" {
+            return Err(format!("event {i} ({name}): ph {ph:?}, only complete events allowed"));
+        }
+        let num = |key: &str| -> Result<u64, String> {
+            let n = e
+                .get(key)
+                .and_then(JsonValue::as_num)
+                .ok_or_else(|| format!("event {i} ({name}): missing {key}"))?;
+            if n < 0.0 || n.fract() != 0.0 {
+                return Err(format!("event {i} ({name}): non-integer {key} {n}"));
+            }
+            Ok(n as u64)
+        };
+        let ts = num("ts")?;
+        let dur = num("dur")?;
+        let pid = num("pid")?;
+        let tid = num("tid")?;
+        if pid != TRACE_PID {
+            return Err(format!("event {i} ({name}): unexpected pid {pid}"));
+        }
+        let end = ts + dur;
+        let (last_ts, stack) = lanes.entry(tid).or_insert((0, Vec::new()));
+        if ts < *last_ts {
+            return Err(format!(
+                "event {i} ({name}): tid {tid} timestamps regress ({ts} after {last_ts})"
+            ));
+        }
+        *last_ts = ts;
+        while let Some(&(_, open_end)) = stack.last() {
+            if open_end <= ts {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        if let Some(&(open_ts, open_end)) = stack.last() {
+            if end > open_end {
+                return Err(format!(
+                    "event {i} ({name}): [{ts}, {end}] partially overlaps \
+                     enclosing span [{open_ts}, {open_end}] on tid {tid}"
+                ));
+            }
+        }
+        stack.push((ts, end));
+        stats.events += 1;
+        stats.max_depth = stats.max_depth.max(stack.len());
+        stats.span_end_us = stats.span_end_us.max(end);
+    }
+    stats.threads = lanes.len();
+    Ok(stats)
+}
+
+/// Renders spans in the collapsed-stack format (`path;to;frame <value>`,
+/// value = self-time in microseconds) consumed by standard flamegraph
+/// tooling. Lines are aggregated by stack and sorted — deterministic for
+/// a deterministic span multiset.
+pub fn collapsed_stacks(records: &[SpanRecord]) -> String {
+    let mut agg: BTreeMap<&str, u64> = BTreeMap::new();
+    for r in records {
+        *agg.entry(r.stack.as_str()).or_insert(0) += r.self_ns / 1000;
+    }
+    let mut out = String::new();
+    for (stack, us) in agg {
+        let _ = writeln!(out, "{stack} {us}");
+    }
+    out
+}
+
+/// One row of the summary table.
+#[derive(Clone, Debug, Default)]
+struct NameAgg {
+    calls: u64,
+    total_ns: u64,
+    self_ns: u64,
+}
+
+/// Renders the human `--trace-summary` table: top-`k` span names by
+/// cumulative self-time, with call counts and total (inclusive) time.
+pub fn summary_table(records: &[SpanRecord], k: usize) -> String {
+    let mut agg: BTreeMap<(&str, &str), NameAgg> = BTreeMap::new();
+    let mut wall_ns = 0u64;
+    for r in records {
+        let a = agg.entry((r.cat.as_str(), r.name.as_str())).or_default();
+        a.calls += 1;
+        a.total_ns += r.dur_ns();
+        a.self_ns += r.self_ns;
+        wall_ns = wall_ns.max(r.end_ns);
+    }
+    let mut rows: Vec<((&str, &str), NameAgg)> = agg.into_iter().collect();
+    rows.sort_by(|a, b| b.1.self_ns.cmp(&a.1.self_ns).then(a.0.cmp(&b.0)));
+    rows.truncate(k);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<40} {:>8} {:>12} {:>12} {:>6}",
+        "span (cat:name)", "calls", "total", "self", "self%"
+    );
+    let total_self: u64 = records.iter().map(|r| r.self_ns).sum();
+    for ((cat, name), a) in &rows {
+        let pct = if total_self == 0 { 0.0 } else { 100.0 * a.self_ns as f64 / total_self as f64 };
+        let _ = writeln!(
+            out,
+            "{:<40} {:>8} {:>12} {:>12} {:>5.1}%",
+            format!("{cat}:{name}"),
+            a.calls,
+            fmt_ns(a.total_ns),
+            fmt_ns(a.self_ns),
+            pct
+        );
+    }
+    let _ = writeln!(out, "{} span(s), {} over the run", records.len(), fmt_ns(wall_ns));
+    out
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else {
+        format!("{}us", ns / 1000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::TraceCollector;
+
+    fn sample_records() -> Vec<SpanRecord> {
+        let t = TraceCollector::enabled();
+        {
+            let mut phase = t.span_in("phase", "slicing");
+            phase.attr("app", "demo").attr("sites", 2usize);
+            for dp in 0..2 {
+                let mut g = t.span_in("dp", format!("dp:{dp}"));
+                g.attr("dp_id", dp as u64);
+            }
+        }
+        {
+            let _g = t.span_in("phase", "pairing");
+        }
+        t.drain()
+    }
+
+    #[test]
+    fn chrome_export_round_trips_through_the_validator() {
+        let json = chrome_trace_json(&sample_records());
+        let stats = validate_chrome_trace(&json).expect("valid trace");
+        assert_eq!(stats.events, 4);
+        assert_eq!(stats.threads, 1);
+        assert_eq!(stats.max_depth, 2, "dp spans nest under the phase span");
+    }
+
+    #[test]
+    fn validator_rejects_partial_overlap() {
+        let bad = r#"{"traceEvents":[
+            {"name":"a","ph":"X","ts":0,"dur":10,"pid":1,"tid":1},
+            {"name":"b","ph":"X","ts":5,"dur":10,"pid":1,"tid":1}
+        ]}"#;
+        let err = validate_chrome_trace(bad).unwrap_err();
+        assert!(err.contains("partially overlaps"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_regressing_timestamps() {
+        let bad = r#"{"traceEvents":[
+            {"name":"a","ph":"X","ts":10,"dur":1,"pid":1,"tid":1},
+            {"name":"b","ph":"X","ts":5,"dur":1,"pid":1,"tid":1}
+        ]}"#;
+        let err = validate_chrome_trace(bad).unwrap_err();
+        assert!(err.contains("regress"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_non_complete_events_and_missing_fields() {
+        let b_event = r#"{"traceEvents":[{"name":"a","ph":"B","ts":0,"pid":1,"tid":1}]}"#;
+        assert!(validate_chrome_trace(b_event).unwrap_err().contains("only complete events"));
+        let missing = r#"{"traceEvents":[{"name":"a","ph":"X","ts":0,"pid":1,"tid":1}]}"#;
+        assert!(validate_chrome_trace(missing).unwrap_err().contains("missing dur"));
+        assert!(validate_chrome_trace("not json").unwrap_err().contains("invalid JSON"));
+        assert!(validate_chrome_trace("{}").unwrap_err().contains("traceEvents"));
+    }
+
+    #[test]
+    fn disjoint_siblings_are_valid() {
+        let ok = r#"{"traceEvents":[
+            {"name":"p","ph":"X","ts":0,"dur":20,"pid":1,"tid":1},
+            {"name":"a","ph":"X","ts":0,"dur":10,"pid":1,"tid":1},
+            {"name":"b","ph":"X","ts":10,"dur":10,"pid":1,"tid":1},
+            {"name":"other","ph":"X","ts":3,"dur":4,"pid":1,"tid":2}
+        ]}"#;
+        let stats = validate_chrome_trace(ok).expect("valid");
+        assert_eq!(stats.threads, 2);
+        assert_eq!(stats.max_depth, 2);
+    }
+
+    #[test]
+    fn collapsed_stacks_aggregate_by_path() {
+        let records = sample_records();
+        let text = collapsed_stacks(&records);
+        assert!(text.contains("slicing;dp:0 "), "{text}");
+        assert!(text.contains("slicing;dp:1 "), "{text}");
+        assert!(text.lines().any(|l| l.starts_with("pairing ")), "{text}");
+        // One line per distinct stack, "path value" shape.
+        for line in text.lines() {
+            let (_, value) = line.rsplit_once(' ').expect("value column");
+            value.parse::<u64>().expect("integer self-time");
+        }
+    }
+
+    #[test]
+    fn summary_table_lists_top_spans() {
+        let records = sample_records();
+        let table = summary_table(&records, 10);
+        assert!(table.contains("phase:slicing"), "{table}");
+        assert!(table.contains("dp:dp:0"), "{table}");
+        assert!(table.contains("4 span(s)"), "{table}");
+        let top2 = summary_table(&records, 2);
+        assert_eq!(top2.lines().count(), 4, "header + 2 rows + footer: {top2}");
+    }
+}

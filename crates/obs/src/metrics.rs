@@ -1,0 +1,540 @@
+//! The metrics registry: counters, gauges, and fixed-bucket latency
+//! histograms with a Prometheus-style text exposition renderer.
+//!
+//! # Determinism contract
+//!
+//! Every instrument declares a [`Volatility`] at registration:
+//!
+//! * [`Volatility::Deterministic`] — the value is a pure function of the
+//!   input (verdict counts, candidate-set sizes, slice statement counts).
+//!   These must be **byte-identical across worker counts**; the
+//!   jobs-invariance tests compare [`Registry::render_deterministic`]
+//!   snapshots directly. To keep that promise under parallel recording,
+//!   counters are integer atomics and histogram sums are accumulated in
+//!   integer micro-units (floating-point addition is not associative —
+//!   an f64 sum would depend on thread interleaving).
+//! * [`Volatility::PerRun`] — wall-clock-derived values (latencies, phase
+//!   seconds, shard imbalance, cache hit/miss races). Rendered by
+//!   [`Registry::render`], excluded from the deterministic snapshot.
+//!
+//! Instruments are cheap `Arc` handles; recording is lock-free. The
+//! registry itself is only locked at registration and render time.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Latency histogram bounds in microseconds — spans request classification
+/// (sub-microsecond trie walks) through whole-phase work.
+pub const LATENCY_US_BUCKETS: &[f64] = &[
+    1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0, 25000.0,
+    50000.0, 100000.0,
+];
+
+/// Bounds for ratio-valued distributions (candidate fraction, hit rates).
+pub const FRACTION_BUCKETS: &[f64] =
+    &[0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.2, 0.5, 1.0];
+
+/// Bounds for small-count distributions (candidates per request, slice
+/// statement counts).
+pub const COUNT_BUCKETS: &[f64] =
+    &[1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0];
+
+/// Whether an instrument's value is reproducible across runs and worker
+/// counts (see the module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Volatility {
+    /// Pure function of the input; jobs-invariant by contract.
+    Deterministic,
+    /// Timing- or scheduling-dependent; varies run to run.
+    PerRun,
+}
+
+/// A monotonically increasing integer counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-writer-wins floating-point gauge.
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge { bits: AtomicU64::new(0.0f64.to_bits()) }
+    }
+}
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket histogram. Bucket counts are cumulative only at render
+/// time; recording touches exactly one bucket counter plus the count/sum
+/// atomics.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// One per bound, plus the +Inf overflow bucket at the end.
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Observation sum in rounded integer micro-units (order-independent).
+    sum_micros: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        let idx = self.bounds.partition_point(|b| *b < v);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let micros = (v.max(0.0) * 1e6).round() as u64;
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations (micro-unit precision).
+    pub fn sum(&self) -> f64 {
+        self.sum_micros.load(Ordering::Relaxed) as f64 / 1e6
+    }
+
+    /// The bucket bounds (excluding +Inf).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket (non-cumulative) counts, +Inf bucket last.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Quantile estimate by linear interpolation inside the bucket that
+    /// crosses the target rank (the Prometheus `histogram_quantile`
+    /// rule). Observations beyond the last bound clamp to it.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = q.clamp(0.0, 1.0) * total as f64;
+        let mut cum = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            let n = c.load(Ordering::Relaxed);
+            if n == 0 {
+                cum += n;
+                continue;
+            }
+            let prev = cum;
+            cum += n;
+            if (cum as f64) >= target {
+                if i == self.bounds.len() {
+                    // +Inf bucket: clamp to the largest finite bound.
+                    return self.bounds[self.bounds.len() - 1];
+                }
+                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let hi = self.bounds[i];
+                let frac = (target - prev as f64) / n as f64;
+                return lo + (hi - lo) * frac.clamp(0.0, 1.0);
+            }
+        }
+        self.bounds[self.bounds.len() - 1]
+    }
+
+    /// p50 shorthand.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// p90 shorthand.
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// p99 shorthand.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// p99.9 shorthand.
+    pub fn p999(&self) -> f64 {
+        self.quantile(0.999)
+    }
+}
+
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Instrument {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) => "counter",
+            Instrument::Gauge(_) => "gauge",
+            Instrument::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Entry {
+    help: String,
+    volatility: Volatility,
+    instrument: Instrument,
+}
+
+/// The instrument registry. Clone-cheap; clones share the instruments.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<BTreeMap<(String, String), Entry>>>,
+}
+
+fn label_key(labels: &[(&str, &str)]) -> String {
+    let mut sorted: Vec<(&str, &str)> = labels.to_vec();
+    sorted.sort_unstable();
+    let mut out = String::new();
+    for (i, (k, v)) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out
+}
+
+fn fmt_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn register<T>(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        volatility: Volatility,
+        help: &str,
+        make: impl FnOnce() -> Instrument,
+        extract: impl FnOnce(&Instrument) -> Option<Arc<T>>,
+    ) -> Arc<T> {
+        let key = (name.to_string(), label_key(labels));
+        let mut map = self.inner.lock().expect("registry");
+        let entry = map.entry(key).or_insert_with(|| Entry {
+            help: help.to_string(),
+            volatility,
+            instrument: make(),
+        });
+        extract(&entry.instrument).unwrap_or_else(|| {
+            panic!(
+                "instrument {name:?} re-registered as a different kind \
+                 (existing: {})",
+                entry.instrument.type_name()
+            )
+        })
+    }
+
+    /// Registers (or fetches) a counter.
+    pub fn counter(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        volatility: Volatility,
+        help: &str,
+    ) -> Arc<Counter> {
+        self.register(
+            name,
+            labels,
+            volatility,
+            help,
+            || Instrument::Counter(Arc::new(Counter::default())),
+            |i| match i {
+                Instrument::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Registers (or fetches) a gauge.
+    pub fn gauge(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        volatility: Volatility,
+        help: &str,
+    ) -> Arc<Gauge> {
+        self.register(
+            name,
+            labels,
+            volatility,
+            help,
+            || Instrument::Gauge(Arc::new(Gauge::default())),
+            |i| match i {
+                Instrument::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Registers (or fetches) a histogram with the given bucket bounds.
+    pub fn histogram(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        volatility: Volatility,
+        help: &str,
+        bounds: &[f64],
+    ) -> Arc<Histogram> {
+        self.register(
+            name,
+            labels,
+            volatility,
+            help,
+            || Instrument::Histogram(Arc::new(Histogram::new(bounds))),
+            |i| match i {
+                Instrument::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Renders every instrument in the Prometheus text exposition format.
+    pub fn render(&self) -> String {
+        self.render_filtered(|_| true)
+    }
+
+    /// Renders only [`Volatility::Deterministic`] instruments — the
+    /// byte-comparable snapshot the jobs-invariance tests pin.
+    pub fn render_deterministic(&self) -> String {
+        self.render_filtered(|v| v == Volatility::Deterministic)
+    }
+
+    fn render_filtered(&self, keep: impl Fn(Volatility) -> bool) -> String {
+        use std::fmt::Write as _;
+        let map = self.inner.lock().expect("registry");
+        let mut out = String::new();
+        let mut last_header: Option<String> = None;
+        for ((name, labels), entry) in map.iter() {
+            if !keep(entry.volatility) {
+                continue;
+            }
+            if last_header.as_deref() != Some(name.as_str()) {
+                let _ = writeln!(out, "# HELP {name} {}", entry.help);
+                let _ = writeln!(out, "# TYPE {name} {}", entry.instrument.type_name());
+                last_header = Some(name.clone());
+            }
+            let braced = |extra: &str| -> String {
+                match (labels.is_empty(), extra.is_empty()) {
+                    (true, true) => String::new(),
+                    (true, false) => format!("{{{extra}}}"),
+                    (false, true) => format!("{{{labels}}}"),
+                    (false, false) => format!("{{{labels},{extra}}}"),
+                }
+            };
+            match &entry.instrument {
+                Instrument::Counter(c) => {
+                    let _ = writeln!(out, "{name}{} {}", braced(""), c.get());
+                }
+                Instrument::Gauge(g) => {
+                    let _ = writeln!(out, "{name}{} {}", braced(""), fmt_value(g.get()));
+                }
+                Instrument::Histogram(h) => {
+                    let buckets = h.bucket_counts();
+                    let mut cum = 0u64;
+                    for (b, n) in h.bounds().iter().zip(&buckets) {
+                        cum += n;
+                        let le = format!("le=\"{}\"", fmt_value(*b));
+                        let _ = writeln!(out, "{name}_bucket{} {cum}", braced(&le));
+                    }
+                    cum += buckets.last().copied().unwrap_or(0);
+                    let _ = writeln!(out, "{name}_bucket{} {cum}", braced("le=\"+Inf\""));
+                    let _ = writeln!(out, "{name}_sum{} {}", braced(""), fmt_value(h.sum()));
+                    let _ = writeln!(out, "{name}_count{} {}", braced(""), h.count());
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let reg = Registry::new();
+        let c = reg.counter("req_total", &[], Volatility::Deterministic, "requests");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Re-registration returns the same instrument.
+        let c2 = reg.counter("req_total", &[], Volatility::Deterministic, "requests");
+        c2.inc();
+        assert_eq!(c.get(), 6);
+
+        let g = reg.gauge("ratio", &[], Volatility::PerRun, "a ratio");
+        g.set(0.25);
+        assert_eq!(g.get(), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter("x", &[], Volatility::Deterministic, "");
+        reg.gauge("x", &[], Volatility::Deterministic, "");
+    }
+
+    #[test]
+    fn histogram_quantiles_interpolate() {
+        let h = Histogram::new(&[10.0, 20.0, 40.0]);
+        for v in [5.0, 5.0, 15.0, 15.0, 15.0, 15.0, 35.0, 35.0, 35.0, 100.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.bucket_counts(), vec![2, 4, 3, 1]);
+        assert!((h.sum() - 275.0).abs() < 1e-6);
+        // p50: target 5 falls in bucket (10,20]: 10 + 10*(5-2)/4 = 17.5.
+        assert!((h.p50() - 17.5).abs() < 1e-9, "{}", h.p50());
+        // p99: target 9.9 is in the +Inf bucket -> clamps to 40.
+        assert_eq!(h.p99(), 40.0);
+        // p0 edge and empty histogram.
+        assert_eq!(h.quantile(0.0), 0.0);
+        assert_eq!(Histogram::new(&[1.0]).quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn exposition_renders_prometheus_text() {
+        let reg = Registry::new();
+        reg.counter(
+            "verdicts_total",
+            &[("verdict", "match")],
+            Volatility::Deterministic,
+            "per-verdict",
+        )
+        .add(7);
+        reg.counter(
+            "verdicts_total",
+            &[("verdict", "unmatched")],
+            Volatility::Deterministic,
+            "per-verdict",
+        )
+        .add(3);
+        let h = reg.histogram("lat_us", &[], Volatility::PerRun, "latency", &[1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(5.0);
+        h.observe(50.0);
+        reg.gauge("imbalance", &[], Volatility::PerRun, "shard imbalance").set(1.5);
+
+        let text = reg.render();
+        assert!(text.contains("# TYPE verdicts_total counter"), "{text}");
+        assert!(text.contains("verdicts_total{verdict=\"match\"} 7"), "{text}");
+        assert!(text.contains("verdicts_total{verdict=\"unmatched\"} 3"), "{text}");
+        assert!(text.contains("lat_us_bucket{le=\"1\"} 1"), "{text}");
+        assert!(text.contains("lat_us_bucket{le=\"10\"} 2"), "{text}");
+        assert!(text.contains("lat_us_bucket{le=\"+Inf\"} 3"), "{text}");
+        assert!(text.contains("lat_us_count 3"), "{text}");
+        assert!(text.contains("imbalance 1.5"), "{text}");
+        // TYPE header appears once per metric family.
+        assert_eq!(text.matches("# TYPE verdicts_total").count(), 1);
+    }
+
+    #[test]
+    fn deterministic_snapshot_excludes_per_run_instruments() {
+        let reg = Registry::new();
+        reg.counter("det_total", &[], Volatility::Deterministic, "det").add(1);
+        reg.gauge("wall_seconds", &[], Volatility::PerRun, "volatile").set(0.123);
+        let det = reg.render_deterministic();
+        assert!(det.contains("det_total 1"), "{det}");
+        assert!(!det.contains("wall_seconds"), "{det}");
+        assert!(reg.render().contains("wall_seconds"));
+    }
+
+    #[test]
+    fn parallel_recording_is_order_independent() {
+        let reg = Registry::new();
+        let c = reg.counter("n", &[], Volatility::Deterministic, "");
+        let h = reg.histogram("d", &[], Volatility::Deterministic, "", FRACTION_BUCKETS);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = Arc::clone(&c);
+                let h = Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        c.inc();
+                        h.observe((i % 100) as f64 / 100.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+        assert_eq!(h.count(), 4000);
+        // The micro-unit sum is exact regardless of interleaving.
+        let expected: f64 = 4.0 * (0..1000).map(|i| (i % 100) as f64 / 100.0).sum::<f64>();
+        assert!((h.sum() - expected).abs() < 1e-6, "{} vs {expected}", h.sum());
+    }
+}

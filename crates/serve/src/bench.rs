@@ -13,9 +13,11 @@
 //! The emitted JSON (`BENCH_classify.json`) is what CI regression-gates
 //! against the checked-in baseline.
 
-use crate::classify::{classify_batch, ClassifyStats};
+use crate::classify::{classify_batch, classify_batch_observed, ClassifyStats};
 use crate::index::SignatureIndex;
+use crate::metrics::ServeMetrics;
 use extractocol_core::report::AnalysisReport;
+use extractocol_core::{PhaseTimings, TraceCollector};
 use extractocol_http::{JsonValue, Request};
 use std::time::Instant;
 
@@ -100,9 +102,62 @@ pub fn run(requests_n: usize, jobs: usize) -> BenchReport {
     let index = SignatureIndex::compile(&reports);
     let base = corpus_requests();
     let requests = tile_requests(&base, requests_n);
+    bench_index(&index, &requests, jobs)
+}
+
+/// [`run`] plus the instrument bundle behind `bench --metrics-out`.
+#[derive(Clone)]
+pub struct ObservedBench {
+    /// The throughput report from the *uninstrumented* timed batch — the
+    /// numbers the baseline gate compares stay free of metric overhead.
+    pub report: BenchReport,
+    /// Classifier instruments filled by a second, instrumented pass over
+    /// the same request set (latency histograms, candidate-fraction
+    /// distribution, shard imbalance, phase seconds).
+    pub metrics: ServeMetrics,
+    /// Serve-side phase wall-clocks (`serve_compile` / `serve_classify`).
+    pub phases: PhaseTimings,
+}
+
+/// Runs the benchmark with instruments: the timed batch stays on the
+/// uninstrumented fast path (so throughput numbers are comparable to the
+/// baseline), then an instrumented pass over the same requests fills the
+/// latency/candidate-fraction histograms, shard telemetry, and the
+/// `serve_compile`/`serve_classify` [`PhaseTimings`] slots.
+pub fn run_observed(requests_n: usize, jobs: usize, trace: &TraceCollector) -> ObservedBench {
+    let metrics = ServeMetrics::new();
+    let mut phases = PhaseTimings::default();
+
+    let reports = corpus_reports(jobs);
+    let t = Instant::now();
+    let index = {
+        let mut s = trace.span_in("phase", "serve_compile");
+        let index = SignatureIndex::compile(&reports);
+        s.attr("signatures", index.len()).attr("trie_nodes", index.trie_nodes());
+        index
+    };
+    phases.serve_compile = t.elapsed();
+    let base = corpus_requests();
+    let requests = tile_requests(&base, requests_n);
+
+    let report = bench_index(&index, &requests, jobs);
 
     let t = Instant::now();
-    let (_, stats) = classify_batch(&index, &requests, jobs);
+    {
+        let mut s = trace.span_in("phase", "serve_classify");
+        s.attr("requests", requests.len()).attr("jobs", jobs);
+        classify_batch_observed(&index, &requests, jobs, &metrics, trace);
+    }
+    phases.serve_classify = t.elapsed();
+    metrics.observe_phases(phases.serve_compile, phases.serve_classify);
+    ObservedBench { report, metrics, phases }
+}
+
+/// Measures one compiled index against one request set: timed batch run
+/// plus sequential latency sampling.
+fn bench_index(index: &SignatureIndex, requests: &[Request], jobs: usize) -> BenchReport {
+    let t = Instant::now();
+    let (_, stats) = classify_batch(index, requests, jobs);
     let elapsed = t.elapsed().as_secs_f64();
 
     // Latency sampling: sequential, one timer per request.

@@ -10,6 +10,11 @@
 //! # Throughput benchmark over the corpus fuzzer traffic:
 //! extractocol-serve bench --requests 50000 --jobs 0 --out BENCH_classify.json
 //! extractocol-serve bench --requests 50000 --baseline BENCH_classify.baseline.json
+//! extractocol-serve bench --metrics-out METRICS_classify.txt
+//!
+//! # Observability: exposition-format metrics and Chrome-trace spans
+//! extractocol-serve classify --corpus --traffic requests.txt \
+//!     --metrics-out metrics.txt --trace-out trace.json
 //! ```
 //!
 //! The traffic file is line-based, one request per line —
@@ -18,18 +23,26 @@
 //!
 //! `bench --baseline` exits non-zero when measured throughput falls more
 //! than 2x below the baseline's `requests_per_sec`, or when the average
-//! candidate fraction exceeds the 20% pruning bar.
+//! candidate fraction exceeds the 20% pruning bar. `--metrics-out` writes
+//! the serving instruments (verdict counters, candidate-fraction
+//! distribution, per-verdict-class latency histograms with p50/p99, shard
+//! imbalance) in the exposition text format; the timed throughput run
+//! stays on the uninstrumented fast path either way.
 
+use extractocol_core::TraceCollector;
 use extractocol_serve::bench as serve_bench;
-use extractocol_serve::{classify_batch, SignatureIndex, Verdict};
+use extractocol_serve::{
+    classify_batch, classify_batch_observed, ServeMetrics, SignatureIndex, Verdict,
+};
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: extractocol-serve classify (--report <app.jimple> ... | --corpus | --app <name>) \
-         --traffic <file> [--jobs <n>] [--json]\n       \
+         --traffic <file> [--jobs <n>] [--json] [--metrics-out <file>] [--trace-out <file>]\n       \
          extractocol-serve bench [--requests <n>] [--jobs <n>] [--out <file>] \
-         [--baseline <file>]"
+         [--baseline <file>] [--metrics-out <file>]"
     );
     ExitCode::from(2)
 }
@@ -54,6 +67,8 @@ fn cmd_classify(args: Vec<String>) -> ExitCode {
     let mut traffic: Option<String> = None;
     let mut jobs = 1usize;
     let mut json_out = false;
+    let mut metrics_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
 
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -76,6 +91,14 @@ fn cmd_classify(args: Vec<String>) -> ExitCode {
                 None => return usage(),
             },
             "--json" => json_out = true,
+            "--metrics-out" => match it.next() {
+                Some(p) => metrics_out = Some(p),
+                None => return usage(),
+            },
+            "--trace-out" => match it.next() {
+                Some(p) => trace_out = Some(p),
+                None => return usage(),
+            },
             _ => return usage(),
         }
     }
@@ -121,7 +144,9 @@ fn cmd_classify(args: Vec<String>) -> ExitCode {
             ));
         }
     }
+    let t_compile = Instant::now();
     let index = SignatureIndex::compile(&reports);
+    let compile_dur = t_compile.elapsed();
 
     let text = match std::fs::read_to_string(&traffic_path) {
         Ok(s) => s,
@@ -138,7 +163,35 @@ fn cmd_classify(args: Vec<String>) -> ExitCode {
         }
     };
     let requests: Vec<_> = trace.transactions.into_iter().map(|t| t.request).collect();
-    let (verdicts, stats) = classify_batch(&index, &requests, jobs);
+
+    // Instruments/spans only on request — the plain path stays the
+    // uninstrumented classifier.
+    let observed = metrics_out.is_some() || trace_out.is_some();
+    let serve_metrics = ServeMetrics::new();
+    let collector =
+        if trace_out.is_some() { TraceCollector::enabled() } else { TraceCollector::disabled() };
+    let t_classify = Instant::now();
+    let (verdicts, stats) = if observed {
+        classify_batch_observed(&index, &requests, jobs, &serve_metrics, &collector)
+    } else {
+        classify_batch(&index, &requests, jobs)
+    };
+    if observed {
+        serve_metrics.observe_phases(compile_dur, t_classify.elapsed());
+    }
+    if let Some(path) = &metrics_out {
+        if let Err(e) = std::fs::write(path, serve_metrics.registry.render()) {
+            eprintln!("extractocol-serve: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &trace_out {
+        let spans = collector.drain();
+        if let Err(e) = std::fs::write(path, extractocol_obs::chrome_trace_json(&spans)) {
+            eprintln!("extractocol-serve: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
 
     if json_out {
         use extractocol_http::JsonValue;
@@ -191,6 +244,7 @@ fn cmd_bench(args: Vec<String>) -> ExitCode {
     let mut jobs = 0usize;
     let mut out: Option<String> = None;
     let mut baseline: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
 
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -211,11 +265,28 @@ fn cmd_bench(args: Vec<String>) -> ExitCode {
                 Some(p) => baseline = Some(p),
                 None => return usage(),
             },
+            "--metrics-out" => match it.next() {
+                Some(p) => metrics_out = Some(p),
+                None => return usage(),
+            },
             _ => return usage(),
         }
     }
 
-    let report = serve_bench::run(requests, jobs);
+    // With --metrics-out the run adds an instrumented pass (latency
+    // histograms, candidate-fraction distribution, shard imbalance); the
+    // timed batch behind the throughput numbers stays uninstrumented.
+    let report = if let Some(path) = &metrics_out {
+        let observed = serve_bench::run_observed(requests, jobs, &TraceCollector::disabled());
+        if let Err(e) = std::fs::write(path, observed.metrics.registry.render()) {
+            eprintln!("extractocol-serve: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        print!("{}", observed.phases.to_text());
+        observed.report
+    } else {
+        serve_bench::run(requests, jobs)
+    };
     let json = report.to_json().to_json();
     println!(
         "classified {} requests against {} signatures: {:.0} req/s \

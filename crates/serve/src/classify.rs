@@ -10,10 +10,13 @@
 //! corpus-wide differential test.
 
 use crate::index::{SignatureIndex, Verdict};
+use crate::metrics::ServeMetrics;
 use extractocol_core::par::parallel_map;
+use extractocol_core::TraceCollector;
 use extractocol_http::Request;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::time::Instant;
 
 /// Shard size for batch classification. Fixed (not derived from `jobs`)
 /// so stats aggregation is invariant under the worker count.
@@ -127,6 +130,95 @@ pub fn classify_batch(
     (verdicts, stats)
 }
 
+/// [`classify_batch`] with instruments and spans: per-request counters,
+/// the candidate-fraction distribution, per-verdict latency histograms,
+/// and shard-imbalance telemetry into `metrics`; a `shard → request →
+/// trie_probe/structural_match` span tree into `trace` when it records.
+///
+/// Verdicts and stats are identical to the plain path — only the
+/// per-request timer and the metric updates ride along. Throughput
+/// benchmarks keep using [`classify_batch`] for the timed run so the
+/// gate measures the uninstrumented fast path.
+pub fn classify_batch_observed(
+    index: &SignatureIndex,
+    requests: &[Request],
+    jobs: usize,
+    metrics: &ServeMetrics,
+    trace: &TraceCollector,
+) -> (Vec<Verdict>, ClassifyStats) {
+    metrics.observe_index(index.len(), index.trie_nodes());
+    let shards: Vec<&[Request]> = requests.chunks(SHARD_SIZE).collect();
+    let shard_results = parallel_map(&shards, jobs, |i, shard| {
+        let mut span = trace.span_in("shard", format!("shard:{i}"));
+        span.attr("shard", i).attr("requests", shard.len());
+        let t = Instant::now();
+        let out = classify_shard_observed(index, shard, metrics, trace);
+        (out, t.elapsed())
+    });
+    let mut verdicts = Vec::with_capacity(requests.len());
+    let mut stats = ClassifyStats { signatures: index.len(), ..ClassifyStats::default() };
+    let mut shard_durs = Vec::with_capacity(shard_results.len());
+    for ((vs, shard_stats), dur) in shard_results {
+        verdicts.extend(vs);
+        stats.merge(&shard_stats);
+        shard_durs.push(dur);
+    }
+    metrics.observe_shards(&shard_durs);
+    (verdicts, stats)
+}
+
+/// Sequentially classifies one shard, feeding `metrics` and `trace`.
+fn classify_shard_observed(
+    index: &SignatureIndex,
+    shard: &[Request],
+    metrics: &ServeMetrics,
+    trace: &TraceCollector,
+) -> (Vec<Verdict>, ClassifyStats) {
+    let mut verdicts = Vec::with_capacity(shard.len());
+    let mut stats = ClassifyStats::default();
+    for req in shard {
+        let mut rspan = trace.span_in("request", "request");
+        // The trie probe runs once more under its own span when tracing;
+        // the metric path below times the real (single) classify call.
+        if rspan.is_recording() {
+            let mut ps = trace.span_in("step", "trie_probe");
+            ps.attr("candidates", index.candidates(&req.uri.raw).len());
+        }
+        let t = Instant::now();
+        let (verdict, probe) = {
+            let mut ms = trace.span_in("step", "structural_match");
+            let (verdict, probe) = index.classify(req);
+            if ms.is_recording() {
+                ms.attr("structural_evals", probe.structural_evals)
+                    .attr("matched", matches!(verdict, Verdict::Match(_)));
+            }
+            (verdict, probe)
+        };
+        let latency = t.elapsed();
+        metrics.observe_request(&verdict, &probe, index.len(), Some(latency));
+        if rspan.is_recording() {
+            rspan.attr("method", req.method.as_str()).attr("candidates", probe.candidates);
+            if let Verdict::Match(id) = verdict {
+                rspan.attr("sig_id", id as u64);
+            }
+        }
+        stats.requests += 1;
+        stats.candidates_total += probe.candidates;
+        stats.structural_evals += probe.structural_evals;
+        stats.budget_exhausted += probe.budget_exhausted;
+        stats.max_candidates = stats.max_candidates.max(probe.candidates);
+        match verdict {
+            Verdict::Match(id) => {
+                stats.matched += 1;
+                *stats.per_app.entry(index.sig(id).app.clone()).or_insert(0) += 1;
+            }
+            Verdict::Unmatched => stats.unmatched += 1,
+        }
+        verdicts.push(verdict);
+    }
+    (verdicts, stats)
+}
+
 /// Sequentially classifies one shard.
 fn classify_shard(index: &SignatureIndex, shard: &[Request]) -> (Vec<Verdict>, ClassifyStats) {
     let mut verdicts = Vec::with_capacity(shard.len());
@@ -209,6 +301,47 @@ mod tests {
                 .count()
         );
         assert_eq!(s1.per_app.get("demo"), Some(&s1.matched));
+    }
+
+    #[test]
+    fn observed_batch_matches_the_plain_path() {
+        let idx = small_index();
+        let reqs: Vec<Request> =
+            (0..700).map(|i| Request::get(&format!("http://h/api/{}/item{}", i % 10, i))).collect();
+        let (v, s) = classify_batch(&idx, &reqs, 2);
+        let metrics = ServeMetrics::new();
+        let trace = TraceCollector::enabled();
+        let (vo, so) = classify_batch_observed(&idx, &reqs, 1, &metrics, &trace);
+        assert_eq!(v, vo);
+        assert_eq!(s, so);
+        let det = metrics.registry.render_deterministic();
+        assert!(det.contains(&format!("serve_classify_requests_total {}", s.requests)));
+        assert!(det
+            .contains(&format!("serve_classify_verdict_total{{verdict=\"match\"}} {}", s.matched)));
+        // jobs=1 runs shards inline: request spans nest under shard spans,
+        // probe/match steps under requests.
+        let spans = trace.drain();
+        let shard = spans.iter().find(|r| r.cat == "shard").expect("shard span");
+        assert_eq!(shard.depth, 0);
+        assert!(spans.iter().any(|r| r.cat == "request" && r.depth == 1));
+        assert!(spans.iter().any(|r| r.cat == "step" && r.name == "trie_probe" && r.depth == 2));
+        assert!(spans
+            .iter()
+            .any(|r| r.cat == "step" && r.name == "structural_match" && r.depth == 2));
+    }
+
+    #[test]
+    fn observed_metrics_are_jobs_invariant() {
+        let idx = small_index();
+        let reqs: Vec<Request> = (0..1200)
+            .map(|i| Request::get(&format!("http://h/api/{}/item{}", i % 10, i)))
+            .collect();
+        let snapshot = |jobs: usize| {
+            let metrics = ServeMetrics::new();
+            classify_batch_observed(&idx, &reqs, jobs, &metrics, &TraceCollector::disabled());
+            metrics.registry.render_deterministic()
+        };
+        assert_eq!(snapshot(1), snapshot(8));
     }
 
     #[test]

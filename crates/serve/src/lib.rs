@@ -7,7 +7,7 @@
 //! provenance at high throughput. This is the paper's "network management
 //! / signature-based filtering" use case (§2, §7) made concrete.
 //!
-//! Three layers:
+//! Four layers:
 //!
 //! * [`index`] — the immutable compiled index: a byte-trie over mandatory
 //!   literal URI prefixes prunes the candidate set before the structural
@@ -17,13 +17,19 @@
 //!   results are byte-identical across `jobs` settings.
 //! * [`bench`] — the corpus-driven throughput benchmark behind
 //!   `extractocol-serve bench` and CI's `BENCH_classify.json` gate.
+//! * [`metrics`] — the serving-side instrument bundle ([`ServeMetrics`]):
+//!   verdict counters, the candidate-fraction distribution,
+//!   per-verdict-class latency histograms, and shard telemetry, rendered
+//!   in exposition format behind `--metrics-out`.
 //!
 //! [`AnalysisReport`]: extractocol_core::report::AnalysisReport
 
 pub mod bench;
 pub mod classify;
 pub mod index;
+pub mod metrics;
 
-pub use bench::BenchReport;
-pub use classify::{classify_batch, ClassifyStats};
+pub use bench::{BenchReport, ObservedBench};
+pub use classify::{classify_batch, classify_batch_observed, ClassifyStats};
 pub use index::{CompiledSig, Probe, SignatureIndex, Verdict};
+pub use metrics::ServeMetrics;

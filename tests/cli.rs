@@ -246,3 +246,72 @@ fn serve_cli_rejects_malformed_traffic() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("line 1"), "line-anchored error");
 }
+
+#[test]
+fn cli_trace_and_metrics_flags_emit_valid_artifacts() {
+    let path = write_app("radio reddit");
+    let mut trace_path = std::env::temp_dir();
+    trace_path.push("extractocol-cli-trace.json");
+    let mut metrics_path = std::env::temp_dir();
+    metrics_path.push("extractocol-cli-metrics.txt");
+    let out = cli()
+        .arg(&path)
+        .args(["--trace-summary", "--trace-out"])
+        .arg(&trace_path)
+        .arg("--metrics-out")
+        .arg(&metrics_path)
+        .output()
+        .expect("run extractocol");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("self"), "summary table header present: {stdout}");
+    assert!(stdout.contains("slicing"), "phase rows present: {stdout}");
+
+    // The trace artifact passes the strict round-trip validator.
+    let json = std::fs::read_to_string(&trace_path).expect("trace written");
+    let stats = extractocol_obs::validate_chrome_trace(&json).expect("valid chrome trace");
+    assert!(stats.events > 0);
+    assert!(stats.max_depth >= 2, "run -> phase -> dp nesting");
+
+    // The metrics artifact is exposition-format text with the pipeline
+    // instrument families.
+    let metrics = std::fs::read_to_string(&metrics_path).expect("metrics written");
+    assert!(metrics.contains("# TYPE pipeline_dp_sites_total counter"), "{metrics}");
+    assert!(metrics.contains("pipeline_phase_seconds"), "{metrics}");
+    assert!(metrics.contains("pipeline_dp_slice_stmts_bucket"), "{metrics}");
+}
+
+#[test]
+fn serve_cli_bench_metrics_out_writes_exposition_text() {
+    // Smallest possible bench: classify with metrics against one app, so
+    // the latency/candidate instruments flow through the CLI surface.
+    let traffic = {
+        let app = extractocol_corpus::app("radio reddit").expect("corpus app");
+        let trace = extractocol_dynamic::run_perfect_fuzzer(&app);
+        let mut p = std::env::temp_dir();
+        p.push("extractocol-serve-cli-metrics-traffic.txt");
+        std::fs::write(&p, trace.to_request_text()).unwrap();
+        p
+    };
+    let mut metrics_path = std::env::temp_dir();
+    metrics_path.push("extractocol-serve-cli-metrics.txt");
+    let out = serve_cli()
+        .args(["classify", "--app", "radio reddit", "--traffic"])
+        .arg(&traffic)
+        .arg("--metrics-out")
+        .arg(&metrics_path)
+        .output()
+        .expect("run extractocol-serve");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let metrics = std::fs::read_to_string(&metrics_path).expect("metrics written");
+    for family in [
+        "serve_classify_requests_total",
+        "serve_classify_verdict_total",
+        "serve_classify_candidate_fraction_bucket",
+        "serve_classify_latency_us_bucket",
+        "serve_index_signatures",
+        "serve_phase_compile_seconds",
+    ] {
+        assert!(metrics.contains(family), "missing {family} in:\n{metrics}");
+    }
+}
