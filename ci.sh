@@ -45,4 +45,30 @@ for fam in serve_classify_requests_total serve_classify_verdict_total \
     || { echo "METRICS_classify.txt: missing instrument family $fam"; exit 1; }
 done
 
+echo "==> adversarial gate (seeded attack suite: totality + trie-vs-brute differential)"
+cargo run --release -q -p extractocol-serve --bin extractocol-serve -- \
+  attack --seed 3850022000 --per-class 64 --jobs 0 \
+  --out BENCH_attack.json --metrics-out METRICS_attack.txt
+
+echo "==> observability gate (mandatory attack instruments)"
+for class in malformed_wire deep_body giant_body uri_mutation \
+  regex_exhaustion truncated oversized_headers; do
+  grep -q "serve_attack_cases_total{class=\"$class\"}" METRICS_attack.txt \
+    || { echo "METRICS_attack.txt: missing cases counter for class $class"; exit 1; }
+done
+for fam in serve_attack_parse_errors_total serve_attack_budget_exhausted_total \
+  serve_attack_verdict_total serve_attack_latency_us_bucket; do
+  grep -q "$fam" METRICS_attack.txt \
+    || { echo "METRICS_attack.txt: missing instrument family $fam"; exit 1; }
+done
+grep "serve_attack_parse_errors_total{class=\"malformed_wire\"}" METRICS_attack.txt \
+  | grep -qv " 0\$" \
+  || { echo "METRICS_attack.txt: malformed_wire produced no parse errors"; exit 1; }
+
+echo "==> adversarial gate (fresh time-derived seed, printed for replay)"
+ATTACK_SEED=$(date +%s)
+echo "time-derived attack seed: $ATTACK_SEED (replay: extractocol-serve attack --seed $ATTACK_SEED --per-class 16)"
+cargo run --release -q -p extractocol-serve --bin extractocol-serve -- \
+  attack --seed "$ATTACK_SEED" --per-class 16 --jobs 0
+
 echo "CI OK"

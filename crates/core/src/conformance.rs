@@ -24,7 +24,7 @@
 use crate::report::{AnalysisReport, TxnReport};
 use crate::sigbuild::{BodySig, ResponseSig};
 use crate::siglang::SigPat;
-use extractocol_http::regexlite::DEFAULT_MATCH_BUDGET;
+use extractocol_http::regexlite::{BudgetExceeded, DEFAULT_MATCH_BUDGET};
 use extractocol_http::{Body, Regex, Transaction};
 use std::fmt;
 
@@ -223,18 +223,54 @@ fn dual_match(sig: &SigPat, re: &Regex, input: &str) -> Verdict {
 /// applies the *same* body semantics to surviving candidates — a request
 /// must never classify differently under the oracle and under the index.
 pub fn request_body_matches(sig: &BodySig, body: &Body) -> bool {
+    request_body_matches_budgeted(sig, body, usize::MAX)
+        .expect("unbounded budget cannot be exceeded")
+}
+
+/// Budgeted variant of [`request_body_matches`]: the same semantics, but
+/// every structural/regex comparison runs under a step budget so a
+/// pathological body (deeply nested JSON, giant forms, regex-exhaustion
+/// text) cannot burn unbounded work. `Err(BudgetExceeded)` is distinct
+/// from `Ok(false)`; callers on the serving hot path treat it as a
+/// non-match *and* count it, keeping trie and brute-force verdicts
+/// identical on adversarial traffic.
+pub fn request_body_matches_budgeted(
+    sig: &BodySig,
+    body: &Body,
+    budget: usize,
+) -> Result<bool, BudgetExceeded> {
     match (sig, body) {
-        (BodySig::Form(pairs), Body::Form(concrete)) => pairs.iter().all(|(k, _)| {
-            let structural = concrete.iter().any(|(ck, _)| k.matches(ck));
-            let compiled = Regex::new(&k.to_regex())
-                .map(|re| concrete.iter().any(|(ck, _)| re.is_match(ck)))
-                .unwrap_or(false);
-            structural && compiled
-        }),
-        (BodySig::Json(js), Body::Json(j)) => js.matches(j),
-        (BodySig::Xml(xs), Body::Xml(x)) => xs.matches(x),
-        (BodySig::Text(_), _) => true,
-        _ => false,
+        (BodySig::Form(pairs), Body::Form(concrete)) => {
+            for (k, _) in pairs {
+                let mut structural = false;
+                for (ck, _) in concrete {
+                    if k.matches_budgeted(ck, budget)? {
+                        structural = true;
+                        break;
+                    }
+                }
+                if !structural {
+                    return Ok(false);
+                }
+                let mut compiled = false;
+                if let Ok(re) = Regex::new(&k.to_regex()) {
+                    for (ck, _) in concrete {
+                        if re.is_match_budgeted(ck, budget)? {
+                            compiled = true;
+                            break;
+                        }
+                    }
+                }
+                if !compiled {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        (BodySig::Json(js), Body::Json(j)) => js.matches_budgeted(j, budget),
+        (BodySig::Xml(xs), Body::Xml(x)) => xs.matches_budgeted(x, budget),
+        (BodySig::Text(_), _) => Ok(true),
+        _ => Ok(false),
     }
 }
 

@@ -416,7 +416,7 @@ impl SigPat {
                             return Err(BudgetExceeded { budget });
                         }
                         if let Ok(v) = JsonValue::parse(&s[p..q]) {
-                            if j.matches(&v) {
+                            if j.matches_counted(&v, steps, budget)? {
                                 out.insert(q);
                             }
                         }
@@ -434,7 +434,7 @@ impl SigPat {
                             return Err(BudgetExceeded { budget });
                         }
                         if let Ok(e) = XmlElement::parse(&s[p..q]) {
-                            if x.matches(&e) {
+                            if x.matches_counted(&e, steps, budget)? {
                                 out.insert(q);
                             }
                         }
@@ -584,28 +584,73 @@ impl JsonSig {
     /// Structural match against a concrete JSON value. Extra keys in the
     /// value are allowed; missing constrained keys are not.
     pub fn matches(&self, v: &JsonValue) -> bool {
-        match (self, v) {
+        self.matches_budgeted(v, usize::MAX).expect("unbounded budget cannot be exceeded")
+    }
+
+    /// Budgeted structural match. Every signature/value node visited costs
+    /// one step and leaf patterns run under the regex engine's own step
+    /// budget, so a giant or deeply nested body cannot burn unbounded work.
+    /// `Err(BudgetExceeded)` is distinct from `Ok(false)`, mirroring
+    /// [`SigPat::matches_budgeted`].
+    pub fn matches_budgeted(&self, v: &JsonValue, budget: usize) -> Result<bool, BudgetExceeded> {
+        let mut steps = 0usize;
+        self.matches_counted(v, &mut steps, budget)
+    }
+
+    fn matches_counted(
+        &self,
+        v: &JsonValue,
+        steps: &mut usize,
+        budget: usize,
+    ) -> Result<bool, BudgetExceeded> {
+        *steps = steps.saturating_add(1);
+        if *steps > budget {
+            return Err(BudgetExceeded { budget });
+        }
+        Ok(match (self, v) {
             (JsonSig::Unknown, _) => true,
             (JsonSig::Object(m), JsonValue::Object(vm)) => {
-                m.iter().all(|(k, s)| vm.get(k).map(|vv| s.matches(vv)).unwrap_or(false))
+                for (k, s) in m {
+                    let hit = match vm.get(k) {
+                        Some(vv) => s.matches_counted(vv, steps, budget)?,
+                        None => false,
+                    };
+                    if !hit {
+                        return Ok(false);
+                    }
+                }
+                true
             }
-            (JsonSig::Array(e), JsonValue::Array(va)) => va.iter().all(|vv| e.matches(vv)),
+            (JsonSig::Array(e), JsonValue::Array(va)) => {
+                for vv in va {
+                    if !e.matches_counted(vv, steps, budget)? {
+                        return Ok(false);
+                    }
+                }
+                true
+            }
             // A JSON body whose top level is an array of one station etc.
             (JsonSig::Object(_), JsonValue::Array(va)) => {
                 // Tolerate the common wrap-in-array idiom: match any element.
-                va.iter().any(|vv| self.matches(vv))
+                for vv in va {
+                    if self.matches_counted(vv, steps, budget)? {
+                        return Ok(true);
+                    }
+                }
+                false
             }
             (JsonSig::Value(p), vv) => {
                 let text = match vv {
                     JsonValue::String(s) => s.clone(),
                     other => other.to_json(),
                 };
-                extractocol_http::Regex::new(&p.to_regex())
-                    .map(|r| r.is_match(&text))
-                    .unwrap_or(false)
+                match extractocol_http::Regex::new(&p.to_regex()) {
+                    Ok(r) => r.is_match_budgeted(&text, budget)?,
+                    Err(_) => false,
+                }
             }
             _ => false,
-        }
+        })
     }
 
     /// All constant keys in the tree, recursively (Fig. 7 metric for
@@ -767,34 +812,71 @@ impl XmlSig {
     /// signature matched by some descendant element, text pattern (if
     /// any) matching.
     pub fn matches(&self, e: &XmlElement) -> bool {
+        self.matches_budgeted(e, usize::MAX).expect("unbounded budget cannot be exceeded")
+    }
+
+    /// Budgeted structural match: element visits cost one step each and
+    /// attribute/text patterns run under the regex engine's budget, so a
+    /// giant or deeply nested document cannot burn unbounded work.
+    /// `Err(BudgetExceeded)` is distinct from `Ok(false)`.
+    pub fn matches_budgeted(&self, e: &XmlElement, budget: usize) -> Result<bool, BudgetExceeded> {
+        let mut steps = 0usize;
+        self.matches_counted(e, &mut steps, budget)
+    }
+
+    fn matches_counted(
+        &self,
+        e: &XmlElement,
+        steps: &mut usize,
+        budget: usize,
+    ) -> Result<bool, BudgetExceeded> {
+        *steps = steps.saturating_add(1);
+        if *steps > budget {
+            return Err(BudgetExceeded { budget });
+        }
         if !self.name.is_empty() && e.name != self.name {
-            return false;
+            return Ok(false);
         }
         for (k, p) in &self.attrs {
-            let Some(v) = e.attr_value(k) else { return false };
-            let Ok(r) = extractocol_http::Regex::new(&p.to_regex()) else { return false };
-            if !r.is_match(v) {
-                return false;
+            let Some(v) = e.attr_value(k) else { return Ok(false) };
+            let Ok(r) = extractocol_http::Regex::new(&p.to_regex()) else { return Ok(false) };
+            if !r.is_match_budgeted(v, budget)? {
+                return Ok(false);
             }
         }
         for cs in &self.children {
-            fn any_descendant(e: &XmlElement, cs: &XmlSig) -> bool {
-                e.children.iter().any(|n| match n {
-                    XmlNode::Element(ce) => cs.matches(ce) || any_descendant(ce, cs),
-                    _ => false,
-                })
+            fn any_descendant(
+                e: &XmlElement,
+                cs: &XmlSig,
+                steps: &mut usize,
+                budget: usize,
+            ) -> Result<bool, BudgetExceeded> {
+                for n in &e.children {
+                    if let XmlNode::Element(ce) = n {
+                        *steps = steps.saturating_add(1);
+                        if *steps > budget {
+                            return Err(BudgetExceeded { budget });
+                        }
+                        if cs.matches_counted(ce, steps, budget)?
+                            || any_descendant(ce, cs, steps, budget)?
+                        {
+                            return Ok(true);
+                        }
+                    }
+                }
+                Ok(false)
             }
-            if !any_descendant(e, cs) {
-                return false;
+            if !any_descendant(e, cs, steps, budget)? {
+                return Ok(false);
             }
         }
         if let Some(tp) = &self.text {
-            let Ok(r) = extractocol_http::Regex::new(&tp.to_regex()) else { return false };
-            if !r.is_match(&e.text_content()) {
-                return false;
+            let Ok(r) = extractocol_http::Regex::new(&tp.to_regex()) else { return Ok(false) };
+            if !r.is_match_budgeted(&e.text_content(), budget)? {
+                return Ok(false);
             }
         }
-        true
+        Ok(true)
     }
 
     /// Tag/attribute names, recursively (Fig. 7 metric for XML bodies).

@@ -23,6 +23,7 @@
 //! * [`replay`] — the §5.3 Kayak replay client built purely from
 //!   recovered signatures.
 
+pub mod adversarial;
 pub mod conformance;
 pub mod eval;
 pub mod fuzz;
@@ -30,7 +31,8 @@ pub mod interp;
 pub mod replay;
 pub mod trace;
 
+pub use adversarial::{generate_attacks, AdversarialConfig, AttackCase, AttackClass};
 pub use conformance::{conformance_all, conformance_check, mutation_self_test, MutationSummary};
 pub use fuzz::{run_auto_fuzzer, run_manual_fuzzer, run_perfect_fuzzer};
 pub use interp::{Interpreter, RtError};
-pub use trace::TrafficTrace;
+pub use trace::{TraceParseError, TraceParseErrorKind, TrafficTrace};

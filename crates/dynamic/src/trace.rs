@@ -13,6 +13,7 @@ use extractocol_core::report::{AnalysisReport, TxnReport};
 use extractocol_core::sigbuild::{BodySig, ResponseSig};
 use extractocol_http::{Body, HttpMethod, Regex, Transaction};
 use std::collections::BTreeSet;
+use std::fmt;
 
 /// A captured traffic trace for one app.
 #[derive(Clone, Debug)]
@@ -93,6 +94,122 @@ impl TrafficTrace {
 // Line-based request serialization (the serving subsystem's wire format)
 // ---------------------------------------------------------------------------
 
+/// Hard cap on one wire-format line. Anything longer is an attack or a
+/// corrupted file, never legitimate traffic: the body-parse limits
+/// ([`extractocol_http::JsonLimits`]) stop at 8 MiB, so 16 MiB leaves
+/// room for the URI and framing around the largest legal body.
+pub const MAX_LINE_BYTES: usize = 16 << 20;
+
+/// Hard cap on the byte length a `application/octet-stream` body may
+/// declare. The length is *modelled*, not allocated, but an absurd value
+/// (or a u64-overflow probe) is still a malformed line, not a request.
+pub const MAX_BINARY_BYTES: usize = 1 << 30;
+
+/// A structured, line-anchored wire-format parse error. The parser is
+/// total: every input — including adversarial bytes — yields either a
+/// trace or one of these, never a panic and never a silently dropped
+/// field.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// 1-based line number the error is anchored to.
+    pub line: usize,
+    pub kind: TraceParseErrorKind,
+}
+
+/// What exactly was wrong with the line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceParseErrorKind {
+    /// Line exceeds [`MAX_LINE_BYTES`].
+    LineTooLong { len: usize, max: usize },
+    /// First field is not a known HTTP method.
+    UnknownMethod(String),
+    /// No URI field, or an empty one.
+    MissingUri,
+    /// A MIME field with no body field after it.
+    MimeWithoutBody(String),
+    /// More than the four `METHOD URI MIME BODY` fields. Rejected rather
+    /// than ignored: silent truncation would hide framing corruption.
+    TrailingFields { extra: usize },
+    /// Unknown MIME tag in the third field.
+    UnknownMime(String),
+    /// Body field failed to decode under its MIME tag (with parse limits).
+    BadBody(String),
+    /// Dangling or unknown `\` escape inside a field.
+    BadEscape(String),
+    /// `application/octet-stream` length is not a number within
+    /// [`MAX_BINARY_BYTES`].
+    BadBinaryLength(String),
+    /// Input is not valid UTF-8 (from [`TrafficTrace::parse_request_bytes`]).
+    InvalidUtf8 { byte_offset: usize },
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use TraceParseErrorKind as K;
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            K::LineTooLong { len, max } => write!(f, "line too long ({len} bytes > max {max})"),
+            K::UnknownMethod(m) => write!(f, "unknown method {m:?}"),
+            K::MissingUri => write!(f, "missing URI"),
+            K::MimeWithoutBody(m) => write!(f, "MIME {m:?} without a body field"),
+            K::TrailingFields { extra } => {
+                write!(f, "{extra} trailing field(s) after the body")
+            }
+            K::UnknownMime(m) => write!(f, "unknown MIME {m:?}"),
+            K::BadBody(e) => write!(f, "bad body: {e}"),
+            K::BadEscape(e) => write!(f, "bad escape: {e}"),
+            K::BadBinaryLength(raw) => write!(f, "bad binary length {raw:?}"),
+            K::InvalidUtf8 { byte_offset } => {
+                write!(f, "invalid UTF-8 at byte offset {byte_offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+/// Escapes a wire-format field so the framing bytes (tab, newline, CR)
+/// and the escape character itself survive one tab-separated line.
+/// JSON/XML writers already never emit control characters, but free-text
+/// bodies, form values, and hostile URIs can contain anything.
+fn escape_field(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape_field`]. Unknown or dangling escapes are errors —
+/// passing them through silently would un-anchor the round-trip property.
+fn unescape_field(s: &str) -> Result<String, TraceParseErrorKind> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some(other) => {
+                return Err(TraceParseErrorKind::BadEscape(format!("\\{other}")));
+            }
+            None => return Err(TraceParseErrorKind::BadEscape("dangling \\".into())),
+        }
+    }
+    Ok(out)
+}
+
 impl TrafficTrace {
     /// Serializes the trace's *requests* as one tab-separated line each:
     ///
@@ -103,16 +220,17 @@ impl TrafficTrace {
     /// Blank lines and `#` comments are permitted in files. This is the
     /// traffic source format of `extractocol-serve classify --traffic`;
     /// responses are deliberately not serialized — classification is a
-    /// request-side workload. Bodies are rendered on one line (our JSON and
-    /// XML writers never emit newlines; binary bodies serialize as their
-    /// byte length).
+    /// request-side workload. The URI and body fields are escaped
+    /// ([`escape_field`]) so tabs/newlines/CRs in free-text bodies or
+    /// hostile URIs cannot break the framing; binary bodies serialize as
+    /// their byte length.
     pub fn to_request_text(&self) -> String {
         let mut out = String::new();
         for t in &self.transactions {
             let req = &t.request;
             out.push_str(req.method.as_str());
             out.push('\t');
-            out.push_str(&req.uri.to_uri_string());
+            out.push_str(&escape_field(&req.uri.to_uri_string()));
             match &req.body {
                 Body::Empty => {}
                 Body::Binary(n) => {
@@ -125,7 +243,7 @@ impl TrafficTrace {
                     out.push('\t');
                     out.push_str(other.mime());
                     out.push('\t');
-                    out.push_str(&other.to_bytes_string());
+                    out.push_str(&escape_field(&other.to_bytes_string()));
                 }
             }
             out.push('\n');
@@ -135,11 +253,23 @@ impl TrafficTrace {
 
     /// Parses the [`TrafficTrace::to_request_text`] format back into a
     /// trace. Responses come back empty (`200`, no body): the format
-    /// carries exactly what a classifier consumes. Returns a line-anchored
-    /// error on malformed input.
-    pub fn parse_request_text(app: &str, text: &str) -> Result<TrafficTrace, String> {
+    /// carries exactly what a classifier consumes.
+    ///
+    /// The parser is **total**: malformed input yields a structured,
+    /// line-anchored [`TraceParseError`] — never a panic, never a silently
+    /// ignored field — and per-line/body byte caps bound the work done on
+    /// any input.
+    pub fn parse_request_text(app: &str, text: &str) -> Result<TrafficTrace, TraceParseError> {
         let mut transactions = Vec::new();
-        for (lineno, line) in text.lines().enumerate() {
+        for (idx, line) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let err = |kind: TraceParseErrorKind| TraceParseError { line: lineno, kind };
+            if line.len() > MAX_LINE_BYTES {
+                return Err(err(TraceParseErrorKind::LineTooLong {
+                    len: line.len(),
+                    max: MAX_LINE_BYTES,
+                }));
+            }
             let line = line.trim_end_matches('\r');
             if line.is_empty() || line.starts_with('#') {
                 continue;
@@ -147,24 +277,27 @@ impl TrafficTrace {
             let mut fields = line.split('\t');
             let method_str = fields.next().unwrap_or("");
             let method = HttpMethod::parse(method_str)
-                .ok_or_else(|| format!("line {}: unknown method {:?}", lineno + 1, method_str))?;
+                .ok_or_else(|| err(TraceParseErrorKind::UnknownMethod(method_str.into())))?;
             let uri = fields
                 .next()
                 .filter(|u| !u.is_empty())
-                .ok_or_else(|| format!("line {}: missing URI", lineno + 1))?;
+                .ok_or_else(|| err(TraceParseErrorKind::MissingUri))?;
+            let uri = unescape_field(uri).map_err(&err)?;
             let body = match (fields.next(), fields.next()) {
                 (None, _) => Body::Empty,
-                (Some(mime), Some(raw)) => {
-                    parse_body(mime, raw).map_err(|e| format!("line {}: {e}", lineno + 1))?
-                }
-                (Some(_), None) => {
-                    return Err(format!("line {}: MIME without a body field", lineno + 1))
+                (Some(mime), Some(raw)) => parse_body(mime, raw).map_err(&err)?,
+                (Some(mime), None) => {
+                    return Err(err(TraceParseErrorKind::MimeWithoutBody(mime.into())))
                 }
             };
+            let extra = fields.count();
+            if extra > 0 {
+                return Err(err(TraceParseErrorKind::TrailingFields { extra }));
+            }
             transactions.push(Transaction {
                 request: extractocol_http::Request {
                     method,
-                    uri: extractocol_http::Uri::parse(uri),
+                    uri: extractocol_http::Uri::parse(&uri),
                     headers: Default::default(),
                     body,
                 },
@@ -173,25 +306,45 @@ impl TrafficTrace {
         }
         Ok(TrafficTrace { app: app.to_string(), transactions })
     }
+
+    /// Byte-level entry point for untrusted input: validates UTF-8 first
+    /// and reports a structured, line-anchored error instead of forcing
+    /// callers through a lossy conversion (or a panic on `from_utf8`).
+    pub fn parse_request_bytes(app: &str, bytes: &[u8]) -> Result<TrafficTrace, TraceParseError> {
+        match std::str::from_utf8(bytes) {
+            Ok(text) => Self::parse_request_text(app, text),
+            Err(e) => {
+                let byte_offset = e.valid_up_to();
+                let line = bytes[..byte_offset].iter().filter(|&&b| b == b'\n').count() + 1;
+                Err(TraceParseError {
+                    line,
+                    kind: TraceParseErrorKind::InvalidUtf8 { byte_offset },
+                })
+            }
+        }
+    }
 }
 
-/// Decodes one serialized body field by its MIME tag.
-fn parse_body(mime: &str, raw: &str) -> Result<Body, String> {
+/// Decodes one serialized body field by its MIME tag, under the HTTP
+/// layer's parse limits (depth/node/byte budgets for JSON and XML).
+fn parse_body(mime: &str, raw: &str) -> Result<Body, TraceParseErrorKind> {
+    use TraceParseErrorKind as K;
     match mime {
         "application/x-www-form-urlencoded" => {
-            Ok(Body::Form(extractocol_http::uri::parse_query(raw)))
+            Ok(Body::Form(extractocol_http::uri::parse_query(&unescape_field(raw)?)))
         }
-        "application/json" => extractocol_http::JsonValue::parse(raw)
+        "application/json" => extractocol_http::JsonValue::parse(&unescape_field(raw)?)
             .map(Body::Json)
-            .map_err(|e| format!("bad JSON body: {e:?}")),
-        "application/xml" => extractocol_http::XmlElement::parse(raw)
+            .map_err(|e| K::BadBody(format!("JSON: {e}"))),
+        "application/xml" => extractocol_http::XmlElement::parse(&unescape_field(raw)?)
             .map(Body::Xml)
-            .map_err(|e| format!("bad XML body: {e:?}")),
-        "text/plain" => Ok(Body::Text(raw.to_string())),
-        "application/octet-stream" => {
-            raw.parse::<usize>().map(Body::Binary).map_err(|_| format!("bad binary length {raw:?}"))
-        }
-        other => Err(format!("unknown MIME {other:?}")),
+            .map_err(|e| K::BadBody(format!("XML: {e}"))),
+        "text/plain" => Ok(Body::Text(unescape_field(raw)?)),
+        "application/octet-stream" => match raw.parse::<usize>() {
+            Ok(n) if n <= MAX_BINARY_BYTES => Ok(Body::Binary(n)),
+            _ => Err(K::BadBinaryLength(raw.into())),
+        },
+        other => Err(K::UnknownMime(other.into())),
     }
 }
 
@@ -485,7 +638,80 @@ mod tests {
             trace.transactions.len()
         );
         let err = TrafficTrace::parse_request_text("rt", "FETCH https://h/x").unwrap_err();
-        assert!(err.contains("line 1"), "{err}");
+        assert_eq!(err.line, 1);
+        assert!(matches!(err.kind, TraceParseErrorKind::UnknownMethod(_)), "{err}");
+        assert!(err.to_string().contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn wire_format_parse_errors_are_structured_and_total() {
+        use TraceParseErrorKind as K;
+        let parse = |s: &str| TrafficTrace::parse_request_text("adv", s);
+
+        // Regression: trailing fields used to be silently dropped —
+        // framing corruption must surface, not truncate.
+        let err = parse("GET\thttps://h/a\ttext/plain\tbody\textra").unwrap_err();
+        assert_eq!(err.kind, K::TrailingFields { extra: 1 });
+
+        // Regression: a MIME tag with no body field.
+        let err = parse("POST\thttps://h/a\tapplication/json").unwrap_err();
+        assert!(matches!(err.kind, K::MimeWithoutBody(_)));
+
+        // Regression: u64-overflow and absurd binary lengths are
+        // structured errors, not panics or silent acceptance.
+        let overflow = format!("POST\thttps://h/a\tapplication/octet-stream\t{}", u128::MAX);
+        assert!(matches!(parse(&overflow).unwrap_err().kind, K::BadBinaryLength(_)));
+        let absurd = format!("POST\thttps://h/a\tapplication/octet-stream\t{}", u64::MAX);
+        assert!(matches!(parse(&absurd).unwrap_err().kind, K::BadBinaryLength(_)));
+        assert!(parse("POST\thttps://h/a\tapplication/octet-stream\t1024").is_ok());
+
+        // Regression: lone CR lines and empty lines are skipped, not
+        // misparsed as a request with an empty method.
+        assert_eq!(parse("\r\n\n# c\r\n").unwrap().transactions.len(), 0);
+
+        // Regression: an oversized line is rejected up front with its
+        // length, before any body parsing happens.
+        let giant = format!("GET\thttps://h/{}", "a".repeat(MAX_LINE_BYTES));
+        assert!(matches!(parse(&giant).unwrap_err().kind, K::LineTooLong { .. }));
+
+        // Unknown escapes and dangling backslashes are anchored errors.
+        let err = parse("GET\thttps://h/a\ttext/plain\tbad\\q").unwrap_err();
+        assert!(matches!(err.kind, K::BadEscape(_)));
+        let err = parse("GET\thttps://h/a\ttext/plain\tdangling\\").unwrap_err();
+        assert!(matches!(err.kind, K::BadEscape(_)));
+
+        // Non-UTF-8 bytes get a line-anchored structured error.
+        let err =
+            TrafficTrace::parse_request_bytes("adv", b"GET\thttps://h/a\n\xff\xfe").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(matches!(err.kind, K::InvalidUtf8 { byte_offset: 16 }));
+    }
+
+    #[test]
+    fn control_characters_in_text_bodies_round_trip() {
+        // Regression: free-text bodies (and hostile URIs) containing the
+        // framing bytes used to corrupt the wire format — a tab in a text
+        // body silently became a trailing field.
+        let trace = trace_with(
+            "https://h/api?x=1",
+            Body::Text("line1\nline2\ttabbed\rcr and \\backslash".into()),
+            Body::Empty,
+        );
+        let text = trace.to_request_text();
+        assert_eq!(text.lines().count(), 1, "framing broken: {text:?}");
+        let back = TrafficTrace::parse_request_text("t", &text).unwrap();
+        assert_eq!(back.transactions[0].request.body, trace.transactions[0].request.body);
+
+        // Form values with embedded control characters survive too.
+        let trace = trace_with(
+            "https://h/api",
+            Body::Form(vec![("k".into(), "v1\tv2\nv3".into())]),
+            Body::Empty,
+        );
+        let text = trace.to_request_text();
+        assert_eq!(text.lines().count(), 1);
+        let back = TrafficTrace::parse_request_text("t", &text).unwrap();
+        assert_eq!(back.transactions[0].request.body, trace.transactions[0].request.body);
     }
 
     #[test]

@@ -150,10 +150,31 @@ impl JsonValue {
         }
     }
 
-    /// Parses JSON text.
+    /// Parses JSON text under the default [`JsonLimits`]. Total on every
+    /// input: malformed, oversized, or too-deeply-nested documents come
+    /// back as a structured [`JsonError`], never a panic or stack
+    /// overflow (the recursive-descent depth is capped).
     pub fn parse(s: &str) -> Result<JsonValue, JsonError> {
+        JsonValue::parse_limited(s, &JsonLimits::DEFAULT)
+    }
+
+    /// Parses JSON text under explicit [`JsonLimits`] — the body-parsing
+    /// budget discipline of the adversarial robustness layer. Exceeding
+    /// any limit is a deterministic parse error whose message names the
+    /// limit (`depth limit`, `node limit`, `byte limit`).
+    pub fn parse_limited(s: &str, limits: &JsonLimits) -> Result<JsonValue, JsonError> {
+        if s.len() > limits.max_bytes {
+            return Err(JsonError {
+                at: limits.max_bytes,
+                message: format!(
+                    "input of {} bytes exceeds byte limit {}",
+                    s.len(),
+                    limits.max_bytes
+                ),
+            });
+        }
         let bytes: Vec<char> = s.chars().collect();
-        let mut p = JsonParser { s: &bytes, i: 0 };
+        let mut p = JsonParser { s: &bytes, i: 0, depth: 0, nodes: 0, limits };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
@@ -162,6 +183,28 @@ impl JsonValue {
         }
         Ok(v)
     }
+}
+
+/// Budgets bounding the work and the result size of one JSON parse.
+/// Every limit yields a structured [`JsonError`] when exceeded — the
+/// parser is total under any input (never panics, never overflows the
+/// stack on nesting bombs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JsonLimits {
+    /// Maximum container nesting depth (objects + arrays).
+    pub max_depth: usize,
+    /// Maximum number of values in the parsed tree.
+    pub max_nodes: usize,
+    /// Maximum input length in bytes.
+    pub max_bytes: usize,
+}
+
+impl JsonLimits {
+    /// The service-wide default: comfortably above every legitimate
+    /// corpus body, far below anything that could exhaust the stack or
+    /// arena (128 nesting levels, 1Mi nodes, 8 MiB of text).
+    pub const DEFAULT: JsonLimits =
+        JsonLimits { max_depth: 128, max_nodes: 1 << 20, max_bytes: 8 << 20 };
 }
 
 fn write_json_string(s: &str, out: &mut String) {
@@ -204,6 +247,9 @@ impl std::error::Error for JsonError {}
 struct JsonParser<'a> {
     s: &'a [char],
     i: usize,
+    depth: usize,
+    nodes: usize,
+    limits: &'a JsonLimits,
 }
 
 impl JsonParser<'_> {
@@ -215,6 +261,25 @@ impl JsonParser<'_> {
 
     fn err<T>(&self, m: impl Into<String>) -> Result<T, JsonError> {
         Err(JsonError { at: self.i, message: m.into() })
+    }
+
+    /// Counts one parsed value against the node budget.
+    fn count_node(&mut self) -> Result<(), JsonError> {
+        self.nodes += 1;
+        if self.nodes > self.limits.max_nodes {
+            return self.err(format!("node limit {} exceeded", self.limits.max_nodes));
+        }
+        Ok(())
+    }
+
+    /// Enters one container level, enforcing the depth budget (this is
+    /// what keeps `[[[[…]]]]` bombs from overflowing the parse stack).
+    fn enter(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > self.limits.max_depth {
+            return self.err(format!("depth limit {} exceeded", self.limits.max_depth));
+        }
+        Ok(())
     }
 
     fn peek(&self) -> Option<char> {
@@ -239,17 +304,20 @@ impl JsonParser<'_> {
 
     fn value(&mut self) -> Result<JsonValue, JsonError> {
         self.skip_ws();
+        self.count_node()?;
         match self.peek() {
             Some('n') => self.lit("null", JsonValue::Null),
             Some('t') => self.lit("true", JsonValue::Bool(true)),
             Some('f') => self.lit("false", JsonValue::Bool(false)),
             Some('"') => Ok(JsonValue::String(self.string()?)),
             Some('[') => {
+                self.enter()?;
                 self.i += 1;
                 let mut out = Vec::new();
                 self.skip_ws();
                 if self.peek() == Some(']') {
                     self.i += 1;
+                    self.depth -= 1;
                     return Ok(JsonValue::Array(out));
                 }
                 loop {
@@ -266,14 +334,17 @@ impl JsonParser<'_> {
                         _ => return self.err("expected `,` or `]`"),
                     }
                 }
+                self.depth -= 1;
                 Ok(JsonValue::Array(out))
             }
             Some('{') => {
+                self.enter()?;
                 self.i += 1;
                 let mut out = BTreeMap::new();
                 self.skip_ws();
                 if self.peek() == Some('}') {
                     self.i += 1;
+                    self.depth -= 1;
                     return Ok(JsonValue::Object(out));
                 }
                 loop {
@@ -295,6 +366,7 @@ impl JsonParser<'_> {
                         _ => return self.err("expected `,` or `}`"),
                     }
                 }
+                self.depth -= 1;
                 Ok(JsonValue::Object(out))
             }
             Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
@@ -425,6 +497,36 @@ mod tests {
         assert_eq!(JsonValue::num(42.0).to_json(), "42");
         assert_eq!(JsonValue::num(2.5).to_json(), "2.5");
         assert_eq!(JsonValue::parse("1e3").unwrap(), JsonValue::num(1000.0));
+    }
+
+    #[test]
+    fn nesting_bombs_are_structured_errors_not_stack_overflows() {
+        // 100k-deep array: must come back as a depth-limit error, never
+        // recurse to a stack overflow.
+        let bomb = format!("{}1{}", "[".repeat(100_000), "]".repeat(100_000));
+        let err = JsonValue::parse(&bomb).unwrap_err();
+        assert!(err.message.contains("depth limit"), "{err}");
+        // Same for objects.
+        let obomb = format!("{}1{}", "{\"k\":".repeat(100_000), "}".repeat(100_000));
+        let err = JsonValue::parse(&obomb).unwrap_err();
+        assert!(err.message.contains("depth limit"), "{err}");
+        // Within the default depth limit, deep-but-sane documents parse.
+        let ok = format!("{}1{}", "[".repeat(64), "]".repeat(64));
+        assert!(JsonValue::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn node_and_byte_limits_are_enforced() {
+        let tight = JsonLimits { max_depth: 8, max_nodes: 10, max_bytes: 1 << 10 };
+        let wide = format!("[{}1]", "1,".repeat(50));
+        let err = JsonValue::parse_limited(&wide, &tight).unwrap_err();
+        assert!(err.message.contains("node limit"), "{err}");
+        let long = format!("\"{}\"", "x".repeat(2048));
+        let err = JsonValue::parse_limited(&long, &tight).unwrap_err();
+        assert!(err.message.contains("byte limit"), "{err}");
+        // The same documents parse under the defaults.
+        assert!(JsonValue::parse(&wide).is_ok());
+        assert!(JsonValue::parse(&long).is_ok());
     }
 
     #[test]

@@ -26,8 +26,8 @@ pub mod regexlite;
 pub mod uri;
 pub mod xml;
 
-pub use json::JsonValue;
+pub use json::{JsonLimits, JsonValue};
 pub use message::{Body, Headers, HttpMethod, Request, Response, Transaction};
 pub use regexlite::Regex;
 pub use uri::Uri;
-pub use xml::{XmlElement, XmlNode};
+pub use xml::{XmlElement, XmlLimits, XmlNode};

@@ -775,6 +775,43 @@ mod tests {
     }
 
     #[test]
+    fn corpus_shaped_exhaustion_probes_stay_bounded_and_distinct() {
+        // The three regex-exhaustion probe shapes the adversarial traffic
+        // generator emits (`extractocol-dynamic`'s `adversarial.rs`),
+        // aimed at the regex form the signature builder produces for
+        // nested query-accumulator loops: a mandatory literal prefix,
+        // nested `rep{}` groups, and an `Or` fan-out.
+        let sig = "http://h/api\\?((c=[0-9]+&)*)*(q=(cats|dogs|[0-9]+)&)*end=1";
+        let r = Regex::new(sig).unwrap();
+
+        // Probe shape 1: many repeated pairs (Rep-loop fan-out).
+        let probe1 = format!("http://h/api?{}end=1", "c=7&".repeat(1500));
+        // Probe shape 2: same key, growing values (ambiguous iteration
+        // boundaries between the two nested loops).
+        let growing: String = (0..300).map(|i| format!("c={}&", "7".repeat(1 + i % 40))).collect();
+        let probe2 = format!("http://h/api?{growing}end=1");
+        // Probe shape 3: one giant digit run against `[0-9]+`.
+        let probe3 = format!("http://h/api?c={}&end=1", "9".repeat(6000));
+
+        for probe in [&probe1, &probe2, &probe3] {
+            // A starved budget is a definitive BudgetExceeded carrying
+            // the cap — pinned distinct from a no-match verdict.
+            assert_eq!(r.is_match_budgeted(probe, 100), Err(BudgetExceeded { budget: 100 }));
+            // The default budget resolves all three probes: bounded
+            // work, real answer.
+            assert_eq!(r.is_match_budgeted(probe, DEFAULT_MATCH_BUDGET), Ok(true));
+            // Breaking the tail turns the verdict into a definitive
+            // no-match — not an exhaustion — under the same budget.
+            let broken = format!("{}x", &probe[..probe.len() - 1]);
+            assert_eq!(r.is_match_budgeted(&broken, DEFAULT_MATCH_BUDGET), Ok(false));
+            // The pathological suffix cannot defeat the required-prefix
+            // short-circuit: a wrong scheme is Ok(false) at budget 1.
+            let wrong = format!("xttp{}", &probe[4..]);
+            assert_eq!(r.is_match_budgeted(&wrong, 1), Ok(false));
+        }
+    }
+
+    #[test]
     fn escape_literal_self_match_property() {
         // Property: for any printable-ASCII string `s`,
         // `Regex::new(escape_literal(s))` compiles and full-matches exactly

@@ -121,10 +121,29 @@ impl XmlElement {
     }
 
     /// Parses a single XML element (optionally preceded by an XML
-    /// declaration).
+    /// declaration) under the default [`XmlLimits`]. Total on every
+    /// input: nesting bombs and oversized documents come back as a
+    /// structured [`XmlError`], never a panic or stack overflow.
     pub fn parse(s: &str) -> Result<XmlElement, XmlError> {
+        XmlElement::parse_limited(s, &XmlLimits::DEFAULT)
+    }
+
+    /// Parses under explicit [`XmlLimits`] — the body-parsing budget
+    /// discipline of the adversarial robustness layer. Exceeding a limit
+    /// is a deterministic parse error naming the limit.
+    pub fn parse_limited(s: &str, limits: &XmlLimits) -> Result<XmlElement, XmlError> {
+        if s.len() > limits.max_bytes {
+            return Err(XmlError {
+                at: limits.max_bytes,
+                message: format!(
+                    "input of {} bytes exceeds byte limit {}",
+                    s.len(),
+                    limits.max_bytes
+                ),
+            });
+        }
         let chars: Vec<char> = s.chars().collect();
-        let mut p = XmlParser { s: &chars, i: 0 };
+        let mut p = XmlParser { s: &chars, i: 0, depth: 0, nodes: 0, limits };
         p.skip_ws();
         if p.starts_with("<?") {
             while p.i < p.s.len() && !p.starts_with("?>") {
@@ -142,6 +161,24 @@ impl XmlElement {
     }
 }
 
+/// Budgets bounding one XML parse (mirrors [`crate::json::JsonLimits`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct XmlLimits {
+    /// Maximum element nesting depth.
+    pub max_depth: usize,
+    /// Maximum element count in the parsed tree.
+    pub max_nodes: usize,
+    /// Maximum input length in bytes.
+    pub max_bytes: usize,
+}
+
+impl XmlLimits {
+    /// Service-wide default: far above every corpus body, far below
+    /// stack-exhaustion territory.
+    pub const DEFAULT: XmlLimits =
+        XmlLimits { max_depth: 128, max_nodes: 1 << 20, max_bytes: 8 << 20 };
+}
+
 fn escape_into(s: &str, out: &mut String) {
     for c in s.chars() {
         match c {
@@ -149,6 +186,11 @@ fn escape_into(s: &str, out: &mut String) {
             '>' => out.push_str("&gt;"),
             '&' => out.push_str("&amp;"),
             '"' => out.push_str("&quot;"),
+            // Control characters go out as numeric character references:
+            // serialized XML must never carry raw tabs/newlines, which
+            // would break the tab-separated, line-delimited traffic wire
+            // format (regression: adversarial round-trip suite).
+            c if (c as u32) < 0x20 => out.push_str(&format!("&#{};", c as u32)),
             c => out.push(c),
         }
     }
@@ -178,6 +220,9 @@ impl std::error::Error for XmlError {}
 struct XmlParser<'a> {
     s: &'a [char],
     i: usize,
+    depth: usize,
+    nodes: usize,
+    limits: &'a XmlLimits,
 }
 
 impl XmlParser<'_> {
@@ -215,6 +260,14 @@ impl XmlParser<'_> {
         if !self.starts_with("<") {
             return self.err("expected `<`");
         }
+        self.depth += 1;
+        if self.depth > self.limits.max_depth {
+            return self.err(format!("depth limit {} exceeded", self.limits.max_depth));
+        }
+        self.nodes += 1;
+        if self.nodes > self.limits.max_nodes {
+            return self.err(format!("node limit {} exceeded", self.limits.max_nodes));
+        }
         self.i += 1;
         let name = self.name()?;
         let mut e = XmlElement::new(&name);
@@ -222,6 +275,7 @@ impl XmlParser<'_> {
             self.skip_ws();
             if self.starts_with("/>") {
                 self.i += 2;
+                self.depth -= 1;
                 return Ok(e);
             }
             if self.starts_with(">") {
@@ -263,6 +317,7 @@ impl XmlParser<'_> {
                     return self.err("expected `>`");
                 }
                 self.i += 1;
+                self.depth -= 1;
                 return Ok(e);
             }
             if self.starts_with("<") {
@@ -287,7 +342,37 @@ impl XmlParser<'_> {
 }
 
 fn unescape(s: &str) -> String {
-    s.replace("&lt;", "<").replace("&gt;", ">").replace("&quot;", "\"").replace("&amp;", "&")
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(i) = rest.find('&') {
+        out.push_str(&rest[..i]);
+        rest = &rest[i..];
+        let semi = rest.find(';');
+        let entity = semi.map(|j| &rest[..=j]);
+        match entity {
+            Some("&lt;") => out.push('<'),
+            Some("&gt;") => out.push('>'),
+            Some("&quot;") => out.push('"'),
+            Some("&amp;") => out.push('&'),
+            // Numeric character references (the serializer emits these
+            // for control characters). Malformed references pass through
+            // verbatim — unescaping is total.
+            Some(e) if e.starts_with("&#") => {
+                match e[2..e.len() - 1].parse::<u32>().ok().and_then(char::from_u32) {
+                    Some(c) => out.push(c),
+                    None => out.push_str(e),
+                }
+            }
+            _ => {
+                out.push('&');
+                rest = &rest[1..];
+                continue;
+            }
+        }
+        rest = &rest[entity.unwrap().len()..];
+    }
+    out.push_str(rest);
+    out
 }
 
 #[cfg(test)]
@@ -333,5 +418,43 @@ mod tests {
         assert!(XmlElement::parse("<a></b>").is_err());
         assert!(XmlElement::parse("<a>").is_err());
         assert!(XmlElement::parse("plain").is_err());
+    }
+
+    #[test]
+    fn nesting_bombs_are_structured_errors_not_stack_overflows() {
+        let mut bomb = String::new();
+        for _ in 0..100_000 {
+            bomb.push_str("<a>");
+        }
+        bomb.push('x');
+        for _ in 0..100_000 {
+            bomb.push_str("</a>");
+        }
+        let err = XmlElement::parse(&bomb).unwrap_err();
+        assert!(err.message.contains("depth limit"), "{err}");
+        // Wide documents trip the node limit under tight budgets.
+        let tight = XmlLimits { max_depth: 8, max_nodes: 10, max_bytes: 1 << 16 };
+        let wide = format!("<r>{}</r>", "<c/>".repeat(50));
+        let err = XmlElement::parse_limited(&wide, &tight).unwrap_err();
+        assert!(err.message.contains("node limit"), "{err}");
+        assert!(XmlElement::parse(&wide).is_ok());
+        let err = XmlElement::parse_limited(&"x".repeat(1 << 17), &tight).unwrap_err();
+        assert!(err.message.contains("byte limit"), "{err}");
+    }
+
+    #[test]
+    fn control_characters_round_trip_as_numeric_references() {
+        // Regression: raw tabs/newlines in text or attribute values used
+        // to be serialized verbatim, corrupting the tab-separated traffic
+        // wire format.
+        let e = XmlElement::new("q").attr("k", "a\tb").text("line1\nline2\r");
+        let s = e.to_xml();
+        assert!(!s.contains('\t') && !s.contains('\n') && !s.contains('\r'), "{s}");
+        assert_eq!(s, "<q k=\"a&#9;b\">line1&#10;line2&#13;</q>");
+        let back = XmlElement::parse(&s).unwrap();
+        assert_eq!(back.attr_value("k"), Some("a\tb"));
+        assert_eq!(back.text_content(), "line1\nline2\r");
+        // Malformed numeric references pass through verbatim.
+        assert_eq!(super::unescape("&#xZZ; &# &#99999999999;"), "&#xZZ; &# &#99999999999;");
     }
 }

@@ -42,7 +42,9 @@ fn usage() -> ExitCode {
         "usage: extractocol-serve classify (--report <app.jimple> ... | --corpus | --app <name>) \
          --traffic <file> [--jobs <n>] [--json] [--metrics-out <file>] [--trace-out <file>]\n       \
          extractocol-serve bench [--requests <n>] [--jobs <n>] [--out <file>] \
-         [--baseline <file>] [--metrics-out <file>]"
+         [--baseline <file>] [--metrics-out <file>]\n       \
+         extractocol-serve attack [--seed <n>] [--per-class <n>] [--jobs <n>] [--out <file>] \
+         [--metrics-out <file>] [--json]"
     );
     ExitCode::from(2)
 }
@@ -52,6 +54,7 @@ fn main() -> ExitCode {
     match args.next().as_deref() {
         Some("classify") => cmd_classify(args.collect()),
         Some("bench") => cmd_bench(args.collect()),
+        Some("attack") => cmd_attack(args.collect()),
         Some("--help") | Some("-h") => {
             usage();
             ExitCode::SUCCESS
@@ -235,6 +238,96 @@ fn cmd_classify(args: Vec<String>) -> ExitCode {
             }
         }
         print!("{}", stats.to_text());
+    }
+    ExitCode::SUCCESS
+}
+
+/// `extractocol-serve attack`: the adversarial robustness bench. Runs the
+/// seeded attack suite against the corpus index, prints the per-class
+/// outcome table and the p99-under-attack latency, writes the attack
+/// metrics families on request, and fails when the trie and brute-force
+/// paths ever disagree on an adversarial input.
+fn cmd_attack(args: Vec<String>) -> ExitCode {
+    let mut seed = 0xE57A_AC70u64;
+    let mut per_class = 64usize;
+    let mut jobs = 0usize;
+    let mut out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut json_out = false;
+
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => seed = n,
+                None => return usage(),
+            },
+            "--per-class" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => per_class = n,
+                None => return usage(),
+            },
+            "--jobs" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => jobs = n,
+                None => return usage(),
+            },
+            "--out" => match it.next() {
+                Some(p) => out = Some(p),
+                None => return usage(),
+            },
+            "--metrics-out" => match it.next() {
+                Some(p) => metrics_out = Some(p),
+                None => return usage(),
+            },
+            "--json" => json_out = true,
+            _ => return usage(),
+        }
+    }
+
+    let (report, metrics) = serve_bench::run_attack(seed, per_class, jobs);
+
+    if let Some(path) = &metrics_out {
+        if let Err(e) = std::fs::write(path, metrics.registry.render()) {
+            eprintln!("extractocol-serve: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let json = report.to_json().to_json();
+    if json_out {
+        println!("{json}");
+    } else {
+        println!(
+            "attack suite seed={} ({} cases, {} classes): p50 {:.1}us, p99 {:.1}us",
+            report.seed,
+            report.cases,
+            report.per_class_tally.len(),
+            report.p50_latency_us,
+            report.p99_latency_us,
+        );
+        for (name, t) in &report.per_class_tally {
+            println!(
+                "  {name:<18} cases {:<5} parse_err {:<5} matched {:<5} unmatched {:<5} \
+                 budget_exhausted {}",
+                t.cases, t.parse_errors, t.matched, t.unmatched, t.budget_exhausted
+            );
+        }
+        println!(
+            "differential: {} checked, {} disagreements",
+            report.differential_checked, report.differential_disagreements
+        );
+    }
+    if let Some(path) = &out {
+        if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+            eprintln!("extractocol-serve: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if report.differential_disagreements > 0 {
+        eprintln!(
+            "extractocol-serve: trie and brute-force verdicts disagree on {} adversarial case(s)",
+            report.differential_disagreements
+        );
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

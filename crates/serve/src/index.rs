@@ -38,7 +38,7 @@
 //!   (recorded in [`Probe::budget_exhausted`]) under *both* strategies, so
 //!   pruning can never flip a verdict.
 
-use extractocol_core::conformance::request_body_matches;
+use extractocol_core::conformance::request_body_matches_budgeted;
 use extractocol_core::report::AnalysisReport;
 use extractocol_core::sigbuild::BodySig;
 use extractocol_core::siglang::SigPat;
@@ -233,8 +233,15 @@ impl SignatureIndex {
             }
         }
         if let Some(body_sig) = &sig.body {
-            if !req.body.is_empty() && !request_body_matches(body_sig, &req.body) {
-                return false;
+            if !req.body.is_empty() {
+                match request_body_matches_budgeted(body_sig, &req.body, DEFAULT_MATCH_BUDGET) {
+                    Ok(true) => {}
+                    Ok(false) => return false,
+                    Err(_) => {
+                        probe.budget_exhausted += 1;
+                        return false;
+                    }
+                }
             }
         }
         true

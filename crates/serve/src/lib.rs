@@ -29,7 +29,7 @@ pub mod classify;
 pub mod index;
 pub mod metrics;
 
-pub use bench::{BenchReport, ObservedBench};
+pub use bench::{AttackBenchReport, AttackClassTally, BenchReport, ObservedBench};
 pub use classify::{classify_batch, classify_batch_observed, ClassifyStats};
 pub use index::{CompiledSig, Probe, SignatureIndex, Verdict};
-pub use metrics::ServeMetrics;
+pub use metrics::{AttackMetrics, ServeMetrics};

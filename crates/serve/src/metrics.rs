@@ -11,6 +11,7 @@
 //! imbalance, and phase seconds are wall-clock and register
 //! [`Volatility::PerRun`].
 
+use extractocol_dynamic::AttackClass;
 use extractocol_obs::metrics::{FRACTION_BUCKETS, LATENCY_US_BUCKETS};
 use extractocol_obs::{Counter, Gauge, Histogram, Registry, Volatility};
 use std::sync::Arc;
@@ -211,6 +212,122 @@ impl Default for ServeMetrics {
     }
 }
 
+/// Adversarial-bench instruments: per-attack-class counters (cases,
+/// parse rejections, budget exhaustions, verdicts — all
+/// [`Volatility::Deterministic`], so they are jobs-invariant and
+/// grep-gateable in CI) plus the p99-under-attack latency histogram
+/// (wall-clock, [`Volatility::PerRun`]).
+#[derive(Clone)]
+pub struct AttackMetrics {
+    per_class: Vec<AttackClassInstruments>,
+    latency: Arc<Histogram>,
+}
+
+#[derive(Clone)]
+struct AttackClassInstruments {
+    class: AttackClass,
+    cases: Arc<Counter>,
+    parse_errors: Arc<Counter>,
+    budget_exhausted: Arc<Counter>,
+    verdict_match: Arc<Counter>,
+    verdict_unmatched: Arc<Counter>,
+}
+
+impl AttackMetrics {
+    /// Registers the attack families on an existing registry (usually the
+    /// one inside a [`ServeMetrics`], so one exposition carries both).
+    pub fn on(registry: &Registry) -> AttackMetrics {
+        let det = Volatility::Deterministic;
+        let per_class = AttackClass::ALL
+            .iter()
+            .map(|&class| {
+                let c = class.name();
+                AttackClassInstruments {
+                    class,
+                    cases: registry.counter(
+                        "serve_attack_cases_total",
+                        &[("class", c)],
+                        det,
+                        "Adversarial cases processed, by attack class",
+                    ),
+                    parse_errors: registry.counter(
+                        "serve_attack_parse_errors_total",
+                        &[("class", c)],
+                        det,
+                        "Adversarial cases rejected by the wire-format parser",
+                    ),
+                    budget_exhausted: registry.counter(
+                        "serve_attack_budget_exhausted_total",
+                        &[("class", c)],
+                        det,
+                        "Match-budget exhaustions while classifying adversarial cases",
+                    ),
+                    verdict_match: registry.counter(
+                        "serve_attack_verdict_total",
+                        &[("class", c), ("verdict", "match")],
+                        det,
+                        "Adversarial verdicts, by attack class",
+                    ),
+                    verdict_unmatched: registry.counter(
+                        "serve_attack_verdict_total",
+                        &[("class", c), ("verdict", "unmatched")],
+                        det,
+                        "Adversarial verdicts, by attack class",
+                    ),
+                }
+            })
+            .collect();
+        let latency = registry.histogram(
+            "serve_attack_latency_us",
+            &[],
+            Volatility::PerRun,
+            "Per-case parse+classify latency under attack (us)",
+            LATENCY_US_BUCKETS,
+        );
+        AttackMetrics { per_class, latency }
+    }
+
+    fn for_class(&self, class: AttackClass) -> &AttackClassInstruments {
+        self.per_class.iter().find(|i| i.class == class).expect("every attack class registered")
+    }
+
+    /// Records one case the wire-format parser rejected (a structured
+    /// error — the deterministic verdict for malformed input).
+    pub fn observe_parse_error(&self, class: AttackClass, latency: Option<Duration>) {
+        let i = self.for_class(class);
+        i.cases.inc();
+        i.parse_errors.inc();
+        if let Some(d) = latency {
+            self.latency.observe(d.as_secs_f64() * 1e6);
+        }
+    }
+
+    /// Records one case that parsed and went through the classifier.
+    pub fn observe_classified(
+        &self,
+        class: AttackClass,
+        verdict: &Verdict,
+        probe: &Probe,
+        latency: Option<Duration>,
+    ) {
+        let i = self.for_class(class);
+        i.cases.inc();
+        i.budget_exhausted.add(probe.budget_exhausted as u64);
+        match verdict {
+            Verdict::Match(_) => i.verdict_match.inc(),
+            Verdict::Unmatched => i.verdict_unmatched.inc(),
+        }
+        if let Some(d) = latency {
+            self.latency.observe(d.as_secs_f64() * 1e6);
+        }
+    }
+
+    /// The observed p99 of the under-attack latency histogram, in µs.
+    pub fn latency_p99_us(&self) -> f64 {
+        self.latency.quantile(0.99)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,6 +368,32 @@ mod tests {
         assert!(!det.contains("serve_classify_latency_us"));
         assert!(!det.contains("serve_shard_imbalance_ratio"));
         assert!(!det.contains("serve_phase_compile_seconds"));
+    }
+
+    #[test]
+    fn attack_metrics_families_render_per_class() {
+        let m = ServeMetrics::new();
+        let a = AttackMetrics::on(&m.registry);
+        a.observe_parse_error(AttackClass::MalformedWire, Some(Duration::from_micros(3)));
+        a.observe_classified(
+            AttackClass::RegexExhaustion,
+            &Verdict::Unmatched,
+            &Probe { candidates: 2, structural_evals: 2, budget_exhausted: 1 },
+            Some(Duration::from_micros(40)),
+        );
+        let text = m.registry.render();
+        assert!(text.contains("serve_attack_cases_total{class=\"malformed_wire\"} 1"));
+        assert!(text.contains("serve_attack_parse_errors_total{class=\"malformed_wire\"} 1"));
+        assert!(text.contains("serve_attack_budget_exhausted_total{class=\"regex_exhaustion\"} 1"));
+        assert!(text.contains(
+            "serve_attack_verdict_total{class=\"regex_exhaustion\",verdict=\"unmatched\"} 1"
+        ));
+        assert!(text.contains("serve_attack_latency_us_bucket"));
+        // The per-class counters are jobs-invariant and survive in the
+        // deterministic snapshot; the latency histogram does not.
+        let det = m.registry.render_deterministic();
+        assert!(det.contains("serve_attack_cases_total"));
+        assert!(!det.contains("serve_attack_latency_us"));
     }
 
     #[test]
