@@ -31,9 +31,9 @@ cargo run --release -q -p extractocol-obs --bin extractocol-trace-validate -- tr
 echo "==> conformance gate (mutation self-test)"
 cargo run --release -q -p extractocol-dynamic --bin extractocol-eval -- --conformance-mutate
 
-echo "==> serving gate (classify bench smoke: pruning bar + 2x throughput regression)"
+echo "==> serving gate (classify bench smoke: pruning bar + throughput margin + archive speedup)"
 cargo run --release -q -p extractocol-serve --bin extractocol-serve -- \
-  bench --requests 50000 --jobs 0 \
+  bench --requests 50000 --jobs 0 --iterations 3 \
   --out BENCH_classify.json --baseline BENCH_classify.baseline.json \
   --metrics-out METRICS_classify.txt
 
@@ -64,6 +64,45 @@ done
 grep "serve_attack_parse_errors_total{class=\"malformed_wire\"}" METRICS_attack.txt \
   | grep -qv " 0\$" \
   || { echo "METRICS_attack.txt: malformed_wire produced no parse errors"; exit 1; }
+
+echo "==> serving gate (archive compile + daemon smoke: hot swap, graceful drain)"
+rm -f daemon.port
+cargo run --release -q -p extractocol-serve --bin extractocol-serve -- \
+  compile --corpus --jobs 0 --out index_ci.exsv
+cargo run --release -q -p extractocol-serve --bin extractocol-serve -- \
+  daemon --index index_ci.exsv --listen 127.0.0.1:0 --port-file daemon.port \
+  --metrics-out METRICS_daemon.txt &
+DAEMON_PID=$!
+for _ in $(seq 1 100); do [ -s daemon.port ] && break; sleep 0.1; done
+[ -s daemon.port ] || { echo "daemon never wrote daemon.port"; kill "$DAEMON_PID"; exit 1; }
+printf 'PING\nGET\thttp://example.com/a\nGET\thttp://example.com/b\nSWAP\tindex_ci.exsv\nGET\thttp://example.com/a\nSTATS\nSHUTDOWN\n' \
+  > daemon_batch.txt
+cargo run --release -q -p extractocol-serve --bin extractocol-serve -- \
+  send --port-file daemon.port --traffic daemon_batch.txt > daemon_replies.txt
+REQ=$(grep -c . daemon_batch.txt)
+RESP=$(grep -c . daemon_replies.txt)
+[ "$REQ" -eq "$RESP" ] \
+  || { echo "daemon dropped replies: $RESP of $REQ answered"; exit 1; }
+grep -q '^swapped' daemon_replies.txt \
+  || { echo "daemon smoke: hot swap did not commit"; exit 1; }
+grep -q 'generation=2' daemon_replies.txt \
+  || { echo "daemon smoke: swap did not bump the index generation"; exit 1; }
+grep -q '^bye$' daemon_replies.txt \
+  || { echo "daemon smoke: SHUTDOWN not acknowledged"; exit 1; }
+wait "$DAEMON_PID" \
+  || { echo "daemon smoke: daemon exited nonzero (no graceful drain)"; exit 1; }
+
+echo "==> observability gate (mandatory daemon instruments)"
+for fam in serve_daemon_requests_total serve_daemon_verdict_total \
+  serve_daemon_request_latency_us_bucket serve_daemon_swaps_total \
+  serve_daemon_index_load_us_count serve_daemon_index_generation \
+  serve_daemon_drain_timeouts_total serve_daemon_connections_total; do
+  grep -q "$fam" METRICS_daemon.txt \
+    || { echo "METRICS_daemon.txt: missing instrument family $fam"; exit 1; }
+done
+grep -q 'serve_daemon_swaps_total 1' METRICS_daemon.txt \
+  || { echo "METRICS_daemon.txt: swap counter did not record the smoke swap"; exit 1; }
+rm -f index_ci.exsv daemon.port daemon_batch.txt daemon_replies.txt
 
 echo "==> adversarial gate (fresh time-derived seed, printed for replay)"
 ATTACK_SEED=$(date +%s)

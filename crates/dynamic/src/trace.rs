@@ -325,6 +325,22 @@ impl TrafficTrace {
     }
 }
 
+/// Parses a single wire-format line into a request. The streaming
+/// counterpart of [`TrafficTrace::parse_request_text`] for line-at-a-time
+/// consumers (the serve daemon): same grammar, same total-parser
+/// guarantees, but no trace allocation per line. Blank lines and `#`
+/// comments yield `Ok(None)`. Errors are anchored to line 1.
+pub fn parse_request_line(
+    line: &str,
+) -> Result<Option<extractocol_http::Request>, TraceParseError> {
+    let trimmed = line.trim_end_matches(['\r', '\n']);
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return Ok(None);
+    }
+    let mut trace = TrafficTrace::parse_request_text("line", trimmed)?;
+    Ok(trace.transactions.pop().map(|t| t.request))
+}
+
 /// Decodes one serialized body field by its MIME tag, under the HTTP
 /// layer's parse limits (depth/node/byte budgets for JSON and XML).
 fn parse_body(mime: &str, raw: &str) -> Result<Body, TraceParseErrorKind> {

@@ -102,6 +102,12 @@ pub fn format_query(pairs: &[(String, String)]) -> String {
 
 /// Minimal percent-encoding of a query component (what
 /// `java.net.URLEncoder.encode` does to the characters our corpus uses).
+///
+/// Space encodes as `%20`, not the legacy `+`: the trace parser and the
+/// structural matcher treat `+` as a literal byte, so a `+`-encoded
+/// signature would not match `%20` traffic for the same URI (and vice
+/// versa). Emitting `%20` on both the signature-build and interpreter
+/// sides keeps the encode → parse → classify round trip verdict-stable.
 pub fn url_encode(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for b in s.bytes() {
@@ -109,7 +115,6 @@ pub fn url_encode(s: &str) -> String {
             b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'*' => {
                 out.push(b as char)
             }
-            b' ' => out.push('+'),
             other => out.push_str(&format!("%{other:02X}")),
         }
     }
@@ -171,7 +176,22 @@ mod tests {
 
     #[test]
     fn url_encoding() {
-        assert_eq!(url_encode("a b&c=d"), "a+b%26c%3Dd");
+        assert_eq!(url_encode("a b&c=d"), "a%20b%26c%3Dd");
         assert_eq!(url_encode("safe-chars_0.9*"), "safe-chars_0.9*");
+    }
+
+    #[test]
+    fn url_encoding_space_is_percent20_not_plus() {
+        // Regression: `+` used to be emitted for space, but the matcher
+        // treats `+` as a literal byte — `+` vs `%20` traffic for the
+        // same URI would classify differently. The encoder must never
+        // emit `+` for a space, and a literal `+` in the input must be
+        // escaped (so decode is unambiguous).
+        assert_eq!(url_encode("new york"), "new%20york");
+        assert!(!url_encode("a b").contains('+'));
+        assert_eq!(url_encode("1+1"), "1%2B1");
+        // Parse keeps the encoded bytes verbatim (no percent-decoding).
+        let u = Uri::parse("http://h/search?q=new%20york");
+        assert_eq!(u.query_value("q"), Some("new%20york"));
     }
 }

@@ -157,10 +157,20 @@ impl Histogram {
     /// Quantile estimate by linear interpolation inside the bucket that
     /// crosses the target rank (the Prometheus `histogram_quantile`
     /// rule). Observations beyond the last bound clamp to it.
+    ///
+    /// The result is always finite: when the target rank lands in the
+    /// `+Inf` overflow bucket the estimate clamps to the largest finite
+    /// bound instead of interpolating toward infinity (which would yield
+    /// `+Inf`, or `NaN` from `Inf - Inf` arithmetic), and a `NaN`
+    /// quantile argument degrades to the same clamp rather than
+    /// poisoning the comparison chain.
     pub fn quantile(&self, q: f64) -> f64 {
         let total = self.count();
         if total == 0 {
             return 0.0;
+        }
+        if q.is_nan() {
+            return self.bounds[self.bounds.len() - 1];
         }
         let target = q.clamp(0.0, 1.0) * total as f64;
         let mut cum = 0u64;
@@ -465,6 +475,36 @@ mod tests {
         // p0 edge and empty histogram.
         assert_eq!(h.quantile(0.0), 0.0);
         assert_eq!(Histogram::new(&[1.0]).quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn quantile_in_overflow_bucket_clamps_to_largest_finite_bound() {
+        // Regression: a target rank landing in the +Inf overflow bucket
+        // must clamp to the largest finite bound — never return +Inf
+        // (naive "upper bound of the bucket") or NaN (interpolating
+        // between a finite lower edge and an infinite upper edge).
+        let h = Histogram::new(&[10.0, 100.0]);
+        for _ in 0..50 {
+            h.observe(1e9); // every observation overflows the last bound
+        }
+        for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let v = h.quantile(q);
+            assert!(v.is_finite(), "quantile({q}) = {v} is not finite");
+            assert_eq!(v, 100.0, "quantile({q}) must clamp to the last bound");
+        }
+        // Mixed mass: p50 interpolates normally, p99 still clamps.
+        let m = Histogram::new(&[10.0, 100.0]);
+        for _ in 0..90 {
+            m.observe(5.0);
+        }
+        for _ in 0..10 {
+            m.observe(1e9);
+        }
+        assert!(m.p50().is_finite() && m.p50() <= 10.0);
+        assert_eq!(m.p99(), 100.0);
+        assert_eq!(m.p999(), 100.0);
+        // A NaN quantile argument degrades to the clamp, not NaN.
+        assert_eq!(m.quantile(f64::NAN), 100.0);
     }
 
     #[test]

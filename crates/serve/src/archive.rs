@@ -1,0 +1,907 @@
+//! Persistent, versioned binary archive for a compiled [`SignatureIndex`].
+//!
+//! `extractocol-serve` used to recompile the index from analysis reports
+//! on every invocation — seconds of static analysis to answer a
+//! millisecond question. The archive turns the index into a deployable
+//! artifact: `extractocol-serve compile` writes it once, every other
+//! subcommand (and the daemon's hot-swap path) loads it near-instantly.
+//!
+//! # Layout (version 1)
+//!
+//! ```text
+//! header (32 bytes):
+//!   magic            8 bytes  "EXSERVIX"
+//!   version          u32 LE   (1)
+//!   reserved         u32 LE   (0)
+//!   payload_len      u64 LE   byte length of everything after the header
+//!   payload_checksum u64 LE   FNV-1a 64 over the payload bytes
+//! payload: two length-prefixed sections, in fixed order:
+//!   section = tag (u32 LE) + byte_len (u64 LE) + bytes
+//!     "SIGS" — the flat signature table (id = position)
+//!     "NODE" — the flat trie-node table (index = position)
+//! ```
+//!
+//! All integers are little-endian; strings are `u64` byte length +
+//! UTF-8 bytes; recursive patterns ([`SigPat`], [`JsonSig`], [`XmlSig`])
+//! are tag-byte trees with a hard decode-depth cap.
+//!
+//! # Guarantees
+//!
+//! * **Deterministic**: the same index serializes to byte-identical
+//!   archives (every container is ordered — `Vec`s by construction,
+//!   JSON object keys via `BTreeMap`), so `write(read(write(i))) ==
+//!   write(i)` and archives diff cleanly.
+//! * **Validated on load**: besides the checksum, the flat layouts are
+//!   structurally verified — child edges sorted and forward-pointing
+//!   (the trie is append-ordered, so cycles are impossible to encode),
+//!   every bucket id in range and used exactly once, and every
+//!   signature's stored prefix re-derivable from its URI pattern and
+//!   resolvable to the node holding it. A loaded index is
+//!   verdict-identical to a freshly compiled one (pinned corpus-wide by
+//!   `tests/serve_archive.rs`).
+//! * **Typed rejection**: corruption, truncation, and version skew each
+//!   surface as a distinct [`ArchiveError`] variant — never a panic,
+//!   never a silently wrong index.
+
+use crate::index::{CompiledSig, SignatureIndex, TrieNode};
+use extractocol_core::sigbuild::BodySig;
+use extractocol_core::siglang::{JsonSig, SigPat, TypeHint, XmlSig};
+use extractocol_http::HttpMethod;
+use std::fmt;
+
+/// The 8-byte archive magic.
+pub const ARCHIVE_MAGIC: &[u8; 8] = b"EXSERVIX";
+/// Current (and only) archive format version.
+pub const ARCHIVE_VERSION: u32 = 1;
+/// Maximum nesting depth accepted when decoding pattern trees. Corpus
+/// signatures are a few levels deep; this only bounds hostile archives.
+const MAX_PATTERN_DEPTH: usize = 256;
+
+const SECTION_SIGS: u32 = u32::from_le_bytes(*b"SIGS");
+const SECTION_NODES: u32 = u32::from_le_bytes(*b"NODE");
+
+/// Why an archive was rejected. Every variant is a deterministic verdict
+/// on the input bytes — loading never panics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArchiveError {
+    /// Filesystem failure on the `_file` entry points.
+    Io(String),
+    /// The first 8 bytes are not [`ARCHIVE_MAGIC`].
+    BadMagic,
+    /// Written by a different format version than this reader supports.
+    VersionMismatch {
+        /// Version found in the header.
+        found: u32,
+        /// Version this reader supports.
+        supported: u32,
+    },
+    /// Input ended before a declared length was satisfied.
+    Truncated {
+        /// What was being decoded.
+        context: &'static str,
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// Payload bytes do not hash to the header checksum.
+    ChecksumMismatch {
+        /// Checksum stored in the header.
+        expected: u64,
+        /// FNV-1a 64 of the payload actually read.
+        actual: u64,
+    },
+    /// A section tag other than the one required at that position.
+    BadSection {
+        /// Tag found in the stream.
+        found: u32,
+        /// Tag required here.
+        expected: u32,
+    },
+    /// An enum tag byte outside the encodable range.
+    BadTag {
+        /// What was being decoded.
+        context: &'static str,
+        /// The offending tag byte.
+        tag: u8,
+    },
+    /// A string field holding invalid UTF-8.
+    BadUtf8 {
+        /// What was being decoded.
+        context: &'static str,
+    },
+    /// A pattern tree nested beyond [`MAX_PATTERN_DEPTH`].
+    TooDeep {
+        /// What was being decoded.
+        context: &'static str,
+    },
+    /// Bytes left over after the last declared section.
+    TrailingBytes {
+        /// How many undeclared bytes remain.
+        count: usize,
+    },
+    /// The decoded flat layout is internally inconsistent.
+    Invalid(String),
+}
+
+impl fmt::Display for ArchiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchiveError::Io(e) => write!(f, "io: {e}"),
+            ArchiveError::BadMagic => write!(f, "not a signature-index archive (bad magic)"),
+            ArchiveError::VersionMismatch { found, supported } => {
+                write!(f, "archive version {found} unsupported (reader supports {supported})")
+            }
+            ArchiveError::Truncated { context, needed, available } => {
+                write!(f, "truncated {context}: needed {needed} bytes, {available} available")
+            }
+            ArchiveError::ChecksumMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "payload checksum mismatch: header {expected:#018x}, actual {actual:#018x}"
+                )
+            }
+            ArchiveError::BadSection { found, expected } => {
+                write!(f, "bad section tag {found:#010x} (expected {expected:#010x})")
+            }
+            ArchiveError::BadTag { context, tag } => write!(f, "bad {context} tag {tag:#04x}"),
+            ArchiveError::BadUtf8 { context } => write!(f, "invalid UTF-8 in {context}"),
+            ArchiveError::TooDeep { context } => {
+                write!(f, "{context} nested deeper than {MAX_PATTERN_DEPTH}")
+            }
+            ArchiveError::TrailingBytes { count } => {
+                write!(f, "{count} trailing byte(s) after the last section")
+            }
+            ArchiveError::Invalid(msg) => write!(f, "invalid index layout: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ArchiveError {}
+
+/// FNV-1a 64 over a byte slice — the payload checksum. In-repo (the
+/// workspace is dependency-free) and stable across platforms.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_method(out: &mut Vec<u8>, m: HttpMethod) {
+    out.push(match m {
+        HttpMethod::Get => 0,
+        HttpMethod::Post => 1,
+        HttpMethod::Put => 2,
+        HttpMethod::Delete => 3,
+    });
+}
+
+fn put_sigpat(out: &mut Vec<u8>, p: &SigPat) {
+    match p {
+        SigPat::Const(s) => {
+            out.push(0);
+            put_str(out, s);
+        }
+        SigPat::Unknown(h) => {
+            out.push(1);
+            out.push(match h {
+                TypeHint::Num => 0,
+                TypeHint::Bool => 1,
+                TypeHint::Str => 2,
+            });
+        }
+        SigPat::Concat(parts) => {
+            out.push(2);
+            put_u64(out, parts.len() as u64);
+            for part in parts {
+                put_sigpat(out, part);
+            }
+        }
+        SigPat::Rep(inner) => {
+            out.push(3);
+            put_sigpat(out, inner);
+        }
+        SigPat::Or(arms) => {
+            out.push(4);
+            put_u64(out, arms.len() as u64);
+            for arm in arms {
+                put_sigpat(out, arm);
+            }
+        }
+        SigPat::Json(j) => {
+            out.push(5);
+            put_jsonsig(out, j);
+        }
+        SigPat::Xml(x) => {
+            out.push(6);
+            put_xmlsig(out, x);
+        }
+    }
+}
+
+fn put_jsonsig(out: &mut Vec<u8>, j: &JsonSig) {
+    match j {
+        JsonSig::Object(map) => {
+            out.push(0);
+            put_u64(out, map.len() as u64);
+            for (k, v) in map {
+                put_str(out, k);
+                put_jsonsig(out, v);
+            }
+        }
+        JsonSig::Array(elem) => {
+            out.push(1);
+            put_jsonsig(out, elem);
+        }
+        JsonSig::Value(p) => {
+            out.push(2);
+            put_sigpat(out, p);
+        }
+        JsonSig::Unknown => out.push(3),
+    }
+}
+
+fn put_xmlsig(out: &mut Vec<u8>, x: &XmlSig) {
+    put_str(out, &x.name);
+    put_u64(out, x.attrs.len() as u64);
+    for (k, v) in &x.attrs {
+        put_str(out, k);
+        put_sigpat(out, v);
+    }
+    put_u64(out, x.children.len() as u64);
+    for c in &x.children {
+        put_xmlsig(out, c);
+    }
+    match &x.text {
+        None => out.push(0),
+        Some(p) => {
+            out.push(1);
+            put_sigpat(out, p);
+        }
+    }
+}
+
+fn put_bodysig(out: &mut Vec<u8>, b: &BodySig) {
+    match b {
+        BodySig::Form(pairs) => {
+            out.push(0);
+            put_u64(out, pairs.len() as u64);
+            for (k, v) in pairs {
+                put_sigpat(out, k);
+                put_sigpat(out, v);
+            }
+        }
+        BodySig::Json(j) => {
+            out.push(1);
+            put_jsonsig(out, j);
+        }
+        BodySig::Xml(x) => {
+            out.push(2);
+            put_xmlsig(out, x);
+        }
+        BodySig::Text(p) => {
+            out.push(3);
+            put_sigpat(out, p);
+        }
+    }
+}
+
+fn put_sig(out: &mut Vec<u8>, sig: &CompiledSig) {
+    put_str(out, &sig.app);
+    put_u64(out, sig.txn_id as u64);
+    put_str(out, &sig.dp_class);
+    put_method(out, sig.method);
+    put_sigpat(out, &sig.uri);
+    match &sig.body {
+        None => out.push(0),
+        Some(b) => {
+            out.push(1);
+            put_bodysig(out, b);
+        }
+    }
+    put_str(out, &sig.prefix);
+}
+
+fn put_node(out: &mut Vec<u8>, node: &TrieNode) {
+    put_u64(out, node.children.len() as u64);
+    for (label, child) in &node.children {
+        out.push(*label);
+        put_u32(out, *child);
+    }
+    put_u64(out, node.bucket.len() as u64);
+    for id in &node.bucket {
+        put_u32(out, *id);
+    }
+}
+
+/// Serializes a compiled index into archive bytes. Deterministic: the
+/// same index always produces byte-identical output.
+pub fn write_archive(index: &SignatureIndex) -> Vec<u8> {
+    let mut sigs = Vec::new();
+    put_u64(&mut sigs, index.sigs.len() as u64);
+    for sig in &index.sigs {
+        put_sig(&mut sigs, sig);
+    }
+    let mut nodes = Vec::new();
+    put_u64(&mut nodes, index.nodes.len() as u64);
+    for node in &index.nodes {
+        put_node(&mut nodes, node);
+    }
+
+    let mut payload = Vec::with_capacity(sigs.len() + nodes.len() + 48);
+    put_u32(&mut payload, SECTION_SIGS);
+    put_u64(&mut payload, sigs.len() as u64);
+    payload.extend_from_slice(&sigs);
+    put_u32(&mut payload, SECTION_NODES);
+    put_u64(&mut payload, nodes.len() as u64);
+    payload.extend_from_slice(&nodes);
+
+    let mut out = Vec::with_capacity(32 + payload.len());
+    out.extend_from_slice(ARCHIVE_MAGIC);
+    put_u32(&mut out, ARCHIVE_VERSION);
+    put_u32(&mut out, 0); // reserved
+    put_u64(&mut out, payload.len() as u64);
+    put_u64(&mut out, fnv1a64(&payload));
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// [`write_archive`] to a file.
+pub fn write_archive_file(
+    index: &SignatureIndex,
+    path: impl AsRef<std::path::Path>,
+) -> Result<(), ArchiveError> {
+    std::fs::write(path.as_ref(), write_archive(index))
+        .map_err(|e| ArchiveError::Io(format!("{}: {e}", path.as_ref().display())))
+}
+
+// ---------------------------------------------------------------------------
+// Reading
+// ---------------------------------------------------------------------------
+
+/// Bounds-checked byte cursor with typed errors.
+struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(buf: &'a [u8]) -> Cur<'a> {
+        Cur { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], ArchiveError> {
+        if self.remaining() < n {
+            return Err(ArchiveError::Truncated {
+                context,
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self, context: &'static str) -> Result<u8, ArchiveError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    fn u32(&mut self, context: &'static str) -> Result<u32, ArchiveError> {
+        let b = self.take(4, context)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self, context: &'static str) -> Result<u64, ArchiveError> {
+        let b = self.take(8, context)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// A declared element count. Rejected when it exceeds the bytes left
+    /// (every element costs ≥ 1 byte), so hostile length fields cannot
+    /// drive huge allocations.
+    fn count(&mut self, context: &'static str) -> Result<usize, ArchiveError> {
+        let n = self.u64(context)?;
+        if n > self.remaining() as u64 {
+            return Err(ArchiveError::Truncated {
+                context,
+                needed: n as usize,
+                available: self.remaining(),
+            });
+        }
+        Ok(n as usize)
+    }
+
+    fn str(&mut self, context: &'static str) -> Result<String, ArchiveError> {
+        let n = self.count(context)?;
+        let bytes = self.take(n, context)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ArchiveError::BadUtf8 { context })
+    }
+}
+
+fn get_method(cur: &mut Cur<'_>) -> Result<HttpMethod, ArchiveError> {
+    match cur.u8("method")? {
+        0 => Ok(HttpMethod::Get),
+        1 => Ok(HttpMethod::Post),
+        2 => Ok(HttpMethod::Put),
+        3 => Ok(HttpMethod::Delete),
+        tag => Err(ArchiveError::BadTag { context: "method", tag }),
+    }
+}
+
+fn get_sigpat(cur: &mut Cur<'_>, depth: usize) -> Result<SigPat, ArchiveError> {
+    if depth > MAX_PATTERN_DEPTH {
+        return Err(ArchiveError::TooDeep { context: "SigPat" });
+    }
+    match cur.u8("SigPat")? {
+        0 => Ok(SigPat::Const(cur.str("SigPat::Const")?)),
+        1 => match cur.u8("TypeHint")? {
+            0 => Ok(SigPat::Unknown(TypeHint::Num)),
+            1 => Ok(SigPat::Unknown(TypeHint::Bool)),
+            2 => Ok(SigPat::Unknown(TypeHint::Str)),
+            tag => Err(ArchiveError::BadTag { context: "TypeHint", tag }),
+        },
+        2 => {
+            let n = cur.count("SigPat::Concat")?;
+            let mut parts = Vec::with_capacity(n);
+            for _ in 0..n {
+                parts.push(get_sigpat(cur, depth + 1)?);
+            }
+            Ok(SigPat::Concat(parts))
+        }
+        3 => Ok(SigPat::Rep(Box::new(get_sigpat(cur, depth + 1)?))),
+        4 => {
+            let n = cur.count("SigPat::Or")?;
+            let mut arms = Vec::with_capacity(n);
+            for _ in 0..n {
+                arms.push(get_sigpat(cur, depth + 1)?);
+            }
+            Ok(SigPat::Or(arms))
+        }
+        5 => Ok(SigPat::Json(get_jsonsig(cur, depth + 1)?)),
+        6 => Ok(SigPat::Xml(Box::new(get_xmlsig(cur, depth + 1)?))),
+        tag => Err(ArchiveError::BadTag { context: "SigPat", tag }),
+    }
+}
+
+fn get_jsonsig(cur: &mut Cur<'_>, depth: usize) -> Result<JsonSig, ArchiveError> {
+    if depth > MAX_PATTERN_DEPTH {
+        return Err(ArchiveError::TooDeep { context: "JsonSig" });
+    }
+    match cur.u8("JsonSig")? {
+        0 => {
+            let n = cur.count("JsonSig::Object")?;
+            let mut map = std::collections::BTreeMap::new();
+            for _ in 0..n {
+                let k = cur.str("JsonSig key")?;
+                map.insert(k, get_jsonsig(cur, depth + 1)?);
+            }
+            Ok(JsonSig::Object(map))
+        }
+        1 => Ok(JsonSig::Array(Box::new(get_jsonsig(cur, depth + 1)?))),
+        2 => Ok(JsonSig::Value(Box::new(get_sigpat(cur, depth + 1)?))),
+        3 => Ok(JsonSig::Unknown),
+        tag => Err(ArchiveError::BadTag { context: "JsonSig", tag }),
+    }
+}
+
+fn get_xmlsig(cur: &mut Cur<'_>, depth: usize) -> Result<XmlSig, ArchiveError> {
+    if depth > MAX_PATTERN_DEPTH {
+        return Err(ArchiveError::TooDeep { context: "XmlSig" });
+    }
+    let name = cur.str("XmlSig name")?;
+    let n_attrs = cur.count("XmlSig attrs")?;
+    let mut attrs = Vec::with_capacity(n_attrs);
+    for _ in 0..n_attrs {
+        let k = cur.str("XmlSig attr key")?;
+        attrs.push((k, get_sigpat(cur, depth + 1)?));
+    }
+    let n_children = cur.count("XmlSig children")?;
+    let mut children = Vec::with_capacity(n_children);
+    for _ in 0..n_children {
+        children.push(get_xmlsig(cur, depth + 1)?);
+    }
+    let text = match cur.u8("XmlSig text")? {
+        0 => None,
+        1 => Some(get_sigpat(cur, depth + 1)?),
+        tag => return Err(ArchiveError::BadTag { context: "XmlSig text", tag }),
+    };
+    Ok(XmlSig { name, attrs, children, text })
+}
+
+fn get_bodysig(cur: &mut Cur<'_>) -> Result<BodySig, ArchiveError> {
+    match cur.u8("BodySig")? {
+        0 => {
+            let n = cur.count("BodySig::Form")?;
+            let mut pairs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let k = get_sigpat(cur, 0)?;
+                let v = get_sigpat(cur, 0)?;
+                pairs.push((k, v));
+            }
+            Ok(BodySig::Form(pairs))
+        }
+        1 => Ok(BodySig::Json(get_jsonsig(cur, 0)?)),
+        2 => Ok(BodySig::Xml(get_xmlsig(cur, 0)?)),
+        3 => Ok(BodySig::Text(get_sigpat(cur, 0)?)),
+        tag => Err(ArchiveError::BadTag { context: "BodySig", tag }),
+    }
+}
+
+fn get_sig(cur: &mut Cur<'_>) -> Result<CompiledSig, ArchiveError> {
+    let app = cur.str("sig app")?;
+    let txn_id = cur.u64("sig txn_id")? as usize;
+    let dp_class = cur.str("sig dp_class")?;
+    let method = get_method(cur)?;
+    let uri = get_sigpat(cur, 0)?;
+    let body = match cur.u8("sig body")? {
+        0 => None,
+        1 => Some(get_bodysig(cur)?),
+        tag => return Err(ArchiveError::BadTag { context: "sig body", tag }),
+    };
+    let prefix = cur.str("sig prefix")?;
+    Ok(CompiledSig { app, txn_id, dp_class, method, uri, body, prefix })
+}
+
+fn get_node(cur: &mut Cur<'_>) -> Result<TrieNode, ArchiveError> {
+    let n_children = cur.count("node children")?;
+    let mut children = Vec::with_capacity(n_children);
+    for _ in 0..n_children {
+        let label = cur.u8("child label")?;
+        let child = cur.u32("child index")?;
+        children.push((label, child));
+    }
+    let n_bucket = cur.count("node bucket")?;
+    let mut bucket = Vec::with_capacity(n_bucket);
+    for _ in 0..n_bucket {
+        bucket.push(cur.u32("bucket id")?);
+    }
+    Ok(TrieNode { children, bucket })
+}
+
+fn expect_section<'a>(cur: &mut Cur<'a>, expected: u32) -> Result<Cur<'a>, ArchiveError> {
+    let found = cur.u32("section tag")?;
+    if found != expected {
+        return Err(ArchiveError::BadSection { found, expected });
+    }
+    let len = cur.count("section length")?;
+    Ok(Cur::new(cur.take(len, "section bytes")?))
+}
+
+/// Deserializes and validates archive bytes back into a
+/// [`SignatureIndex`]. Every failure mode is a typed [`ArchiveError`].
+pub fn read_archive(bytes: &[u8]) -> Result<SignatureIndex, ArchiveError> {
+    let mut cur = Cur::new(bytes);
+    let magic = cur.take(8, "magic")?;
+    if magic != ARCHIVE_MAGIC {
+        return Err(ArchiveError::BadMagic);
+    }
+    let version = cur.u32("version")?;
+    if version != ARCHIVE_VERSION {
+        return Err(ArchiveError::VersionMismatch { found: version, supported: ARCHIVE_VERSION });
+    }
+    let _reserved = cur.u32("reserved")?;
+    let payload_len = cur.u64("payload length")? as usize;
+    let expected_sum = cur.u64("payload checksum")?;
+    let payload = cur.take(payload_len, "payload")?;
+    if cur.remaining() > 0 {
+        return Err(ArchiveError::TrailingBytes { count: cur.remaining() });
+    }
+    let actual_sum = fnv1a64(payload);
+    if actual_sum != expected_sum {
+        return Err(ArchiveError::ChecksumMismatch { expected: expected_sum, actual: actual_sum });
+    }
+
+    let mut pcur = Cur::new(payload);
+    let mut sigs_cur = expect_section(&mut pcur, SECTION_SIGS)?;
+    let n_sigs = sigs_cur.count("signature count")?;
+    let mut sigs = Vec::with_capacity(n_sigs);
+    for _ in 0..n_sigs {
+        sigs.push(get_sig(&mut sigs_cur)?);
+    }
+    if sigs_cur.remaining() > 0 {
+        return Err(ArchiveError::TrailingBytes { count: sigs_cur.remaining() });
+    }
+    let mut nodes_cur = expect_section(&mut pcur, SECTION_NODES)?;
+    let n_nodes = nodes_cur.count("node count")?;
+    let mut nodes = Vec::with_capacity(n_nodes);
+    for _ in 0..n_nodes {
+        nodes.push(get_node(&mut nodes_cur)?);
+    }
+    if nodes_cur.remaining() > 0 {
+        return Err(ArchiveError::TrailingBytes { count: nodes_cur.remaining() });
+    }
+    if pcur.remaining() > 0 {
+        return Err(ArchiveError::TrailingBytes { count: pcur.remaining() });
+    }
+
+    let index = SignatureIndex { sigs, nodes };
+    validate_layout(&index)?;
+    Ok(index)
+}
+
+/// [`read_archive`] from a file.
+pub fn read_archive_file(
+    path: impl AsRef<std::path::Path>,
+) -> Result<SignatureIndex, ArchiveError> {
+    let bytes = std::fs::read(path.as_ref())
+        .map_err(|e| ArchiveError::Io(format!("{}: {e}", path.as_ref().display())))?;
+    read_archive(&bytes)
+}
+
+/// Structural validation of the decoded flat layouts — the guarantees
+/// [`SignatureIndex::classify`] relies on and a hostile or bit-rotted
+/// archive could otherwise violate.
+fn validate_layout(index: &SignatureIndex) -> Result<(), ArchiveError> {
+    let bad = |msg: String| Err(ArchiveError::Invalid(msg));
+    if index.nodes.is_empty() {
+        return bad("no trie root".into());
+    }
+    let n_sigs = index.sigs.len();
+    let n_nodes = index.nodes.len();
+    let mut bucketed = vec![false; n_sigs];
+    for (i, node) in index.nodes.iter().enumerate() {
+        for w in node.children.windows(2) {
+            if w[0].0 >= w[1].0 {
+                return bad(format!("node {i}: child labels not strictly increasing"));
+            }
+        }
+        for &(label, child) in &node.children {
+            let child = child as usize;
+            if child >= n_nodes {
+                return bad(format!("node {i}: child {child} out of range ({n_nodes} nodes)"));
+            }
+            if child <= i {
+                return bad(format!(
+                    "node {i}: child {child} not forward-pointing (label {label:#04x})"
+                ));
+            }
+        }
+        for w in node.bucket.windows(2) {
+            if w[0] >= w[1] {
+                return bad(format!("node {i}: bucket ids not strictly increasing"));
+            }
+        }
+        for &id in &node.bucket {
+            let id = id as usize;
+            if id >= n_sigs {
+                return bad(format!("node {i}: bucket id {id} out of range ({n_sigs} sigs)"));
+            }
+            if bucketed[id] {
+                return bad(format!("signature {id} appears in more than one bucket"));
+            }
+            bucketed[id] = true;
+        }
+    }
+    if let Some(id) = bucketed.iter().position(|b| !b) {
+        return bad(format!("signature {id} missing from every trie bucket"));
+    }
+    for (id, sig) in index.sigs.iter().enumerate() {
+        if sig.prefix != sig.uri.literal_prefix() {
+            return bad(format!("signature {id}: stored prefix diverges from its URI pattern"));
+        }
+        // The prefix must walk to a node whose bucket holds this id.
+        let mut node = 0usize;
+        for &b in sig.prefix.as_bytes() {
+            match index.nodes[node].children.binary_search_by_key(&b, |e| e.0) {
+                Ok(i) => node = index.nodes[node].children[i].1 as usize,
+                Err(_) => return bad(format!("signature {id}: prefix walks off the trie")),
+            }
+        }
+        if !index.nodes[node].bucket.contains(&(id as u32)) {
+            return bad(format!("signature {id}: prefix node does not bucket it"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extractocol_core::metrics::Metrics;
+    use extractocol_core::pairing::Pairing;
+    use extractocol_core::report::{AnalysisReport, Stats, TxnReport};
+    use extractocol_http::Request;
+
+    fn small_index() -> SignatureIndex {
+        let mut body = JsonSig::object();
+        body.put("id", JsonSig::Value(Box::new(SigPat::Unknown(TypeHint::Num))));
+        let txns = vec![
+            TxnReport {
+                id: 0,
+                dp_class: "java.net.HttpURLConnection".into(),
+                root: "t.C.go".into(),
+                method: HttpMethod::Get,
+                uri_regex: String::new(),
+                uri: SigPat::Concat(vec![
+                    SigPat::lit("http://h/api/"),
+                    SigPat::Unknown(TypeHint::Num),
+                    SigPat::Rep(Box::new(SigPat::lit("/x"))),
+                ]),
+                headers: Vec::new(),
+                header_sigs: Vec::new(),
+                request_body: None,
+                response: None,
+                pairing: Pairing::Unique,
+                origins: Vec::new(),
+                consumptions: Vec::new(),
+            },
+            TxnReport {
+                id: 1,
+                dp_class: "org.apache.http.client.HttpClient".into(),
+                root: "t.C.post".into(),
+                method: HttpMethod::Post,
+                uri_regex: String::new(),
+                uri: SigPat::lit("http://h/api/login"),
+                headers: Vec::new(),
+                header_sigs: Vec::new(),
+                request_body: Some(BodySig::Json(body)),
+                response: None,
+                pairing: Pairing::Unique,
+                origins: Vec::new(),
+                consumptions: Vec::new(),
+            },
+        ];
+        SignatureIndex::compile(&[AnalysisReport {
+            app: "demo".into(),
+            transactions: txns,
+            dependencies: Vec::new(),
+            stats: Stats::default(),
+            metrics: Metrics::default(),
+        }])
+    }
+
+    #[test]
+    fn round_trip_preserves_the_index() {
+        let index = small_index();
+        let bytes = write_archive(&index);
+        let loaded = read_archive(&bytes).expect("load");
+        assert_eq!(loaded.len(), index.len());
+        assert_eq!(loaded.trie_nodes(), index.trie_nodes());
+        for (a, b) in index.sigs().iter().zip(loaded.sigs()) {
+            assert_eq!(a.app, b.app);
+            assert_eq!(a.txn_id, b.txn_id);
+            assert_eq!(a.method, b.method);
+            assert_eq!(a.uri, b.uri);
+            assert_eq!(a.body, b.body);
+            assert_eq!(a.prefix, b.prefix);
+        }
+        // Re-serialization is byte-identical (lossless decode).
+        assert_eq!(write_archive(&loaded), bytes);
+    }
+
+    #[test]
+    fn verdicts_survive_the_round_trip() {
+        let index = small_index();
+        let loaded = read_archive(&write_archive(&index)).expect("load");
+        for req in [
+            Request::get("http://h/api/42/x/x"),
+            Request::get("http://h/api/nope"),
+            Request::post("http://h/api/login", extractocol_http::Body::Empty),
+        ] {
+            assert_eq!(index.classify(&req), loaded.classify(&req));
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = write_archive(&small_index());
+        bytes[0] ^= 0xFF;
+        assert!(matches!(read_archive(&bytes), Err(ArchiveError::BadMagic)));
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut bytes = write_archive(&small_index());
+        bytes[8] = 99; // version field, LE low byte
+        assert!(matches!(
+            read_archive(&bytes),
+            Err(ArchiveError::VersionMismatch { found: 99, supported: ARCHIVE_VERSION })
+        ));
+    }
+
+    #[test]
+    fn corrupted_payload_fails_the_checksum() {
+        let mut bytes = write_archive(&small_index());
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        match read_archive(&bytes) {
+            Err(ArchiveError::ChecksumMismatch { .. }) => {}
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_a_typed_error_at_every_cut() {
+        let bytes = write_archive(&small_index());
+        // Any strict prefix must fail with a typed error, never panic.
+        for cut in 0..bytes.len() {
+            match read_archive(&bytes[..cut]) {
+                Err(_) => {}
+                Ok(_) => panic!("truncated archive ({cut}/{} bytes) loaded", bytes.len()),
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = write_archive(&small_index());
+        bytes.push(0x00);
+        assert!(matches!(read_archive(&bytes), Err(ArchiveError::TrailingBytes { count: 1 })));
+    }
+
+    #[test]
+    fn empty_index_round_trips() {
+        let index = SignatureIndex::compile(&[]);
+        let loaded = read_archive(&write_archive(&index)).expect("load");
+        assert!(loaded.is_empty());
+        assert_eq!(loaded.trie_nodes(), 1);
+    }
+
+    #[test]
+    fn hostile_count_fields_cannot_drive_allocation() {
+        // A declared element count larger than the remaining payload is
+        // rejected before any allocation happens.
+        let index = small_index();
+        let mut bytes = write_archive(&index);
+        // The signature-count u64 sits right after the SIGS section
+        // header (32-byte file header + 4-byte tag + 8-byte length).
+        let count_at = 32 + 4 + 8;
+        bytes[count_at..count_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        match read_archive(&bytes) {
+            // Checksum catches the mutation first unless recomputed.
+            Err(ArchiveError::ChecksumMismatch { .. }) => {}
+            other => panic!("expected typed rejection, got {other:?}"),
+        }
+        // Recompute the checksum so the count field itself is exercised.
+        let payload_start = 32;
+        let sum = fnv1a64(&bytes[payload_start..]);
+        bytes[24..32].copy_from_slice(&sum.to_le_bytes());
+        match read_archive(&bytes) {
+            Err(ArchiveError::Truncated { .. }) => {}
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn layout_validation_rejects_inconsistent_tables() {
+        let index = small_index();
+        // Drop a signature from its bucket: rebuild with an empty root
+        // bucket and a dangling signature.
+        let mut broken = index.clone();
+        for node in &mut broken.nodes {
+            node.bucket.clear();
+        }
+        let bytes = write_archive(&broken);
+        match read_archive(&bytes) {
+            Err(ArchiveError::Invalid(msg)) => {
+                assert!(msg.contains("missing from every trie bucket"), "{msg}");
+            }
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+}

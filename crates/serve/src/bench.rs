@@ -53,10 +53,21 @@ pub struct BenchReport {
     pub trie_nodes: usize,
     /// Worker count used for the batch run.
     pub jobs: usize,
-    /// Batch wall-clock in seconds.
+    /// Timed batch repetitions; the reported throughput is the best of
+    /// them, so one scheduler hiccup can't flap the CI gate.
+    pub iterations: usize,
+    /// Batch wall-clock in seconds (fastest iteration).
     pub elapsed_secs: f64,
-    /// Requests per second over the batch run.
+    /// Requests per second over the batch run (fastest iteration).
     pub requests_per_sec: f64,
+    /// Full index rebuild wall-clock: corpus static analysis + compile —
+    /// what every invocation paid before archives existed.
+    pub rebuild_secs: f64,
+    /// Archive decode + validate wall-clock for the same index.
+    pub archive_load_secs: f64,
+    /// `rebuild_secs / archive_load_secs` — the persistent-index payoff
+    /// (acceptance bar: ≥ 20x).
+    pub archive_speedup: f64,
     /// Single-request latency, 50th percentile (microseconds).
     pub p50_latency_us: f64,
     /// Single-request latency, 99th percentile (microseconds).
@@ -73,8 +84,12 @@ impl BenchReport {
         o.insert("signatures", JsonValue::num(self.signatures as f64));
         o.insert("trie_nodes", JsonValue::num(self.trie_nodes as f64));
         o.insert("jobs", JsonValue::num(self.jobs as f64));
+        o.insert("iterations", JsonValue::num(self.iterations as f64));
         o.insert("elapsed_secs", JsonValue::num(self.elapsed_secs));
         o.insert("requests_per_sec", JsonValue::num(self.requests_per_sec));
+        o.insert("rebuild_secs", JsonValue::num(self.rebuild_secs));
+        o.insert("archive_load_secs", JsonValue::num(self.archive_load_secs));
+        o.insert("archive_speedup", JsonValue::num(self.archive_speedup));
         o.insert("p50_latency_us", JsonValue::num(self.p50_latency_us));
         o.insert("p99_latency_us", JsonValue::num(self.p99_latency_us));
         o.insert("avg_candidates", JsonValue::num(self.stats.avg_candidates()));
@@ -94,15 +109,35 @@ pub fn tile_requests(base: &[Request], n: usize) -> Vec<Request> {
     base.iter().cycle().take(n).cloned().collect()
 }
 
-/// Runs the benchmark: compiles the corpus index, classifies `requests_n`
-/// tiled fuzzer requests on `jobs` workers, and samples single-request
-/// latency over (up to) 10k requests.
-pub fn run(requests_n: usize, jobs: usize) -> BenchReport {
+/// Runs the benchmark: compiles the corpus index (timing the rebuild and
+/// the archive-load path for comparison), classifies `requests_n` tiled
+/// fuzzer requests on `jobs` workers taking the best of `iterations`
+/// timed batches, and samples single-request latency over (up to) 10k
+/// requests.
+pub fn run(requests_n: usize, jobs: usize, iterations: usize) -> BenchReport {
+    let t_rebuild = Instant::now();
     let reports = corpus_reports(jobs);
     let index = SignatureIndex::compile(&reports);
+    let rebuild_secs = t_rebuild.elapsed().as_secs_f64();
     let base = corpus_requests();
     let requests = tile_requests(&base, requests_n);
-    bench_index(&index, &requests, jobs)
+    let mut report = bench_index(&index, &requests, jobs, iterations);
+    fill_archive_timings(&index, rebuild_secs, &mut report);
+    report
+}
+
+/// Times the persistent-index path against the rebuild the caller just
+/// paid: serialize, then measure decode+validate of the archive bytes.
+fn fill_archive_timings(index: &SignatureIndex, rebuild_secs: f64, report: &mut BenchReport) {
+    let archive = crate::archive::write_archive(index);
+    let t = Instant::now();
+    let loaded = crate::archive::read_archive(&archive).expect("self-written archive loads");
+    let archive_load_secs = t.elapsed().as_secs_f64();
+    std::hint::black_box(&loaded);
+    report.rebuild_secs = rebuild_secs;
+    report.archive_load_secs = archive_load_secs;
+    report.archive_speedup =
+        if archive_load_secs > 0.0 { rebuild_secs / archive_load_secs } else { f64::INFINITY };
 }
 
 /// [`run`] plus the instrument bundle behind `bench --metrics-out`.
@@ -124,10 +159,16 @@ pub struct ObservedBench {
 /// baseline), then an instrumented pass over the same requests fills the
 /// latency/candidate-fraction histograms, shard telemetry, and the
 /// `serve_compile`/`serve_classify` [`PhaseTimings`] slots.
-pub fn run_observed(requests_n: usize, jobs: usize, trace: &TraceCollector) -> ObservedBench {
+pub fn run_observed(
+    requests_n: usize,
+    jobs: usize,
+    iterations: usize,
+    trace: &TraceCollector,
+) -> ObservedBench {
     let metrics = ServeMetrics::new();
     let mut phases = PhaseTimings::default();
 
+    let t_rebuild = Instant::now();
     let reports = corpus_reports(jobs);
     let t = Instant::now();
     let index = {
@@ -137,10 +178,13 @@ pub fn run_observed(requests_n: usize, jobs: usize, trace: &TraceCollector) -> O
         index
     };
     phases.serve_compile = t.elapsed();
+    let rebuild_secs = t_rebuild.elapsed().as_secs_f64();
     let base = corpus_requests();
     let requests = tile_requests(&base, requests_n);
 
-    let report = bench_index(&index, &requests, jobs);
+    let mut report = bench_index(&index, &requests, jobs, iterations);
+    fill_archive_timings(&index, rebuild_secs, &mut report);
+    let report = report;
 
     let t = Instant::now();
     {
@@ -153,12 +197,25 @@ pub fn run_observed(requests_n: usize, jobs: usize, trace: &TraceCollector) -> O
     ObservedBench { report, metrics, phases }
 }
 
-/// Measures one compiled index against one request set: timed batch run
-/// plus sequential latency sampling.
-fn bench_index(index: &SignatureIndex, requests: &[Request], jobs: usize) -> BenchReport {
-    let t = Instant::now();
-    let (_, stats) = classify_batch(index, requests, jobs);
-    let elapsed = t.elapsed().as_secs_f64();
+/// Measures one compiled index against one request set: best-of-N timed
+/// batch runs plus sequential latency sampling. Verdicts and stats are
+/// deterministic across iterations, so only the wall-clock varies — the
+/// fastest run is the least-noise estimate of real throughput.
+fn bench_index(
+    index: &SignatureIndex,
+    requests: &[Request],
+    jobs: usize,
+    iterations: usize,
+) -> BenchReport {
+    let iterations = iterations.max(1);
+    let mut elapsed = f64::INFINITY;
+    let mut stats = ClassifyStats::default();
+    for _ in 0..iterations {
+        let t = Instant::now();
+        let (_, s) = classify_batch(index, requests, jobs);
+        elapsed = elapsed.min(t.elapsed().as_secs_f64());
+        stats = s;
+    }
 
     // Latency sampling: sequential, one timer per request.
     let sample = &requests[..requests.len().min(10_000)];
@@ -184,8 +241,12 @@ fn bench_index(index: &SignatureIndex, requests: &[Request], jobs: usize) -> Ben
         signatures: index.len(),
         trie_nodes: index.trie_nodes(),
         jobs,
+        iterations,
         elapsed_secs: elapsed,
         requests_per_sec: if elapsed > 0.0 { requests.len() as f64 / elapsed } else { 0.0 },
+        rebuild_secs: 0.0,
+        archive_load_secs: 0.0,
+        archive_speedup: 0.0,
         p50_latency_us: pct(0.50),
         p99_latency_us: pct(0.99),
         stats,
@@ -261,10 +322,19 @@ impl AttackBenchReport {
 /// cases is re-classified through the brute-force path; any verdict
 /// disagreement is reported (and must fail the caller).
 pub fn run_attack(seed: u64, per_class: usize, jobs: usize) -> (AttackBenchReport, ServeMetrics) {
+    let reports = corpus_reports(jobs);
+    run_attack_on(SignatureIndex::compile(&reports), seed, per_class)
+}
+
+/// [`run_attack`] against a caller-supplied index (e.g. one loaded from
+/// a compiled archive via `attack --index`).
+pub fn run_attack_on(
+    index: SignatureIndex,
+    seed: u64,
+    per_class: usize,
+) -> (AttackBenchReport, ServeMetrics) {
     use extractocol_dynamic::{generate_attacks, AdversarialConfig, AttackClass};
 
-    let reports = corpus_reports(jobs);
-    let index = SignatureIndex::compile(&reports);
     let base = corpus_requests();
     let metrics = ServeMetrics::new();
     metrics.observe_index(index.len(), index.trie_nodes());
@@ -367,8 +437,12 @@ mod tests {
             signatures: 10,
             trie_nodes: 42,
             jobs: 2,
+            iterations: 3,
             elapsed_secs: 0.5,
             requests_per_sec: 200.0,
+            rebuild_secs: 2.0,
+            archive_load_secs: 0.01,
+            archive_speedup: 200.0,
             p50_latency_us: 3.0,
             p99_latency_us: 9.0,
             stats: ClassifyStats::default(),
@@ -376,6 +450,8 @@ mod tests {
         let text = report.to_json().to_json();
         let parsed = JsonValue::parse(&text).expect("valid JSON");
         assert_eq!(parsed.get("requests_per_sec").and_then(|v| v.as_num()), Some(200.0));
+        assert_eq!(parsed.get("iterations").and_then(|v| v.as_num()), Some(3.0));
+        assert_eq!(parsed.get("archive_speedup").and_then(|v| v.as_num()), Some(200.0));
         assert!(parsed.get("avg_eval_fraction").is_some());
     }
 }

@@ -1,0 +1,771 @@
+//! The long-running classifier: `extractocol-serve daemon`.
+//!
+//! Speaks the existing line-based traffic wire format
+//! ([`extractocol_dynamic::parse_request_line`]) over stdin/stdout or
+//! TCP, one response line per input line. A handful of control verbs —
+//! none of which collide with an HTTP method, so the grammar stays
+//! unambiguous — drive the daemon itself:
+//!
+//! ```text
+//! GET\t<uri>[\t<mime>\t<body>]   → match\t<app>\t<txn>\t<dp_class> | unmatched
+//! PING                           → pong
+//! STATS                          → stats\tgeneration=…\tsignatures=…\trequests=…\tswaps=…
+//! SWAP\t<archive-path>           → swapped\tgeneration=…\tsignatures=…\tload_us=…\tdrained=…
+//! SHUTDOWN                       → bye            (then graceful drain + exit)
+//! anything malformed             → error\t<reason>
+//! ```
+//!
+//! # Hot swap
+//!
+//! [`Daemon::swap_from_file`] replaces the serving index with a newly
+//! compiled archive through a four-phase state machine:
+//!
+//! 1. **Load** — decode + structurally validate the archive
+//!    ([`read_archive`]); any [`ArchiveError`] aborts the swap with the
+//!    old index untouched.
+//! 2. **Verify** — re-serialize the loaded index and require the bytes
+//!    to equal the input archive. Deterministic serialization makes this
+//!    a strong losslessness check: it fails iff decode dropped or
+//!    reordered anything.
+//! 3. **Swap** — atomically publish the new index
+//!    (`RwLock<Arc<SignatureIndex>>` slot; in-flight requests keep their
+//!    own `Arc` clone, so they finish on the index they started on).
+//! 4. **Drain** — wait for the old index's outstanding `Arc` clones to
+//!    drop. The swap is already committed here, so a drain timeout is
+//!    reported in the outcome (and a metric), not an error.
+//!
+//! Failures in phases 1–2 are typed [`SwapError`]s and leave the old
+//! index serving; the daemon never serves a partially-loaded index.
+
+use crate::archive::{read_archive, write_archive, ArchiveError};
+use crate::index::{SignatureIndex, Verdict};
+use extractocol_dynamic::parse_request_line;
+use extractocol_obs::metrics::LATENCY_US_BUCKETS;
+use extractocol_obs::{Counter, Gauge, Histogram, Registry, TraceCollector, Volatility};
+use std::fmt;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+/// Daemon tunables. Defaults suit both the CI smoke gate and tests.
+#[derive(Clone, Debug)]
+pub struct DaemonConfig {
+    /// How long phase 4 waits for the old index's references to drop
+    /// before declaring the drain timed out.
+    pub drain_timeout: Duration,
+    /// Accept-loop poll interval (the TCP listener is non-blocking so
+    /// shutdown is observed promptly).
+    pub accept_poll: Duration,
+    /// Per-connection read timeout; connections poll the shutdown flag
+    /// at this cadence.
+    pub read_poll: Duration,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> DaemonConfig {
+        DaemonConfig {
+            drain_timeout: Duration::from_secs(5),
+            accept_poll: Duration::from_millis(10),
+            read_poll: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Why a hot swap was refused. Both variants fire *before* the swap
+/// phase, so the previously serving index is untouched.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SwapError {
+    /// Phase 1: the archive failed to decode or validate.
+    Load(ArchiveError),
+    /// Phase 2: the loaded index did not re-serialize to the input
+    /// bytes — decode was lossy, so the archive cannot be trusted.
+    Verify(String),
+}
+
+impl fmt::Display for SwapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwapError::Load(e) => write!(f, "load: {e}"),
+            SwapError::Verify(msg) => write!(f, "verify: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SwapError {}
+
+/// A committed hot swap, with per-phase observations.
+#[derive(Clone, Debug)]
+pub struct SwapOutcome {
+    /// Index generation now serving (starts at 1, +1 per swap).
+    pub generation: u64,
+    /// Signatures in the new index.
+    pub signatures: usize,
+    /// Phase 1 wall-clock (decode + validate).
+    pub load: Duration,
+    /// Phase 2 wall-clock (re-serialize + compare).
+    pub verify: Duration,
+    /// Whether every reference to the old index dropped within the
+    /// drain timeout.
+    pub drained: bool,
+    /// Phase 4 wall-clock.
+    pub drain: Duration,
+}
+
+/// What [`Daemon::process_line`] wants sent back.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Reply {
+    /// Blank line or comment — nothing to send.
+    Empty,
+    /// One response line (no trailing newline).
+    Line(String),
+    /// Final response line; the connection/loop should close after
+    /// sending it and the daemon should begin shutdown.
+    Bye(String),
+}
+
+/// Daemon instrument bundle, registered on a shared [`Registry`] (the
+/// same exposition as [`crate::ServeMetrics`] when the caller passes its
+/// registry in).
+#[derive(Clone)]
+pub struct DaemonMetrics {
+    requests: Arc<Counter>,
+    verdict_match: Arc<Counter>,
+    verdict_unmatched: Arc<Counter>,
+    parse_errors: Arc<Counter>,
+    request_latency: Arc<Histogram>,
+    swaps: Arc<Counter>,
+    swap_failures_load: Arc<Counter>,
+    swap_failures_verify: Arc<Counter>,
+    drain_timeouts: Arc<Counter>,
+    index_load_us: Arc<Histogram>,
+    generation: Arc<Gauge>,
+    connections: Arc<Counter>,
+}
+
+impl DaemonMetrics {
+    /// Registers the daemon families on an existing registry.
+    pub fn on(registry: &Registry) -> DaemonMetrics {
+        let det = Volatility::Deterministic;
+        let run = Volatility::PerRun;
+        DaemonMetrics {
+            requests: registry.counter(
+                "serve_daemon_requests_total",
+                &[],
+                det,
+                "Traffic lines classified by the daemon",
+            ),
+            verdict_match: registry.counter(
+                "serve_daemon_verdict_total",
+                &[("verdict", "match")],
+                det,
+                "Daemon verdicts by class",
+            ),
+            verdict_unmatched: registry.counter(
+                "serve_daemon_verdict_total",
+                &[("verdict", "unmatched")],
+                det,
+                "Daemon verdicts by class",
+            ),
+            parse_errors: registry.counter(
+                "serve_daemon_parse_errors_total",
+                &[],
+                det,
+                "Traffic lines the wire-format parser rejected",
+            ),
+            request_latency: registry.histogram(
+                "serve_daemon_request_latency_us",
+                &[],
+                run,
+                "Per-line parse+classify latency in the daemon (us)",
+                LATENCY_US_BUCKETS,
+            ),
+            swaps: registry.counter(
+                "serve_daemon_swaps_total",
+                &[],
+                det,
+                "Hot swaps committed (load+verify+swap succeeded)",
+            ),
+            swap_failures_load: registry.counter(
+                "serve_daemon_swap_failures_total",
+                &[("phase", "load")],
+                det,
+                "Hot swaps refused, by failing phase",
+            ),
+            swap_failures_verify: registry.counter(
+                "serve_daemon_swap_failures_total",
+                &[("phase", "verify")],
+                det,
+                "Hot swaps refused, by failing phase",
+            ),
+            drain_timeouts: registry.counter(
+                "serve_daemon_drain_timeouts_total",
+                &[],
+                run,
+                "Committed swaps whose old-index drain timed out",
+            ),
+            index_load_us: registry.histogram(
+                "serve_daemon_index_load_us",
+                &[],
+                run,
+                "Archive decode+validate wall-clock per load (us)",
+                LATENCY_US_BUCKETS,
+            ),
+            generation: registry.gauge(
+                "serve_daemon_index_generation",
+                &[],
+                det,
+                "Serving index generation (1 = initial, +1 per swap)",
+            ),
+            connections: registry.counter(
+                "serve_daemon_connections_total",
+                &[],
+                run,
+                "TCP connections accepted",
+            ),
+        }
+    }
+}
+
+/// The daemon: an atomically swappable [`SignatureIndex`] behind the
+/// line protocol. Share across connection threads via `Arc<Daemon>`.
+pub struct Daemon {
+    slot: RwLock<Arc<SignatureIndex>>,
+    generation: AtomicU64,
+    requests: AtomicU64,
+    swaps: AtomicU64,
+    config: DaemonConfig,
+    /// The backing registry — render for `--metrics-out`.
+    pub registry: Registry,
+    /// Daemon instrument bundle (on `registry`).
+    pub metrics: DaemonMetrics,
+    /// Span collector; [`TraceCollector::disabled`] unless tracing was
+    /// requested.
+    pub trace: TraceCollector,
+}
+
+impl Daemon {
+    /// A daemon serving `index`, with a fresh registry and tracing off.
+    pub fn new(index: SignatureIndex, config: DaemonConfig) -> Daemon {
+        Daemon::with_instruments(index, config, Registry::new(), TraceCollector::disabled())
+    }
+
+    /// A daemon on caller-owned instruments (shared exposition/trace).
+    pub fn with_instruments(
+        index: SignatureIndex,
+        config: DaemonConfig,
+        registry: Registry,
+        trace: TraceCollector,
+    ) -> Daemon {
+        let metrics = DaemonMetrics::on(&registry);
+        metrics.generation.set(1.0);
+        Daemon {
+            slot: RwLock::new(Arc::new(index)),
+            generation: AtomicU64::new(1),
+            requests: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
+            config,
+            registry,
+            metrics,
+            trace,
+        }
+    }
+
+    /// The currently serving index. The returned `Arc` pins the index
+    /// for the caller's lifetime — a concurrent swap publishes a new one
+    /// without invalidating this reference (that's what phase 4 drains).
+    pub fn index(&self) -> Arc<SignatureIndex> {
+        Arc::clone(&self.slot.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Serving index generation: 1 initially, +1 per committed swap.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+
+    /// Records an index load performed outside the swap path (the
+    /// initial archive load at startup) in the load-timing histogram.
+    pub fn metrics_index_load(&self, secs: f64) {
+        self.metrics.index_load_us.observe(secs * 1e6);
+    }
+
+    /// Handles one input line: traffic, control verb, or garbage. Never
+    /// panics — malformed input produces an `error\t…` reply.
+    pub fn process_line(&self, line: &str) -> Reply {
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            return Reply::Empty;
+        }
+        let verb = trimmed.split('\t').next().unwrap_or("");
+        match verb {
+            "PING" => Reply::Line("pong".into()),
+            "STATS" => Reply::Line(self.stats_line()),
+            "SHUTDOWN" => Reply::Bye("bye".into()),
+            "SWAP" => {
+                let path = trimmed.strip_prefix("SWAP\t").unwrap_or("");
+                if path.is_empty() {
+                    return Reply::Line("error\tSWAP needs an archive path".into());
+                }
+                match self.swap_from_file(path) {
+                    Ok(o) => Reply::Line(format!(
+                        "swapped\tgeneration={}\tsignatures={}\tload_us={}\tdrained={}",
+                        o.generation,
+                        o.signatures,
+                        o.load.as_micros(),
+                        o.drained
+                    )),
+                    Err(e) => Reply::Line(format!("error\tswap refused: {e}")),
+                }
+            }
+            _ => Reply::Line(self.classify_line(trimmed)),
+        }
+    }
+
+    /// `STATS` response: generation, index size, and lifetime counters.
+    pub fn stats_line(&self) -> String {
+        let index = self.index();
+        format!(
+            "stats\tgeneration={}\tsignatures={}\trequests={}\tswaps={}",
+            self.generation(),
+            index.len(),
+            self.requests.load(Ordering::Relaxed),
+            self.swaps.load(Ordering::Relaxed),
+        )
+    }
+
+    fn classify_line(&self, line: &str) -> String {
+        let t0 = Instant::now();
+        let mut span = self.trace.span_in("daemon", "daemon_request");
+        let req = match parse_request_line(line) {
+            Ok(Some(req)) => req,
+            Ok(None) => return "error\tempty request line".into(),
+            Err(e) => {
+                self.metrics.parse_errors.inc();
+                span.attr("outcome", "parse_error");
+                return format!("error\t{e}");
+            }
+        };
+        // Pin the index for this request: a swap committing mid-request
+        // cannot pull it out from under us.
+        let index = self.index();
+        let (verdict, _probe) = index.classify(&req);
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.metrics.requests.inc();
+        self.metrics.request_latency.observe(t0.elapsed().as_secs_f64() * 1e6);
+        match verdict {
+            Verdict::Match(id) => {
+                self.metrics.verdict_match.inc();
+                span.attr("outcome", "match");
+                let sig = index.sig(id);
+                format!("match\t{}\t{}\t{}", sig.app, sig.txn_id, sig.dp_class)
+            }
+            Verdict::Unmatched => {
+                self.metrics.verdict_unmatched.inc();
+                span.attr("outcome", "unmatched");
+                "unmatched".into()
+            }
+        }
+    }
+
+    /// Hot-swaps to the archive at `path` (phases: load → verify →
+    /// swap → drain; see the module docs).
+    pub fn swap_from_file(&self, path: &str) -> Result<SwapOutcome, SwapError> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| SwapError::Load(ArchiveError::Io(format!("{path}: {e}"))))?;
+        self.swap_archive_bytes(&bytes)
+    }
+
+    /// Hot-swaps to an in-memory archive.
+    pub fn swap_archive_bytes(&self, bytes: &[u8]) -> Result<SwapOutcome, SwapError> {
+        let mut span = self.trace.span_in("daemon", "index_swap");
+
+        // Phase 1: Load — decode and structurally validate.
+        let t_load = Instant::now();
+        let new_index = read_archive(bytes).map_err(|e| {
+            self.metrics.swap_failures_load.inc();
+            span.attr("phase_failed", "load");
+            SwapError::Load(e)
+        })?;
+        let load = t_load.elapsed();
+        self.metrics.index_load_us.observe(load.as_secs_f64() * 1e6);
+
+        // Phase 2: Verify — deterministic re-serialization must
+        // reproduce the input byte-for-byte, proving decode lossless.
+        let t_verify = Instant::now();
+        if write_archive(&new_index) != bytes {
+            self.metrics.swap_failures_verify.inc();
+            span.attr("phase_failed", "verify");
+            return Err(SwapError::Verify(
+                "re-serialized index differs from the input archive".into(),
+            ));
+        }
+        let verify = t_verify.elapsed();
+
+        // Phase 3: Swap — publish atomically.
+        let signatures = new_index.len();
+        let old = {
+            let mut slot = self.slot.write().unwrap_or_else(|e| e.into_inner());
+            std::mem::replace(&mut *slot, Arc::new(new_index))
+        };
+        let generation = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+        self.metrics.swaps.inc();
+        self.metrics.generation.set(generation as f64);
+
+        // Phase 4: Drain — wait for in-flight requests still holding the
+        // old index. `old` itself is one reference; anything beyond that
+        // is a request pinned via `Daemon::index`.
+        let t_drain = Instant::now();
+        let mut drained = true;
+        while Arc::strong_count(&old) > 1 {
+            if t_drain.elapsed() > self.config.drain_timeout {
+                drained = false;
+                self.metrics.drain_timeouts.inc();
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let drain = t_drain.elapsed();
+        span.attr("generation", generation)
+            .attr("signatures", signatures as u64)
+            .attr("load_us", load.as_micros() as u64)
+            .attr("drained", drained);
+        Ok(SwapOutcome { generation, signatures, load, verify, drained, drain })
+    }
+
+    /// Runs the line protocol over arbitrary reader/writer pairs (stdin
+    /// mode; also the unit-test harness). Returns when the input ends or
+    /// a `SHUTDOWN` arrives.
+    pub fn run_lines<R: BufRead, W: Write>(&self, reader: R, mut writer: W) -> io::Result<()> {
+        for line in reader.lines() {
+            match self.process_line(&line?) {
+                Reply::Empty => {}
+                Reply::Line(r) => {
+                    writeln!(writer, "{r}")?;
+                    writer.flush()?;
+                }
+                Reply::Bye(r) => {
+                    writeln!(writer, "{r}")?;
+                    writer.flush()?;
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// TCP mode: non-blocking accept loop, one thread per connection.
+    /// A `SHUTDOWN` on any connection flips the shared flag; the accept
+    /// loop stops, and every connection thread is joined before this
+    /// returns — in-flight requests finish and their responses are
+    /// written (the graceful drain the smoke gate asserts).
+    pub fn serve_tcp(self: &Arc<Daemon>, listener: TcpListener) -> io::Result<()> {
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+        while !shutdown.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    self.metrics.connections.inc();
+                    let daemon = Arc::clone(self);
+                    let flag = Arc::clone(&shutdown);
+                    handles.push(std::thread::spawn(move || {
+                        daemon.handle_conn(stream, &flag);
+                    }));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(self.config.accept_poll);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+
+    fn handle_conn(&self, stream: TcpStream, shutdown: &AtomicBool) {
+        if stream.set_read_timeout(Some(self.config.read_poll)).is_err() {
+            return;
+        }
+        let Ok(read_half) = stream.try_clone() else { return };
+        let mut reader = BufReader::new(read_half);
+        let mut writer = BufWriter::new(stream);
+        let mut line = String::new();
+        loop {
+            // `line` is only cleared after a full line is handled: a read
+            // timeout mid-line leaves the partial bytes in place and the
+            // next read appends the remainder.
+            match reader.read_line(&mut line) {
+                Ok(0) => break,
+                Ok(_) => {
+                    let reply = self.process_line(&line);
+                    line.clear();
+                    match reply {
+                        Reply::Empty => {}
+                        Reply::Line(r) => {
+                            if writeln!(writer, "{r}").and_then(|_| writer.flush()).is_err() {
+                                break;
+                            }
+                        }
+                        Reply::Bye(r) => {
+                            let _ = writeln!(writer, "{r}").and_then(|_| writer.flush());
+                            shutdown.store(true, Ordering::SeqCst);
+                            break;
+                        }
+                    }
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+/// Line-protocol client used by the CI smoke gate (`extractocol-serve
+/// send`): streams `input` to the daemon at `addr`, returning one
+/// response per non-empty request line. Fails loudly if the daemon
+/// drops a response — the zero-dropped-requests assertion.
+pub fn send_lines(addr: &str, input: &str) -> io::Result<Vec<String>> {
+    let stream = TcpStream::connect(addr)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut responses = Vec::new();
+    for line in input.lines() {
+        let trimmed = line.trim_end_matches('\r');
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        writeln!(writer, "{trimmed}")?;
+        writer.flush()?;
+        let mut resp = String::new();
+        if reader.read_line(&mut resp)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("daemon closed before answering: {trimmed:?}"),
+            ));
+        }
+        responses.push(resp.trim_end_matches(['\r', '\n']).to_string());
+    }
+    Ok(responses)
+}
+
+/// Collects every response a concurrent writer produced — helper for
+/// tests that drive [`Daemon::run_lines`] over an in-memory pipe.
+#[derive(Clone, Default)]
+pub struct SharedBuf(pub Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner()).extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl SharedBuf {
+    /// The UTF-8 contents written so far.
+    pub fn contents(&self) -> String {
+        String::from_utf8_lossy(&self.0.lock().unwrap_or_else(|e| e.into_inner())).into_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::archive::write_archive;
+    use extractocol_core::metrics::Metrics;
+    use extractocol_core::pairing::Pairing;
+    use extractocol_core::report::{AnalysisReport, Stats, TxnReport};
+    use extractocol_core::siglang::{SigPat, TypeHint};
+    use extractocol_http::HttpMethod;
+
+    fn report(app: &str, uris: &[&str]) -> AnalysisReport {
+        let transactions = uris
+            .iter()
+            .enumerate()
+            .map(|(id, uri)| TxnReport {
+                id,
+                dp_class: "java.net.HttpURLConnection".into(),
+                root: format!("t.C.m{id}"),
+                method: HttpMethod::Get,
+                uri_regex: String::new(),
+                uri: SigPat::Concat(vec![SigPat::lit(uri), SigPat::Unknown(TypeHint::Num)]),
+                headers: Vec::new(),
+                header_sigs: Vec::new(),
+                request_body: None,
+                response: None,
+                pairing: Pairing::Unique,
+                origins: Vec::new(),
+                consumptions: Vec::new(),
+            })
+            .collect();
+        AnalysisReport {
+            app: app.into(),
+            transactions,
+            dependencies: Vec::new(),
+            stats: Stats::default(),
+            metrics: Metrics::default(),
+        }
+    }
+
+    fn daemon(uris: &[&str]) -> Daemon {
+        let index = SignatureIndex::compile(&[report("demo", uris)]);
+        Daemon::new(index, DaemonConfig::default())
+    }
+
+    #[test]
+    fn traffic_lines_classify_and_controls_answer() {
+        let d = daemon(&["http://h/api/a/", "http://h/api/b/"]);
+        assert_eq!(
+            d.process_line("GET\thttp://h/api/a/7"),
+            Reply::Line("match\tdemo\t0\tjava.net.HttpURLConnection".into())
+        );
+        assert_eq!(d.process_line("GET\thttp://h/other"), Reply::Line("unmatched".into()));
+        assert_eq!(d.process_line("PING"), Reply::Line("pong".into()));
+        assert_eq!(d.process_line("# comment"), Reply::Empty);
+        assert_eq!(d.process_line(""), Reply::Empty);
+        assert_eq!(d.process_line("SHUTDOWN"), Reply::Bye("bye".into()));
+        let stats = match d.process_line("STATS") {
+            Reply::Line(s) => s,
+            other => panic!("unexpected: {other:?}"),
+        };
+        assert!(stats.contains("generation=1"), "{stats}");
+        assert!(stats.contains("signatures=2"), "{stats}");
+        assert!(stats.contains("requests=2"), "{stats}");
+    }
+
+    #[test]
+    fn malformed_lines_get_error_replies_not_panics() {
+        let d = daemon(&["http://h/api/"]);
+        for bad in ["BOGUS\thttp://h/x", "GET", "SWAP", "GET\thttp://h/x\ttext/plain"] {
+            match d.process_line(bad) {
+                Reply::Line(r) => assert!(r.starts_with("error\t"), "{bad:?} -> {r}"),
+                other => panic!("{bad:?} -> {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn swap_replaces_the_index_and_bumps_the_generation() {
+        let d = daemon(&["http://h/api/old/"]);
+        assert_eq!(
+            d.process_line("GET\thttp://h/api/old/1"),
+            Reply::Line("match\tdemo\t0\tjava.net.HttpURLConnection".into())
+        );
+        let new_index = SignatureIndex::compile(&[report("demo2", &["http://h/api/new/"])]);
+        let outcome = d.swap_archive_bytes(&write_archive(&new_index)).expect("swap");
+        assert_eq!(outcome.generation, 2);
+        assert_eq!(outcome.signatures, 1);
+        assert!(outcome.drained);
+        assert_eq!(d.generation(), 2);
+        assert_eq!(d.process_line("GET\thttp://h/api/old/1"), Reply::Line("unmatched".into()));
+        assert_eq!(
+            d.process_line("GET\thttp://h/api/new/1"),
+            Reply::Line("match\tdemo2\t0\tjava.net.HttpURLConnection".into())
+        );
+        let text = d.registry.render();
+        assert!(text.contains("serve_daemon_swaps_total 1"));
+        assert!(text.contains("serve_daemon_index_generation 2"));
+        assert!(text.contains("serve_daemon_index_load_us_count 1"));
+    }
+
+    #[test]
+    fn corrupt_archive_is_refused_and_the_old_index_keeps_serving() {
+        let d = daemon(&["http://h/api/old/"]);
+        let new_index = SignatureIndex::compile(&[report("demo2", &["http://h/api/new/"])]);
+        let mut bytes = write_archive(&new_index);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        match d.swap_archive_bytes(&bytes) {
+            Err(SwapError::Load(ArchiveError::ChecksumMismatch { .. })) => {}
+            other => panic!("expected load failure, got {other:?}"),
+        }
+        assert_eq!(d.generation(), 1);
+        assert_eq!(
+            d.process_line("GET\thttp://h/api/old/1"),
+            Reply::Line("match\tdemo\t0\tjava.net.HttpURLConnection".into())
+        );
+        assert!(d.registry.render().contains("serve_daemon_swap_failures_total{phase=\"load\"} 1"));
+    }
+
+    #[test]
+    fn swap_drain_waits_for_pinned_readers() {
+        let d = Arc::new(daemon(&["http://h/api/old/"]));
+        let pinned = d.index();
+        let new_index = SignatureIndex::compile(&[report("demo2", &["http://h/api/new/"])]);
+        let bytes = write_archive(&new_index);
+        let swapper = {
+            let d = Arc::clone(&d);
+            std::thread::spawn(move || d.swap_archive_bytes(&bytes).expect("swap"))
+        };
+        // Give the swap time to reach the drain phase, then release the
+        // pin; the swap must complete with drained=true.
+        std::thread::sleep(Duration::from_millis(50));
+        drop(pinned);
+        let outcome = swapper.join().expect("join");
+        assert!(outcome.drained);
+        assert!(outcome.drain >= Duration::from_millis(25), "drain was {:?}", outcome.drain);
+    }
+
+    #[test]
+    fn run_lines_answers_every_request_and_stops_on_shutdown() {
+        let d = daemon(&["http://h/api/a/"]);
+        let input =
+            "GET\thttp://h/api/a/1\n# note\n\nGET\thttp://h/zzz\nSHUTDOWN\nGET\thttp://h/api/a/2\n";
+        let out = SharedBuf::default();
+        d.run_lines(io::Cursor::new(input), out.clone()).expect("run");
+        let contents = out.contents();
+        let lines: Vec<&str> = contents.lines().collect();
+        // One response per non-empty line up to SHUTDOWN; nothing after.
+        assert_eq!(lines, vec!["match\tdemo\t0\tjava.net.HttpURLConnection", "unmatched", "bye"]);
+    }
+
+    #[test]
+    fn tcp_roundtrip_with_hot_swap_and_graceful_drain() {
+        let index = SignatureIndex::compile(&[report("demo", &["http://h/api/a/"])]);
+        let d = Arc::new(Daemon::new(index, DaemonConfig::default()));
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let server = {
+            let d = Arc::clone(&d);
+            std::thread::spawn(move || d.serve_tcp(listener).expect("serve"))
+        };
+        let new_index = SignatureIndex::compile(&[report("demo2", &["http://h/api/b/"])]);
+        let archive = tempfile_path("daemon_swap_test.exsv");
+        crate::archive::write_archive_file(&new_index, &archive).expect("write archive");
+        let input = format!(
+            "GET\thttp://h/api/a/1\nSWAP\t{archive}\nGET\thttp://h/api/b/2\nSTATS\nSHUTDOWN\n"
+        );
+        let responses = send_lines(&addr, &input).expect("send");
+        assert_eq!(responses.len(), 5, "zero dropped requests: {responses:?}");
+        assert_eq!(responses[0], "match\tdemo\t0\tjava.net.HttpURLConnection");
+        assert!(responses[1].starts_with("swapped\tgeneration=2"), "{}", responses[1]);
+        assert_eq!(responses[2], "match\tdemo2\t0\tjava.net.HttpURLConnection");
+        assert!(responses[3].contains("swaps=1"), "{}", responses[3]);
+        assert_eq!(responses[4], "bye");
+        server.join().expect("server thread");
+        let _ = std::fs::remove_file(&archive);
+        let text = d.registry.render();
+        assert!(text.contains("serve_daemon_connections_total 1"));
+        assert!(text.contains("serve_daemon_swaps_total 1"));
+    }
+
+    fn tempfile_path(name: &str) -> String {
+        let mut p = std::env::temp_dir();
+        p.push(format!("{}-{name}", std::process::id()));
+        p.to_string_lossy().into_owned()
+    }
+}

@@ -66,13 +66,14 @@ pub struct CompiledSig {
 }
 
 /// One trie node: sorted byte-labelled edges plus the bucket of signatures
-/// whose literal prefix ends exactly here.
-#[derive(Clone, Debug, Default)]
-struct TrieNode {
+/// whose literal prefix ends exactly here. Crate-visible so the archive
+/// codec ([`crate::archive`]) can flatten and rebuild the layout.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct TrieNode {
     /// Sorted by byte label; resolved with binary search.
-    children: Vec<(u8, u32)>,
+    pub(crate) children: Vec<(u8, u32)>,
     /// Signature ids whose prefix spells the path to this node.
-    bucket: Vec<u32>,
+    pub(crate) bucket: Vec<u32>,
 }
 
 /// Classification outcome. `Match` carries the winning signature id —
@@ -103,8 +104,8 @@ pub struct Probe {
 /// (`&SignatureIndex` is `Sync`); all classification is read-only.
 #[derive(Clone, Debug)]
 pub struct SignatureIndex {
-    sigs: Vec<CompiledSig>,
-    nodes: Vec<TrieNode>,
+    pub(crate) sigs: Vec<CompiledSig>,
+    pub(crate) nodes: Vec<TrieNode>,
 }
 
 impl SignatureIndex {

@@ -21,15 +21,27 @@
 //!   verdict counters, the candidate-fraction distribution,
 //!   per-verdict-class latency histograms, and shard telemetry, rendered
 //!   in exposition format behind `--metrics-out`.
+//! * [`archive`] — the persistent form: a versioned, checksummed binary
+//!   archive written by `extractocol-serve compile` and loaded by every
+//!   other subcommand, so the index is built once and served many times.
+//! * [`daemon`] — the long-running classifier: line-based traffic
+//!   protocol over stdin or TCP, atomic hot-swap to a recompiled
+//!   archive, graceful drain on shutdown.
 //!
 //! [`AnalysisReport`]: extractocol_core::report::AnalysisReport
 
+pub mod archive;
 pub mod bench;
 pub mod classify;
+pub mod daemon;
 pub mod index;
 pub mod metrics;
 
+pub use archive::{
+    read_archive, read_archive_file, write_archive, write_archive_file, ArchiveError,
+};
 pub use bench::{AttackBenchReport, AttackClassTally, BenchReport, ObservedBench};
 pub use classify::{classify_batch, classify_batch_observed, ClassifyStats};
+pub use daemon::{Daemon, DaemonConfig, DaemonMetrics, SwapError, SwapOutcome};
 pub use index::{CompiledSig, Probe, SignatureIndex, Verdict};
 pub use metrics::{AttackMetrics, ServeMetrics};

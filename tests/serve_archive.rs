@@ -1,0 +1,158 @@
+//! Archive-format guarantees on the real corpus (ISSUE 8):
+//!
+//! * **Deterministic recompile** — analyzing the corpus twice and
+//!   compiling two indexes yields byte-identical archives, and the
+//!   write → read → write round trip is byte-stable.
+//! * **Verdict equality** — an archive-loaded index classifies every
+//!   request of the full 34-app fuzzer corpus exactly like the
+//!   JSON-compiled index it was written from (verdicts *and* probe
+//!   counters).
+//! * **Typed rejection** — corruption, truncation at any byte, and
+//!   version skew are refused with typed `ArchiveError`s, never panics.
+//! * **CLI round trip** — `compile --out` then `classify --index`
+//!   reproduces source-compiled verdicts through the binary surface.
+
+use extractocol_serve::{read_archive, write_archive, ArchiveError, SignatureIndex};
+
+fn corpus_reports() -> Vec<extractocol_core::report::AnalysisReport> {
+    extractocol_corpus::all_apps()
+        .iter()
+        .map(|app| {
+            extractocol_dynamic::conformance::analyze_app(&app.apk, app.truth.open_source, 1)
+        })
+        .collect()
+}
+
+fn corpus_requests() -> Vec<extractocol_http::Request> {
+    extractocol_corpus::all_apps()
+        .iter()
+        .flat_map(|app| {
+            extractocol_dynamic::run_perfect_fuzzer(app).transactions.into_iter().map(|t| t.request)
+        })
+        .collect()
+}
+
+#[test]
+fn corpus_archive_is_deterministic_and_byte_stable() {
+    let a = SignatureIndex::compile(&corpus_reports());
+    let b = SignatureIndex::compile(&corpus_reports());
+    let bytes_a = write_archive(&a);
+    let bytes_b = write_archive(&b);
+    assert!(bytes_a.len() > 1_000, "corpus archive suspiciously small: {}", bytes_a.len());
+    assert_eq!(bytes_a, bytes_b, "recompiling the corpus changed the archive bytes");
+
+    // write(read(write(i))) == write(i): decode is lossless.
+    let loaded = read_archive(&bytes_a).expect("self-written archive loads");
+    assert_eq!(write_archive(&loaded), bytes_a);
+}
+
+#[test]
+fn archive_loaded_index_is_verdict_identical_across_the_corpus() {
+    let compiled = SignatureIndex::compile(&corpus_reports());
+    let loaded = read_archive(&write_archive(&compiled)).expect("load");
+    assert_eq!(loaded.len(), compiled.len());
+    assert_eq!(loaded.trie_nodes(), compiled.trie_nodes());
+
+    let requests = corpus_requests();
+    assert!(requests.len() > 100, "corpus traffic unexpectedly small");
+    for req in &requests {
+        let (v_compiled, p_compiled) = compiled.classify(req);
+        let (v_loaded, p_loaded) = loaded.classify(req);
+        assert_eq!(
+            v_compiled, v_loaded,
+            "archive-loaded verdict diverges on {} {}",
+            req.method, req.uri.raw
+        );
+        assert_eq!(p_compiled, p_loaded, "probe counters diverge on {}", req.uri.raw);
+    }
+}
+
+#[test]
+fn corrupted_and_truncated_corpus_archives_are_refused_with_typed_errors() {
+    let index = SignatureIndex::compile(&corpus_reports());
+    let bytes = write_archive(&index);
+
+    // Version skew: refused by number, not by crash.
+    let mut skewed = bytes.clone();
+    skewed[8] = 0x7F;
+    assert!(matches!(
+        read_archive(&skewed),
+        Err(ArchiveError::VersionMismatch { found: 0x7F, .. })
+    ));
+
+    // Single-bit corruption anywhere in the payload fails the checksum.
+    for at in [32usize, bytes.len() / 2, bytes.len() - 1] {
+        let mut corrupt = bytes.clone();
+        corrupt[at] ^= 0x20;
+        assert!(
+            matches!(read_archive(&corrupt), Err(ArchiveError::ChecksumMismatch { .. })),
+            "corruption at byte {at} not caught"
+        );
+    }
+
+    // Truncation at a spread of cut points (headers, section boundaries,
+    // mid-signature, mid-node) is always a typed error.
+    for cut in [0, 7, 8, 16, 31, 32, 40, bytes.len() / 3, bytes.len() / 2, bytes.len() - 1] {
+        match read_archive(&bytes[..cut]) {
+            Err(_) => {}
+            Ok(_) => panic!("truncated archive loaded at cut {cut}/{}", bytes.len()),
+        }
+    }
+}
+
+#[test]
+fn serve_cli_compile_then_classify_index_round_trips() {
+    let mut bin = std::env::current_exe().expect("test exe path");
+    bin.pop(); // deps/
+    bin.pop(); // debug|release/
+    bin.push(format!("extractocol-serve{}", std::env::consts::EXE_SUFFIX));
+
+    let tmp = std::env::temp_dir();
+    let archive = tmp.join(format!("extractocol-archive-cli-{}.exsv", std::process::id()));
+    let traffic = tmp.join(format!("extractocol-archive-cli-{}.txt", std::process::id()));
+    let app = extractocol_corpus::app("radio reddit").expect("corpus app");
+    let trace = extractocol_dynamic::run_perfect_fuzzer(&app);
+    std::fs::write(&traffic, trace.to_request_text()).unwrap();
+
+    let out = std::process::Command::new(&bin)
+        .args(["compile", "--app", "radio reddit", "--out"])
+        .arg(&archive)
+        .output()
+        .expect("run compile");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("compiled"), "compile output");
+
+    let out = std::process::Command::new(&bin)
+        .args(["classify", "--index"])
+        .arg(&archive)
+        .arg("--traffic")
+        .arg(&traffic)
+        .output()
+        .expect("run classify --index");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("-> radio reddit #"), "{stdout}");
+    assert!(stdout.contains("unmatched:         0"), "{stdout}");
+
+    // A corrupted archive is refused with the typed error on stderr.
+    let mut bytes = std::fs::read(&archive).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xFF;
+    std::fs::write(&archive, &bytes).unwrap();
+    let out = std::process::Command::new(&bin)
+        .args(["classify", "--index"])
+        .arg(&archive)
+        .arg("--traffic")
+        .arg(&traffic)
+        .output()
+        .expect("run classify --index (corrupt)");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("checksum"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let _ = std::fs::remove_file(&archive);
+    let _ = std::fs::remove_file(&traffic);
+}

@@ -1,0 +1,176 @@
+//! Daemon behavior under real corpus traffic (ISSUE 8): the line
+//! protocol answers every request, hot swap is atomic with zero dropped
+//! in-flight requests, and the swap/load instrument families land in the
+//! metrics exposition.
+
+use extractocol_serve::daemon::{send_lines, Reply};
+use extractocol_serve::{write_archive, Daemon, DaemonConfig, SignatureIndex, Verdict};
+use std::sync::Arc;
+
+fn app_index(name: &str) -> SignatureIndex {
+    let app = extractocol_corpus::app(name).expect("corpus app");
+    let report = extractocol_dynamic::conformance::analyze_app(&app.apk, app.truth.open_source, 1);
+    SignatureIndex::compile(&[report])
+}
+
+fn app_traffic(name: &str) -> Vec<String> {
+    let app = extractocol_corpus::app(name).expect("corpus app");
+    extractocol_dynamic::run_perfect_fuzzer(&app)
+        .to_request_text()
+        .lines()
+        .map(str::to_string)
+        .collect()
+}
+
+#[test]
+fn daemon_replies_agree_with_direct_classification() {
+    let index = app_index("radio reddit");
+    let daemon = Daemon::new(index.clone(), DaemonConfig::default());
+    let lines = app_traffic("radio reddit");
+    assert!(!lines.is_empty());
+    for line in &lines {
+        let req = extractocol_dynamic::parse_request_line(line)
+            .expect("fuzzer traffic parses")
+            .expect("non-empty line");
+        let expected = match index.classify(&req).0 {
+            Verdict::Match(id) => {
+                let sig = index.sig(id);
+                format!("match\t{}\t{}\t{}", sig.app, sig.txn_id, sig.dp_class)
+            }
+            Verdict::Unmatched => "unmatched".into(),
+        };
+        assert_eq!(daemon.process_line(line), Reply::Line(expected), "on {line:?}");
+    }
+}
+
+#[test]
+fn tcp_daemon_answers_all_requests_across_a_hot_swap() {
+    // Serve app A (blippex — one concrete literal-prefix signature, so
+    // foreign traffic can't match it), then hot-swap to an index
+    // covering A+B while a client is mid-stream. Every line must get a
+    // response (the zero-dropped guarantee) and post-swap traffic for B
+    // must match.
+    let index_a = app_index("blippex");
+    let daemon = Arc::new(Daemon::new(index_a, DaemonConfig::default()));
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let server = {
+        let d = Arc::clone(&daemon);
+        std::thread::spawn(move || d.serve_tcp(listener).expect("serve"))
+    };
+
+    let app_b = extractocol_corpus::app("radio reddit").expect("corpus app");
+    let report_a = {
+        let app = extractocol_corpus::app("blippex").unwrap();
+        extractocol_dynamic::conformance::analyze_app(&app.apk, app.truth.open_source, 1)
+    };
+    let report_b =
+        extractocol_dynamic::conformance::analyze_app(&app_b.apk, app_b.truth.open_source, 1);
+    let swapped_index = SignatureIndex::compile(&[report_a, report_b]);
+    let archive_path =
+        std::env::temp_dir().join(format!("extractocol-daemon-swap-{}.exsv", std::process::id()));
+    std::fs::write(&archive_path, write_archive(&swapped_index)).expect("write archive");
+
+    let traffic_a = app_traffic("blippex");
+    let traffic_b = app_traffic("radio reddit");
+    let mut input = String::new();
+    for l in &traffic_a {
+        input.push_str(l);
+        input.push('\n');
+    }
+    // Pre-swap, B's traffic must be unmatched; post-swap it must match.
+    for l in &traffic_b {
+        input.push_str(l);
+        input.push('\n');
+    }
+    input.push_str(&format!("SWAP\t{}\n", archive_path.display()));
+    for l in &traffic_b {
+        input.push_str(l);
+        input.push('\n');
+    }
+    input.push_str("STATS\nSHUTDOWN\n");
+
+    let responses = send_lines(&addr, &input).expect("send");
+    server.join().expect("server thread");
+    let _ = std::fs::remove_file(&archive_path);
+
+    let expected = traffic_a.len() + 2 * traffic_b.len() + 3;
+    assert_eq!(responses.len(), expected, "dropped responses: {responses:?}");
+
+    let mut i = 0;
+    for _ in &traffic_a {
+        assert!(responses[i].starts_with("match\tblippex\t"), "{}", responses[i]);
+        i += 1;
+    }
+    for _ in &traffic_b {
+        assert_eq!(responses[i], "unmatched", "pre-swap radio reddit traffic must not match");
+        i += 1;
+    }
+    assert!(responses[i].starts_with("swapped\tgeneration=2"), "{}", responses[i]);
+    i += 1;
+    for _ in &traffic_b {
+        assert!(responses[i].starts_with("match\tradio reddit\t"), "{}", responses[i]);
+        i += 1;
+    }
+    assert!(responses[i].contains("generation=2"), "{}", responses[i]);
+    assert!(responses[i].contains("swaps=1"), "{}", responses[i]);
+    assert_eq!(responses[i + 1], "bye");
+
+    // The swap/load families are in the exposition output.
+    let metrics = daemon.registry.render();
+    assert!(metrics.contains("serve_daemon_swaps_total 1"), "{metrics}");
+    assert!(metrics.contains("serve_daemon_index_generation 2"), "{metrics}");
+    assert!(metrics.contains("serve_daemon_index_load_us_count 1"), "{metrics}");
+    assert!(metrics.contains("serve_daemon_requests_total"), "{metrics}");
+    assert!(metrics.contains("serve_daemon_drain_timeouts_total 0"), "{metrics}");
+}
+
+#[test]
+fn concurrent_clients_see_no_drops_while_swaps_churn() {
+    // Hammer the daemon from several clients while the index is swapped
+    // back and forth; every request gets a well-formed verdict line.
+    let index = app_index("radio reddit");
+    let archive_v1 = write_archive(&index);
+    let daemon = Arc::new(Daemon::new(index, DaemonConfig::default()));
+    let lines: Arc<Vec<String>> = Arc::new(app_traffic("radio reddit"));
+
+    let swapper = {
+        let d = Arc::clone(&daemon);
+        let bytes = archive_v1.clone();
+        std::thread::spawn(move || {
+            for _ in 0..20 {
+                d.swap_archive_bytes(&bytes).expect("swap");
+            }
+        })
+    };
+    let clients: Vec<_> = (0..4)
+        .map(|_| {
+            let d = Arc::clone(&daemon);
+            let lines = Arc::clone(&lines);
+            std::thread::spawn(move || {
+                let mut answered = 0usize;
+                for _ in 0..50 {
+                    for line in lines.iter() {
+                        match d.process_line(line) {
+                            Reply::Line(r) => {
+                                assert!(
+                                    r.starts_with("match\t") || r == "unmatched",
+                                    "unexpected reply {r:?}"
+                                );
+                                answered += 1;
+                            }
+                            other => panic!("unexpected {other:?}"),
+                        }
+                    }
+                }
+                answered
+            })
+        })
+        .collect();
+    swapper.join().expect("swapper");
+    let per_client = 50 * lines.len();
+    for c in clients {
+        assert_eq!(c.join().expect("client"), per_client);
+    }
+    assert_eq!(daemon.generation(), 21, "20 swaps committed");
+}
