@@ -104,6 +104,33 @@ grep -q 'serve_daemon_swaps_total 1' METRICS_daemon.txt \
   || { echo "METRICS_daemon.txt: swap counter did not record the smoke swap"; exit 1; }
 rm -f index_ci.exsv daemon.port daemon_batch.txt daemon_replies.txt
 
+echo "==> incremental gate (warm persistent-cache run: byte-identical reports, >=90% hit rate)"
+rm -rf exsm_cache REPORTS_cold.txt REPORTS_warm.txt METRICS_incremental.txt
+cargo run --release -q -p extractocol-dynamic --bin extractocol-eval -- \
+  --conformance --targeted --summary-cache-dir exsm_cache \
+  --report-out REPORTS_cold.txt > /dev/null
+cargo run --release -q -p extractocol-dynamic --bin extractocol-eval -- \
+  --conformance --targeted --summary-cache-dir exsm_cache \
+  --report-out REPORTS_warm.txt --metrics-out METRICS_incremental.txt \
+  > incr_warm.txt
+grep -q 'incr\[' incr_warm.txt \
+  || { echo "warm run printed no incr[...] lines"; exit 1; }
+cmp REPORTS_cold.txt REPORTS_warm.txt \
+  || { echo "warm-cache reports differ from cold-run reports"; exit 1; }
+grep '^incr\[' incr_warm.txt | awk -F'hit_rate=' '{ sub(/%.*/, "", $2); if ($2 + 0 < 90) bad++ }
+  END { if (bad > 0) { print bad " app(s) below the 90% warm hit-rate gate"; exit 1 } }' \
+  || { cat incr_warm.txt; exit 1; }
+grep -q 'targeted\[' incr_warm.txt \
+  || { echo "targeted mode printed no cone stats"; exit 1; }
+
+echo "==> observability gate (mandatory incremental instruments)"
+for fam in incr_summaries_total incr_persistent_hit_rate \
+  incr_targeted_skipped_classes_total incr_targeted_cone_methods_total; do
+  grep -q "$fam" METRICS_incremental.txt \
+    || { echo "METRICS_incremental.txt: missing instrument family $fam"; exit 1; }
+done
+rm -rf exsm_cache REPORTS_cold.txt REPORTS_warm.txt incr_warm.txt
+
 echo "==> adversarial gate (fresh time-derived seed, printed for replay)"
 ATTACK_SEED=$(date +%s)
 echo "time-derived attack seed: $ATTACK_SEED (replay: extractocol-serve attack --seed $ATTACK_SEED --per-class 16)"

@@ -122,8 +122,23 @@ pub fn lint(
     pts: Option<&PointsTo>,
     model_covers: &dyn Fn(&MethodRef) -> bool,
 ) -> LintReport {
+    lint_scoped(prog, graph, pts, model_covers, None)
+}
+
+/// Like [`lint`], restricted to an analysis scope: only methods in the set
+/// are visited (the targeted mode's cone — lints for never-analyzed code
+/// would be noise, and visiting it would defeat the point of targeting).
+/// `None` lints the whole program.
+pub fn lint_scoped(
+    prog: &ProgramIndex<'_>,
+    graph: &CallGraph,
+    pts: Option<&PointsTo>,
+    model_covers: &dyn Fn(&MethodRef) -> bool,
+    scope: Option<&std::collections::HashSet<MethodId>>,
+) -> LintReport {
     let mut lints = Vec::new();
-    let mut methods: Vec<MethodId> = prog.concrete_methods().collect();
+    let mut methods: Vec<MethodId> =
+        prog.concrete_methods().filter(|mid| scope.is_none_or(|s| s.contains(mid))).collect();
     methods.sort_unstable();
     for mid in methods {
         let method = prog.method(mid);

@@ -56,5 +56,5 @@ pub use diagnostics::{Lint, LintCategory, LintReport};
 pub use pointsto::{AllocId, AllocSite, PointsTo, PtsStats};
 pub use taint::{
     AccessPath, ApiFlowModel, CacheStats, ConservativeModel, Direction, Root, Seed, Slot,
-    TaintEngine, TaintOptions, TaintReport,
+    SummaryExport, TaintEngine, TaintOptions, TaintReport,
 };

@@ -68,7 +68,21 @@ pub struct PtsStats {
 impl PointsTo {
     /// Solves the whole-program constraint system.
     pub fn solve(prog: &ProgramIndex<'_>) -> PointsTo {
-        Solver::new(prog).solve()
+        Solver::new(prog, None).solve()
+    }
+
+    /// Solves the constraint system restricted to `scope` (the targeted
+    /// mode's reachability cone): only scope methods contribute
+    /// constraints or allocation sites. When the scope is closed under
+    /// every inter-method coupling the solver traverses — calls in both
+    /// directions, static fields, instance-field cells — the scoped
+    /// solution equals the whole-program solution restricted to the
+    /// scope's locals, which is what keeps targeted reports byte-identical.
+    pub fn solve_scoped(
+        prog: &ProgramIndex<'_>,
+        scope: &std::collections::HashSet<MethodId>,
+    ) -> PointsTo {
+        Solver::new(prog, Some(scope)).solve()
     }
 
     /// The allocation site behind an id.
@@ -183,6 +197,9 @@ struct MInfo {
 
 struct Solver<'a> {
     prog: &'a ProgramIndex<'a>,
+    /// Analysis scope (`None` = whole program). Methods outside the scope
+    /// contribute no constraints — they are invisible to the solver.
+    scope: Option<&'a std::collections::HashSet<MethodId>>,
     minfo: HashMap<MethodId, MInfo>,
     ids: HashMap<NodeKey, usize>,
     nodes: Vec<Node>,
@@ -195,9 +212,17 @@ struct Solver<'a> {
 }
 
 impl<'a> Solver<'a> {
-    fn new(prog: &'a ProgramIndex<'a>) -> Solver<'a> {
+    fn new(
+        prog: &'a ProgramIndex<'a>,
+        scope: Option<&'a std::collections::HashSet<MethodId>>,
+    ) -> Solver<'a> {
         let mut minfo = HashMap::new();
         for mid in prog.concrete_methods() {
+            if let Some(scope) = scope {
+                if !scope.contains(&mid) {
+                    continue;
+                }
+            }
             let method = prog.method(mid);
             let mut this_local = None;
             let mut param_locals = vec![None; method.params.len()];
@@ -221,6 +246,7 @@ impl<'a> Solver<'a> {
         }
         Solver {
             prog,
+            scope,
             minfo,
             ids: HashMap::new(),
             nodes: Vec::new(),
@@ -265,9 +291,16 @@ impl<'a> Solver<'a> {
         }
     }
 
-    /// Generates constraints for the whole program, in program order.
+    /// Generates constraints for every in-scope method, in program order.
+    /// Scoped generation visits a subsequence of the whole-program order,
+    /// so surviving allocation sites keep their relative [`AllocId`] order
+    /// and `classes_of` answers agree with the whole-program solve.
     fn generate(&mut self) {
-        let methods: Vec<MethodId> = self.prog.concrete_methods().collect();
+        let methods: Vec<MethodId> = self
+            .prog
+            .concrete_methods()
+            .filter(|mid| self.scope.is_none_or(|s| s.contains(mid)))
+            .collect();
         for mid in methods {
             let body = &self.prog.method(mid).body;
             for (si, stmt) in body.iter().enumerate() {
@@ -399,7 +432,9 @@ impl<'a> Solver<'a> {
                     call.callee.params.len(),
                 );
                 let Some(t) = target else { return };
-                if !self.prog.method(t).has_body {
+                if !self.prog.method(t).has_body || !self.minfo.contains_key(&t) {
+                    // Bodyless, or outside the analysis scope: treated like
+                    // a platform stub (no constraints generated into it).
                     return;
                 }
                 if let Some(recv) = call.receiver.as_ref().and_then(Value::as_local) {
@@ -474,7 +509,10 @@ impl<'a> Solver<'a> {
             return;
         }
         let Some(t) = self.prog.resolve_method(&class, &name, arity) else { return };
-        if !self.prog.method(t).has_body || !self.bound.insert((site, t)) {
+        if !self.prog.method(t).has_body
+            || !self.minfo.contains_key(&t)
+            || !self.bound.insert((site, t))
+        {
             return;
         }
         let (args, result) = {

@@ -35,8 +35,9 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
-/// Propagation direction.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+/// Propagation direction. `Ord` so summary-cache exports sort into a
+/// deterministic, jobs-invariant order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Direction {
     Forward,
     Backward,
@@ -242,6 +243,29 @@ struct Summary {
     statics: Vec<String>,
 }
 
+/// A summary-cache entry in portable form: the cache key (direction +
+/// entry node) plus the memoized segment closure, with every vector in
+/// the deterministic order [`TaintEngine::export_summaries`] guarantees.
+/// `extractocol-incr` serializes these into `.exsm` archives and replays
+/// them through [`TaintEngine::preload_summaries`] on warm runs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SummaryExport {
+    pub direction: Direction,
+    pub method: MethodId,
+    pub stmt: usize,
+    pub fact: AccessPath,
+    /// Intra-method nodes visited, as `(stmt, fact)`, sorted.
+    pub nodes: Vec<(usize, AccessPath)>,
+    /// Sliced statement indices inside the method, sorted.
+    pub marks: Vec<usize>,
+    /// Statements marked outside the method, sorted.
+    pub extern_marks: Vec<(MethodId, usize)>,
+    /// Facts that leave the method (deterministic discovery order).
+    pub exits: Vec<(MethodId, usize, AccessPath)>,
+    /// Static-field keys tainted inside the segment (discovery order).
+    pub statics: Vec<String>,
+}
+
 /// The bidirectional taint engine. Shareable across threads (`&self` runs
 /// only): the summary cache is behind a `RwLock` and its counters are
 /// atomics, everything else is immutable after construction.
@@ -288,10 +312,30 @@ impl<'p, 'g, 'm> TaintEngine<'p, 'g, 'm> {
         options: TaintOptions,
         pts: Option<&'g PointsTo>,
     ) -> Self {
+        Self::with_scope(prog, graph, model, options, pts, None)
+    }
+
+    /// Like [`TaintEngine::with_pointsto`], restricted to an analysis
+    /// scope. When `scope` is `Some`, only methods in the set get CFGs and
+    /// static-field index entries — methods outside the scope are never
+    /// visited (the targeted mode's cone). `None` is whole-program.
+    pub fn with_scope(
+        prog: &'p ProgramIndex<'p>,
+        graph: &'g CallGraph,
+        model: &'m (dyn ApiFlowModel + Sync),
+        options: TaintOptions,
+        pts: Option<&'g PointsTo>,
+        scope: Option<&HashSet<MethodId>>,
+    ) -> Self {
         let mut infos = HashMap::new();
         let mut static_stores: HashMap<String, Vec<(MethodId, usize)>> = HashMap::new();
         let mut static_loads: HashMap<String, Vec<(MethodId, usize)>> = HashMap::new();
         for mid in prog.concrete_methods() {
+            if let Some(scope) = scope {
+                if !scope.contains(&mid) {
+                    continue;
+                }
+            }
             let method = prog.method(mid);
             let cfg = Cfg::build(method);
             let mut this_local = None;
@@ -356,6 +400,61 @@ impl<'p, 'g, 'm> TaintEngine<'p, 'g, 'm> {
         }
     }
 
+    /// Number of memoized summaries currently in the cache.
+    pub fn summary_count(&self) -> usize {
+        self.summaries.read().unwrap().len()
+    }
+
+    /// Snapshots every memoized summary in a deterministic order (sorted
+    /// by cache key). Summary values are themselves deterministic — the
+    /// segment BFS is single-entry and its result vectors are sorted or in
+    /// deterministic insertion order — so the export is byte-stable across
+    /// worker counts. This is the persistence surface for the `.exsm`
+    /// archives in `extractocol-incr`.
+    pub fn export_summaries(&self) -> Vec<SummaryExport> {
+        let map = self.summaries.read().unwrap();
+        let mut out: Vec<SummaryExport> = map
+            .iter()
+            .map(|((dir, m, stmt, fact), s)| SummaryExport {
+                direction: *dir,
+                method: *m,
+                stmt: *stmt,
+                fact: fact.clone(),
+                nodes: s.nodes.clone(),
+                marks: s.marks.clone(),
+                extern_marks: s.extern_marks.clone(),
+                exits: s.exits.clone(),
+                statics: s.statics.clone(),
+            })
+            .collect();
+        drop(map);
+        out.sort_by(|a, b| {
+            (a.direction, a.method, a.stmt, &a.fact).cmp(&(b.direction, b.method, b.stmt, &b.fact))
+        });
+        out
+    }
+
+    /// Seeds the summary cache with previously exported entries (a warm
+    /// start from a `.exsm` archive). The caller is responsible for
+    /// validity: an entry may only be preloaded when the program state its
+    /// summary was computed from is provably unchanged — that is what the
+    /// incremental engine's fingerprints establish. Existing entries win.
+    pub fn preload_summaries(&self, entries: Vec<SummaryExport>) {
+        let mut map = self.summaries.write().unwrap();
+        for e in entries {
+            let key: SummaryKey = (e.direction, e.method, e.stmt, e.fact);
+            map.entry(key).or_insert_with(|| {
+                Arc::new(Summary {
+                    nodes: e.nodes,
+                    marks: e.marks,
+                    extern_marks: e.extern_marks,
+                    exits: e.exits,
+                    statics: e.statics,
+                })
+            });
+        }
+    }
+
     /// Explicit targets of a call site, narrowed by the receiver's
     /// points-to set when alias information is available. A fact entering
     /// a virtual call only steps into implementations some allocation
@@ -398,6 +497,20 @@ impl<'p, 'g, 'm> TaintEngine<'p, 'g, 'm> {
     /// True when `callee` survives alias narrowing at `site`.
     fn calls_into(&self, site: CallSite, call: &Call, callee: MethodId) -> bool {
         self.call_targets(site, call).contains(&callee)
+    }
+
+    /// Public view of the per-site alias narrowing — the exact target list
+    /// propagation steps into at `site`. The incremental engine folds this
+    /// into validity fingerprints so a summary is invalidated whenever the
+    /// narrowed dispatch at any of its call sites changes.
+    pub fn narrowed_targets(&self, site: CallSite, call: &Call) -> Vec<MethodId> {
+        self.call_targets(site, call)
+    }
+
+    /// True when `m` is inside this engine's analysis scope (always true
+    /// for whole-program engines).
+    pub fn in_scope(&self, m: MethodId) -> bool {
+        self.infos.contains_key(&m) || !self.prog.method(m).has_body
     }
 
     fn info(&self, m: MethodId) -> &MethodInfo {
@@ -511,7 +624,7 @@ impl<'e, 'p, 'g, 'm> Propagation<'e, 'p, 'g, 'm> {
     }
 
     fn enqueue(&mut self, m: MethodId, stmt: usize, fact: AccessPath) {
-        if self.eng.prog.method(m).body.is_empty() {
+        if self.eng.prog.method(m).body.is_empty() || !self.eng.in_scope(m) {
             return;
         }
         let stmt = stmt.min(self.eng.prog.method(m).body.len() - 1);

@@ -16,6 +16,9 @@
 //! extractocol app.jimple --trace-summary          # top spans by self-time
 //! extractocol app.jimple --flame-out stacks.txt   # collapsed flamegraph stacks
 //! extractocol app.jimple --metrics-out metrics.txt  # exposition-format metrics
+//! extractocol app.jimple --targeted     # demand-driven cone analysis
+//! extractocol app.jimple --summary-cache-path app.exsm  # persistent summaries
+//! extractocol app.jimple --no-incremental  # ignore the summary cache
 //! ```
 
 use extractocol_core::slicing::SliceOptions;
@@ -26,8 +29,10 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: extractocol <app.jimple> [--regex] [--scope <prefix>] \
          [--json] [--no-async] [--no-augment] [--hops <n>] [--depth <n>] \
-         [--jobs <n>] [--lints] [--no-pointsto] [--trace-out <file>] \
-         [--trace-summary] [--flame-out <file>] [--metrics-out <file>]"
+         [--jobs <n>] [--lints] [--no-pointsto] [--targeted] \
+         [--summary-cache-path <file>] [--no-incremental] \
+         [--trace-out <file>] [--trace-summary] [--flame-out <file>] \
+         [--metrics-out <file>]"
     );
     ExitCode::from(2)
 }
@@ -66,6 +71,12 @@ fn main() -> ExitCode {
             },
             "--no-pointsto" => opts.pointsto = false,
             "--pointsto" => opts.pointsto = true,
+            "--targeted" => opts.targeted = true,
+            "--no-incremental" => opts.incremental = false,
+            "--summary-cache-path" => match it.next() {
+                Some(p) => opts.summary_cache_path = Some(p.into()),
+                None => return usage(),
+            },
             "--no-async" => slice.async_heuristic = false,
             "--no-augment" => slice.augmentation = false,
             "--scope" => match it.next() {
@@ -140,7 +151,10 @@ fn main() -> ExitCode {
         }
     }
     if trace_summary {
-        print!("{}", extractocol_obs::summary_table(&spans, 15));
+        // Enough rows that every pipeline phase stays visible for a
+        // single-app run; dp/txn spans beyond that are still in the
+        // chrome-trace artifact.
+        print!("{}", extractocol_obs::summary_table(&spans, 32));
         if trace.dropped() > 0 {
             println!("({} span(s) dropped at the collector capacity)", trace.dropped());
         }
@@ -181,6 +195,21 @@ fn main() -> ExitCode {
             m.cache.lookups(),
             100.0 * m.cache.hit_rate()
         );
+        if let Some(tg) = &m.targeted {
+            println!(
+                "targeted: cone {}/{} methods; skipped {}/{} classes",
+                tg.cone_methods, tg.total_methods, tg.skipped_classes, tg.total_classes
+            );
+        }
+        if let Some(incr) = &m.incr {
+            println!("incremental: {}", incr.to_line());
+            if let Some(e) = &incr.load_error {
+                println!("incremental: cache load failed ({e}); ran cold");
+            }
+            if let Some(e) = &incr.save_error {
+                println!("incremental: cache save failed ({e})");
+            }
+        }
     }
     ExitCode::SUCCESS
 }

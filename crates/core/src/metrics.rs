@@ -21,6 +21,12 @@ pub struct PhaseTimings {
     pub indexing: Duration,
     /// Demarcation-point scan.
     pub demarcation: Duration,
+    /// Targeted-mode cone construction + scoped points-to re-solve (zero
+    /// outside `--targeted`).
+    pub targeted: Duration,
+    /// Persistent summary-cache fingerprinting, load, and save (zero when
+    /// no `--summary-cache-path` is set).
+    pub incremental: Duration,
     /// Bidirectional slicing across all DPs (wall time, not CPU time —
     /// under `jobs > 1` many DPs overlap inside this window).
     pub slicing: Duration,
@@ -45,11 +51,13 @@ impl PhaseTimings {
     /// Every `(phase name, duration)` pair, in pipeline order. The single
     /// source of truth for `total()`, the registry export, and the CLI
     /// timing tables — a new slot only has to be added here.
-    pub fn slots(&self) -> [(&'static str, Duration); 10] {
+    pub fn slots(&self) -> [(&'static str, Duration); 12] {
         [
             ("deobfuscation", self.deobfuscation),
             ("indexing", self.indexing),
             ("demarcation", self.demarcation),
+            ("targeted", self.targeted),
+            ("incremental", self.incremental),
             ("slicing", self.slicing),
             ("pairing", self.pairing),
             ("signatures", self.signatures),
@@ -123,6 +131,12 @@ pub struct Metrics {
     /// Deterministic given the same trace, but observational: it describes
     /// a validation run, not the protocol signature itself.
     pub conformance: Option<crate::conformance::ConformanceReport>,
+    /// Persistent summary-cache counters, when `Options::summary_cache_path`
+    /// was set. Deterministic: acceptance is a pure function of archive +
+    /// program, and reuse counts are derived from the sorted final export.
+    pub incr: Option<extractocol_incr::IncrStats>,
+    /// Cone sizes and skip counts, when `Options::targeted` ran.
+    pub targeted: Option<extractocol_incr::TargetedStats>,
 }
 
 impl Metrics {
@@ -248,6 +262,55 @@ impl Metrics {
             )
             .add(conf.diags.len() as u64);
         }
+        if let Some(incr) = &self.incr {
+            let events: [(&str, u64); 6] = [
+                ("preloaded", incr.preloaded as u64),
+                ("valid", incr.valid as u64),
+                ("invalidated", incr.invalidated as u64),
+                ("reused", incr.reused_summaries as u64),
+                ("recomputed", incr.recomputed_summaries as u64),
+                ("saved", incr.saved as u64),
+            ];
+            for (event, n) in events {
+                reg.counter(
+                    "incr_summaries_total",
+                    &[("event", event)],
+                    Volatility::Deterministic,
+                    "persistent summary-cache events",
+                )
+                .add(n);
+            }
+            reg.gauge(
+                "incr_persistent_hit_rate",
+                &[],
+                Volatility::Deterministic,
+                "fraction of this run's summaries answered by the persistent cache",
+            )
+            .set(incr.hit_rate());
+            reg.counter(
+                "incr_recomputed_methods_total",
+                &[],
+                Volatility::Deterministic,
+                "distinct root methods whose summaries were recomputed",
+            )
+            .add(incr.recomputed_methods as u64);
+        }
+        if let Some(tg) = &self.targeted {
+            reg.counter(
+                "incr_targeted_cone_methods_total",
+                &[],
+                Volatility::Deterministic,
+                "methods inside the union of all DP cones",
+            )
+            .add(tg.cone_methods as u64);
+            reg.counter(
+                "incr_targeted_skipped_classes_total",
+                &[],
+                Volatility::Deterministic,
+                "classes never visited by taint, points-to, or slicing",
+            )
+            .add(tg.skipped_classes as u64);
+        }
         reg
     }
 }
@@ -284,18 +347,22 @@ mod tests {
             deobfuscation: Duration::from_millis(1),
             indexing: Duration::from_millis(2),
             demarcation: Duration::from_millis(3),
-            slicing: Duration::from_millis(4),
-            pairing: Duration::from_millis(5),
-            signatures: Duration::from_millis(6),
-            dependencies: Duration::from_millis(7),
-            conformance: Duration::from_millis(8),
-            serve_compile: Duration::from_millis(9),
-            serve_classify: Duration::from_millis(10),
+            targeted: Duration::from_millis(4),
+            incremental: Duration::from_millis(5),
+            slicing: Duration::from_millis(6),
+            pairing: Duration::from_millis(7),
+            signatures: Duration::from_millis(8),
+            dependencies: Duration::from_millis(9),
+            conformance: Duration::from_millis(10),
+            serve_compile: Duration::from_millis(11),
+            serve_classify: Duration::from_millis(12),
         };
-        assert_eq!(full.total(), Duration::from_millis(55));
-        assert_eq!(full.slots().len(), 10);
+        assert_eq!(full.total(), Duration::from_millis(78));
+        assert_eq!(full.slots().len(), 12);
         let text = full.to_text();
         assert!(text.contains("conformance"), "{text}");
+        assert!(text.contains("targeted"), "{text}");
+        assert!(text.contains("incremental"), "{text}");
         assert!(text.contains("total"), "{text}");
     }
 
@@ -309,6 +376,23 @@ mod tests {
                 DpSliceMetrics { dp_id: 0, request_stmts: 8, response_stmts: 4 },
                 DpSliceMetrics { dp_id: 1, request_stmts: 2, response_stmts: 0 },
             ],
+            incr: Some(extractocol_incr::IncrStats {
+                preloaded: 9,
+                valid: 8,
+                invalidated: 1,
+                reused_summaries: 8,
+                recomputed_summaries: 2,
+                recomputed_methods: 1,
+                total_methods: 20,
+                saved: 10,
+                ..extractocol_incr::IncrStats::default()
+            }),
+            targeted: Some(extractocol_incr::TargetedStats {
+                cone_methods: 5,
+                total_methods: 20,
+                skipped_classes: 3,
+                total_classes: 6,
+            }),
             ..Metrics::default()
         };
         let reg = m.export_registry();
@@ -322,6 +406,13 @@ mod tests {
         assert!(det.contains("pipeline_dp_slice_stmts_bucket"), "{det}");
         assert!(!det.contains("pipeline_phase_seconds"), "timings are per-run: {det}");
         assert!(!det.contains("summary_cache"), "cache counters race across workers: {det}");
+        // The persistent-cache and targeted counters are deterministic by
+        // construction, so they must survive the deterministic render.
+        assert!(det.contains("incr_summaries_total{event=\"reused\"} 8"), "{det}");
+        assert!(det.contains("incr_summaries_total{event=\"recomputed\"} 2"), "{det}");
+        assert!(det.contains("incr_persistent_hit_rate 0.8"), "{det}");
+        assert!(det.contains("incr_targeted_skipped_classes_total 3"), "{det}");
+        assert!(det.contains("incr_targeted_cone_methods_total 5"), "{det}");
     }
 
     #[test]

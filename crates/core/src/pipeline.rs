@@ -5,6 +5,7 @@
 
 use crate::demarcation;
 use crate::deobf;
+use crate::flowmodel::SemanticFlowModel;
 use crate::interdep;
 use crate::metrics::{DpSliceMetrics, Metrics, PhaseTimings};
 use crate::pairing::{self, Pairing};
@@ -15,9 +16,13 @@ use crate::semantics::SemanticModel;
 use crate::sigbuild::SignatureBuilder;
 use crate::slicing::{self, SliceOptions};
 use crate::stubs;
-use extractocol_analysis::{diagnostics, CallGraph, CallbackRegistry, PointsTo};
+use extractocol_analysis::{
+    diagnostics, CallGraph, CallbackRegistry, PointsTo, TaintEngine, TaintOptions,
+};
+use extractocol_incr::{Epoch, IncrStats, TargetedStats};
 use extractocol_ir::{Apk, MethodId, ProgramIndex};
 use extractocol_obs::TraceCollector;
+use std::collections::HashSet;
 use std::time::Instant;
 
 /// Analysis configuration.
@@ -42,6 +47,21 @@ pub struct Options {
     /// augmentation seeds from actual allocation sites. Turning this off
     /// reverts to pure CHA — the `cha_vs_pta` ablation's baseline.
     pub pointsto: bool,
+    /// Demand-driven targeted mode: compute the reachability cone of the
+    /// demarcation points first, then run points-to, taint, and slicing
+    /// only over the cone. Classes outside every cone are never visited
+    /// (counted in `Metrics::targeted`); the report stays byte-identical
+    /// to the whole-program run.
+    pub targeted: bool,
+    /// Use the persistent summary cache at [`Options::summary_cache_path`]
+    /// (no effect when the path is unset). Off is the ablation baseline:
+    /// the path is neither read nor written.
+    pub incremental: bool,
+    /// Location of the `.exsm` persistent summary-cache archive. When set
+    /// (and `incremental` is on), still-valid summaries from a previous
+    /// run are preloaded before slicing and the final summary set is
+    /// written back afterwards.
+    pub summary_cache_path: Option<std::path::PathBuf>,
 }
 
 impl Default for Options {
@@ -52,6 +72,9 @@ impl Default for Options {
             scope_prefix: None,
             jobs: 0,
             pointsto: true,
+            targeted: false,
+            incremental: true,
+            summary_cache_path: None,
         }
     }
 }
@@ -142,11 +165,13 @@ impl Extractocol {
         let t = Instant::now();
         let mut span = trace.span_in("phase", "indexing");
         let prog = ProgramIndex::new(&apk);
-        let pts = self.options.pointsto.then(|| {
+        // Targeted mode defers points-to until the cone is known; the
+        // whole-program solve only runs here in untargeted mode.
+        let mut pts = (self.options.pointsto && !self.options.targeted).then(|| {
             let _s = trace.span_in("step", "pointsto_solve");
             PointsTo::solve(&prog)
         });
-        let graph = {
+        let mut graph = {
             let _s = trace.span_in("step", "callgraph_build");
             match &pts {
                 Some(p) => CallGraph::build_with_pointsto(&prog, &self.registry, p),
@@ -160,15 +185,7 @@ impl Extractocol {
         drop(span);
         phases.indexing = t.elapsed();
 
-        // Precision diagnostics (surfaced via `extractocol --lints`).
-        let lints = {
-            let _s = trace.span_in("step", "lint");
-            diagnostics::lint(&prog, &graph, pts.as_ref(), &|callee| {
-                !matches!(self.model.op_for(&prog, callee), ApiOp::Unknown)
-            })
-        };
-
-        // Phase 1: demarcation points + bidirectional slicing.
+        // Phase 1: demarcation points.
         let t = Instant::now();
         let mut span = trace.span_in("phase", "demarcation");
         let mut sites = demarcation::scan(&prog, &self.model);
@@ -182,21 +199,120 @@ impl Extractocol {
         drop(span);
         phases.demarcation = t.elapsed();
 
-        let t = Instant::now();
-        let mut span = trace.span_in("phase", "slicing");
-        let (slices, cache) = slicing::slice_all_traced(
+        // Targeted mode: close the DP-site methods under every coupling
+        // the downstream analyses traverse, then re-solve points-to and
+        // devirtualize over the cone alone. Code outside the cone is never
+        // visited by points-to, taint, or slicing from here on.
+        let mut cone: Option<HashSet<MethodId>> = None;
+        let mut targeted_stats: Option<TargetedStats> = None;
+        if self.options.targeted {
+            let t = Instant::now();
+            let mut span = trace.span_in("phase", "targeted");
+            let mut seen = HashSet::new();
+            let roots: Vec<MethodId> =
+                sites.iter().map(|s| s.method).filter(|m| seen.insert(*m)).collect();
+            let c = extractocol_incr::cone::compute(&prog, &graph, &roots);
+            if self.options.pointsto {
+                let _s = trace.span_in("step", "pointsto_solve_scoped");
+                let p = PointsTo::solve_scoped(&prog, &c);
+                graph = CallGraph::build_with_pointsto(&prog, &self.registry, &p);
+                pts = Some(p);
+            }
+            let stats = extractocol_incr::cone::stats(&prog, &c);
+            span.attr("cone_methods", stats.cone_methods)
+                .attr("skipped_classes", stats.skipped_classes);
+            targeted_stats = Some(stats);
+            cone = Some(c);
+            phases.targeted = t.elapsed();
+        }
+
+        // Precision diagnostics (surfaced via `extractocol --lints`),
+        // restricted to the cone in targeted mode.
+        let lints = {
+            let _s = trace.span_in("step", "lint");
+            diagnostics::lint_scoped(
+                &prog,
+                &graph,
+                pts.as_ref(),
+                &|callee| !matches!(self.model.op_for(&prog, callee), ApiOp::Unknown),
+                cone.as_ref(),
+            )
+        };
+
+        // The taint engine is pipeline-owned so the persistent summary
+        // cache can preload into it before slicing and export afterwards.
+        let flow_model = SemanticFlowModel::new(&self.model, &prog);
+        let engine = TaintEngine::with_scope(
             &prog,
             &graph,
-            &self.model,
+            &flow_model,
+            TaintOptions {
+                max_field_depth: self.options.slice.max_field_depth,
+                ..TaintOptions::default()
+            },
+            pts.as_ref(),
+            cone.as_ref(),
+        );
+
+        let epoch = Epoch {
+            app: apk.name.clone(),
+            max_field_depth: self.options.slice.max_field_depth as u32,
+            pointsto: self.options.pointsto,
+            targeted: self.options.targeted,
+        };
+        let cache_path =
+            self.options.incremental.then(|| self.options.summary_cache_path.clone()).flatten();
+        let mut incr_stats: Option<IncrStats> = None;
+        let mut preloaded_keys = HashSet::new();
+        let mut fingerprints = None;
+        if let Some(path) = &cache_path {
+            let t = Instant::now();
+            let mut span = trace.span_in("phase", "incremental");
+            let fp =
+                extractocol_incr::validity::fingerprints(&prog, &graph, &engine, cone.as_ref());
+            let outcome = extractocol_incr::load_into_engine(path, &epoch, &prog, &fp, &engine);
+            span.attr("preloaded", outcome.stats.preloaded).attr("valid", outcome.stats.valid);
+            incr_stats = Some(outcome.stats);
+            preloaded_keys = outcome.preloaded_keys;
+            fingerprints = Some(fp);
+            phases.incremental = t.elapsed();
+        }
+
+        let t = Instant::now();
+        let mut span = trace.span_in("phase", "slicing");
+        let slices = slicing::slice_all_on(
+            &engine,
+            &prog,
+            &graph,
             &sites,
             &self.options.slice,
             self.options.jobs,
             pts.as_ref(),
             trace,
         );
+        let cache = engine.cache_stats();
         span.attr("cache_hits", cache.hits).attr("cache_misses", cache.misses);
         drop(span);
         phases.slicing = t.elapsed();
+
+        // Write the final summary set back (also on cold runs and after a
+        // refused load — the next run warms up either way).
+        if let (Some(path), Some(stats), Some(fp)) =
+            (&cache_path, incr_stats.as_mut(), fingerprints.as_ref())
+        {
+            let t = Instant::now();
+            let _s = trace.span_in("step", "incremental_save");
+            let exports = engine.export_summaries();
+            let total = cone.as_ref().map_or_else(|| prog.concrete_methods().count(), HashSet::len);
+            extractocol_incr::finish_stats(stats, &exports, &preloaded_keys, total);
+            let arch = extractocol_incr::build_archive(&epoch, fp, &exports);
+            stats.saved = arch.summaries.len();
+            if let Err(e) = extractocol_incr::archive::write_file(path, &arch) {
+                stats.saved = 0;
+                stats.save_error = Some(e.to_string());
+            }
+            phases.incremental += t.elapsed();
+        }
 
         // Phase 3a: request/response pairing via disjoint sub-slices.
         let t = Instant::now();
@@ -309,6 +425,8 @@ impl Extractocol {
                 lints,
                 pts: pts.as_ref().map(PointsTo::stats),
                 conformance: None,
+                incr: incr_stats,
+                targeted: targeted_stats,
             },
         }
     }

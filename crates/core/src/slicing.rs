@@ -160,10 +160,29 @@ pub fn slice_all_traced(
         TaintOptions { max_field_depth: opts.max_field_depth, ..TaintOptions::default() },
         pts,
     );
-    let sets = crate::par::parallel_map(sites, jobs, |_, dp| {
+    let sets = slice_all_on(&engine, prog, graph, sites, opts, jobs, pts, trace);
+    (sets, engine.cache_stats())
+}
+
+/// [`slice_all_traced`] over a caller-owned [`TaintEngine`] — the hook the
+/// incremental pipeline uses to preload persisted summaries before slicing
+/// and export the final summary set afterwards. The engine must have been
+/// built over `prog`/`graph` with the same `pts` and field depth.
+#[allow(clippy::too_many_arguments)]
+pub fn slice_all_on(
+    engine: &TaintEngine<'_, '_, '_>,
+    prog: &ProgramIndex<'_>,
+    graph: &CallGraph,
+    sites: &[DpSite],
+    opts: &SliceOptions,
+    jobs: usize,
+    pts: Option<&PointsTo>,
+    trace: &extractocol_obs::TraceCollector,
+) -> Vec<SliceSet> {
+    crate::par::parallel_map(sites, jobs, |_, dp| {
         let mut span = trace.span_in("dp", format!("dp:{}", dp.id));
         let before = engine.cache_stats();
-        let set = slice_one(prog, graph, &engine, dp, opts, pts);
+        let set = slice_one(prog, graph, engine, dp, opts, pts);
         if span.is_recording() {
             let after = engine.cache_stats();
             let m = prog.method(dp.method);
@@ -175,8 +194,7 @@ pub fn slice_all_traced(
                 .attr("cache_lookups_during", after.lookups() - before.lookups());
         }
         set
-    });
-    (sets, engine.cache_stats())
+    })
 }
 
 fn slice_one(
@@ -491,7 +509,10 @@ fn async_augment(
     };
     let mut seeds: Vec<Seed> = Vec::new();
     let mut store_sites: Vec<(MethodId, usize)> = Vec::new();
-    for mid in prog.concrete_methods() {
+    // Restricted to the engine's scope: in targeted mode a store outside
+    // the cone cannot bridge (the cone is closed over field couplings, so
+    // any store to a cell the slice reads is already inside it).
+    for mid in prog.concrete_methods().filter(|&m| engine.in_scope(m)) {
         for (si, stmt) in prog.method(mid).body.iter().enumerate() {
             if report.slice.contains(&(mid, si)) {
                 continue;

@@ -8,6 +8,9 @@
 //! extractocol-eval --conformance --timings      # per-phase breakdown per app
 //! extractocol-eval --conformance --trace-out trace.json --trace-summary
 //! extractocol-eval --conformance --metrics-out metrics.txt
+//! extractocol-eval --conformance --targeted     # demand-driven cone analysis
+//! extractocol-eval --conformance --summary-cache-dir cache/  # persistent summaries
+//! extractocol-eval --conformance --report-out reports.txt    # canonical JSON per app
 //! extractocol-eval --conformance-mutate         # seeded mutation self-test
 //! extractocol-eval --conformance-mutate --seed 7 --sites 3
 //! ```
@@ -20,16 +23,28 @@
 //! conformance slot, so the total matches the end-to-end run.
 
 use extractocol_core::TraceCollector;
-use extractocol_dynamic::conformance::{conformance_check_traced, mutation_self_test};
+use extractocol_dynamic::conformance::{conformance_check_with, mutation_self_test, EvalConfig};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: extractocol-eval (--conformance | --conformance-mutate) \
          [--app <name>] [--jobs <n>] [--seed <n>] [--sites <n>] [--timings] \
-         [--trace-out <file>] [--trace-summary] [--metrics-out <file>]"
+         [--targeted] [--summary-cache-dir <dir>] [--no-incremental] \
+         [--report-out <file>] [--trace-out <file>] [--trace-summary] \
+         [--metrics-out <file>]"
     );
     ExitCode::from(2)
+}
+
+/// A per-app `.exsm` filename inside the cache dir: the app name with
+/// anything outside `[A-Za-z0-9._-]` mapped to `_`.
+fn cache_file(dir: &str, app: &str) -> std::path::PathBuf {
+    let safe: String = app
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || ".-_".contains(c) { c } else { '_' })
+        .collect();
+    std::path::Path::new(dir).join(format!("{safe}.exsm"))
 }
 
 fn main() -> ExitCode {
@@ -44,6 +59,10 @@ fn main() -> ExitCode {
     let mut trace_summary = false;
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
+    let mut report_out: Option<String> = None;
+    let mut targeted = false;
+    let mut incremental = true;
+    let mut cache_dir: Option<String> = None;
 
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -51,6 +70,16 @@ fn main() -> ExitCode {
             "--conformance" => conformance = true,
             "--conformance-mutate" => mutate = true,
             "--timings" => timings = true,
+            "--targeted" => targeted = true,
+            "--no-incremental" => incremental = false,
+            "--summary-cache-dir" => match it.next() {
+                Some(d) => cache_dir = Some(d),
+                None => return usage(),
+            },
+            "--report-out" => match it.next() {
+                Some(p) => report_out = Some(p),
+                None => return usage(),
+            },
             "--trace-summary" => trace_summary = true,
             "--trace-out" => match it.next() {
                 Some(p) => trace_out = Some(p),
@@ -102,10 +131,49 @@ fn main() -> ExitCode {
         } else {
             TraceCollector::disabled()
         };
+        if let Some(dir) = &cache_dir {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("extractocol-eval: cannot create {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
         let mut dirty = 0usize;
+        let mut report_lines = String::new();
         for app in &apps {
-            let (report, conf) = conformance_check_traced(app, jobs, &trace);
+            let cfg = EvalConfig {
+                jobs,
+                targeted,
+                incremental,
+                summary_cache_path: cache_dir.as_ref().map(|d| cache_file(d, &app.truth.name)),
+            };
+            let (report, conf) = conformance_check_with(app, &cfg, &trace);
             print!("{}", conf.to_text());
+            if let Some(incr) = &report.metrics.incr {
+                println!("incr[{}]: {}", app.truth.name, incr.to_line());
+                if let Some(e) = &incr.load_error {
+                    println!("incr[{}]: cache load failed ({e}); ran cold", app.truth.name);
+                }
+                if let Some(e) = &incr.save_error {
+                    println!("incr[{}]: cache save failed ({e})", app.truth.name);
+                }
+            }
+            if let Some(tg) = &report.metrics.targeted {
+                println!(
+                    "targeted[{}]: cone {}/{} methods; skipped {}/{} classes",
+                    app.truth.name,
+                    tg.cone_methods,
+                    tg.total_methods,
+                    tg.skipped_classes,
+                    tg.total_classes
+                );
+            }
+            if report_out.is_some() {
+                report_lines.push_str(&format!(
+                    "{}\t{}\n",
+                    app.truth.name,
+                    report.to_json().to_json()
+                ));
+            }
             if timings {
                 println!("{} phase timings:", app.truth.name);
                 print!("{}", report.metrics.phases.to_text());
@@ -121,6 +189,12 @@ fn main() -> ExitCode {
             }
             if !conf.is_clean() {
                 dirty += 1;
+            }
+        }
+        if let Some(path) = &report_out {
+            if let Err(e) = std::fs::write(path, report_lines) {
+                eprintln!("extractocol-eval: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
             }
         }
         let spans = trace.drain();

@@ -14,6 +14,34 @@ use extractocol_corpus::AppSpec;
 use extractocol_ir::rng::Rng;
 use extractocol_ir::{Apk, Const, Expr, Place, Stmt, Value};
 
+/// Evaluation-side analysis knobs beyond the per-app defaults: worker
+/// count, targeted mode, and the persistent summary cache.
+#[derive(Clone, Debug)]
+pub struct EvalConfig {
+    /// Worker threads (`0` = one per core).
+    pub jobs: usize,
+    /// Demand-driven cone analysis (`Options::targeted`).
+    pub targeted: bool,
+    /// Honor `summary_cache_path` (`Options::incremental`).
+    pub incremental: bool,
+    /// Persistent `.exsm` summary-cache location for this app.
+    pub summary_cache_path: Option<std::path::PathBuf>,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig { jobs: 0, targeted: false, incremental: true, summary_cache_path: None }
+    }
+}
+
+impl EvalConfig {
+    /// Just a worker count — the configuration every pre-existing driver
+    /// entry point uses.
+    pub fn with_jobs(jobs: usize) -> EvalConfig {
+        EvalConfig { jobs, ..EvalConfig::default() }
+    }
+}
+
 /// Analyzes one app with the evaluation options (paper §5.1: the async
 /// heuristic is disabled for open-source apps) at the given worker count.
 pub fn analyze_app(apk: &Apk, open_source: bool, jobs: usize) -> AnalysisReport {
@@ -27,12 +55,26 @@ pub fn analyze_app_traced(
     jobs: usize,
     trace: &TraceCollector,
 ) -> AnalysisReport {
+    analyze_app_with(apk, open_source, &EvalConfig::with_jobs(jobs), trace)
+}
+
+/// [`analyze_app`] under a full [`EvalConfig`] (targeted mode, persistent
+/// summary cache).
+pub fn analyze_app_with(
+    apk: &Apk,
+    open_source: bool,
+    cfg: &EvalConfig,
+    trace: &TraceCollector,
+) -> AnalysisReport {
     let opts = Options {
         slice: extractocol_core::slicing::SliceOptions {
             async_heuristic: !open_source,
             ..Default::default()
         },
-        jobs,
+        jobs: cfg.jobs,
+        targeted: cfg.targeted,
+        incremental: cfg.incremental,
+        summary_cache_path: cfg.summary_cache_path.clone(),
         ..Options::default()
     };
     Extractocol::with_options(opts).analyze_traced(apk, trace)
@@ -55,9 +97,18 @@ pub fn conformance_check_traced(
     jobs: usize,
     trace: &TraceCollector,
 ) -> (AnalysisReport, ConformanceReport) {
+    conformance_check_with(app, &EvalConfig::with_jobs(jobs), trace)
+}
+
+/// [`conformance_check_traced`] under a full [`EvalConfig`].
+pub fn conformance_check_with(
+    app: &AppSpec,
+    cfg: &EvalConfig,
+    trace: &TraceCollector,
+) -> (AnalysisReport, ConformanceReport) {
     let mut app_span = trace.span_in("app", format!("conformance:{}", app.truth.name));
     app_span.attr("app", app.truth.name.as_str());
-    let mut report = analyze_app_traced(&app.apk, app.truth.open_source, jobs, trace);
+    let mut report = analyze_app_with(&app.apk, app.truth.open_source, cfg, trace);
     let dyn_trace = {
         let _s = trace.span_in("phase", "perfect_fuzzer");
         run_perfect_fuzzer(app)

@@ -1,0 +1,185 @@
+//! Demand-driven reachability cones.
+//!
+//! Targeted mode analyzes only the methods that can influence (or be
+//! influenced by) a demarcation point. The cone of a DP-site set is the
+//! least fixpoint closed under every inter-method coupling the downstream
+//! analyses traverse:
+//!
+//! * **explicit calls**, both directions (the CHA graph over-approximates
+//!   any devirtualized graph, so closing over CHA edges is conservative);
+//! * **implicit callback edges** and their `chains_to` follow-ups, both
+//!   directions (taint steps across them, and `callers` entries include
+//!   the triggering sites);
+//! * **static-field coupling**: methods touching the same `class#field`
+//!   key (taint re-seeds at every load/store of a tainted static; the
+//!   points-to solver flows through the same global cells);
+//! * **instance-field / array coupling on field *name***: the points-to
+//!   solver's field cells are keyed `(allocation, field name)` and the
+//!   slicer's async-augmentation matches store/load pairs by field — a
+//!   name-level coupling over-approximates both. Array elements couple
+//!   through the `"[]"` pseudo-field.
+//!
+//! Because every cross-method move of taint propagation, points-to
+//! resolution, and slice augmentation travels along one of these
+//! couplings, running the whole pipeline restricted to the cone produces
+//! byte-identical reports to the whole-program run — the only difference
+//! is the work skipped outside it.
+
+use extractocol_analysis::CallGraph;
+use extractocol_ir::{Expr, MethodId, Place, ProgramIndex, Stmt};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// What targeted mode skipped, sized for the metrics export.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TargetedStats {
+    /// Methods inside the union of all DP cones.
+    pub cone_methods: usize,
+    /// All concrete methods in the program.
+    pub total_methods: usize,
+    /// Classes with at least one concrete method, none of which is in any
+    /// cone — never visited by taint, points-to, or slicing.
+    pub skipped_classes: usize,
+    /// All classes with at least one concrete method.
+    pub total_classes: usize,
+}
+
+/// Per-method coupling facts harvested in one body scan.
+#[derive(Default)]
+struct Couplings {
+    /// `class#field` static keys loaded or stored.
+    statics: Vec<String>,
+    /// Instance-field names loaded or stored (`"[]"` for array elements).
+    fields: Vec<String>,
+}
+
+fn scan_couplings(prog: &ProgramIndex<'_>, m: MethodId) -> Couplings {
+    let mut c = Couplings::default();
+    let add_place = |place: &Place, c: &mut Couplings| match place {
+        Place::StaticField(f) => c.statics.push(format!("{}#{}", f.class, f.name)),
+        Place::InstanceField { field, .. } => c.fields.push(field.name.clone()),
+        Place::ArrayElem { .. } => c.fields.push("[]".to_string()),
+        Place::Local(_) => {}
+    };
+    for stmt in &prog.method(m).body {
+        if let Stmt::Assign { place, expr } = stmt {
+            add_place(place, &mut c);
+            if let Expr::Load(loaded) = expr {
+                add_place(loaded, &mut c);
+            }
+        }
+    }
+    c.statics.sort_unstable();
+    c.statics.dedup();
+    c.fields.sort_unstable();
+    c.fields.dedup();
+    c
+}
+
+/// Computes the union cone of `roots` (deduplicated DP-site methods).
+///
+/// The result always contains every root that is a concrete method, and is
+/// closed under the couplings documented at module level.
+pub fn compute(
+    prog: &ProgramIndex<'_>,
+    graph: &CallGraph,
+    roots: &[MethodId],
+) -> HashSet<MethodId> {
+    // Coupling indexes over the whole program (one linear scan).
+    let mut by_static: HashMap<String, Vec<MethodId>> = HashMap::new();
+    let mut by_field: HashMap<String, Vec<MethodId>> = HashMap::new();
+    let mut couplings: HashMap<MethodId, Couplings> = HashMap::new();
+    for m in prog.concrete_methods() {
+        let c = scan_couplings(prog, m);
+        for k in &c.statics {
+            by_static.entry(k.clone()).or_default().push(m);
+        }
+        for f in &c.fields {
+            by_field.entry(f.clone()).or_default().push(m);
+        }
+        couplings.insert(m, c);
+    }
+
+    let mut cone: HashSet<MethodId> = HashSet::new();
+    let mut queue: VecDeque<MethodId> = VecDeque::new();
+    let push = |m: MethodId, cone: &mut HashSet<MethodId>, queue: &mut VecDeque<MethodId>| {
+        if prog.method(m).has_body && cone.insert(m) {
+            queue.push_back(m);
+        }
+    };
+    for &r in roots {
+        push(r, &mut cone, &mut queue);
+    }
+    while let Some(m) = queue.pop_front() {
+        // Explicit + implicit call edges out of `m`.
+        for (si, stmt) in prog.method(m).body.iter().enumerate() {
+            if stmt.call().is_none() {
+                continue;
+            }
+            let site = (m, si);
+            for &t in graph.targets_of(site) {
+                push(t, &mut cone, &mut queue);
+            }
+            for e in graph.implicit_of(site) {
+                push(e.target, &mut cone, &mut queue);
+                if let Some((chained, _)) = e.chains_to {
+                    push(chained, &mut cone, &mut queue);
+                }
+            }
+        }
+        // Call edges into `m` (covers explicit callers and the sites that
+        // trigger `m` as an implicit callback — both are in `callers`).
+        if let Some(callers) = graph.callers.get(&m) {
+            for &(cm, cs) in callers {
+                push(cm, &mut cone, &mut queue);
+                // A chained partner at the triggering site shares state
+                // with `m` (the chain passes m's return value into it).
+                for e in graph.implicit_of((cm, cs)) {
+                    if e.target == m || e.chains_to.map(|(c, _)| c) == Some(m) {
+                        push(e.target, &mut cone, &mut queue);
+                        if let Some((chained, _)) = e.chains_to {
+                            push(chained, &mut cone, &mut queue);
+                        }
+                    }
+                }
+            }
+        }
+        // Shared-state couplings.
+        if let Some(c) = couplings.get(&m) {
+            for k in &c.statics {
+                for &o in by_static.get(k).map(Vec::as_slice).unwrap_or(&[]) {
+                    push(o, &mut cone, &mut queue);
+                }
+            }
+            for f in &c.fields {
+                for &o in by_field.get(f).map(Vec::as_slice).unwrap_or(&[]) {
+                    push(o, &mut cone, &mut queue);
+                }
+            }
+        }
+    }
+    cone
+}
+
+/// Sizes the cone against the program for the metrics export.
+pub fn stats(prog: &ProgramIndex<'_>, cone: &HashSet<MethodId>) -> TargetedStats {
+    let total_methods = prog.concrete_methods().count();
+    let mut total_classes = 0usize;
+    let mut skipped_classes = 0usize;
+    for (cid, class) in prog.classes() {
+        let concrete: Vec<u32> = class
+            .methods
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.has_body)
+            .map(|(i, _)| i as u32)
+            .collect();
+        if concrete.is_empty() {
+            continue;
+        }
+        total_classes += 1;
+        if concrete.iter().all(|&mi| !cone.contains(&MethodId { class: cid, method: mi })) {
+            skipped_classes += 1;
+        }
+    }
+    TargetedStats { cone_methods: cone.len(), total_methods, skipped_classes, total_classes }
+}

@@ -1,0 +1,79 @@
+//! Stable method identity and content hashing.
+//!
+//! [`MethodId`]s are positional (`(class index, method index)`) and shift
+//! whenever a class or method is added or removed — they must never be
+//! persisted. The incremental engine instead names methods by a *stable
+//! key* derived from declaration structure
+//! (`class#name#arity#occurrence`), and fingerprints bodies with FNV-1a
+//! over the canonical [`extractocol_ir::printer`] form. Two programs agree
+//! on a method exactly when both the key and the content hash agree.
+
+use extractocol_ir::hash::{fnv1a64, fnv1a64_update};
+use extractocol_ir::{printer, MethodId, ProgramIndex};
+use std::collections::HashMap;
+
+/// The stable (renumbering-proof) identity of a method:
+/// `class#name#arity#occurrence`, where `occurrence` disambiguates
+/// same-name/same-arity overloads by declaration order within the class.
+pub fn stable_key(prog: &ProgramIndex<'_>, m: MethodId) -> String {
+    let class = prog.class(m.class);
+    let method = prog.method(m);
+    let occ = class.methods[..m.method as usize]
+        .iter()
+        .filter(|o| o.name == method.name && o.params.len() == method.params.len())
+        .count();
+    format!("{}#{}#{}#{}", class.name, method.name, method.params.len(), occ)
+}
+
+/// Stable keys for every concrete method.
+pub fn stable_keys(prog: &ProgramIndex<'_>) -> HashMap<MethodId, String> {
+    prog.concrete_methods().map(|m| (m, stable_key(prog, m))).collect()
+}
+
+/// FNV-1a over the canonical printed form of a method, prefixed with its
+/// class name (so a verbatim method moved between classes hashes
+/// differently — dispatch and field resolution depend on the owner).
+pub fn content_hash(prog: &ProgramIndex<'_>, m: MethodId) -> u64 {
+    let mut h = fnv1a64(prog.class(m.class).name.as_bytes());
+    h = fnv1a64_update(h, b"\0");
+    fnv1a64_update(h, printer::method_text(prog.method(m)).as_bytes())
+}
+
+/// Content hashes for every concrete method.
+pub fn content_hashes(prog: &ProgramIndex<'_>) -> HashMap<MethodId, u64> {
+    prog.concrete_methods().map(|m| (m, content_hash(prog, m))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extractocol_ir::builder::ApkBuilder;
+    use extractocol_ir::Type;
+
+    #[test]
+    fn overloads_get_distinct_keys_and_bodies_distinct_hashes() {
+        let mut b = ApkBuilder::new("app", "com.app");
+        b.class("com.app.A", |c| {
+            c.method("f", vec![], Type::Void, |m| {
+                m.ret_void();
+            });
+            c.method("f", vec![Type::Int], Type::Void, |m| {
+                m.ret_void();
+            });
+            c.method("f", vec![], Type::Int, |m| {
+                let l = m.local("x", Type::Int);
+                m.cint(l, 7);
+                m.ret(l);
+            });
+        });
+        let apk = b.build();
+        let prog = ProgramIndex::new(&apk);
+        let mids: Vec<MethodId> = prog.concrete_methods().collect();
+        let keys: Vec<String> = mids.iter().map(|&m| stable_key(&prog, m)).collect();
+        assert_eq!(keys[0], "com.app.A#f#0#0");
+        assert_eq!(keys[1], "com.app.A#f#1#0");
+        assert_eq!(keys[2], "com.app.A#f#0#1", "same name+arity → occurrence bump");
+        // Same signature, different body → different content hash.
+        assert_ne!(content_hash(&prog, mids[0]), content_hash(&prog, mids[2]));
+    }
+}

@@ -27,6 +27,7 @@
 pub mod apk;
 pub mod builder;
 pub mod class;
+pub mod hash;
 pub mod obfuscate;
 pub mod parser;
 pub mod printer;

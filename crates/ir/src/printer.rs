@@ -60,6 +60,17 @@ fn print_class(out: &mut String, c: &Class) {
     out.push_str("  }\n");
 }
 
+/// Renders one method in the canonical text form — the exact bytes
+/// `print_apk` emits for it. This is the content-hash basis for the
+/// incremental engine: two methods with identical `method_text` are
+/// analysis-equivalent at the body level (signature, locals, statements,
+/// labels all included).
+pub fn method_text(m: &Method) -> String {
+    let mut out = String::new();
+    print_method(&mut out, m);
+    out
+}
+
 fn print_method(out: &mut String, m: &Method) {
     let st = if m.is_static { "static " } else { "" };
     let params: Vec<String> = m.params.iter().map(|t| t.to_string()).collect();

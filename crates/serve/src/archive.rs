@@ -159,16 +159,10 @@ impl fmt::Display for ArchiveError {
 
 impl std::error::Error for ArchiveError {}
 
-/// FNV-1a 64 over a byte slice — the payload checksum. In-repo (the
-/// workspace is dependency-free) and stable across platforms.
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
+/// FNV-1a 64 over a byte slice — the payload checksum. Re-exported from
+/// the shared [`extractocol_ir::hash`] util so every archive format (and
+/// the incremental engine's method content hashes) uses one implementation.
+pub use extractocol_ir::hash::fnv1a64;
 
 // ---------------------------------------------------------------------------
 // Writing
