@@ -16,13 +16,15 @@
 //! extractocol app.jimple --trace-summary          # top spans by self-time
 //! extractocol app.jimple --flame-out stacks.txt   # collapsed flamegraph stacks
 //! extractocol app.jimple --metrics-out metrics.txt  # exposition-format metrics
+//! extractocol app.jimple --log-out events.log       # structured event log
+//! extractocol app.jimple --log-out events.log --log-level debug  # + phases
 //! extractocol app.jimple --targeted     # demand-driven cone analysis
 //! extractocol app.jimple --summary-cache-path app.exsm  # persistent summaries
 //! extractocol app.jimple --no-incremental  # ignore the summary cache
 //! ```
 
 use extractocol_core::slicing::SliceOptions;
-use extractocol_core::{Extractocol, Options, TraceCollector};
+use extractocol_core::{EventLog, Extractocol, Level, Options, SinkFormat, TraceCollector};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
@@ -32,7 +34,7 @@ fn usage() -> ExitCode {
          [--jobs <n>] [--lints] [--no-pointsto] [--targeted] \
          [--summary-cache-path <file>] [--no-incremental] \
          [--trace-out <file>] [--trace-summary] [--flame-out <file>] \
-         [--metrics-out <file>]"
+         [--metrics-out <file>] [--log-out <file>] [--log-level <level>]"
     );
     ExitCode::from(2)
 }
@@ -46,6 +48,8 @@ fn main() -> ExitCode {
     let mut trace_out: Option<String> = None;
     let mut flame_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
+    let mut log_out: Option<String> = None;
+    let mut log_level = Level::Info;
     let mut trace_summary = false;
     let mut opts = Options::default();
     let mut slice = SliceOptions::default();
@@ -67,6 +71,14 @@ fn main() -> ExitCode {
             },
             "--metrics-out" => match it.next() {
                 Some(p) => metrics_out = Some(p),
+                None => return usage(),
+            },
+            "--log-out" => match it.next() {
+                Some(p) => log_out = Some(p),
+                None => return usage(),
+            },
+            "--log-level" => match it.next().and_then(|l| Level::parse(&l)) {
+                Some(l) => log_level = l,
                 None => return usage(),
             },
             "--no-pointsto" => opts.pointsto = false,
@@ -135,7 +147,22 @@ fn main() -> ExitCode {
     } else {
         TraceCollector::disabled()
     };
-    let report = Extractocol::with_options(opts).analyze_traced(&apk, &trace);
+    let mut analyzer = Extractocol::with_options(opts);
+    let events = if let Some(out) = &log_out {
+        let events = EventLog::enabled(log_level);
+        match std::fs::File::create(out) {
+            Ok(file) => events.set_sink(Box::new(file), SinkFormat::Text),
+            Err(e) => {
+                eprintln!("extractocol: cannot create {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        events
+    } else {
+        EventLog::disabled()
+    };
+    analyzer.set_event_log(events);
+    let report = analyzer.analyze_traced(&apk, &trace);
     let spans = trace.drain();
     if let Some(out) = &trace_out {
         let json = extractocol_obs::chrome_trace_json(&spans);

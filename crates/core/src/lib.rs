@@ -41,7 +41,7 @@ pub mod siglang;
 pub mod slicing;
 pub mod stubs;
 
-pub use extractocol_obs::TraceCollector;
+pub use extractocol_obs::{EventLog, Level, SinkFormat, TraceCollector};
 pub use metrics::{CacheStats, DpSliceMetrics, Metrics, PhaseTimings};
 pub use pipeline::{Extractocol, Options};
 pub use report::AnalysisReport;

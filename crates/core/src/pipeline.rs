@@ -21,7 +21,7 @@ use extractocol_analysis::{
 };
 use extractocol_incr::{Epoch, IncrStats, TargetedStats};
 use extractocol_ir::{Apk, MethodId, ProgramIndex};
-use extractocol_obs::TraceCollector;
+use extractocol_obs::{EventLog, TraceCollector};
 use std::collections::HashSet;
 use std::time::Instant;
 
@@ -85,6 +85,7 @@ pub struct Extractocol {
     model: SemanticModel,
     registry: CallbackRegistry,
     options: Options,
+    events: EventLog,
 }
 
 impl Default for Extractocol {
@@ -105,7 +106,16 @@ impl Extractocol {
             model: SemanticModel::standard(),
             registry: CallbackRegistry::android_defaults(),
             options,
+            events: EventLog::disabled(),
         }
+    }
+
+    /// Attaches a structured event log; the pipeline emits a run-start
+    /// record, one per-phase timing record, and a run-finished record
+    /// into it (see `extractocol --log-out`). The default is a disabled
+    /// log, which makes every emission a no-op.
+    pub fn set_event_log(&mut self, events: EventLog) {
+        self.events = events;
     }
 
     /// Mutable access to the semantic model for API plugins.
@@ -145,6 +155,11 @@ impl Extractocol {
         let jobs = par::resolve_jobs(self.options.jobs);
         let mut run_span = trace.span_in("run", format!("analyze:{}", apk.name));
         run_span.attr("app", apk.name.as_str()).attr("jobs", jobs);
+        self.events
+            .info("pipeline", "analysis started")
+            .field("app", apk.name.as_str())
+            .field("jobs", jobs)
+            .emit();
 
         // §3.4: map obfuscated bundled libraries back to canonical names.
         let t = Instant::now();
@@ -406,6 +421,22 @@ impl Extractocol {
             .collect();
 
         let slice_stats = slicing::stats(&prog, &slices);
+        for (name, dur) in phases.slots() {
+            if !dur.is_zero() {
+                self.events
+                    .debug("pipeline", "phase finished")
+                    .field("phase", name)
+                    .field("phase_us", dur.as_micros() as u64)
+                    .emit();
+            }
+        }
+        self.events
+            .info("pipeline", "analysis finished")
+            .field("app", apk.name.as_str())
+            .field("dp_sites", sites.len() as u64)
+            .field("transactions", reports.len() as u64)
+            .field("duration_us", started.elapsed().as_micros() as u64)
+            .emit();
         AnalysisReport {
             app: apk.name.clone(),
             transactions: reports,

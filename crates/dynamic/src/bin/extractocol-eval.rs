@@ -8,6 +8,7 @@
 //! extractocol-eval --conformance --timings      # per-phase breakdown per app
 //! extractocol-eval --conformance --trace-out trace.json --trace-summary
 //! extractocol-eval --conformance --metrics-out metrics.txt
+//! extractocol-eval --conformance --log-out events.log --log-level debug
 //! extractocol-eval --conformance --targeted     # demand-driven cone analysis
 //! extractocol-eval --conformance --summary-cache-dir cache/  # persistent summaries
 //! extractocol-eval --conformance --report-out reports.txt    # canonical JSON per app
@@ -22,7 +23,7 @@
 //! `--timings` prints the `PhaseTimings` table — including the
 //! conformance slot, so the total matches the end-to-end run.
 
-use extractocol_core::TraceCollector;
+use extractocol_core::{EventLog, Level, SinkFormat, TraceCollector};
 use extractocol_dynamic::conformance::{conformance_check_with, mutation_self_test, EvalConfig};
 use std::process::ExitCode;
 
@@ -32,7 +33,7 @@ fn usage() -> ExitCode {
          [--app <name>] [--jobs <n>] [--seed <n>] [--sites <n>] [--timings] \
          [--targeted] [--summary-cache-dir <dir>] [--no-incremental] \
          [--report-out <file>] [--trace-out <file>] [--trace-summary] \
-         [--metrics-out <file>]"
+         [--metrics-out <file>] [--log-out <file>] [--log-level <level>]"
     );
     ExitCode::from(2)
 }
@@ -59,6 +60,8 @@ fn main() -> ExitCode {
     let mut trace_summary = false;
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
+    let mut log_out: Option<String> = None;
+    let mut log_level = Level::Info;
     let mut report_out: Option<String> = None;
     let mut targeted = false;
     let mut incremental = true;
@@ -87,6 +90,14 @@ fn main() -> ExitCode {
             },
             "--metrics-out" => match it.next() {
                 Some(p) => metrics_out = Some(p),
+                None => return usage(),
+            },
+            "--log-out" => match it.next() {
+                Some(p) => log_out = Some(p),
+                None => return usage(),
+            },
+            "--log-level" => match it.next().and_then(|l| Level::parse(&l)) {
+                Some(l) => log_level = l,
                 None => return usage(),
             },
             "--app" => match it.next() {
@@ -125,12 +136,35 @@ fn main() -> ExitCode {
         }
     }
 
+    // Driver-level structured events: one record per app plus run
+    // start/finish milestones (the per-phase pipeline events live behind
+    // `extractocol --log-out`; the eval driver reports outcomes).
+    let events = if let Some(out) = &log_out {
+        let log = EventLog::enabled(log_level);
+        match std::fs::File::create(out) {
+            Ok(file) => log.set_sink(Box::new(file), SinkFormat::Text),
+            Err(e) => {
+                eprintln!("extractocol-eval: cannot create {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        log
+    } else {
+        EventLog::disabled()
+    };
+
     if conformance {
         let trace = if trace_out.is_some() || trace_summary {
             TraceCollector::enabled()
         } else {
             TraceCollector::disabled()
         };
+        events
+            .info("eval", "conformance run started")
+            .field("apps", apps.len() as u64)
+            .field("jobs", jobs as u64)
+            .field("targeted", targeted)
+            .emit();
         if let Some(dir) = &cache_dir {
             if let Err(e) = std::fs::create_dir_all(dir) {
                 eprintln!("extractocol-eval: cannot create {dir}: {e}");
@@ -190,6 +224,14 @@ fn main() -> ExitCode {
             if !conf.is_clean() {
                 dirty += 1;
             }
+            let level = if conf.is_clean() { Level::Info } else { Level::Warn };
+            events
+                .event(level, "eval", "app analyzed")
+                .field("app", app.truth.name.as_str())
+                .field("transactions", report.transactions.len() as u64)
+                .field("diagnostics", conf.diags.len() as u64)
+                .field("duration_us", report.stats.duration.as_micros() as u64)
+                .emit();
         }
         if let Some(path) = &report_out {
             if let Err(e) = std::fs::write(path, report_lines) {
@@ -209,6 +251,11 @@ fn main() -> ExitCode {
         if trace_summary {
             print!("{}", extractocol_obs::summary_table(&spans, 20));
         }
+        events
+            .info("eval", "conformance run finished")
+            .field("apps", apps.len() as u64)
+            .field("dirty", dirty as u64)
+            .emit();
         if dirty > 0 {
             eprintln!("extractocol-eval: {dirty} app(s) with conformance diagnostics");
             return ExitCode::FAILURE;

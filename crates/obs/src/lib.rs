@@ -20,16 +20,30 @@
 //!   interpolation) with a Prometheus-style text exposition renderer and
 //!   an explicit deterministic-vs-per-run split
 //!   ([`metrics::Volatility`]) so jobs-invariance stays testable.
+//! * [`log`] — the structured event log: leveled key=value / JSON-line
+//!   records in a fixed-capacity deterministic ring buffer with an
+//!   optional streaming file sink and a dropped-records counter.
+//! * [`diff`] — snapshot diffing for `extractocol-obs-diff`: parses
+//!   Prometheus-text and `BENCH_*.json` snapshots, compares the
+//!   deterministic family exactly and the per-run family against
+//!   relative thresholds.
 //!
 //! Everything here is *observational*: nothing feeds back into analysis
 //! results, and nothing enters canonical report serialization.
 
+pub mod diff;
 pub mod export;
+pub mod log;
 pub mod metrics;
 pub mod span;
 
+pub use diff::{diff, parse_snapshot, DiffConfig, DiffReport, Snapshot};
 pub use export::{
     chrome_trace_json, collapsed_stacks, summary_table, validate_chrome_trace, TraceStats,
 };
+pub use log::{EventLog, EventRecord, Level, SinkFormat, DEFAULT_EVENT_CAPACITY};
 pub use metrics::{Counter, Gauge, Histogram, Registry, Volatility};
-pub use span::{AttrValue, SpanGuard, SpanRecord, TraceCollector, DEFAULT_SPAN_CAPACITY};
+pub use span::{
+    AttrValue, Exemplar, ExemplarStore, SpanGuard, SpanRecord, TraceCollector,
+    DEFAULT_EXEMPLAR_CAPACITY, DEFAULT_SPAN_CAPACITY,
+};

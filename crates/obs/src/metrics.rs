@@ -108,6 +108,10 @@ pub struct Histogram {
     count: AtomicU64,
     /// Observation sum in rounded integer micro-units (order-independent).
     sum_micros: AtomicU64,
+    /// The largest observation recorded with a trace id — the
+    /// slow-request exemplar surfaced as a `# EXEMPLAR` exposition
+    /// comment (scrape-safe: Prometheus parsers skip comment lines).
+    exemplar: Mutex<Option<(f64, String)>>,
 }
 
 impl Histogram {
@@ -122,6 +126,7 @@ impl Histogram {
             counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
             count: AtomicU64::new(0),
             sum_micros: AtomicU64::new(0),
+            exemplar: Mutex::new(None),
         }
     }
 
@@ -132,6 +137,23 @@ impl Histogram {
         self.count.fetch_add(1, Ordering::Relaxed);
         let micros = (v.max(0.0) * 1e6).round() as u64;
         self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Records one observation and offers it as the family's exemplar:
+    /// the largest exemplar-carrying observation wins (ties keep the
+    /// first, so replay order is deterministic).
+    pub fn observe_with_exemplar(&self, v: f64, trace_id: &str) {
+        self.observe(v);
+        let mut slot = self.exemplar.lock().expect("exemplar");
+        match slot.as_ref() {
+            Some((best, _)) if *best >= v => {}
+            _ => *slot = Some((v, trace_id.to_string())),
+        }
+    }
+
+    /// The current exemplar, if any observation carried a trace id.
+    pub fn exemplar(&self) -> Option<(f64, String)> {
+        self.exemplar.lock().expect("exemplar").clone()
     }
 
     /// Total observations.
@@ -394,6 +416,14 @@ impl Registry {
             if last_header.as_deref() != Some(name.as_str()) {
                 let _ = writeln!(out, "# HELP {name} {}", entry.help);
                 let _ = writeln!(out, "# TYPE {name} {}", entry.instrument.type_name());
+                // Non-standard comment consumed by extractocol-obs-diff so
+                // snapshots carry the determinism contract with them;
+                // Prometheus scrapers ignore unknown comment lines.
+                let vol = match entry.volatility {
+                    Volatility::Deterministic => "deterministic",
+                    Volatility::PerRun => "perrun",
+                };
+                let _ = writeln!(out, "# VOLATILITY {name} {vol}");
                 last_header = Some(name.clone());
             }
             let braced = |extra: &str| -> String {
@@ -423,6 +453,19 @@ impl Registry {
                     let _ = writeln!(out, "{name}_bucket{} {cum}", braced("le=\"+Inf\""));
                     let _ = writeln!(out, "{name}_sum{} {}", braced(""), fmt_value(h.sum()));
                     let _ = writeln!(out, "{name}_count{} {}", braced(""), h.count());
+                    // Exemplars carry wall-clock values, so they are
+                    // confined to PerRun families — a Deterministic
+                    // snapshot must stay byte-identical across runs.
+                    if entry.volatility == Volatility::PerRun {
+                        if let Some((v, tid)) = h.exemplar() {
+                            let _ = writeln!(
+                                out,
+                                "# EXEMPLAR {name}{} trace_id={tid} value={}",
+                                braced(""),
+                                fmt_value(v)
+                            );
+                        }
+                    }
                 }
             }
         }
@@ -541,6 +584,23 @@ mod tests {
         assert!(text.contains("imbalance 1.5"), "{text}");
         // TYPE header appears once per metric family.
         assert_eq!(text.matches("# TYPE verdicts_total").count(), 1);
+    }
+
+    #[test]
+    fn exposition_carries_volatility_and_exemplars() {
+        let reg = Registry::new();
+        reg.counter("det_total", &[], Volatility::Deterministic, "det").add(2);
+        let h = reg.histogram("lat_us", &[], Volatility::PerRun, "latency", &[1.0, 10.0]);
+        h.observe_with_exemplar(5.0, "00000000deadbeef");
+        h.observe_with_exemplar(2.0, "00000000cafef00d"); // smaller: loses
+        let text = reg.render();
+        assert!(text.contains("# VOLATILITY det_total deterministic"), "{text}");
+        assert!(text.contains("# VOLATILITY lat_us perrun"), "{text}");
+        assert!(text.contains("# EXEMPLAR lat_us trace_id=00000000deadbeef value=5"), "{text}");
+        // Deterministic snapshots never carry exemplars.
+        let d = reg.histogram("det_us", &[], Volatility::Deterministic, "d", &[1.0]);
+        d.observe_with_exemplar(3.0, "aa");
+        assert!(!reg.render_deterministic().contains("# EXEMPLAR"), "{}", reg.render());
     }
 
     #[test]

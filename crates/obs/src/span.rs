@@ -323,6 +323,127 @@ impl Drop for SpanGuard {
     }
 }
 
+/// Default number of slow-request exemplars a daemon retains.
+pub const DEFAULT_EXEMPLAR_CAPACITY: usize = 8;
+
+/// One retained slow request: its trace id, latency, verdict, and the
+/// span records that covered it — enough to explain *why* it was slow
+/// without replaying traffic.
+#[derive(Clone, Debug)]
+pub struct Exemplar {
+    /// The request's deterministic trace id (16 hex digits).
+    pub trace_id: String,
+    /// End-to-end request latency in microseconds.
+    pub latency_us: u64,
+    /// Classification verdict (`match`, `unmatched`, `error`, ...).
+    pub verdict: String,
+    /// Free-form detail (matched signature, error message).
+    pub detail: String,
+    /// The spans recorded under this request, completion order.
+    pub spans: Vec<SpanRecord>,
+}
+
+/// Top-K slowest-request store. `offer` is designed for the classify hot
+/// path: once the store is full, a request no slower than the current
+/// floor is rejected with a single atomic load — no lock, no allocation —
+/// so steady-state traffic pays (near) nothing.
+///
+/// Ties keep the earlier arrival, so replaying identical traffic yields
+/// an identical exemplar set.
+pub struct ExemplarStore {
+    capacity: usize,
+    /// Smallest retained latency once full; 0 while filling. Advisory
+    /// fast-reject only — the lock re-checks before mutating.
+    floor_us: AtomicU64,
+    slots: Mutex<Vec<Exemplar>>,
+}
+
+impl ExemplarStore {
+    /// A store retaining the `capacity` slowest requests.
+    pub fn new(capacity: usize) -> ExemplarStore {
+        ExemplarStore {
+            capacity: capacity.max(1),
+            floor_us: AtomicU64::new(0),
+            slots: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Offers a finished request; retained only if it ranks among the
+    /// top-K slowest seen so far.
+    pub fn offer(&self, exemplar: Exemplar) {
+        // Fast reject: full store, request not slower than the floor.
+        if exemplar.latency_us <= self.floor_us.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut slots = self.slots.lock().expect("exemplar store");
+        slots.push(exemplar);
+        // Stable sort: equal latencies keep arrival order, so the
+        // eviction below deterministically drops the latest tie.
+        slots.sort_by_key(|e| std::cmp::Reverse(e.latency_us));
+        slots.truncate(self.capacity);
+        if slots.len() == self.capacity {
+            let floor = slots.last().map(|e| e.latency_us).unwrap_or(0);
+            self.floor_us.store(floor, Ordering::Relaxed);
+        }
+    }
+
+    /// Retained exemplars, slowest first.
+    pub fn snapshot(&self) -> Vec<Exemplar> {
+        self.slots.lock().expect("exemplar store").clone()
+    }
+
+    /// Retained count.
+    pub fn len(&self) -> usize {
+        self.slots.lock().expect("exemplar store").len()
+    }
+
+    /// True when nothing has been retained yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured capacity (K).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Renders the store as text: one header line per exemplar followed
+    /// by one indented line per span — the payload of the daemon's
+    /// `SLOW` verb.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for e in self.snapshot() {
+            let _ = writeln!(
+                out,
+                "trace_id={} latency_us={} verdict={} detail={} spans={}",
+                e.trace_id,
+                e.latency_us,
+                e.verdict,
+                if e.detail.is_empty() { "-" } else { &e.detail },
+                e.spans.len()
+            );
+            for s in &e.spans {
+                let _ = writeln!(
+                    out,
+                    "  span name={} cat={} dur_us={} self_us={}",
+                    s.name,
+                    s.cat,
+                    s.dur_ns() / 1_000,
+                    s.self_ns / 1_000
+                );
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for ExemplarStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ExemplarStore({}/{})", self.len(), self.capacity)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -407,5 +528,59 @@ mod tests {
         assert_eq!(t.len(), 1);
         assert_eq!(t.drain().len(), 1);
         assert!(t.is_empty());
+    }
+
+    fn ex(id: &str, us: u64) -> Exemplar {
+        Exemplar {
+            trace_id: id.to_string(),
+            latency_us: us,
+            verdict: "match".to_string(),
+            detail: String::new(),
+            spans: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn exemplar_store_keeps_top_k_slowest() {
+        let store = ExemplarStore::new(3);
+        assert!(store.is_empty());
+        for (id, us) in [("a", 10), ("b", 50), ("c", 20), ("d", 5), ("e", 40)] {
+            store.offer(ex(id, us));
+        }
+        let kept: Vec<(String, u64)> =
+            store.snapshot().into_iter().map(|e| (e.trace_id, e.latency_us)).collect();
+        assert_eq!(kept, vec![("b".to_string(), 50), ("e".to_string(), 40), ("c".to_string(), 20)]);
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.capacity(), 3);
+    }
+
+    #[test]
+    fn exemplar_store_fast_rejects_at_floor_and_breaks_ties_first_wins() {
+        let store = ExemplarStore::new(2);
+        store.offer(ex("a", 30));
+        store.offer(ex("b", 30)); // tie: both fit while filling
+        store.offer(ex("c", 30)); // tie at the floor: fast-rejected
+        let kept: Vec<String> = store.snapshot().into_iter().map(|e| e.trace_id).collect();
+        assert_eq!(kept, vec!["a".to_string(), "b".to_string()]);
+        store.offer(ex("d", 31)); // strictly slower: evicts the floor tie
+        let kept: Vec<String> = store.snapshot().into_iter().map(|e| e.trace_id).collect();
+        assert_eq!(kept, vec!["d".to_string(), "a".to_string()]);
+    }
+
+    #[test]
+    fn exemplar_render_includes_spans() {
+        let t = TraceCollector::enabled();
+        {
+            let _g = t.span_in("daemon", "daemon_request");
+        }
+        let store = ExemplarStore::new(1);
+        let mut e = ex("00000000deadbeef", 7);
+        e.spans = t.drain();
+        e.detail = "sig:42".to_string();
+        store.offer(e);
+        let text = store.render();
+        assert!(text.contains("trace_id=00000000deadbeef latency_us=7 verdict=match"), "{text}");
+        assert!(text.contains("detail=sig:42 spans=1"), "{text}");
+        assert!(text.contains("  span name=daemon_request cat=daemon"), "{text}");
     }
 }

@@ -13,8 +13,14 @@
 //!
 //! # Long-running daemon over TCP (or --stdin), with hot swap:
 //! extractocol-serve daemon --index index.exsv --listen 127.0.0.1:0 \
-//!     --port-file daemon.port --metrics-out METRICS_daemon.txt
+//!     --port-file daemon.port --metrics-out METRICS_daemon.txt \
+//!     --log-out daemon_events.log --log-level debug
 //! extractocol-serve send --port-file daemon.port --traffic requests.txt
+//!
+//! # Live introspection of a running daemon (no restart):
+//! extractocol-serve scrape --port-file daemon.port --verb METRICS \
+//!     --out METRICS_live.txt
+//! extractocol-serve scrape --port-file daemon.port --verb HEALTH
 //!
 //! # Throughput benchmark over the corpus fuzzer traffic:
 //! extractocol-serve bench --requests 50000 --jobs 0 --iterations 3 \
@@ -24,7 +30,8 @@
 //! The traffic file is line-based, one request per line —
 //! `METHOD<TAB>URI[<TAB>MIME<TAB>BODY]` with `#` comments (the
 //! `TrafficTrace::to_request_text` format). The daemon speaks the same
-//! lines plus the `PING`/`STATS`/`SWAP`/`SHUTDOWN` control verbs.
+//! lines plus the `PING`/`STATS`/`SWAP`/`METRICS`/`HEALTH`/`SLOW`/
+//! `SHUTDOWN` control verbs.
 //!
 //! `bench` reports best-of-`--iterations` throughput and exits non-zero
 //! when it falls below `--margin` × the baseline's `requests_per_sec`,
@@ -33,6 +40,7 @@
 //! 20x) faster than the full rebuild.
 
 use extractocol_core::TraceCollector;
+use extractocol_obs::{EventLog, Level, SinkFormat};
 use extractocol_serve::bench as serve_bench;
 use extractocol_serve::{
     classify_batch, classify_batch_observed, Daemon, DaemonConfig, ServeMetrics, SignatureIndex,
@@ -50,8 +58,11 @@ fn usage() -> ExitCode {
          --corpus | --app <name>) --traffic <file> [--jobs <n>] [--json] \
          [--metrics-out <file>] [--trace-out <file>]\n       \
          extractocol-serve daemon --index <index.exsv> (--stdin | --listen <addr>) \
-         [--port-file <file>] [--metrics-out <file>] [--trace-out <file>]\n       \
+         [--port-file <file>] [--metrics-out <file>] [--trace-out <file>] \
+         [--log-out <file>] [--log-level trace|debug|info|warn|error]\n       \
          extractocol-serve send (--addr <host:port> | --port-file <file>) --traffic <file>\n       \
+         extractocol-serve scrape (--addr <host:port> | --port-file <file>) \
+         --verb METRICS|HEALTH|SLOW|STATS [--out <file>]\n       \
          extractocol-serve bench [--requests <n>] [--jobs <n>] [--iterations <n>] [--out <file>] \
          [--baseline <file>] [--margin <frac>] [--min-speedup <x>] [--metrics-out <file>]\n       \
          extractocol-serve attack [--index <index.exsv>] [--seed <n>] [--per-class <n>] \
@@ -67,6 +78,7 @@ fn main() -> ExitCode {
         Some("classify") => cmd_classify(args.collect()),
         Some("daemon") => cmd_daemon(args.collect()),
         Some("send") => cmd_send(args.collect()),
+        Some("scrape") => cmd_scrape(args.collect()),
         Some("bench") => cmd_bench(args.collect()),
         Some("attack") => cmd_attack(args.collect()),
         Some("--help") | Some("-h") => {
@@ -199,6 +211,8 @@ fn cmd_daemon(args: Vec<String>) -> ExitCode {
     let mut port_file: Option<String> = None;
     let mut metrics_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
+    let mut log_out: Option<String> = None;
+    let mut log_level = Level::Info;
 
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -224,6 +238,14 @@ fn cmd_daemon(args: Vec<String>) -> ExitCode {
                 Some(p) => trace_out = Some(p),
                 None => return usage(),
             },
+            "--log-out" => match it.next() {
+                Some(p) => log_out = Some(p),
+                None => return usage(),
+            },
+            "--log-level" => match it.next().and_then(|l| Level::parse(&l)) {
+                Some(l) => log_level = l,
+                None => return usage(),
+            },
             _ => return usage(),
         }
     }
@@ -241,13 +263,38 @@ fn cmd_daemon(args: Vec<String>) -> ExitCode {
     let load_secs = t_load.elapsed().as_secs_f64();
     let trace =
         if trace_out.is_some() { TraceCollector::enabled() } else { TraceCollector::disabled() };
-    let daemon = Arc::new(Daemon::with_instruments(
+    let events = match &log_out {
+        Some(path) => {
+            let file = match std::fs::File::create(path) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("extractocol-serve: cannot create {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            // Unbuffered on purpose: the CI gate greps the log while the
+            // daemon is still serving, so records must hit disk at emit
+            // time, not at shutdown.
+            let log = EventLog::enabled(log_level);
+            log.set_sink(Box::new(file), SinkFormat::Text);
+            log
+        }
+        None => EventLog::disabled(),
+    };
+    let daemon = Arc::new(Daemon::with_observability(
         index,
         DaemonConfig::default(),
         extractocol_obs::Registry::new(),
         trace,
+        events,
     ));
     daemon.metrics_index_load(load_secs);
+    daemon
+        .events
+        .info("daemon", "daemon started")
+        .field("signatures", daemon.index().len())
+        .field("index_path", index_path.as_str())
+        .emit();
     eprintln!(
         "daemon: serving {} signatures (loaded {index_path} in {:.1}ms)",
         daemon.index().len(),
@@ -355,6 +402,74 @@ fn cmd_send(args: Vec<String>) -> ExitCode {
         }
         Err(e) => {
             eprintln!("extractocol-serve: send: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `extractocol-serve scrape`: one-shot live introspection. Sends a
+/// single control verb to a running daemon and prints (or writes) the
+/// reply payload — the Prometheus exposition for `METRICS`, the health
+/// line for `HEALTH`, the exemplar dump for `SLOW`.
+fn cmd_scrape(args: Vec<String>) -> ExitCode {
+    let mut addr: Option<String> = None;
+    let mut port_file: Option<String> = None;
+    let mut verb: Option<String> = None;
+    let mut out: Option<String> = None;
+
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => match it.next() {
+                Some(v) => addr = Some(v),
+                None => return usage(),
+            },
+            "--port-file" => match it.next() {
+                Some(p) => port_file = Some(p),
+                None => return usage(),
+            },
+            "--verb" => match it.next() {
+                Some(v) => verb = Some(v),
+                None => return usage(),
+            },
+            "--out" => match it.next() {
+                Some(p) => out = Some(p),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let Some(verb) = verb else { return usage() };
+    // Only introspection verbs: scrape must never mutate daemon state.
+    if !matches!(verb.as_str(), "METRICS" | "HEALTH" | "SLOW" | "STATS" | "PING") {
+        eprintln!("extractocol-serve: scrape verb must be METRICS|HEALTH|SLOW|STATS|PING");
+        return usage();
+    }
+    let addr = match (addr, port_file) {
+        (Some(a), _) => a,
+        (None, Some(path)) => match std::fs::read_to_string(&path) {
+            Ok(port) => format!("127.0.0.1:{}", port.trim()),
+            Err(e) => {
+                eprintln!("extractocol-serve: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        (None, None) => return usage(),
+    };
+    match extractocol_serve::daemon::scrape(&addr, &verb) {
+        Ok(payload) => {
+            if let Some(path) = &out {
+                if let Err(e) = std::fs::write(path, &payload) {
+                    eprintln!("extractocol-serve: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            } else {
+                print!("{payload}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("extractocol-serve: scrape: {e}");
             ExitCode::FAILURE
         }
     }

@@ -10,10 +10,32 @@
 //! GET\t<uri>[\t<mime>\t<body>]   → match\t<app>\t<txn>\t<dp_class> | unmatched
 //! PING                           → pong
 //! STATS                          → stats\tgeneration=…\tsignatures=…\trequests=…\tswaps=…
+//!                                        \tinflight=…\tparse_errors=…\tuptime_ticks=…
 //! SWAP\t<archive-path>           → swapped\tgeneration=…\tsignatures=…\tload_us=…\tdrained=…
+//! METRICS                        → metrics\tlines=N  then N Prometheus exposition lines
+//! HEALTH                         → health\tstatus=ok\tgeneration=…\tsignatures=…
+//!                                        \tuptime_ticks=…\tinflight=…\trequests=…\tlast_swap=…
+//! SLOW                           → slow\tlines=N\texemplars=K  then N exemplar-dump lines
 //! SHUTDOWN                       → bye            (then graceful drain + exit)
 //! anything malformed             → error\t<reason>
 //! ```
+//!
+//! Multi-line replies (`METRICS`, `SLOW`) are **block-framed**: the
+//! header line carries `lines=N` in its second tab field and exactly `N`
+//! payload lines follow, so one request still yields one logical
+//! response and [`send_lines`] keeps its response-per-request contract.
+//!
+//! # Request trace ids
+//!
+//! Every traffic line gets a deterministic trace id:
+//! `fnv1a64(conn_id.to_be_bytes() ‖ seq.to_be_bytes())` rendered as 16
+//! hex digits, where `conn_id` is the accept-order connection number
+//! (0 = stdin) and `seq` the 1-based request number on that connection.
+//! The id is stitched through the request's `daemon_request` span, its
+//! event-log records, and the slow-request [`ExemplarStore`] — so a
+//! `SLOW` dump, an event grep, and a trace view all name the same
+//! request the same way, and identical traffic replays produce
+//! identical ids at any worker count.
 //!
 //! # Hot swap
 //!
@@ -40,8 +62,12 @@
 use crate::archive::{read_archive, write_archive, ArchiveError};
 use crate::index::{SignatureIndex, Verdict};
 use extractocol_dynamic::parse_request_line;
+use extractocol_ir::hash::fnv1a64;
 use extractocol_obs::metrics::LATENCY_US_BUCKETS;
-use extractocol_obs::{Counter, Gauge, Histogram, Registry, TraceCollector, Volatility};
+use extractocol_obs::{
+    Counter, EventLog, Exemplar, ExemplarStore, Gauge, Histogram, Registry, SpanRecord,
+    TraceCollector, Volatility, DEFAULT_EXEMPLAR_CAPACITY,
+};
 use std::fmt;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
@@ -120,9 +146,21 @@ pub enum Reply {
     Empty,
     /// One response line (no trailing newline).
     Line(String),
+    /// A block-framed multi-line response: the first element is the
+    /// header (`…\tlines=N\t…`), followed by exactly N payload lines.
+    Lines(Vec<String>),
     /// Final response line; the connection/loop should close after
     /// sending it and the daemon should begin shutdown.
     Bye(String),
+}
+
+/// Renders the deterministic per-request trace id: fnv1a64 over the
+/// big-endian `(conn_id, seq)` pair, as 16 hex digits.
+pub fn trace_id_for(conn_id: u64, seq: u64) -> String {
+    let mut bytes = [0u8; 16];
+    bytes[..8].copy_from_slice(&conn_id.to_be_bytes());
+    bytes[8..].copy_from_slice(&seq.to_be_bytes());
+    format!("{:016x}", fnv1a64(&bytes))
 }
 
 /// Daemon instrument bundle, registered on a shared [`Registry`] (the
@@ -235,14 +273,30 @@ pub struct Daemon {
     generation: AtomicU64,
     requests: AtomicU64,
     swaps: AtomicU64,
+    parse_errors: AtomicU64,
+    /// Requests currently between parse and reply.
+    inflight: AtomicU64,
+    /// Accept-order connection numbering (stdin is 0).
+    next_conn_id: AtomicU64,
+    /// Per-daemon request sequence for the stdin/`process_line` path.
+    stdin_seq: AtomicU64,
+    /// Outcome of the most recent swap attempt: `none`, `ok`,
+    /// `drain_timeout`, or `refused:<phase>`.
+    last_swap: Mutex<String>,
+    start: Instant,
     config: DaemonConfig,
-    /// The backing registry — render for `--metrics-out`.
+    /// The backing registry — render for `--metrics-out` and `METRICS`.
     pub registry: Registry,
     /// Daemon instrument bundle (on `registry`).
     pub metrics: DaemonMetrics,
     /// Span collector; [`TraceCollector::disabled`] unless tracing was
     /// requested.
     pub trace: TraceCollector,
+    /// Structured event log; [`EventLog::disabled`] unless `--log-out`
+    /// or a live window was requested.
+    pub events: EventLog,
+    /// Top-K slowest requests, queryable live via `SLOW`.
+    pub exemplars: ExemplarStore,
 }
 
 impl Daemon {
@@ -251,24 +305,52 @@ impl Daemon {
         Daemon::with_instruments(index, config, Registry::new(), TraceCollector::disabled())
     }
 
-    /// A daemon on caller-owned instruments (shared exposition/trace).
+    /// A daemon on caller-owned instruments (shared exposition/trace),
+    /// with the event log disabled.
     pub fn with_instruments(
         index: SignatureIndex,
         config: DaemonConfig,
         registry: Registry,
         trace: TraceCollector,
     ) -> Daemon {
+        Daemon::with_observability(index, config, registry, trace, EventLog::disabled())
+    }
+
+    /// A daemon on caller-owned instruments plus a structured event log.
+    /// Ring evictions from `events` are mirrored into the registry's
+    /// `log_records_dropped_total` counter.
+    pub fn with_observability(
+        index: SignatureIndex,
+        config: DaemonConfig,
+        registry: Registry,
+        trace: TraceCollector,
+        events: EventLog,
+    ) -> Daemon {
         let metrics = DaemonMetrics::on(&registry);
         metrics.generation.set(1.0);
+        events.set_dropped_counter(registry.counter(
+            "log_records_dropped_total",
+            &[],
+            Volatility::PerRun,
+            "Event records evicted from the ring buffer",
+        ));
         Daemon {
             slot: RwLock::new(Arc::new(index)),
             generation: AtomicU64::new(1),
             requests: AtomicU64::new(0),
             swaps: AtomicU64::new(0),
+            parse_errors: AtomicU64::new(0),
+            inflight: AtomicU64::new(0),
+            next_conn_id: AtomicU64::new(1),
+            stdin_seq: AtomicU64::new(0),
+            last_swap: Mutex::new("none".to_string()),
+            start: Instant::now(),
             config,
             registry,
             metrics,
             trace,
+            events,
+            exemplars: ExemplarStore::new(DEFAULT_EXEMPLAR_CAPACITY),
         }
     }
 
@@ -290,9 +372,21 @@ impl Daemon {
         self.metrics.index_load_us.observe(secs * 1e6);
     }
 
-    /// Handles one input line: traffic, control verb, or garbage. Never
-    /// panics — malformed input produces an `error\t…` reply.
+    /// Handles one input line on the daemon-wide (stdin) connection:
+    /// traffic, control verb, or garbage. Never panics — malformed input
+    /// produces an `error\t…` reply.
     pub fn process_line(&self, line: &str) -> Reply {
+        // Sequence numbers are only consumed by traffic lines so control
+        // verbs don't perturb the deterministic trace-id series; peek at
+        // the verb before allocating one.
+        self.process_line_ctx(line, 0, &self.stdin_seq)
+    }
+
+    /// Handles one input line in an explicit connection context:
+    /// `conn_id` names the connection (0 = stdin), `seq` is that
+    /// connection's traffic-line counter (incremented here for every
+    /// traffic line, so trace ids are dense and replay-stable).
+    pub fn process_line_ctx(&self, line: &str, conn_id: u64, seq: &AtomicU64) -> Reply {
         let trimmed = line.trim_end_matches(['\r', '\n']);
         if trimmed.is_empty() || trimmed.starts_with('#') {
             return Reply::Empty;
@@ -301,7 +395,29 @@ impl Daemon {
         match verb {
             "PING" => Reply::Line("pong".into()),
             "STATS" => Reply::Line(self.stats_line()),
-            "SHUTDOWN" => Reply::Bye("bye".into()),
+            "HEALTH" => Reply::Line(self.health_line()),
+            "METRICS" => {
+                let payload: Vec<String> =
+                    self.registry.render().lines().map(str::to_string).collect();
+                let mut block = vec![format!("metrics\tlines={}", payload.len())];
+                block.extend(payload);
+                Reply::Lines(block)
+            }
+            "SLOW" => {
+                let payload: Vec<String> =
+                    self.exemplars.render().lines().map(str::to_string).collect();
+                let mut block = vec![format!(
+                    "slow\tlines={}\texemplars={}",
+                    payload.len(),
+                    self.exemplars.len()
+                )];
+                block.extend(payload);
+                Reply::Lines(block)
+            }
+            "SHUTDOWN" => {
+                self.events.info("daemon", "shutdown requested").field("conn_id", conn_id).emit();
+                Reply::Bye("bye".into())
+            }
             "SWAP" => {
                 let path = trimmed.strip_prefix("SWAP\t").unwrap_or("");
                 if path.is_empty() {
@@ -318,31 +434,67 @@ impl Daemon {
                     Err(e) => Reply::Line(format!("error\tswap refused: {e}")),
                 }
             }
-            _ => Reply::Line(self.classify_line(trimmed)),
+            _ => {
+                let seq = seq.fetch_add(1, Ordering::Relaxed) + 1;
+                let trace_id = trace_id_for(conn_id, seq);
+                Reply::Line(self.classify_line(trimmed, &trace_id))
+            }
         }
     }
 
-    /// `STATS` response: generation, index size, and lifetime counters.
+    /// `STATS` response: generation, index size, lifetime counters, and
+    /// the live inflight/uptime picture.
     pub fn stats_line(&self) -> String {
         let index = self.index();
         format!(
-            "stats\tgeneration={}\tsignatures={}\trequests={}\tswaps={}",
+            "stats\tgeneration={}\tsignatures={}\trequests={}\tswaps={}\tinflight={}\
+             \tparse_errors={}\tuptime_ticks={}",
             self.generation(),
             index.len(),
             self.requests.load(Ordering::Relaxed),
             self.swaps.load(Ordering::Relaxed),
+            self.inflight.load(Ordering::Relaxed),
+            self.parse_errors.load(Ordering::Relaxed),
+            self.start.elapsed().as_secs(),
         )
     }
 
-    fn classify_line(&self, line: &str) -> String {
+    /// `HEALTH` response: the liveness/readiness picture in one line.
+    pub fn health_line(&self) -> String {
+        let index = self.index();
+        format!(
+            "health\tstatus=ok\tgeneration={}\tsignatures={}\tuptime_ticks={}\tinflight={}\
+             \trequests={}\tlast_swap={}",
+            self.generation(),
+            index.len(),
+            self.start.elapsed().as_secs(),
+            self.inflight.load(Ordering::Relaxed),
+            self.requests.load(Ordering::Relaxed),
+            self.last_swap.lock().unwrap_or_else(|e| e.into_inner()),
+        )
+    }
+
+    fn classify_line(&self, line: &str, trace_id: &str) -> String {
         let t0 = Instant::now();
+        self.inflight.fetch_add(1, Ordering::Relaxed);
         let mut span = self.trace.span_in("daemon", "daemon_request");
+        span.attr("trace_id", trace_id);
         let req = match parse_request_line(line) {
             Ok(Some(req)) => req,
-            Ok(None) => return "error\tempty request line".into(),
+            Ok(None) => {
+                self.inflight.fetch_sub(1, Ordering::Relaxed);
+                return "error\tempty request line".into();
+            }
             Err(e) => {
                 self.metrics.parse_errors.inc();
+                self.parse_errors.fetch_add(1, Ordering::Relaxed);
                 span.attr("outcome", "parse_error");
+                self.events
+                    .warn("daemon", "request parse rejected")
+                    .trace_id(trace_id)
+                    .field("error", e.to_string())
+                    .emit();
+                self.inflight.fetch_sub(1, Ordering::Relaxed);
                 return format!("error\t{e}");
             }
         };
@@ -352,43 +504,98 @@ impl Daemon {
         let (verdict, _probe) = index.classify(&req);
         self.requests.fetch_add(1, Ordering::Relaxed);
         self.metrics.requests.inc();
-        self.metrics.request_latency.observe(t0.elapsed().as_secs_f64() * 1e6);
-        match verdict {
+        let latency_us = t0.elapsed().as_secs_f64() * 1e6;
+        self.metrics.request_latency.observe_with_exemplar(latency_us, trace_id);
+        let (reply, verdict_name, detail) = match verdict {
             Verdict::Match(id) => {
                 self.metrics.verdict_match.inc();
                 span.attr("outcome", "match");
                 let sig = index.sig(id);
-                format!("match\t{}\t{}\t{}", sig.app, sig.txn_id, sig.dp_class)
+                (
+                    format!("match\t{}\t{}\t{}", sig.app, sig.txn_id, sig.dp_class),
+                    "match",
+                    format!("{}:{}", sig.app, sig.txn_id),
+                )
             }
             Verdict::Unmatched => {
                 self.metrics.verdict_unmatched.inc();
                 span.attr("outcome", "unmatched");
-                "unmatched".into()
+                ("unmatched".to_string(), "unmatched", String::new())
             }
-        }
+        };
+        self.events
+            .debug("daemon", "request classified")
+            .trace_id(trace_id)
+            .field("verdict", verdict_name)
+            .field("latency_us", latency_us.round() as u64)
+            .emit();
+        // The synthetic span record mirrors the request span so a SLOW
+        // dump is self-contained even when tracing is off.
+        let latency_ns = (latency_us * 1e3).round() as u64;
+        self.exemplars.offer(Exemplar {
+            trace_id: trace_id.to_string(),
+            latency_us: latency_us.round() as u64,
+            verdict: verdict_name.to_string(),
+            detail,
+            spans: vec![SpanRecord {
+                name: "daemon_request".into(),
+                cat: "daemon".into(),
+                start_ns: 0,
+                end_ns: latency_ns,
+                self_ns: latency_ns,
+                tid: 0,
+                depth: 0,
+                stack: "daemon_request".into(),
+                attrs: vec![("trace_id".into(), trace_id.into())],
+            }],
+        });
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+        reply
     }
 
     /// Hot-swaps to the archive at `path` (phases: load → verify →
     /// swap → drain; see the module docs).
     pub fn swap_from_file(&self, path: &str) -> Result<SwapOutcome, SwapError> {
-        let bytes = std::fs::read(path)
-            .map_err(|e| SwapError::Load(ArchiveError::Io(format!("{path}: {e}"))))?;
+        let bytes = std::fs::read(path).map_err(|e| {
+            self.set_last_swap("refused:load");
+            self.events
+                .error("daemon", "swap refused: archive unreadable")
+                .field("path", path)
+                .field("error", e.to_string())
+                .emit();
+            SwapError::Load(ArchiveError::Io(format!("{path}: {e}")))
+        })?;
         self.swap_archive_bytes(&bytes)
+    }
+
+    fn set_last_swap(&self, outcome: &str) {
+        *self.last_swap.lock().unwrap_or_else(|e| e.into_inner()) = outcome.to_string();
     }
 
     /// Hot-swaps to an in-memory archive.
     pub fn swap_archive_bytes(&self, bytes: &[u8]) -> Result<SwapOutcome, SwapError> {
         let mut span = self.trace.span_in("daemon", "index_swap");
+        self.events.info("daemon", "swap started").field("archive_bytes", bytes.len()).emit();
 
         // Phase 1: Load — decode and structurally validate.
         let t_load = Instant::now();
         let new_index = read_archive(bytes).map_err(|e| {
             self.metrics.swap_failures_load.inc();
             span.attr("phase_failed", "load");
+            self.set_last_swap("refused:load");
+            self.events
+                .error("daemon", "swap refused in load phase")
+                .field("error", e.to_string())
+                .emit();
             SwapError::Load(e)
         })?;
         let load = t_load.elapsed();
         self.metrics.index_load_us.observe(load.as_secs_f64() * 1e6);
+        self.events
+            .debug("daemon", "swap phase: load ok")
+            .field("load_us", load.as_micros() as u64)
+            .field("signatures", new_index.len())
+            .emit();
 
         // Phase 2: Verify — deterministic re-serialization must
         // reproduce the input byte-for-byte, proving decode lossless.
@@ -396,11 +603,17 @@ impl Daemon {
         if write_archive(&new_index) != bytes {
             self.metrics.swap_failures_verify.inc();
             span.attr("phase_failed", "verify");
+            self.set_last_swap("refused:verify");
+            self.events.error("daemon", "swap refused in verify phase").emit();
             return Err(SwapError::Verify(
                 "re-serialized index differs from the input archive".into(),
             ));
         }
         let verify = t_verify.elapsed();
+        self.events
+            .debug("daemon", "swap phase: verify ok")
+            .field("verify_us", verify.as_micros() as u64)
+            .emit();
 
         // Phase 3: Swap — publish atomically.
         let signatures = new_index.len();
@@ -431,6 +644,14 @@ impl Daemon {
             .attr("signatures", signatures as u64)
             .attr("load_us", load.as_micros() as u64)
             .attr("drained", drained);
+        self.set_last_swap(if drained { "ok" } else { "drain_timeout" });
+        self.events
+            .info("daemon", "swap committed")
+            .field("generation", generation)
+            .field("signatures", signatures)
+            .field("drained", drained)
+            .field("drain_us", drain.as_micros() as u64)
+            .emit();
         Ok(SwapOutcome { generation, signatures, load, verify, drained, drain })
     }
 
@@ -443,6 +664,12 @@ impl Daemon {
                 Reply::Empty => {}
                 Reply::Line(r) => {
                     writeln!(writer, "{r}")?;
+                    writer.flush()?;
+                }
+                Reply::Lines(block) => {
+                    for r in block {
+                        writeln!(writer, "{r}")?;
+                    }
                     writer.flush()?;
                 }
                 Reply::Bye(r) => {
@@ -487,6 +714,9 @@ impl Daemon {
     }
 
     fn handle_conn(&self, stream: TcpStream, shutdown: &AtomicBool) {
+        let conn_id = self.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        self.events.debug("daemon", "connection accepted").field("conn_id", conn_id).emit();
+        let seq = AtomicU64::new(0);
         if stream.set_read_timeout(Some(self.config.read_poll)).is_err() {
             return;
         }
@@ -501,12 +731,23 @@ impl Daemon {
             match reader.read_line(&mut line) {
                 Ok(0) => break,
                 Ok(_) => {
-                    let reply = self.process_line(&line);
+                    let reply = self.process_line_ctx(&line, conn_id, &seq);
                     line.clear();
                     match reply {
                         Reply::Empty => {}
                         Reply::Line(r) => {
                             if writeln!(writer, "{r}").and_then(|_| writer.flush()).is_err() {
+                                break;
+                            }
+                        }
+                        Reply::Lines(block) => {
+                            let write_block = |w: &mut BufWriter<TcpStream>| -> io::Result<()> {
+                                for r in &block {
+                                    writeln!(w, "{r}")?;
+                                }
+                                w.flush()
+                            };
+                            if write_block(&mut writer).is_err() {
                                 break;
                             }
                         }
@@ -528,7 +769,18 @@ impl Daemon {
                 Err(_) => break,
             }
         }
+        self.events
+            .debug("daemon", "connection closed")
+            .field("conn_id", conn_id)
+            .field("requests", seq.load(Ordering::Relaxed))
+            .emit();
     }
+}
+
+/// True when `header` is a block-frame header (`…\tlines=N\t…`);
+/// returns N.
+fn block_line_count(header: &str) -> Option<usize> {
+    header.split('\t').nth(1).and_then(|f| f.strip_prefix("lines=")).and_then(|n| n.parse().ok())
 }
 
 /// Line-protocol client used by the CI smoke gate (`extractocol-serve
@@ -554,9 +806,43 @@ pub fn send_lines(addr: &str, input: &str) -> io::Result<Vec<String>> {
                 format!("daemon closed before answering: {trimmed:?}"),
             ));
         }
-        responses.push(resp.trim_end_matches(['\r', '\n']).to_string());
+        let mut response = resp.trim_end_matches(['\r', '\n']).to_string();
+        // Block-framed reply: the header's `lines=N` field announces N
+        // payload lines, folded into this one logical response so the
+        // response-per-request contract holds for METRICS/SLOW too.
+        if let Some(n) = block_line_count(&response) {
+            for _ in 0..n {
+                let mut payload = String::new();
+                if reader.read_line(&mut payload)? == 0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        format!("daemon closed mid-block: {trimmed:?}"),
+                    ));
+                }
+                response.push('\n');
+                response.push_str(payload.trim_end_matches(['\r', '\n']));
+            }
+        }
+        responses.push(response);
     }
     Ok(responses)
+}
+
+/// One-shot introspection client: sends a single control verb
+/// (`METRICS`, `HEALTH`, `SLOW`, `STATS`, …) and returns the reply
+/// payload — for block-framed replies the payload lines *without* the
+/// frame header, for single-line replies the line itself. Used by
+/// `extractocol-serve scrape` and the CI mid-run gate.
+pub fn scrape(addr: &str, verb: &str) -> io::Result<String> {
+    let responses = send_lines(addr, &format!("{verb}\n"))?;
+    let response = responses.into_iter().next().ok_or_else(|| {
+        io::Error::new(io::ErrorKind::UnexpectedEof, format!("no reply to {verb:?}"))
+    })?;
+    match response.split_once('\n') {
+        Some((_header, payload)) => Ok(format!("{payload}\n")),
+        None if block_line_count(&response).is_some() => Ok(String::new()),
+        None => Ok(format!("{response}\n")),
+    }
 }
 
 /// Collects every response a concurrent writer produced — helper for
@@ -645,6 +931,114 @@ mod tests {
         assert!(stats.contains("generation=1"), "{stats}");
         assert!(stats.contains("signatures=2"), "{stats}");
         assert!(stats.contains("requests=2"), "{stats}");
+    }
+
+    #[test]
+    fn trace_ids_are_deterministic_and_distinct() {
+        assert_eq!(trace_id_for(1, 1), trace_id_for(1, 1));
+        assert_ne!(trace_id_for(1, 1), trace_id_for(1, 2));
+        assert_ne!(trace_id_for(1, 1), trace_id_for(2, 1));
+        assert_eq!(trace_id_for(0, 1).len(), 16);
+        assert!(trace_id_for(0, 1).chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn metrics_verb_returns_a_block_framed_exposition() {
+        let d = daemon(&["http://h/api/a/"]);
+        d.process_line("GET\thttp://h/api/a/1");
+        let block = match d.process_line("METRICS") {
+            Reply::Lines(b) => b,
+            other => panic!("unexpected: {other:?}"),
+        };
+        let n: usize = block[0]
+            .strip_prefix("metrics\tlines=")
+            .expect("frame header")
+            .parse()
+            .expect("line count");
+        assert_eq!(block.len(), n + 1, "header announces the payload length");
+        let payload = block[1..].join("\n");
+        assert!(payload.contains("serve_daemon_requests_total 1"), "{payload}");
+        assert!(payload.contains("# VOLATILITY serve_daemon_requests_total"), "{payload}");
+    }
+
+    #[test]
+    fn health_verb_reports_generation_inflight_and_last_swap() {
+        let d = daemon(&["http://h/api/a/"]);
+        d.process_line("GET\thttp://h/api/a/1");
+        let health = match d.process_line("HEALTH") {
+            Reply::Line(h) => h,
+            other => panic!("unexpected: {other:?}"),
+        };
+        assert!(health.starts_with("health\tstatus=ok\tgeneration=1"), "{health}");
+        assert!(health.contains("signatures=1"), "{health}");
+        assert!(health.contains("inflight=0"), "{health}");
+        assert!(health.contains("requests=1"), "{health}");
+        assert!(health.contains("last_swap=none"), "{health}");
+        let new_index = SignatureIndex::compile(&[report("demo2", &["http://h/api/b/"])]);
+        d.swap_archive_bytes(&write_archive(&new_index)).expect("swap");
+        let health = match d.process_line("HEALTH") {
+            Reply::Line(h) => h,
+            other => panic!("unexpected: {other:?}"),
+        };
+        assert!(health.contains("generation=2"), "{health}");
+        assert!(health.contains("last_swap=ok"), "{health}");
+    }
+
+    #[test]
+    fn slow_verb_dumps_trace_stitched_exemplars() {
+        let d = daemon(&["http://h/api/a/"]);
+        d.process_line("GET\thttp://h/api/a/1");
+        d.process_line("GET\thttp://h/zzz");
+        let block = match d.process_line("SLOW") {
+            Reply::Lines(b) => b,
+            other => panic!("unexpected: {other:?}"),
+        };
+        assert!(block[0].starts_with("slow\tlines="), "{}", block[0]);
+        assert!(block[0].ends_with("exemplars=2"), "{}", block[0]);
+        let payload = block[1..].join("\n");
+        // Exemplar trace ids are the deterministic stdin-connection ids.
+        assert!(payload.contains(&format!("trace_id={}", trace_id_for(0, 1))), "{payload}");
+        assert!(payload.contains(&format!("trace_id={}", trace_id_for(0, 2))), "{payload}");
+        assert!(payload.contains("verdict=match detail=demo:0"), "{payload}");
+        assert!(payload.contains("verdict=unmatched"), "{payload}");
+        assert!(payload.contains("  span name=daemon_request"), "{payload}");
+    }
+
+    #[test]
+    fn stats_line_carries_inflight_parse_errors_and_uptime() {
+        let d = daemon(&["http://h/api/a/"]);
+        d.process_line("GET");
+        let stats = match d.process_line("STATS") {
+            Reply::Line(s) => s,
+            other => panic!("unexpected: {other:?}"),
+        };
+        assert!(stats.contains("inflight=0"), "{stats}");
+        assert!(stats.contains("parse_errors=1"), "{stats}");
+        assert!(stats.contains("uptime_ticks="), "{stats}");
+    }
+
+    #[test]
+    fn events_record_swaps_and_parse_errors_with_trace_ids() {
+        let index = SignatureIndex::compile(&[report("demo", &["http://h/api/a/"])]);
+        let events = EventLog::enabled(extractocol_obs::Level::Debug);
+        let d = Daemon::with_observability(
+            index,
+            DaemonConfig::default(),
+            Registry::new(),
+            TraceCollector::disabled(),
+            events,
+        );
+        d.process_line("GET\thttp://h/api/a/1");
+        d.process_line("GET"); // parse error
+        let new_index = SignatureIndex::compile(&[report("demo2", &["http://h/api/b/"])]);
+        d.swap_archive_bytes(&write_archive(&new_index)).expect("swap");
+        let log = d.events.render_lines();
+        assert!(log.contains("msg=\"request classified\""), "{log}");
+        assert!(log.contains(&format!("trace_id={}", trace_id_for(0, 1))), "{log}");
+        assert!(log.contains("msg=\"request parse rejected\""), "{log}");
+        assert!(log.contains("msg=\"swap committed\" generation=2"), "{log}");
+        // Event-log evictions are mirrored into the shared registry.
+        assert!(d.registry.render().contains("log_records_dropped_total 0"), "{log}");
     }
 
     #[test]

@@ -42,6 +42,9 @@ pub use archive::{
 };
 pub use bench::{AttackBenchReport, AttackClassTally, BenchReport, ObservedBench};
 pub use classify::{classify_batch, classify_batch_observed, ClassifyStats};
-pub use daemon::{Daemon, DaemonConfig, DaemonMetrics, SwapError, SwapOutcome};
+pub use daemon::{
+    scrape, send_lines, trace_id_for, Daemon, DaemonConfig, DaemonMetrics, Reply, SwapError,
+    SwapOutcome,
+};
 pub use index::{CompiledSig, Probe, SignatureIndex, Verdict};
 pub use metrics::{AttackMetrics, ServeMetrics};
